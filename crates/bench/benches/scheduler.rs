@@ -1,0 +1,35 @@
+//! Scheduler microbenchmarks: how fast the constraint-aware placement loop
+//! runs. The paper's scalability claims rest on scheduling being cheap
+//! relative to training tasks; these benches quantify "cheap".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cluster::{Cluster, ClusterSim, Job, NodeSpec};
+
+fn schedule_rigid_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim_schedule");
+    for &n_jobs in &[27usize, 270, 2_700] {
+        group.bench_with_input(BenchmarkId::new("fifo_first_fit", n_jobs), &n_jobs, |b, &n| {
+            let sim = ClusterSim::new(Cluster::homogeneous(28, NodeSpec::marenostrum4()));
+            let jobs: Vec<Job> = (0..n as u64)
+                .map(|i| Job::cpu(i, (i % 48 + 1) as u32, 1_000 + i * 7))
+                .collect();
+            b.iter(|| black_box(sim.run(&jobs)).makespan);
+        });
+    }
+    group.finish();
+}
+
+fn schedule_gpu_constraints(c: &mut Criterion) {
+    c.bench_function("cluster_sim_gpu_tasks_256", |b| {
+        let sim = ClusterSim::new(Cluster::homogeneous(8, NodeSpec::cte_power9()));
+        let jobs: Vec<Job> = (0..256u64)
+            .map(|i| Job { id: i, name: String::new(), cores: 10, gpus: 1, duration_us: 5_000 })
+            .collect();
+        b.iter(|| black_box(sim.run(&jobs)).makespan);
+    });
+}
+
+criterion_group!(benches, schedule_rigid_jobs, schedule_gpu_constraints);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Search-algorithm benchmarks: suggestion throughput of grid/random/TPE,
+//! and the Bergstra-style efficiency comparison — expected trials to reach
+//! a target on a synthetic response surface (the paper: "random research is
+//! more efficient than grid search and arrives at parameters that are good
+//! or better at a fraction of the time").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpo::experiment::TrialOutcome;
+use hpo::prelude::*;
+use hpo::results::TrialResult;
+
+fn synthetic_accuracy(cfg: &Config) -> f64 {
+    let opt = match cfg.get_str("optimizer") {
+        Some("Adam") => 0.12,
+        Some("RMSprop") => 0.06,
+        _ => 0.0,
+    };
+    let e = cfg.get_int("num_epochs").unwrap_or(20) as f64;
+    let b = cfg.get_int("batch_size").unwrap_or(64) as f64;
+    0.55 + opt + 0.002 * e - b / 3000.0
+}
+
+fn suggestion_throughput(c: &mut Criterion) {
+    let space = SearchSpace::paper_grid();
+    c.bench_function("grid_27_suggestions", |b| {
+        b.iter(|| {
+            let mut g = GridSearch::new(&space);
+            let mut n = 0;
+            while black_box(g.suggest(&[])).is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+    c.bench_function("random_27_suggestions", |b| {
+        b.iter(|| {
+            let mut r = RandomSearch::new(&space, 27, 1);
+            let mut n = 0;
+            while black_box(r.suggest(&[])).is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+    c.bench_function("tpe_27_suggestions_with_feedback", |b| {
+        b.iter(|| {
+            let mut t = TpeSearch::new(&space, 27, 1);
+            let mut hist: Vec<TrialResult> = Vec::new();
+            while let Some(cfg) = t.suggest(&hist) {
+                let acc = synthetic_accuracy(&cfg);
+                hist.push(TrialResult {
+                    config: cfg,
+                    outcome: TrialOutcome::with_accuracy(acc),
+                    task_us: 0,
+                });
+            }
+            hist.len()
+        });
+    });
+}
+
+fn trials_to_target(c: &mut Criterion) {
+    let space = SearchSpace::paper_grid();
+    let target = 0.85; // reachable by a handful of the 27 cells
+    c.bench_function("random_trials_to_target", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for seed in 0..20u64 {
+                let mut r = RandomSearch::new(&space, 27, seed);
+                let mut n = 0u64;
+                while let Some(cfg) = r.suggest(&[]) {
+                    n += 1;
+                    if synthetic_accuracy(&cfg) >= target {
+                        break;
+                    }
+                }
+                total += n;
+            }
+            black_box(total)
+        });
+    });
+    c.bench_function("grid_trials_to_target", |b| {
+        b.iter(|| {
+            let mut g = GridSearch::new(&space);
+            let mut n = 0u64;
+            while let Some(cfg) = g.suggest(&[]) {
+                n += 1;
+                if synthetic_accuracy(&cfg) >= target {
+                    break;
+                }
+            }
+            black_box(n)
+        });
+    });
+}
+
+criterion_group!(benches, suggestion_throughput, trials_to_target);
+criterion_main!(benches);

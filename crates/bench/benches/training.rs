@@ -1,0 +1,63 @@
+//! tinyml training-throughput benchmarks: the per-batch and per-epoch cost
+//! that the cluster cost models abstract. Useful to sanity-check that the
+//! real substrate behaves like the calibrated `TrainingCost` (shape-wise).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tinyml::optim::OptimizerKind;
+use tinyml::train::{train, TrainConfig};
+use tinyml::Dataset;
+
+fn one_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+    for &batch in &[32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("mnist_like_bs", batch), &batch, |b, &batch| {
+            let data = Dataset::synthetic_mnist(1_000, 1);
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: batch,
+                hidden_layers: vec![32],
+                ..TrainConfig::default()
+            };
+            b.iter(|| black_box(train(&cfg, &data)).final_val_accuracy());
+        });
+    }
+    group.finish();
+}
+
+fn optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_optimizer");
+    group.sample_size(10);
+    for kind in OptimizerKind::ALL {
+        group.bench_with_input(BenchmarkId::new("epoch", kind.name()), &kind, |b, &kind| {
+            let data = Dataset::synthetic_mnist(800, 2);
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                optimizer: kind,
+                hidden_layers: vec![32],
+                ..TrainConfig::default()
+            };
+            b.iter(|| black_box(train(&cfg, &data)).final_val_accuracy());
+        });
+    }
+    group.finish();
+}
+
+fn gemm(c: &mut Criterion) {
+    use tinyml::Matrix;
+    c.bench_function("gemm_64x784x64", |b| {
+        let a = Matrix::from_fn(64, 784, |r, col| ((r * col) as f32).sin());
+        let w = Matrix::from_fn(784, 64, |r, col| ((r + col) as f32).cos());
+        let mut out = Matrix::zeros(64, 64);
+        b.iter(|| {
+            a.matmul_into(&w, &mut out);
+            black_box(out.get(0, 0))
+        });
+    });
+}
+
+criterion_group!(benches, one_epoch, optimizers, gemm);
+criterion_main!(benches);

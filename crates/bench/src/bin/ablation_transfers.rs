@@ -1,0 +1,96 @@
+//! Ablation: parallel file system vs per-node staged copies.
+//!
+//! Paper §4: "When not using a Parallel File System … the data required by
+//! the task is copied to the specific node that the task will be executed.
+//! Otherwise all tasks can read and write to the PFS." This ablation
+//! quantifies what the PFS buys: the same 27-task HPO with a shared 150 MB
+//! dataset per task, on (a) a PFS cluster and (b) a staged-copy cluster
+//! over HPC and Ethernet interconnects.
+
+use cluster::{Cluster, Interconnect, NodeSpec};
+use hpo_bench::{banner, fmt_min, paper_grid_configs};
+use rcompss::{ArgSpec, Constraint, Runtime, RuntimeConfig, SubmitOpts, Value};
+
+fn run(cluster: Cluster, dataset_bytes: u64) -> u64 {
+    let rt = Runtime::simulated(RuntimeConfig::on_cluster(cluster));
+    let dataset = rt.literal::<&str>("the-training-set");
+    rt.set_data_bytes(dataset, dataset_bytes);
+    let experiment = rt.register("experiment", Constraint::cpus(48), 1, |_, _| {
+        Ok(vec![Value::new(())])
+    });
+    for (i, _config) in paper_grid_configs().iter().enumerate() {
+        rt.submit_with(
+            &experiment,
+            vec![ArgSpec::In(dataset)],
+            SubmitOpts { sim_duration_us: Some(120_000_000 + i as u64 * 1_000_000) },
+        )
+        .expect("submit");
+    }
+    rt.barrier();
+    rt.now_us()
+}
+
+fn main() {
+    banner("Ablation", "PFS vs staged data transfers (27 tasks × 150 MB input)");
+    let bytes = 150_000_000u64;
+    let nodes = 9; // 27 tasks, 3 waves of 9 whole-node tasks
+
+    let pfs = run(Cluster::homogeneous(nodes, NodeSpec::marenostrum4()), bytes);
+    let staged_hpc = run(
+        Cluster::homogeneous(nodes, NodeSpec::marenostrum4())
+            .without_pfs()
+            .with_interconnect(Interconnect::hpc()),
+        bytes,
+    );
+    let staged_eth = run(
+        Cluster::homogeneous(nodes, NodeSpec::marenostrum4())
+            .without_pfs()
+            .with_interconnect(Interconnect::ethernet()),
+        bytes,
+    );
+
+    println!("{:<28} {:>12}", "configuration", "makespan");
+    println!("{:<28} {:>12}", "PFS (GPFS-class)", fmt_min(pfs));
+    println!("{:<28} {:>12}", "staged, HPC interconnect", fmt_min(staged_hpc));
+    println!("{:<28} {:>12}", "staged, 10 GbE", fmt_min(staged_eth));
+    println!(
+        "\nstaging penalty vs PFS: {:+.2}% (HPC), {:+.2}% (Ethernet)",
+        (staged_hpc as f64 / pfs as f64 - 1.0) * 100.0,
+        (staged_eth as f64 / pfs as f64 - 1.0) * 100.0
+    );
+    println!(
+        "note: a 12 GB/s HPC fabric can beat the 8 GB/s PFS read path — the\n\
+         PFS advantage the paper leans on is operational (no staging step,\n\
+         uniform access), and only becomes a bandwidth win vs commodity nets."
+    );
+
+    assert!(staged_eth > staged_hpc, "slower fabric, bigger penalty");
+    assert!(staged_eth >= pfs, "10 GbE staging cannot beat GPFS-class reads");
+    // Data locality caps the damage: once a node holds the dataset, later
+    // waves on that node stage nothing, so the worst case (re-staging for
+    // all 27 tasks over Ethernet) is never approached.
+    assert!(
+        staged_eth < pfs + 27 * (bytes / 1_200),
+        "locality must avoid re-staging for every task"
+    );
+
+    // The penalty grows with data size.
+    let small = run(
+        Cluster::homogeneous(nodes, NodeSpec::marenostrum4())
+            .without_pfs()
+            .with_interconnect(Interconnect::ethernet()),
+        1_000_000,
+    );
+    let big = run(
+        Cluster::homogeneous(nodes, NodeSpec::marenostrum4())
+            .without_pfs()
+            .with_interconnect(Interconnect::ethernet()),
+        15_000_000_000,
+    );
+    println!(
+        "\n10 GbE staging with 1 MB inputs: {} | with 15 GB inputs: {}",
+        fmt_min(small),
+        fmt_min(big)
+    );
+    assert!(big > small);
+}

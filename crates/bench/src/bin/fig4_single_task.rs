@@ -1,0 +1,57 @@
+//! Figure 4 — a single task pinned to a single core of a 48-core node.
+//!
+//! Paper: "we launch just one task and assign one core in a node with 48
+//! cores … The task takes around 29 mins to run to completion and its
+//! constrained to a single core. Even though tensorflow's default behavior
+//! is to span across all available resources, PyCOMPSs is able to enforce
+//! CPU affinity."
+
+use cluster::{Cluster, NodeSpec};
+use hpo_bench::{banner, fmt_min, mnist_sim_duration, out_dir};
+use hpo::prelude::{Config, ConfigValue};
+use paratrace::gantt::{render, GanttOptions};
+use paratrace::TraceStats;
+use rcompss::{Constraint, Runtime, RuntimeConfig, SubmitOpts, Value};
+
+fn main() {
+    banner("Figure 4", "one MNIST training constrained to 1 core of a 48-core node");
+
+    let cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4()));
+    let rt = Runtime::simulated(cfg);
+
+    // The paper's single experiment: default config (50 epochs, batch 64).
+    let config = Config::new()
+        .with("optimizer", ConfigValue::Str("Adam".into()))
+        .with("num_epochs", ConfigValue::Int(50))
+        .with("batch_size", ConfigValue::Int(64));
+    let duration = mnist_sim_duration(&config, 1, 0.9);
+
+    let experiment = rt.register("graph.experiment", Constraint::cpus(1), 1, |ctx, _| {
+        assert_eq!(ctx.cores.len(), 1, "affinity: exactly one core granted");
+        Ok(vec![Value::new(0.97f64)])
+    });
+    rt.submit_with(&experiment, vec![], SubmitOpts { sim_duration_us: Some(duration) })
+        .expect("submit");
+    rt.barrier();
+
+    let records = rt.trace();
+    let stats = TraceStats::compute(&records);
+    println!("task duration: {} (paper: ~29 min)", fmt_min(stats.makespan));
+    println!("cores that ever ran a task: {} of 48 (affinity enforced)", stats.cores_used());
+    assert_eq!(stats.cores_used(), 1, "CPU affinity must confine the task to one core");
+    assert_eq!(stats.peak_parallelism, 1);
+    let mins = stats.makespan as f64 / 60e6;
+    assert!((24.0..34.0).contains(&mins), "≈29 min expected, got {mins:.1}");
+
+    // Show the first 8 rows of the node — one busy bar, the rest idle.
+    println!("\ntimeline (cores 0–7 of node 0; '#'=worker, letters=task, '.'=idle):");
+    let gantt = render(&records, &GanttOptions { width: 72, ..Default::default() });
+    for line in gantt.lines().take(9) {
+        println!("{line}");
+    }
+
+    let prv = paratrace::prv::export("fig4_single_task", &records);
+    let stem = out_dir().join("fig4_single_task");
+    paratrace::prv::write_files(&stem, &prv).expect("write prv");
+    println!("\nParaver trace written to {}.prv/.row/.pcf", stem.display());
+}

@@ -1,0 +1,61 @@
+//! §5 — tracing overhead.
+//!
+//! Paper: "Both tracing and graph generation create a performance overhead.
+//! These two features can easily be turned off by a simple flag when
+//! launching the application." We quantify that: the Figure 5 workload runs
+//! once with tracing+graph on and once off, measuring the real time the
+//! runtime machinery takes (virtual makespans are identical by
+//! construction — the flag must not change scheduling).
+
+use std::time::Instant;
+
+use cluster::{Cluster, NodeSpec};
+use hpo_bench::{banner, mnist_sim_duration, paper_grid_configs};
+use rcompss::{Constraint, Runtime, RuntimeConfig, SubmitOpts, Value};
+
+fn run(tracing: bool, graph: bool, repeats: u32) -> (u64, u64, usize) {
+    let mut wall_total = 0u64;
+    let mut makespan = 0u64;
+    let mut records = 0usize;
+    for _ in 0..repeats {
+        let mut cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4()))
+            .reserve(0, 24)
+            .with_tracing(tracing);
+        cfg.graph = graph;
+        let rt = Runtime::simulated(cfg);
+        let experiment =
+            rt.register("experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
+        let t0 = Instant::now();
+        for config in paper_grid_configs() {
+            let d = mnist_sim_duration(&config, 1, 0.9);
+            rt.submit_with(&experiment, vec![], SubmitOpts { sim_duration_us: Some(d) })
+                .expect("submit");
+        }
+        rt.barrier();
+        wall_total += t0.elapsed().as_micros() as u64;
+        makespan = rt.now_us();
+        records = rt.trace().len();
+    }
+    (wall_total / repeats as u64, makespan, records)
+}
+
+fn main() {
+    banner("Tracing overhead", "Figure 5 workload with instrumentation on vs off");
+    let repeats = 50;
+    let (on_us, on_makespan, on_records) = run(true, true, repeats);
+    let (off_us, off_makespan, off_records) = run(false, false, repeats);
+
+    println!("instrumentation ON : {on_us:>7} µs wall/run, {on_records} trace records");
+    println!("instrumentation OFF: {off_us:>7} µs wall/run, {off_records} trace records");
+    println!(
+        "overhead: {:+.1}% runtime-machinery time",
+        (on_us as f64 / off_us.max(1) as f64 - 1.0) * 100.0
+    );
+    println!(
+        "virtual makespans identical: {} == {}",
+        on_makespan, off_makespan
+    );
+    assert_eq!(on_makespan, off_makespan, "the flag must not change scheduling");
+    assert_eq!(off_records, 0, "tracing off keeps no records");
+    assert!(on_records > 27, "tracing on captures task intervals and events");
+}

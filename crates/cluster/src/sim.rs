@@ -1,0 +1,546 @@
+//! Deterministic list-scheduling simulator for rigid, independent jobs.
+//!
+//! The paper's HPO workloads are exactly this shape: N independent training
+//! tasks, each demanding a fixed number of cores (and possibly one GPU) for
+//! its whole lifetime. `ClusterSim` places them FIFO/first-fit onto a
+//! [`Cluster`], tracks *which* cores each job owns (the paper's CPU-affinity
+//! guarantee), honours runtime-reserved cores (the COMPSs worker takes half a
+//! node in Figure 5 and a whole node in Figure 6), injects failures, and
+//! replays the paper's retry policy: *retry on the same node once, then move
+//! to a different node*.
+//!
+//! The full dependency-aware runtime lives in `rcompss`; this simulator is
+//! the substrate for the Figure 9 sweeps and the scheduling property tests.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::event::EventQueue;
+use crate::failure::FailureInjector;
+use crate::topology::Cluster;
+
+/// A rigid job: fixed resource demand, fixed duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Caller-chosen id (unique per submission batch).
+    pub id: u64,
+    /// Display name (shows up in traces).
+    pub name: String,
+    /// CPU computing units required.
+    pub cores: u32,
+    /// GPUs required.
+    pub gpus: u32,
+    /// Execution time once started, µs.
+    pub duration_us: u64,
+}
+
+impl Job {
+    /// Convenience constructor for CPU-only jobs.
+    pub fn cpu(id: u64, cores: u32, duration_us: u64) -> Self {
+        Job { id, name: format!("job{id}"), cores, gpus: 0, duration_us }
+    }
+}
+
+/// One execution attempt of a job as it happened in simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub job: u64,
+    /// Job name.
+    pub name: String,
+    /// Node it ran on.
+    pub node: u32,
+    /// Exact core ids owned for the duration (affinity set).
+    pub cores: Vec<u32>,
+    /// Exact GPU ids owned.
+    pub gpus: Vec<u32>,
+    /// Start time, µs.
+    pub start: u64,
+    /// End time (completion or kill), µs.
+    pub end: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Whether this attempt completed successfully.
+    pub completed: bool,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Time the last job completed, µs.
+    pub makespan: u64,
+    /// Every execution attempt, in start order.
+    pub records: Vec<JobRecord>,
+    /// Jobs that exhausted their retry budget.
+    pub failed_jobs: Vec<u64>,
+    /// Total failed attempts observed.
+    pub failures: u32,
+    /// Reserved `(node, core)` pairs, for rendering.
+    pub reserved: Vec<(u32, u32)>,
+}
+
+impl SimOutcome {
+    /// Records of successful attempts only.
+    pub fn completed(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.iter().filter(|r| r.completed)
+    }
+
+    /// Number of distinct jobs that completed.
+    pub fn jobs_completed(&self) -> usize {
+        self.completed().map(|r| r.job).collect::<BTreeSet<_>>().len()
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Finish { exec: u64 },
+    NodeFail { node: u32 },
+}
+
+#[derive(Debug)]
+struct NodeState {
+    free_cores: BTreeSet<u32>,
+    free_gpus: BTreeSet<u32>,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct Running {
+    job_idx: usize,
+    node: u32,
+    cores: Vec<u32>,
+    gpus: Vec<u32>,
+    start: u64,
+    attempt: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    job_idx: usize,
+    attempt: u32,
+    /// Node the previous attempt ran on: the paper retries there first…
+    prefer: Option<u32>,
+    /// …and avoids it after a second failure on the same node.
+    exclude: Option<u32>,
+}
+
+/// The simulator. Construct, configure, [`ClusterSim::run`].
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    cluster: Cluster,
+    injector: FailureInjector,
+    /// cores reserved for the runtime worker, per node id.
+    reserved: BTreeMap<u32, u32>,
+    /// Maximum execution attempts per job.
+    pub max_attempts: u32,
+}
+
+impl ClusterSim {
+    /// Simulator over `cluster` with no failures.
+    pub fn new(cluster: Cluster) -> Self {
+        ClusterSim { cluster, injector: FailureInjector::none(), reserved: BTreeMap::new(), max_attempts: 3 }
+    }
+
+    /// Install a failure injector (chainable).
+    pub fn with_failures(mut self, injector: FailureInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Reserve `cores` cores of `node` for the runtime worker (chainable).
+    /// Reserved cores never run jobs — they render as `#` in Gantt charts,
+    /// matching the half-node worker of the paper's Figure 5.
+    pub fn reserve_cores(mut self, node: u32, cores: u32) -> Self {
+        *self.reserved.entry(node).or_insert(0) += cores;
+        self
+    }
+
+    /// Run `jobs` to completion (or retry exhaustion). Deterministic.
+    pub fn run(&self, jobs: &[Job]) -> SimOutcome {
+        let mut nodes: Vec<NodeState> = self
+            .cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let reserved = self.reserved.get(&(i as u32)).copied().unwrap_or(0).min(spec.cores);
+                NodeState {
+                    // reserved cores are the lowest-numbered ones
+                    free_cores: (reserved..spec.cores).collect(),
+                    free_gpus: (0..spec.gpu_count()).collect(),
+                    alive: true,
+                }
+            })
+            .collect();
+
+        let reserved_pairs: Vec<(u32, u32)> = self
+            .reserved
+            .iter()
+            .flat_map(|(&n, &c)| (0..c.min(self.cluster.nodes[n as usize].cores)).map(move |k| (n, k)))
+            .collect();
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for &(t, n) in self.injector.node_failures() {
+            queue.schedule_at(t, Event::NodeFail { node: n });
+        }
+
+        let mut pending: VecDeque<Pending> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Pending { job_idx: i, attempt: 1, prefer: None, exclude: None })
+            .collect();
+        let mut running: BTreeMap<u64, Running> = BTreeMap::new();
+        let mut next_exec: u64 = 0;
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut failed_jobs: Vec<u64> = Vec::new();
+        let mut failures: u32 = 0;
+        let mut makespan: u64 = 0;
+
+        // Main loop: schedule, then pump events.
+        loop {
+            // Scheduling pass (FIFO with first-fit; a job that can't be
+            // placed does NOT block later jobs — COMPSs dispatches any ready
+            // task whose constraints are satisfiable *now*, but we keep FIFO
+            // fairness by scanning in queue order).
+            let now = queue.now();
+            let mut idx = 0;
+            while idx < pending.len() {
+                let p = pending[idx].clone();
+                let job = &jobs[p.job_idx];
+                let placed = self.place(job, &p, &mut nodes);
+                if let Some((node, cores, gpus)) = placed {
+                    pending.remove(idx);
+                    let exec = next_exec;
+                    next_exec += 1;
+                    let will_fail = self.injector.attempt_fails(job.id, p.attempt);
+                    // A failing attempt still occupies resources for its full
+                    // duration (the training crashes at some point; we charge
+                    // the whole slot, a conservative model).
+                    queue.schedule_at(now + job.duration_us, Event::Finish { exec });
+                    running.insert(
+                        exec,
+                        Running { job_idx: p.job_idx, node, cores, gpus, start: now, attempt: p.attempt },
+                    );
+                    let _ = will_fail; // consulted at finish time
+                } else {
+                    idx += 1;
+                }
+            }
+
+            let Some((t, ev)) = queue.pop() else { break };
+            match ev {
+                Event::Finish { exec } => {
+                    let Some(r) = running.remove(&exec) else { continue };
+                    let job = &jobs[r.job_idx];
+                    let failed = self.injector.attempt_fails(job.id, r.attempt);
+                    // Free resources.
+                    let ns = &mut nodes[r.node as usize];
+                    if ns.alive {
+                        ns.free_cores.extend(r.cores.iter().copied());
+                        ns.free_gpus.extend(r.gpus.iter().copied());
+                    }
+                    records.push(JobRecord {
+                        job: job.id,
+                        name: job.name.clone(),
+                        node: r.node,
+                        cores: r.cores,
+                        gpus: r.gpus,
+                        start: r.start,
+                        end: t,
+                        attempt: r.attempt,
+                        completed: !failed,
+                    });
+                    if failed {
+                        failures += 1;
+                        if r.attempt >= self.max_attempts {
+                            failed_jobs.push(job.id);
+                        } else {
+                            // Paper policy: 1st retry prefers the same node,
+                            // a 2nd failure there excludes the node.
+                            let (prefer, exclude) = if r.attempt == 1 {
+                                (Some(r.node), None)
+                            } else {
+                                (None, Some(r.node))
+                            };
+                            pending.push_back(Pending {
+                                job_idx: r.job_idx,
+                                attempt: r.attempt + 1,
+                                prefer,
+                                exclude,
+                            });
+                        }
+                    } else {
+                        makespan = makespan.max(t);
+                    }
+                }
+                Event::NodeFail { node } => {
+                    let ns = &mut nodes[node as usize];
+                    ns.alive = false;
+                    ns.free_cores.clear();
+                    ns.free_gpus.clear();
+                    // Kill and requeue everything running there.
+                    let victims: Vec<u64> = running
+                        .iter()
+                        .filter(|(_, r)| r.node == node)
+                        .map(|(&e, _)| e)
+                        .collect();
+                    for exec in victims {
+                        let r = running.remove(&exec).expect("victim exists");
+                        let job = &jobs[r.job_idx];
+                        failures += 1;
+                        records.push(JobRecord {
+                            job: job.id,
+                            name: job.name.clone(),
+                            node: r.node,
+                            cores: r.cores,
+                            gpus: r.gpus,
+                            start: r.start,
+                            end: t,
+                            attempt: r.attempt,
+                            completed: false,
+                        });
+                        if r.attempt >= self.max_attempts {
+                            failed_jobs.push(job.id);
+                        } else {
+                            // The node is gone: restart elsewhere directly.
+                            pending.push_back(Pending {
+                                job_idx: r.job_idx,
+                                attempt: r.attempt + 1,
+                                prefer: None,
+                                exclude: Some(node),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        records.sort_by_key(|r| (r.start, r.node, r.cores.first().copied()));
+        SimOutcome { makespan, records, failed_jobs, failures, reserved: reserved_pairs }
+    }
+
+    /// Find a node for `job` honouring preference/exclusion; allocate exact
+    /// core and GPU ids on success.
+    fn place(
+        &self,
+        job: &Job,
+        p: &Pending,
+        nodes: &mut [NodeState],
+    ) -> Option<(u32, Vec<u32>, Vec<u32>)> {
+        let fits = |ns: &NodeState| {
+            ns.alive
+                && ns.free_cores.len() >= job.cores as usize
+                && ns.free_gpus.len() >= job.gpus as usize
+        };
+        let order: Vec<u32> = match p.prefer {
+            Some(n) => std::iter::once(n)
+                .chain((0..nodes.len() as u32).filter(move |&i| i != n))
+                .collect(),
+            None => (0..nodes.len() as u32).collect(),
+        };
+        for n in order {
+            if Some(n) == p.exclude {
+                continue;
+            }
+            let ns = &mut nodes[n as usize];
+            if fits(ns) {
+                let cores: Vec<u32> = ns.free_cores.iter().copied().take(job.cores as usize).collect();
+                for c in &cores {
+                    ns.free_cores.remove(c);
+                }
+                let gpus: Vec<u32> = ns.free_gpus.iter().copied().take(job.gpus as usize).collect();
+                for g in &gpus {
+                    ns.free_gpus.remove(g);
+                }
+                return Some((n, cores, gpus));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+
+    fn mn4(n: usize) -> Cluster {
+        Cluster::homogeneous(n, NodeSpec::marenostrum4())
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let sim = ClusterSim::new(mn4(1));
+        let out = sim.run(&[Job::cpu(0, 1, 100)]);
+        assert_eq!(out.makespan, 100);
+        assert_eq!(out.jobs_completed(), 1);
+        let r = &out.records[0];
+        assert_eq!((r.start, r.end, r.node), (0, 100, 0));
+        assert_eq!(r.cores.len(), 1);
+    }
+
+    #[test]
+    fn jobs_queue_when_cores_exhausted() {
+        // 48-core node, 49 single-core unit jobs → one must wait.
+        let sim = ClusterSim::new(mn4(1));
+        let jobs: Vec<Job> = (0..49).map(|i| Job::cpu(i, 1, 100)).collect();
+        let out = sim.run(&jobs);
+        assert_eq!(out.makespan, 200);
+        assert_eq!(out.jobs_completed(), 49);
+        let started_late = out.records.iter().filter(|r| r.start == 100).count();
+        assert_eq!(started_late, 1);
+    }
+
+    #[test]
+    fn reserved_cores_shrink_capacity() {
+        // Figure 5 setup: worker takes half of a 48-core node → 24 slots.
+        let sim = ClusterSim::new(mn4(1)).reserve_cores(0, 24);
+        let jobs: Vec<Job> = (0..27).map(|i| Job::cpu(i, 1, 100)).collect();
+        let out = sim.run(&jobs);
+        let immediate = out.records.iter().filter(|r| r.start == 0).count();
+        assert_eq!(immediate, 24, "exactly 24 tasks start at t=0");
+        assert_eq!(out.makespan, 200, "3 stragglers run a second wave");
+        // reserved cores are 0..24; no job may own one
+        for r in &out.records {
+            assert!(r.cores.iter().all(|&c| c >= 24), "job on reserved core: {r:?}");
+        }
+        assert_eq!(out.reserved.len(), 24);
+    }
+
+    #[test]
+    fn affinity_sets_are_disjoint_while_overlapping_in_time() {
+        let sim = ClusterSim::new(mn4(1));
+        let jobs: Vec<Job> = (0..12).map(|i| Job::cpu(i, 4, 1000)).collect();
+        let out = sim.run(&jobs);
+        for a in &out.records {
+            for b in &out.records {
+                if a.job != b.job && a.node == b.node && a.start < b.end && b.start < a.end {
+                    assert!(
+                        a.cores.iter().all(|c| !b.cores.contains(c)),
+                        "overlapping jobs share a core: {a:?} {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multinode_28_vs_14_nodes_matches_figure6() {
+        // 27 whole-node tasks with heterogeneous durations (epochs grid).
+        let durations = [100u64, 250, 500];
+        let jobs: Vec<Job> = (0..27)
+            .map(|i| Job { id: i, name: format!("t{i}"), cores: 48, gpus: 0, duration_us: durations[(i % 3) as usize] })
+            .collect();
+        // 28 nodes, 1 reserved for the worker → all 27 run in parallel.
+        let out28 = ClusterSim::new(mn4(28)).reserve_cores(0, 48).run(&jobs);
+        assert_eq!(out28.makespan, 500, "bounded by the longest task");
+        let immediate = out28.records.iter().filter(|r| r.start == 0).count();
+        assert_eq!(immediate, 27);
+        // 14 nodes: shorter tasks free nodes for stragglers; the paper's
+        // point is that the makespan is "almost the same".
+        let out14 = ClusterSim::new(mn4(14)).reserve_cores(0, 48).run(&jobs);
+        assert!(out14.jobs_completed() == 27);
+        assert!(out14.makespan < 2 * out28.makespan, "14-node run ≤ 2×; got {}", out14.makespan);
+        assert!(out14.makespan >= out28.makespan);
+    }
+
+    #[test]
+    fn gpu_jobs_respect_gpu_count() {
+        // POWER9 node: 4 GPUs → at most 4 GPU jobs in flight (Fig 9's "only
+        // 4 parallel tasks").
+        let sim = ClusterSim::new(Cluster::homogeneous(1, NodeSpec::cte_power9()));
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| Job { id: i, name: format!("g{i}"), cores: 10, gpus: 1, duration_us: 100 })
+            .collect();
+        let out = sim.run(&jobs);
+        assert_eq!(out.records.iter().filter(|r| r.start == 0).count(), 4);
+        assert_eq!(out.makespan, 200);
+        // distinct GPU ids among concurrent jobs
+        let first_wave: Vec<&JobRecord> = out.records.iter().filter(|r| r.start == 0).collect();
+        let mut gpu_ids: Vec<u32> = first_wave.iter().flat_map(|r| r.gpus.clone()).collect();
+        gpu_ids.sort_unstable();
+        assert_eq!(gpu_ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn task_failure_retries_same_node_then_moves() {
+        let inj = FailureInjector::none().with_task_failure(0, 1).with_task_failure(0, 2);
+        let sim = ClusterSim::new(mn4(2)).with_failures(inj);
+        let out = sim.run(&[Job::cpu(0, 1, 100)]);
+        let attempts: Vec<(u32, u32, bool)> =
+            out.records.iter().map(|r| (r.attempt, r.node, r.completed)).collect();
+        assert_eq!(attempts.len(), 3);
+        assert_eq!(attempts[0], (1, 0, false));
+        assert_eq!(attempts[1], (2, 0, false), "2nd attempt: same node, fails again");
+        assert_eq!(attempts[2].0, 3);
+        assert_ne!(attempts[2].1, 0, "3rd attempt moves to the other node");
+        assert!(attempts[2].2);
+        assert_eq!(out.failures, 2);
+        assert!(out.failed_jobs.is_empty());
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_marks_job_failed() {
+        let inj = FailureInjector::none()
+            .with_task_failure(0, 1)
+            .with_task_failure(0, 2)
+            .with_task_failure(0, 3);
+        let sim = ClusterSim::new(mn4(2)).with_failures(inj);
+        let out = sim.run(&[Job::cpu(0, 1, 100)]);
+        assert_eq!(out.failed_jobs, vec![0]);
+        assert_eq!(out.jobs_completed(), 0);
+    }
+
+    #[test]
+    fn node_failure_requeues_running_jobs_elsewhere() {
+        let inj = FailureInjector::none().with_node_failure(50, 0);
+        let sim = ClusterSim::new(mn4(2)).with_failures(inj);
+        let jobs: Vec<Job> = (0..2).map(|i| Job::cpu(i, 48, 100)).collect();
+        let out = sim.run(&jobs);
+        assert_eq!(out.jobs_completed(), 2, "both jobs eventually finish");
+        // whichever job was on node 0 was killed at t=50 and moved to node 1
+        let killed: Vec<&JobRecord> = out.records.iter().filter(|r| !r.completed).collect();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].end, 50);
+        let resumed = out
+            .records
+            .iter()
+            .find(|r| r.job == killed[0].job && r.completed)
+            .expect("killed job reran");
+        assert_eq!(resumed.node, 1);
+        assert!(out.makespan >= 150);
+    }
+
+    #[test]
+    fn dead_node_accepts_no_new_jobs() {
+        let inj = FailureInjector::none().with_node_failure(10, 0);
+        let sim = ClusterSim::new(mn4(2)).with_failures(inj);
+        let jobs: Vec<Job> = (0..4).map(|i| Job::cpu(i, 48, 100)).collect();
+        let out = sim.run(&jobs);
+        for r in &out.records {
+            assert!(!(r.node == 0 && r.start >= 10), "job placed on dead node: {r:?}");
+        }
+        assert_eq!(out.jobs_completed(), 4);
+    }
+
+    #[test]
+    fn determinism_same_input_same_outcome() {
+        let jobs: Vec<Job> = (0..50).map(|i| Job::cpu(i, (i % 7 + 1) as u32, 100 + i * 13)).collect();
+        let sim = ClusterSim::new(mn4(3)).with_failures(FailureInjector::random(9, 0.1));
+        let a = sim.run(&jobs);
+        let b = sim.run(&jobs);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn unplaceable_job_never_blocks_others() {
+        // Job 0 wants 100 cores (impossible on 48-core nodes): it stays
+        // pending forever but the simulation still terminates and runs the
+        // rest. This mirrors COMPSs' "tasks wait for the resources".
+        let sim = ClusterSim::new(mn4(1));
+        let jobs = vec![Job::cpu(0, 100, 10), Job::cpu(1, 1, 10)];
+        let out = sim.run(&jobs);
+        assert_eq!(out.jobs_completed(), 1);
+        assert_eq!(out.makespan, 10);
+    }
+}

@@ -1,0 +1,14 @@
+//! Execution backends.
+//!
+//! Both backends consume the same shared state (dependency graph, data
+//! registry, scheduler, retry policy) and differ only in *how time passes*:
+//!
+//! * [`threaded`] — tasks execute on real OS threads; timestamps are wall
+//!   time since runtime start. Use when tasks do real work (training real
+//!   models in the HPO experiments of Figures 7–8).
+//! * [`sim`] — tasks execute at virtual timestamps driven by a
+//!   deterministic event queue; durations come from cost models. Use to
+//!   reproduce cluster-scale behaviour (Figures 4–6, 9) on one machine.
+
+pub mod sim;
+pub mod threaded;

@@ -1,0 +1,227 @@
+//! Simulated backend: deterministic discrete-event execution.
+//!
+//! Task bodies still run (so the values flowing through the graph are real),
+//! but they run at *virtual* timestamps: a task placed at virtual time `t`
+//! first pays data-staging time (per the cluster's transfer model, zero
+//! under a PFS), then occupies its cores for its submitted
+//! `sim_duration_us`, and completes at `t + staging + duration`. Node
+//! failures fire as scheduled events, killing and requeueing the tasks that
+//! were running there — exactly the scenario of the paper's fault-tolerance
+//! discussion.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use cluster::transfer::DataLocation;
+use cluster::EventQueue;
+use paratrace::{CoreId, EventKind, StateKind, TaskRef};
+
+use crate::data::Value;
+use crate::runtime::{complete_attempt, Core, RunningExec, Shared};
+use crate::task::{TaskContext, TaskError, TaskFn};
+
+#[derive(Debug)]
+enum SimEvent {
+    Finish { exec: u64 },
+    NodeFail { node: u32 },
+}
+
+/// Pending body + inputs for an in-flight simulated execution.
+struct SimExec {
+    ctx: TaskContext,
+    body: Arc<TaskFn>,
+    inputs: Vec<Value>,
+    name: String,
+}
+
+/// Virtual-time state of the simulated backend.
+pub(crate) struct SimState {
+    queue: EventQueue<SimEvent>,
+    execs: HashMap<u64, SimExec>,
+}
+
+impl SimState {
+    /// Fresh state at virtual time zero.
+    pub fn new() -> Self {
+        SimState { queue: EventQueue::new(), execs: HashMap::new() }
+    }
+
+    /// Current virtual time, µs.
+    pub fn now(&self) -> u64 {
+        self.queue.now()
+    }
+
+    /// Pre-register a node failure from the injector plan.
+    pub fn schedule_node_failure(&mut self, at_us: u64, node: u32) {
+        self.queue.schedule_at(at_us, SimEvent::NodeFail { node });
+    }
+}
+
+/// Drive the simulation until `cond` holds (or nothing can change anymore).
+/// Call with the core locked; single-threaded.
+pub(crate) fn run_until(shared: &Shared, core: &mut Core, cond: impl Fn(&Core) -> bool) {
+    loop {
+        if cond(core) {
+            return;
+        }
+        dispatch_sim(shared, core);
+        let popped = core.sim.as_mut().expect("sim backend has sim state").queue.pop();
+        let Some((t, event)) = popped else {
+            // No pending events and nothing placeable: state is final.
+            return;
+        };
+        match event {
+            SimEvent::Finish { exec } => {
+                let Some(se) = core.sim.as_mut().expect("sim state").execs.remove(&exec) else {
+                    continue; // execution was killed by a node failure
+                };
+                let Some(run) = core.running.get(&exec) else { continue };
+                let task_ref = TaskRef::new(se.ctx.task.0, se.name.clone());
+                for (node, cores) in run.placement.node_cores() {
+                    for &c in cores {
+                        shared.trace.task_run(
+                            CoreId::new(node, c),
+                            run.start_us,
+                            t.max(run.start_us + 1),
+                            task_ref.clone(),
+                        );
+                    }
+                }
+                shared.trace.event(
+                    CoreId::new(run.placement.node, run.placement.cores.first().copied().unwrap_or(0)),
+                    t,
+                    EventKind::TaskEnd(task_ref),
+                );
+                let result = catch_unwind(AssertUnwindSafe(|| (se.body)(&se.ctx, &se.inputs)))
+                    .unwrap_or_else(|_| Err(TaskError::new("task panicked")));
+                complete_attempt(shared, core, exec, result, t, false);
+            }
+            SimEvent::NodeFail { node } => {
+                core.sched.kill_node(node);
+                shared.trace.event(CoreId::new(node, 0), t, EventKind::NodeFailure);
+                let victims: Vec<u64> = core
+                    .running
+                    .iter()
+                    .filter(|(_, r)| r.placement.involves(node))
+                    .map(|(&e, _)| e)
+                    .collect();
+                for exec in victims {
+                    if let Some(se) = core.sim.as_mut().expect("sim state").execs.remove(&exec) {
+                        // Truncated run bar so the kill is visible in traces.
+                        if let Some(run) = core.running.get(&exec) {
+                            let task_ref = TaskRef::new(se.ctx.task.0, se.name.clone());
+                            for (pnode, cores) in run.placement.node_cores() {
+                                for &c in cores {
+                                    shared.trace.task_run(
+                                        CoreId::new(pnode, c),
+                                        run.start_us.min(t),
+                                        t.max(run.start_us + 1),
+                                        task_ref.clone(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    complete_attempt(
+                        shared,
+                        core,
+                        exec,
+                        Err(TaskError::new(format!("node {node} failed"))),
+                        t,
+                        true,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Place every placeable ready task at the current virtual time.
+fn dispatch_sim(shared: &Shared, core: &mut Core) {
+    loop {
+        let now = core.sim.as_ref().expect("sim state").now();
+        // Locality: prefer nodes already holding the inputs (only relevant
+        // without a PFS).
+        let placed = {
+            let data = &core.data;
+            let instances = &core.instances;
+            let use_locality = !shared.transfer.has_pfs();
+            core.sched.pop_placeable(|task, node| {
+                if !use_locality {
+                    return 0;
+                }
+                instances
+                    .get(&task)
+                    .map(|i| data.locality_score(&i.reads(), node))
+                    .unwrap_or(0)
+            })
+        };
+        let Some((entry, placement)) = placed else { break };
+        let task = entry.task;
+        let inst = core.instances.get(&task).expect("ready task has an instance");
+        let reads = inst.reads();
+        let inputs: Vec<Value> =
+            reads.iter().map(|v| core.data.get(*v).expect("inputs computed")).collect();
+        let name = inst.def.name.to_string();
+        // honour the scheduler's implementation choice (@implement)
+        let body = if placement.variant == 0 {
+            Arc::clone(&inst.def.body)
+        } else {
+            Arc::clone(&inst.def.alternatives[placement.variant - 1].body)
+        };
+        let attempt = inst.attempt;
+        let duration = inst.sim_duration_us;
+
+        // Staging: pay transfer time for inputs not resident on the node.
+        let mut staging = 0u64;
+        for v in &reads {
+            if core.data.is_on_node(*v, placement.node) {
+                continue;
+            }
+            let bytes = core.data.bytes(v.handle);
+            let t = shared.transfer.time_to_node(bytes, DataLocation::Pfs, placement.node);
+            if t > 0 {
+                shared.trace.state(
+                    CoreId::new(placement.node, placement.cores.first().copied().unwrap_or(0)),
+                    now + staging,
+                    now + staging + t,
+                    StateKind::Transferring { bytes },
+                );
+            }
+            staging += t;
+            core.data.add_location(*v, placement.node);
+        }
+
+        let exec_id = core.next_exec;
+        core.next_exec += 1;
+        shared.trace.event(
+            CoreId::new(placement.node, placement.cores.first().copied().unwrap_or(0)),
+            now,
+            EventKind::TaskDispatch(TaskRef::new(task.0, name.clone())),
+        );
+        let ctx = TaskContext {
+            task,
+            attempt,
+            node: placement.node,
+            cores: placement.cores.clone(),
+            gpus: placement.gpus.clone(),
+            peer_nodes: placement.extra.iter().map(|(n, _, _)| *n).collect(),
+            simulated: true,
+        };
+        core.running.insert(
+            exec_id,
+            RunningExec {
+                task,
+                placement,
+                constraint: entry.constraint,
+                attempt,
+                start_us: now + staging,
+            },
+        );
+        core.graph.set_running(task);
+        let sim = core.sim.as_mut().expect("sim state");
+        sim.execs.insert(exec_id, SimExec { ctx, body, inputs, name });
+        sim.queue.schedule_at(now + staging + duration.max(1), SimEvent::Finish { exec: exec_id });
+    }
+}

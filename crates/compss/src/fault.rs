@@ -1,0 +1,96 @@
+//! Fault-tolerance policy.
+//!
+//! Paper §4: "In case a task fails for whatever reason (such as node
+//! failure), the runtime tries to start the same task in the same node, if
+//! it fails again, its restarted in another node. This way, PyCOMPSs ensures
+//! fault tolerance. The failure of task does not affect the other tasks
+//! unless there are some dependencies."
+//!
+//! [`RetryPolicy::on_failure`] encodes exactly that escalation and is shared
+//! by both execution backends, so the threaded and the simulated runtime
+//! agree on recovery behaviour.
+
+/// What to do after a failed execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Re-run, preferring the node of the failed attempt.
+    RetrySameNode,
+    /// Re-run anywhere except the node of the failed attempt.
+    RetryOtherNode,
+    /// Give up; the task is permanently failed.
+    GiveUp,
+}
+
+/// Retry policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum execution attempts per task (including the first).
+    pub max_attempts: u32,
+    /// Whether the first retry sticks to the failing node (the COMPSs
+    /// behaviour described in the paper). When `false`, every retry avoids
+    /// the previous node.
+    pub same_node_first: bool,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts: original, same-node retry, other-node retry.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, same_node_first: true }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all — the "sequential application has a single point
+    /// of failure" behaviour the paper contrasts against.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, same_node_first: true }
+    }
+
+    /// Decide the follow-up to a failure of `attempt` (1-based).
+    /// `node_gone` signals the host died (no point retrying there).
+    pub fn on_failure(&self, attempt: u32, node_gone: bool) -> RetryDecision {
+        if attempt >= self.max_attempts {
+            return RetryDecision::GiveUp;
+        }
+        if node_gone {
+            return RetryDecision::RetryOtherNode;
+        }
+        if self.same_node_first && attempt == 1 {
+            RetryDecision::RetrySameNode
+        } else {
+            RetryDecision::RetryOtherNode
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_replays_the_paper_escalation() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.on_failure(1, false), RetryDecision::RetrySameNode);
+        assert_eq!(p.on_failure(2, false), RetryDecision::RetryOtherNode);
+        assert_eq!(p.on_failure(3, false), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn node_death_skips_same_node_retry() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.on_failure(1, true), RetryDecision::RetryOtherNode);
+    }
+
+    #[test]
+    fn none_gives_up_immediately() {
+        assert_eq!(RetryPolicy::none().on_failure(1, false), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn disabling_same_node_first_always_moves() {
+        let p = RetryPolicy { max_attempts: 5, same_node_first: false };
+        assert_eq!(p.on_failure(1, false), RetryDecision::RetryOtherNode);
+        assert_eq!(p.on_failure(4, false), RetryDecision::RetryOtherNode);
+        assert_eq!(p.on_failure(5, false), RetryDecision::GiveUp);
+    }
+}

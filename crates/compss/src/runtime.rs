@@ -1,0 +1,748 @@
+//! The runtime facade: submission, dependency resolution, synchronisation.
+//!
+//! This is the COMPSs runtime of the paper's Figure 1, minus the Java: the
+//! main program submits tasks ([`Runtime::submit`]), the runtime resolves
+//! data dependencies into a dynamic graph, schedules ready tasks onto the
+//! cluster through one of two backends, and the main program synchronises
+//! with [`Runtime::wait_on`] (the paper's `compss_wait_on`) or
+//! [`Runtime::barrier`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cluster::transfer::TransferModel;
+use cluster::{Cluster, FailureInjector, NodeSpec};
+use parking_lot::{Condvar, Mutex};
+use paratrace::TraceCollector;
+
+use crate::backend::sim::SimState;
+use crate::backend::threaded::{ExecQueue, WorkerPool};
+use crate::data::{DataHandle, DataRegistry, DataVersion, Producer, Value};
+use crate::fault::{RetryDecision, RetryPolicy};
+use crate::graph::{TaskGraph, TaskState};
+use crate::scheduler::{Placement, ReadyEntry, Scheduler};
+use crate::task::{ArgSpec, Constraint, TaskDef, TaskError, TaskFn, TaskId};
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The cluster to run on (real slot accounting for the threaded
+    /// backend, full virtual hardware for the simulated one).
+    pub cluster: Cluster,
+    /// `(node, cores)` reservations for the runtime worker process.
+    pub reserved_cores: Vec<(u32, u32)>,
+    /// Tracing flag — the paper's launch-time switch.
+    pub tracing: bool,
+    /// Graph-recording flag (DOT export); also toggleable like tracing.
+    pub graph: bool,
+    /// Fault-tolerance policy.
+    pub retry: RetryPolicy,
+    /// Failure injection plan.
+    pub failures: FailureInjector,
+    /// Assumed size of task values for the transfer model, bytes.
+    pub default_value_bytes: u64,
+    /// Default simulated duration of a task whose submission gives none.
+    pub default_sim_duration_us: u64,
+}
+
+impl RuntimeConfig {
+    /// A single node with `cores` CPU computing units — the typical
+    /// threaded-backend deployment.
+    pub fn single_node(cores: u32) -> Self {
+        RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::new("local", cores, Vec::new(), 64)))
+    }
+
+    /// Configuration over an arbitrary cluster, defaults everywhere else.
+    pub fn on_cluster(cluster: Cluster) -> Self {
+        RuntimeConfig {
+            cluster,
+            reserved_cores: Vec::new(),
+            tracing: true,
+            graph: true,
+            retry: RetryPolicy::default(),
+            failures: FailureInjector::none(),
+            default_value_bytes: 1024,
+            default_sim_duration_us: 1_000,
+        }
+    }
+
+    /// Reserve worker cores (chainable), e.g. the paper's half-node worker.
+    pub fn reserve(mut self, node: u32, cores: u32) -> Self {
+        self.reserved_cores.push((node, cores));
+        self
+    }
+
+    /// Set tracing (chainable).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Set failure injection (chainable).
+    pub fn with_failures(mut self, failures: FailureInjector) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Set the retry policy (chainable).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Per-submission options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SubmitOpts {
+    /// Simulated duration (virtual µs) of this task; ignored by the
+    /// threaded backend, which measures real time.
+    pub sim_duration_us: Option<u64>,
+}
+
+
+/// Result of a successful submission.
+#[derive(Debug, Clone)]
+pub struct SubmitResult {
+    /// The task instance id.
+    pub task: TaskId,
+    /// Handles for the task's return values (`@task(returns=n)`).
+    pub returns: Vec<DataHandle>,
+}
+
+/// Submission errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No node in the cluster can ever satisfy the constraint.
+    Unsatisfiable(Constraint),
+    /// An `In`/`InOut` argument references data that was never written and
+    /// has no pending producer.
+    UnwrittenData(DataHandle),
+    /// An argument references a handle from a different runtime.
+    UnknownData(DataHandle),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Unsatisfiable(c) => {
+                write!(f, "no node satisfies constraint {c:?}")
+            }
+            SubmitError::UnwrittenData(h) => write!(f, "data {h} has no value and no producer"),
+            SubmitError::UnknownData(h) => write!(f, "data {h} is not known to this runtime"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Synchronisation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The producing task failed permanently (retries exhausted).
+    ProducerFailed(DataHandle),
+    /// The data was never written and nothing pending will write it.
+    NeverWritten(DataHandle),
+    /// Handle from a different runtime.
+    UnknownData(DataHandle),
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::ProducerFailed(h) => write!(f, "producer of {h} failed permanently"),
+            WaitError::NeverWritten(h) => write!(f, "data {h} will never be written"),
+            WaitError::UnknownData(h) => write!(f, "data {h} is not known to this runtime"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks submitted.
+    pub submitted: u64,
+    /// Tasks completed successfully.
+    pub completed: u64,
+    /// Tasks that failed permanently.
+    pub failed: u64,
+    /// Failed execution attempts (each may have been retried).
+    pub failed_attempts: u64,
+    /// Makespan: last completion time, µs (virtual or wall).
+    pub makespan_us: u64,
+}
+
+/// How a resolved argument participates in dataflow.
+#[derive(Debug, Clone)]
+pub(crate) enum ResolvedArg {
+    Read(DataVersion),
+    Write(DataVersion),
+    ReadWrite { read: DataVersion, write: DataVersion },
+}
+
+/// A submitted task instance.
+pub(crate) struct Instance {
+    pub def: TaskDef,
+    pub args: Vec<ResolvedArg>,
+    pub returns: Vec<DataVersion>,
+    pub attempt: u32,
+    pub prefer_node: Option<u32>,
+    pub exclude_node: Option<u32>,
+    pub sim_duration_us: u64,
+    pub seq: u64,
+}
+
+impl Instance {
+    /// All versions this instance reads, in argument order.
+    pub fn reads(&self) -> Vec<DataVersion> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                ResolvedArg::Read(v) | ResolvedArg::ReadWrite { read: v, .. } => Some(*v),
+                ResolvedArg::Write(_) => None,
+            })
+            .collect()
+    }
+
+    /// All versions this instance writes: OUT/INOUT params then returns.
+    pub fn writes(&self) -> Vec<DataVersion> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                ResolvedArg::Write(v) | ResolvedArg::ReadWrite { write: v, .. } => Some(*v),
+                ResolvedArg::Read(_) => None,
+            })
+            .chain(self.returns.iter().copied())
+            .collect()
+    }
+}
+
+/// One in-flight execution.
+pub(crate) struct RunningExec {
+    pub task: TaskId,
+    pub placement: Placement,
+    pub constraint: Constraint,
+    pub attempt: u32,
+    pub start_us: u64,
+}
+
+/// Mutable runtime state, shared under one lock.
+pub(crate) struct Core {
+    pub data: DataRegistry,
+    pub graph: TaskGraph,
+    pub sched: Scheduler,
+    pub instances: HashMap<TaskId, Instance>,
+    pub running: HashMap<u64, RunningExec>,
+    pub poisoned: HashSet<DataVersion>,
+    pub sim: Option<SimState>,
+    pub exec_queue: ExecQueue,
+    pub next_task: u64,
+    pub next_seq: u64,
+    pub next_exec: u64,
+    pub unsettled: u64,
+    pub stats: RuntimeStats,
+}
+
+pub(crate) struct Shared {
+    pub core: Mutex<Core>,
+    pub cv: Condvar,
+    pub trace: Arc<TraceCollector>,
+    pub start: Instant,
+    pub retry: RetryPolicy,
+    pub failures: FailureInjector,
+    pub transfer: TransferModel,
+    pub graph_enabled: bool,
+}
+
+impl Shared {
+    /// Wall-clock µs since runtime start (threaded backend timeline).
+    pub fn wall_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+enum BackendHandle {
+    Threaded(WorkerPool),
+    Sim,
+}
+
+/// The runtime. Cheap to share behind `&`; internally synchronised.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    backend: BackendHandle,
+    default_sim_duration_us: u64,
+}
+
+impl Runtime {
+    /// Build a runtime on the threaded backend: tasks run on a real thread
+    /// pool with slot-accurate resource accounting.
+    pub fn threaded(cfg: RuntimeConfig) -> Runtime {
+        let shared = Self::make_shared(&cfg, false);
+        let pool = WorkerPool::start(Arc::clone(&shared), &cfg.cluster);
+        Runtime {
+            shared,
+            backend: BackendHandle::Threaded(pool),
+            default_sim_duration_us: cfg.default_sim_duration_us,
+        }
+    }
+
+    /// Build a runtime on the simulated backend: a deterministic
+    /// discrete-event execution over the virtual cluster.
+    pub fn simulated(cfg: RuntimeConfig) -> Runtime {
+        let shared = Self::make_shared(&cfg, true);
+        {
+            let mut core = shared.core.lock();
+            let mut sim = SimState::new();
+            for &(t, n) in shared.failures.node_failures() {
+                sim.schedule_node_failure(t, n);
+            }
+            core.sim = Some(sim);
+        }
+        Runtime {
+            shared,
+            backend: BackendHandle::Sim,
+            default_sim_duration_us: cfg.default_sim_duration_us,
+        }
+    }
+
+    fn make_shared(cfg: &RuntimeConfig, _sim: bool) -> Arc<Shared> {
+        let sched = Scheduler::new(&cfg.cluster, &cfg.reserved_cores);
+        Arc::new(Shared {
+            core: Mutex::new(Core {
+                data: DataRegistry::new(cfg.default_value_bytes),
+                graph: TaskGraph::new(),
+                sched,
+                instances: HashMap::new(),
+                running: HashMap::new(),
+                poisoned: HashSet::new(),
+                sim: None,
+                exec_queue: ExecQueue::new(),
+                next_task: 1,
+                next_seq: 0,
+                next_exec: 0,
+                unsettled: 0,
+                stats: RuntimeStats::default(),
+            }),
+            cv: Condvar::new(),
+            trace: Arc::new(TraceCollector::with_flag(cfg.tracing)),
+            start: Instant::now(),
+            retry: cfg.retry,
+            failures: cfg.failures.clone(),
+            transfer: TransferModel::for_cluster(&cfg.cluster),
+            graph_enabled: cfg.graph,
+        })
+    }
+
+    /// Register a task definition — the `@task`/`@constraint` decorators.
+    /// `returns` is the number of values the body yields *for its return
+    /// slots*; bodies must additionally yield one value per OUT/INOUT
+    /// argument, after the return slots.
+    pub fn register(
+        &self,
+        name: &str,
+        constraint: Constraint,
+        returns: usize,
+        body: impl Fn(&crate::task::TaskContext, &[Value]) -> Result<Vec<Value>, TaskError>
+            + Send
+            + Sync
+            + 'static,
+    ) -> TaskDef {
+        TaskDef {
+            name: name.into(),
+            constraint,
+            returns,
+            priority: false,
+            body: Arc::new(body) as Arc<TaskFn>,
+            alternatives: Vec::new(),
+        }
+    }
+
+    /// Create main-program data (e.g. a parsed config object).
+    pub fn literal<T: Send + Sync + 'static>(&self, v: T) -> DataHandle {
+        self.shared.core.lock().data.literal(Value::new(v))
+    }
+
+    /// Create a data item to be produced later via an `Out` parameter.
+    pub fn declare(&self) -> DataHandle {
+        self.shared.core.lock().data.declare()
+    }
+
+    /// Declare the transfer-model size of a data item.
+    pub fn set_data_bytes(&self, h: DataHandle, bytes: u64) {
+        self.shared.core.lock().data.set_bytes(h, bytes);
+    }
+
+    /// Submit with default options.
+    pub fn submit(&self, def: &TaskDef, args: Vec<ArgSpec>) -> Result<SubmitResult, SubmitError> {
+        self.submit_with(def, args, SubmitOpts::default())
+    }
+
+    /// Submit a task instance. Non-blocking: returns handles immediately,
+    /// execution is asynchronous.
+    pub fn submit_with(
+        &self,
+        def: &TaskDef,
+        args: Vec<ArgSpec>,
+        opts: SubmitOpts,
+    ) -> Result<SubmitResult, SubmitError> {
+        let mut core = self.shared.core.lock();
+        // With @implement alternatives a submission is admissible if ANY
+        // implementation could ever run somewhere.
+        if !def.variant_constraints().iter().any(|c| core.sched.satisfiable(c)) {
+            return Err(SubmitError::Unsatisfiable(def.constraint));
+        }
+        let id = TaskId(core.next_task);
+        let seq = core.next_seq;
+
+        // Resolve arguments: compute dependencies and version bumps.
+        let mut deps: Vec<(TaskId, DataVersion)> = Vec::new();
+        let mut resolved: Vec<ResolvedArg> = Vec::with_capacity(args.len());
+        for arg in &args {
+            let h = arg.handle();
+            if !core.data.knows(h) {
+                return Err(SubmitError::UnknownData(h));
+            }
+            match arg {
+                ArgSpec::In(_) | ArgSpec::InOut(_) => {
+                    let read = core.data.current_version(h);
+                    match core.data.producer(read) {
+                        None => return Err(SubmitError::UnwrittenData(h)),
+                        Some(Producer::Main) => {}
+                        Some(Producer::Task(t)) => {
+                            if core.graph.state(t) != Some(TaskState::Done) {
+                                deps.push((t, read));
+                            }
+                        }
+                    }
+                    if matches!(arg, ArgSpec::In(_)) {
+                        resolved.push(ResolvedArg::Read(read));
+                    } else {
+                        let write = core.data.new_version(h, Producer::Task(id));
+                        resolved.push(ResolvedArg::ReadWrite { read, write });
+                    }
+                }
+                ArgSpec::Out(_) => {
+                    let write = core.data.new_version(h, Producer::Task(id));
+                    resolved.push(ResolvedArg::Write(write));
+                }
+            }
+        }
+        let returns: Vec<DataVersion> = (0..def.returns)
+            .map(|_| {
+                let h = core.data.declare();
+                core.data.new_version(h, Producer::Task(id))
+            })
+            .collect();
+        let return_handles: Vec<DataHandle> = returns.iter().map(|v| v.handle).collect();
+
+        core.next_task += 1;
+        core.next_seq += 1;
+        core.unsettled += 1;
+        core.stats.submitted += 1;
+
+        let state = core.graph.add_task(id, &def.name, &deps);
+        core.instances.insert(
+            id,
+            Instance {
+                def: def.clone(),
+                args: resolved,
+                returns,
+                attempt: 1,
+                prefer_node: None,
+                exclude_node: None,
+                sim_duration_us: opts.sim_duration_us.unwrap_or(self.default_sim_duration_us),
+                seq,
+            },
+        );
+        // A read of an already-poisoned version (its producer failed
+        // permanently before this submission) can never be satisfied:
+        // propagate the failure to this task right away.
+        let reads_poisoned = core.instances[&id].reads().iter().any(|v| core.poisoned.contains(v));
+        if reads_poisoned {
+            fail_task_cascade(&mut core, id);
+        } else if state == TaskState::Ready {
+            core.sched.push_ready(ReadyEntry {
+                task: id,
+                constraint: def.constraint,
+                alternatives: def.alternatives.iter().map(|v| v.constraint).collect(),
+                priority: def.priority,
+                seq,
+                prefer_node: None,
+                exclude_node: None,
+            });
+        }
+
+        // Nudge the backend.
+        if let BackendHandle::Threaded(pool) = &self.backend {
+            pool.dispatch(&self.shared, &mut core);
+        }
+        drop(core);
+        Ok(SubmitResult { task: id, returns: return_handles })
+    }
+
+    /// The paper's `compss_wait_on`: block (or drive the simulation) until
+    /// the current version of `h` is available, then return its value.
+    pub fn wait_on(&self, h: &DataHandle) -> Result<Value, WaitError> {
+        let mut core = self.shared.core.lock();
+        if !core.data.knows(*h) {
+            return Err(WaitError::UnknownData(*h));
+        }
+        let target = core.data.current_version(*h);
+        if self.shared.graph_enabled {
+            core.graph.add_sync(target);
+        }
+        match &self.backend {
+            BackendHandle::Sim => {
+                crate::backend::sim::run_until(&self.shared, &mut core, |c| {
+                    c.data.is_ready(target) || c.poisoned.contains(&target)
+                });
+                self.finish_wait(&core, *h, target)
+            }
+            BackendHandle::Threaded(_) => loop {
+                if core.data.is_ready(target) || core.poisoned.contains(&target) {
+                    return self.finish_wait(&core, *h, target);
+                }
+                if core.data.producer(target).is_none() && core.graph.all_settled() {
+                    return Err(WaitError::NeverWritten(*h));
+                }
+                self.shared
+                    .cv
+                    .wait_for(&mut core, std::time::Duration::from_millis(100));
+            },
+        }
+    }
+
+    fn finish_wait(&self, core: &Core, h: DataHandle, target: DataVersion) -> Result<Value, WaitError> {
+        if core.poisoned.contains(&target) {
+            return Err(WaitError::ProducerFailed(h));
+        }
+        match core.data.get(target) {
+            Some(v) => Ok(v),
+            None => Err(WaitError::NeverWritten(h)),
+        }
+    }
+
+    /// Wait for every submitted task to settle (done or permanently failed).
+    pub fn barrier(&self) {
+        let mut core = self.shared.core.lock();
+        match &self.backend {
+            BackendHandle::Sim => {
+                crate::backend::sim::run_until(&self.shared, &mut core, |c| c.graph.all_settled());
+            }
+            BackendHandle::Threaded(_) => {
+                while !core.graph.all_settled() {
+                    self.shared
+                        .cv
+                        .wait_for(&mut core, std::time::Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    /// Current runtime time, µs: virtual for the simulated backend, wall
+    /// time since start for the threaded one.
+    pub fn now_us(&self) -> u64 {
+        let core = self.shared.core.lock();
+        match (&self.backend, &core.sim) {
+            (BackendHandle::Sim, Some(sim)) => sim.now(),
+            _ => self.shared.wall_us(),
+        }
+    }
+
+    /// Tracing flag accessor.
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.trace.is_enabled()
+    }
+
+    /// Snapshot the trace, including synthetic `RuntimeReserved` intervals
+    /// for worker-reserved cores so Gantt renders match the paper's figures.
+    pub fn trace(&self) -> Vec<paratrace::Record> {
+        let core = self.shared.core.lock();
+        let mut records = self.shared.trace.snapshot();
+        let horizon = records.iter().map(|r| r.end_time()).max().unwrap_or(0);
+        if horizon > 0 {
+            for &(node, c) in &core.sched.reserved {
+                records.push(paratrace::Record::State {
+                    core: paratrace::CoreId::new(node, c),
+                    start: 0,
+                    end: horizon,
+                    state: paratrace::StateKind::RuntimeReserved,
+                });
+            }
+        }
+        records.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
+        records
+    }
+
+    /// DOT rendering of the dependency graph (paper Figure 3).
+    pub fn dot(&self) -> String {
+        self.shared.core.lock().graph.to_dot()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.core.lock().stats.clone()
+    }
+
+    /// Ids of permanently-failed tasks.
+    pub fn failed_tasks(&self) -> Vec<TaskId> {
+        self.shared.core.lock().graph.tasks_in_state(TaskState::Failed)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if let BackendHandle::Threaded(pool) = &mut self.backend {
+            pool.shutdown();
+        }
+    }
+}
+
+/// Shared completion logic: store outputs or drive the retry policy.
+/// Returns the tasks that became ready. Called with the core locked, from
+/// either backend.
+pub(crate) fn complete_attempt(
+    shared: &Shared,
+    core: &mut Core,
+    exec_id: u64,
+    result: Result<Vec<Value>, TaskError>,
+    now_us: u64,
+    node_gone: bool,
+) {
+    let Some(run) = core.running.remove(&exec_id) else { return };
+    let task = run.task;
+    if !node_gone {
+        core.sched.release(&run.placement, &run.constraint);
+    }
+
+    // Consult the failure injector (deterministic chaos for tests/benches).
+    let injected = shared.failures.attempt_fails(task.0, run.attempt);
+    let outcome = if injected { Err(TaskError::new("injected failure")) } else { result };
+
+    match outcome {
+        Ok(values) => {
+            let inst = core.instances.get(&task).expect("instance exists");
+            let writes = inst.writes();
+            assert_eq!(
+                values.len(),
+                writes.len(),
+                "task '{}' returned {} values but declares {} outputs",
+                inst.def.name,
+                values.len(),
+                writes.len()
+            );
+            let node = run.placement.node;
+            for (v, value) in writes.iter().zip(values) {
+                core.data.put(*v, value);
+                core.data.add_location(*v, node);
+            }
+            core.stats.completed += 1;
+            core.stats.makespan_us = core.stats.makespan_us.max(now_us);
+            core.unsettled = core.unsettled.saturating_sub(1);
+            let newly_ready = core.graph.set_done(task);
+            for t in newly_ready {
+                let inst = &core.instances[&t];
+                core.sched.push_ready(ReadyEntry {
+                    task: t,
+                    constraint: inst.def.constraint,
+                    alternatives: inst.def.alternatives.iter().map(|v| v.constraint).collect(),
+                    priority: inst.def.priority,
+                    seq: inst.seq,
+                    prefer_node: inst.prefer_node,
+                    exclude_node: inst.exclude_node,
+                });
+            }
+        }
+        Err(err) => {
+            core.stats.failed_attempts += 1;
+            shared.trace.event(
+                paratrace::CoreId::new(run.placement.node, run.placement.cores.first().copied().unwrap_or(0)),
+                now_us,
+                paratrace::EventKind::TaskFailure {
+                    task: paratrace::TaskRef::new(task.0, core.instances[&task].def.name.to_string()),
+                    attempt: run.attempt,
+                },
+            );
+            match shared.retry.on_failure(run.attempt, node_gone) {
+                RetryDecision::GiveUp => {
+                    let _ = err;
+                    fail_task_cascade(core, task);
+                }
+                decision => {
+                    // "Move to another node" is only meaningful when some
+                    // other node could host the task; on a single capable
+                    // node the retry stays local instead of deadlocking.
+                    let other_exists = {
+                        let inst = &core.instances[&task];
+                        inst.def
+                            .variant_constraints()
+                            .iter()
+                            .any(|c| core.sched.satisfiable_excluding(c, run.placement.node))
+                    };
+                    let inst = core.instances.get_mut(&task).expect("instance exists");
+                    inst.attempt = run.attempt + 1;
+                    match decision {
+                        RetryDecision::RetrySameNode => {
+                            inst.prefer_node = Some(run.placement.node);
+                            inst.exclude_node = None;
+                        }
+                        RetryDecision::RetryOtherNode => {
+                            inst.prefer_node = None;
+                            inst.exclude_node = other_exists.then_some(run.placement.node);
+                        }
+                        RetryDecision::GiveUp => unreachable!(),
+                    }
+                    core.graph.set_ready(task);
+                    let inst = &core.instances[&task];
+                    core.sched.push_ready(ReadyEntry {
+                        task,
+                        constraint: inst.def.constraint,
+                        alternatives: inst.def.alternatives.iter().map(|v| v.constraint).collect(),
+                        priority: inst.def.priority,
+                        seq: inst.seq,
+                        prefer_node: inst.prefer_node,
+                        exclude_node: inst.exclude_node,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Permanently fail `task` and transitively fail all dependents, poisoning
+/// every version they would have produced ("the failure of task does not
+/// affect the other tasks unless there are some dependencies").
+pub(crate) fn fail_task_cascade(core: &mut Core, task: TaskId) {
+    let mut stack = vec![task];
+    let mut seen: HashSet<TaskId> = HashSet::new();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t) {
+            continue;
+        }
+        if core.graph.state(t) == Some(TaskState::Done) {
+            continue;
+        }
+        core.graph.set_failed(t);
+        core.stats.failed += 1;
+        core.unsettled = core.unsettled.saturating_sub(1);
+        let writes: Vec<DataVersion> = core.instances.get(&t).map(|i| i.writes()).unwrap_or_default();
+        for v in &writes {
+            core.poisoned.insert(*v);
+        }
+        // Any instance reading a poisoned version can never run.
+        let dependents: Vec<TaskId> = core
+            .instances
+            .iter()
+            .filter(|(id, inst)| {
+                !seen.contains(id)
+                    && !matches!(core.graph.state(**id), Some(TaskState::Done) | Some(TaskState::Failed))
+                    && inst.reads().iter().any(|v| writes.contains(v))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        stack.extend(dependents);
+    }
+}

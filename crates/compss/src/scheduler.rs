@@ -1,0 +1,555 @@
+//! Resource pool and ready-queue scheduling.
+//!
+//! The runtime "is able to schedule the tasks in the available computational
+//! resources, acting as an interface with the different computing resources"
+//! (paper §3). This module owns the cluster-side state: which cores/GPUs of
+//! which node are free, which are reserved for the runtime worker itself,
+//! and which ready task should start next.
+//!
+//! Placement policy, in order:
+//! 1. tasks flagged `priority=True` first (the paper's scheduler hint);
+//! 2. FIFO among equals (submission order);
+//! 3. among feasible nodes, prefer a retry's previous node when the retry
+//!    policy asks for it, avoid explicitly excluded nodes, then pick the
+//!    node holding the most input data (locality), then lowest node id.
+//!
+//! Cores and GPUs are allocated as explicit id sets, which is how the
+//! runtime enforces the CPU-affinity guarantee demonstrated in Figure 4.
+
+use std::collections::BTreeSet;
+
+use cluster::Cluster;
+
+use crate::task::{Constraint, TaskId};
+
+/// Per-node allocatable state.
+#[derive(Debug, Clone)]
+pub struct NodeResources {
+    /// Free CPU core ids.
+    pub free_cores: BTreeSet<u32>,
+    /// Free GPU ids.
+    pub free_gpus: BTreeSet<u32>,
+    /// Memory left, GiB.
+    pub free_mem_gib: u32,
+    /// Whether the node is alive.
+    pub alive: bool,
+    /// Relative per-core speed (from the node spec).
+    pub core_perf: f64,
+    /// Allocatable core count at full idle (total minus reserved).
+    pub capacity_cores: u32,
+    /// GPU count.
+    pub capacity_gpus: u32,
+    /// Memory capacity, GiB.
+    pub capacity_mem_gib: u32,
+}
+
+/// A concrete placement decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Primary node (rank 0 of a `@multinode` allocation).
+    pub node: u32,
+    /// Exact core ids granted on the primary node.
+    pub cores: Vec<u32>,
+    /// Exact GPU ids granted on the primary node.
+    pub gpus: Vec<u32>,
+    /// Which task implementation was chosen (0 = primary; the paper's
+    /// `@implement` alternatives follow).
+    pub variant: usize,
+    /// Additional nodes of a `@multinode` task: `(node, cores, gpus)`.
+    pub extra: Vec<(u32, Vec<u32>, Vec<u32>)>,
+}
+
+impl Placement {
+    /// Whether the placement uses `node` (primary or extra).
+    pub fn involves(&self, node: u32) -> bool {
+        self.node == node || self.extra.iter().any(|(n, _, _)| *n == node)
+    }
+
+    /// Every `(node, cores)` pair of the allocation, primary first.
+    pub fn node_cores(&self) -> Vec<(u32, &[u32])> {
+        std::iter::once((self.node, self.cores.as_slice()))
+            .chain(self.extra.iter().map(|(n, c, _)| (*n, c.as_slice())))
+            .collect()
+    }
+
+    /// All node ids, primary first.
+    pub fn nodes(&self) -> Vec<u32> {
+        self.node_cores().iter().map(|&(n, _)| n).collect()
+    }
+}
+
+/// An entry waiting in the ready queue.
+#[derive(Debug, Clone)]
+pub struct ReadyEntry {
+    /// The task.
+    pub task: TaskId,
+    /// Resource demand of the primary implementation.
+    pub constraint: Constraint,
+    /// Resource demands of `@implement` alternatives, tried after the
+    /// primary when a node can't host it.
+    pub alternatives: Vec<Constraint>,
+    /// Scheduler hint (paper: `priority=True`).
+    pub priority: bool,
+    /// Submission sequence for FIFO ordering.
+    pub seq: u64,
+    /// Retry placement preference (same node first).
+    pub prefer_node: Option<u32>,
+    /// Retry placement exclusion (failed there twice).
+    pub exclude_node: Option<u32>,
+}
+
+impl ReadyEntry {
+    /// Constraints of every implementation, primary first.
+    pub fn variant_constraints(&self) -> Vec<Constraint> {
+        std::iter::once(self.constraint).chain(self.alternatives.iter().copied()).collect()
+    }
+}
+
+/// The scheduler: node states + ready queue.
+#[derive(Debug)]
+pub struct Scheduler {
+    nodes: Vec<NodeResources>,
+    ready: Vec<ReadyEntry>,
+    /// Reserved `(node, core)` pairs, for rendering.
+    pub reserved: Vec<(u32, u32)>,
+}
+
+impl Scheduler {
+    /// Build from a cluster description, reserving `reserved_cores`
+    /// (node, n_cores) pairs for the runtime worker. Reserved cores get the
+    /// lowest ids, matching the `ClusterSim` convention.
+    pub fn new(cluster: &Cluster, reserved_cores: &[(u32, u32)]) -> Self {
+        let mut reserved_pairs = Vec::new();
+        let nodes = cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let reserve = reserved_cores
+                    .iter()
+                    .filter(|&&(n, _)| n == i as u32)
+                    .map(|&(_, c)| c)
+                    .sum::<u32>()
+                    .min(spec.cores);
+                for c in 0..reserve {
+                    reserved_pairs.push((i as u32, c));
+                }
+                NodeResources {
+                    free_cores: (reserve..spec.cores).collect(),
+                    free_gpus: (0..spec.gpu_count()).collect(),
+                    free_mem_gib: spec.mem_gib,
+                    alive: true,
+                    core_perf: spec.core_perf,
+                    capacity_cores: spec.cores - reserve,
+                    capacity_gpus: spec.gpu_count(),
+                    capacity_mem_gib: spec.mem_gib,
+                }
+            })
+            .collect();
+        Scheduler { nodes, ready: Vec::new(), reserved: reserved_pairs }
+    }
+
+    /// Whether the cluster could *ever* satisfy `c` (at full capacity,
+    /// ignoring current usage but honouring reservations). A `@multinode`
+    /// constraint needs `c.nodes` distinct capable nodes. Submissions that
+    /// fail this check can never run — the runtime rejects them.
+    pub fn satisfiable(&self, c: &Constraint) -> bool {
+        let capable = self
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.alive
+                    && n.capacity_cores >= c.cpus
+                    && n.capacity_gpus >= c.gpus
+                    && n.capacity_mem_gib >= c.mem_gib
+            })
+            .count();
+        capable >= c.nodes.max(1) as usize
+    }
+
+    /// Enqueue a ready task.
+    pub fn push_ready(&mut self, entry: ReadyEntry) {
+        self.ready.push(entry);
+    }
+
+    /// Number of tasks waiting for resources.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Pop the best placeable ready task, if any, together with its
+    /// placement. `locality` scores a `(task, node)` pair (higher = more
+    /// input data already resident).
+    pub fn pop_placeable(
+        &mut self,
+        locality: impl Fn(TaskId, u32) -> usize,
+    ) -> Option<(ReadyEntry, Placement)> {
+        // Order: priority desc, then seq asc. Scan in that order, take the
+        // first entry with a feasible (node, implementation) pair.
+        let mut order: Vec<usize> = (0..self.ready.len()).collect();
+        order.sort_by_key(|&i| (!self.ready[i].priority, self.ready[i].seq));
+        for idx in order {
+            let entry = &self.ready[idx];
+            if let Some((node, variant)) = self.choose_node(entry, &locality) {
+                let entry = self.ready.remove(idx);
+                let constraint = entry.variant_constraints()[variant];
+                let placement = self.allocate(node, &constraint, variant);
+                return Some((entry, placement));
+            }
+        }
+        None
+    }
+
+    /// Pick `(node, variant)` for `entry`: honour retry preference and
+    /// exclusion, then locality; on the chosen node take the *first*
+    /// implementation (primary before `@implement` alternatives) that fits.
+    fn choose_node(
+        &self,
+        entry: &ReadyEntry,
+        locality: &impl Fn(TaskId, u32) -> usize,
+    ) -> Option<(u32, usize)> {
+        let variants = entry.variant_constraints();
+        // Node `i` can host the per-node demand of `c` right now.
+        let node_fits = |i: u32, c: &Constraint| -> bool {
+            let n = &self.nodes[i as usize];
+            n.alive
+                && Some(i) != entry.exclude_node
+                && n.free_cores.len() >= c.cpus as usize
+                && n.free_gpus.len() >= c.gpus as usize
+                && n.free_mem_gib >= c.mem_gib
+        };
+        // First implementation placeable with `i` as the primary node; a
+        // @multinode constraint additionally needs `nodes - 1` other
+        // currently-fitting nodes.
+        let first_fitting = |i: u32| -> Option<usize> {
+            variants.iter().position(|c| {
+                node_fits(i, c)
+                    && (c.nodes <= 1
+                        || (0..self.nodes.len() as u32)
+                            .filter(|&j| j != i && node_fits(j, c))
+                            .count()
+                            >= c.nodes as usize - 1)
+            })
+        };
+        if let Some(p) = entry.prefer_node {
+            if let Some(v) = first_fitting(p) {
+                return Some((p, v));
+            }
+        }
+        (0..self.nodes.len() as u32)
+            .filter_map(|i| first_fitting(i).map(|v| (i, v)))
+            .max_by_key(|&(i, _)| (locality(entry.task, i), std::cmp::Reverse(i)))
+    }
+
+    /// Take `(cores, gpus, mem)` from one node's free pools.
+    fn take_from_node(&mut self, node: u32, c: &Constraint) -> (Vec<u32>, Vec<u32>) {
+        let n = &mut self.nodes[node as usize];
+        let cores: Vec<u32> = n.free_cores.iter().copied().take(c.cpus as usize).collect();
+        for core in &cores {
+            n.free_cores.remove(core);
+        }
+        let gpus: Vec<u32> = n.free_gpus.iter().copied().take(c.gpus as usize).collect();
+        for g in &gpus {
+            n.free_gpus.remove(g);
+        }
+        n.free_mem_gib -= c.mem_gib;
+        (cores, gpus)
+    }
+
+    fn allocate(&mut self, node: u32, c: &Constraint, variant: usize) -> Placement {
+        let (cores, gpus) = self.take_from_node(node, c);
+        let mut extra = Vec::new();
+        if c.nodes > 1 {
+            let others: Vec<u32> = (0..self.nodes.len() as u32)
+                .filter(|&j| {
+                    let n = &self.nodes[j as usize];
+                    j != node
+                        && n.alive
+                        && n.free_cores.len() >= c.cpus as usize
+                        && n.free_gpus.len() >= c.gpus as usize
+                        && n.free_mem_gib >= c.mem_gib
+                })
+                .take(c.nodes as usize - 1)
+                .collect();
+            debug_assert_eq!(others.len(), c.nodes as usize - 1, "choose_node vetted this");
+            for j in others {
+                let (jc, jg) = self.take_from_node(j, c);
+                extra.push((j, jc, jg));
+            }
+        }
+        Placement { node, cores, gpus, variant, extra }
+    }
+
+    /// Return the resources of a finished/killed placement to the pool.
+    /// Dead nodes are skipped.
+    pub fn release(&mut self, p: &Placement, c: &Constraint) {
+        let mut give_back = |node: u32, cores: &[u32], gpus: &[u32]| {
+            let n = &mut self.nodes[node as usize];
+            if !n.alive {
+                return;
+            }
+            n.free_cores.extend(cores.iter().copied());
+            n.free_gpus.extend(gpus.iter().copied());
+            n.free_mem_gib += c.mem_gib;
+        };
+        give_back(p.node, &p.cores, &p.gpus);
+        for (node, cores, gpus) in &p.extra {
+            give_back(*node, cores, gpus);
+        }
+    }
+
+    /// Kill a node: mark dead and wipe its free pools.
+    pub fn kill_node(&mut self, node: u32) {
+        if let Some(n) = self.nodes.get_mut(node as usize) {
+            n.alive = false;
+            n.free_cores.clear();
+            n.free_gpus.clear();
+            n.free_mem_gib = 0;
+        }
+    }
+
+    /// Whether `c` could be satisfied with `node` barred from being the
+    /// primary host. Used by the retry policy: "move to another node" only
+    /// makes sense when another capable node exists; otherwise the retry
+    /// stays local.
+    pub fn satisfiable_excluding(&self, c: &Constraint, node: u32) -> bool {
+        let capable = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| {
+                i as u32 != node
+                    && n.alive
+                    && n.capacity_cores >= c.cpus
+                    && n.capacity_gpus >= c.gpus
+                    && n.capacity_mem_gib >= c.mem_gib
+            })
+            .count();
+        capable >= c.nodes.max(1) as usize
+    }
+
+    /// Cores currently allocated to running tasks on `node`.
+    pub fn in_use_cores(&self, node: u32) -> u32 {
+        let n = &self.nodes[node as usize];
+        if n.alive {
+            n.capacity_cores - n.free_cores.len() as u32
+        } else {
+            0
+        }
+    }
+
+    /// GPUs currently allocated to running tasks on `node`.
+    pub fn in_use_gpus(&self, node: u32) -> u32 {
+        let n = &self.nodes[node as usize];
+        if n.alive {
+            n.capacity_gpus - n.free_gpus.len() as u32
+        } else {
+            0
+        }
+    }
+
+    /// Direct access for tests and backends.
+    pub fn node(&self, node: u32) -> &NodeResources {
+        &self.nodes[node as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::NodeSpec;
+
+    fn sched(nodes: usize) -> Scheduler {
+        Scheduler::new(&Cluster::homogeneous(nodes, NodeSpec::marenostrum4()), &[])
+    }
+
+    fn entry(task: u64, cpus: u32, seq: u64) -> ReadyEntry {
+        ReadyEntry {
+            task: TaskId(task),
+            constraint: Constraint::cpus(cpus),
+            alternatives: Vec::new(),
+            priority: false,
+            seq,
+            prefer_node: None,
+            exclude_node: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_without_priority() {
+        let mut s = sched(1);
+        s.push_ready(entry(1, 1, 1));
+        s.push_ready(entry(2, 1, 0));
+        let (e, _) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(e.task, TaskId(2), "lower seq first");
+    }
+
+    #[test]
+    fn priority_jumps_the_queue() {
+        let mut s = sched(1);
+        s.push_ready(entry(1, 1, 0));
+        let mut p = entry(2, 1, 1);
+        p.priority = true;
+        s.push_ready(p);
+        let (e, _) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(e.task, TaskId(2));
+    }
+
+    #[test]
+    fn allocation_grants_disjoint_core_sets() {
+        let mut s = sched(1);
+        s.push_ready(entry(1, 4, 0));
+        s.push_ready(entry(2, 4, 1));
+        let (_, p1) = s.pop_placeable(|_, _| 0).unwrap();
+        let (_, p2) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(p1.cores.len(), 4);
+        assert_eq!(p2.cores.len(), 4);
+        assert!(p1.cores.iter().all(|c| !p2.cores.contains(c)), "disjoint affinity");
+    }
+
+    #[test]
+    fn exhausted_node_defers_tasks() {
+        let mut s = sched(1); // 48 cores
+        s.push_ready(entry(1, 48, 0));
+        s.push_ready(entry(2, 1, 1));
+        let (e1, p1) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(e1.task, TaskId(1));
+        assert!(s.pop_placeable(|_, _| 0).is_none(), "node full");
+        s.release(&p1, &e1.constraint);
+        let (e2, _) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(e2.task, TaskId(2));
+    }
+
+    #[test]
+    fn full_node_does_not_block_smaller_later_task() {
+        // Task 1 wants 48 cores but 4 are taken; task 2 wants 4 and fits.
+        let mut s = sched(1);
+        s.push_ready(entry(0, 4, 0));
+        let _ = s.pop_placeable(|_, _| 0).unwrap();
+        s.push_ready(entry(1, 48, 1));
+        s.push_ready(entry(2, 4, 2));
+        let (e, _) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(e.task, TaskId(2), "backfilling keeps the node busy");
+        assert_eq!(s.ready_len(), 1);
+    }
+
+    #[test]
+    fn reservation_shrinks_and_labels_cores() {
+        let cluster = Cluster::homogeneous(1, NodeSpec::marenostrum4());
+        let s = Scheduler::new(&cluster, &[(0, 24)]);
+        assert_eq!(s.node(0).free_cores.len(), 24);
+        assert!(s.node(0).free_cores.iter().all(|&c| c >= 24));
+        assert_eq!(s.reserved.len(), 24);
+        assert!(s.satisfiable(&Constraint::cpus(24)));
+        assert!(!s.satisfiable(&Constraint::cpus(25)), "reservation caps capacity");
+    }
+
+    #[test]
+    fn satisfiable_considers_gpus_and_memory() {
+        let s = sched(2);
+        assert!(s.satisfiable(&Constraint::cpus(48)));
+        assert!(!s.satisfiable(&Constraint::cpus(49)));
+        assert!(!s.satisfiable(&Constraint::cpus(1).with_gpus(1)), "MN4 has no GPUs");
+        assert!(!s.satisfiable(&Constraint::cpus(1).with_mem_gib(1000)));
+        let gpu = Scheduler::new(&Cluster::homogeneous(1, NodeSpec::cte_power9()), &[]);
+        assert!(gpu.satisfiable(&Constraint::cpus(1).with_gpus(4)));
+        assert!(!gpu.satisfiable(&Constraint::cpus(1).with_gpus(5)));
+    }
+
+    #[test]
+    fn prefer_and_exclude_nodes() {
+        let mut s = sched(3);
+        let mut e = entry(1, 1, 0);
+        e.prefer_node = Some(2);
+        s.push_ready(e);
+        let (_, p) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(p.node, 2);
+
+        let mut e = entry(2, 1, 1);
+        e.exclude_node = Some(0);
+        s.push_ready(e);
+        let (_, p) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_ne!(p.node, 0);
+    }
+
+    #[test]
+    fn locality_breaks_ties() {
+        let mut s = sched(3);
+        s.push_ready(entry(1, 1, 0));
+        let (_, p) = s.pop_placeable(|_, node| if node == 1 { 5 } else { 0 }).unwrap();
+        assert_eq!(p.node, 1, "node with resident data wins");
+    }
+
+    #[test]
+    fn killed_node_is_skipped_and_release_is_noop() {
+        let mut s = sched(2);
+        s.push_ready(entry(1, 1, 0));
+        let (e, p) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(p.node, 0, "lowest id by default");
+        s.kill_node(0);
+        s.release(&p, &e.constraint); // must not resurrect cores
+        assert_eq!(s.node(0).free_cores.len(), 0);
+        s.push_ready(entry(2, 1, 1));
+        let (_, p2) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(p2.node, 1);
+        assert!(!s.satisfiable(&Constraint::cpus(48)) || s.node(1).alive);
+    }
+
+    #[test]
+    fn multinode_entry_takes_whole_node_set() {
+        let mut s = sched(3); // 3 × 48-core MN4 nodes
+        let mut e = entry(1, 48, 0);
+        e.constraint = Constraint::multinode(2, 48);
+        s.push_ready(e);
+        let (_, p) = s.pop_placeable(|_, _| 0).unwrap();
+        assert_eq!(p.cores.len(), 48);
+        assert_eq!(p.extra.len(), 1);
+        assert_eq!(p.extra[0].1.len(), 48);
+        assert_eq!(p.nodes().len(), 2);
+        assert!(p.involves(p.node));
+        assert!(p.involves(p.extra[0].0));
+        // only one free node left: a second 2-node task cannot start
+        let mut e2 = entry(2, 48, 1);
+        e2.constraint = Constraint::multinode(2, 48);
+        s.push_ready(e2);
+        assert!(s.pop_placeable(|_, _| 0).is_none());
+        // release frees both nodes
+        s.release(&p, &Constraint::multinode(2, 48));
+        assert!(s.pop_placeable(|_, _| 0).is_some());
+    }
+
+    #[test]
+    fn multinode_satisfiability_counts_capable_nodes() {
+        let s = sched(3);
+        assert!(s.satisfiable(&Constraint::multinode(3, 48)));
+        assert!(!s.satisfiable(&Constraint::multinode(4, 1)));
+        assert!(s.satisfiable_excluding(&Constraint::multinode(2, 48), 0));
+        assert!(!s.satisfiable_excluding(&Constraint::multinode(3, 48), 0));
+    }
+
+    #[test]
+    fn gpu_allocation_tracks_ids() {
+        let mut s = Scheduler::new(&Cluster::homogeneous(1, NodeSpec::cte_power9()), &[]);
+        let mut taken = Vec::new();
+        for i in 0..4 {
+            let mut e = entry(i, 1, i);
+            e.constraint = Constraint::cpus(1).with_gpus(1);
+            s.push_ready(e);
+            let (_, p) = s.pop_placeable(|_, _| 0).unwrap();
+            assert_eq!(p.gpus.len(), 1);
+            taken.push(p.gpus[0]);
+        }
+        taken.sort_unstable();
+        assert_eq!(taken, vec![0, 1, 2, 3]);
+        // fifth GPU task can't start
+        let mut e = entry(9, 1, 9);
+        e.constraint = Constraint::cpus(1).with_gpus(1);
+        s.push_ready(e);
+        assert!(s.pop_placeable(|_, _| 0).is_none());
+    }
+}

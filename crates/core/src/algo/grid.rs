@@ -1,0 +1,169 @@
+//! Exhaustive grid search — "trying out all possible combinations and
+//! comparing the result using a metric such as loss or accuracy" (paper §2).
+
+use crate::algo::Suggester;
+use crate::results::TrialResult;
+use crate::space::{Config, SearchSpace};
+
+/// Enumerates the cartesian product of every discrete domain, in
+/// row-major order (last declared parameter varies fastest).
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    space: SearchSpace,
+    sizes: Vec<usize>,
+    next: usize,
+    total: usize,
+}
+
+impl GridSearch {
+    /// Build over `space`.
+    ///
+    /// # Panics
+    /// Panics if the space contains a continuous domain — exhaustive grid
+    /// search "becomes impossible and unrealistic with a larger search
+    /// space" (paper §2), and an infinite one is the limit case.
+    pub fn new(space: &SearchSpace) -> Self {
+        let sizes: Vec<usize> = space
+            .params()
+            .iter()
+            .map(|(name, d)| {
+                d.grid_size().unwrap_or_else(|| {
+                    panic!("grid search needs discrete domains; '{name}' is continuous")
+                })
+            })
+            .collect();
+        let total = sizes.iter().product::<usize>();
+        GridSearch { space: space.clone(), sizes, next: 0, total }
+    }
+
+    /// Number of configurations in the grid.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The `i`-th configuration of the grid.
+    pub fn config_at(&self, i: usize) -> Option<Config> {
+        if i >= self.total || self.total == 0 {
+            return None;
+        }
+        let mut cfg = Config::new();
+        let mut rem = i;
+        // last parameter varies fastest
+        for (idx, (name, domain)) in self.space.params().iter().enumerate().rev() {
+            let n = self.sizes[idx];
+            let k = rem % n;
+            rem /= n;
+            cfg.set(name, domain.grid_value(k).expect("index in range"));
+        }
+        Some(cfg)
+    }
+}
+
+impl Suggester for GridSearch {
+    fn suggest(&mut self, _history: &[TrialResult]) -> Option<Config> {
+        let cfg = self.config_at(self.next)?;
+        self.next += 1;
+        Some(cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ConfigValue, ParamDomain};
+
+    #[test]
+    fn enumerates_the_full_product_once() {
+        let space = SearchSpace::paper_grid();
+        let mut g = GridSearch::new(&space);
+        assert_eq!(g.total(), 27);
+        let mut seen = Vec::new();
+        while let Some(c) = g.suggest(&[]) {
+            assert!(space.contains(&c));
+            seen.push(c.label());
+        }
+        assert_eq!(seen.len(), 27);
+        let mut dedup = seen.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 27, "no duplicates");
+    }
+
+    #[test]
+    fn last_parameter_varies_fastest() {
+        let space = SearchSpace::new()
+            .with("a", ParamDomain::choice_ints(&[0, 1]))
+            .with("b", ParamDomain::choice_ints(&[10, 20]));
+        let mut g = GridSearch::new(&space);
+        let order: Vec<(i64, i64)> = std::iter::from_fn(|| g.suggest(&[]))
+            .map(|c| (c.get_int("a").unwrap(), c.get_int("b").unwrap()))
+            .collect();
+        assert_eq!(order, vec![(0, 10), (0, 20), (1, 10), (1, 20)]);
+    }
+
+    #[test]
+    fn config_at_random_access_matches_iteration() {
+        let space = SearchSpace::paper_grid();
+        let mut g = GridSearch::new(&space);
+        let by_iter: Vec<Config> = std::iter::from_fn(|| g.suggest(&[])).collect();
+        let g2 = GridSearch::new(&space);
+        for (i, c) in by_iter.iter().enumerate() {
+            assert_eq!(g2.config_at(i).as_ref(), Some(c));
+        }
+        assert_eq!(g2.config_at(27), None);
+    }
+
+    #[test]
+    fn int_range_participates_in_grid() {
+        let space = SearchSpace::new()
+            .with("h", ParamDomain::IntRange { min: 16, max: 48, step: 16 })
+            .with("o", ParamDomain::choice_strs(&["a"]));
+        let mut g = GridSearch::new(&space);
+        let hs: Vec<i64> =
+            std::iter::from_fn(|| g.suggest(&[])).map(|c| c.get_int("h").unwrap()).collect();
+        assert_eq!(hs, vec![16, 32, 48]);
+    }
+
+    #[test]
+    fn empty_domain_empties_the_grid() {
+        let space = SearchSpace::new()
+            .with("a", ParamDomain::Choice(vec![]))
+            .with("b", ParamDomain::choice_ints(&[1, 2]));
+        let mut g = GridSearch::new(&space);
+        assert_eq!(g.total(), 0);
+        assert!(g.suggest(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous")]
+    fn continuous_domain_rejected() {
+        let space =
+            SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-4, max: 1e-1 });
+        let _ = GridSearch::new(&space);
+    }
+
+    #[test]
+    fn empty_space_yields_one_empty_config() {
+        // The product of zero domains has exactly one element: the empty
+        // assignment. Matches the mathematical convention and lets callers
+        // run a single baseline trial from an empty JSON object.
+        let mut g = GridSearch::new(&SearchSpace::new());
+        assert_eq!(g.total(), 1);
+        let c = g.suggest(&[]).unwrap();
+        assert!(c.is_empty());
+        assert!(g.suggest(&[]).is_none());
+    }
+
+    #[test]
+    fn suggester_metadata() {
+        let g = GridSearch::new(&SearchSpace::paper_grid());
+        assert_eq!(g.name(), "grid");
+        assert_eq!(g.parallelism(), usize::MAX, "embarrassingly parallel");
+        let cv = g.config_at(0).unwrap();
+        assert_eq!(cv.get("optimizer").cloned(), Some(ConfigValue::Str("Adam".into())));
+    }
+}

@@ -1,0 +1,66 @@
+//! Search algorithms.
+//!
+//! The paper implements grid search and random search "to demonstrate the
+//! usage" and promises, as future work, "a library that puts together all
+//! key algorithms in HPO" (§7). This module delivers both: [`grid`] and
+//! [`random`] are the paper's §4 algorithms; [`tpe`] (Tree-structured Parzen
+//! Estimator, the Bergstra et al. algorithm the paper's §2 discusses) and
+//! [`hyperband`] (successive halving) are the promised extensions.
+//!
+//! [`bayes`] adds the Gaussian-process approach of Snoek et al. that §2
+//! surveys. Every algorithm implements [`Suggester`], which the
+//! [`crate::runner::HpoRunner`] drives: it pulls up to
+//! [`Suggester::parallelism`] suggestions, runs them as parallel rcompss
+//! tasks, feeds results back, and repeats.
+
+pub mod bayes;
+pub mod grid;
+pub mod hyperband;
+pub mod random;
+pub mod tpe;
+
+use crate::results::TrialResult;
+use crate::space::Config;
+
+/// A source of hyperparameter configurations.
+pub trait Suggester {
+    /// Propose the next config given the results observed so far, or `None`
+    /// when the algorithm is exhausted.
+    fn suggest(&mut self, history: &[TrialResult]) -> Option<Config>;
+
+    /// How many suggestions may be taken *between* result feedbacks.
+    /// Grid/random are embarrassingly parallel (`usize::MAX`); model-based
+    /// algorithms like TPE want small batches.
+    fn parallelism(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+
+    /// Any suggester must respect its space and terminate.
+    fn drains<S: Suggester>(mut s: S, space: &SearchSpace, max: usize) -> usize {
+        let mut n = 0;
+        while let Some(cfg) = s.suggest(&[]) {
+            assert!(space.contains(&cfg), "{} escaped the space: {}", s.name(), cfg.label());
+            n += 1;
+            assert!(n <= max, "{} never terminates", s.name());
+        }
+        n
+    }
+
+    #[test]
+    fn all_algorithms_stay_in_space_and_terminate() {
+        let space = SearchSpace::paper_grid();
+        assert_eq!(drains(grid::GridSearch::new(&space), &space, 27), 27);
+        assert_eq!(drains(random::RandomSearch::new(&space, 40, 7), &space, 40), 40);
+        assert_eq!(drains(tpe::TpeSearch::new(&space, 15, 7), &space, 15), 15);
+        assert_eq!(drains(bayes::BayesSearch::new(&space, 15, 7), &space, 15), 15);
+    }
+}

@@ -1,0 +1,158 @@
+//! Random search — Bergstra & Bengio's algorithm: "rather than search
+//! through the entire search space, combinations of parameters are picked
+//! randomly. Empirical results show that random search is more efficient
+//! than grid search" (paper §2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::algo::Suggester;
+use crate::results::TrialResult;
+use crate::space::{Config, ConfigValue, ParamDomain, SearchSpace};
+
+/// Samples `n_trials` independent configurations, deterministically from a
+/// seed.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: SearchSpace,
+    remaining: usize,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Sample `n_trials` configs from `space` using `seed`.
+    pub fn new(space: &SearchSpace, n_trials: usize, seed: u64) -> Self {
+        RandomSearch { space: space.clone(), remaining: n_trials, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draw one value from a domain.
+    pub(crate) fn sample_domain(rng: &mut StdRng, domain: &ParamDomain) -> Option<ConfigValue> {
+        match domain {
+            ParamDomain::Choice(vals) => {
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals[rng.gen_range(0..vals.len())].clone())
+                }
+            }
+            ParamDomain::IntRange { .. } => {
+                let n = domain.grid_size()?;
+                if n == 0 {
+                    None
+                } else {
+                    domain.grid_value(rng.gen_range(0..n))
+                }
+            }
+            ParamDomain::Uniform { min, max } => Some(ConfigValue::Float(rng.gen_range(*min..=*max))),
+            ParamDomain::LogUniform { min, max } => {
+                let (lo, hi) = (min.ln(), max.ln());
+                Some(ConfigValue::Float(rng.gen_range(lo..=hi).exp()))
+            }
+        }
+    }
+
+    fn sample(&mut self) -> Option<Config> {
+        let mut cfg = Config::new();
+        for (name, domain) in self.space.params() {
+            cfg.set(name, Self::sample_domain(&mut self.rng, domain)?);
+        }
+        Some(cfg)
+    }
+}
+
+impl Suggester for RandomSearch {
+    fn suggest(&mut self, _history: &[TrialResult]) -> Option<Config> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.sample() {
+            Some(cfg) => {
+                self.remaining -= 1;
+                Some(cfg)
+            }
+            None => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_requested_count_inside_space() {
+        let space = SearchSpace::paper_grid();
+        let mut r = RandomSearch::new(&space, 50, 3);
+        let mut n = 0;
+        while let Some(c) = r.suggest(&[]) {
+            assert!(space.contains(&c), "escaped: {}", c.label());
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let space = SearchSpace::paper_grid();
+        let seq = |seed| {
+            let mut r = RandomSearch::new(&space, 10, seed);
+            std::iter::from_fn(move || r.suggest(&[])).map(|c| c.label()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(5), seq(5));
+        assert_ne!(seq(5), seq(6));
+    }
+
+    #[test]
+    fn continuous_domains_sample_in_bounds() {
+        let space = SearchSpace::new()
+            .with("lr", ParamDomain::LogUniform { min: 1e-5, max: 1e-1 })
+            .with("m", ParamDomain::Uniform { min: 0.5, max: 0.9 });
+        let mut r = RandomSearch::new(&space, 200, 11);
+        let mut lrs = Vec::new();
+        while let Some(c) = r.suggest(&[]) {
+            let lr = c.get_float("lr").unwrap();
+            let m = c.get_float("m").unwrap();
+            assert!((1e-5..=1e-1).contains(&lr));
+            assert!((0.5..=0.9).contains(&m));
+            lrs.push(lr);
+        }
+        // log-uniform: a decent share of samples below the arithmetic
+        // midpoint (0.05) — uniform sampling would put ~50% above it.
+        let below_1e_3 = lrs.iter().filter(|&&x| x < 1e-3).count();
+        assert!(below_1e_3 > 60, "log-uniform spreads small values: {below_1e_3}/200");
+    }
+
+    #[test]
+    fn empty_choice_terminates_gracefully() {
+        let space = SearchSpace::new().with("a", ParamDomain::Choice(vec![]));
+        let mut r = RandomSearch::new(&space, 10, 0);
+        assert!(r.suggest(&[]).is_none());
+        assert!(r.suggest(&[]).is_none());
+    }
+
+    #[test]
+    fn zero_trials_yields_nothing() {
+        let mut r = RandomSearch::new(&SearchSpace::paper_grid(), 0, 0);
+        assert!(r.suggest(&[]).is_none());
+    }
+
+    #[test]
+    fn covers_the_grid_reasonably() {
+        // With 27 cells and 100 samples, most cells should be visited —
+        // sanity check that sampling isn't biased to a corner.
+        let space = SearchSpace::paper_grid();
+        let mut r = RandomSearch::new(&space, 100, 42);
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(c) = r.suggest(&[]) {
+            seen.insert(c.label());
+        }
+        assert!(seen.len() >= 20, "only {} of 27 cells visited", seen.len());
+    }
+}

@@ -1,0 +1,324 @@
+//! Tree-structured Parzen Estimator (TPE).
+//!
+//! The model-based algorithm of Bergstra et al. (NIPS 2011) that the paper's
+//! §2 surveys and its §7 earmarks for the follow-up library. TPE maximises
+//! the objective by splitting past trials into a *good* set (top `gamma`
+//! quantile by accuracy) and a *bad* set, modelling a density for each
+//! (`l(x)` over good, `g(x)` over bad), then proposing the candidate that
+//! maximises `l(x)/g(x)`:
+//!
+//! * categorical/discrete domains use add-one-smoothed category frequencies;
+//! * continuous domains use Parzen windows (Gaussian kernel mixtures over
+//!   the observed values, in log space for log-uniform domains);
+//! * the first `n_startup` suggestions are plain random search (no model
+//!   without data).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::algo::random::RandomSearch;
+use crate::algo::Suggester;
+use crate::results::TrialResult;
+use crate::space::{Config, ConfigValue, ParamDomain, SearchSpace};
+
+/// TPE suggester.
+#[derive(Debug, Clone)]
+pub struct TpeSearch {
+    space: SearchSpace,
+    remaining: usize,
+    rng: StdRng,
+    /// Fraction of history treated as "good" (default 0.25).
+    pub gamma: f64,
+    /// Candidates scored per suggestion (default 24).
+    pub n_candidates: usize,
+    /// Random-search warm-up trials (default 5).
+    pub n_startup: usize,
+    issued: usize,
+}
+
+impl TpeSearch {
+    /// TPE over `space` for `n_trials` suggestions, seeded.
+    pub fn new(space: &SearchSpace, n_trials: usize, seed: u64) -> Self {
+        TpeSearch {
+            space: space.clone(),
+            remaining: n_trials,
+            rng: StdRng::seed_from_u64(seed),
+            gamma: 0.25,
+            n_candidates: 24,
+            n_startup: 5,
+            issued: 0,
+        }
+    }
+
+    /// Split history into (good, bad) by accuracy quantile.
+    fn split<'a>(&self, history: &'a [TrialResult]) -> (Vec<&'a TrialResult>, Vec<&'a TrialResult>) {
+        let mut sorted: Vec<&TrialResult> = history.iter().collect();
+        sorted.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
+        let n_good = ((history.len() as f64 * self.gamma).ceil() as usize).clamp(1, history.len());
+        let good = sorted[..n_good].to_vec();
+        let bad = sorted[n_good..].to_vec();
+        (good, bad)
+    }
+
+    /// Density of `value` under a categorical model built from `obs`.
+    fn categorical_density(domain_size: usize, obs: &[&ConfigValue], value: &ConfigValue) -> f64 {
+        let count = obs.iter().filter(|&&o| o == value).count();
+        (count as f64 + 1.0) / (obs.len() as f64 + domain_size as f64)
+    }
+
+    /// Parzen (Gaussian-mixture) density at `x` from observations `obs`
+    /// over a domain of width `width`.
+    fn parzen_density(obs: &[f64], x: f64, width: f64) -> f64 {
+        if obs.is_empty() {
+            return 1.0 / width.max(f64::MIN_POSITIVE);
+        }
+        let bw = (width / (obs.len() as f64).sqrt()).max(width * 0.01).max(1e-12);
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * bw * obs.len() as f64);
+        obs.iter().map(|&o| (-0.5 * ((x - o) / bw).powi(2)).exp()).sum::<f64>() * norm
+    }
+
+    /// Sample a value for `domain` from the model over `good` observations.
+    fn sample_from_good(
+        &mut self,
+        name: &str,
+        domain: &ParamDomain,
+        good: &[&TrialResult],
+    ) -> Option<ConfigValue> {
+        // With probability proportional to prior, sometimes explore.
+        if good.is_empty() || self.rng.gen_bool(0.2) {
+            return RandomSearch::sample_domain(&mut self.rng, domain);
+        }
+        let pick = good[self.rng.gen_range(0..good.len())].config.get(name)?.clone();
+        match domain {
+            ParamDomain::Choice(_) | ParamDomain::IntRange { .. } => Some(pick),
+            ParamDomain::Uniform { min, max } => {
+                let x = pick.as_float()?;
+                let bw = (max - min) / (good.len() as f64).sqrt();
+                let jittered = x + bw * self.gauss();
+                Some(ConfigValue::Float(jittered.clamp(*min, *max)))
+            }
+            ParamDomain::LogUniform { min, max } => {
+                let x = pick.as_float()?.ln();
+                let bw = (max.ln() - min.ln()) / (good.len() as f64).sqrt();
+                let jittered = (x + bw * self.gauss()).exp();
+                Some(ConfigValue::Float(jittered.clamp(*min, *max)))
+            }
+        }
+    }
+
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// log(l(cfg)/g(cfg)) summed over parameters.
+    fn score(&self, cfg: &Config, good: &[&TrialResult], bad: &[&TrialResult]) -> f64 {
+        let mut total = 0.0;
+        for (name, domain) in self.space.params() {
+            let Some(v) = cfg.get(name) else { continue };
+            let goods: Vec<&ConfigValue> = good.iter().filter_map(|t| t.config.get(name)).collect();
+            let bads: Vec<&ConfigValue> = bad.iter().filter_map(|t| t.config.get(name)).collect();
+            let (l, g) = match domain {
+                ParamDomain::Choice(vals) => (
+                    Self::categorical_density(vals.len().max(1), &goods, v),
+                    Self::categorical_density(vals.len().max(1), &bads, v),
+                ),
+                ParamDomain::IntRange { .. } => {
+                    let n = domain.grid_size().unwrap_or(1).max(1);
+                    (
+                        Self::categorical_density(n, &goods, v),
+                        Self::categorical_density(n, &bads, v),
+                    )
+                }
+                ParamDomain::Uniform { min, max } => {
+                    let x = v.as_float().unwrap_or(*min);
+                    let gs: Vec<f64> = goods.iter().filter_map(|v| v.as_float()).collect();
+                    let bs: Vec<f64> = bads.iter().filter_map(|v| v.as_float()).collect();
+                    let w = max - min;
+                    (Self::parzen_density(&gs, x, w), Self::parzen_density(&bs, x, w))
+                }
+                ParamDomain::LogUniform { min, max } => {
+                    let x = v.as_float().unwrap_or(*min).ln();
+                    let gs: Vec<f64> =
+                        goods.iter().filter_map(|v| v.as_float()).map(f64::ln).collect();
+                    let bs: Vec<f64> =
+                        bads.iter().filter_map(|v| v.as_float()).map(f64::ln).collect();
+                    let w = max.ln() - min.ln();
+                    (Self::parzen_density(&gs, x, w), Self::parzen_density(&bs, x, w))
+                }
+            };
+            total += (l.max(1e-12)).ln() - (g.max(1e-12)).ln();
+        }
+        total
+    }
+}
+
+impl Suggester for TpeSearch {
+    fn suggest(&mut self, history: &[TrialResult]) -> Option<Config> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let cfg = if self.issued < self.n_startup || history.len() < 2 {
+            // warm-up: plain random sampling
+            let mut c = Config::new();
+            for (name, domain) in self.space.clone().params() {
+                c.set(name, RandomSearch::sample_domain(&mut self.rng, domain)?);
+            }
+            c
+        } else {
+            let (good, bad) = self.split(history);
+            let mut best: Option<(f64, Config)> = None;
+            for _ in 0..self.n_candidates {
+                let mut cand = Config::new();
+                for (name, domain) in self.space.clone().params() {
+                    cand.set(name, self.sample_from_good(name, domain, &good)?);
+                }
+                let s = self.score(&cand, &good, &bad);
+                if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
+                    best = Some((s, cand));
+                }
+            }
+            best?.1
+        };
+        self.issued += 1;
+        self.remaining -= 1;
+        Some(cfg)
+    }
+
+    fn parallelism(&self) -> usize {
+        // model-based: evaluate in small batches so the model sees feedback
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "tpe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrialOutcome;
+
+    fn trial(space: &SearchSpace, cfg: Config, acc: f64) -> TrialResult {
+        let _ = space;
+        TrialResult { config: cfg, outcome: TrialOutcome::with_accuracy(acc), task_us: 0 }
+    }
+
+    /// Synthetic objective: accuracy = 1 - |lr - 0.01|·10, best at lr≈0.01.
+    fn lr_objective(cfg: &Config) -> f64 {
+        let lr = cfg.get_float("lr").unwrap();
+        (1.0 - (lr.log10() - (-2.0)).abs() / 4.0).max(0.0)
+    }
+
+    #[test]
+    fn warmup_is_random_then_model_kicks_in() {
+        let space =
+            SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-5, max: 1e-1 });
+        let mut tpe = TpeSearch::new(&space, 40, 9);
+        let mut history: Vec<TrialResult> = Vec::new();
+        while let Some(cfg) = tpe.suggest(&history) {
+            let acc = lr_objective(&cfg);
+            history.push(trial(&space, cfg, acc));
+        }
+        assert_eq!(history.len(), 40);
+        // late suggestions should concentrate near the optimum more than
+        // early ones: compare mean |log10(lr)+2| of first vs last 10
+        let dist = |t: &TrialResult| (t.config.get_float("lr").unwrap().log10() + 2.0).abs();
+        let early: f64 = history[..10].iter().map(dist).sum::<f64>() / 10.0;
+        let late: f64 = history[30..].iter().map(dist).sum::<f64>() / 10.0;
+        assert!(
+            late < early,
+            "TPE should exploit: early mean dist {early:.3}, late {late:.3}"
+        );
+    }
+
+    #[test]
+    fn categorical_exploitation() {
+        // Good trials all use Adam; TPE should propose Adam most of the time.
+        let space = SearchSpace::new()
+            .with("optimizer", ParamDomain::choice_strs(&["Adam", "SGD", "RMSprop"]));
+        let mut history = Vec::new();
+        for i in 0..30 {
+            let (opt, acc) = match i % 3 {
+                0 => ("Adam", 0.95),
+                1 => ("SGD", 0.30),
+                _ => ("RMSprop", 0.35),
+            };
+            history.push(trial(
+                &space,
+                Config::new().with("optimizer", ConfigValue::Str(opt.into())),
+                acc,
+            ));
+        }
+        let mut tpe = TpeSearch::new(&space, 30, 4);
+        tpe.n_startup = 0;
+        let mut adam = 0;
+        let mut total = 0;
+        while let Some(cfg) = tpe.suggest(&history) {
+            if cfg.get_str("optimizer") == Some("Adam") {
+                adam += 1;
+            }
+            total += 1;
+        }
+        assert_eq!(total, 30);
+        assert!(adam > total / 2, "Adam suggested {adam}/{total}");
+    }
+
+    #[test]
+    fn split_respects_gamma() {
+        let space = SearchSpace::paper_grid();
+        let tpe = TpeSearch::new(&space, 10, 0);
+        let history: Vec<TrialResult> = (0..8)
+            .map(|i| {
+                trial(&space, Config::new().with("x", ConfigValue::Int(i)), i as f64 / 10.0)
+            })
+            .collect();
+        let (good, bad) = tpe.split(&history);
+        assert_eq!(good.len(), 2, "ceil(8 × 0.25)");
+        assert_eq!(bad.len(), 6);
+        // good set holds the best accuracies
+        assert!(good.iter().all(|t| t.outcome.accuracy >= 0.6));
+    }
+
+    #[test]
+    fn parzen_density_peaks_at_observations() {
+        let obs = [0.5];
+        let at_obs = TpeSearch::parzen_density(&obs, 0.5, 1.0);
+        let away = TpeSearch::parzen_density(&obs, 0.9, 1.0);
+        assert!(at_obs > away);
+        // empty observation set → uniform prior
+        assert!((TpeSearch::parzen_density(&[], 0.3, 2.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_density_smooths() {
+        let a = ConfigValue::Str("a".into());
+        let b = ConfigValue::Str("b".into());
+        let obs = vec![&a, &a, &a];
+        let pa = TpeSearch::categorical_density(2, &obs, &a);
+        let pb = TpeSearch::categorical_density(2, &obs, &b);
+        assert!(pa > pb);
+        assert!(pb > 0.0, "smoothing keeps unseen categories possible");
+        assert!((pa + pb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism() {
+        let space = SearchSpace::paper_grid();
+        let run = |seed| {
+            let mut t = TpeSearch::new(&space, 12, seed);
+            let mut hist = Vec::new();
+            let mut labels = Vec::new();
+            while let Some(c) = t.suggest(&hist) {
+                labels.push(c.label());
+                let acc = if c.get_str("optimizer") == Some("Adam") { 0.9 } else { 0.5 };
+                hist.push(trial(&space, c, acc));
+            }
+            labels
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,5 @@
+//! Application configuration: the JSON file the paper passes to the HPO
+//! application at start ("A JSON file containing all the hyperparameters and
+//! their values is passed to this application at start", §4).
+
+pub mod json;

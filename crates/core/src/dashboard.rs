@@ -1,0 +1,154 @@
+//! Progress visualisation.
+//!
+//! The paper's ideal-tool checklist (§1) includes "visualisation dashboards
+//! to enable researchers make sense of the output", and §4 notes that "for
+//! immediate and interactive action, the performance measure returned can
+//! be visualised". This module provides that layer for terminals: a live
+//! line per completed trial (fed by
+//! [`crate::runner::HpoRunner::run_observed`]) and a final leaderboard.
+
+use crate::results::{HpoReport, TrialResult};
+
+/// Streaming progress renderer.
+#[derive(Debug, Default)]
+pub struct Dashboard {
+    completed: usize,
+    best_accuracy: f64,
+    best_label: String,
+    lines: Vec<String>,
+}
+
+impl Dashboard {
+    /// Fresh dashboard.
+    pub fn new() -> Self {
+        Dashboard::default()
+    }
+
+    /// Record a completed trial; returns the rendered progress line.
+    pub fn on_trial(&mut self, trial: &TrialResult) -> String {
+        self.completed += 1;
+        let acc = trial.outcome.accuracy;
+        let marker = if trial.outcome.is_failed() {
+            " FAILED"
+        } else if acc > self.best_accuracy {
+            self.best_accuracy = acc;
+            self.best_label = trial.config.label();
+            " ★ new best"
+        } else {
+            ""
+        };
+        let line = format!(
+            "[{:>4}] acc {:.4} (best {:.4}) {}{marker}",
+            self.completed,
+            acc,
+            self.best_accuracy,
+            trial.config.label(),
+        );
+        self.lines.push(line.clone());
+        line
+    }
+
+    /// Number of trials seen.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Best accuracy seen so far.
+    pub fn best_accuracy(&self) -> f64 {
+        self.best_accuracy
+    }
+
+    /// Everything rendered so far.
+    pub fn transcript(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// Top-`k` leaderboard of a finished report.
+pub fn leaderboard(report: &HpoReport, k: usize) -> String {
+    let mut ranked: Vec<&TrialResult> =
+        report.trials.iter().filter(|t| !t.outcome.is_failed()).collect();
+    ranked.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
+    let mut out = format!("top {} of {} trials ({}):\n", k.min(ranked.len()), report.trials.len(), report.algorithm);
+    for (i, t) in ranked.iter().take(k).enumerate() {
+        out.push_str(&format!(
+            "{:>3}. {:.4}  {} ({} epochs)\n",
+            i + 1,
+            t.outcome.accuracy,
+            t.config.label(),
+            t.outcome.epochs_run
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrialOutcome;
+    use crate::space::{Config, ConfigValue};
+
+    fn trial(opt: &str, acc: f64) -> TrialResult {
+        TrialResult {
+            config: Config::new().with("optimizer", ConfigValue::Str(opt.into())),
+            outcome: TrialOutcome::with_accuracy(acc),
+            task_us: 0,
+        }
+    }
+
+    #[test]
+    fn dashboard_tracks_best() {
+        let mut d = Dashboard::new();
+        let l1 = d.on_trial(&trial("SGD", 0.6));
+        assert!(l1.contains("new best"), "{l1}");
+        let l2 = d.on_trial(&trial("Adam", 0.9));
+        assert!(l2.contains("new best"));
+        let l3 = d.on_trial(&trial("RMSprop", 0.7));
+        assert!(!l3.contains("new best"));
+        assert_eq!(d.completed(), 3);
+        assert_eq!(d.best_accuracy(), 0.9);
+        assert_eq!(d.transcript().lines().count(), 3);
+    }
+
+    #[test]
+    fn failed_trials_marked() {
+        let mut d = Dashboard::new();
+        let t = TrialResult {
+            config: Config::new(),
+            outcome: TrialOutcome::failed("x"),
+            task_us: 0,
+        };
+        let line = d.on_trial(&t);
+        assert!(line.contains("FAILED"));
+        assert_eq!(d.best_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn leaderboard_ranks_and_truncates() {
+        let report = HpoReport {
+            algorithm: "grid".into(),
+            trials: vec![trial("SGD", 0.6), trial("Adam", 0.9), trial("RMSprop", 0.7)],
+            wall_us: 0,
+            early_stopped: false,
+        };
+        let lb = leaderboard(&report, 2);
+        let lines: Vec<&str> = lb.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[1].contains("Adam"));
+        assert!(lines[2].contains("RMSprop"));
+    }
+
+    #[test]
+    fn leaderboard_skips_failures() {
+        let mut trials = vec![trial("Adam", 0.9)];
+        trials.push(TrialResult {
+            config: Config::new(),
+            outcome: TrialOutcome::failed("x"),
+            task_us: 0,
+        });
+        let report =
+            HpoReport { algorithm: "r".into(), trials, wall_us: 0, early_stopped: false };
+        let lb = leaderboard(&report, 10);
+        assert_eq!(lb.lines().count(), 2);
+    }
+}

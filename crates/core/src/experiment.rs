@@ -1,0 +1,408 @@
+//! Experiments: one training run under one configuration.
+//!
+//! "Training and observing a model is an experiment and can be defined as a
+//! task in PyCOMPSs terms" (paper §4). An experiment is the pair of a
+//! [`Config`] and an *objective function*; the runner turns each pair into
+//! one rcompss task.
+
+use std::sync::Arc;
+
+use rcompss::{Constraint, TaskError};
+use tinyml::data::Dataset;
+use tinyml::optim::OptimizerKind;
+use tinyml::train::{train_with_observer, EpochSignal, TrainConfig};
+
+use crate::early_stop::EarlyStop;
+use crate::space::Config;
+
+/// The result of one experiment — what the paper's `experiment` task
+/// returns ("the result which can be a performance measure such as
+/// validation loss or accuracy and training history").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrialOutcome {
+    /// Final validation accuracy (the comparison metric).
+    pub accuracy: f64,
+    /// Per-epoch training loss.
+    pub epoch_loss: Vec<f64>,
+    /// Per-epoch validation accuracy (the curves of Figures 7–8).
+    pub epoch_accuracy: Vec<f64>,
+    /// Epochs actually run (< requested if early-stopped).
+    pub epochs_run: u32,
+    /// Failure description when the trial errored permanently.
+    pub error: Option<String>,
+}
+
+impl TrialOutcome {
+    /// Outcome carrying only a final accuracy.
+    pub fn with_accuracy(accuracy: f64) -> Self {
+        TrialOutcome { accuracy, ..Default::default() }
+    }
+
+    /// Outcome representing a permanently-failed trial.
+    pub fn failed(reason: impl Into<String>) -> Self {
+        TrialOutcome { error: Some(reason.into()), ..Default::default() }
+    }
+
+    /// Whether the trial failed.
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// An objective: evaluate `config`, optionally overriding its epoch count
+/// with `budget` (used by successive halving). Runs *inside* a task.
+pub type Objective =
+    Arc<dyn Fn(&Config, Option<u32>) -> Result<TrialOutcome, TaskError> + Send + Sync>;
+
+/// Maps a config to its simulated training duration (virtual µs).
+pub type SimDurationFn = Arc<dyn Fn(&Config) -> u64 + Send + Sync>;
+
+/// Options shared by every experiment of one HPO run.
+#[derive(Clone)]
+pub struct ExperimentOptions {
+    /// Resource constraint per experiment task (the paper's `@constraint`).
+    pub constraint: Constraint,
+    /// Early-stopping criteria applied inside each trial and across trials.
+    pub early_stop: Option<EarlyStop>,
+    /// For the simulated backend: virtual duration of a config's training.
+    pub sim_duration: Option<SimDurationFn>,
+    /// Task name used in traces and graphs.
+    pub task_name: String,
+    /// Cap on trials submitted per wave (default: the algorithm's own
+    /// parallelism). Set to roughly the cluster's slot count when using
+    /// across-trial early stopping, so remaining waves can be skipped.
+    pub wave_size: Option<usize>,
+}
+
+impl std::fmt::Debug for ExperimentOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentOptions")
+            .field("constraint", &self.constraint)
+            .field("early_stop", &self.early_stop)
+            .field("sim_duration", &self.sim_duration.is_some())
+            .field("task_name", &self.task_name)
+            .finish()
+    }
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            constraint: Constraint::cpus(1),
+            early_stop: None,
+            sim_duration: None,
+            task_name: "graph.experiment".to_string(),
+            wave_size: None,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Set the per-task constraint (chainable).
+    pub fn with_constraint(mut self, c: Constraint) -> Self {
+        self.constraint = c;
+        self
+    }
+
+    /// Set early stopping (chainable).
+    pub fn with_early_stop(mut self, es: EarlyStop) -> Self {
+        self.early_stop = Some(es);
+        self
+    }
+
+    /// Set the simulated duration model (chainable).
+    pub fn with_sim_duration(mut self, f: impl Fn(&Config) -> u64 + Send + Sync + 'static) -> Self {
+        self.sim_duration = Some(Arc::new(f));
+        self
+    }
+}
+
+/// Translate an HPO [`Config`] into a tinyml [`TrainConfig`].
+///
+/// Recognised keys (all optional, with defaults): `optimizer`,
+/// `num_epochs`, `batch_size`, `learning_rate`, `hidden` (single hidden
+/// width). The seed is derived from the config label so distinct configs
+/// train with distinct but reproducible randomness.
+pub fn train_config_from(config: &Config, hidden_default: &[usize]) -> Result<TrainConfig, TaskError> {
+    let optimizer = match config.get_str("optimizer") {
+        Some(s) => s
+            .parse::<OptimizerKind>()
+            .map_err(|e| TaskError::new(format!("bad optimizer: {e}")))?,
+        None => OptimizerKind::Adam,
+    };
+    let epochs = config.get_int("num_epochs").unwrap_or(10);
+    if epochs <= 0 {
+        return Err(TaskError::new("num_epochs must be positive"));
+    }
+    let batch = config.get_int("batch_size").unwrap_or(64);
+    if batch <= 0 {
+        return Err(TaskError::new("batch_size must be positive"));
+    }
+    let hidden = match config.get_int("hidden") {
+        Some(h) if h > 0 => vec![h as usize],
+        Some(_) => return Err(TaskError::new("hidden must be positive")),
+        None => hidden_default.to_vec(),
+    };
+    // Optional schedule keys: `lr_schedule` = "cosine", or a step decay via
+    // `lr_decay_every` (+ `lr_decay_factor`, default 0.5).
+    let lr_schedule = match (config.get_str("lr_schedule"), config.get_int("lr_decay_every")) {
+        (Some("cosine"), _) => tinyml::train::LrSchedule::Cosine { min_frac: 0.1 },
+        (Some(other), _) if other != "constant" => {
+            return Err(TaskError::new(format!("unknown lr_schedule '{other}'")));
+        }
+        (_, Some(every)) if every > 0 => tinyml::train::LrSchedule::StepDecay {
+            every_epochs: every as u32,
+            factor: config.get_float("lr_decay_factor").unwrap_or(0.5) as f32,
+        },
+        _ => tinyml::train::LrSchedule::Constant,
+    };
+    let weight_decay = config.get_float("weight_decay").unwrap_or(0.0) as f32;
+    if weight_decay < 0.0 {
+        return Err(TaskError::new("weight_decay must be non-negative"));
+    }
+
+    // Model family: "arch" = "dense" (default) or "cnn", with optional
+    // "conv1_channels"/"conv2_channels" (the paper's experiments are CNNs).
+    let arch = match config.get_str("arch") {
+        None | Some("dense") => tinyml::ModelArch::Dense,
+        Some("cnn") => {
+            let c1 = config.get_int("conv1_channels").unwrap_or(6);
+            let c2 = config.get_int("conv2_channels").unwrap_or(12);
+            if c1 <= 0 || c2 <= 0 {
+                return Err(TaskError::new("conv channels must be positive"));
+            }
+            tinyml::ModelArch::Cnn { conv1_channels: c1 as usize, conv2_channels: c2 as usize }
+        }
+        Some(other) => return Err(TaskError::new(format!("unknown arch '{other}'"))),
+    };
+
+    // FNV-1a over the label: stable per-config seed.
+    let seed = config.label().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    Ok(TrainConfig {
+        epochs: epochs as u32,
+        batch_size: batch as usize,
+        optimizer,
+        learning_rate: config.get_float("learning_rate").unwrap_or(0.0) as f32,
+        lr_schedule,
+        arch,
+        weight_decay,
+        hidden_layers: hidden,
+        val_fraction: 0.2,
+        seed,
+    })
+}
+
+/// Build an objective that really trains a tinyml MLP on `data` — the Rust
+/// stand-in for the paper's TensorFlow `experiment(config)` task.
+///
+/// The dataset is shared behind an `Arc`, mirroring the PFS deployment
+/// where "all tasks can read and write to the PFS".
+pub fn tinyml_objective(data: Arc<Dataset>, hidden: Vec<usize>) -> Objective {
+    tinyml_objective_with_early_stop(data, hidden, None)
+}
+
+/// Like [`tinyml_objective`] but stopping each trial early per `early_stop`.
+pub fn tinyml_objective_with_early_stop(
+    data: Arc<Dataset>,
+    hidden: Vec<usize>,
+    early_stop: Option<EarlyStop>,
+) -> Objective {
+    Arc::new(move |config: &Config, budget: Option<u32>| {
+        let mut cfg = train_config_from(config, &hidden)?;
+        if let Some(b) = budget {
+            cfg.epochs = b.max(1);
+        }
+        let mut tracker = early_stop.map(|es| es.tracker());
+        let history = train_with_observer(&cfg, &data, |_, _, val_acc| {
+            let stop = tracker.as_mut().is_some_and(|t| t.observe(val_acc));
+            if stop {
+                EpochSignal::Stop
+            } else {
+                EpochSignal::Continue
+            }
+        });
+        Ok(TrialOutcome {
+            accuracy: history.final_val_accuracy(),
+            epochs_run: history.epochs_run() as u32,
+            epoch_loss: history.train_loss,
+            epoch_accuracy: history.val_accuracy,
+            error: None,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ConfigValue;
+
+    fn paper_config(opt: &str, epochs: i64, batch: i64) -> Config {
+        Config::new()
+            .with("optimizer", ConfigValue::Str(opt.into()))
+            .with("num_epochs", ConfigValue::Int(epochs))
+            .with("batch_size", ConfigValue::Int(batch))
+    }
+
+    #[test]
+    fn train_config_translation() {
+        let cfg = train_config_from(&paper_config("RMSprop", 50, 128), &[64]).unwrap();
+        assert_eq!(cfg.optimizer, OptimizerKind::RmsProp);
+        assert_eq!(cfg.epochs, 50);
+        assert_eq!(cfg.batch_size, 128);
+        assert_eq!(cfg.hidden_layers, vec![64]);
+        // distinct configs get distinct seeds; same config same seed
+        let a = train_config_from(&paper_config("Adam", 20, 32), &[64]).unwrap();
+        let b = train_config_from(&paper_config("Adam", 20, 32), &[64]).unwrap();
+        let c = train_config_from(&paper_config("Adam", 20, 64), &[64]).unwrap();
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn translation_rejects_nonsense() {
+        assert!(train_config_from(&paper_config("NoSuchOpt", 10, 32), &[8]).is_err());
+        assert!(train_config_from(&paper_config("Adam", 0, 32), &[8]).is_err());
+        assert!(train_config_from(&paper_config("Adam", 10, -1), &[8]).is_err());
+        let bad_hidden = paper_config("Adam", 5, 32).with("hidden", ConfigValue::Int(0));
+        assert!(train_config_from(&bad_hidden, &[8]).is_err());
+    }
+
+    #[test]
+    fn schedule_and_decay_keys_translate() {
+        use tinyml::train::LrSchedule;
+        let cfg = paper_config("Adam", 10, 32)
+            .with("lr_decay_every", ConfigValue::Int(3))
+            .with("lr_decay_factor", ConfigValue::Float(0.25))
+            .with("weight_decay", ConfigValue::Float(1e-4));
+        let t = train_config_from(&cfg, &[8]).unwrap();
+        assert_eq!(t.lr_schedule, LrSchedule::StepDecay { every_epochs: 3, factor: 0.25 });
+        assert!((t.weight_decay - 1e-4).abs() < 1e-9);
+
+        let cosine = paper_config("Adam", 10, 32)
+            .with("lr_schedule", ConfigValue::Str("cosine".into()));
+        assert!(matches!(
+            train_config_from(&cosine, &[8]).unwrap().lr_schedule,
+            LrSchedule::Cosine { .. }
+        ));
+
+        let bad = paper_config("Adam", 10, 32)
+            .with("lr_schedule", ConfigValue::Str("warmup".into()));
+        assert!(train_config_from(&bad, &[8]).is_err());
+        let neg = paper_config("Adam", 10, 32)
+            .with("weight_decay", ConfigValue::Float(-1.0));
+        assert!(train_config_from(&neg, &[8]).is_err());
+    }
+
+    #[test]
+    fn arch_key_selects_model_family() {
+        let dense = train_config_from(&paper_config("Adam", 5, 32), &[8]).unwrap();
+        assert_eq!(dense.arch, tinyml::ModelArch::Dense);
+
+        let cnn = paper_config("Adam", 5, 32)
+            .with("arch", ConfigValue::Str("cnn".into()))
+            .with("conv1_channels", ConfigValue::Int(4))
+            .with("conv2_channels", ConfigValue::Int(8));
+        let t = train_config_from(&cnn, &[8]).unwrap();
+        assert_eq!(t.arch, tinyml::ModelArch::Cnn { conv1_channels: 4, conv2_channels: 8 });
+
+        let default_cnn =
+            paper_config("Adam", 5, 32).with("arch", ConfigValue::Str("cnn".into()));
+        assert_eq!(
+            train_config_from(&default_cnn, &[8]).unwrap().arch,
+            tinyml::ModelArch::Cnn { conv1_channels: 6, conv2_channels: 12 }
+        );
+
+        let bad = paper_config("Adam", 5, 32).with("arch", ConfigValue::Str("rnn".into()));
+        assert!(train_config_from(&bad, &[8]).is_err());
+        let bad_ch = paper_config("Adam", 5, 32)
+            .with("arch", ConfigValue::Str("cnn".into()))
+            .with("conv1_channels", ConfigValue::Int(0));
+        assert!(train_config_from(&bad_ch, &[8]).is_err());
+    }
+
+    #[test]
+    fn cnn_objective_trains_end_to_end() {
+        use tinyml::data::SyntheticSpec;
+        let data = Arc::new(Dataset::synthetic(
+            "mnist-spatial",
+            500,
+            &SyntheticSpec::mnist_like_spatial(),
+            3,
+        ));
+        let obj = tinyml_objective(data, vec![16]);
+        let cfg = paper_config("Adam", 6, 32)
+            .with("arch", ConfigValue::Str("cnn".into()))
+            .with("learning_rate", ConfigValue::Float(0.003));
+        let out = obj(&cfg, None).unwrap();
+        assert_eq!(out.epochs_run, 6);
+        assert!(out.accuracy > 0.15, "clearly above the 0.1 chance level: {}", out.accuracy);
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let cfg = train_config_from(&Config::new(), &[16, 8]).unwrap();
+        assert_eq!(cfg.epochs, 10);
+        assert_eq!(cfg.batch_size, 64);
+        assert_eq!(cfg.hidden_layers, vec![16, 8]);
+        assert_eq!(cfg.optimizer, OptimizerKind::Adam);
+    }
+
+    #[test]
+    fn objective_trains_and_reports_curves() {
+        let data = Arc::new(Dataset::synthetic_mnist(1_200, 3));
+        let obj = tinyml_objective(data, vec![32]);
+        let out = obj(&paper_config("Adam", 5, 64), None).unwrap();
+        assert_eq!(out.epochs_run, 5);
+        assert_eq!(out.epoch_accuracy.len(), 5);
+        assert_eq!(out.epoch_loss.len(), 5);
+        assert!(out.accuracy > 0.3, "got {}", out.accuracy);
+        assert!(!out.is_failed());
+    }
+
+    #[test]
+    fn budget_overrides_epochs() {
+        let data = Arc::new(Dataset::synthetic_mnist(200, 3));
+        let obj = tinyml_objective(data, vec![8]);
+        let out = obj(&paper_config("SGD", 10, 64), Some(2)).unwrap();
+        assert_eq!(out.epochs_run, 2, "budget 2 overrides num_epochs 10");
+    }
+
+    #[test]
+    fn within_trial_early_stop_cuts_epochs() {
+        let data = Arc::new(Dataset::synthetic_mnist(800, 5));
+        // very easy data: 0.5 target reached almost immediately
+        let obj = tinyml_objective_with_early_stop(
+            data,
+            vec![32],
+            Some(EarlyStop::at_accuracy(0.5)),
+        );
+        let out = obj(&paper_config("Adam", 20, 32), None).unwrap();
+        assert!(out.epochs_run < 20, "stopped early at epoch {}", out.epochs_run);
+        assert!(out.accuracy >= 0.5);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let ok = TrialOutcome::with_accuracy(0.7);
+        assert!(!ok.is_failed());
+        assert_eq!(ok.accuracy, 0.7);
+        let bad = TrialOutcome::failed("boom");
+        assert!(bad.is_failed());
+        assert_eq!(bad.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = ExperimentOptions::default()
+            .with_constraint(Constraint::cpus(4).with_gpus(1))
+            .with_early_stop(EarlyStop::at_accuracy(0.9))
+            .with_sim_duration(|_| 42);
+        assert_eq!(o.constraint.cpus, 4);
+        assert!(o.early_stop.is_some());
+        assert_eq!((o.sim_duration.unwrap())(&Config::new()), 42);
+        let dbg = format!("{:?}", ExperimentOptions::default());
+        assert!(dbg.contains("graph.experiment"));
+    }
+}

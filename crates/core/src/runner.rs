@@ -1,0 +1,389 @@
+//! The HPO runner: drives a [`Suggester`] over the rcompss runtime.
+//!
+//! This is the paper's `main()` (Listing 2): generate configs, launch one
+//! `experiment(config)` task per config, `compss_wait_on` the results, and
+//! hand them to the plotting/reporting layer. The runner adds the paper's
+//! early stopping and the successive-halving execution mode.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rcompss::{ArgSpec, Runtime, SubmitError, SubmitOpts, SubmitResult, TaskError, Value};
+
+use crate::algo::hyperband::Bracket;
+use crate::algo::random::RandomSearch;
+use crate::algo::Suggester;
+use crate::experiment::{ExperimentOptions, Objective, TrialOutcome};
+use crate::results::{HpoReport, TrialResult};
+use crate::space::{Config, SearchSpace};
+
+/// Executes HPO runs.
+#[derive(Debug, Clone)]
+pub struct HpoRunner {
+    /// Options applied to every experiment task.
+    pub opts: ExperimentOptions,
+}
+
+/// What the experiment task returns through the data registry.
+type TaskPayload = (TrialOutcome, u64);
+
+impl HpoRunner {
+    /// Build with the given experiment options.
+    pub fn new(opts: ExperimentOptions) -> Self {
+        HpoRunner { opts }
+    }
+
+    /// Register the experiment task definition on `rt`.
+    fn register_task(&self, rt: &Runtime, objective: &Objective) -> rcompss::TaskDef {
+        let obj = Arc::clone(objective);
+        rt.register(&self.opts.task_name, self.opts.constraint, 1, move |_ctx, inputs| {
+            let config = inputs[0]
+                .downcast_ref::<Config>()
+                .ok_or_else(|| TaskError::new("experiment input 0 must be a Config"))?;
+            let budget = inputs[1]
+                .downcast_ref::<Option<u32>>()
+                .copied()
+                .ok_or_else(|| TaskError::new("experiment input 1 must be Option<u32>"))?;
+            let t0 = Instant::now();
+            let outcome = obj(config, budget)?;
+            let payload: TaskPayload = (outcome, t0.elapsed().as_micros() as u64);
+            Ok(vec![Value::new(payload)])
+        })
+    }
+
+    /// Submit one experiment.
+    fn submit_one(
+        &self,
+        rt: &Runtime,
+        def: &rcompss::TaskDef,
+        config: &Config,
+        budget: Option<u32>,
+    ) -> Result<SubmitResult, SubmitError> {
+        let cfg_handle = rt.literal(config.clone());
+        let budget_handle = rt.literal(budget);
+        let sim_duration_us = self.opts.sim_duration.as_ref().map(|f| f(config));
+        rt.submit_with(
+            def,
+            vec![ArgSpec::In(cfg_handle), ArgSpec::In(budget_handle)],
+            SubmitOpts { sim_duration_us },
+        )
+    }
+
+    /// Collect one submitted experiment into a [`TrialResult`].
+    fn collect(&self, rt: &Runtime, config: Config, sub: &SubmitResult) -> TrialResult {
+        match rt.wait_on(&sub.returns[0]) {
+            Ok(v) => {
+                let (outcome, task_us) = v
+                    .downcast_ref::<TaskPayload>()
+                    .cloned()
+                    .expect("experiment task returns (TrialOutcome, u64)");
+                TrialResult { config, outcome, task_us }
+            }
+            Err(e) => TrialResult {
+                config,
+                outcome: TrialOutcome::failed(e.to_string()),
+                task_us: 0,
+            },
+        }
+    }
+
+    /// Run `algo` to exhaustion (or early stop) with `objective`.
+    ///
+    /// Suggestions are taken in waves of `min(algo.parallelism(),
+    /// opts.wave_size)`; each wave is submitted as independent parallel
+    /// tasks (the paper's "embarrassingly parallel" structure), then
+    /// synchronised. Across-trial early stopping cuts the run after the
+    /// first wave containing a target-reaching trial.
+    pub fn run(
+        &self,
+        rt: &Runtime,
+        algo: &mut dyn Suggester,
+        objective: Objective,
+    ) -> Result<HpoReport, SubmitError> {
+        self.run_observed(rt, algo, objective, |_| {})
+    }
+
+    /// Like [`HpoRunner::run`] but invoking `observer` after every
+    /// collected trial — the hook behind [`crate::dashboard::Dashboard`]
+    /// ("for immediate and interactive action, the performance measure
+    /// returned can be visualised").
+    pub fn run_observed(
+        &self,
+        rt: &Runtime,
+        algo: &mut dyn Suggester,
+        objective: Objective,
+        mut observer: impl FnMut(&TrialResult),
+    ) -> Result<HpoReport, SubmitError> {
+        let def = self.register_task(rt, &objective);
+        let wave_limit = self.opts.wave_size.unwrap_or(usize::MAX).min(algo.parallelism()).max(1);
+
+        let mut history: Vec<TrialResult> = Vec::new();
+        let mut early_stopped = false;
+        loop {
+            let mut wave: Vec<(Config, SubmitResult)> = Vec::new();
+            while wave.len() < wave_limit {
+                let Some(config) = algo.suggest(&history) else { break };
+                let sub = self.submit_one(rt, &def, &config, None)?;
+                wave.push((config, sub));
+            }
+            if wave.is_empty() {
+                break;
+            }
+            for (config, sub) in wave {
+                let trial = self.collect(rt, config, &sub);
+                observer(&trial);
+                if let Some(es) = &self.opts.early_stop {
+                    if es.target_reached(trial.outcome.accuracy) {
+                        early_stopped = true;
+                    }
+                }
+                history.push(trial);
+            }
+            if early_stopped {
+                break;
+            }
+        }
+        Ok(HpoReport {
+            algorithm: algo.name().to_string(),
+            trials: history,
+            wall_us: rt.now_us(),
+            early_stopped,
+        })
+    }
+
+    /// Run one successive-halving bracket: sample the first rung randomly
+    /// from `space`, evaluate every rung in parallel at its epoch budget,
+    /// and promote the top configurations (the paper's early-stopping idea
+    /// taken to its scheduler-shaped conclusion).
+    pub fn run_successive_halving(
+        &self,
+        rt: &Runtime,
+        space: &SearchSpace,
+        objective: Objective,
+        bracket: &Bracket,
+        seed: u64,
+    ) -> Result<HpoReport, SubmitError> {
+        let def = self.register_task(rt, &objective);
+        let mut sampler = RandomSearch::new(space, bracket.rungs[0].n_configs, seed);
+        let mut candidates: Vec<Config> = Vec::new();
+        while let Some(c) = sampler.suggest(&[]) {
+            candidates.push(c);
+        }
+
+        let mut history: Vec<TrialResult> = Vec::new();
+        for (i, rung) in bracket.rungs.iter().enumerate() {
+            candidates.truncate(rung.n_configs);
+            if candidates.is_empty() {
+                break;
+            }
+            let wave: Vec<(Config, SubmitResult)> = candidates
+                .iter()
+                .map(|c| Ok((c.clone(), self.submit_one(rt, &def, c, Some(rung.budget))?)))
+                .collect::<Result<_, SubmitError>>()?;
+            let mut rung_results: Vec<TrialResult> = wave
+                .into_iter()
+                .map(|(config, sub)| self.collect(rt, config, &sub))
+                .collect();
+            // Promote the best survivors to the next rung.
+            rung_results.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
+            candidates = rung_results
+                .iter()
+                .filter(|t| !t.outcome.is_failed())
+                .take(bracket.survivors_of(i))
+                .map(|t| t.config.clone())
+                .collect();
+            history.extend(rung_results);
+        }
+        Ok(HpoReport {
+            algorithm: "successive-halving".to_string(),
+            trials: history,
+            wall_us: rt.now_us(),
+            early_stopped: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::grid::GridSearch;
+    use crate::algo::tpe::TpeSearch;
+    use crate::early_stop::EarlyStop;
+    use crate::space::ParamDomain;
+    use rcompss::RuntimeConfig;
+
+    /// A fast, deterministic synthetic objective: accuracy increases with
+    /// epochs, Adam beats the others, bigger batches slightly worse.
+    fn synthetic_objective() -> Objective {
+        Arc::new(|config: &Config, budget: Option<u32>| {
+            let epochs = budget
+                .map(i64::from)
+                .or_else(|| config.get_int("num_epochs"))
+                .unwrap_or(10) as f64;
+            let opt_bonus = match config.get_str("optimizer") {
+                Some("Adam") => 0.15,
+                Some("RMSprop") => 0.08,
+                _ => 0.0,
+            };
+            let batch_penalty = config.get_int("batch_size").unwrap_or(64) as f64 / 4000.0;
+            let acc = (0.5 + 0.003 * epochs + opt_bonus - batch_penalty).min(0.99);
+            let curve: Vec<f64> =
+                (1..=epochs as usize).map(|e| acc * e as f64 / epochs).collect();
+            Ok(TrialOutcome {
+                accuracy: acc,
+                epochs_run: epochs as u32,
+                epoch_accuracy: curve,
+                epoch_loss: vec![],
+                error: None,
+            })
+        })
+    }
+
+    #[test]
+    fn grid_run_covers_all_27_configs() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(8));
+        let space = SearchSpace::paper_grid();
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        let report =
+            runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
+        assert_eq!(report.trials.len(), 27);
+        assert_eq!(report.failures(), 0);
+        let best = report.best().unwrap();
+        assert_eq!(best.config.get_str("optimizer"), Some("Adam"));
+        assert_eq!(best.config.get_int("num_epochs"), Some(100));
+        assert_eq!(best.config.get_int("batch_size"), Some(32));
+        assert_eq!(report.algorithm, "grid");
+    }
+
+    #[test]
+    fn simulated_backend_runs_the_same_hpo() {
+        let rt = Runtime::simulated(RuntimeConfig::single_node(8));
+        let space = SearchSpace::paper_grid();
+        let runner = HpoRunner::new(
+            ExperimentOptions::default().with_sim_duration(|c| {
+                1_000 * c.get_int("num_epochs").unwrap_or(10) as u64
+            }),
+        );
+        let report =
+            runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
+        assert_eq!(report.trials.len(), 27);
+        // 27 tasks on 8 slots with heterogeneous durations: virtual time is
+        // at least total_work/slots = (9*(20+50+100)*1000)/8
+        assert!(report.wall_us >= 9 * 170 * 1000 / 8, "virtual {}", report.wall_us);
+    }
+
+    #[test]
+    fn early_stop_cuts_waves() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let space = SearchSpace::paper_grid();
+        let runner = HpoRunner::new(
+            ExperimentOptions::default()
+                .with_early_stop(EarlyStop::at_accuracy(0.55))
+                // small waves so the stop can take effect
+                .with_wave_size_for_tests(4),
+        );
+        let report =
+            runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
+        assert!(report.early_stopped);
+        assert!(report.trials.len() < 27, "stopped after {} trials", report.trials.len());
+        assert!(report.trials.iter().any(|t| t.outcome.accuracy >= 0.55));
+    }
+
+    #[test]
+    fn failing_configs_are_recorded_not_fatal() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let space = SearchSpace::new()
+            .with("optimizer", ParamDomain::choice_strs(&["Adam", "Broken"]));
+        let objective: Objective = Arc::new(|config: &Config, _| {
+            if config.get_str("optimizer") == Some("Broken") {
+                Err(TaskError::new("unsupported optimizer"))
+            } else {
+                Ok(TrialOutcome::with_accuracy(0.8))
+            }
+        });
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        let report = runner.run(&rt, &mut GridSearch::new(&space), objective).unwrap();
+        assert_eq!(report.trials.len(), 2);
+        assert_eq!(report.failures(), 1);
+        assert_eq!(report.best().unwrap().config.get_str("optimizer"), Some("Adam"));
+    }
+
+    #[test]
+    fn tpe_runs_in_batches_and_improves() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let space = SearchSpace::paper_grid();
+        let mut tpe = TpeSearch::new(&space, 24, 5);
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        let report = runner.run(&rt, &mut tpe, synthetic_objective()).unwrap();
+        assert_eq!(report.trials.len(), 24);
+        // late trials should be at least as good on average as early ones
+        let avg = |ts: &[TrialResult]| {
+            ts.iter().map(|t| t.outcome.accuracy).sum::<f64>() / ts.len() as f64
+        };
+        let early = avg(&report.trials[..8]);
+        let late = avg(&report.trials[16..]);
+        assert!(late >= early - 0.05, "TPE regressed: early {early:.3} late {late:.3}");
+    }
+
+    #[test]
+    fn successive_halving_promotes_best_configs() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(8));
+        let space = SearchSpace::paper_grid();
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        let bracket = Bracket::new(9, 5, 45, 3);
+        let report = runner
+            .run_successive_halving(&rt, &space, synthetic_objective(), &bracket, 11)
+            .unwrap();
+        // 9 at budget 5, 3 at 15, 1 at 45
+        assert_eq!(report.trials.len(), 9 + 3 + 1);
+        assert_eq!(report.algorithm, "successive-halving");
+        // the final (largest-budget) evaluation is the overall best
+        let final_trial = report.trials.last().unwrap();
+        assert_eq!(final_trial.outcome.epochs_run, 45);
+        let best = report.best().unwrap();
+        assert_eq!(best.outcome.epochs_run, 45, "deep-budget run wins");
+    }
+
+    #[test]
+    fn budget_is_passed_through_to_objective() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(2));
+        let space = SearchSpace::new().with("x", ParamDomain::choice_ints(&[1]));
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<Option<u32>>::new()));
+        let s = Arc::clone(&seen);
+        let objective: Objective = Arc::new(move |_, budget| {
+            s.lock().push(budget);
+            Ok(TrialOutcome::with_accuracy(0.5))
+        });
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        let bracket = Bracket::new(1, 7, 7, 2);
+        runner.run_successive_halving(&rt, &space, objective.clone(), &bracket, 0).unwrap();
+        runner.run(&rt, &mut GridSearch::new(&space), objective).unwrap();
+        let seen = seen.lock();
+        assert_eq!(seen.as_slice(), &[Some(7), None]);
+    }
+
+    #[test]
+    fn run_observed_streams_every_trial() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let space = SearchSpace::paper_grid();
+        let mut dash = crate::dashboard::Dashboard::new();
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        let report = runner
+            .run_observed(&rt, &mut GridSearch::new(&space), synthetic_objective(), |t| {
+                dash.on_trial(t);
+            })
+            .unwrap();
+        assert_eq!(dash.completed(), 27);
+        assert_eq!(dash.best_accuracy(), report.best().unwrap().outcome.accuracy);
+        let lb = crate::dashboard::leaderboard(&report, 3);
+        assert_eq!(lb.lines().count(), 4);
+        assert!(lb.lines().nth(1).unwrap().contains("Adam"));
+    }
+
+    impl ExperimentOptions {
+        fn with_wave_size_for_tests(mut self, n: usize) -> Self {
+            self.wave_size = Some(n);
+            self
+        }
+    }
+}

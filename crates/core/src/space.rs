@@ -1,0 +1,368 @@
+//! Search-space model.
+//!
+//! A search space is an ordered set of named parameter domains. The paper's
+//! Listing 1 uses pure value lists; we additionally support integer ranges
+//! and (log-)uniform continuous ranges so random search and TPE have
+//! something real to sample ("HPO over any search space", paper §7).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One concrete hyperparameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigValue {
+    /// String/categorical value (e.g. `"Adam"`).
+    Str(String),
+    /// Integer value (e.g. epochs, batch size).
+    Int(i64),
+    /// Floating-point value (e.g. learning rate).
+    Float(f64),
+}
+
+impl ConfigValue {
+    /// As integer, coercing floats with integral value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ConfigValue::Int(i) => Some(*i),
+            ConfigValue::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// As float (ints coerce).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ConfigValue::Float(f) => Some(*f),
+            ConfigValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ConfigValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ConfigValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigValue::Str(s) => write!(f, "{s}"),
+            ConfigValue::Int(i) => write!(f, "{i}"),
+            ConfigValue::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A concrete assignment of every hyperparameter — the paper's `config`
+/// object passed to each experiment task.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Config {
+    values: BTreeMap<String, ConfigValue>,
+}
+
+impl Config {
+    /// Empty config.
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Set a value (chainable).
+    pub fn with(mut self, key: &str, value: ConfigValue) -> Self {
+        self.values.insert(key.to_string(), value);
+        self
+    }
+
+    /// Insert a value.
+    pub fn set(&mut self, key: &str, value: ConfigValue) {
+        self.values.insert(key.to_string(), value);
+    }
+
+    /// Get a value.
+    pub fn get(&self, key: &str) -> Option<&ConfigValue> {
+        self.values.get(key)
+    }
+
+    /// Get an integer parameter.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(ConfigValue::as_int)
+    }
+
+    /// Get a float parameter.
+    pub fn get_float(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(ConfigValue::as_float)
+    }
+
+    /// Get a string parameter.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(ConfigValue::as_str)
+    }
+
+    /// Iterate `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfigValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the config is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Stable one-line label, e.g. `batch_size=64,num_epochs=50,optimizer=Adam`.
+    pub fn label(&self) -> String {
+        self.values
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// The domain of one hyperparameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamDomain {
+    /// Explicit value list (what the paper's JSON file holds).
+    Choice(Vec<ConfigValue>),
+    /// Inclusive integer range with step.
+    IntRange {
+        /// Low end, inclusive.
+        min: i64,
+        /// High end, inclusive.
+        max: i64,
+        /// Step between grid points.
+        step: i64,
+    },
+    /// Uniform continuous range.
+    Uniform {
+        /// Low end.
+        min: f64,
+        /// High end.
+        max: f64,
+    },
+    /// Log-uniform continuous range (learning rates).
+    LogUniform {
+        /// Low end (> 0).
+        min: f64,
+        /// High end.
+        max: f64,
+    },
+}
+
+impl ParamDomain {
+    /// Shortcut: categorical list of strings.
+    pub fn choice_strs(values: &[&str]) -> Self {
+        ParamDomain::Choice(values.iter().map(|s| ConfigValue::Str(s.to_string())).collect())
+    }
+
+    /// Shortcut: categorical list of integers.
+    pub fn choice_ints(values: &[i64]) -> Self {
+        ParamDomain::Choice(values.iter().map(|&i| ConfigValue::Int(i)).collect())
+    }
+
+    /// Number of grid points, or `None` for continuous domains.
+    pub fn grid_size(&self) -> Option<usize> {
+        match self {
+            ParamDomain::Choice(v) => Some(v.len()),
+            ParamDomain::IntRange { min, max, step } => {
+                if step <= &0 || max < min {
+                    Some(0)
+                } else {
+                    Some(((max - min) / step + 1) as usize)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The `i`-th grid point of a discrete domain.
+    pub fn grid_value(&self, i: usize) -> Option<ConfigValue> {
+        match self {
+            ParamDomain::Choice(v) => v.get(i).cloned(),
+            ParamDomain::IntRange { min, step, .. } => {
+                let n = self.grid_size()?;
+                (i < n).then(|| ConfigValue::Int(min + step * i as i64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a value belongs to the domain (used by property tests).
+    pub fn contains(&self, v: &ConfigValue) -> bool {
+        match self {
+            ParamDomain::Choice(vals) => vals.contains(v),
+            ParamDomain::IntRange { min, max, step } => v
+                .as_int()
+                .is_some_and(|i| i >= *min && i <= *max && (i - min) % step.max(&1) == 0),
+            ParamDomain::Uniform { min, max } => {
+                v.as_float().is_some_and(|f| f >= *min && f <= *max)
+            }
+            ParamDomain::LogUniform { min, max } => {
+                v.as_float().is_some_and(|f| f >= *min && f <= *max)
+            }
+        }
+    }
+}
+
+/// An ordered collection of named parameter domains.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchSpace {
+    params: Vec<(String, ParamDomain)>,
+}
+
+impl SearchSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        SearchSpace::default()
+    }
+
+    /// Add a parameter (chainable).
+    pub fn with(mut self, name: &str, domain: ParamDomain) -> Self {
+        self.params.push((name.to_string(), domain));
+        self
+    }
+
+    /// Parse from the paper's JSON config format (see [`crate::config::json`]).
+    pub fn from_json(text: &str) -> Result<Self, crate::config::json::JsonError> {
+        crate::config::json::space_from_json(text)
+    }
+
+    /// The paper's exact MNIST/CIFAR grid (Listing 1): 3 optimisers ×
+    /// 3 epochs × 3 batch sizes = 27 experiments.
+    pub fn paper_grid() -> Self {
+        SearchSpace::new()
+            .with("optimizer", ParamDomain::choice_strs(&["Adam", "SGD", "RMSprop"]))
+            .with("num_epochs", ParamDomain::choice_ints(&[20, 50, 100]))
+            .with("batch_size", ParamDomain::choice_ints(&[32, 64, 128]))
+    }
+
+    /// Parameters in declaration order.
+    pub fn params(&self) -> &[(String, ParamDomain)] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total grid size (product of discrete domain sizes); `None` if any
+    /// domain is continuous.
+    pub fn grid_size(&self) -> Option<usize> {
+        self.params.iter().map(|(_, d)| d.grid_size()).try_fold(1usize, |acc, n| {
+            n.map(|n| acc.saturating_mul(n))
+        })
+    }
+
+    /// Whether `config` assigns every parameter a value inside its domain.
+    pub fn contains(&self, config: &Config) -> bool {
+        self.params.len() == config.len()
+            && self
+                .params
+                .iter()
+                .all(|(name, d)| config.get(name).is_some_and(|v| d.contains(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_value_coercions() {
+        assert_eq!(ConfigValue::Int(5).as_int(), Some(5));
+        assert_eq!(ConfigValue::Float(5.0).as_int(), Some(5));
+        assert_eq!(ConfigValue::Float(5.5).as_int(), None);
+        assert_eq!(ConfigValue::Int(5).as_float(), Some(5.0));
+        assert_eq!(ConfigValue::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(ConfigValue::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn config_accessors_and_label() {
+        let c = Config::new()
+            .with("optimizer", ConfigValue::Str("Adam".into()))
+            .with("num_epochs", ConfigValue::Int(50));
+        assert_eq!(c.get_str("optimizer"), Some("Adam"));
+        assert_eq!(c.get_int("num_epochs"), Some(50));
+        assert_eq!(c.get_float("num_epochs"), Some(50.0));
+        assert!(c.get("missing").is_none());
+        assert_eq!(c.label(), "num_epochs=50,optimizer=Adam");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn int_range_grid() {
+        let d = ParamDomain::IntRange { min: 10, max: 30, step: 10 };
+        assert_eq!(d.grid_size(), Some(3));
+        assert_eq!(d.grid_value(0), Some(ConfigValue::Int(10)));
+        assert_eq!(d.grid_value(2), Some(ConfigValue::Int(30)));
+        assert_eq!(d.grid_value(3), None);
+        assert!(d.contains(&ConfigValue::Int(20)));
+        assert!(!d.contains(&ConfigValue::Int(25)), "off-step");
+        assert!(!d.contains(&ConfigValue::Int(40)));
+    }
+
+    #[test]
+    fn degenerate_int_range() {
+        assert_eq!(ParamDomain::IntRange { min: 5, max: 1, step: 1 }.grid_size(), Some(0));
+        assert_eq!(ParamDomain::IntRange { min: 0, max: 10, step: 0 }.grid_size(), Some(0));
+    }
+
+    #[test]
+    fn continuous_domains_have_no_grid() {
+        let u = ParamDomain::Uniform { min: 0.0, max: 1.0 };
+        assert_eq!(u.grid_size(), None);
+        assert!(u.contains(&ConfigValue::Float(0.5)));
+        assert!(!u.contains(&ConfigValue::Float(1.5)));
+        let l = ParamDomain::LogUniform { min: 1e-5, max: 1e-1 };
+        assert!(l.contains(&ConfigValue::Float(1e-3)));
+        assert_eq!(l.grid_size(), None);
+    }
+
+    #[test]
+    fn paper_grid_is_27() {
+        let s = SearchSpace::paper_grid();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.grid_size(), Some(27));
+    }
+
+    #[test]
+    fn space_contains_checks_all_params() {
+        let s = SearchSpace::paper_grid();
+        let good = Config::new()
+            .with("optimizer", ConfigValue::Str("SGD".into()))
+            .with("num_epochs", ConfigValue::Int(20))
+            .with("batch_size", ConfigValue::Int(64));
+        assert!(s.contains(&good));
+        let bad_value = Config::new()
+            .with("optimizer", ConfigValue::Str("AdaGrad".into()))
+            .with("num_epochs", ConfigValue::Int(20))
+            .with("batch_size", ConfigValue::Int(64));
+        assert!(!s.contains(&bad_value));
+        let missing = Config::new().with("optimizer", ConfigValue::Str("SGD".into()));
+        assert!(!s.contains(&missing));
+    }
+
+    #[test]
+    fn mixed_space_grid_size() {
+        let s = SearchSpace::new()
+            .with("a", ParamDomain::choice_ints(&[1, 2]))
+            .with("lr", ParamDomain::LogUniform { min: 1e-4, max: 1e-1 });
+        assert_eq!(s.grid_size(), None, "continuous ⇒ no grid");
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! Convolutional layers — the paper's experiments train small CNNs on
+//! MNIST/CIFAR-10; this module supplies the same model class.
+//!
+//! Implementation follows the classic im2col formulation: each convolution
+//! becomes one GEMM over unrolled input patches, reusing the tuned
+//! [`Matrix`] kernels. Backward runs the transposed GEMM plus col2im
+//! scatter. Pooling is 2×2 max with argmax memoisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Matrix;
+
+/// A dense 4-D tensor in `(n, c, h, w)` row-major layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Zero-filled tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 { n, c, h, w, data: vec![0.0; n * c * h * w] }
+    }
+
+    /// Wrap a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer size doesn't match the shape.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "shape/buffer mismatch");
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Reinterpret a batch of flat rows (e.g. dataset rows) as images.
+    ///
+    /// # Panics
+    /// Panics if `m.cols() != c*h*w`.
+    pub fn from_matrix(m: &Matrix, c: usize, h: usize, w: usize) -> Self {
+        assert_eq!(m.cols(), c * h * w, "row length is not c*h*w");
+        Tensor4 { n: m.rows(), c, h, w, data: m.as_slice().to_vec() }
+    }
+
+    /// Flatten to a `(n, c*h*w)` matrix (for the dense head).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.n, self.c * self.h * self.w, self.data.clone())
+    }
+
+    #[inline]
+    fn idx(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
+        ((n * self.c + c) * self.h + y) * self.w + x
+    }
+
+    /// Element access.
+    pub fn get(&self, n: usize, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.idx(n, c, y, x)]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, n: usize, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.idx(n, c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Flat view.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// Unroll padded patches of sample `s` into a `(oh*ow, c*kh*kw)` matrix.
+fn im2col(x: &Tensor4, s: usize, k: usize, pad: usize) -> Matrix {
+    let (oh, ow) = (x.h + 2 * pad - k + 1, x.w + 2 * pad - k + 1);
+    let mut cols = Matrix::zeros(oh * ow, x.c * k * k);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols.row_mut(oy * ow + ox);
+            let mut i = 0;
+            for c in 0..x.c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let y = oy + ky;
+                        let xx = ox + kx;
+                        // padded coordinates: subtract pad, check bounds
+                        row[i] = if y >= pad && xx >= pad && y - pad < x.h && xx - pad < x.w {
+                            x.get(s, c, y - pad, xx - pad)
+                        } else {
+                            0.0
+                        };
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Scatter a `(oh*ow, c*kh*kw)` gradient back onto the padded input.
+fn col2im(cols: &Matrix, x_like: &Tensor4, s: usize, k: usize, pad: usize, out: &mut Tensor4) {
+    let (oh, ow) = (x_like.h + 2 * pad - k + 1, x_like.w + 2 * pad - k + 1);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols.row(oy * ow + ox);
+            let mut i = 0;
+            for c in 0..x_like.c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let y = oy + ky;
+                        let xx = ox + kx;
+                        if y >= pad && xx >= pad && y - pad < x_like.h && xx - pad < x_like.w {
+                            let v = out.get(s, c, y - pad, xx - pad) + row[i];
+                            out.set(s, c, y - pad, xx - pad, v);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A 2-D convolution with square kernels, stride 1 and symmetric padding.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel size (square).
+    pub k: usize,
+    /// Zero padding on every side.
+    pub pad: usize,
+    /// Weights, `(out_c, in_c*k*k)`.
+    pub w: Matrix,
+    /// Bias per output channel.
+    pub b: Vec<f32>,
+}
+
+impl Conv2d {
+    /// He-initialised convolution.
+    pub fn new(in_c: usize, out_c: usize, k: usize, pad: usize, seed: u64) -> Self {
+        let fan_in = in_c * k * k;
+        let limit = (6.0f32 / fan_in as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Matrix::from_fn(out_c, fan_in, |_, _| rng.gen_range(-limit..limit));
+        Conv2d { in_c, out_c, k, pad, w, b: vec![0.0; out_c] }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad - self.k + 1, w + 2 * self.pad - self.k + 1)
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    /// Panics if the channel count doesn't match.
+    pub fn forward(&self, x: &Tensor4) -> Tensor4 {
+        assert_eq!(x.c, self.in_c, "channel mismatch");
+        let (oh, ow) = self.out_hw(x.h, x.w);
+        let mut out = Tensor4::zeros(x.n, self.out_c, oh, ow);
+        for s in 0..x.n {
+            let cols = im2col(x, s, self.k, self.pad); // (oh*ow, fan_in)
+            let y = cols.matmul_t(&self.w); // (oh*ow, out_c)
+            for oc in 0..self.out_c {
+                for p in 0..oh * ow {
+                    out.as_mut_slice()[((s * self.out_c + oc) * oh * ow) + p] =
+                        y.get(p, oc) + self.b[oc];
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given the forward input and `dy` (same shape as the
+    /// forward output), returns `(dw, db, dx)`.
+    pub fn backward(&self, x: &Tensor4, dy: &Tensor4) -> (Matrix, Vec<f32>, Tensor4) {
+        let (oh, ow) = self.out_hw(x.h, x.w);
+        assert_eq!((dy.c, dy.h, dy.w), (self.out_c, oh, ow), "dy shape");
+        let mut dw = Matrix::zeros(self.out_c, self.in_c * self.k * self.k);
+        let mut db = vec![0.0f32; self.out_c];
+        let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
+        for s in 0..x.n {
+            // dy for this sample as (oh*ow, out_c)
+            let mut dy_s = Matrix::zeros(oh * ow, self.out_c);
+            for (oc, db_oc) in db.iter_mut().enumerate() {
+                for p in 0..oh * ow {
+                    let g = dy.as_slice()[((s * self.out_c + oc) * oh * ow) + p];
+                    dy_s.set(p, oc, g);
+                    *db_oc += g;
+                }
+            }
+            let cols = im2col(x, s, self.k, self.pad);
+            // dw += dy_sᵀ (out_c × P) · cols (P × fan_in)
+            let contrib = dy_s.t_matmul(&cols); // (out_c, fan_in)
+            for (o, &v) in dw.as_mut_slice().iter_mut().zip(contrib.as_slice()) {
+                *o += v;
+            }
+            // dcols = dy_s (P × out_c) · w (out_c × fan_in)
+            let dcols = dy_s.matmul(&self.w);
+            col2im(&dcols, x, s, self.k, self.pad, &mut dx);
+        }
+        (dw, db, dx)
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2;
+
+impl MaxPool2 {
+    /// Forward pass; returns the pooled tensor and the flat argmax indices
+    /// (into the input) needed for backprop. Odd trailing rows/columns are
+    /// dropped (floor semantics, like most frameworks' default).
+    pub fn forward(&self, x: &Tensor4) -> (Tensor4, Vec<usize>) {
+        let (oh, ow) = (x.h / 2, x.w / 2);
+        let mut out = Tensor4::zeros(x.n, x.c, oh, ow);
+        let mut arg = vec![0usize; x.n * x.c * oh * ow];
+        let mut o = 0;
+        for s in 0..x.n {
+            for c in 0..x.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0;
+                        for dy in 0..2 {
+                            for dxx in 0..2 {
+                                let y = oy * 2 + dy;
+                                let xx = ox * 2 + dxx;
+                                let v = x.get(s, c, y, xx);
+                                if v > best {
+                                    best = v;
+                                    best_i = ((s * x.c + c) * x.h + y) * x.w + xx;
+                                }
+                            }
+                        }
+                        out.set(s, c, oy, ox, best);
+                        arg[o] = best_i;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    /// Backward: scatter `dy` to the argmax positions.
+    pub fn backward(&self, dy: &Tensor4, arg: &[usize], input_shape: (usize, usize, usize, usize)) -> Tensor4 {
+        let (n, c, h, w) = input_shape;
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for (g, &i) in dy.as_slice().iter().zip(arg) {
+            dx.as_mut_slice()[i] += g;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor4_layout_roundtrip() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        t.set(1, 2, 3, 4, 7.5);
+        assert_eq!(t.get(1, 2, 3, 4), 7.5);
+        assert_eq!(t.as_slice().len(), 120);
+        let m = t.to_matrix();
+        assert_eq!((m.rows(), m.cols()), (2, 60));
+        let back = Tensor4::from_matrix(&m, 3, 4, 5);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/buffer mismatch")]
+    fn tensor4_validates_buffer() {
+        let _ = Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1-channel 3×3 kernel with centre 1 and pad 1 = identity map.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0);
+        conv.w = Matrix::from_vec(1, 9, vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        conv.b = vec![0.0];
+        let x = Tensor4::from_vec(1, 1, 3, 3, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!((y.h, y.w), (3, 3));
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn valid_convolution_hand_checked() {
+        // 2×2 sum kernel, no padding, 3×3 input → 2×2 output of window sums.
+        let mut conv = Conv2d::new(1, 1, 2, 0, 0);
+        conv.w = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        conv.b = vec![0.5];
+        let x = Tensor4::from_vec(1, 1, 3, 3, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!((y.h, y.w), (2, 2));
+        // windows: [1,2,4,5]=12, [2,3,5,6]=16, [4,5,7,8]=24, [5,6,8,9]=28 (+0.5)
+        assert_eq!(y.as_slice(), &[12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1);
+        let x = Tensor4::zeros(2, 3, 8, 8);
+        let y = conv.forward(&x);
+        assert_eq!((y.n, y.c, y.h, y.w), (2, 8, 8, 8));
+        assert_eq!(conv.param_count(), 8 * 27 + 8);
+    }
+
+    #[test]
+    fn conv_numerical_gradient_check() {
+        let conv = Conv2d::new(2, 3, 3, 1, 5);
+        let x = Tensor4::from_vec(
+            2,
+            2,
+            4,
+            4,
+            (0..64).map(|i| ((i * 37) as f32).sin() * 0.5).collect(),
+        );
+        let y = conv.forward(&x);
+        let dy = Tensor4::from_vec(y.n, y.c, y.h, y.w, vec![1.0; y.as_slice().len()]);
+        let (dw, db, dx) = conv.backward(&x, &dy);
+        let eps = 1e-2f32;
+        let loss = |c: &Conv2d, input: &Tensor4| -> f32 { c.forward(input).as_slice().iter().sum() };
+        // weights
+        for &(r, cc) in &[(0usize, 0usize), (1, 7), (2, 17)] {
+            let mut plus = conv.clone();
+            plus.w.set(r, cc, conv.w.get(r, cc) + eps);
+            let mut minus = conv.clone();
+            minus.w.set(r, cc, conv.w.get(r, cc) - eps);
+            let num = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps);
+            assert!(
+                (num - dw.get(r, cc)).abs() < 0.05 * dw.get(r, cc).abs().max(1.0),
+                "dw({r},{cc}): analytic {} vs numeric {num}",
+                dw.get(r, cc)
+            );
+        }
+        // bias: dL/db = number of output positions per channel × batch
+        let positions = (y.h * y.w * y.n) as f32;
+        assert!(db.iter().all(|&g| (g - positions).abs() < 1e-3), "{db:?}");
+        // input gradient
+        for &flat in &[0usize, 13, 37] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[flat] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[flat] -= eps;
+            let num = (loss(&conv, &plus) - loss(&conv, &minus)) / (2.0 * eps);
+            let ana = dx.as_slice()[flat];
+            assert!((num - ana).abs() < 0.05, "dx[{flat}]: analytic {ana} vs numeric {num}");
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor4::from_vec(
+            1,
+            1,
+            4,
+            4,
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let pool = MaxPool2;
+        let (y, arg) = pool.forward(&x);
+        assert_eq!((y.h, y.w), (2, 2));
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        let dy = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let dx = pool.backward(&dy, &arg, (1, 1, 4, 4));
+        assert_eq!(dx.get(0, 0, 1, 1), 1.0, "grad lands on the max position");
+        assert_eq!(dx.get(0, 0, 1, 3), 2.0);
+        assert_eq!(dx.get(0, 0, 3, 1), 3.0);
+        assert_eq!(dx.get(0, 0, 3, 3), 4.0);
+        assert_eq!(dx.as_slice().iter().sum::<f32>(), 10.0, "mass conserved");
+    }
+
+    #[test]
+    fn maxpool_drops_odd_edges() {
+        let x = Tensor4::zeros(1, 1, 5, 5);
+        let (y, _) = MaxPool2.forward(&x);
+        assert_eq!((y.h, y.w), (2, 2));
+    }
+
+    #[test]
+    fn conv_seeding_is_reproducible() {
+        let a = Conv2d::new(1, 4, 3, 1, 9);
+        let b = Conv2d::new(1, 4, 3, 1, 9);
+        assert_eq!(a.w, b.w);
+        let c = Conv2d::new(1, 4, 3, 1, 10);
+        assert_ne!(a.w, c.w);
+    }
+}

@@ -1,0 +1,122 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Matrix;
+
+/// Row-wise softmax, numerically stabilised by max subtraction.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy of `logits (batch × classes)` against integer
+/// `labels`, and the gradient w.r.t. the logits.
+///
+/// # Panics
+/// Panics if a label is out of range or the batch is empty.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    assert!(!labels.is_empty(), "empty batch");
+    let batch = logits.rows() as f32;
+    let mut probs = softmax(logits);
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        // dL/dlogits = (softmax - onehot) / batch
+        let row = probs.row_mut(r);
+        for v in row.iter_mut() {
+            *v /= batch;
+        }
+        row[label] -= 1.0 / batch;
+    }
+    (loss / batch, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+        // larger logit ⇒ larger probability
+        assert!(p.get(0, 2) > p.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = softmax(&Matrix::from_vec(1, 2, vec![1001.0, 1002.0]));
+        assert!((a.get(0, 0) - b.get(0, 0)).abs() < 1e-6);
+        assert!(b.as_slice().iter().all(|v| v.is_finite()), "no overflow at huge logits");
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_classes() {
+        let logits = Matrix::zeros(4, 10);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - eps);
+                let (loss_p, _) = softmax_cross_entropy(&lp, &labels);
+                let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
+                let num = (loss_p - loss_m) / (2.0 * eps);
+                assert!(
+                    (num - grad.get(r, c)).abs() < 1e-3,
+                    "grad mismatch at ({r},{c}): {} vs {num}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(1, 3), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_count_mismatch_panics() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(2, 3), &[0]);
+    }
+}

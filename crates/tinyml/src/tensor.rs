@@ -1,0 +1,286 @@
+//! Dense row-major `f32` matrices and the handful of BLAS-like kernels the
+//! training loop needs.
+//!
+//! Performance notes (per the repo's HPC guides): the GEMM uses an
+//! i-k-j loop order so the innermost loop is a contiguous saxpy over the
+//! output row (auto-vectorises well), slices are hoisted out of loops to
+//! elide bounds checks, and all buffers are reused through `&mut` outputs
+//! where the training loop is hot.
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat immutable view.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Select the listed rows into a new matrix (mini-batch gather).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (o, &r) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// `self × other`, allocating the output.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self × other` reusing `out`'s buffer.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        assert_eq!(out.rows, self.rows, "output rows");
+        assert_eq!(out.cols, other.cols, "output cols");
+        out.data.fill(0.0);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must agree for AᵀB");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "col counts must agree for ABᵀ");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Add `bias` (len = cols) to every row in place.
+    pub fn add_row_vector(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column-wise sums (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: f32) {
+        self.map_inplace(|v| v * s);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+
+        let f = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(f.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_validates_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_products_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + 2 * c) as f32);
+        let b = Matrix::from_fn(3, 2, |r, c| (2 * r + c) as f32);
+        // AᵀB via t_matmul vs manual transpose
+        let at = Matrix::from_fn(4, 3, |r, c| a.get(c, r));
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+
+        let d = Matrix::from_fn(5, 4, |r, c| (r * c) as f32);
+        let dt = Matrix::from_fn(4, 5, |r, c| d.get(c, r));
+        assert_eq!(a.matmul_t(&d), a.matmul(&dt));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn gather_rows_picks_batch() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let g = m.gather_rows(&[3, 1]);
+        assert_eq!(g.as_slice(), &[3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn bias_and_colsums_roundtrip() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_vector(&[1.0, -2.0]);
+        assert_eq!(m.col_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn map_scale_norm() {
+        let mut m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(m.norm(), 5.0);
+        m.scale(2.0);
+        assert_eq!(m.as_slice(), &[6.0, 8.0]);
+        m.map_inplace(|v| v.max(7.0));
+        assert_eq!(m.as_slice(), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(2, 2, |r, c| (r * c) as f32);
+        let mut out = Matrix::from_vec(2, 2, vec![99.0; 4]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b), "stale buffer contents must be cleared");
+    }
+}

@@ -1,0 +1,377 @@
+//! The training loop — the body of the paper's `experiment(config)` task.
+//!
+//! `train` runs mini-batch gradient descent for the configured number of
+//! epochs, recording per-epoch training loss and validation accuracy (the
+//! curves plotted in the paper's Figures 7 and 8), and supports an epoch
+//! callback so the HPO layer can implement early stopping ("the process can
+//! be stopped as soon as one task achieves a specified accuracy").
+
+use crate::cnn::Cnn;
+use crate::data::Dataset;
+use crate::metrics::evaluate;
+use crate::net::{Mlp, Model};
+use crate::optim::{Optimizer, OptimizerKind};
+
+/// Which model family to train — the paper's experiments are CNNs; dense
+/// nets are the fast default for large sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelArch {
+    /// Multi-layer perceptron over [`TrainConfig::hidden_layers`].
+    Dense,
+    /// Two-block CNN (see [`crate::cnn::Cnn`]); the dataset rows must be
+    /// square images (1 or 3 channels).
+    Cnn {
+        /// Channels of the first conv block.
+        conv1_channels: usize,
+        /// Channels of the second conv block.
+        conv2_channels: usize,
+    },
+}
+
+/// Learning-rate schedule applied between epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant,
+    /// Multiply the rate by `factor` every `every_epochs` epochs.
+    StepDecay {
+        /// Epochs between decays (≥ 1).
+        every_epochs: u32,
+        /// Multiplicative factor in `(0, 1]`.
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate down to `min_frac × base`.
+    Cosine {
+        /// Final rate as a fraction of the base rate, in `(0, 1]`.
+        min_frac: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) of `total` epochs.
+    pub fn lr_at(&self, base: f32, epoch: u32, total: u32) -> f32 {
+        match self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every_epochs, factor } => {
+                let steps = epoch / (*every_epochs).max(1);
+                base * factor.powi(steps as i32)
+            }
+            LrSchedule::Cosine { min_frac } => {
+                let lo = base * min_frac;
+                if total <= 1 {
+                    return base;
+                }
+                let t = epoch as f32 / (total - 1) as f32;
+                lo + 0.5 * (base - lo) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Hyperparameters of one training — the paper's `config`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of epochs (paper axis: 20 / 50 / 100).
+    pub epochs: u32,
+    /// Mini-batch size (paper axis: 32 / 64 / 128).
+    pub batch_size: usize,
+    /// Optimiser (paper axis: Adam / SGD / RMSprop).
+    pub optimizer: OptimizerKind,
+    /// Learning rate; `0.0` means "use the optimiser's default".
+    pub learning_rate: f32,
+    /// Learning-rate schedule across epochs.
+    pub lr_schedule: LrSchedule,
+    /// Model family.
+    pub arch: ModelArch,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Hidden layer widths.
+    pub hidden_layers: Vec<usize>,
+    /// Validation fraction carved out of the dataset.
+    pub val_fraction: f64,
+    /// RNG seed (weights + shuffling).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            optimizer: OptimizerKind::Adam,
+            learning_rate: 0.0,
+            lr_schedule: LrSchedule::Constant,
+            arch: ModelArch::Dense,
+            weight_decay: 0.0,
+            hidden_layers: vec![64],
+            val_fraction: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The learning rate actually used.
+    pub fn effective_lr(&self) -> f32 {
+        if self.learning_rate > 0.0 {
+            self.learning_rate
+        } else {
+            self.optimizer.default_lr()
+        }
+    }
+
+    /// One-line description, used as plot legend ("Adam/e50/b64").
+    pub fn label(&self) -> String {
+        format!("{}/e{}/b{}", self.optimizer, self.epochs, self.batch_size)
+    }
+}
+
+/// Per-epoch training history, the "training history" the paper's tasks
+/// return alongside the final metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct History {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f64>,
+    /// Validation accuracy per epoch.
+    pub val_accuracy: Vec<f64>,
+}
+
+impl History {
+    /// Last recorded validation accuracy (0.0 before the first epoch).
+    pub fn final_val_accuracy(&self) -> f64 {
+        self.val_accuracy.last().copied().unwrap_or(0.0)
+    }
+
+    /// Best validation accuracy over all epochs.
+    pub fn best_val_accuracy(&self) -> f64 {
+        self.val_accuracy.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs_run(&self) -> usize {
+        self.val_accuracy.len()
+    }
+}
+
+/// Signal returned by the per-epoch callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochSignal {
+    /// Keep training.
+    Continue,
+    /// Stop now (early stopping).
+    Stop,
+}
+
+/// Train with a per-epoch observer. The observer receives
+/// `(epoch_index, train_loss, val_accuracy)` after every epoch and may stop
+/// training early.
+pub fn train_with_observer(
+    cfg: &TrainConfig,
+    data: &Dataset,
+    mut observer: impl FnMut(u32, f64, f64) -> EpochSignal,
+) -> History {
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let (train_set, val_set) = data.split(cfg.val_fraction, cfg.seed);
+    let mut net: Box<dyn Model> = match cfg.arch {
+        ModelArch::Dense => {
+            Box::new(Mlp::new(data.dim(), &cfg.hidden_layers, data.n_classes, cfg.seed))
+        }
+        ModelArch::Cnn { conv1_channels, conv2_channels } => {
+            let shape = Cnn::infer_shape(data.dim()).unwrap_or_else(|| {
+                panic!("CNN needs square 1/3-channel images; dim {} is neither", data.dim())
+            });
+            Box::new(Cnn::new(shape, data.n_classes, conv1_channels, conv2_channels, cfg.seed))
+        }
+    };
+    let base_lr = cfg.effective_lr();
+    let mut opt = Optimizer::new(cfg.optimizer, base_lr).with_weight_decay(cfg.weight_decay);
+
+    let mut history = History::default();
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.lr_schedule.lr_at(base_lr, epoch, cfg.epochs).max(1e-8));
+        let mut loss_sum = 0.0f64;
+        let batches = train_set.batches(cfg.batch_size, cfg.seed, epoch);
+        let n_batches = batches.len().max(1);
+        for batch in batches {
+            let x = train_set.x.gather_rows(&batch);
+            let y: Vec<usize> = batch.iter().map(|&i| train_set.y[i]).collect();
+            loss_sum += net.train_batch(&mut opt, &x, &y) as f64;
+        }
+        let train_loss = loss_sum / n_batches as f64;
+        let val_acc = evaluate(net.as_ref(), &val_set);
+        history.train_loss.push(train_loss);
+        history.val_accuracy.push(val_acc);
+        if observer(epoch, train_loss, val_acc) == EpochSignal::Stop {
+            break;
+        }
+    }
+    history
+}
+
+/// Train to completion without an observer.
+pub fn train(cfg: &TrainConfig, data: &Dataset) -> History {
+    train_with_observer(cfg, data, |_, _, _| EpochSignal::Continue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(optimizer: OptimizerKind) -> TrainConfig {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            optimizer,
+            hidden_layers: vec![32],
+            seed: 1,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn mnist_like_reaches_high_accuracy_fast() {
+        // The property Figure 7 rests on: MNIST-like generalises quickly.
+        let data = Dataset::synthetic_mnist(1500, 7);
+        let h = train(&quick_cfg(OptimizerKind::Adam), &data);
+        assert!(h.final_val_accuracy() > 0.85, "got {}", h.final_val_accuracy());
+        assert_eq!(h.epochs_run(), 5);
+    }
+
+    #[test]
+    fn all_three_paper_optimizers_learn() {
+        let data = Dataset::synthetic_mnist(800, 3);
+        for kind in OptimizerKind::ALL {
+            let h = train(&quick_cfg(kind), &data);
+            assert!(
+                h.final_val_accuracy() > 0.5,
+                "{kind} stuck at {}",
+                h.final_val_accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn loss_trends_downward() {
+        let data = Dataset::synthetic_mnist(600, 5);
+        let h = train(&quick_cfg(OptimizerKind::Adam), &data);
+        let first = h.train_loss.first().copied().unwrap();
+        let last = h.train_loss.last().copied().unwrap();
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = Dataset::synthetic_mnist(400, 9);
+        let a = train(&quick_cfg(OptimizerKind::RmsProp), &data);
+        let b = train(&quick_cfg(OptimizerKind::RmsProp), &data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observer_can_stop_early() {
+        let data = Dataset::synthetic_mnist(400, 2);
+        let mut calls = 0;
+        let h = train_with_observer(&quick_cfg(OptimizerKind::Adam), &data, |_, _, _| {
+            calls += 1;
+            if calls == 2 {
+                EpochSignal::Stop
+            } else {
+                EpochSignal::Continue
+            }
+        });
+        assert_eq!(h.epochs_run(), 2);
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn cifar_like_is_harder_than_mnist_like() {
+        // The property Figure 8 rests on: same budget, lower accuracy.
+        let mnist = Dataset::synthetic_mnist(900, 4);
+        let cfg = quick_cfg(OptimizerKind::Adam);
+        let hm = train(&cfg, &mnist);
+        let cifar = Dataset::synthetic_cifar10(900, 4);
+        let hc = train(&cfg, &cifar);
+        assert!(
+            hc.final_val_accuracy() < hm.final_val_accuracy(),
+            "cifar {} !< mnist {}",
+            hc.final_val_accuracy(),
+            hm.final_val_accuracy()
+        );
+    }
+
+    #[test]
+    fn history_helpers() {
+        let h = History { train_loss: vec![1.0, 0.5], val_accuracy: vec![0.3, 0.8] };
+        assert_eq!(h.final_val_accuracy(), 0.8);
+        assert_eq!(h.best_val_accuracy(), 0.8);
+        assert_eq!(h.epochs_run(), 2);
+        assert_eq!(History::default().final_val_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn config_label_and_lr() {
+        let cfg = quick_cfg(OptimizerKind::Sgd);
+        assert_eq!(cfg.label(), "SGD/e5/b32");
+        assert_eq!(cfg.effective_lr(), 0.01);
+        let explicit = TrainConfig { learning_rate: 0.5, ..cfg };
+        assert_eq!(explicit.effective_lr(), 0.5);
+    }
+
+    #[test]
+    fn lr_schedules_produce_expected_rates() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr_at(0.1, 0, 10), 0.1);
+        assert_eq!(s.lr_at(0.1, 9, 10), 0.1);
+
+        let d = LrSchedule::StepDecay { every_epochs: 3, factor: 0.5 };
+        assert_eq!(d.lr_at(0.8, 0, 10), 0.8);
+        assert_eq!(d.lr_at(0.8, 2, 10), 0.8);
+        assert_eq!(d.lr_at(0.8, 3, 10), 0.4);
+        assert_eq!(d.lr_at(0.8, 6, 10), 0.2);
+
+        let c = LrSchedule::Cosine { min_frac: 0.1 };
+        assert!((c.lr_at(1.0, 0, 11) - 1.0).abs() < 1e-6, "starts at base");
+        assert!((c.lr_at(1.0, 10, 11) - 0.1).abs() < 1e-6, "ends at min");
+        let mid = c.lr_at(1.0, 5, 11);
+        assert!(mid > 0.1 && mid < 1.0);
+        assert_eq!(c.lr_at(1.0, 0, 1), 1.0, "single-epoch training keeps base");
+    }
+
+    #[test]
+    fn scheduled_training_still_learns() {
+        let data = Dataset::synthetic_mnist(800, 6);
+        let cfg = TrainConfig {
+            lr_schedule: LrSchedule::StepDecay { every_epochs: 2, factor: 0.5 },
+            weight_decay: 1e-4,
+            ..quick_cfg(OptimizerKind::Adam)
+        };
+        let h = train(&cfg, &data);
+        assert!(h.final_val_accuracy() > 0.6, "got {}", h.final_val_accuracy());
+        // deterministic as well
+        assert_eq!(train(&cfg, &data), h);
+    }
+
+    #[test]
+    fn weight_decay_changes_the_trajectory() {
+        let data = Dataset::synthetic_mnist(400, 6);
+        let plain = train(&quick_cfg(OptimizerKind::Adam), &data);
+        let decayed = train(
+            &TrainConfig { weight_decay: 0.05, ..quick_cfg(OptimizerKind::Adam) },
+            &data,
+        );
+        assert_ne!(plain, decayed);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let data = Dataset {
+            x: crate::tensor::Matrix::zeros(0, 4),
+            y: vec![],
+            n_classes: 2,
+            name: "empty".into(),
+        };
+        let _ = train(&TrainConfig::default(), &data);
+    }
+}

@@ -1,0 +1,182 @@
+//! Thread-safe trace collection.
+//!
+//! The runtime holds an `Arc<TraceCollector>` and reports every state change.
+//! Mirroring the paper ("both tracing and graph generation create a
+//! performance overhead. These two features can easily be turned off by a
+//! simple flag"), the collector can be constructed disabled, in which case
+//! recording is a single relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::record::{CoreId, EventKind, Record, StateKind, TaskRef};
+
+/// Accumulates trace records from any number of threads.
+#[derive(Debug)]
+pub struct TraceCollector {
+    enabled: AtomicBool,
+    records: Mutex<Vec<Record>>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
+impl TraceCollector {
+    /// A collector that records everything (tracing flag on).
+    pub fn enabled() -> Self {
+        TraceCollector { enabled: AtomicBool::new(true), records: Mutex::new(Vec::new()) }
+    }
+
+    /// A collector that drops everything (tracing flag off).
+    pub fn disabled() -> Self {
+        TraceCollector { enabled: AtomicBool::new(false), records: Mutex::new(Vec::new()) }
+    }
+
+    /// Construct with an explicit flag, matching the paper's launch-time
+    /// `--tracing` switch.
+    pub fn with_flag(tracing: bool) -> Self {
+        if tracing {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// Whether records are currently kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggle collection at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record an arbitrary record.
+    pub fn record(&self, record: Record) {
+        if self.is_enabled() {
+            self.records.lock().push(record);
+        }
+    }
+
+    /// Record a state interval `[start, end)` on `core`.
+    pub fn state(&self, core: CoreId, start: u64, end: u64, state: StateKind) {
+        debug_assert!(start <= end, "state interval must not be inverted");
+        self.record(Record::State { core, start, end, state });
+    }
+
+    /// Record that `task` ran on `core` during `[start, end)`.
+    pub fn task_run(&self, core: CoreId, start: u64, end: u64, task: TaskRef) {
+        self.state(core, start, end, StateKind::Running(task));
+    }
+
+    /// Record a point event.
+    pub fn event(&self, core: CoreId, time: u64, kind: EventKind) {
+        self.record(Record::Event { core, time, kind });
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take a chronological snapshot of the records collected so far.
+    ///
+    /// Records are sorted by `(time, core)` so that downstream consumers
+    /// (the PRV writer, the Gantt renderer, statistics) can assume order
+    /// regardless of which thread reported what first.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let mut out = self.records.lock().clone();
+        out.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
+        out
+    }
+
+    /// Drain all records, leaving the collector empty.
+    pub fn drain(&self) -> Vec<Record> {
+        let mut out = std::mem::take(&mut *self.records.lock());
+        out.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn task(id: u64) -> TaskRef {
+        TaskRef::new(id, format!("t{id}"))
+    }
+
+    #[test]
+    fn disabled_collector_drops_records() {
+        let c = TraceCollector::disabled();
+        c.task_run(CoreId::new(0, 0), 0, 10, task(1));
+        c.event(CoreId::new(0, 0), 5, EventKind::TaskEnd(task(1)));
+        assert!(c.is_empty());
+        assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn flag_constructor_matches_launch_switch() {
+        assert!(TraceCollector::with_flag(true).is_enabled());
+        assert!(!TraceCollector::with_flag(false).is_enabled());
+    }
+
+    #[test]
+    fn snapshot_is_chronological() {
+        let c = TraceCollector::enabled();
+        c.task_run(CoreId::new(0, 1), 50, 80, task(2));
+        c.task_run(CoreId::new(0, 0), 0, 40, task(1));
+        c.event(CoreId::new(0, 0), 20, EventKind::TaskDispatch(task(9)));
+        let snap = c.snapshot();
+        let times: Vec<u64> = snap.iter().map(|r| r.time()).collect();
+        assert_eq!(times, vec![0, 20, 50]);
+        assert_eq!(c.len(), 3, "snapshot must not consume");
+    }
+
+    #[test]
+    fn drain_empties_collector() {
+        let c = TraceCollector::enabled();
+        c.task_run(CoreId::new(0, 0), 0, 1, task(1));
+        assert_eq!(c.drain().len(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn toggling_enables_and_disables_recording() {
+        let c = TraceCollector::disabled();
+        c.set_enabled(true);
+        c.task_run(CoreId::new(0, 0), 0, 1, task(1));
+        c.set_enabled(false);
+        c.task_run(CoreId::new(0, 0), 1, 2, task(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let c = Arc::new(TraceCollector::enabled());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    c.task_run(CoreId::new(t as u32, 0), i, i + 1, TaskRef::new(t * 100 + i, "x"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 800);
+    }
+}

@@ -1,0 +1,412 @@
+//! Paraver trace export.
+//!
+//! Paraver consumes a trio of files: the trace body (`.prv`), the resource
+//! naming file (`.row`) and the semantic configuration (`.pcf`). This module
+//! writes all three from a record snapshot, following the subset of the
+//! Paraver trace format the BSC tools document:
+//!
+//! ```text
+//! header : #Paraver (dd/mm/yy at hh:mm):ftime:nNodes(c1,c2,...):nAppl:applList
+//! state  : 1:cpu:appl:task:thread:begin:end:state
+//! event  : 2:cpu:appl:task:thread:time:type:value
+//! ```
+//!
+//! We map one Paraver "cpu" to one `(node, core)` pair, numbering cpus
+//! globally in node-major order, and run everything as application 1, task 1,
+//! one thread per cpu — the layout Extrae uses for runtime-level traces.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::record::{CoreId, Record};
+
+/// Maps `(node, core)` pairs to global 1-based Paraver cpu ids.
+#[derive(Debug, Clone, Default)]
+pub struct CpuIndex {
+    cores_per_node: BTreeMap<u32, u32>,
+}
+
+impl CpuIndex {
+    /// Build the index from every core mentioned in `records`.
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut cores_per_node: BTreeMap<u32, u32> = BTreeMap::new();
+        for r in records {
+            let c = r.core();
+            let entry = cores_per_node.entry(c.node).or_insert(0);
+            *entry = (*entry).max(c.core + 1);
+        }
+        CpuIndex { cores_per_node }
+    }
+
+    /// Total number of cpus in the trace.
+    pub fn total_cpus(&self) -> u32 {
+        self.cores_per_node.values().sum()
+    }
+
+    /// Number of nodes in the trace.
+    pub fn nodes(&self) -> usize {
+        self.cores_per_node.len()
+    }
+
+    /// The global 1-based cpu id for `core`, if the node is known.
+    pub fn cpu_id(&self, core: CoreId) -> Option<u32> {
+        let mut base = 0u32;
+        for (&node, &n) in &self.cores_per_node {
+            if node == core.node {
+                return (core.core < n).then_some(base + core.core + 1);
+            }
+            base += n;
+        }
+        None
+    }
+
+    /// Iterate `(node, cores)` pairs in node order.
+    pub fn per_node(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.cores_per_node.iter().map(|(&n, &c)| (n, c))
+    }
+}
+
+/// Complete Paraver export: the three file bodies.
+#[derive(Debug, Clone)]
+pub struct PrvTrace {
+    /// `.prv` file contents.
+    pub prv: String,
+    /// `.row` file contents (row labels).
+    pub row: String,
+    /// `.pcf` file contents (semantic configuration).
+    pub pcf: String,
+}
+
+/// Render a snapshot of records into Paraver's three files.
+///
+/// `app_name` only affects comments/labels. Records should come from
+/// [`crate::TraceCollector::snapshot`] and therefore be time-sorted; the
+/// writer re-sorts defensively because the format requires it.
+pub fn export(app_name: &str, records: &[Record]) -> PrvTrace {
+    let mut records: Vec<Record> = records.to_vec();
+    records.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
+
+    let index = CpuIndex::from_records(&records);
+    let ftime = records.iter().map(|r| r.end_time()).max().unwrap_or(0);
+
+    // Header: #Paraver (dd/mm/yy at hh:mm):ftime:nNodes(cores,...):nAppl:applList
+    let cores_list: Vec<String> = index.per_node().map(|(_, c)| c.to_string()).collect();
+    let mut prv = String::new();
+    let _ = writeln!(
+        prv,
+        "#Paraver (01/01/26 at 00:00):{}_ns:{}({}):1:{}(1:{})",
+        ftime * 1000, // Paraver wants ns; our records are µs
+        index.nodes(),
+        cores_list.join(","),
+        index.total_cpus(),
+        index.total_cpus(),
+    );
+    let _ = writeln!(prv, "c:{app_name}");
+
+    for r in &records {
+        let cpu = match index.cpu_id(r.core()) {
+            Some(c) => c,
+            None => continue,
+        };
+        match r {
+            Record::State { start, end, state, .. } => {
+                let _ = writeln!(
+                    prv,
+                    "1:{cpu}:1:1:{cpu}:{}:{}:{}",
+                    start * 1000,
+                    end * 1000,
+                    state.prv_state()
+                );
+            }
+            Record::Event { time, kind, .. } => {
+                let _ = writeln!(
+                    prv,
+                    "2:{cpu}:1:1:{cpu}:{}:{}:{}",
+                    time * 1000,
+                    kind.prv_type(),
+                    kind.prv_value()
+                );
+            }
+        }
+    }
+
+    // .row — row labels per hierarchy level.
+    let mut row = String::new();
+    let _ = writeln!(row, "LEVEL CPU SIZE {}", index.total_cpus());
+    for (node, cores) in index.per_node() {
+        for core in 0..cores {
+            let _ = writeln!(row, "node{node}.core{core}");
+        }
+    }
+    let _ = writeln!(row);
+    let _ = writeln!(row, "LEVEL NODE SIZE {}", index.nodes());
+    for (node, _) in index.per_node() {
+        let _ = writeln!(row, "node{node}");
+    }
+
+    // .pcf — state and event semantics, matching record.rs encodings.
+    let mut pcf = String::new();
+    let _ = writeln!(pcf, "DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS               NANOSEC\n");
+    let _ = writeln!(pcf, "STATES");
+    let _ = writeln!(pcf, "0    Idle");
+    let _ = writeln!(pcf, "1    Running");
+    let _ = writeln!(pcf, "5    Runtime reserved");
+    let _ = writeln!(pcf, "12   Data transfer");
+    let _ = writeln!(pcf);
+    let _ = writeln!(pcf, "EVENT_TYPE");
+    let _ = writeln!(pcf, "9    8000    Task dispatch (task id)");
+    let _ = writeln!(pcf, "9    8001    Task end (task id)");
+    let _ = writeln!(pcf, "9    8002    Task failure (task id)");
+    let _ = writeln!(pcf, "9    8003    Node failure");
+
+    PrvTrace { prv, row, pcf }
+}
+
+/// Write the three files next to each other as `<stem>.prv/.row/.pcf`.
+pub fn write_files(stem: &std::path::Path, trace: &PrvTrace) -> std::io::Result<()> {
+    std::fs::write(stem.with_extension("prv"), &trace.prv)?;
+    std::fs::write(stem.with_extension("row"), &trace.row)?;
+    std::fs::write(stem.with_extension("pcf"), &trace.pcf)?;
+    Ok(())
+}
+
+/// Parse error for [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrvParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PrvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PrvParseError {}
+
+/// Parse a `.prv` body (as produced by [`export`]) back into records.
+///
+/// The `.row` content recovers the cpu → `(node, core)` mapping. Task
+/// *names* are not stored in the format, so reconstructed
+/// [`crate::record::StateKind::Running`] entries carry empty names; everything else —
+/// cores, intervals, state codes, event types/values — round-trips.
+pub fn parse(prv: &str, row: &str) -> Result<Vec<Record>, PrvParseError> {
+    use crate::record::{EventKind, StateKind, TaskRef};
+
+    // cpu id (1-based) → CoreId, from "nodeN.coreM" lines of the .row file.
+    let mut cpu_map: Vec<CoreId> = Vec::new();
+    for line in row.lines().skip(1) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("LEVEL") {
+            break; // end of the CPU level
+        }
+        let parsed = line
+            .strip_prefix("node")
+            .and_then(|rest| rest.split_once(".core"))
+            .and_then(|(n, c)| Some(CoreId::new(n.parse().ok()?, c.parse().ok()?)));
+        match parsed {
+            Some(id) => cpu_map.push(id),
+            None => {
+                return Err(PrvParseError { line: 0, message: format!("bad row label '{line}'") })
+            }
+        }
+    }
+    let core_of = |cpu: usize, line_no: usize| -> Result<CoreId, PrvParseError> {
+        cpu_map.get(cpu.wrapping_sub(1)).copied().ok_or(PrvParseError {
+            line: line_no,
+            message: format!("cpu {cpu} not in .row"),
+        })
+    };
+
+    let mut out = Vec::new();
+    for (i, line) in prv.lines().enumerate() {
+        let line_no = i + 1;
+        if line.starts_with('#') || line.starts_with("c:") || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(':').collect();
+        let num = |s: &str| -> Result<u64, PrvParseError> {
+            s.parse().map_err(|_| PrvParseError {
+                line: line_no,
+                message: format!("bad number '{s}'"),
+            })
+        };
+        match fields.first().copied() {
+            Some("1") if fields.len() == 8 => {
+                let core = core_of(num(fields[1])? as usize, line_no)?;
+                let (start, end, state) =
+                    (num(fields[5])? / 1000, num(fields[6])? / 1000, num(fields[7])?);
+                let state = match state {
+                    0 => StateKind::Idle,
+                    1 => StateKind::Running(TaskRef::new(0, "")),
+                    5 => StateKind::RuntimeReserved,
+                    12 => StateKind::Transferring { bytes: 0 },
+                    other => {
+                        return Err(PrvParseError {
+                            line: line_no,
+                            message: format!("unknown state {other}"),
+                        })
+                    }
+                };
+                out.push(Record::State { core, start, end, state });
+            }
+            Some("2") if fields.len() == 8 => {
+                let core = core_of(num(fields[1])? as usize, line_no)?;
+                let time = num(fields[5])? / 1000;
+                let (etype, value) = (num(fields[6])? as u32, num(fields[7])?);
+                let kind = match etype {
+                    8000 => EventKind::TaskDispatch(TaskRef::new(value, "")),
+                    8001 => EventKind::TaskEnd(TaskRef::new(value, "")),
+                    8002 => EventKind::TaskFailure { task: TaskRef::new(value, ""), attempt: 0 },
+                    8003 => EventKind::NodeFailure,
+                    other => EventKind::UserFlag { event_type: other, value },
+                };
+                out.push(Record::Event { core, time, kind });
+            }
+            _ => {
+                return Err(PrvParseError {
+                    line: line_no,
+                    message: format!("unrecognised record '{line}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventKind, StateKind, TaskRef};
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::State {
+                core: CoreId::new(0, 0),
+                start: 0,
+                end: 100,
+                state: StateKind::Running(TaskRef::new(1, "graph.experiment")),
+            },
+            Record::State {
+                core: CoreId::new(1, 1),
+                start: 50,
+                end: 70,
+                state: StateKind::Transferring { bytes: 4096 },
+            },
+            Record::Event {
+                core: CoreId::new(0, 0),
+                time: 100,
+                kind: EventKind::TaskEnd(TaskRef::new(1, "graph.experiment")),
+            },
+        ]
+    }
+
+    #[test]
+    fn cpu_index_numbers_cores_node_major() {
+        let idx = CpuIndex::from_records(&sample_records());
+        assert_eq!(idx.nodes(), 2);
+        // node 0 shows only core 0 => 1 core; node 1 shows core 1 => 2 cores.
+        assert_eq!(idx.total_cpus(), 3);
+        assert_eq!(idx.cpu_id(CoreId::new(0, 0)), Some(1));
+        assert_eq!(idx.cpu_id(CoreId::new(1, 0)), Some(2));
+        assert_eq!(idx.cpu_id(CoreId::new(1, 1)), Some(3));
+        assert_eq!(idx.cpu_id(CoreId::new(2, 0)), None);
+        assert_eq!(idx.cpu_id(CoreId::new(0, 5)), None);
+    }
+
+    #[test]
+    fn export_contains_header_states_and_events() {
+        let t = export("hpo_app", &sample_records());
+        let first = t.prv.lines().next().unwrap();
+        assert!(first.starts_with("#Paraver"), "header line: {first}");
+        assert!(first.contains(":2(1,2):"), "node/core list in header: {first}");
+        // state record for task 1 on cpu 1, µs→ns scaling applied
+        assert!(t.prv.contains("1:1:1:1:1:0:100000:1"), "prv body:\n{}", t.prv);
+        // event record
+        assert!(t.prv.contains("2:1:1:1:1:100000:8001:1"));
+        // transfer state on cpu 3
+        assert!(t.prv.contains("1:3:1:1:3:50000:70000:12"));
+    }
+
+    #[test]
+    fn row_file_lists_every_core_and_node() {
+        let t = export("x", &sample_records());
+        assert!(t.row.contains("LEVEL CPU SIZE 3"));
+        assert!(t.row.contains("node0.core0"));
+        assert!(t.row.contains("node1.core1"));
+        assert!(t.row.contains("LEVEL NODE SIZE 2"));
+    }
+
+    #[test]
+    fn pcf_documents_all_states() {
+        let t = export("x", &sample_records());
+        for needle in ["0    Idle", "1    Running", "5    Runtime reserved", "12   Data transfer"] {
+            assert!(t.pcf.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn export_of_empty_trace_is_wellformed() {
+        let t = export("empty", &[]);
+        assert!(t.prv.starts_with("#Paraver"));
+        assert!(t.row.contains("LEVEL CPU SIZE 0"));
+    }
+
+    #[test]
+    fn parse_roundtrips_structure() {
+        let records = sample_records();
+        let t = export("x", &records);
+        let parsed = parse(&t.prv, &t.row).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        // intervals, cores and state classes survive (names/bytes don't)
+        for (orig, back) in records.iter().zip(&parsed) {
+            assert_eq!(orig.core(), back.core());
+            assert_eq!(orig.time(), back.time());
+            assert_eq!(orig.end_time(), back.end_time());
+            match (orig, back) {
+                (
+                    Record::State { state: s1, .. },
+                    Record::State { state: s2, .. },
+                ) => assert_eq!(s1.prv_state(), s2.prv_state()),
+                (
+                    Record::Event { kind: k1, .. },
+                    Record::Event { kind: k2, .. },
+                ) => {
+                    assert_eq!(k1.prv_type(), k2.prv_type());
+                    assert_eq!(k1.prv_value(), k2.prv_value());
+                }
+                _ => panic!("record class changed"),
+            }
+        }
+        // aggregate stats agree
+        let a = crate::stats::TraceStats::compute(&records);
+        let b = crate::stats::TraceStats::compute(&parsed);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_busy, b.total_busy);
+        assert_eq!(a.peak_busy_cores, b.peak_busy_cores);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let t = export("x", &sample_records());
+        assert!(parse("1:1:1:1:1:oops:0:1", &t.row).is_err());
+        assert!(parse("3:1:1:1:1:0:0:1", &t.row).is_err(), "unknown record type");
+        assert!(parse("1:99:1:1:99:0:1000:1", &t.row).is_err(), "cpu outside .row");
+        assert!(parse(&t.prv, "LEVEL CPU SIZE 1\nwat\n").is_err(), "bad row label");
+    }
+
+    #[test]
+    fn write_files_creates_three_siblings() {
+        let dir = std::env::temp_dir().join(format!("paratrace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("trace");
+        write_files(&stem, &export("x", &sample_records())).unwrap();
+        for ext in ["prv", "row", "pcf"] {
+            assert!(stem.with_extension(ext).exists(), "missing .{ext}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

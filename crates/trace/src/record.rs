@@ -1,0 +1,238 @@
+//! Trace record model.
+//!
+//! A trace is a flat, time-ordered sequence of [`Record`]s. Two families
+//! exist, mirroring Paraver's record types:
+//!
+//! * **state records** — a `(core, [start, end), state)` interval, e.g. "core
+//!   3 of node 1 ran task 17 from t=4s to t=33s". These draw the coloured
+//!   bars of a Paraver timeline.
+//! * **event records** — a point event at `(core, time)`, e.g. the "event
+//!   flags" the paper mentions when describing Figure 5 (task-start markers).
+
+use std::fmt;
+
+/// A physical core identified by `(node, core-within-node)`.
+///
+/// Paraver rows are exactly these pairs; the Y axis of Figures 4–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId {
+    /// Node index within the cluster (0-based).
+    pub node: u32,
+    /// Core index within the node (0-based).
+    pub core: u32,
+}
+
+impl CoreId {
+    /// Construct a core id.
+    pub fn new(node: u32, core: u32) -> Self {
+        CoreId { node, core }
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}c{}", self.node, self.core)
+    }
+}
+
+/// A lightweight reference to a task: its runtime id plus the registered
+/// task-function name (e.g. `"graph.experiment"` in the paper's Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskRef {
+    /// Unique task instance id assigned at submission.
+    pub id: u64,
+    /// Name of the task function this instance executes.
+    pub name: String,
+}
+
+impl TaskRef {
+    /// Construct a task reference.
+    pub fn new(id: u64, name: impl Into<String>) -> Self {
+        TaskRef { id, name: name.into() }
+    }
+}
+
+/// What a core was doing during a state interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateKind {
+    /// Core executed a task (the coloured bars of the paper's traces).
+    Running(TaskRef),
+    /// Core was reserved by the runtime worker process itself. The paper
+    /// notes the COMPSs worker takes half of the cores on the single-node
+    /// experiment and a full node on the 28-node experiment.
+    RuntimeReserved,
+    /// Core staged data in (non-PFS deployments copy inputs to the node).
+    Transferring {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// Core was idle.
+    Idle,
+}
+
+impl StateKind {
+    /// Paraver state value used by the `.prv` writer.
+    pub fn prv_state(&self) -> u32 {
+        match self {
+            StateKind::Idle => 0,
+            StateKind::Running(_) => 1,
+            StateKind::RuntimeReserved => 5,
+            StateKind::Transferring { .. } => 12,
+        }
+    }
+}
+
+/// Point events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task became ready and was dispatched to this core ("event flag").
+    TaskDispatch(TaskRef),
+    /// A task finished on this core.
+    TaskEnd(TaskRef),
+    /// A task failed on this core.
+    TaskFailure {
+        /// The failing task.
+        task: TaskRef,
+        /// 1-based execution attempt.
+        attempt: u32,
+    },
+    /// A node failure was observed by the runtime.
+    NodeFailure,
+    /// Free-form user flag (`extrae_event` analogue).
+    UserFlag {
+        /// Paraver event type id.
+        event_type: u32,
+        /// Event value.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// Paraver event type id used by the `.prv` writer.
+    pub fn prv_type(&self) -> u32 {
+        match self {
+            EventKind::TaskDispatch(_) => 8000,
+            EventKind::TaskEnd(_) => 8001,
+            EventKind::TaskFailure { .. } => 8002,
+            EventKind::NodeFailure => 8003,
+            EventKind::UserFlag { event_type, .. } => *event_type,
+        }
+    }
+
+    /// Paraver event value used by the `.prv` writer.
+    pub fn prv_value(&self) -> u64 {
+        match self {
+            EventKind::TaskDispatch(t) | EventKind::TaskEnd(t) => t.id,
+            EventKind::TaskFailure { task, .. } => task.id,
+            EventKind::NodeFailure => 1,
+            EventKind::UserFlag { value, .. } => *value,
+        }
+    }
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// State interval: `core` was in `state` during `[start, end)` (µs).
+    State {
+        /// Core the interval belongs to.
+        core: CoreId,
+        /// Interval start, inclusive, microseconds.
+        start: u64,
+        /// Interval end, exclusive, microseconds.
+        end: u64,
+        /// What the core was doing.
+        state: StateKind,
+    },
+    /// Point event on `core` at `time` (µs).
+    Event {
+        /// Core the event belongs to.
+        core: CoreId,
+        /// Event timestamp, microseconds.
+        time: u64,
+        /// Event payload.
+        kind: EventKind,
+    },
+}
+
+impl Record {
+    /// The core this record belongs to.
+    pub fn core(&self) -> CoreId {
+        match self {
+            Record::State { core, .. } | Record::Event { core, .. } => *core,
+        }
+    }
+
+    /// Timestamp used for chronological ordering (interval start for states).
+    pub fn time(&self) -> u64 {
+        match self {
+            Record::State { start, .. } => *start,
+            Record::Event { time, .. } => *time,
+        }
+    }
+
+    /// End of the record: interval end for states, the timestamp for events.
+    pub fn end_time(&self) -> u64 {
+        match self {
+            Record::State { end, .. } => *end,
+            Record::Event { time, .. } => *time,
+        }
+    }
+
+    /// Whether this is a state record for a running task.
+    pub fn running_task(&self) -> Option<&TaskRef> {
+        match self {
+            Record::State { state: StateKind::Running(t), .. } => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_display_is_compact() {
+        assert_eq!(CoreId::new(2, 17).to_string(), "n2c17");
+    }
+
+    #[test]
+    fn record_accessors() {
+        let t = TaskRef::new(7, "graph.experiment");
+        let r = Record::State {
+            core: CoreId::new(0, 1),
+            start: 10,
+            end: 40,
+            state: StateKind::Running(t.clone()),
+        };
+        assert_eq!(r.time(), 10);
+        assert_eq!(r.end_time(), 40);
+        assert_eq!(r.running_task(), Some(&t));
+        assert_eq!(r.core(), CoreId::new(0, 1));
+
+        let e = Record::Event {
+            core: CoreId::new(1, 0),
+            time: 99,
+            kind: EventKind::TaskEnd(t.clone()),
+        };
+        assert_eq!(e.time(), 99);
+        assert_eq!(e.end_time(), 99);
+        assert!(e.running_task().is_none());
+    }
+
+    #[test]
+    fn prv_encoding_distinguishes_states_and_events() {
+        let t = TaskRef::new(3, "x");
+        assert_eq!(StateKind::Idle.prv_state(), 0);
+        assert_eq!(StateKind::Running(t.clone()).prv_state(), 1);
+        assert_eq!(StateKind::RuntimeReserved.prv_state(), 5);
+        assert_eq!(StateKind::Transferring { bytes: 1 }.prv_state(), 12);
+
+        assert_eq!(EventKind::TaskDispatch(t.clone()).prv_type(), 8000);
+        assert_eq!(EventKind::TaskEnd(t.clone()).prv_type(), 8001);
+        assert_eq!(EventKind::TaskFailure { task: t.clone(), attempt: 2 }.prv_value(), 3);
+        assert_eq!(EventKind::UserFlag { event_type: 42, value: 9 }.prv_type(), 42);
+        assert_eq!(EventKind::UserFlag { event_type: 42, value: 9 }.prv_value(), 9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: grid-search HPO over a JSON config, exactly the workflow of
+//! the paper's Listing 2 — parse the config, launch one experiment task per
+//! combination, wait on all results, print the winner.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use hpo::prelude::*;
+use rcompss::{Runtime, RuntimeConfig};
+use tinyml::Dataset;
+
+fn main() {
+    // 1. The search space arrives as a JSON file (paper Listing 1). Scaled
+    //    epochs so the example finishes in seconds.
+    let space = SearchSpace::from_json(
+        r#"{
+            "optimizer": ["Adam", "SGD", "RMSprop"],
+            "num_epochs": [2, 5],
+            "batch_size": [32, 64]
+        }"#,
+    )
+    .expect("valid config file");
+    println!("search space: {} configurations", space.grid_size().unwrap());
+
+    // 2. Start the runtime. One node, as many computing units as this
+    //    machine has cores; scaling to more nodes is a config change, not a
+    //    code change.
+    let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4);
+    let rt = Runtime::threaded(RuntimeConfig::single_node(cores));
+
+    // 3. The objective: really train a small dense net per config.
+    let data = Arc::new(Dataset::synthetic_mnist(1_000, 42));
+    let objective = hpo::experiment::tinyml_objective(data, vec![32]);
+
+    // 4. Run the grid — every experiment is an independent parallel task.
+    let runner = HpoRunner::new(ExperimentOptions::default());
+    let report = runner
+        .run(&rt, &mut GridSearch::new(&space), objective)
+        .expect("hpo run");
+
+    // 5. Report, like the paper's final plotting task.
+    println!("{}", report.summary());
+    println!("\nall trials:");
+    for t in &report.trials {
+        println!("  {}", t.label());
+    }
+    let best = report.best().expect("at least one success");
+    println!("\nbest configuration: {}", best.config.label());
+    println!("validation accuracy: {:.3}", best.outcome.accuracy);
+}

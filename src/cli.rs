@@ -1,0 +1,266 @@
+//! Command-line interface of the `hpo-run` launcher — the analogue of the
+//! paper's `runcompss application.py json_file` entry point.
+//!
+//! Hand-rolled argument parsing (no CLI crates in the approved dependency
+//! set), exposed as a library module so it is unit-testable.
+
+use std::fmt;
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Exhaustive grid search.
+    Grid,
+    /// Random search (`--trials` samples).
+    Random,
+    /// Tree-structured Parzen Estimator.
+    Tpe,
+    /// Gaussian-process Bayesian optimisation.
+    Bayes,
+}
+
+/// Which dataset to train on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// MNIST-difficulty synthetic data.
+    Mnist,
+    /// CIFAR-10-difficulty synthetic data.
+    Cifar10,
+}
+
+/// Which execution backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Real thread-pool execution (actually trains models).
+    Threaded,
+    /// Deterministic virtual-cluster simulation (cost-model durations).
+    Sim,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Path of the JSON search-space file (the paper's config file).
+    pub config: String,
+    /// Algorithm.
+    pub algo: AlgoChoice,
+    /// Dataset.
+    pub dataset: DatasetChoice,
+    /// Dataset size (examples).
+    pub samples: usize,
+    /// Backend.
+    pub backend: BackendChoice,
+    /// Virtual cluster size (sim backend) or ignored (threaded).
+    pub nodes: usize,
+    /// CPU cores per experiment task.
+    pub cores_per_task: u32,
+    /// Trial budget for random/TPE/Bayes (grid ignores it).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Early-stop target accuracy.
+    pub target_accuracy: Option<f64>,
+    /// Enable tracing (paper's tracing flag).
+    pub trace: bool,
+    /// Write the task graph DOT here.
+    pub graph_out: Option<String>,
+    /// Write the trial CSV here.
+    pub csv_out: Option<String>,
+    /// Train CNNs instead of dense nets.
+    pub cnn: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            config: String::new(),
+            algo: AlgoChoice::Grid,
+            dataset: DatasetChoice::Mnist,
+            samples: 1_000,
+            backend: BackendChoice::Threaded,
+            nodes: 1,
+            cores_per_task: 1,
+            trials: 20,
+            seed: 42,
+            target_accuracy: None,
+            trace: false,
+            graph_out: None,
+            csv_out: None,
+            cnn: false,
+        }
+    }
+}
+
+/// Parse error with a usage-worthy message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+hpo-run — distributed hyperparameter optimisation (PyCOMPSs-style)
+
+USAGE:
+    hpo-run --config <space.json> [OPTIONS]
+
+OPTIONS:
+    --config <file>        JSON search-space file (required)
+    --algo <a>             grid | random | tpe | bayes      [grid]
+    --dataset <d>          mnist | cifar10                  [mnist]
+    --samples <n>          synthetic dataset size           [1000]
+    --backend <b>          threaded | sim                   [threaded]
+    --nodes <n>            virtual nodes for --backend sim  [1]
+    --cores-per-task <n>   CPU units per experiment         [1]
+    --trials <n>           budget for random/tpe/bayes      [20]
+    --seed <n>             RNG seed                         [42]
+    --target-accuracy <x>  early-stop when reached
+    --trace                enable Extrae-style tracing
+    --graph <file>         write the task graph as DOT
+    --out <file>           write trial results as CSV
+    --cnn                  train CNNs instead of dense nets
+    --help                 show this text
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, CliError> {
+    it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError> {
+    v.parse().map_err(|_| CliError(format!("{flag}: invalid value '{v}'")))
+}
+
+/// Parse an argument list (without the binary name).
+pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
+    let mut out = CliArgs::default();
+    let mut it = args.iter().copied();
+    let mut saw_config = false;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            "--config" => {
+                out.config = take_value(arg, &mut it)?.to_string();
+                saw_config = true;
+            }
+            "--algo" => {
+                out.algo = match take_value(arg, &mut it)? {
+                    "grid" => AlgoChoice::Grid,
+                    "random" => AlgoChoice::Random,
+                    "tpe" => AlgoChoice::Tpe,
+                    "bayes" => AlgoChoice::Bayes,
+                    other => return Err(CliError(format!("unknown algorithm '{other}'"))),
+                };
+            }
+            "--dataset" => {
+                out.dataset = match take_value(arg, &mut it)? {
+                    "mnist" => DatasetChoice::Mnist,
+                    "cifar10" | "cifar" => DatasetChoice::Cifar10,
+                    other => return Err(CliError(format!("unknown dataset '{other}'"))),
+                };
+            }
+            "--backend" => {
+                out.backend = match take_value(arg, &mut it)? {
+                    "threaded" => BackendChoice::Threaded,
+                    "sim" => BackendChoice::Sim,
+                    other => return Err(CliError(format!("unknown backend '{other}'"))),
+                };
+            }
+            "--samples" => out.samples = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--nodes" => out.nodes = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--cores-per-task" => out.cores_per_task = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--trials" => out.trials = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--seed" => out.seed = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--target-accuracy" => {
+                out.target_accuracy = Some(parse_num(arg, take_value(arg, &mut it)?)?);
+            }
+            "--trace" => out.trace = true,
+            "--graph" => out.graph_out = Some(take_value(arg, &mut it)?.to_string()),
+            "--out" => out.csv_out = Some(take_value(arg, &mut it)?.to_string()),
+            "--cnn" => out.cnn = true,
+            other => return Err(CliError(format!("unknown flag '{other}'\n\n{USAGE}"))),
+        }
+    }
+    if !saw_config {
+        return Err(CliError(format!("--config is required\n\n{USAGE}")));
+    }
+    if out.nodes == 0 {
+        return Err(CliError("--nodes must be at least 1".to_string()));
+    }
+    if out.cores_per_task == 0 {
+        return Err(CliError("--cores-per-task must be at least 1".to_string()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_invocation() {
+        let a = parse(&["--config", "space.json"]).unwrap();
+        assert_eq!(a.config, "space.json");
+        assert_eq!(a.algo, AlgoChoice::Grid);
+        assert_eq!(a.backend, BackendChoice::Threaded);
+        assert!(!a.trace);
+    }
+
+    #[test]
+    fn full_invocation() {
+        let a = parse(&[
+            "--config", "s.json",
+            "--algo", "tpe",
+            "--dataset", "cifar10",
+            "--samples", "500",
+            "--backend", "sim",
+            "--nodes", "28",
+            "--cores-per-task", "48",
+            "--trials", "64",
+            "--seed", "7",
+            "--target-accuracy", "0.95",
+            "--trace",
+            "--graph", "g.dot",
+            "--out", "r.csv",
+            "--cnn",
+        ])
+        .unwrap();
+        assert_eq!(a.algo, AlgoChoice::Tpe);
+        assert_eq!(a.dataset, DatasetChoice::Cifar10);
+        assert_eq!(a.backend, BackendChoice::Sim);
+        assert_eq!((a.nodes, a.cores_per_task, a.trials, a.seed), (28, 48, 64, 7));
+        assert_eq!(a.target_accuracy, Some(0.95));
+        assert!(a.trace && a.cnn);
+        assert_eq!(a.graph_out.as_deref(), Some("g.dot"));
+        assert_eq!(a.csv_out.as_deref(), Some("r.csv"));
+    }
+
+    #[test]
+    fn missing_config_is_an_error() {
+        let e = parse(&["--algo", "grid"]).unwrap_err();
+        assert!(e.0.contains("--config is required"));
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(parse(&["--config", "x", "--algo", "sgd"]).is_err());
+        assert!(parse(&["--config", "x", "--trials", "lots"]).is_err());
+        assert!(parse(&["--config", "x", "--nodes", "0"]).is_err());
+        assert!(parse(&["--config", "x", "--wat"]).is_err());
+        assert!(parse(&["--config"]).is_err(), "dangling value");
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let e = parse(&["--help"]).unwrap_err();
+        assert!(e.0.contains("USAGE"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Root crate of the reproduction: re-exports the workspace crates and
+//! hosts the `hpo-run` launcher's CLI module (see `src/main.rs`).
+
+pub mod cli;
+
+pub use cluster;
+pub use hpo;
+pub use paratrace;
+pub use rcompss;
+pub use tinyml;

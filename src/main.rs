@@ -1,0 +1,150 @@
+//! `hpo-run` — the application launcher, analogous to the paper's
+//! `runcompss application.py json_file`: take a JSON hyperparameter file,
+//! expand it with the chosen algorithm, run one experiment task per config
+//! on the chosen backend, and report.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use cluster::{Allocation, Cluster, NodeSpec, TrainingCost};
+use hpo::dashboard::{leaderboard, Dashboard};
+use hpo::prelude::*;
+use pycompss_hpo_repro::cli::{self, AlgoChoice, BackendChoice, CliArgs, DatasetChoice};
+use rcompss::{Constraint, Runtime, RuntimeConfig};
+use tinyml::data::SyntheticSpec;
+use tinyml::Dataset;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = raw.iter().map(String::as_str).collect();
+    let args = match cli::parse(&refs) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Search space from the JSON file (paper Listing 1).
+    let text = std::fs::read_to_string(&args.config)
+        .map_err(|e| format!("cannot read {}: {e}", args.config))?;
+    let space = SearchSpace::from_json(&text)?;
+    println!(
+        "search space: {} parameters, grid size {}",
+        space.len(),
+        space.grid_size().map_or("∞ (continuous)".to_string(), |n| n.to_string())
+    );
+
+    // 2. Runtime.
+    let rt = match args.backend {
+        BackendChoice::Threaded => {
+            let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4);
+            Runtime::threaded(
+                RuntimeConfig::single_node(cores.max(args.cores_per_task)).with_tracing(args.trace),
+            )
+        }
+        BackendChoice::Sim => Runtime::simulated(
+            RuntimeConfig::on_cluster(Cluster::homogeneous(args.nodes, NodeSpec::marenostrum4()))
+                .with_tracing(args.trace),
+        ),
+    };
+
+    // 3. Objective: real training (threaded) for the chosen dataset.
+    let spec = match (args.dataset, args.cnn) {
+        (DatasetChoice::Mnist, false) => SyntheticSpec::mnist_like(),
+        (DatasetChoice::Mnist, true) => SyntheticSpec::mnist_like_spatial(),
+        (DatasetChoice::Cifar10, false) => SyntheticSpec::cifar_like(),
+        (DatasetChoice::Cifar10, true) => SyntheticSpec::cifar_like_spatial(),
+    };
+    let name = match args.dataset {
+        DatasetChoice::Mnist => "mnist-like",
+        DatasetChoice::Cifar10 => "cifar10-like",
+    };
+    let data = Arc::new(Dataset::synthetic(name, args.samples, &spec, args.seed));
+    println!("dataset: {} ({} examples, {} features)", data.name, data.len(), data.dim());
+    let early = args.target_accuracy.map(EarlyStop::at_accuracy);
+    let objective = if args.cnn {
+        // inject the arch key by wrapping the objective
+        let inner =
+            hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early);
+        let wrapped: hpo::experiment::Objective = Arc::new(move |cfg, budget| {
+            let mut cfg = cfg.clone();
+            if cfg.get_str("arch").is_none() {
+                cfg.set("arch", ConfigValue::Str("cnn".into()));
+            }
+            inner(&cfg, budget)
+        });
+        wrapped
+    } else {
+        hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early)
+    };
+
+    // 4. Runner options.
+    let mut opts = ExperimentOptions::default()
+        .with_constraint(Constraint::cpus(args.cores_per_task));
+    if let Some(t) = args.target_accuracy {
+        opts.early_stop = Some(EarlyStop::at_accuracy(t));
+        opts.wave_size = Some((args.nodes * 4).max(4));
+    }
+    if args.backend == BackendChoice::Sim {
+        // cost-model durations for the virtual cluster
+        let cores = args.cores_per_task;
+        let is_cifar = args.dataset == DatasetChoice::Cifar10;
+        opts = opts.with_sim_duration(move |c: &Config| {
+            let epochs = c.get_int("num_epochs").unwrap_or(10) as u32;
+            let batch = c.get_int("batch_size").unwrap_or(64) as u32;
+            let cost = if is_cifar {
+                TrainingCost::cifar10(epochs, batch)
+            } else {
+                TrainingCost::mnist(epochs, batch)
+            };
+            cost.duration(&Allocation::cpu(cores))
+        });
+    }
+    let runner = HpoRunner::new(opts);
+
+    // 5. Run with a live dashboard.
+    let mut dash = Dashboard::new();
+    let mut algo: Box<dyn Suggester> = match args.algo {
+        AlgoChoice::Grid => Box::new(GridSearch::new(&space)),
+        AlgoChoice::Random => Box::new(RandomSearch::new(&space, args.trials, args.seed)),
+        AlgoChoice::Tpe => Box::new(TpeSearch::new(&space, args.trials, args.seed)),
+        AlgoChoice::Bayes => Box::new(BayesSearch::new(&space, args.trials, args.seed)),
+    };
+    let report = runner.run_observed(&rt, algo.as_mut(), objective, |t| {
+        println!("{}", dash.on_trial(t));
+    })?;
+
+    // 6. Report, artefacts.
+    println!("\n{}", report.summary());
+    print!("{}", leaderboard(&report, 5));
+    if let Some(path) = &args.csv_out {
+        std::fs::write(path, report.to_csv())?;
+        println!("results CSV written to {path}");
+    }
+    if let Some(path) = &args.graph_out {
+        std::fs::write(path, rt.dot())?;
+        println!("task graph DOT written to {path}");
+    }
+    if args.trace {
+        let records = rt.trace();
+        let stats = paratrace::TraceStats::compute(&records);
+        println!(
+            "\ntrace: {} records | makespan {} | peak parallelism {}",
+            records.len(),
+            paratrace::fmt_duration(stats.makespan),
+            stats.peak_parallelism
+        );
+        print!("{}", paratrace::report::profile_table(&records));
+    }
+    Ok(())
+}

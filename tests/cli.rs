@@ -1,0 +1,94 @@
+//! End-to-end tests of the `hpo-run` launcher binary (the `runcompss`
+//! analogue), exercised as a real subprocess.
+
+use std::process::Command;
+
+fn hpo_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hpo-run"))
+}
+
+fn write_space(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hpo-cli-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+const SMALL_SPACE: &str = r#"{
+    "optimizer": ["Adam", "SGD"],
+    "num_epochs": [1, 2],
+    "batch_size": [64]
+}"#;
+
+#[test]
+fn grid_run_produces_leaderboard_and_csv() {
+    let space = write_space("space.json", SMALL_SPACE);
+    let csv = space.with_file_name("out.csv");
+    let output = hpo_run()
+        .args(["--config", space.to_str().unwrap()])
+        .args(["--samples", "300"])
+        .args(["--out", csv.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(stdout.contains("grid: 4 trials"), "{stdout}");
+    assert!(stdout.contains("top 4 of 4 trials"), "{stdout}");
+    assert!(stdout.contains("new best"), "dashboard lines stream: {stdout}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert_eq!(csv_text.lines().count(), 5, "header + 4 rows");
+}
+
+#[test]
+fn sim_backend_and_trace_flags_work() {
+    let space = write_space("space2.json", SMALL_SPACE);
+    let dot = space.with_file_name("graph.dot");
+    let output = hpo_run()
+        .args(["--config", space.to_str().unwrap()])
+        .args(["--backend", "sim", "--nodes", "2", "--cores-per-task", "48"])
+        .args(["--trace", "--graph", dot.to_str().unwrap()])
+        .args(["--samples", "200"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(stdout.contains("trace:"), "{stdout}");
+    assert!(stdout.contains("graph.experiment"), "profile table present: {stdout}");
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.contains("digraph compss"));
+}
+
+#[test]
+fn random_with_target_accuracy_early_stops() {
+    let space = write_space("space3.json", r#"{"num_epochs": [3], "batch_size": [32, 64, 128]}"#);
+    let output = hpo_run()
+        .args(["--config", space.to_str().unwrap()])
+        .args(["--algo", "random", "--trials", "12", "--samples", "600"])
+        .args(["--target-accuracy", "0.5", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success());
+    assert!(stdout.contains("early-stopped"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    let out = hpo_run().args(["--nope"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"), "{err}");
+
+    let out = hpo_run().args(["--config", "/definitely/not/here.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn malformed_json_is_reported() {
+    let space = write_space("bad.json", "{broken");
+    let out = hpo_run().args(["--config", space.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("JSON error"));
+}

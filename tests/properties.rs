@@ -1,0 +1,392 @@
+//! Property-based tests of the DESIGN.md invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use cluster::{Cluster, ClusterSim, FailureInjector, Job, NodeSpec};
+use hpo::prelude::*;
+use rcompss::{ArgSpec, Constraint, Runtime, RuntimeConfig, Value};
+
+// ---------------------------------------------------------------------
+// Sequential equivalence: any mix of pure ops over shared handles yields
+// the same values on 1 core and on 8 cores (paper: the runtime guarantees
+// "the same result as if executed sequentially").
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// new handle = a + b (handles chosen by index)
+    Add(usize, usize),
+    /// new handle = a * 3 + 1
+    Mix(usize),
+    /// accumulate into an INOUT cell (cell index 0..3)
+    Accumulate(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0usize..8).prop_map(|(a, b)| Op::Add(a, b)),
+        (0usize..8).prop_map(Op::Mix),
+        (0usize..4, 0usize..8).prop_map(|(c, v)| Op::Accumulate(c, v)),
+    ]
+}
+
+fn run_program(cores: u32, ops: &[Op]) -> (Vec<i64>, Vec<i64>) {
+    let rt = Runtime::threaded(RuntimeConfig::single_node(cores).with_tracing(false));
+    let add = rt.register("add", Constraint::cpus(1), 1, |_, i| {
+        let a: i64 = *i[0].downcast_ref::<i64>().unwrap();
+        let b: i64 = *i[1].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(a.wrapping_add(b))])
+    });
+    let mix = rt.register("mix", Constraint::cpus(1), 1, |_, i| {
+        let a: i64 = *i[0].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(a.wrapping_mul(3).wrapping_add(1))])
+    });
+    let acc = rt.register("acc", Constraint::cpus(1), 0, |_, i| {
+        let cell: i64 = *i[0].downcast_ref::<i64>().unwrap();
+        let v: i64 = *i[1].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(cell.wrapping_add(v))])
+    });
+
+    // 8 value handles seeded 0..8, 4 INOUT cells seeded 100, 200, 300, 400.
+    let mut handles: Vec<rcompss::DataHandle> = (0..8i64).map(|i| rt.literal(i)).collect();
+    let cells: Vec<rcompss::DataHandle> =
+        (1..=4i64).map(|i| rt.literal(i * 100)).collect();
+
+    for op in ops {
+        match op {
+            Op::Add(a, b) => {
+                let out = rt
+                    .submit(&add, vec![ArgSpec::In(handles[*a]), ArgSpec::In(handles[*b])])
+                    .unwrap()
+                    .returns[0];
+                handles.push(out);
+            }
+            Op::Mix(a) => {
+                let out = rt.submit(&mix, vec![ArgSpec::In(handles[*a])]).unwrap().returns[0];
+                handles.push(out);
+            }
+            Op::Accumulate(c, v) => {
+                rt.submit(&acc, vec![ArgSpec::InOut(cells[*c]), ArgSpec::In(handles[*v])])
+                    .unwrap();
+            }
+        }
+        // keep the live set bounded
+        if handles.len() > 16 {
+            handles.drain(0..4);
+        }
+    }
+    let finals: Vec<i64> = handles
+        .iter()
+        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
+        .collect();
+    let cell_vals: Vec<i64> = cells
+        .iter()
+        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
+        .collect();
+    (finals, cell_vals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_execution_is_sequentially_equivalent(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let sequential = run_program(1, &ops);
+        let parallel = run_program(8, &ops);
+        prop_assert_eq!(sequential, parallel);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduling invariants on the rigid-job simulator.
+// ---------------------------------------------------------------------
+
+fn job_strategy() -> impl Strategy<Value = (u32, u64)> {
+    (1u32..16, 1u64..5_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn no_core_oversubscription_and_makespan_bounds(
+        specs in prop::collection::vec(job_strategy(), 1..60),
+        nodes in 1usize..4,
+    ) {
+        let cluster = Cluster::homogeneous(nodes, NodeSpec::new("n", 16, vec![], 32));
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cores, dur))| Job::cpu(i as u64, cores, dur))
+            .collect();
+        let out = ClusterSim::new(cluster).run(&jobs);
+        prop_assert_eq!(out.jobs_completed(), jobs.len());
+
+        // (1) affinity: overlapping records on one node never share a core
+        for a in &out.records {
+            for b in &out.records {
+                if (a.job, a.attempt) != (b.job, b.attempt)
+                    && a.node == b.node
+                    && a.start < b.end
+                    && b.start < a.end
+                {
+                    prop_assert!(a.cores.iter().all(|c| !b.cores.contains(c)),
+                        "core shared: {:?} vs {:?}", a, b);
+                }
+            }
+        }
+        // (2) per-instant core usage ≤ capacity (checked at every start)
+        for probe in out.records.iter().map(|r| r.start) {
+            for node in 0..nodes as u32 {
+                let used: u32 = out
+                    .records
+                    .iter()
+                    .filter(|r| r.node == node && r.start <= probe && probe < r.end)
+                    .map(|r| r.cores.len() as u32)
+                    .sum();
+                prop_assert!(used <= 16, "node {node} oversubscribed at t={probe}: {used}");
+            }
+        }
+        // (3) makespan bounds
+        let longest = jobs.iter().map(|j| j.duration_us).max().unwrap();
+        let total_work: u64 = jobs.iter().map(|j| j.duration_us * j.cores as u64).sum();
+        let capacity = (nodes * 16) as u64;
+        prop_assert!(out.makespan >= longest);
+        prop_assert!(out.makespan >= total_work / capacity);
+        let serial: u64 = jobs.iter().map(|j| j.duration_us).sum();
+        prop_assert!(out.makespan <= serial, "worse than fully serial");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_under_failures(
+        specs in prop::collection::vec(job_strategy(), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cores, dur))| Job::cpu(i as u64, cores, dur))
+            .collect();
+        let sim = ClusterSim::new(Cluster::homogeneous(3, NodeSpec::new("n", 16, vec![], 32)))
+            .with_failures(FailureInjector::random(seed, 0.15));
+        let a = sim.run(&jobs);
+        let b = sim.run(&jobs);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.failed_jobs, b.failed_jobs);
+    }
+
+    #[test]
+    fn forced_failures_below_budget_never_lose_jobs(
+        specs in prop::collection::vec(job_strategy(), 1..20),
+        failing_attempts in prop::collection::vec((0u64..20, 1u32..3), 0..8),
+    ) {
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cores, dur))| Job::cpu(i as u64, cores, dur))
+            .collect();
+        let mut inj = FailureInjector::none();
+        for &(job, attempt) in &failing_attempts {
+            // attempts 1..3 only — the default budget is 3, so success is
+            // always possible on some attempt
+            inj = inj.with_task_failure(job % jobs.len() as u64, attempt);
+        }
+        let sim = ClusterSim::new(Cluster::homogeneous(2, NodeSpec::new("n", 16, vec![], 32)))
+            .with_failures(inj);
+        let out = sim.run(&jobs);
+        prop_assert_eq!(out.jobs_completed(), jobs.len());
+        prop_assert!(out.failed_jobs.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Search-space invariants.
+// ---------------------------------------------------------------------
+
+fn domain_strategy() -> impl Strategy<Value = ParamDomain> {
+    // Choice lists use sets: duplicate values in a choice list would make
+    // "no duplicate configs" unfalsifiable by construction.
+    prop_oneof![
+        prop::collection::btree_set(-50i64..50, 1..5)
+            .prop_map(|vs| ParamDomain::Choice(vs.into_iter().map(ConfigValue::Int).collect())),
+        (0i64..10, 1i64..5, 1i64..4).prop_map(|(min, span, step)| ParamDomain::IntRange {
+            min,
+            max: min + span * step,
+            step,
+        }),
+        prop::collection::btree_set("[a-z]{1,6}", 1..4).prop_map(|ss| {
+            ParamDomain::Choice(ss.into_iter().map(ConfigValue::Str).collect())
+        }),
+    ]
+}
+
+fn space_strategy() -> impl Strategy<Value = SearchSpace> {
+    prop::collection::btree_map("[a-z]{1,8}", domain_strategy(), 1..4).prop_map(|m| {
+        let mut s = SearchSpace::new();
+        for (k, d) in m {
+            s = s.with(&k, d);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn grid_enumerates_exactly_the_product(space in space_strategy()) {
+        let expected = space.grid_size().unwrap();
+        let mut g = GridSearch::new(&space);
+        let mut labels = std::collections::BTreeSet::new();
+        let mut n = 0usize;
+        while let Some(cfg) = g.suggest(&[]) {
+            prop_assert!(space.contains(&cfg), "escaped: {}", cfg.label());
+            labels.insert(cfg.label());
+            n += 1;
+        }
+        prop_assert_eq!(n, expected, "grid size");
+        prop_assert_eq!(labels.len(), expected, "no duplicates");
+    }
+
+    #[test]
+    fn random_and_tpe_sample_inside_space(space in space_strategy(), seed in 0u64..500) {
+        let mut r = RandomSearch::new(&space, 20, seed);
+        while let Some(cfg) = r.suggest(&[]) {
+            prop_assert!(space.contains(&cfg));
+        }
+        let mut t = TpeSearch::new(&space, 10, seed);
+        let mut hist = Vec::new();
+        while let Some(cfg) = t.suggest(&hist) {
+            prop_assert!(space.contains(&cfg));
+            let acc = (cfg.label().len() % 10) as f64 / 10.0;
+            hist.push(hpo::results::TrialResult {
+                config: cfg,
+                outcome: hpo::experiment::TrialOutcome::with_accuracy(acc),
+                task_us: 0,
+            });
+        }
+    }
+
+    #[test]
+    fn spaces_roundtrip_through_json(space in space_strategy()) {
+        // serialise by hand (the library deliberately has no JSON writer —
+        // configs are inputs, not outputs)
+        let mut json = String::from("{");
+        for (i, (name, domain)) in space.params().iter().enumerate() {
+            if i > 0 { json.push(','); }
+            match domain {
+                ParamDomain::Choice(vals) => {
+                    let items: Vec<String> = vals
+                        .iter()
+                        .map(|v| match v {
+                            ConfigValue::Int(x) => x.to_string(),
+                            ConfigValue::Float(x) => format!("{x:?}"),
+                            ConfigValue::Str(s) => format!("\"{s}\""),
+                        })
+                        .collect();
+                    json.push_str(&format!("\"{name}\": [{}]", items.join(",")));
+                }
+                ParamDomain::IntRange { min, max, step } => {
+                    json.push_str(&format!("\"{name}\": {{\"int_range\": [{min}, {max}, {step}]}}"));
+                }
+                _ => unreachable!("strategy emits discrete domains only"),
+            }
+        }
+        json.push('}');
+        let parsed = SearchSpace::from_json(&json).unwrap();
+        // BTreeMap ordering on both sides ⇒ exact equality
+        prop_assert_eq!(&parsed, &space);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace statistics invariants on real runtime traces.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sim_trace_busy_time_is_conserved(durations in prop::collection::vec(100u64..5_000, 1..30)) {
+        let rt = Runtime::simulated(RuntimeConfig::single_node(8));
+        let t = rt.register("t", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
+        for &d in &durations {
+            rt.submit_with(&t, vec![], rcompss::SubmitOpts { sim_duration_us: Some(d) }).unwrap();
+        }
+        rt.barrier();
+        let stats = paratrace::TraceStats::compute(&rt.trace());
+        // every task runs exactly once for exactly its duration
+        prop_assert_eq!(stats.total_busy, durations.iter().sum::<u64>());
+        prop_assert_eq!(stats.tasks_run, durations.len());
+        prop_assert!(stats.peak_parallelism <= 8);
+        prop_assert!(stats.makespan >= *durations.iter().max().unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend equivalence: the threaded and the simulated backend are two
+// executions of the same program and must agree on every value.
+// ---------------------------------------------------------------------
+
+fn run_program_simulated(ops: &[Op]) -> (Vec<i64>, Vec<i64>) {
+    let rt = Runtime::simulated(RuntimeConfig::single_node(8).with_tracing(false));
+    let add = rt.register("add", Constraint::cpus(1), 1, |_, i| {
+        let a: i64 = *i[0].downcast_ref::<i64>().unwrap();
+        let b: i64 = *i[1].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(a.wrapping_add(b))])
+    });
+    let mix = rt.register("mix", Constraint::cpus(1), 1, |_, i| {
+        let a: i64 = *i[0].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(a.wrapping_mul(3).wrapping_add(1))])
+    });
+    let acc = rt.register("acc", Constraint::cpus(1), 0, |_, i| {
+        let cell: i64 = *i[0].downcast_ref::<i64>().unwrap();
+        let v: i64 = *i[1].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(cell.wrapping_add(v))])
+    });
+    let mut handles: Vec<rcompss::DataHandle> = (0..8i64).map(|i| rt.literal(i)).collect();
+    let cells: Vec<rcompss::DataHandle> = (1..=4i64).map(|i| rt.literal(i * 100)).collect();
+    for op in ops {
+        match op {
+            Op::Add(a, b) => {
+                let out = rt
+                    .submit(&add, vec![ArgSpec::In(handles[*a]), ArgSpec::In(handles[*b])])
+                    .unwrap()
+                    .returns[0];
+                handles.push(out);
+            }
+            Op::Mix(a) => {
+                let out = rt.submit(&mix, vec![ArgSpec::In(handles[*a])]).unwrap().returns[0];
+                handles.push(out);
+            }
+            Op::Accumulate(c, v) => {
+                rt.submit(&acc, vec![ArgSpec::InOut(cells[*c]), ArgSpec::In(handles[*v])])
+                    .unwrap();
+            }
+        }
+        if handles.len() > 16 {
+            handles.drain(0..4);
+        }
+    }
+    let finals: Vec<i64> = handles
+        .iter()
+        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
+        .collect();
+    let cell_vals: Vec<i64> = cells
+        .iter()
+        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
+        .collect();
+    (finals, cell_vals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn threaded_and_simulated_backends_agree(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let threaded = run_program(4, &ops);
+        let simulated = run_program_simulated(&ops);
+        prop_assert_eq!(threaded, simulated);
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo CI gate: style, lints, and the tier-1 build+test cycle.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh quick    # style + lints only (skip the release build & tests)
+#
+# Lints run on the crates this repo actively grows (tinyml, rcompss, hpo,
+# hpo-bench) plus the workspace root; tier-1 is the ROADMAP.md contract:
+# `cargo build --release && cargo test -q`.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench --all-targets -- -D warnings
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "ci.sh: quick mode — skipping tier-1 build and tests"
+    exit 0
+fi
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "ci.sh: all green"

@@ -23,9 +23,8 @@ fn build_fanout(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dependency_chain", n), &n, |b, &n| {
             b.iter(|| {
                 let rt = Runtime::simulated(RuntimeConfig::single_node(48));
-                let t = rt.register("t", Constraint::cpus(1), 1, |_, inputs| {
-                    Ok(vec![inputs[0].clone()])
-                });
+                let t = rt
+                    .register("t", Constraint::cpus(1), 1, |_, inputs| Ok(vec![inputs[0].clone()]));
                 let mut h = rt.literal(0u64);
                 for _ in 0..n {
                     h = rt.submit(&t, vec![ArgSpec::In(h)]).unwrap().returns[0];
@@ -40,7 +39,8 @@ fn build_fanout(c: &mut Criterion) {
 fn dot_export(c: &mut Criterion) {
     c.bench_function("graph_dot_export_100_tasks", |b| {
         let rt = Runtime::simulated(RuntimeConfig::single_node(48));
-        let exp = rt.register("experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
+        let exp =
+            rt.register("experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
         let vis = rt.register("vis", Constraint::cpus(1), 1, |_, i| Ok(vec![i[0].clone()]));
         for _ in 0..50 {
             let e = rt.submit(&exp, vec![]).unwrap().returns[0];

@@ -12,9 +12,8 @@ fn schedule_rigid_jobs(c: &mut Criterion) {
     for &n_jobs in &[27usize, 270, 2_700] {
         group.bench_with_input(BenchmarkId::new("fifo_first_fit", n_jobs), &n_jobs, |b, &n| {
             let sim = ClusterSim::new(Cluster::homogeneous(28, NodeSpec::marenostrum4()));
-            let jobs: Vec<Job> = (0..n as u64)
-                .map(|i| Job::cpu(i, (i % 48 + 1) as u32, 1_000 + i * 7))
-                .collect();
+            let jobs: Vec<Job> =
+                (0..n as u64).map(|i| Job::cpu(i, (i % 48 + 1) as u32, 1_000 + i * 7)).collect();
             b.iter(|| black_box(sim.run(&jobs)).makespan);
         });
     }

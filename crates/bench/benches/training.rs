@@ -59,5 +59,73 @@ fn gemm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, one_epoch, optimizers, gemm);
+/// Intra-task scaling of the dense kernel: the same GEMM under 1/2/4/8
+/// worker threads, i.e. what an experiment task gains from a
+/// `@constraint(computing_units=N)` core grant (paper Figures 5/9).
+fn gemm_threads(c: &mut Criterion) {
+    use tinyml::{par, Matrix};
+    let mut group = c.benchmark_group("gemm_threads_128x784x128");
+    group.sample_size(20);
+    let a = Matrix::from_fn(128, 784, |r, col| ((r * col) as f32).sin());
+    let w = Matrix::from_fn(784, 128, |r, col| ((r + col) as f32).cos());
+    for &t in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let mut out = Matrix::zeros(128, 128);
+            b.iter(|| {
+                par::with_threads(t, || a.matmul_into(&w, &mut out));
+                black_box(out.get(0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Conv2d forward + backward (im2col → blocked GEMM) under 1/2/4/8 worker
+/// threads, on an MNIST-shaped batch — the CNN trial's inner loop.
+fn conv_threads(c: &mut Criterion) {
+    use tinyml::conv::{Conv2d, Tensor4};
+    use tinyml::par;
+    let mut group = c.benchmark_group("conv_threads_32x1x28x28_8ch");
+    group.sample_size(20);
+    let layer = Conv2d::new(1, 8, 3, 1, 42);
+    let mut x = Tensor4::zeros(32, 1, 28, 28);
+    for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 31) as f32 * 0.01).sin();
+    }
+    for &t in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                par::with_threads(t, || {
+                    let y = layer.forward(&x);
+                    let (dw, _db, _dx) = layer.backward(&x, &y);
+                    black_box(dw.get(0, 0))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Whole-epoch serial-vs-parallel comparison: identical training run (and
+/// bit-identical resulting model) under 1 vs 4 worker threads.
+fn epoch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_one_epoch_threads");
+    group.sample_size(10);
+    for &t in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("mnist_like", t), &t, |b, &t| {
+            let data = Dataset::synthetic_mnist(1_000, 1);
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                hidden_layers: vec![64],
+                threads: t,
+                ..TrainConfig::default()
+            };
+            b.iter(|| black_box(train(&cfg, &data)).final_val_accuracy());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, one_epoch, optimizers, gemm, gemm_threads, conv_threads, epoch_threads);
 criterion_main!(benches);

@@ -29,9 +29,8 @@ fn objective() -> hpo::experiment::Objective {
 
 fn run(wave_size: Option<usize>, early_stop: Option<EarlyStop>) -> (usize, bool) {
     let rt = Runtime::simulated(RuntimeConfig::single_node(8));
-    let mut opts = ExperimentOptions::default().with_sim_duration(|c| {
-        60_000_000 * c.get_int("num_epochs").unwrap_or(20) as u64 / 20
-    });
+    let mut opts = ExperimentOptions::default()
+        .with_sim_duration(|c| 60_000_000 * c.get_int("num_epochs").unwrap_or(20) as u64 / 20);
     opts.wave_size = wave_size;
     if let Some(es) = early_stop {
         opts.early_stop = Some(es);
@@ -55,12 +54,7 @@ fn main() {
     for &wave in &[27usize, 8, 4, 1] {
         let (trials, stopped) = run(Some(wave), Some(target));
         assert!(stopped, "target 0.90 is reachable (Adam @ 100 epochs = 0.92)");
-        println!(
-            "{:>10} {:>10} {:>13.0}%",
-            wave,
-            trials,
-            (1.0 - trials as f64 / 27.0) * 100.0
-        );
+        println!("{:>10} {:>10} {:>13.0}%", wave, trials, (1.0 - trials as f64 / 27.0) * 100.0);
         best_saving = best_saving.max(27 - trials);
     }
     assert!(best_saving >= 9, "small waves must save substantial work");

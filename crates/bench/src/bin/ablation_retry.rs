@@ -16,9 +16,7 @@ fn run(max_attempts: u32, rate: f64, seed: u64) -> (usize, usize, u64) {
     let mut sim = ClusterSim::new(Cluster::homogeneous(4, NodeSpec::marenostrum4()))
         .with_failures(FailureInjector::random(seed, rate));
     sim.max_attempts = max_attempts;
-    let jobs: Vec<Job> = (0..64)
-        .map(|i| Job::cpu(i, 12, 60_000_000 + i * 500_000))
-        .collect();
+    let jobs: Vec<Job> = (0..64).map(|i| Job::cpu(i, 12, 60_000_000 + i * 500_000)).collect();
     let out = sim.run(&jobs);
     (out.jobs_completed(), out.failed_jobs.len(), out.makespan)
 }
@@ -56,9 +54,7 @@ fn main() {
     // 15% failure rate, where no-retry loses a noticeable share.
     let (c1, l1, _) = run(1, 0.15, 1);
     let (c3, l3, m3) = run(3, 0.15, 1);
-    println!(
-        "\nat 15% failures (seed 1): no-retry loses {l1}/64, paper policy loses {l3}/64"
-    );
+    println!("\nat 15% failures (seed 1): no-retry loses {l1}/64, paper policy loses {l3}/64");
     assert!(c3 > c1, "retries rescue jobs");
     assert_eq!(c3 + l3, 64);
     assert!(l3 <= 1, "triple-attempt at p=0.15 ⇒ loss rate ≈ 0.3%");

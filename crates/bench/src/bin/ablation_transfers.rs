@@ -15,9 +15,8 @@ fn run(cluster: Cluster, dataset_bytes: u64) -> u64 {
     let rt = Runtime::simulated(RuntimeConfig::on_cluster(cluster));
     let dataset = rt.literal::<&str>("the-training-set");
     rt.set_data_bytes(dataset, dataset_bytes);
-    let experiment = rt.register("experiment", Constraint::cpus(48), 1, |_, _| {
-        Ok(vec![Value::new(())])
-    });
+    let experiment =
+        rt.register("experiment", Constraint::cpus(48), 1, |_, _| Ok(vec![Value::new(())]));
     for (i, _config) in paper_grid_configs().iter().enumerate() {
         rt.submit_with(
             &experiment,

@@ -51,9 +51,8 @@ fn main() {
     let cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(4, NodeSpec::new("n", 8, vec![], 16)))
         .with_failures(FailureInjector::none().with_node_failure(30_000_000, 1));
     let rt = Runtime::simulated(cfg);
-    let work = rt.register("experiment", Constraint::cpus(8), 1, |ctx, _| {
-        Ok(vec![Value::new(ctx.node)])
-    });
+    let work =
+        rt.register("experiment", Constraint::cpus(8), 1, |ctx, _| Ok(vec![Value::new(ctx.node)]));
     for _ in 0..8 {
         rt.submit_with(&work, vec![], SubmitOpts { sim_duration_us: Some(60_000_000) })
             .expect("submit");
@@ -62,14 +61,27 @@ fn main() {
     let records = rt.trace();
     let tstats = TraceStats::compute(&records);
     println!("makespan: {}", fmt_min(tstats.makespan));
-    println!("tasks completed: {} | failed attempts (node kill): {}", rt.stats().completed, rt.stats().failed_attempts);
+    println!(
+        "tasks completed: {} | failed attempts (node kill): {}",
+        rt.stats().completed,
+        rt.stats().failed_attempts
+    );
     println!("\ntimeline (node rows; the truncated bar on node 1 is the killed attempt):");
-    print!("{}", render(&records, &GanttOptions { width: 72, per_node: true, ..Default::default() }));
+    print!(
+        "{}",
+        render(&records, &GanttOptions { width: 72, per_node: true, ..Default::default() })
+    );
     assert_eq!(rt.stats().completed, 8, "every task recovers");
     assert!(rt.stats().failed_attempts >= 1, "the kill is recorded");
     // no task may complete on the dead node after t=30s
     for r in &records {
-        if let paratrace::Record::State { core, start, state: paratrace::StateKind::Running(_), .. } = r {
+        if let paratrace::Record::State {
+            core,
+            start,
+            state: paratrace::StateKind::Running(_),
+            ..
+        } = r
+        {
             assert!(!(core.node == 1 && *start >= 30_000_000), "scheduled on dead node: {r:?}");
         }
     }

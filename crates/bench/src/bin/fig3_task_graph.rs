@@ -26,10 +26,9 @@ fn main() {
     let mut vis_results = Vec::new();
     for _ in 0..10 {
         let e = rt.submit(&experiment, vec![]).expect("submit experiment").returns[0];
-        let v = rt
-            .submit(&visualisation, vec![ArgSpec::In(e)])
-            .expect("submit visualisation")
-            .returns[0];
+        let v =
+            rt.submit(&visualisation, vec![ArgSpec::In(e)]).expect("submit visualisation").returns
+                [0];
         vis_results.push(v);
     }
     let args: Vec<ArgSpec> = vis_results.iter().map(|&h| ArgSpec::In(h)).collect();

@@ -7,8 +7,8 @@
 //! CPU affinity."
 
 use cluster::{Cluster, NodeSpec};
-use hpo_bench::{banner, fmt_min, mnist_sim_duration, out_dir};
 use hpo::prelude::{Config, ConfigValue};
+use hpo_bench::{banner, fmt_min, mnist_sim_duration, out_dir};
 use paratrace::gantt::{render, GanttOptions};
 use paratrace::TraceStats;
 use rcompss::{Constraint, Runtime, RuntimeConfig, SubmitOpts, Value};

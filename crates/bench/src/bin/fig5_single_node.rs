@@ -17,12 +17,11 @@ use rcompss::{Constraint, Runtime, RuntimeConfig, SubmitOpts, Value};
 fn main() {
     banner("Figure 5", "27 grid-search tasks on one 48-core node (worker reserves 24 cores)");
 
-    let cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4()))
-        .reserve(0, 24);
+    let cfg =
+        RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4())).reserve(0, 24);
     let rt = Runtime::simulated(cfg);
-    let experiment = rt.register("graph.experiment", Constraint::cpus(1), 1, |_, _| {
-        Ok(vec![Value::new(())])
-    });
+    let experiment =
+        rt.register("graph.experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
 
     let configs = paper_grid_configs();
     for config in &configs {

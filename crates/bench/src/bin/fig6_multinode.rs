@@ -19,9 +19,8 @@ fn run(nodes: usize) -> (u64, f64, usize, Vec<paratrace::Record>) {
     let cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(nodes, NodeSpec::marenostrum4()))
         .reserve(0, 48);
     let rt = Runtime::simulated(cfg);
-    let experiment = rt.register("graph.experiment", Constraint::cpus(48), 1, |_, _| {
-        Ok(vec![Value::new(())])
-    });
+    let experiment =
+        rt.register("graph.experiment", Constraint::cpus(48), 1, |_, _| Ok(vec![Value::new(())]));
     // Longest-first submission (descending epoch count): with fewer nodes
     // than tasks, short stragglers then pack under the long tasks — the
     // behaviour behind the paper's "almost the same amount of time".
@@ -38,7 +37,12 @@ fn run(nodes: usize) -> (u64, f64, usize, Vec<paratrace::Record>) {
     let records = rt.trace();
     let stats = TraceStats::compute(&records);
     let task_cores = (nodes - 1) * 48;
-    (stats.makespan, stats.utilisation(task_cores), TraceStats::tasks_started_within(&records, 0), records)
+    (
+        stats.makespan,
+        stats.utilisation(task_cores),
+        TraceStats::tasks_started_within(&records, 0),
+        records,
+    )
 }
 
 fn main() {
@@ -47,12 +51,22 @@ fn main() {
     let (m28, u28, imm28, rec28) = run(28);
     let (m14, u14, imm14, rec14) = run(14);
 
-    println!("(a) 28 nodes: makespan {}, {} tasks started immediately, utilisation {:.1}%",
-        fmt_min(m28), imm28, u28 * 100.0);
-    println!("(b) 14 nodes: makespan {}, {} tasks started immediately, utilisation {:.1}%",
-        fmt_min(m14), imm14, u14 * 100.0);
-    println!("slowdown from halving the nodes: {:.2}× (paper: \"almost the same\")",
-        m14 as f64 / m28 as f64);
+    println!(
+        "(a) 28 nodes: makespan {}, {} tasks started immediately, utilisation {:.1}%",
+        fmt_min(m28),
+        imm28,
+        u28 * 100.0
+    );
+    println!(
+        "(b) 14 nodes: makespan {}, {} tasks started immediately, utilisation {:.1}%",
+        fmt_min(m14),
+        imm14,
+        u14 * 100.0
+    );
+    println!(
+        "slowdown from halving the nodes: {:.2}× (paper: \"almost the same\")",
+        m14 as f64 / m28 as f64
+    );
 
     assert_eq!(imm28, 27, "with 27 free nodes every task starts at once");
     assert_eq!(imm14, 13, "13 free nodes host the first wave");

@@ -37,14 +37,8 @@ fn main() {
     let report = runner.run(&rt, &mut GridSearch::new(&space), objective).expect("run");
 
     println!("{}", report.summary());
-    let above_90 = report
-        .trials
-        .iter()
-        .filter(|t| t.outcome.accuracy > 0.9)
-        .count();
-    println!(
-        "configs above 90% accuracy: {above_90}/27 (paper: \"most of the combinations\")"
-    );
+    let above_90 = report.trials.iter().filter(|t| t.outcome.accuracy > 0.9).count();
+    println!("configs above 90% accuracy: {above_90}/27 (paper: \"most of the combinations\")");
     println!("\nvalidation-accuracy curves (one glyph per config):");
     print!("{}", report.ascii_curves(72, 16));
     println!("\nmean final accuracy, optimizer × epochs (averaged over batch sizes):");

@@ -50,9 +50,8 @@ fn main() {
     let grid_best = report.best().expect("grid best").outcome.accuracy;
     let rt2 = rcompss::Runtime::threaded(rcompss::RuntimeConfig::single_node(cores));
     let runner2 = HpoRunner::new(ExperimentOptions::default());
-    let random_report = runner2
-        .run(&rt2, &mut RandomSearch::new(&space, 9, 7), objective)
-        .expect("random run");
+    let random_report =
+        runner2.run(&rt2, &mut RandomSearch::new(&space, 9, 7), objective).expect("random run");
     let target = grid_best * 0.95;
     println!(
         "\nrandom search: best {:.3} in 9 trials (grid best {:.3} in 27); \

@@ -15,12 +15,14 @@
 //!   hour.
 
 use cluster::{Cluster, ClusterSim, GpuModel, Job, NodeSpec};
-use hpo_bench::{banner, cifar_sim_duration, fmt_min, mnist_sim_duration, out_dir, paper_grid_configs};
+use hpo_bench::{
+    banner, cifar_sim_duration, fmt_min, mnist_sim_duration, out_dir, paper_grid_configs,
+};
 
 /// Makespan of the 27-task grid on `cluster` with `cores` per task.
 fn cpu_sweep_point(nodes: usize, cores: u32, alpha: f64) -> u64 {
-    let sim = ClusterSim::new(Cluster::homogeneous(nodes, NodeSpec::marenostrum4()))
-        .reserve_cores(0, 24); // the COMPSs worker holds half of node 0
+    let sim =
+        ClusterSim::new(Cluster::homogeneous(nodes, NodeSpec::marenostrum4())).reserve_cores(0, 24); // the COMPSs worker holds half of node 0
     let jobs: Vec<Job> = paper_grid_configs()
         .iter()
         .enumerate()
@@ -67,7 +69,10 @@ fn main() {
     let cpu_cores = [1u32, 2, 4, 8, 12, 24];
     let gpu_cores = [1u32, 2, 4, 8, 16, 32, 40];
 
-    println!("{:>12} {:>16} {:>16} {:>20}", "cores/task", "1 node (MNIST)", "2 nodes (MNIST)", "GPU node (CIFAR10)");
+    println!(
+        "{:>12} {:>16} {:>16} {:>20}",
+        "cores/task", "1 node (MNIST)", "2 nodes (MNIST)", "GPU node (CIFAR10)"
+    );
     let mut one_node = Vec::new();
     let mut two_nodes = Vec::new();
     let mut gpu_node = Vec::new();

@@ -51,10 +51,7 @@ fn main() {
         "overhead: {:+.1}% runtime-machinery time",
         (on_us as f64 / off_us.max(1) as f64 - 1.0) * 100.0
     );
-    println!(
-        "virtual makespans identical: {} == {}",
-        on_makespan, off_makespan
-    );
+    println!("virtual makespans identical: {} == {}", on_makespan, off_makespan);
     assert_eq!(on_makespan, off_makespan, "the flag must not change scheduling");
     assert_eq!(off_records, 0, "tracing off keeps no records");
     assert!(on_records > 27, "tracing on captures task intervals and events");

@@ -21,10 +21,7 @@ use hpo::prelude::*;
 
 /// Directory where experiment binaries drop artefacts.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

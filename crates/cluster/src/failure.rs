@@ -29,13 +29,23 @@ impl FailureInjector {
     /// No failures at all (the default for every experiment that doesn't
     /// study fault tolerance).
     pub fn none() -> Self {
-        FailureInjector { seed: 0, task_failure_rate: 0.0, node_failures: Vec::new(), forced: Vec::new() }
+        FailureInjector {
+            seed: 0,
+            task_failure_rate: 0.0,
+            node_failures: Vec::new(),
+            forced: Vec::new(),
+        }
     }
 
     /// Fail each task attempt independently with probability `rate`.
     pub fn random(seed: u64, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
-        FailureInjector { seed, task_failure_rate: rate, node_failures: Vec::new(), forced: Vec::new() }
+        FailureInjector {
+            seed,
+            task_failure_rate: rate,
+            node_failures: Vec::new(),
+            forced: Vec::new(),
+        }
     }
 
     /// Add a scheduled node failure (chainable).
@@ -120,8 +130,7 @@ mod tests {
         let f = FailureInjector::random(42, 0.25);
         let g = FailureInjector::random(42, 0.25);
         let n = 10_000;
-        let fails =
-            (0..n).filter(|&t| f.attempt_fails(t, 1)).count();
+        let fails = (0..n).filter(|&t| f.attempt_fails(t, 1)).count();
         let fails2 = (0..n).filter(|&t| g.attempt_fails(t, 1)).count();
         assert_eq!(fails, fails2, "same seed ⇒ same plan");
         let rate = fails as f64 / n as f64;

@@ -137,7 +137,12 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Simulator over `cluster` with no failures.
     pub fn new(cluster: Cluster) -> Self {
-        ClusterSim { cluster, injector: FailureInjector::none(), reserved: BTreeMap::new(), max_attempts: 3 }
+        ClusterSim {
+            cluster,
+            injector: FailureInjector::none(),
+            reserved: BTreeMap::new(),
+            max_attempts: 3,
+        }
     }
 
     /// Install a failure injector (chainable).
@@ -175,7 +180,9 @@ impl ClusterSim {
         let reserved_pairs: Vec<(u32, u32)> = self
             .reserved
             .iter()
-            .flat_map(|(&n, &c)| (0..c.min(self.cluster.nodes[n as usize].cores)).map(move |k| (n, k)))
+            .flat_map(|(&n, &c)| {
+                (0..c.min(self.cluster.nodes[n as usize].cores)).map(move |k| (n, k))
+            })
             .collect();
 
         let mut queue: EventQueue<Event> = EventQueue::new();
@@ -218,7 +225,14 @@ impl ClusterSim {
                     queue.schedule_at(now + job.duration_us, Event::Finish { exec });
                     running.insert(
                         exec,
-                        Running { job_idx: p.job_idx, node, cores, gpus, start: now, attempt: p.attempt },
+                        Running {
+                            job_idx: p.job_idx,
+                            node,
+                            cores,
+                            gpus,
+                            start: now,
+                            attempt: p.attempt,
+                        },
                     );
                     let _ = will_fail; // consulted at finish time
                 } else {
@@ -278,11 +292,8 @@ impl ClusterSim {
                     ns.free_cores.clear();
                     ns.free_gpus.clear();
                     // Kill and requeue everything running there.
-                    let victims: Vec<u64> = running
-                        .iter()
-                        .filter(|(_, r)| r.node == node)
-                        .map(|(&e, _)| e)
-                        .collect();
+                    let victims: Vec<u64> =
+                        running.iter().filter(|(_, r)| r.node == node).map(|(&e, _)| e).collect();
                     for exec in victims {
                         let r = running.remove(&exec).expect("victim exists");
                         let job = &jobs[r.job_idx];
@@ -332,9 +343,9 @@ impl ClusterSim {
                 && ns.free_gpus.len() >= job.gpus as usize
         };
         let order: Vec<u32> = match p.prefer {
-            Some(n) => std::iter::once(n)
-                .chain((0..nodes.len() as u32).filter(move |&i| i != n))
-                .collect(),
+            Some(n) => {
+                std::iter::once(n).chain((0..nodes.len() as u32).filter(move |&i| i != n)).collect()
+            }
             None => (0..nodes.len() as u32).collect(),
         };
         for n in order {
@@ -343,7 +354,8 @@ impl ClusterSim {
             }
             let ns = &mut nodes[n as usize];
             if fits(ns) {
-                let cores: Vec<u32> = ns.free_cores.iter().copied().take(job.cores as usize).collect();
+                let cores: Vec<u32> =
+                    ns.free_cores.iter().copied().take(job.cores as usize).collect();
                 for c in &cores {
                     ns.free_cores.remove(c);
                 }
@@ -428,7 +440,13 @@ mod tests {
         // 27 whole-node tasks with heterogeneous durations (epochs grid).
         let durations = [100u64, 250, 500];
         let jobs: Vec<Job> = (0..27)
-            .map(|i| Job { id: i, name: format!("t{i}"), cores: 48, gpus: 0, duration_us: durations[(i % 3) as usize] })
+            .map(|i| Job {
+                id: i,
+                name: format!("t{i}"),
+                cores: 48,
+                gpus: 0,
+                duration_us: durations[(i % 3) as usize],
+            })
             .collect();
         // 28 nodes, 1 reserved for the worker → all 27 run in parallel.
         let out28 = ClusterSim::new(mn4(28)).reserve_cores(0, 48).run(&jobs);
@@ -524,7 +542,8 @@ mod tests {
 
     #[test]
     fn determinism_same_input_same_outcome() {
-        let jobs: Vec<Job> = (0..50).map(|i| Job::cpu(i, (i % 7 + 1) as u32, 100 + i * 13)).collect();
+        let jobs: Vec<Job> =
+            (0..50).map(|i| Job::cpu(i, (i % 7 + 1) as u32, 100 + i * 13)).collect();
         let sim = ClusterSim::new(mn4(3)).with_failures(FailureInjector::random(9, 0.1));
         let a = sim.run(&jobs);
         let b = sim.run(&jobs);

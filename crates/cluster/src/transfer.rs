@@ -56,7 +56,8 @@ impl TransferModel {
             (true, _) => (bytes as f64 / self.pfs_bytes_per_us) as u64,
             (false, DataLocation::Node(n)) if n == to => 0,
             (false, DataLocation::Node(_)) | (false, DataLocation::Pfs) => {
-                self.interconnect.latency_us + (bytes as f64 / self.interconnect.bytes_per_us) as u64
+                self.interconnect.latency_us
+                    + (bytes as f64 / self.interconnect.bytes_per_us) as u64
             }
         }
     }
@@ -115,8 +116,11 @@ mod tests {
     #[test]
     fn stage_inputs_sums_serially() {
         let m = TransferModel::for_cluster(&staged_cluster());
-        let inputs =
-            [(12_000u64, DataLocation::Node(0)), (12_000, DataLocation::Node(1)), (5, DataLocation::Node(2))];
+        let inputs = [
+            (12_000u64, DataLocation::Node(0)),
+            (12_000, DataLocation::Node(1)),
+            (5, DataLocation::Node(2)),
+        ];
         let total = m.stage_inputs(&inputs, 2);
         // two remote transfers of (1+1)µs each + one local 0
         assert_eq!(total, 2 * (1 + 1));

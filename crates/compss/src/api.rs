@@ -78,9 +78,7 @@ mod tests {
     #[test]
     fn wait_on_all_collects_in_order() {
         let rt = Runtime::threaded(RuntimeConfig::single_node(4));
-        let id = rt.register("id", Constraint::cpus(1), 1, |_, inputs| {
-            Ok(vec![inputs[0].clone()])
-        });
+        let id = rt.register("id", Constraint::cpus(1), 1, |_, inputs| Ok(vec![inputs[0].clone()]));
         let outs: Vec<DataHandle> = (0..10i64)
             .map(|i| {
                 let h = rt.literal(i);

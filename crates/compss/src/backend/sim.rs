@@ -89,7 +89,10 @@ pub(crate) fn run_until(shared: &Shared, core: &mut Core, cond: impl Fn(&Core) -
                     }
                 }
                 shared.trace.event(
-                    CoreId::new(run.placement.node, run.placement.cores.first().copied().unwrap_or(0)),
+                    CoreId::new(
+                        run.placement.node,
+                        run.placement.cores.first().copied().unwrap_or(0),
+                    ),
                     t,
                     EventKind::TaskEnd(task_ref),
                 );
@@ -151,10 +154,7 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
                 if !use_locality {
                     return 0;
                 }
-                instances
-                    .get(&task)
-                    .map(|i| data.locality_score(&i.reads(), node))
-                    .unwrap_or(0)
+                instances.get(&task).map(|i| data.locality_score(&i.reads(), node)).unwrap_or(0)
             })
         };
         let Some((entry, placement)) = placed else { break };

@@ -108,13 +108,7 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
         };
         core.running.insert(
             exec_id,
-            RunningExec {
-                task,
-                placement,
-                constraint: entry.constraint,
-                attempt,
-                start_us: now,
-            },
+            RunningExec { task, placement, constraint: entry.constraint, attempt, start_us: now },
         );
         core.graph.set_running(task);
         core.exec_queue.push_back(ExecMsg { exec_id, ctx, body, inputs, name });

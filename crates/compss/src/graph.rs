@@ -68,11 +68,7 @@ impl TaskGraph {
         }
         let unmet = preds
             .keys()
-            .filter(|p| {
-                self.nodes
-                    .get(p)
-                    .is_some_and(|n| !matches!(n.state, TaskState::Done))
-            })
+            .filter(|p| self.nodes.get(p).is_some_and(|n| !matches!(n.state, TaskState::Done)))
             .count();
         for (&p, versions) in &preds {
             if let Some(pn) = self.nodes.get_mut(&p) {
@@ -80,7 +76,10 @@ impl TaskGraph {
             }
         }
         let state = if unmet == 0 { TaskState::Ready } else { TaskState::Pending };
-        self.nodes.insert(id, Node { name: name.to_string(), state, preds, succs: BTreeMap::new(), unmet });
+        self.nodes.insert(
+            id,
+            Node { name: name.to_string(), state, preds, succs: BTreeMap::new(), unmet },
+        );
         state
     }
 
@@ -183,15 +182,21 @@ impl TaskGraph {
     /// Figure 3: blue circles for tasks, labelled edges for data versions,
     /// a red `sync` node for main-program synchronisations.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph compss {\n  rankdir=TB;\n  node [shape=circle, style=filled];\n");
+        let mut out =
+            String::from("digraph compss {\n  rankdir=TB;\n  node [shape=circle, style=filled];\n");
         // Colour per task name so "graph.experiment" vs "graph.plot" differ.
         let palette = ["#4f81bd", "#9bbb59", "#c0504d", "#8064a2", "#f79646"];
         let mut names: Vec<&str> = self.nodes.values().map(|n| n.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         for (id, n) in &self.nodes {
-            let color = palette[names.iter().position(|&x| x == n.name).unwrap_or(0) % palette.len()];
-            let _ = writeln!(out, "  {} [label=\"{}\", fillcolor=\"{}\", tooltip=\"{}\"];", id.0, id.0, color, n.name);
+            let color =
+                palette[names.iter().position(|&x| x == n.name).unwrap_or(0) % palette.len()];
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\", fillcolor=\"{}\", tooltip=\"{}\"];",
+                id.0, id.0, color, n.name
+            );
         }
         for (id, n) in &self.nodes {
             for (succ, versions) in &n.succs {

@@ -63,5 +63,7 @@ pub mod task;
 pub use api::{wait_on_all, TypedHandle};
 pub use data::{DataHandle, DataVersion, Value};
 pub use fault::RetryPolicy;
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, SubmitError, SubmitOpts, SubmitResult, WaitError};
+pub use runtime::{
+    Runtime, RuntimeConfig, RuntimeStats, SubmitError, SubmitOpts, SubmitResult, WaitError,
+};
 pub use task::{ArgSpec, Constraint, Direction, TaskContext, TaskDef, TaskError, TaskId};

@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use cluster::transfer::TransferModel;
 use cluster::{Cluster, FailureInjector, NodeSpec};
-use parking_lot::{Condvar, Mutex};
 use paratrace::TraceCollector;
+use parking_lot::{Condvar, Mutex};
 
 use crate::backend::sim::SimState;
 use crate::backend::threaded::{ExecQueue, WorkerPool};
@@ -50,7 +50,10 @@ impl RuntimeConfig {
     /// A single node with `cores` CPU computing units — the typical
     /// threaded-backend deployment.
     pub fn single_node(cores: u32) -> Self {
-        RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::new("local", cores, Vec::new(), 64)))
+        RuntimeConfig::on_cluster(Cluster::homogeneous(
+            1,
+            NodeSpec::new("local", cores, Vec::new(), 64),
+        ))
     }
 
     /// Configuration over an arbitrary cluster, defaults everywhere else.
@@ -93,14 +96,12 @@ impl RuntimeConfig {
 }
 
 /// Per-submission options.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SubmitOpts {
     /// Simulated duration (virtual µs) of this task; ignored by the
     /// threaded backend, which measures real time.
     pub sim_duration_us: Option<u64>,
 }
-
 
 /// Result of a successful submission.
 #[derive(Debug, Clone)]
@@ -508,14 +509,17 @@ impl Runtime {
                 if core.data.producer(target).is_none() && core.graph.all_settled() {
                     return Err(WaitError::NeverWritten(*h));
                 }
-                self.shared
-                    .cv
-                    .wait_for(&mut core, std::time::Duration::from_millis(100));
+                self.shared.cv.wait_for(&mut core, std::time::Duration::from_millis(100));
             },
         }
     }
 
-    fn finish_wait(&self, core: &Core, h: DataHandle, target: DataVersion) -> Result<Value, WaitError> {
+    fn finish_wait(
+        &self,
+        core: &Core,
+        h: DataHandle,
+        target: DataVersion,
+    ) -> Result<Value, WaitError> {
         if core.poisoned.contains(&target) {
             return Err(WaitError::ProducerFailed(h));
         }
@@ -534,9 +538,7 @@ impl Runtime {
             }
             BackendHandle::Threaded(_) => {
                 while !core.graph.all_settled() {
-                    self.shared
-                        .cv
-                        .wait_for(&mut core, std::time::Duration::from_millis(100));
+                    self.shared.cv.wait_for(&mut core, std::time::Duration::from_millis(100));
                 }
             }
         }
@@ -659,10 +661,16 @@ pub(crate) fn complete_attempt(
         Err(err) => {
             core.stats.failed_attempts += 1;
             shared.trace.event(
-                paratrace::CoreId::new(run.placement.node, run.placement.cores.first().copied().unwrap_or(0)),
+                paratrace::CoreId::new(
+                    run.placement.node,
+                    run.placement.cores.first().copied().unwrap_or(0),
+                ),
                 now_us,
                 paratrace::EventKind::TaskFailure {
-                    task: paratrace::TaskRef::new(task.0, core.instances[&task].def.name.to_string()),
+                    task: paratrace::TaskRef::new(
+                        task.0,
+                        core.instances[&task].def.name.to_string(),
+                    ),
                     attempt: run.attempt,
                 },
             );
@@ -728,7 +736,8 @@ pub(crate) fn fail_task_cascade(core: &mut Core, task: TaskId) {
         core.graph.set_failed(t);
         core.stats.failed += 1;
         core.unsettled = core.unsettled.saturating_sub(1);
-        let writes: Vec<DataVersion> = core.instances.get(&t).map(|i| i.writes()).unwrap_or_default();
+        let writes: Vec<DataVersion> =
+            core.instances.get(&t).map(|i| i.writes()).unwrap_or_default();
         for v in &writes {
             core.poisoned.insert(*v);
         }
@@ -738,7 +747,10 @@ pub(crate) fn fail_task_cascade(core: &mut Core, task: TaskId) {
             .iter()
             .filter(|(id, inst)| {
                 !seen.contains(id)
-                    && !matches!(core.graph.state(**id), Some(TaskState::Done) | Some(TaskState::Failed))
+                    && !matches!(
+                        core.graph.state(**id),
+                        Some(TaskState::Done) | Some(TaskState::Failed)
+                    )
                     && inst.reads().iter().any(|v| writes.contains(v))
             })
             .map(|(&id, _)| id)

@@ -152,6 +152,21 @@ pub struct TaskContext {
     pub simulated: bool,
 }
 
+impl TaskContext {
+    /// The intra-task degree of parallelism this placement grants: the
+    /// number of CPU cores owned on the primary node (at least 1).
+    ///
+    /// Task bodies that can exploit multiple cores — the paper's Figure 5/9
+    /// training tasks with `@constraint(computing_units=N)` — should size
+    /// their worker pools from this value, so the cores the scheduler
+    /// reserved are actually used rather than merely blocked. The HPO
+    /// runner feeds it to `tinyml::par::with_threads` around each
+    /// objective call.
+    pub fn parallelism(&self) -> usize {
+        self.cores.len().max(1)
+    }
+}
+
 /// The task body signature.
 pub type TaskFn = dyn Fn(&TaskContext, &[Value]) -> Result<Vec<Value>, TaskError> + Send + Sync;
 
@@ -226,7 +241,8 @@ impl TaskDef {
 
     /// All implementations: the primary first, then alternatives.
     pub fn variants(&self) -> Vec<TaskVariant> {
-        let mut out = vec![TaskVariant { constraint: self.constraint, body: Arc::clone(&self.body) }];
+        let mut out =
+            vec![TaskVariant { constraint: self.constraint, body: Arc::clone(&self.body) }];
         out.extend(self.alternatives.iter().cloned());
         out
     }
@@ -260,6 +276,22 @@ mod tests {
         assert_eq!(ArgSpec::Out(h).direction(), Direction::Out);
         assert_eq!(ArgSpec::InOut(h).direction(), Direction::InOut);
         assert_eq!(ArgSpec::In(h).handle(), h);
+    }
+
+    #[test]
+    fn context_parallelism_counts_primary_node_cores() {
+        let mut ctx = TaskContext {
+            task: TaskId(1),
+            attempt: 1,
+            node: 0,
+            cores: vec![4, 5, 6, 7],
+            gpus: vec![],
+            peer_nodes: vec![],
+            simulated: false,
+        };
+        assert_eq!(ctx.parallelism(), 4);
+        ctx.cores.clear();
+        assert_eq!(ctx.parallelism(), 1, "never zero even without explicit cores");
     }
 
     #[test]

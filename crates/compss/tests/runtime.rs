@@ -7,8 +7,8 @@ use std::sync::Arc;
 use cluster::{Cluster, FailureInjector, NodeSpec};
 use paratrace::TraceStats;
 use rcompss::{
-    wait_on_all, ArgSpec, Constraint, RetryPolicy, Runtime, RuntimeConfig, SubmitError,
-    SubmitOpts, TaskError, Value, WaitError,
+    wait_on_all, ArgSpec, Constraint, RetryPolicy, Runtime, RuntimeConfig, SubmitError, SubmitOpts,
+    TaskError, Value, WaitError,
 };
 
 fn add_task(rt: &Runtime) -> rcompss::TaskDef {
@@ -66,8 +66,7 @@ fn fan_out_fan_in_matches_sequential_result() {
         Ok(vec![Value::new(x * x)])
     });
     let sum = rt.register("sum", Constraint::cpus(1), 1, |_, inputs| {
-        let total: i64 =
-            inputs.iter().map(|v| *v.downcast_ref::<i64>().unwrap()).sum();
+        let total: i64 = inputs.iter().map(|v| *v.downcast_ref::<i64>().unwrap()).sum();
         Ok(vec![Value::new(total)])
     });
     let squares: Vec<_> = (1..=10i64)
@@ -152,7 +151,8 @@ fn unsatisfiable_constraint_rejected_at_submit() {
     let err = rt.submit(&big, vec![]).unwrap_err();
     assert!(matches!(err, SubmitError::Unsatisfiable(_)));
 
-    let gpu = rt.register("gpu", Constraint::cpus(1).with_gpus(1), 1, |_, _| Ok(vec![Value::new(0u8)]));
+    let gpu =
+        rt.register("gpu", Constraint::cpus(1).with_gpus(1), 1, |_, _| Ok(vec![Value::new(0u8)]));
     assert!(matches!(rt.submit(&gpu, vec![]), Err(SubmitError::Unsatisfiable(_))));
 }
 
@@ -173,8 +173,7 @@ fn tasks_run_in_parallel_on_threaded_backend() {
         }
         Ok(vec![Value::new(true)])
     });
-    let outs: Vec<_> =
-        (0..4).map(|_| rt.submit(&rendezvous, vec![]).unwrap().returns[0]).collect();
+    let outs: Vec<_> = (0..4).map(|_| rt.submit(&rendezvous, vec![]).unwrap().returns[0]).collect();
     let vals = wait_on_all(&rt, &outs).unwrap();
     assert_eq!(vals.len(), 4);
     assert!(vals.iter().all(|v| *v.downcast_ref::<bool>().unwrap()));
@@ -259,7 +258,8 @@ fn failed_task_is_retried_and_recovers() {
 
 #[test]
 fn task_error_exhausts_retries_and_poisons_dependents() {
-    let cfg = RuntimeConfig::single_node(2).with_retry(RetryPolicy { max_attempts: 2, same_node_first: true });
+    let cfg = RuntimeConfig::single_node(2)
+        .with_retry(RetryPolicy { max_attempts: 2, same_node_first: true });
     let rt = Runtime::threaded(cfg);
     let boom = rt.register("boom", Constraint::cpus(1), 1, |_, _| {
         Err::<Vec<Value>, _>(TaskError::new("always fails"))
@@ -343,8 +343,8 @@ fn simulated_node_failure_moves_tasks() {
 fn sim_twenty_seven_tasks_on_reserved_node_matches_figure5_shape() {
     // Figure 5: 48-core node, worker reserves 24 cores, 27 single-core
     // tasks → 24 start at t=0, 3 wait for freed cores.
-    let cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4()))
-        .reserve(0, 24);
+    let cfg =
+        RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4())).reserve(0, 24);
     let rt = Runtime::simulated(cfg);
     let exp = rt.register("experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
     for i in 0..27u64 {
@@ -398,12 +398,11 @@ fn dot_export_shows_hpo_application_structure() {
     // The paper's Figure 3 graph: experiments → per-experiment
     // visualisation → final plot, with dNvM edge labels and a sync node.
     let rt = Runtime::simulated(RuntimeConfig::single_node(8));
-    let experiment =
-        rt.register("graph.experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(0.9f64)]));
-    let visualisation =
-        rt.register("graph.visualisation", Constraint::cpus(1), 1, |_, inputs| {
-            Ok(vec![inputs[0].clone()])
-        });
+    let experiment = rt
+        .register("graph.experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(0.9f64)]));
+    let visualisation = rt.register("graph.visualisation", Constraint::cpus(1), 1, |_, inputs| {
+        Ok(vec![inputs[0].clone()])
+    });
     let plot = rt.register("graph.plot", Constraint::cpus(1), 1, |_, inputs| {
         Ok(vec![Value::new(inputs.len())])
     });
@@ -505,13 +504,12 @@ fn implement_makes_otherwise_unsatisfiable_task_admissible() {
     // rejected at submission; an alternative CPU implementation makes it
     // admissible and is the one that runs.
     let rt = Runtime::threaded(RuntimeConfig::single_node(4));
-    let gpu_only = rt.register("t", Constraint::cpus(1).with_gpus(1), 1, |_, _| {
-        Ok(vec![Value::new("gpu")])
-    });
+    let gpu_only =
+        rt.register("t", Constraint::cpus(1).with_gpus(1), 1, |_, _| Ok(vec![Value::new("gpu")]));
     assert!(matches!(rt.submit(&gpu_only, vec![]), Err(SubmitError::Unsatisfiable(_))));
 
-    let with_fallback = gpu_only
-        .with_implementation(Constraint::cpus(1), |_, _| Ok(vec![Value::new("cpu")]));
+    let with_fallback =
+        gpu_only.with_implementation(Constraint::cpus(1), |_, _| Ok(vec![Value::new("cpu")]));
     let out = rt.submit(&with_fallback, vec![]).unwrap().returns[0];
     let v = rt.wait_on(&out).unwrap();
     assert_eq!(*v.downcast_ref::<&str>().unwrap(), "cpu");
@@ -527,7 +525,8 @@ fn implement_variants_retry_like_the_primary() {
     let t = rt
         .register("t", Constraint::cpus(2), 1, |ctx, _| Ok(vec![Value::new(ctx.attempt)]))
         .with_implementation(Constraint::cpus(1), |ctx, _| Ok(vec![Value::new(ctx.attempt)]));
-    let out = rt.submit_with(&t, vec![], SubmitOpts { sim_duration_us: Some(100) }).unwrap().returns[0];
+    let out =
+        rt.submit_with(&t, vec![], SubmitOpts { sim_duration_us: Some(100) }).unwrap().returns[0];
     let v = rt.wait_on(&out).unwrap();
     assert_eq!(*v.downcast_ref::<u32>().unwrap(), 2, "second attempt succeeded");
     assert_eq!(rt.stats().failed_attempts, 1);
@@ -585,9 +584,8 @@ fn multinode_coexists_with_single_node_tasks() {
     let cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(3, NodeSpec::new("n", 4, vec![], 8)));
     let rt = Runtime::simulated(cfg);
     let mpi = rt.register("mpi", Constraint::multinode(2, 4), 1, |_, _| Ok(vec![Value::new(())]));
-    let small = rt.register("small", Constraint::cpus(1), 1, |ctx, _| {
-        Ok(vec![Value::new(ctx.node)])
-    });
+    let small =
+        rt.register("small", Constraint::cpus(1), 1, |ctx, _| Ok(vec![Value::new(ctx.node)]));
     rt.submit_with(&mpi, vec![], SubmitOpts { sim_duration_us: Some(5_000) }).unwrap();
     let outs: Vec<_> = (0..4)
         .map(|_| {
@@ -615,10 +613,9 @@ fn node_failure_kills_multinode_task_touching_it() {
     });
     // first submission grabs nodes 0+1; the failure of node 1 at t=2ms
     // kills it mid-flight and it restarts on surviving nodes.
-    let out = rt
-        .submit_with(&mpi, vec![], SubmitOpts { sim_duration_us: Some(10_000) })
-        .unwrap()
-        .returns[0];
+    let out =
+        rt.submit_with(&mpi, vec![], SubmitOpts { sim_duration_us: Some(10_000) }).unwrap().returns
+            [0];
     rt.barrier();
     let v = rt.wait_on(&out).unwrap();
     let (node, peers) = v.downcast_ref::<(u32, Vec<u32>)>().unwrap();
@@ -668,13 +665,12 @@ fn staged_cluster_pays_transfer_time_and_uses_locality() {
         .without_pfs()
         .with_interconnect(cluster::Interconnect::ethernet());
     let rt = Runtime::simulated(RuntimeConfig::on_cluster(cluster));
-    let produce = rt.register("produce", Constraint::cpus(1), 1, |_, _| {
-        Ok(vec![Value::new(vec![0u8; 4])])
-    });
-    let consume = rt.register("consume", Constraint::cpus(1), 1, |ctx, _| {
-        Ok(vec![Value::new(ctx.node)])
-    });
-    let big = rt.submit_with(&produce, vec![], SubmitOpts { sim_duration_us: Some(100) })
+    let produce =
+        rt.register("produce", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(vec![0u8; 4])]));
+    let consume =
+        rt.register("consume", Constraint::cpus(1), 1, |ctx, _| Ok(vec![Value::new(ctx.node)]));
+    let big = rt
+        .submit_with(&produce, vec![], SubmitOpts { sim_duration_us: Some(100) })
         .unwrap()
         .returns[0];
     rt.wait_on(&big).unwrap();
@@ -701,7 +697,10 @@ fn staged_cluster_pays_transfer_time_and_uses_locality() {
     assert!(elapsed >= 100_000, "staging dominates: {elapsed}");
     // and the trace shows a Transferring interval
     let transferred = rt.trace().iter().any(|r| {
-        matches!(r, paratrace::Record::State { state: paratrace::StateKind::Transferring { .. }, .. })
+        matches!(
+            r,
+            paratrace::Record::State { state: paratrace::StateKind::Transferring { .. }, .. }
+        )
     });
     assert!(transferred, "transfer recorded in the trace");
 }
@@ -712,7 +711,8 @@ fn pfs_cluster_needs_no_staging_between_nodes() {
     let rt = Runtime::simulated(RuntimeConfig::on_cluster(cluster));
     let produce = rt.register("p", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(1u8)]));
     let consume = rt.register("c", Constraint::cpus(1), 1, |_, i| Ok(vec![i[0].clone()]));
-    let h = rt.submit_with(&produce, vec![], SubmitOpts { sim_duration_us: Some(100) })
+    let h = rt
+        .submit_with(&produce, vec![], SubmitOpts { sim_duration_us: Some(100) })
         .unwrap()
         .returns[0];
     rt.set_data_bytes(h, 120_000_000);

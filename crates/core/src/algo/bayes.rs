@@ -66,10 +66,8 @@ impl BayesSearch {
             match domain {
                 ParamDomain::Choice(vals) => {
                     // one-hot over the category list
-                    let idx = cfg
-                        .get(name)
-                        .and_then(|v| vals.iter().position(|c| c == v))
-                        .unwrap_or(0);
+                    let idx =
+                        cfg.get(name).and_then(|v| vals.iter().position(|c| c == v)).unwrap_or(0);
                     for i in 0..vals.len() {
                         x.push(if i == idx { 1.0 } else { 0.0 });
                     }
@@ -194,8 +192,7 @@ impl Suggester for BayesSearch {
             Some(c)
         };
 
-        let usable: Vec<&TrialResult> =
-            history.iter().filter(|t| !t.outcome.is_failed()).collect();
+        let usable: Vec<&TrialResult> = history.iter().filter(|t| !t.outcome.is_failed()).collect();
         let cfg = if self.issued < self.n_startup || usable.len() < 2 {
             sample_one(&mut self.rng, &self.space.clone())?
         } else {
@@ -203,9 +200,8 @@ impl Suggester for BayesSearch {
             let obs_x: Vec<Vec<f64>> =
                 usable.iter().map(|t| Self::embed(&space, &t.config)).collect();
             let obs_y: Vec<f64> = usable.iter().map(|t| t.outcome.accuracy).collect();
-            let candidates: Vec<Config> = (0..self.n_candidates)
-                .filter_map(|_| sample_one(&mut self.rng, &space))
-                .collect();
+            let candidates: Vec<Config> =
+                (0..self.n_candidates).filter_map(|_| sample_one(&mut self.rng, &space)).collect();
             if candidates.is_empty() {
                 return None;
             }
@@ -269,8 +265,7 @@ mod tests {
 
     #[test]
     fn posterior_interpolates_observations() {
-        let space =
-            SearchSpace::new().with("x", ParamDomain::Uniform { min: 0.0, max: 1.0 });
+        let space = SearchSpace::new().with("x", ParamDomain::Uniform { min: 0.0, max: 1.0 });
         let b = BayesSearch::new(&space, 10, 0);
         let obs_x = vec![vec![0.2], vec![0.8]];
         let obs_y = vec![0.3, 0.9];
@@ -315,8 +310,7 @@ mod tests {
     #[test]
     fn exploits_a_smooth_objective() {
         // accuracy peaks at lr = 1e-2 on a log axis
-        let space =
-            SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-5, max: 1e-1 });
+        let space = SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-5, max: 1e-1 });
         let f = |cfg: &Config| {
             let lr = cfg.get_float("lr").unwrap();
             (1.0 - (lr.log10() + 2.0).abs() / 4.0).max(0.0)

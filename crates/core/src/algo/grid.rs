@@ -141,8 +141,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "continuous")]
     fn continuous_domain_rejected() {
-        let space =
-            SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-4, max: 1e-1 });
+        let space = SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-4, max: 1e-1 });
         let _ = GridSearch::new(&space);
     }
 

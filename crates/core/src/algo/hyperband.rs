@@ -97,8 +97,7 @@ mod tests {
     #[test]
     fn bracket_halves_configs_and_grows_budget() {
         let b = Bracket::new(27, 2, 50, 3);
-        let shape: Vec<(usize, u32)> =
-            b.rungs.iter().map(|r| (r.n_configs, r.budget)).collect();
+        let shape: Vec<(usize, u32)> = b.rungs.iter().map(|r| (r.n_configs, r.budget)).collect();
         assert_eq!(shape, vec![(27, 2), (9, 6), (3, 18), (1, 50)]);
         assert_eq!(b.survivors_of(0), 9);
         assert_eq!(b.survivors_of(2), 1);

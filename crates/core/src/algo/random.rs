@@ -43,7 +43,9 @@ impl RandomSearch {
                     domain.grid_value(rng.gen_range(0..n))
                 }
             }
-            ParamDomain::Uniform { min, max } => Some(ConfigValue::Float(rng.gen_range(*min..=*max))),
+            ParamDomain::Uniform { min, max } => {
+                Some(ConfigValue::Float(rng.gen_range(*min..=*max)))
+            }
             ParamDomain::LogUniform { min, max } => {
                 let (lo, hi) = (min.ln(), max.ln());
                 Some(ConfigValue::Float(rng.gen_range(lo..=hi).exp()))

@@ -51,7 +51,10 @@ impl TpeSearch {
     }
 
     /// Split history into (good, bad) by accuracy quantile.
-    fn split<'a>(&self, history: &'a [TrialResult]) -> (Vec<&'a TrialResult>, Vec<&'a TrialResult>) {
+    fn split<'a>(
+        &self,
+        history: &'a [TrialResult],
+    ) -> (Vec<&'a TrialResult>, Vec<&'a TrialResult>) {
         let mut sorted: Vec<&TrialResult> = history.iter().collect();
         sorted.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
         let n_good = ((history.len() as f64 * self.gamma).ceil() as usize).clamp(1, history.len());
@@ -214,8 +217,7 @@ mod tests {
 
     #[test]
     fn warmup_is_random_then_model_kicks_in() {
-        let space =
-            SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-5, max: 1e-1 });
+        let space = SearchSpace::new().with("lr", ParamDomain::LogUniform { min: 1e-5, max: 1e-1 });
         let mut tpe = TpeSearch::new(&space, 40, 9);
         let mut history: Vec<TrialResult> = Vec::new();
         while let Some(cfg) = tpe.suggest(&history) {
@@ -228,10 +230,7 @@ mod tests {
         let dist = |t: &TrialResult| (t.config.get_float("lr").unwrap().log10() + 2.0).abs();
         let early: f64 = history[..10].iter().map(dist).sum::<f64>() / 10.0;
         let late: f64 = history[30..].iter().map(dist).sum::<f64>() / 10.0;
-        assert!(
-            late < early,
-            "TPE should exploit: early mean dist {early:.3}, late {late:.3}"
-        );
+        assert!(late < early, "TPE should exploit: early mean dist {early:.3}, late {late:.3}");
     }
 
     #[test]
@@ -271,9 +270,7 @@ mod tests {
         let space = SearchSpace::paper_grid();
         let tpe = TpeSearch::new(&space, 10, 0);
         let history: Vec<TrialResult> = (0..8)
-            .map(|i| {
-                trial(&space, Config::new().with("x", ConfigValue::Int(i)), i as f64 / 10.0)
-            })
+            .map(|i| trial(&space, Config::new().with("x", ConfigValue::Int(i)), i as f64 / 10.0))
             .collect();
         let (good, bad) = tpe.split(&history);
         assert_eq!(good.len(), 2, "ceil(8 × 0.25)");

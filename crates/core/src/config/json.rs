@@ -200,8 +200,9 @@ impl<'a> Parser<'a> {
                         _ => 4,
                     };
                     let end = (start + len).min(self.bytes.len());
-                    let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| JsonError { message: "invalid UTF-8".into(), offset: start })?;
+                    let s = std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
+                        JsonError { message: "invalid UTF-8".into(), offset: start }
+                    })?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -326,10 +327,7 @@ mod tests {
         let j = parse(r#"{"a": 1, "b": [true, null, -2.5e2], "c": {"d": "x"}}"#).unwrap();
         let Json::Object(o) = j else { panic!() };
         assert_eq!(o["a"], Json::Number(1.0));
-        assert_eq!(
-            o["b"],
-            Json::Array(vec![Json::Bool(true), Json::Null, Json::Number(-250.0)])
-        );
+        assert_eq!(o["b"], Json::Array(vec![Json::Bool(true), Json::Null, Json::Number(-250.0)]));
         let Json::Object(c) = &o["c"] else { panic!() };
         assert_eq!(c["d"], Json::String("x".into()));
     }

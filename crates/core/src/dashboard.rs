@@ -69,7 +69,12 @@ pub fn leaderboard(report: &HpoReport, k: usize) -> String {
     let mut ranked: Vec<&TrialResult> =
         report.trials.iter().filter(|t| !t.outcome.is_failed()).collect();
     ranked.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
-    let mut out = format!("top {} of {} trials ({}):\n", k.min(ranked.len()), report.trials.len(), report.algorithm);
+    let mut out = format!(
+        "top {} of {} trials ({}):\n",
+        k.min(ranked.len()),
+        report.trials.len(),
+        report.algorithm
+    );
     for (i, t) in ranked.iter().take(k).enumerate() {
         out.push_str(&format!(
             "{:>3}. {:.4}  {} ({} epochs)\n",
@@ -113,11 +118,8 @@ mod tests {
     #[test]
     fn failed_trials_marked() {
         let mut d = Dashboard::new();
-        let t = TrialResult {
-            config: Config::new(),
-            outcome: TrialOutcome::failed("x"),
-            task_us: 0,
-        };
+        let t =
+            TrialResult { config: Config::new(), outcome: TrialOutcome::failed("x"), task_us: 0 };
         let line = d.on_trial(&t);
         assert!(line.contains("FAILED"));
         assert_eq!(d.best_accuracy(), 0.0);
@@ -146,8 +148,7 @@ mod tests {
             outcome: TrialOutcome::failed("x"),
             task_us: 0,
         });
-        let report =
-            HpoReport { algorithm: "r".into(), trials, wall_us: 0, early_stopped: false };
+        let report = HpoReport { algorithm: "r".into(), trials, wall_us: 0, early_stopped: false };
         let lb = leaderboard(&report, 10);
         assert_eq!(lb.lines().count(), 2);
     }

@@ -123,11 +123,14 @@ impl ExperimentOptions {
 /// `num_epochs`, `batch_size`, `learning_rate`, `hidden` (single hidden
 /// width). The seed is derived from the config label so distinct configs
 /// train with distinct but reproducible randomness.
-pub fn train_config_from(config: &Config, hidden_default: &[usize]) -> Result<TrainConfig, TaskError> {
+pub fn train_config_from(
+    config: &Config,
+    hidden_default: &[usize],
+) -> Result<TrainConfig, TaskError> {
     let optimizer = match config.get_str("optimizer") {
-        Some(s) => s
-            .parse::<OptimizerKind>()
-            .map_err(|e| TaskError::new(format!("bad optimizer: {e}")))?,
+        Some(s) => {
+            s.parse::<OptimizerKind>().map_err(|e| TaskError::new(format!("bad optimizer: {e}")))?
+        }
         None => OptimizerKind::Adam,
     };
     let epochs = config.get_int("num_epochs").unwrap_or(10);
@@ -177,9 +180,10 @@ pub fn train_config_from(config: &Config, hidden_default: &[usize]) -> Result<Tr
     };
 
     // FNV-1a over the label: stable per-config seed.
-    let seed = config.label().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-    });
+    let seed = config
+        .label()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
     Ok(TrainConfig {
         epochs: epochs as u32,
         batch_size: batch as usize,
@@ -191,6 +195,10 @@ pub fn train_config_from(config: &Config, hidden_default: &[usize]) -> Result<Tr
         hidden_layers: hidden,
         val_fraction: 0.2,
         seed,
+        // 0 = inherit the ambient degree: the runner installs the task's
+        // core grant via `tinyml::par::with_threads` around the objective,
+        // so a `@constraint(computing_units=N)` trial trains on N threads.
+        threads: 0,
     })
 }
 
@@ -280,18 +288,17 @@ mod tests {
         assert_eq!(t.lr_schedule, LrSchedule::StepDecay { every_epochs: 3, factor: 0.25 });
         assert!((t.weight_decay - 1e-4).abs() < 1e-9);
 
-        let cosine = paper_config("Adam", 10, 32)
-            .with("lr_schedule", ConfigValue::Str("cosine".into()));
+        let cosine =
+            paper_config("Adam", 10, 32).with("lr_schedule", ConfigValue::Str("cosine".into()));
         assert!(matches!(
             train_config_from(&cosine, &[8]).unwrap().lr_schedule,
             LrSchedule::Cosine { .. }
         ));
 
-        let bad = paper_config("Adam", 10, 32)
-            .with("lr_schedule", ConfigValue::Str("warmup".into()));
+        let bad =
+            paper_config("Adam", 10, 32).with("lr_schedule", ConfigValue::Str("warmup".into()));
         assert!(train_config_from(&bad, &[8]).is_err());
-        let neg = paper_config("Adam", 10, 32)
-            .with("weight_decay", ConfigValue::Float(-1.0));
+        let neg = paper_config("Adam", 10, 32).with("weight_decay", ConfigValue::Float(-1.0));
         assert!(train_config_from(&neg, &[8]).is_err());
     }
 
@@ -307,8 +314,7 @@ mod tests {
         let t = train_config_from(&cnn, &[8]).unwrap();
         assert_eq!(t.arch, tinyml::ModelArch::Cnn { conv1_channels: 4, conv2_channels: 8 });
 
-        let default_cnn =
-            paper_config("Adam", 5, 32).with("arch", ConfigValue::Str("cnn".into()));
+        let default_cnn = paper_config("Adam", 5, 32).with("arch", ConfigValue::Str("cnn".into()));
         assert_eq!(
             train_config_from(&default_cnn, &[8]).unwrap().arch,
             tinyml::ModelArch::Cnn { conv1_channels: 6, conv2_channels: 12 }
@@ -373,11 +379,8 @@ mod tests {
     fn within_trial_early_stop_cuts_epochs() {
         let data = Arc::new(Dataset::synthetic_mnist(800, 5));
         // very easy data: 0.5 target reached almost immediately
-        let obj = tinyml_objective_with_early_stop(
-            data,
-            vec![32],
-            Some(EarlyStop::at_accuracy(0.5)),
-        );
+        let obj =
+            tinyml_objective_with_early_stop(data, vec![32], Some(EarlyStop::at_accuracy(0.5)));
         let out = obj(&paper_config("Adam", 20, 32), None).unwrap();
         assert!(out.epochs_run < 20, "stopped early at epoch {}", out.epochs_run);
         assert!(out.accuracy >= 0.5);

@@ -166,10 +166,7 @@ impl HpoReport {
 
     /// Short human summary.
     pub fn summary(&self) -> String {
-        let best = self
-            .best()
-            .map(|t| t.label())
-            .unwrap_or_else(|| "none".to_string());
+        let best = self.best().map(|t| t.label()).unwrap_or_else(|| "none".to_string());
         format!(
             "{}: {} trials ({} failed), best {} in {:.1}s{}",
             self.algorithm,

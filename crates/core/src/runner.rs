@@ -34,9 +34,15 @@ impl HpoRunner {
     }
 
     /// Register the experiment task definition on `rt`.
+    ///
+    /// The body runs the objective under a `tinyml::par::with_threads`
+    /// scope sized by the placement's core grant
+    /// (`TaskContext::parallelism`), so a task constrained to N CPUs
+    /// really trains on N worker threads — the paper's Figure 5/9
+    /// multi-core-per-task setup, made real in the threaded backend.
     fn register_task(&self, rt: &Runtime, objective: &Objective) -> rcompss::TaskDef {
         let obj = Arc::clone(objective);
-        rt.register(&self.opts.task_name, self.opts.constraint, 1, move |_ctx, inputs| {
+        rt.register(&self.opts.task_name, self.opts.constraint, 1, move |ctx, inputs| {
             let config = inputs[0]
                 .downcast_ref::<Config>()
                 .ok_or_else(|| TaskError::new("experiment input 0 must be a Config"))?;
@@ -45,7 +51,7 @@ impl HpoRunner {
                 .copied()
                 .ok_or_else(|| TaskError::new("experiment input 1 must be Option<u32>"))?;
             let t0 = Instant::now();
-            let outcome = obj(config, budget)?;
+            let outcome = tinyml::par::with_threads(ctx.parallelism(), || obj(config, budget))?;
             let payload: TaskPayload = (outcome, t0.elapsed().as_micros() as u64);
             Ok(vec![Value::new(payload)])
         })
@@ -79,11 +85,9 @@ impl HpoRunner {
                     .expect("experiment task returns (TrialOutcome, u64)");
                 TrialResult { config, outcome, task_us }
             }
-            Err(e) => TrialResult {
-                config,
-                outcome: TrialOutcome::failed(e.to_string()),
-                task_us: 0,
-            },
+            Err(e) => {
+                TrialResult { config, outcome: TrialOutcome::failed(e.to_string()), task_us: 0 }
+            }
         }
     }
 
@@ -180,10 +184,8 @@ impl HpoRunner {
                 .iter()
                 .map(|c| Ok((c.clone(), self.submit_one(rt, &def, c, Some(rung.budget))?)))
                 .collect::<Result<_, SubmitError>>()?;
-            let mut rung_results: Vec<TrialResult> = wave
-                .into_iter()
-                .map(|(config, sub)| self.collect(rt, config, &sub))
-                .collect();
+            let mut rung_results: Vec<TrialResult> =
+                wave.into_iter().map(|(config, sub)| self.collect(rt, config, &sub)).collect();
             // Promote the best survivors to the next rung.
             rung_results.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
             candidates = rung_results
@@ -216,10 +218,8 @@ mod tests {
     /// epochs, Adam beats the others, bigger batches slightly worse.
     fn synthetic_objective() -> Objective {
         Arc::new(|config: &Config, budget: Option<u32>| {
-            let epochs = budget
-                .map(i64::from)
-                .or_else(|| config.get_int("num_epochs"))
-                .unwrap_or(10) as f64;
+            let epochs =
+                budget.map(i64::from).or_else(|| config.get_int("num_epochs")).unwrap_or(10) as f64;
             let opt_bonus = match config.get_str("optimizer") {
                 Some("Adam") => 0.15,
                 Some("RMSprop") => 0.08,
@@ -227,8 +227,7 @@ mod tests {
             };
             let batch_penalty = config.get_int("batch_size").unwrap_or(64) as f64 / 4000.0;
             let acc = (0.5 + 0.003 * epochs + opt_bonus - batch_penalty).min(0.99);
-            let curve: Vec<f64> =
-                (1..=epochs as usize).map(|e| acc * e as f64 / epochs).collect();
+            let curve: Vec<f64> = (1..=epochs as usize).map(|e| acc * e as f64 / epochs).collect();
             Ok(TrialOutcome {
                 accuracy: acc,
                 epochs_run: epochs as u32,
@@ -244,8 +243,7 @@ mod tests {
         let rt = Runtime::threaded(RuntimeConfig::single_node(8));
         let space = SearchSpace::paper_grid();
         let runner = HpoRunner::new(ExperimentOptions::default());
-        let report =
-            runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
+        let report = runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
         assert_eq!(report.trials.len(), 27);
         assert_eq!(report.failures(), 0);
         let best = report.best().unwrap();
@@ -260,12 +258,10 @@ mod tests {
         let rt = Runtime::simulated(RuntimeConfig::single_node(8));
         let space = SearchSpace::paper_grid();
         let runner = HpoRunner::new(
-            ExperimentOptions::default().with_sim_duration(|c| {
-                1_000 * c.get_int("num_epochs").unwrap_or(10) as u64
-            }),
+            ExperimentOptions::default()
+                .with_sim_duration(|c| 1_000 * c.get_int("num_epochs").unwrap_or(10) as u64),
         );
-        let report =
-            runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
+        let report = runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
         assert_eq!(report.trials.len(), 27);
         // 27 tasks on 8 slots with heterogeneous durations: virtual time is
         // at least total_work/slots = (9*(20+50+100)*1000)/8
@@ -282,8 +278,7 @@ mod tests {
                 // small waves so the stop can take effect
                 .with_wave_size_for_tests(4),
         );
-        let report =
-            runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
+        let report = runner.run(&rt, &mut GridSearch::new(&space), synthetic_objective()).unwrap();
         assert!(report.early_stopped);
         assert!(report.trials.len() < 27, "stopped after {} trials", report.trials.len());
         assert!(report.trials.iter().any(|t| t.outcome.accuracy >= 0.55));
@@ -292,8 +287,8 @@ mod tests {
     #[test]
     fn failing_configs_are_recorded_not_fatal() {
         let rt = Runtime::threaded(RuntimeConfig::single_node(4));
-        let space = SearchSpace::new()
-            .with("optimizer", ParamDomain::choice_strs(&["Adam", "Broken"]));
+        let space =
+            SearchSpace::new().with("optimizer", ParamDomain::choice_strs(&["Adam", "Broken"]));
         let objective: Objective = Arc::new(|config: &Config, _| {
             if config.get_str("optimizer") == Some("Broken") {
                 Err(TaskError::new("unsupported optimizer"))

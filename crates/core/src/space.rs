@@ -118,11 +118,7 @@ impl Config {
 
     /// Stable one-line label, e.g. `batch_size=64,num_epochs=50,optimizer=Adam`.
     pub fn label(&self) -> String {
-        self.values
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect::<Vec<_>>()
-            .join(",")
+        self.values.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",")
     }
 }
 
@@ -198,9 +194,9 @@ impl ParamDomain {
     pub fn contains(&self, v: &ConfigValue) -> bool {
         match self {
             ParamDomain::Choice(vals) => vals.contains(v),
-            ParamDomain::IntRange { min, max, step } => v
-                .as_int()
-                .is_some_and(|i| i >= *min && i <= *max && (i - min) % step.max(&1) == 0),
+            ParamDomain::IntRange { min, max, step } => {
+                v.as_int().is_some_and(|i| i >= *min && i <= *max && (i - min) % step.max(&1) == 0)
+            }
             ParamDomain::Uniform { min, max } => {
                 v.as_float().is_some_and(|f| f >= *min && f <= *max)
             }
@@ -261,18 +257,16 @@ impl SearchSpace {
     /// Total grid size (product of discrete domain sizes); `None` if any
     /// domain is continuous.
     pub fn grid_size(&self) -> Option<usize> {
-        self.params.iter().map(|(_, d)| d.grid_size()).try_fold(1usize, |acc, n| {
-            n.map(|n| acc.saturating_mul(n))
-        })
+        self.params
+            .iter()
+            .map(|(_, d)| d.grid_size())
+            .try_fold(1usize, |acc, n| n.map(|n| acc.saturating_mul(n)))
     }
 
     /// Whether `config` assigns every parameter a value inside its domain.
     pub fn contains(&self, config: &Config) -> bool {
         self.params.len() == config.len()
-            && self
-                .params
-                .iter()
-                .all(|(name, d)| config.get(name).is_some_and(|v| d.contains(v)))
+            && self.params.iter().all(|(name, d)| config.get(name).is_some_and(|v| d.contains(v)))
     }
 }
 

@@ -4,6 +4,15 @@
 //! Architecture: `conv(k3,p1) → ReLU → maxpool2 → conv(k3,p1) → ReLU →
 //! maxpool2 → dense → softmax`. Sizes are parameters so the HPO layer can
 //! search over channel counts too.
+//!
+//! Compute-wise this file is pure wiring: both conv blocks lower to the
+//! sample-parallel im2col GEMMs of [`crate::conv`] and the head to the
+//! row-parallel dense GEMMs of [`crate::tensor`], all driven by the
+//! scoped worker pool in [`crate::par`]. The degree of parallelism arrives
+//! ambiently from the training loop's `with_threads` scope (ultimately the
+//! task's core grant), so a CNN trial constrained to N cores trains with
+//! N-way intra-task parallelism without this model holding any thread
+//! state — and produces bit-identical weights at any N.
 
 use crate::conv::{Conv2d, MaxPool2, Tensor4};
 use crate::layers::Dense;
@@ -47,7 +56,13 @@ impl Cnn {
     ///
     /// # Panics
     /// Panics if the image is too small for two 2× poolings.
-    pub fn new(input: (usize, usize, usize), classes: usize, c1: usize, c2: usize, seed: u64) -> Self {
+    pub fn new(
+        input: (usize, usize, usize),
+        classes: usize,
+        c1: usize,
+        c2: usize,
+        seed: u64,
+    ) -> Self {
         let (c, h, w) = input;
         assert!(h >= 4 && w >= 4, "need at least 4×4 images for two poolings");
         let conv1 = Conv2d::new(c, c1, 3, 1, seed ^ 0x1111);
@@ -180,8 +195,12 @@ mod tests {
         // paper's Figure 7 experiments. CNNs need the spatially-smooth
         // dataset variant (convolution has nothing to exploit in iid
         // prototypes).
-        let data =
-            Dataset::synthetic("mnist-spatial", 500, &crate::data::SyntheticSpec::mnist_like_spatial(), 3);
+        let data = Dataset::synthetic(
+            "mnist-spatial",
+            500,
+            &crate::data::SyntheticSpec::mnist_like_spatial(),
+            3,
+        );
         let (train, val) = data.split(0.2, 1);
         let mut net = Cnn::new((1, 28, 28), 10, 6, 12, 2);
         let mut opt = Optimizer::new(OptimizerKind::Adam, 3e-3);

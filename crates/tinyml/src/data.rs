@@ -109,14 +109,11 @@ impl SyntheticSpec {
 
 /// 3×3 box blur over a `(c, side, side)` image stored flat; two passes.
 fn smooth_spatial(proto: &mut [f32], dim: usize) {
-    let Some((c, side)) = [1usize, 3]
-        .into_iter()
-        .find_map(|c| {
-            let per = dim / c;
-            let side = (per as f64).sqrt() as usize;
-            (dim.is_multiple_of(c) && side * side == per).then_some((c, side))
-        })
-    else {
+    let Some((c, side)) = [1usize, 3].into_iter().find_map(|c| {
+        let per = dim / c;
+        let side = (per as f64).sqrt() as usize;
+        (dim.is_multiple_of(c) && side * side == per).then_some((c, side))
+    }) else {
         return; // not image-shaped: leave as-is
     };
     for _ in 0..2 {
@@ -228,7 +225,10 @@ impl Dataset {
         idx.shuffle(&mut StdRng::seed_from_u64(seed));
         let n_val = (self.len() as f64 * val_frac).round() as usize;
         let (val_idx, train_idx) = idx.split_at(n_val);
-        (self.subset(train_idx, &format!("{}-train", self.name)), self.subset(val_idx, &format!("{}-val", self.name)))
+        (
+            self.subset(train_idx, &format!("{}-train", self.name)),
+            self.subset(val_idx, &format!("{}-val", self.name)),
+        )
     }
 
     /// Materialise a subset by example indices.

@@ -12,7 +12,13 @@
 //! and more complex").
 //!
 //! Everything is deterministic given a seed, which the HPO layer and the
-//! property tests rely on.
+//! property tests rely on. That determinism survives parallelism: the
+//! compute kernels ([`tensor`], [`conv`]) split work across the scoped
+//! worker pool in [`par`] in a way that preserves accumulation order, so a
+//! training run is bit-identical at any thread count. The degree of
+//! parallelism flows in from the task runtime's core grant (or the
+//! `TINYML_THREADS` environment variable standalone) — see [`par`] for the
+//! full story.
 //!
 //! # Quick start
 //!
@@ -45,6 +51,7 @@ pub mod loss;
 pub mod metrics;
 pub mod net;
 pub mod optim;
+pub mod par;
 pub mod tensor;
 pub mod train;
 

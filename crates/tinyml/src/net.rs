@@ -3,6 +3,14 @@
 //! This is the `create_model(config)` of the paper's Listing 2: "New model
 //! created every time with different parameters". Architecture parameters
 //! (hidden layer sizes) can themselves be hyperparameters.
+//!
+//! The layers carry no parallelism knobs of their own: every
+//! forward/backward product here lowers to the [`crate::tensor`] GEMM
+//! family, which consults the ambient degree installed by
+//! [`crate::par::with_threads`] (the training loop opens that scope from
+//! [`crate::train::TrainConfig::threads`], which in turn is fed by the
+//! task runtime's core grant). A 4-core-constrained experiment task thus
+//! runs its dense layers on 4 workers with no change to this file's API.
 
 use crate::layers::{relu_backward, relu_inplace, Dense};
 use crate::loss::softmax_cross_entropy;
@@ -26,19 +34,23 @@ pub trait Model {
 
     /// Predicted class per row (argmax of [`Model::forward`]).
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        let logits = self.forward(x);
-        (0..logits.rows())
-            .map(|r| {
-                logits
-                    .row(r)
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+        argmax_rows(&self.forward(x))
     }
+}
+
+/// Index of the largest entry in each row (ties break low, empty rows 0).
+fn argmax_rows(logits: &Matrix) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
 }
 
 /// A dense feed-forward classifier.
@@ -99,18 +111,7 @@ impl Mlp {
 
     /// Predicted class per row.
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
-        let logits = self.forward(x);
-        (0..logits.rows())
-            .map(|r| {
-                logits
-                    .row(r)
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+        argmax_rows(&self.forward(x))
     }
 
     /// Forward + backward on one mini-batch. Returns `(loss, gradients)`.

@@ -17,7 +17,8 @@ pub enum OptimizerKind {
 
 impl OptimizerKind {
     /// All kinds, in the paper's config-file order.
-    pub const ALL: [OptimizerKind; 3] = [OptimizerKind::Adam, OptimizerKind::Sgd, OptimizerKind::RmsProp];
+    pub const ALL: [OptimizerKind; 3] =
+        [OptimizerKind::Adam, OptimizerKind::Sgd, OptimizerKind::RmsProp];
 
     /// Canonical display name, matching the paper's JSON values.
     pub fn name(&self) -> &'static str {
@@ -165,7 +166,9 @@ impl Optimizer {
                 let t = self.t.max(1) as i32;
                 let bc1 = 1.0 - B1.powi(t);
                 let bc2 = 1.0 - B2.powi(t);
-                for ((p, &g), (mi, vi)) in params.iter_mut().zip(grad).zip(m.iter_mut().zip(v.iter_mut())) {
+                for ((p, &g), (mi, vi)) in
+                    params.iter_mut().zip(grad).zip(m.iter_mut().zip(v.iter_mut()))
+                {
                     let g = g + wd * *p;
                     *mi = B1 * *mi + (1.0 - B1) * g;
                     *vi = B2 * *vi + (1.0 - B2) * g * g;

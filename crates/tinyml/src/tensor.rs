@@ -1,11 +1,70 @@
 //! Dense row-major `f32` matrices and the handful of BLAS-like kernels the
 //! training loop needs.
 //!
-//! Performance notes (per the repo's HPC guides): the GEMM uses an
-//! i-k-j loop order so the innermost loop is a contiguous saxpy over the
-//! output row (auto-vectorises well), slices are hoisted out of loops to
-//! elide bounds checks, and all buffers are reused through `&mut` outputs
-//! where the training loop is hot.
+//! # Kernel strategy: blocked ikj order, row-parallel
+//!
+//! The GEMM family ([`Matrix::matmul`], [`Matrix::matmul_into`],
+//! [`Matrix::matmul_t`], [`Matrix::t_matmul`]) shares one design:
+//!
+//! * **ikj loop order** — the innermost loop is a contiguous saxpy over an
+//!   output row, which auto-vectorises well; slices are hoisted out of
+//!   loops to elide bounds checks, and hot-loop buffers are reused via
+//!   `&mut` outputs.
+//! * **Cache blocking over k** (panel size [`KC`]) — each pass streams a
+//!   `KC × n` panel of the right-hand operand while sweeping the rows of a
+//!   thread's output chunk, so the panel stays resident in L1/L2 instead
+//!   of being evicted once per output row.
+//! * **Row parallelism** — when the ambient degree of parallelism (see
+//!   [`crate::par`]) and the problem size warrant it, the *output rows*
+//!   are split into contiguous chunks ([`par::par_row_chunks`]), one
+//!   scoped worker per chunk. Problems under `par::degree_for`'s work
+//!   floor run serially, so tiny matrices never pay a thread spawn.
+//!
+//! # Serial-equivalence guarantee
+//!
+//! Parallelism only partitions output rows; each output element is
+//! produced by exactly one thread using the same k-ascending (respectively
+//! r-ascending) accumulation order as the serial kernel. Results are
+//! therefore **bit-identical** at every thread count, which is what lets
+//! the HPO layer treat the degree of parallelism as a pure performance
+//! knob that cannot perturb a trial's accuracy.
+
+use crate::par;
+
+/// k-panel size of the blocked GEMM: the `KC × n` slab of the right-hand
+/// matrix revisited per output-row sweep (64 KiB at n = 64 — comfortably
+/// L2-resident, several rows' worth of L1 reuse).
+const KC: usize = 256;
+
+/// The blocked ikj GEMM body for one contiguous chunk of output rows:
+/// `out[rows] += a[rows] × b`, where `out` is the chunk itself (its row 0
+/// is `rows.start` of the full product). Accumulates in k-ascending order
+/// per element regardless of blocking, preserving serial equivalence.
+fn gemm_rows(
+    a: &[f32],
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
+    for kb in (0..k_dim).step_by(KC) {
+        let kend = (kb + KC).min(k_dim);
+        for (ri, i) in rows.clone().enumerate() {
+            let a_row = &a[i * k_dim + kb..i * k_dim + kend];
+            let out_row = &mut out[ri * n..(ri + 1) * n];
+            for (dk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(kb + dk) * n..(kb + dk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,7 +156,8 @@ impl Matrix {
         out
     }
 
-    /// `out = self × other` reusing `out`'s buffer.
+    /// `out = self × other` reusing `out`'s buffer — the blocked, optionally
+    /// row-parallel GEMM (see the module docs for the strategy).
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -106,58 +166,72 @@ impl Matrix {
         assert_eq!(out.rows, self.rows, "output rows");
         assert_eq!(out.cols, other.cols, "output cols");
         out.data.fill(0.0);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        let (k_dim, n) = (self.cols, other.cols);
+        if self.rows == 0 || n == 0 || k_dim == 0 {
+            return;
         }
+        let threads = par::degree_for(self.rows * k_dim * n);
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks(&mut out.data, n, threads, |rows, chunk| {
+            gemm_rows(a, b, k_dim, n, rows, chunk);
+        });
     }
 
-    /// `selfᵀ × other` without materialising the transpose.
+    /// `selfᵀ × other` without materialising the transpose. Output rows
+    /// (= `self` columns) are split across workers; each worker sweeps the
+    /// shared operands top-to-bottom, accumulating its own rows only.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts must agree for AᵀB");
         let mut out = Matrix::zeros(self.cols, other.cols);
         let n = other.cols;
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if self.rows == 0 || self.cols == 0 || n == 0 {
+            return out;
+        }
+        let threads = par::degree_for(self.rows * self.cols * n);
+        par::par_row_chunks(&mut out.data, n, threads, |irange, chunk| {
+            for r in 0..self.rows {
+                let a_row = self.row(r);
+                let b_row = other.row(r);
+                for (ri, i) in irange.clone().enumerate() {
+                    let a = a_row[i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[ri * n..(ri + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// `self × otherᵀ` without materialising the transpose.
+    /// `self × otherᵀ` without materialising the transpose: a row-parallel
+    /// panel of dot products (each output element is one `self` row ·
+    /// one `other` row).
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "col counts must agree for ABᵀ");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        let n = other.rows;
+        if self.rows == 0 || n == 0 {
+            return out;
         }
+        let threads = par::degree_for(self.rows * self.cols.max(1) * n);
+        par::par_row_chunks(&mut out.data, n, threads, |rows, chunk| {
+            for (ri, i) in rows.clone().enumerate() {
+                let a_row = self.row(i);
+                let out_row = &mut chunk[ri * n..(ri + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
@@ -282,5 +356,65 @@ mod tests {
         let mut out = Matrix::from_vec(2, 2, vec![99.0; 4]);
         a.matmul_into(&b, &mut out);
         assert_eq!(out, a.matmul(&b), "stale buffer contents must be cleared");
+    }
+
+    /// Naive f64 triple loop, the independent reference for the blocked
+    /// kernel (different summation order, hence the tolerance).
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a.get(i, k) as f64 * b.get(k, j) as f64).sum::<f64>() as f32
+        })
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_reference_across_k_panels() {
+        // k = 700 spans multiple KC-panels; n and m exercise odd sizes.
+        let a = Matrix::from_fn(5, 700, |r, c| ((r * 700 + c) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(700, 13, |r, c| ((r + 13 * c) as f32 * 0.21).cos());
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() <= 1e-3 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        // Big enough to clear par::degree_for's work floor, so threads > 1
+        // genuinely take the scoped-worker path.
+        let a = Matrix::from_fn(96, 300, |r, c| ((r * 300 + c) as f32 * 0.13).sin());
+        let b = Matrix::from_fn(300, 96, |r, c| ((r + 300 * c) as f32 * 0.29).cos());
+        let bt = Matrix::from_fn(96, 300, |r, c| b.get(c, r));
+        let serial = crate::par::with_threads(1, || {
+            (a.matmul(&b), a.matmul_t(&bt), a.t_matmul(&a.matmul(&b)))
+        });
+        for threads in [2usize, 3, 8] {
+            let par = crate::par::with_threads(threads, || {
+                (a.matmul(&b), a.matmul_t(&bt), a.t_matmul(&a.matmul(&b)))
+            });
+            assert_eq!(par.0, serial.0, "matmul, {threads} threads");
+            assert_eq!(par.1, serial.1, "matmul_t, {threads} threads");
+            assert_eq!(par.2, serial.2, "t_matmul, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_survive_every_thread_count() {
+        for threads in [1usize, 2, 5] {
+            crate::par::with_threads(threads, || {
+                // 1×N, N×1, k=1 and empty-ish extremes.
+                let row = Matrix::from_fn(1, 7, |_, c| c as f32);
+                let col = Matrix::from_fn(7, 1, |r, _| r as f32);
+                assert_eq!(row.matmul(&col).as_slice(), &[91.0]);
+                let outer = col.matmul(&row);
+                assert_eq!((outer.rows(), outer.cols()), (7, 7));
+                assert_eq!(outer.get(3, 2), 6.0);
+                assert_eq!(row.matmul_t(&row).as_slice(), &[91.0]);
+                let gram = col.t_matmul(&col);
+                assert_eq!(gram.as_slice(), &[91.0]);
+                let empty = Matrix::zeros(0, 4).matmul(&Matrix::zeros(4, 3));
+                assert_eq!((empty.rows(), empty.cols()), (0, 3));
+            });
+        }
     }
 }

@@ -5,6 +5,12 @@
 //! curves plotted in the paper's Figures 7 and 8), and supports an epoch
 //! callback so the HPO layer can implement early stopping ("the process can
 //! be stopped as soon as one task achieves a specified accuracy").
+//!
+//! Training runs under a [`crate::par::with_threads`] scope sized by
+//! [`TrainConfig::threads`], so a task the scheduler constrained to N
+//! cores really trains on N worker threads — the substrate behind the
+//! paper's Figure 5/9 multi-core-per-task experiments. Thread count is a
+//! pure speed knob: results are bit-identical at any degree.
 
 use crate::cnn::Cnn;
 use crate::data::Dataset;
@@ -91,6 +97,14 @@ pub struct TrainConfig {
     pub val_fraction: f64,
     /// RNG seed (weights + shuffling).
     pub seed: u64,
+    /// Intra-task worker threads for the compute kernels (GEMM, im2col
+    /// convolution). `0` (the default) inherits the ambient degree — the
+    /// enclosing [`crate::par::with_threads`] scope that the HPO runner
+    /// opens from the task's granted core set, or the `TINYML_THREADS`
+    /// environment variable for standalone use. Any thread count produces
+    /// bit-identical results (see [`crate::par`]); this knob only changes
+    /// speed, never the trained model.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -106,6 +120,7 @@ impl Default for TrainConfig {
             hidden_layers: vec![64],
             val_fraction: 0.2,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -172,6 +187,17 @@ pub fn train_with_observer(
 ) -> History {
     assert!(cfg.batch_size > 0, "batch_size must be positive");
     assert!(!data.is_empty(), "cannot train on an empty dataset");
+    // Every kernel below (forward/backward GEMMs, im2col convolutions,
+    // validation inference) runs under this scope; `threads == 0` keeps
+    // the degree the runtime already installed from the task's core grant.
+    crate::par::with_threads(cfg.threads, move || train_inner(cfg, data, &mut observer))
+}
+
+fn train_inner(
+    cfg: &TrainConfig,
+    data: &Dataset,
+    observer: &mut impl FnMut(u32, f64, f64) -> EpochSignal,
+) -> History {
     let (train_set, val_set) = data.split(cfg.val_fraction, cfg.seed);
     let mut net: Box<dyn Model> = match cfg.arch {
         ModelArch::Dense => {
@@ -243,11 +269,7 @@ mod tests {
         let data = Dataset::synthetic_mnist(800, 3);
         for kind in OptimizerKind::ALL {
             let h = train(&quick_cfg(kind), &data);
-            assert!(
-                h.final_val_accuracy() > 0.5,
-                "{kind} stuck at {}",
-                h.final_val_accuracy()
-            );
+            assert!(h.final_val_accuracy() > 0.5, "{kind} stuck at {}", h.final_val_accuracy());
         }
     }
 
@@ -258,6 +280,33 @@ mod tests {
         let first = h.train_loss.first().copied().unwrap();
         let last = h.train_loss.last().copied().unwrap();
         assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_model() {
+        // The serial-equivalence guarantee, end to end: the whole training
+        // history (losses and accuracies) is identical at any degree.
+        let data = Dataset::synthetic_mnist(400, 8);
+        let serial = train(&TrainConfig { threads: 1, ..quick_cfg(OptimizerKind::Adam) }, &data);
+        for threads in [2usize, 4] {
+            let par = train(&TrainConfig { threads, ..quick_cfg(OptimizerKind::Adam) }, &data);
+            assert_eq!(par, serial, "{threads} threads");
+        }
+        // CNN path too (exercises the batched im2col lowering).
+        let spatial = Dataset::synthetic(
+            "mnist-spatial",
+            120,
+            &crate::data::SyntheticSpec::mnist_like_spatial(),
+            4,
+        );
+        let cnn_cfg = TrainConfig {
+            epochs: 1,
+            arch: ModelArch::Cnn { conv1_channels: 3, conv2_channels: 4 },
+            ..quick_cfg(OptimizerKind::Sgd)
+        };
+        let cnn_serial = train(&TrainConfig { threads: 1, ..cnn_cfg.clone() }, &spatial);
+        let cnn_par = train(&TrainConfig { threads: 4, ..cnn_cfg }, &spatial);
+        assert_eq!(cnn_par, cnn_serial);
     }
 
     #[test]
@@ -356,10 +405,8 @@ mod tests {
     fn weight_decay_changes_the_trajectory() {
         let data = Dataset::synthetic_mnist(400, 6);
         let plain = train(&quick_cfg(OptimizerKind::Adam), &data);
-        let decayed = train(
-            &TrainConfig { weight_decay: 0.05, ..quick_cfg(OptimizerKind::Adam) },
-            &data,
-        );
+        let decayed =
+            train(&TrainConfig { weight_decay: 0.05, ..quick_cfg(OptimizerKind::Adam) }, &data);
         assert_ne!(plain, decayed);
     }
 

@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn node_filter_hides_other_nodes() {
         let records = vec![run(CoreId::new(0, 0), 0, 10, 1), run(CoreId::new(1, 0), 0, 10, 2)];
-        let s = render(
-            &records,
-            &GanttOptions { width: 10, nodes: vec![1], ..Default::default() },
-        );
+        let s = render(&records, &GanttOptions { width: 10, nodes: vec![1], ..Default::default() });
         assert!(!s.contains("n0c0"), "{s}");
         assert!(s.contains("n1c0"), "{s}");
     }

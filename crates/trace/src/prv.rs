@@ -146,7 +146,10 @@ pub fn export(app_name: &str, records: &[Record]) -> PrvTrace {
 
     // .pcf — state and event semantics, matching record.rs encodings.
     let mut pcf = String::new();
-    let _ = writeln!(pcf, "DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS               NANOSEC\n");
+    let _ = writeln!(
+        pcf,
+        "DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS               NANOSEC\n"
+    );
     let _ = writeln!(pcf, "STATES");
     let _ = writeln!(pcf, "0    Idle");
     let _ = writeln!(pcf, "1    Running");
@@ -215,10 +218,10 @@ pub fn parse(prv: &str, row: &str) -> Result<Vec<Record>, PrvParseError> {
         }
     }
     let core_of = |cpu: usize, line_no: usize| -> Result<CoreId, PrvParseError> {
-        cpu_map.get(cpu.wrapping_sub(1)).copied().ok_or(PrvParseError {
-            line: line_no,
-            message: format!("cpu {cpu} not in .row"),
-        })
+        cpu_map
+            .get(cpu.wrapping_sub(1))
+            .copied()
+            .ok_or(PrvParseError { line: line_no, message: format!("cpu {cpu} not in .row") })
     };
 
     let mut out = Vec::new();
@@ -229,10 +232,8 @@ pub fn parse(prv: &str, row: &str) -> Result<Vec<Record>, PrvParseError> {
         }
         let fields: Vec<&str> = line.split(':').collect();
         let num = |s: &str| -> Result<u64, PrvParseError> {
-            s.parse().map_err(|_| PrvParseError {
-                line: line_no,
-                message: format!("bad number '{s}'"),
-            })
+            s.parse()
+                .map_err(|_| PrvParseError { line: line_no, message: format!("bad number '{s}'") })
         };
         match fields.first().copied() {
             Some("1") if fields.len() == 8 => {
@@ -367,14 +368,10 @@ mod tests {
             assert_eq!(orig.time(), back.time());
             assert_eq!(orig.end_time(), back.end_time());
             match (orig, back) {
-                (
-                    Record::State { state: s1, .. },
-                    Record::State { state: s2, .. },
-                ) => assert_eq!(s1.prv_state(), s2.prv_state()),
-                (
-                    Record::Event { kind: k1, .. },
-                    Record::Event { kind: k2, .. },
-                ) => {
+                (Record::State { state: s1, .. }, Record::State { state: s2, .. }) => {
+                    assert_eq!(s1.prv_state(), s2.prv_state())
+                }
+                (Record::Event { kind: k1, .. }, Record::Event { kind: k2, .. }) => {
                     assert_eq!(k1.prv_type(), k2.prv_type());
                     assert_eq!(k1.prv_value(), k2.prv_value());
                 }

@@ -152,10 +152,8 @@ mod tests {
 
     #[test]
     fn utilisation_csv_samples_buckets() {
-        let records = vec![
-            run(CoreId::new(0, 0), 0, 100, 1, "a"),
-            run(CoreId::new(0, 1), 50, 100, 2, "a"),
-        ];
+        let records =
+            vec![run(CoreId::new(0, 0), 0, 100, 1, "a"), run(CoreId::new(0, 1), 50, 100, 2, "a")];
         let csv = utilisation_csv(&records, 50);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_us,busy_cores");

@@ -72,10 +72,8 @@ impl TraceStats {
             }
             peak as usize
         };
-        let task_deltas: Vec<(u64, i64)> = task_intervals
-            .iter()
-            .flat_map(|&(_, s, e)| [(s, 1i64), (e, -1i64)])
-            .collect();
+        let task_deltas: Vec<(u64, i64)> =
+            task_intervals.iter().flat_map(|&(_, s, e)| [(s, 1i64), (e, -1i64)]).collect();
 
         let total_busy = busy_per_core.values().sum();
         TraceStats {

@@ -33,9 +33,8 @@ fn main() {
     // --- random search, with across-trial early stopping ---
     let rt = Runtime::threaded(RuntimeConfig::single_node(cores));
     let objective = hpo::experiment::tinyml_objective(Arc::clone(&data), vec![32]);
-    let runner = HpoRunner::new(
-        ExperimentOptions::default().with_early_stop(EarlyStop::at_accuracy(0.93)),
-    );
+    let runner =
+        HpoRunner::new(ExperimentOptions::default().with_early_stop(EarlyStop::at_accuracy(0.93)));
     let mut opts_small_waves = runner.clone();
     opts_small_waves.opts.wave_size = Some(cores as usize);
     let random = opts_small_waves
@@ -46,18 +45,15 @@ fn main() {
     // --- TPE: model-based, sequential batches ---
     let rt = Runtime::threaded(RuntimeConfig::single_node(cores));
     let runner = HpoRunner::new(ExperimentOptions::default());
-    let tpe = runner
-        .run(&rt, &mut TpeSearch::new(&space, 16, 7), objective.clone())
-        .expect("tpe run");
+    let tpe =
+        runner.run(&rt, &mut TpeSearch::new(&space, 16, 7), objective.clone()).expect("tpe run");
     println!("TPE           : {}", tpe.summary());
 
     // --- successive halving: spend epochs only on survivors ---
     let rt = Runtime::threaded(RuntimeConfig::single_node(cores));
     let runner = HpoRunner::new(ExperimentOptions::default());
     let bracket = Bracket::new(9, 2, 8, 3);
-    let sh = runner
-        .run_successive_halving(&rt, &space, objective, &bracket, 13)
-        .expect("sh run");
+    let sh = runner.run_successive_halving(&rt, &space, objective, &bracket, 13).expect("sh run");
     println!("succ. halving : {}", sh.summary());
     println!(
         "  bracket rungs: {:?} (epoch budget grows only for survivors)",

@@ -31,9 +31,8 @@ fn main() {
         Ok(hpo::experiment::TrialOutcome::with_accuracy(0.7 + epochs / 1000.0))
     });
 
-    let report = runner
-        .run(&rt, &mut GridSearch::new(&space), objective)
-        .expect("hpo survives failures");
+    let report =
+        runner.run(&rt, &mut GridSearch::new(&space), objective).expect("hpo survives failures");
 
     let stats = rt.stats();
     println!("{}", report.summary());

@@ -45,7 +45,8 @@ fn main() {
     // scheduler will pick — we submit with the GPU-speed duration and let
     // the experiment show placement (a finer model would pass per-variant
     // durations; the placement behaviour is the point here).
-    let gpu_cost = TrainingCost::cifar10(20, 64).duration(&Allocation::with_gpu(16, GpuModel::V100));
+    let gpu_cost =
+        TrainingCost::cifar10(20, 64).duration(&Allocation::with_gpu(16, GpuModel::V100));
     let outs: Vec<_> = (0..10)
         .map(|_| {
             rt.submit_with(&experiment, vec![], SubmitOpts { sim_duration_us: Some(gpu_cost) })

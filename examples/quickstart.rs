@@ -37,9 +37,7 @@ fn main() {
 
     // 4. Run the grid — every experiment is an independent parallel task.
     let runner = HpoRunner::new(ExperimentOptions::default());
-    let report = runner
-        .run(&rt, &mut GridSearch::new(&space), objective)
-        .expect("hpo run");
+    let report = runner.run(&rt, &mut GridSearch::new(&space), objective).expect("hpo run");
 
     // 5. Report, like the paper's final plotting task.
     println!("{}", report.summary());

@@ -39,9 +39,7 @@ fn main() {
         Ok(hpo::experiment::TrialOutcome::with_accuracy(0.6 + epochs / 500.0))
     });
 
-    let report = runner
-        .run(&rt, &mut GridSearch::new(&space), objective)
-        .expect("hpo run");
+    let report = runner.run(&rt, &mut GridSearch::new(&space), objective).expect("hpo run");
     println!("{}", report.summary());
     println!("virtual HPO makespan: {:.1} min", rt.now_us() as f64 / 60e6);
 
@@ -53,6 +51,9 @@ fn main() {
         stats.peak_parallelism
     );
     println!("\nper-node busy-core timeline (rows = nodes):");
-    print!("{}", render(&records, &GanttOptions { width: 70, per_node: true, ..Default::default() }));
+    print!(
+        "{}",
+        render(&records, &GanttOptions { width: 70, per_node: true, ..Default::default() })
+    );
     println!("\nno code changed versus the single-node run — only the cluster config.");
 }

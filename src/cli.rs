@@ -128,10 +128,7 @@ OPTIONS:
     --help                 show this text
 ";
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut impl Iterator<Item = &'a str>,
-) -> Result<&'a str, CliError> {
+fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, CliError> {
     it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
 }
 
@@ -217,19 +214,31 @@ mod tests {
     #[test]
     fn full_invocation() {
         let a = parse(&[
-            "--config", "s.json",
-            "--algo", "tpe",
-            "--dataset", "cifar10",
-            "--samples", "500",
-            "--backend", "sim",
-            "--nodes", "28",
-            "--cores-per-task", "48",
-            "--trials", "64",
-            "--seed", "7",
-            "--target-accuracy", "0.95",
+            "--config",
+            "s.json",
+            "--algo",
+            "tpe",
+            "--dataset",
+            "cifar10",
+            "--samples",
+            "500",
+            "--backend",
+            "sim",
+            "--nodes",
+            "28",
+            "--cores-per-task",
+            "48",
+            "--trials",
+            "64",
+            "--seed",
+            "7",
+            "--target-accuracy",
+            "0.95",
             "--trace",
-            "--graph", "g.dot",
-            "--out", "r.csv",
+            "--graph",
+            "g.dot",
+            "--out",
+            "r.csv",
             "--cnn",
         ])
         .unwrap();

@@ -89,8 +89,8 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // 4. Runner options.
-    let mut opts = ExperimentOptions::default()
-        .with_constraint(Constraint::cpus(args.cores_per_task));
+    let mut opts =
+        ExperimentOptions::default().with_constraint(Constraint::cpus(args.cores_per_task));
     if let Some(t) = args.target_accuracy {
         opts.early_stop = Some(EarlyStop::at_accuracy(t));
         opts.wave_size = Some((args.nodes * 4).max(4));

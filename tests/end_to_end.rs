@@ -49,13 +49,13 @@ fn same_app_runs_on_simulated_supercomputer() {
     let objective: hpo::experiment::Objective =
         Arc::new(|_, _| Ok(hpo::experiment::TrialOutcome::with_accuracy(0.9)));
     let runner = HpoRunner::new(
-        ExperimentOptions::default()
-            .with_constraint(Constraint::cpus(48))
-            .with_sim_duration(|config| {
+        ExperimentOptions::default().with_constraint(Constraint::cpus(48)).with_sim_duration(
+            |config| {
                 let epochs = config.get_int("num_epochs").unwrap() as u32;
                 let batch = config.get_int("batch_size").unwrap() as u32;
                 TrainingCost::cifar10(epochs, batch).duration(&Allocation::cpu(48))
-            }),
+            },
+        ),
     );
     let report = runner.run(&rt, &mut GridSearch::new(&space), objective).unwrap();
     assert_eq!(report.trials.len(), 27);
@@ -83,13 +83,10 @@ fn early_stopping_end_to_end() {
     let rt = Runtime::threaded(RuntimeConfig::single_node(2));
     let data = Arc::new(Dataset::synthetic_mnist(800, 8));
     let es = EarlyStop::at_accuracy(0.80);
-    let objective =
-        hpo::experiment::tinyml_objective_with_early_stop(data, vec![32], Some(es));
+    let objective = hpo::experiment::tinyml_objective_with_early_stop(data, vec![32], Some(es));
     let mut opts = ExperimentOptions::default().with_early_stop(es);
     opts.wave_size = Some(1);
-    let report = HpoRunner::new(opts)
-        .run(&rt, &mut GridSearch::new(&space), objective)
-        .unwrap();
+    let report = HpoRunner::new(opts).run(&rt, &mut GridSearch::new(&space), objective).unwrap();
     assert!(report.early_stopped, "target was reachable");
     assert!(report.trials.len() < 3, "later waves skipped");
     let t = &report.trials[0];
@@ -101,17 +98,13 @@ fn early_stopping_end_to_end() {
 /// referencing only cpus declared in the .row file.
 #[test]
 fn prv_export_is_consistent() {
-    let rt = Runtime::simulated(
-        RuntimeConfig::on_cluster(Cluster::homogeneous(2, NodeSpec::new("n", 4, vec![], 8))),
-    );
+    let rt = Runtime::simulated(RuntimeConfig::on_cluster(Cluster::homogeneous(
+        2,
+        NodeSpec::new("n", 4, vec![], 8),
+    )));
     let t = rt.register("t", Constraint::cpus(2), 1, |_, _| Ok(vec![rcompss::Value::new(())]));
     for _ in 0..6 {
-        rt.submit_with(
-            &t,
-            vec![],
-            rcompss::SubmitOpts { sim_duration_us: Some(500) },
-        )
-        .unwrap();
+        rt.submit_with(&t, vec![], rcompss::SubmitOpts { sim_duration_us: Some(500) }).unwrap();
     }
     rt.barrier();
     let records = rt.trace();
@@ -188,12 +181,8 @@ fn cnn_grid_search_end_to_end() {
     )
     .unwrap();
     let rt = Runtime::threaded(RuntimeConfig::single_node(2));
-    let data = Arc::new(Dataset::synthetic(
-        "mnist-spatial",
-        400,
-        &SyntheticSpec::mnist_like_spatial(),
-        7,
-    ));
+    let data =
+        Arc::new(Dataset::synthetic("mnist-spatial", 400, &SyntheticSpec::mnist_like_spatial(), 7));
     let objective = hpo::experiment::tinyml_objective(data, vec![16]);
     let report = HpoRunner::new(ExperimentOptions::default())
         .run(&rt, &mut GridSearch::new(&space), objective)
@@ -209,10 +198,8 @@ fn cnn_grid_search_end_to_end() {
 /// The Bayesian optimiser works through the runner as well.
 #[test]
 fn bayes_runs_through_the_runner() {
-    let space = SearchSpace::from_json(
-        r#"{"num_epochs": [1, 2], "batch_size": [32, 64]}"#,
-    )
-    .unwrap();
+    let space =
+        SearchSpace::from_json(r#"{"num_epochs": [1, 2], "batch_size": [32, 64]}"#).unwrap();
     let rt = Runtime::threaded(RuntimeConfig::single_node(2));
     let data = Arc::new(Dataset::synthetic_mnist(300, 1));
     let objective = hpo::experiment::tinyml_objective(data, vec![8]);

@@ -49,8 +49,7 @@ fn run_program(cores: u32, ops: &[Op]) -> (Vec<i64>, Vec<i64>) {
 
     // 8 value handles seeded 0..8, 4 INOUT cells seeded 100, 200, 300, 400.
     let mut handles: Vec<rcompss::DataHandle> = (0..8i64).map(|i| rt.literal(i)).collect();
-    let cells: Vec<rcompss::DataHandle> =
-        (1..=4i64).map(|i| rt.literal(i * 100)).collect();
+    let cells: Vec<rcompss::DataHandle> = (1..=4i64).map(|i| rt.literal(i * 100)).collect();
 
     for op in ops {
         match op {
@@ -66,8 +65,7 @@ fn run_program(cores: u32, ops: &[Op]) -> (Vec<i64>, Vec<i64>) {
                 handles.push(out);
             }
             Op::Accumulate(c, v) => {
-                rt.submit(&acc, vec![ArgSpec::InOut(cells[*c]), ArgSpec::In(handles[*v])])
-                    .unwrap();
+                rt.submit(&acc, vec![ArgSpec::InOut(cells[*c]), ArgSpec::In(handles[*v])]).unwrap();
             }
         }
         // keep the live set bounded
@@ -75,14 +73,10 @@ fn run_program(cores: u32, ops: &[Op]) -> (Vec<i64>, Vec<i64>) {
             handles.drain(0..4);
         }
     }
-    let finals: Vec<i64> = handles
-        .iter()
-        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
-        .collect();
-    let cell_vals: Vec<i64> = cells
-        .iter()
-        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
-        .collect();
+    let finals: Vec<i64> =
+        handles.iter().map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap()).collect();
+    let cell_vals: Vec<i64> =
+        cells.iter().map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap()).collect();
     (finals, cell_vals)
 }
 
@@ -215,9 +209,8 @@ fn domain_strategy() -> impl Strategy<Value = ParamDomain> {
             max: min + span * step,
             step,
         }),
-        prop::collection::btree_set("[a-z]{1,6}", 1..4).prop_map(|ss| {
-            ParamDomain::Choice(ss.into_iter().map(ConfigValue::Str).collect())
-        }),
+        prop::collection::btree_set("[a-z]{1,6}", 1..4)
+            .prop_map(|ss| { ParamDomain::Choice(ss.into_iter().map(ConfigValue::Str).collect()) }),
     ]
 }
 
@@ -361,22 +354,17 @@ fn run_program_simulated(ops: &[Op]) -> (Vec<i64>, Vec<i64>) {
                 handles.push(out);
             }
             Op::Accumulate(c, v) => {
-                rt.submit(&acc, vec![ArgSpec::InOut(cells[*c]), ArgSpec::In(handles[*v])])
-                    .unwrap();
+                rt.submit(&acc, vec![ArgSpec::InOut(cells[*c]), ArgSpec::In(handles[*v])]).unwrap();
             }
         }
         if handles.len() > 16 {
             handles.drain(0..4);
         }
     }
-    let finals: Vec<i64> = handles
-        .iter()
-        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
-        .collect();
-    let cell_vals: Vec<i64> = cells
-        .iter()
-        .map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap())
-        .collect();
+    let finals: Vec<i64> =
+        handles.iter().map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap()).collect();
+    let cell_vals: Vec<i64> =
+        cells.iter().map(|h| *rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap()).collect();
     (finals, cell_vals)
 }
 
@@ -388,5 +376,116 @@ proptest! {
         let threaded = run_program(4, &ops);
         let simulated = run_program_simulated(&ops);
         prop_assert_eq!(threaded, simulated);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intra-task kernel equivalence: the blocked, multi-threaded GEMM and
+// im2col convolution produce the same numbers as their serial execution
+// (bit-for-bit — stronger than the 1e-5 the docs promise) and stay within
+// f32 accumulation error of an f64 naive reference, for arbitrary shapes
+// (including degenerate 1×N / N×1 / k=1) and thread counts.
+// ---------------------------------------------------------------------
+
+/// Naive f64 reference for `a (m×k) · b (k×n)`.
+fn naive_gemm_f64(a: &tinyml::Matrix, b: &tinyml::Matrix) -> Vec<f64> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += a.get(i, p) as f64 * b.get(p, j) as f64;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn test_matrix(rows: usize, cols: usize, salt: u64) -> tinyml::Matrix {
+    tinyml::Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 7) as f32 + salt as f32) * 0.7).sin() * 0.5
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_gemm_matches_serial_for_random_shapes(
+        m in 1usize..48,
+        k in 1usize..800,
+        n in 1usize..48,
+        threads in 1usize..9,
+        salt in 0u64..32,
+    ) {
+        use tinyml::par::with_threads;
+        let a = test_matrix(m, k, salt);
+        let b = test_matrix(k, n, salt + 1);
+
+        let serial = with_threads(1, || a.matmul(&b));
+        let parallel = with_threads(threads, || a.matmul(&b));
+        prop_assert_eq!(&serial, &parallel, "GEMM must be bit-identical at any thread count");
+
+        // And the blocked kernel itself is right: compare to f64 naive.
+        let reference = naive_gemm_f64(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let got = serial.get(i, j) as f64;
+                let want = reference[i * n + j];
+                prop_assert!(
+                    (got - want).abs() <= 1e-3 * (1.0 + want.abs()),
+                    "({i},{j}): blocked {got} vs naive {want} for {m}x{k}x{n}"
+                );
+            }
+        }
+
+        // The transposed variants feed backprop — same guarantee.
+        let bt = test_matrix(n, k, salt + 2);
+        prop_assert_eq!(
+            with_threads(1, || a.matmul_t(&bt)),
+            with_threads(threads, || a.matmul_t(&bt))
+        );
+        let at = test_matrix(k, m, salt + 3);
+        prop_assert_eq!(
+            with_threads(1, || at.t_matmul(&b)),
+            with_threads(threads, || at.t_matmul(&b))
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_conv_matches_serial_for_random_shapes(
+        batch in 1usize..4,
+        in_c in 1usize..3,
+        out_c in 1usize..5,
+        hw in 4usize..10,
+        k_is_3 in any::<bool>(),
+        pad in 0usize..2,
+        threads in 1usize..9,
+        seed in 0u64..64,
+    ) {
+        use tinyml::conv::{Conv2d, Tensor4};
+        use tinyml::par::with_threads;
+        let k = if k_is_3 { 3 } else { 1 };
+        let layer = Conv2d::new(in_c, out_c, k, pad, seed);
+        let mut x = Tensor4::zeros(batch, in_c, hw, hw);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32 + seed as f32) * 0.37).sin();
+        }
+
+        let y1 = with_threads(1, || layer.forward(&x));
+        let yt = with_threads(threads, || layer.forward(&x));
+        prop_assert_eq!(y1.as_slice(), yt.as_slice(), "conv forward bit-identical");
+
+        let (dw1, db1, dx1) = with_threads(1, || layer.backward(&x, &y1));
+        let (dwt, dbt, dxt) = with_threads(threads, || layer.backward(&x, &y1));
+        prop_assert_eq!(&dw1, &dwt, "dw bit-identical");
+        prop_assert_eq!(&db1, &dbt, "db bit-identical");
+        prop_assert_eq!(dx1.as_slice(), dxt.as_slice(), "dx bit-identical");
     }
 }

@@ -5,8 +5,11 @@
 #   ./ci.sh quick    # style + lints only (skip the release build & tests)
 #
 # Lints run on the crates this repo actively grows (tinyml, rcompss, hpo,
-# hpo-bench) plus the workspace root; tier-1 is the ROADMAP.md contract:
+# hpo-bench, runmetrics, paratrace, cluster) plus the workspace root;
+# tier-1 is the ROADMAP.md contract:
 # `cargo build --release && cargo test -q`.
+# The overhead bench runs in smoke mode as a regression guard on the
+# metrics disabled hot path (must stay ~one relaxed atomic load).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,7 +17,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy (-D warnings)"
-cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench --all-targets -- -D warnings
+cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench -p runmetrics -p paratrace -p cluster --all-targets -- -D warnings
 
 if [[ "${1:-}" == "quick" ]]; then
     echo "ci.sh: quick mode — skipping tier-1 build and tests"
@@ -26,5 +29,8 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> overhead bench (smoke): disabled-path regression guard"
+cargo run --release -p hpo-bench --bin overhead_tracing -- smoke
 
 echo "ci.sh: all green"

@@ -29,12 +29,24 @@ fn main() {
         .with("batch_size", ParamDomain::choice_ints(&[32, 64, 128]));
 
     let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4);
-    let rt = rcompss::Runtime::threaded(rcompss::RuntimeConfig::single_node(cores));
+    let rt =
+        rcompss::Runtime::threaded(rcompss::RuntimeConfig::single_node(cores).with_metrics(true));
+    runmetrics::global().set_enabled(true);
     let data = Arc::new(Dataset::synthetic_mnist(2_000, 1));
     let objective = hpo::experiment::tinyml_objective(data, vec![32]);
     let runner = HpoRunner::new(ExperimentOptions::default());
 
-    let report = runner.run(&rt, &mut GridSearch::new(&space), objective).expect("run");
+    // One JSON-lines snapshot per completed trial: a time series of the
+    // whole run for offline analysis (jq, pandas, Grafana via import).
+    let mut jsonl = String::new();
+    let report = runner
+        .run_observed(&rt, &mut GridSearch::new(&space), objective, |_| {
+            let mut snap = rt.metrics().snapshot();
+            snap.merge(runmetrics::global().snapshot());
+            jsonl.push_str(&runmetrics::to_jsonl_line(rt.now_us(), &snap));
+            jsonl.push('\n');
+        })
+        .expect("run");
 
     println!("{}", report.summary());
     let above_90 = report.trials.iter().filter(|t| t.outcome.accuracy > 0.9).count();
@@ -48,6 +60,34 @@ fn main() {
     std::fs::write(&csv_path, report.to_csv()).expect("write csv");
     println!("\nCSV written to {}", csv_path.display());
 
+    // Final metrics exports next to the CSV.
+    let mut final_snap = rt.metrics().snapshot();
+    final_snap.merge(runmetrics::global().snapshot());
+    let prom = runmetrics::to_prometheus(&final_snap);
+    let prom_path = out_dir().join("fig7_mnist_hpo.prom");
+    std::fs::write(&prom_path, &prom).expect("write prom");
+    let jsonl_path = out_dir().join("fig7_mnist_hpo.metrics.jsonl");
+    std::fs::write(&jsonl_path, &jsonl).expect("write jsonl");
+    println!("metrics written to {} and {}", prom_path.display(), jsonl_path.display());
+
     assert_eq!(report.trials.len(), 27);
     assert!(above_90 >= 14, "most configs should clear 90%: got {above_90}");
+
+    // The observability contract: every headline series is in the export.
+    for series in [
+        "rcompss_task_latency_us{fn=",
+        "rcompss_ready_queue_depth",
+        "rcompss_sched_decision_us",
+        "rcompss_tasks_retried_total",
+        "hpo_trials_completed_total",
+        "hpo_trials_failed_total",
+        "tinyml_epoch_us",
+    ] {
+        assert!(prom.contains(series), "missing series {series} in Prometheus export");
+    }
+    assert_eq!(final_snap.counter("hpo_trials_completed_total"), Some(27));
+    assert_eq!(jsonl.lines().count(), 27, "one JSONL snapshot per trial");
+    let (_, parsed) =
+        runmetrics::from_jsonl_line(jsonl.lines().last().unwrap()).expect("valid JSONL");
+    assert!(parsed.histogram("tinyml_epoch_us").map(|h| h.count).unwrap_or(0) > 0);
 }

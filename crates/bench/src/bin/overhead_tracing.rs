@@ -1,11 +1,19 @@
-//! §5 — tracing overhead.
+//! §5 — instrumentation overhead: tracing × metrics.
 //!
 //! Paper: "Both tracing and graph generation create a performance overhead.
 //! These two features can easily be turned off by a simple flag when
-//! launching the application." We quantify that: the Figure 5 workload runs
-//! once with tracing+graph on and once off, measuring the real time the
-//! runtime machinery takes (virtual makespans are identical by
-//! construction — the flag must not change scheduling).
+//! launching the application." This repo adds live metrics under the same
+//! contract, so we quantify all four combinations: the Figure 5 workload
+//! runs with tracing and metrics independently on/off, measuring the real
+//! time the runtime machinery takes (virtual makespans are identical by
+//! construction — neither flag may change scheduling).
+//!
+//! A microbenchmark then pins down the disabled hot path: a counter add and
+//! a histogram record against a switched-off registry must each cost no
+//! more than a relaxed atomic load and a branch. Regressions here fail the
+//! run (ci.sh executes this binary in smoke mode).
+//!
+//! Pass `smoke` as the first argument for a fast CI-friendly run.
 
 use std::time::Instant;
 
@@ -13,15 +21,24 @@ use cluster::{Cluster, NodeSpec};
 use hpo_bench::{banner, mnist_sim_duration, paper_grid_configs};
 use rcompss::{Constraint, Runtime, RuntimeConfig, SubmitOpts, Value};
 
-fn run(tracing: bool, graph: bool, repeats: u32) -> (u64, u64, usize) {
+struct RunOutcome {
+    wall_us: u64,
+    makespan: u64,
+    trace_records: usize,
+    tasks_dispatched: u64,
+}
+
+fn run(tracing: bool, metrics: bool, repeats: u32) -> RunOutcome {
     let mut wall_total = 0u64;
     let mut makespan = 0u64;
-    let mut records = 0usize;
+    let mut trace_records = 0usize;
+    let mut tasks_dispatched = 0u64;
     for _ in 0..repeats {
         let mut cfg = RuntimeConfig::on_cluster(Cluster::homogeneous(1, NodeSpec::marenostrum4()))
             .reserve(0, 24)
-            .with_tracing(tracing);
-        cfg.graph = graph;
+            .with_tracing(tracing)
+            .with_metrics(metrics);
+        cfg.graph = tracing;
         let rt = Runtime::simulated(cfg);
         let experiment =
             rt.register("experiment", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
@@ -34,25 +51,67 @@ fn run(tracing: bool, graph: bool, repeats: u32) -> (u64, u64, usize) {
         rt.barrier();
         wall_total += t0.elapsed().as_micros() as u64;
         makespan = rt.now_us();
-        records = rt.trace().len();
+        trace_records = rt.trace().len();
+        tasks_dispatched =
+            rt.metrics().snapshot().counter("rcompss_tasks_dispatched_total").unwrap_or(0);
     }
-    (wall_total / repeats as u64, makespan, records)
+    RunOutcome { wall_us: wall_total / repeats as u64, makespan, trace_records, tasks_dispatched }
+}
+
+/// ns/op of one counter add + one histogram record against `registry`.
+fn hot_path_ns(registry: &runmetrics::MetricsRegistry, iters: u64) -> f64 {
+    let counter = registry.counter("bench_ops_total");
+    let histogram = registry.histogram("bench_lat_us");
+    let t0 = Instant::now();
+    for i in 0..iters {
+        counter.incr();
+        histogram.record(i & 0xFFFF);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
 }
 
 fn main() {
-    banner("Tracing overhead", "Figure 5 workload with instrumentation on vs off");
-    let repeats = 50;
-    let (on_us, on_makespan, on_records) = run(true, true, repeats);
-    let (off_us, off_makespan, off_records) = run(false, false, repeats);
-
-    println!("instrumentation ON : {on_us:>7} µs wall/run, {on_records} trace records");
-    println!("instrumentation OFF: {off_us:>7} µs wall/run, {off_records} trace records");
-    println!(
-        "overhead: {:+.1}% runtime-machinery time",
-        (on_us as f64 / off_us.max(1) as f64 - 1.0) * 100.0
+    let smoke = std::env::args().nth(1).as_deref() == Some("smoke");
+    banner(
+        "Instrumentation overhead",
+        "Figure 5 workload: tracing × metrics on/off, plus the disabled hot path",
     );
-    println!("virtual makespans identical: {} == {}", on_makespan, off_makespan);
-    assert_eq!(on_makespan, off_makespan, "the flag must not change scheduling");
-    assert_eq!(off_records, 0, "tracing off keeps no records");
-    assert!(on_records > 27, "tracing on captures task intervals and events");
+    let repeats = if smoke { 3 } else { 50 };
+    // Warm up thread spawn / allocator paths so the first measured
+    // combination doesn't absorb one-time costs.
+    let _ = run(true, true, 2);
+    let combos = [(false, false), (true, false), (false, true), (true, true)];
+    let outcomes: Vec<RunOutcome> = combos.iter().map(|&(t, m)| run(t, m, repeats)).collect();
+    let baseline = outcomes[0].wall_us.max(1);
+
+    println!("{repeats} repeats per combination\n");
+    println!("tracing  metrics   wall µs/run   vs baseline");
+    for (&(t, m), o) in combos.iter().zip(&outcomes) {
+        let onoff = |b: bool| if b { "on " } else { "off" };
+        let delta = (o.wall_us as f64 / baseline as f64 - 1.0) * 100.0;
+        println!("  {}      {}    {:>10}      {delta:+9.1}%", onoff(t), onoff(m), o.wall_us);
+    }
+
+    // Neither flag may change what the scheduler does.
+    for o in &outcomes[1..] {
+        assert_eq!(o.makespan, outcomes[0].makespan, "flags must not change scheduling");
+    }
+    assert_eq!(outcomes[0].trace_records, 0, "tracing off keeps no records");
+    assert!(outcomes[1].trace_records > 27, "tracing on captures intervals and events");
+    assert_eq!(outcomes[0].tasks_dispatched, 0, "metrics off records nothing");
+    assert_eq!(outcomes[3].tasks_dispatched, 27, "metrics on counts every dispatch");
+
+    // Disabled hot path: one relaxed load + branch per call site.
+    let iters: u64 = if smoke { 2_000_000 } else { 20_000_000 };
+    let off = hot_path_ns(&runmetrics::MetricsRegistry::new(false), iters);
+    let on = hot_path_ns(&runmetrics::MetricsRegistry::new(true), iters);
+    println!("\nhot path (counter add + histogram record, {iters} iters):");
+    println!("  metrics off: {off:>7.2} ns/op");
+    println!("  metrics on : {on:>7.2} ns/op");
+    // Generous bound — a regression that turns the disabled path into a
+    // lock or allocation lands orders of magnitude above this.
+    assert!(off < 150.0, "disabled hot path regressed: {off:.1} ns/op (budget 150)");
+
+    println!("\nvirtual makespan (all combinations): {} µs", outcomes[0].makespan);
+    println!("OK");
 }

@@ -161,6 +161,19 @@ impl ClusterSim {
 
     /// Run `jobs` to completion (or retry exhaustion). Deterministic.
     pub fn run(&self, jobs: &[Job]) -> SimOutcome {
+        // Global-registry observability: inert (one relaxed load at entry)
+        // unless someone enabled `runmetrics::global()`.
+        let metrics = {
+            let reg = runmetrics::global();
+            reg.enabled().then(|| {
+                (
+                    reg.histogram("cluster_job_latency_us"),
+                    reg.counter("cluster_jobs_completed_total"),
+                    reg.counter("cluster_attempt_failures_total"),
+                    reg.counter("cluster_node_failures_total"),
+                )
+            })
+        };
         let mut nodes: Vec<NodeState> = self
             .cluster
             .nodes
@@ -265,6 +278,9 @@ impl ClusterSim {
                     });
                     if failed {
                         failures += 1;
+                        if let Some((_, _, fail_ctr, _)) = &metrics {
+                            fail_ctr.incr();
+                        }
                         if r.attempt >= self.max_attempts {
                             failed_jobs.push(job.id);
                         } else {
@@ -284,9 +300,16 @@ impl ClusterSim {
                         }
                     } else {
                         makespan = makespan.max(t);
+                        if let Some((lat, done_ctr, _, _)) = &metrics {
+                            lat.record(t.saturating_sub(r.start));
+                            done_ctr.incr();
+                        }
                     }
                 }
                 Event::NodeFail { node } => {
+                    if let Some((_, _, _, node_ctr)) = &metrics {
+                        node_ctr.incr();
+                    }
                     let ns = &mut nodes[node as usize];
                     ns.alive = false;
                     ns.free_cores.clear();
@@ -298,6 +321,9 @@ impl ClusterSim {
                         let r = running.remove(&exec).expect("victim exists");
                         let job = &jobs[r.job_idx];
                         failures += 1;
+                        if let Some((_, _, fail_ctr, _)) = &metrics {
+                            fail_ctr.incr();
+                        }
                         records.push(JobRecord {
                             job: job.id,
                             name: job.name.clone(),
@@ -549,6 +575,32 @@ mod tests {
         let b = sim.run(&jobs);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn global_metrics_capture_failures_and_latency() {
+        // Enable the process-global registry just for this run; the counters
+        // are monotonic so we assert deltas, not absolutes (other tests in
+        // this binary may share the registry).
+        let reg = runmetrics::global();
+        let before = reg.snapshot();
+        let done0 = before.counter("cluster_jobs_completed_total").unwrap_or(0);
+        let fail0 = before.counter("cluster_attempt_failures_total").unwrap_or(0);
+        let node0 = before.counter("cluster_node_failures_total").unwrap_or(0);
+        reg.set_enabled(true);
+        let inj = FailureInjector::none().with_task_failure(0, 1).with_node_failure(50, 0);
+        let out = ClusterSim::new(mn4(2))
+            .with_failures(inj)
+            .run(&[Job::cpu(0, 1, 100), Job::cpu(1, 1, 30)]);
+        reg.set_enabled(false);
+        assert_eq!(out.jobs_completed(), 2);
+        let after = reg.snapshot();
+        assert!(after.counter("cluster_jobs_completed_total").unwrap() >= done0 + 2);
+        assert!(after.counter("cluster_attempt_failures_total").unwrap() > fail0);
+        assert!(after.counter("cluster_node_failures_total").unwrap() > node0);
+        let lat = after.histogram("cluster_job_latency_us").expect("latency series");
+        assert!(lat.count >= 2);
+        assert!(lat.max >= 100);
     }
 
     #[test]

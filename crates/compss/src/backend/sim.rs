@@ -102,6 +102,7 @@ pub(crate) fn run_until(shared: &Shared, core: &mut Core, cond: impl Fn(&Core) -
             }
             SimEvent::NodeFail { node } => {
                 core.sched.kill_node(node);
+                shared.metrics.node_failures.incr();
                 shared.trace.event(CoreId::new(node, 0), t, EventKind::NodeFailure);
                 let victims: Vec<u64> = core
                     .running
@@ -142,10 +143,15 @@ pub(crate) fn run_until(shared: &Shared, core: &mut Core, cond: impl Fn(&Core) -
 
 /// Place every placeable ready task at the current virtual time.
 fn dispatch_sim(shared: &Shared, core: &mut Core) {
+    // One relaxed load decides whether this round pays for decision timing.
+    // Scheduler decision time is real (wall) time even under virtual task
+    // time: it measures the runtime's own machinery, à la Dask-overheads.
+    let measure = shared.metrics.enabled();
     loop {
         let now = core.sim.as_ref().expect("sim state").now();
         // Locality: prefer nodes already holding the inputs (only relevant
         // without a PFS).
+        let decision_started = measure.then(std::time::Instant::now);
         let placed = {
             let data = &core.data;
             let instances = &core.instances;
@@ -157,6 +163,9 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
                 instances.get(&task).map(|i| data.locality_score(&i.reads(), node)).unwrap_or(0)
             })
         };
+        if let Some(t0) = decision_started {
+            shared.metrics.sched_decision.record(t0.elapsed().as_micros() as u64);
+        }
         let Some((entry, placement)) = placed else { break };
         let task = entry.task;
         let inst = core.instances.get(&task).expect("ready task has an instance");
@@ -188,6 +197,8 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
                     now + staging + t,
                     StateKind::Transferring { bytes },
                 );
+                shared.metrics.transfer_bytes.add(bytes);
+                shared.metrics.transfer_time.record(t);
             }
             staging += t;
             core.data.add_location(*v, placement.node);
@@ -195,6 +206,8 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
 
         let exec_id = core.next_exec;
         core.next_exec += 1;
+        shared.metrics.dispatched.incr();
+        shared.metrics.dep_wait.record(now.saturating_sub(inst.submitted_us));
         shared.trace.event(
             CoreId::new(placement.node, placement.cores.first().copied().unwrap_or(0)),
             now,
@@ -224,4 +237,6 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
         sim.execs.insert(exec_id, SimExec { ctx, body, inputs, name });
         sim.queue.schedule_at(now + staging + duration.max(1), SimEvent::Finish { exec: exec_id });
     }
+    shared.metrics.ready_depth.set(core.sched.ready_len() as f64);
+    shared.metrics.running.set(core.running.len() as f64);
 }

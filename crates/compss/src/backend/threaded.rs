@@ -72,8 +72,17 @@ impl WorkerPool {
 
 /// Pop placeable tasks from the scheduler into the execution queue.
 pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
-    // Threaded deployments are single-machine; locality is moot.
-    while let Some((entry, placement)) = core.sched.pop_placeable(|_, _| 0) {
+    // One relaxed load up front decides whether this dispatch round pays
+    // for Instant::now() timing at all.
+    let measure = shared.metrics.enabled();
+    loop {
+        // Threaded deployments are single-machine; locality is moot.
+        let decision_started = measure.then(std::time::Instant::now);
+        let popped = core.sched.pop_placeable(|_, _| 0);
+        if let Some(t0) = decision_started {
+            shared.metrics.sched_decision.record(t0.elapsed().as_micros() as u64);
+        }
+        let Some((entry, placement)) = popped else { break };
         let task = entry.task;
         let inst = core.instances.get(&task).expect("ready task has an instance");
         let inputs: Vec<Value> = inst
@@ -90,6 +99,8 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
         };
         let attempt = inst.attempt;
         let now = shared.wall_us();
+        shared.metrics.dispatched.incr();
+        shared.metrics.dep_wait.record(now.saturating_sub(inst.submitted_us));
         let exec_id = core.next_exec;
         core.next_exec += 1;
         shared.trace.event(
@@ -113,6 +124,8 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
         core.graph.set_running(task);
         core.exec_queue.push_back(ExecMsg { exec_id, ctx, body, inputs, name });
     }
+    shared.metrics.ready_depth.set(core.sched.ready_len() as f64);
+    shared.metrics.running.set(core.running.len() as f64);
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {

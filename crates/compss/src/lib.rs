@@ -20,7 +20,13 @@
 //!   retried on the same node first, then restarted on a different node
 //!   ([`fault`]);
 //! * the runtime is instrumented with `paratrace` (the Extrae analogue) and
-//!   can export the task graph as Graphviz DOT.
+//!   can export the task graph as Graphviz DOT;
+//! * the runtime keeps **live metrics** (`runmetrics`): lock-free counters,
+//!   queue-depth gauges and latency histograms covering submission,
+//!   scheduling decisions, dependency waits, per-function task latency and
+//!   retries — snapshot via [`Runtime::metrics`], export as Prometheus text
+//!   or JSON lines. Like tracing, metrics toggle with a config flag and
+//!   cost one relaxed atomic load per call site when off.
 //!
 //! Two execution backends share all of the above:
 //!
@@ -56,6 +62,7 @@ pub mod backend;
 pub mod data;
 pub mod fault;
 pub mod graph;
+pub(crate) mod metrics;
 pub mod runtime;
 pub mod scheduler;
 pub mod task;

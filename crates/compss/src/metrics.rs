@@ -1,0 +1,176 @@
+//! Runtime metrics: the live counterpart of the paratrace post-mortem trace.
+//!
+//! One [`RtMetrics`] lives in the runtime's [`crate::runtime::Shared`]
+//! state, wrapping a per-runtime [`runmetrics::MetricsRegistry`] with
+//! pre-registered handles for every series the runtime emits — registration
+//! happens once at construction, so every series (the retry counter
+//! included) is present in every snapshot from the first export on, and the
+//! hot paths touch only lock-free handles. When the registry is disabled
+//! each recording call is a single relaxed atomic load.
+//!
+//! Series, following the Dask-overheads decomposition of "where does
+//! runtime time go":
+//!
+//! | series | kind | meaning |
+//! |---|---|---|
+//! | `rcompss_tasks_submitted_total` | counter | task instances submitted |
+//! | `rcompss_tasks_dispatched_total` | counter | placements handed to a backend (includes retries) |
+//! | `rcompss_tasks_completed_total` | counter | successful completions |
+//! | `rcompss_tasks_retried_total` | counter | failed attempts re-queued by the retry policy |
+//! | `rcompss_tasks_failed_total` | counter | permanent failures (incl. cascade) |
+//! | `rcompss_task_attempts_failed_total` | counter | individual failed attempts |
+//! | `rcompss_node_failures_total` | counter | node failures observed |
+//! | `rcompss_transfer_bytes_total` | counter | bytes staged to nodes (sim backend) |
+//! | `rcompss_ready_queue_depth` | gauge | ready tasks not yet placeable |
+//! | `rcompss_running_tasks` | gauge | in-flight executions |
+//! | `rcompss_sched_decision_us` | histogram | real time per `pop_placeable` decision |
+//! | `rcompss_dep_wait_us` | histogram | submission → dispatch wait per task |
+//! | `rcompss_transfer_time_us` | histogram | staging transfer durations |
+//! | `rcompss_task_latency_us{fn="…"}` | histogram | dispatch → completion per task function |
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use runmetrics::{labeled, Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Pre-registered metric handles for one runtime.
+pub(crate) struct RtMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Task instances submitted.
+    pub submitted: Counter,
+    /// Placements handed to a backend.
+    pub dispatched: Counter,
+    /// Successful completions.
+    pub completed: Counter,
+    /// Failed attempts re-queued by the retry policy.
+    pub retried: Counter,
+    /// Permanent failures.
+    pub failed: Counter,
+    /// Individual failed attempts.
+    pub failed_attempts: Counter,
+    /// Node failures observed.
+    pub node_failures: Counter,
+    /// Bytes staged to nodes.
+    pub transfer_bytes: Counter,
+    /// Ready tasks not yet placeable.
+    pub ready_depth: Gauge,
+    /// In-flight executions.
+    pub running: Gauge,
+    /// Real time per scheduler placement decision.
+    pub sched_decision: Histogram,
+    /// Submission → dispatch wait.
+    pub dep_wait: Histogram,
+    /// Staging transfer durations.
+    pub transfer_time: Histogram,
+    /// Per-task-function latency handles, created on first completion of
+    /// each function (cold path: runs under the runtime's core lock anyway).
+    task_latency: Mutex<HashMap<String, Histogram>>,
+}
+
+impl RtMetrics {
+    /// Build a registry with every fixed series pre-registered.
+    pub fn new(enabled: bool) -> Self {
+        let registry = Arc::new(MetricsRegistry::new(enabled));
+        RtMetrics {
+            submitted: registry.counter("rcompss_tasks_submitted_total"),
+            dispatched: registry.counter("rcompss_tasks_dispatched_total"),
+            completed: registry.counter("rcompss_tasks_completed_total"),
+            retried: registry.counter("rcompss_tasks_retried_total"),
+            failed: registry.counter("rcompss_tasks_failed_total"),
+            failed_attempts: registry.counter("rcompss_task_attempts_failed_total"),
+            node_failures: registry.counter("rcompss_node_failures_total"),
+            transfer_bytes: registry.counter("rcompss_transfer_bytes_total"),
+            ready_depth: registry.gauge("rcompss_ready_queue_depth"),
+            running: registry.gauge("rcompss_running_tasks"),
+            sched_decision: registry.histogram("rcompss_sched_decision_us"),
+            dep_wait: registry.histogram("rcompss_dep_wait_us"),
+            transfer_time: registry.histogram("rcompss_transfer_time_us"),
+            task_latency: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// Whether recording is on (one relaxed load — the gate callers use
+    /// before paying for `Instant::now()` timing).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// The underlying registry, for snapshots/exports.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Record a completed execution of task function `fn_name`.
+    pub fn record_task_latency(&self, fn_name: &str, us: u64) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let mut cache = self.task_latency.lock();
+        let h = cache.entry(fn_name.to_string()).or_insert_with(|| {
+            self.registry.histogram(&labeled("rcompss_task_latency_us", "fn", fn_name))
+        });
+        h.record(us);
+    }
+}
+
+impl std::fmt::Debug for RtMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtMetrics").field("enabled", &self.enabled()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_series_are_preregistered_at_zero() {
+        let m = RtMetrics::new(true);
+        let snap = m.registry().snapshot();
+        for series in [
+            "rcompss_tasks_submitted_total",
+            "rcompss_tasks_dispatched_total",
+            "rcompss_tasks_completed_total",
+            "rcompss_tasks_retried_total",
+            "rcompss_tasks_failed_total",
+            "rcompss_task_attempts_failed_total",
+            "rcompss_node_failures_total",
+            "rcompss_transfer_bytes_total",
+        ] {
+            assert_eq!(snap.counter(series), Some(0), "{series} missing");
+        }
+        assert_eq!(snap.gauge("rcompss_ready_queue_depth"), Some(0.0));
+        assert!(snap.histogram("rcompss_sched_decision_us").is_some());
+        assert!(snap.histogram("rcompss_dep_wait_us").is_some());
+    }
+
+    #[test]
+    fn task_latency_creates_one_series_per_function() {
+        let m = RtMetrics::new(true);
+        m.record_task_latency("graph.experiment", 100);
+        m.record_task_latency("graph.experiment", 200);
+        m.record_task_latency("other", 1);
+        let snap = m.registry().snapshot();
+        let s = snap
+            .histogram(&labeled("rcompss_task_latency_us", "fn", "graph.experiment"))
+            .expect("per-fn series exists");
+        assert_eq!(s.count, 2);
+        assert_eq!(
+            snap.histogram(&labeled("rcompss_task_latency_us", "fn", "other")).unwrap().count,
+            1
+        );
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = RtMetrics::new(false);
+        m.submitted.incr();
+        m.record_task_latency("x", 5);
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("rcompss_tasks_submitted_total"), Some(0));
+        assert!(snap.histogram(&labeled("rcompss_task_latency_us", "fn", "x")).is_none());
+    }
+}

@@ -21,6 +21,7 @@ use crate::backend::threaded::{ExecQueue, WorkerPool};
 use crate::data::{DataHandle, DataRegistry, DataVersion, Producer, Value};
 use crate::fault::{RetryDecision, RetryPolicy};
 use crate::graph::{TaskGraph, TaskState};
+use crate::metrics::RtMetrics;
 use crate::scheduler::{Placement, ReadyEntry, Scheduler};
 use crate::task::{ArgSpec, Constraint, TaskDef, TaskError, TaskFn, TaskId};
 
@@ -36,6 +37,9 @@ pub struct RuntimeConfig {
     pub tracing: bool,
     /// Graph-recording flag (DOT export); also toggleable like tracing.
     pub graph: bool,
+    /// Metrics flag: live counters/gauges/histograms ([`Runtime::metrics`]).
+    /// Off means one relaxed atomic load per instrumentation site.
+    pub metrics: bool,
     /// Fault-tolerance policy.
     pub retry: RetryPolicy,
     /// Failure injection plan.
@@ -63,6 +67,7 @@ impl RuntimeConfig {
             reserved_cores: Vec::new(),
             tracing: true,
             graph: true,
+            metrics: true,
             retry: RetryPolicy::default(),
             failures: FailureInjector::none(),
             default_value_bytes: 1024,
@@ -79,6 +84,12 @@ impl RuntimeConfig {
     /// Set tracing (chainable).
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Set metrics collection (chainable).
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 
@@ -194,6 +205,9 @@ pub(crate) struct Instance {
     pub exclude_node: Option<u32>,
     pub sim_duration_us: u64,
     pub seq: u64,
+    /// Submission timestamp, µs (virtual for the sim backend, wall
+    /// otherwise) — the start of the dependency-wait interval.
+    pub submitted_us: u64,
 }
 
 impl Instance {
@@ -251,6 +265,7 @@ pub(crate) struct Shared {
     pub core: Mutex<Core>,
     pub cv: Condvar,
     pub trace: Arc<TraceCollector>,
+    pub metrics: RtMetrics,
     pub start: Instant,
     pub retry: RetryPolicy,
     pub failures: FailureInjector,
@@ -329,6 +344,7 @@ impl Runtime {
             }),
             cv: Condvar::new(),
             trace: Arc::new(TraceCollector::with_flag(cfg.tracing)),
+            metrics: RtMetrics::new(cfg.metrics),
             start: Instant::now(),
             retry: cfg.retry,
             failures: cfg.failures.clone(),
@@ -443,6 +459,9 @@ impl Runtime {
         core.next_seq += 1;
         core.unsettled += 1;
         core.stats.submitted += 1;
+        self.shared.metrics.submitted.incr();
+        let submitted_us =
+            core.sim.as_ref().map(|s| s.now()).unwrap_or_else(|| self.shared.wall_us());
 
         let state = core.graph.add_task(id, &def.name, &deps);
         core.instances.insert(
@@ -456,6 +475,7 @@ impl Runtime {
                 exclude_node: None,
                 sim_duration_us: opts.sim_duration_us.unwrap_or(self.default_sim_duration_us),
                 seq,
+                submitted_us,
             },
         );
         // A read of an already-poisoned version (its producer failed
@@ -463,7 +483,7 @@ impl Runtime {
         // propagate the failure to this task right away.
         let reads_poisoned = core.instances[&id].reads().iter().any(|v| core.poisoned.contains(v));
         if reads_poisoned {
-            fail_task_cascade(&mut core, id);
+            fail_task_cascade(&self.shared, &mut core, id);
         } else if state == TaskState::Ready {
             core.sched.push_ready(ReadyEntry {
                 task: id,
@@ -559,6 +579,18 @@ impl Runtime {
         self.shared.trace.is_enabled()
     }
 
+    /// The runtime's metrics registry: snapshot it on demand, or feed it to
+    /// the `runmetrics` exporters (Prometheus text / JSON lines). The handle
+    /// stays valid after the runtime is dropped.
+    pub fn metrics(&self) -> Arc<runmetrics::MetricsRegistry> {
+        Arc::clone(self.shared.metrics.registry())
+    }
+
+    /// Metrics flag accessor.
+    pub fn metrics_enabled(&self) -> bool {
+        self.shared.metrics.enabled()
+    }
+
     /// Snapshot the trace, including synthetic `RuntimeReserved` intervals
     /// for worker-reserved cores so Gantt renders match the paper's figures.
     pub fn trace(&self) -> Vec<paratrace::Record> {
@@ -627,6 +659,7 @@ pub(crate) fn complete_attempt(
     match outcome {
         Ok(values) => {
             let inst = core.instances.get(&task).expect("instance exists");
+            shared.metrics.record_task_latency(&inst.def.name, now_us.saturating_sub(run.start_us));
             let writes = inst.writes();
             assert_eq!(
                 values.len(),
@@ -642,6 +675,7 @@ pub(crate) fn complete_attempt(
                 core.data.add_location(*v, node);
             }
             core.stats.completed += 1;
+            shared.metrics.completed.incr();
             core.stats.makespan_us = core.stats.makespan_us.max(now_us);
             core.unsettled = core.unsettled.saturating_sub(1);
             let newly_ready = core.graph.set_done(task);
@@ -660,6 +694,7 @@ pub(crate) fn complete_attempt(
         }
         Err(err) => {
             core.stats.failed_attempts += 1;
+            shared.metrics.failed_attempts.incr();
             shared.trace.event(
                 paratrace::CoreId::new(
                     run.placement.node,
@@ -677,9 +712,10 @@ pub(crate) fn complete_attempt(
             match shared.retry.on_failure(run.attempt, node_gone) {
                 RetryDecision::GiveUp => {
                     let _ = err;
-                    fail_task_cascade(core, task);
+                    fail_task_cascade(shared, core, task);
                 }
                 decision => {
+                    shared.metrics.retried.incr();
                     // "Move to another node" is only meaningful when some
                     // other node could host the task; on a single capable
                     // node the retry stays local instead of deadlocking.
@@ -723,7 +759,7 @@ pub(crate) fn complete_attempt(
 /// Permanently fail `task` and transitively fail all dependents, poisoning
 /// every version they would have produced ("the failure of task does not
 /// affect the other tasks unless there are some dependencies").
-pub(crate) fn fail_task_cascade(core: &mut Core, task: TaskId) {
+pub(crate) fn fail_task_cascade(shared: &Shared, core: &mut Core, task: TaskId) {
     let mut stack = vec![task];
     let mut seen: HashSet<TaskId> = HashSet::new();
     while let Some(t) = stack.pop() {
@@ -735,6 +771,7 @@ pub(crate) fn fail_task_cascade(core: &mut Core, task: TaskId) {
         }
         core.graph.set_failed(t);
         core.stats.failed += 1;
+        shared.metrics.failed.incr();
         core.unsettled = core.unsettled.saturating_sub(1);
         let writes: Vec<DataVersion> =
             core.instances.get(&t).map(|i| i.writes()).unwrap_or_default();

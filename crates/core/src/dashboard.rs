@@ -5,7 +5,13 @@
 //! immediate and interactive action, the performance measure returned can
 //! be visualised". This module provides that layer for terminals: a live
 //! line per completed trial (fed by
-//! [`crate::runner::HpoRunner::run_observed`]) and a final leaderboard.
+//! [`crate::runner::HpoRunner::run_observed`]), an optional periodic
+//! runtime-metrics line (queue depth, task latency, retries — the live
+//! scheduler-overhead view), and a final leaderboard.
+
+use std::sync::Arc;
+
+use runmetrics::MetricsRegistry;
 
 use crate::results::{HpoReport, TrialResult};
 
@@ -13,9 +19,12 @@ use crate::results::{HpoReport, TrialResult};
 #[derive(Debug, Default)]
 pub struct Dashboard {
     completed: usize,
+    failed: usize,
     best_accuracy: f64,
     best_label: String,
     lines: Vec<String>,
+    /// Registry to sample + how many trials between metrics lines.
+    metrics: Option<(Arc<MetricsRegistry>, usize)>,
 }
 
 impl Dashboard {
@@ -24,11 +33,21 @@ impl Dashboard {
         Dashboard::default()
     }
 
-    /// Record a completed trial; returns the rendered progress line.
+    /// Render a runtime-metrics summary line every `every` trials,
+    /// sampled from `registry` (chainable). Pass the runtime's registry
+    /// ([`rcompss::Runtime::metrics`]) to watch scheduler behaviour live.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>, every: usize) -> Self {
+        self.metrics = Some((registry, every.max(1)));
+        self
+    }
+
+    /// Record a completed trial; returns the rendered progress line
+    /// (two lines when a periodic metrics sample is due).
     pub fn on_trial(&mut self, trial: &TrialResult) -> String {
         self.completed += 1;
         let acc = trial.outcome.accuracy;
         let marker = if trial.outcome.is_failed() {
+            self.failed += 1;
             " FAILED"
         } else if acc > self.best_accuracy {
             self.best_accuracy = acc;
@@ -37,7 +56,7 @@ impl Dashboard {
         } else {
             ""
         };
-        let line = format!(
+        let mut line = format!(
             "[{:>4}] acc {:.4} (best {:.4}) {}{marker}",
             self.completed,
             acc,
@@ -45,12 +64,48 @@ impl Dashboard {
             trial.config.label(),
         );
         self.lines.push(line.clone());
+        if let Some(m) = self.metrics_line() {
+            self.lines.push(m.clone());
+            line.push('\n');
+            line.push_str(&m);
+        }
         line
+    }
+
+    /// The periodic metrics line, if one is due at the current trial count.
+    fn metrics_line(&self) -> Option<String> {
+        let (registry, every) = self.metrics.as_ref()?;
+        if self.completed % every != 0 {
+            return None;
+        }
+        let snap = registry.snapshot();
+        let counter = |n: &str| snap.counter(n).unwrap_or(0);
+        // Per-function task latencies are labelled series; fold them into
+        // one count + worst p99 for the one-line view.
+        let (task_count, task_p99) = snap
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("rcompss_task_latency_us"))
+            .fold((0u64, 0u64), |(c, p), (_, h)| (c + h.count, p.max(h.p99)));
+        Some(format!(
+            "       metrics: tasks {}/{} done · {} retried · ready {} · task p99 {}µs · sched p99 {}µs",
+            counter("rcompss_tasks_completed_total"),
+            counter("rcompss_tasks_submitted_total"),
+            counter("rcompss_tasks_retried_total"),
+            snap.gauge("rcompss_ready_queue_depth").unwrap_or(0.0) as u64,
+            if task_count > 0 { task_p99 } else { 0 },
+            snap.histogram("rcompss_sched_decision_us").map(|h| h.p99).unwrap_or(0),
+        ))
     }
 
     /// Number of trials seen.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Number of failed trials seen.
+    pub fn failed(&self) -> usize {
+        self.failed
     }
 
     /// Best accuracy seen so far.
@@ -69,8 +124,10 @@ pub fn leaderboard(report: &HpoReport, k: usize) -> String {
     let mut ranked: Vec<&TrialResult> =
         report.trials.iter().filter(|t| !t.outcome.is_failed()).collect();
     ranked.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
+    let failed = report.trials.len() - ranked.len();
+    let failed_note = if failed > 0 { format!(", {failed} failed") } else { String::new() };
     let mut out = format!(
-        "top {} of {} trials ({}):\n",
+        "top {} of {} trials ({}{failed_note}):\n",
         k.min(ranked.len()),
         report.trials.len(),
         report.algorithm
@@ -116,13 +173,58 @@ mod tests {
     }
 
     #[test]
-    fn failed_trials_marked() {
+    fn failed_trials_marked_and_counted() {
         let mut d = Dashboard::new();
         let t =
             TrialResult { config: Config::new(), outcome: TrialOutcome::failed("x"), task_us: 0 };
         let line = d.on_trial(&t);
         assert!(line.contains("FAILED"));
         assert_eq!(d.best_accuracy(), 0.0);
+        assert_eq!(d.failed(), 1);
+        d.on_trial(&trial("Adam", 0.9));
+        assert_eq!(d.failed(), 1, "successes don't bump the failure count");
+        assert_eq!(d.completed(), 2);
+    }
+
+    #[test]
+    fn periodic_metrics_line_renders_from_registry() {
+        let reg = std::sync::Arc::new(runmetrics::MetricsRegistry::new(true));
+        reg.counter("rcompss_tasks_submitted_total").add(5);
+        reg.counter("rcompss_tasks_completed_total").add(4);
+        reg.counter("rcompss_tasks_retried_total").incr();
+        reg.gauge("rcompss_ready_queue_depth").set(2.0);
+        reg.histogram(&runmetrics::labeled("rcompss_task_latency_us", "fn", "exp")).record(900);
+        reg.histogram("rcompss_sched_decision_us").record(7);
+        let mut d = Dashboard::new().with_metrics(std::sync::Arc::clone(&reg), 2);
+        let l1 = d.on_trial(&trial("SGD", 0.5));
+        assert!(!l1.contains("metrics:"), "not due yet: {l1}");
+        let l2 = d.on_trial(&trial("Adam", 0.8));
+        let metrics_line = l2.lines().nth(1).expect("metrics line due every 2 trials");
+        assert!(metrics_line.contains("tasks 4/5 done"), "{metrics_line}");
+        assert!(metrics_line.contains("1 retried"), "{metrics_line}");
+        assert!(metrics_line.contains("ready 2"), "{metrics_line}");
+        assert_eq!(d.transcript().lines().count(), 3, "2 trial lines + 1 metrics line");
+    }
+
+    #[test]
+    fn leaderboard_header_reports_failures() {
+        let mut trials = vec![trial("Adam", 0.9), trial("SGD", 0.6)];
+        trials.push(TrialResult {
+            config: Config::new(),
+            outcome: TrialOutcome::failed("x"),
+            task_us: 0,
+        });
+        let report = HpoReport { algorithm: "g".into(), trials, wall_us: 0, early_stopped: false };
+        let lb = leaderboard(&report, 5);
+        assert!(lb.lines().next().unwrap().contains("1 failed"), "{lb}");
+        // ...and stays silent when everything succeeded.
+        let clean = HpoReport {
+            algorithm: "g".into(),
+            trials: vec![trial("Adam", 0.9)],
+            wall_us: 0,
+            early_stopped: false,
+        };
+        assert!(!leaderboard(&clean, 5).contains("failed"));
     }
 
     #[test]

@@ -27,6 +27,42 @@ pub struct HpoRunner {
 /// What the experiment task returns through the data registry.
 type TaskPayload = (TrialOutcome, u64);
 
+/// Cached handles for the per-trial series in the runtime's metrics
+/// registry. Fetched once per run so the per-trial cost is a handful of
+/// atomic ops, and pre-registered so every series appears in exports even
+/// when it stays at zero (a run with no failures still exports the
+/// failure counter).
+struct TrialMetrics {
+    completed: runmetrics::Counter,
+    failed: runmetrics::Counter,
+    best_accuracy: runmetrics::Gauge,
+    trial_task_us: runmetrics::Histogram,
+}
+
+impl TrialMetrics {
+    fn new(rt: &Runtime) -> Option<Self> {
+        rt.metrics_enabled().then(|| {
+            let reg = rt.metrics();
+            TrialMetrics {
+                completed: reg.counter("hpo_trials_completed_total"),
+                failed: reg.counter("hpo_trials_failed_total"),
+                best_accuracy: reg.gauge("hpo_best_accuracy"),
+                trial_task_us: reg.histogram("hpo_trial_task_us"),
+            }
+        })
+    }
+
+    fn observe(&self, trial: &TrialResult) {
+        if trial.outcome.is_failed() {
+            self.failed.incr();
+        } else {
+            self.completed.incr();
+            self.best_accuracy.set_max(trial.outcome.accuracy);
+            self.trial_task_us.record(trial.task_us);
+        }
+    }
+}
+
 impl HpoRunner {
     /// Build with the given experiment options.
     pub fn new(opts: ExperimentOptions) -> Self {
@@ -120,6 +156,7 @@ impl HpoRunner {
     ) -> Result<HpoReport, SubmitError> {
         let def = self.register_task(rt, &objective);
         let wave_limit = self.opts.wave_size.unwrap_or(usize::MAX).min(algo.parallelism()).max(1);
+        let trial_metrics = TrialMetrics::new(rt);
 
         let mut history: Vec<TrialResult> = Vec::new();
         let mut early_stopped = false;
@@ -135,6 +172,9 @@ impl HpoRunner {
             }
             for (config, sub) in wave {
                 let trial = self.collect(rt, config, &sub);
+                if let Some(tm) = &trial_metrics {
+                    tm.observe(&trial);
+                }
                 observer(&trial);
                 if let Some(es) = &self.opts.early_stop {
                     if es.target_reached(trial.outcome.accuracy) {
@@ -168,6 +208,7 @@ impl HpoRunner {
         seed: u64,
     ) -> Result<HpoReport, SubmitError> {
         let def = self.register_task(rt, &objective);
+        let trial_metrics = TrialMetrics::new(rt);
         let mut sampler = RandomSearch::new(space, bracket.rungs[0].n_configs, seed);
         let mut candidates: Vec<Config> = Vec::new();
         while let Some(c) = sampler.suggest(&[]) {
@@ -184,8 +225,16 @@ impl HpoRunner {
                 .iter()
                 .map(|c| Ok((c.clone(), self.submit_one(rt, &def, c, Some(rung.budget))?)))
                 .collect::<Result<_, SubmitError>>()?;
-            let mut rung_results: Vec<TrialResult> =
-                wave.into_iter().map(|(config, sub)| self.collect(rt, config, &sub)).collect();
+            let mut rung_results: Vec<TrialResult> = wave
+                .into_iter()
+                .map(|(config, sub)| {
+                    let trial = self.collect(rt, config, &sub);
+                    if let Some(tm) = &trial_metrics {
+                        tm.observe(&trial);
+                    }
+                    trial
+                })
+                .collect();
             // Promote the best survivors to the next rung.
             rung_results.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
             candidates = rung_results
@@ -355,6 +404,36 @@ mod tests {
         runner.run(&rt, &mut GridSearch::new(&space), objective).unwrap();
         let seen = seen.lock();
         assert_eq!(seen.as_slice(), &[Some(7), None]);
+    }
+
+    #[test]
+    fn trial_metrics_land_in_the_runtime_registry() {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let space =
+            SearchSpace::new().with("optimizer", ParamDomain::choice_strs(&["Adam", "Broken"]));
+        let objective: Objective = Arc::new(|config: &Config, _| {
+            if config.get_str("optimizer") == Some("Broken") {
+                Err(TaskError::new("unsupported optimizer"))
+            } else {
+                Ok(TrialOutcome::with_accuracy(0.8))
+            }
+        });
+        let runner = HpoRunner::new(ExperimentOptions::default());
+        runner.run(&rt, &mut GridSearch::new(&space), objective).unwrap();
+        let snap = rt.metrics().snapshot();
+        assert_eq!(snap.counter("hpo_trials_completed_total"), Some(1));
+        assert_eq!(snap.counter("hpo_trials_failed_total"), Some(1));
+        assert_eq!(snap.gauge("hpo_best_accuracy"), Some(0.8));
+        assert_eq!(snap.histogram("hpo_trial_task_us").map(|h| h.count), Some(1));
+        // The runtime's own instrumentation observed the same work: the
+        // failing trial burns the full retry budget before giving up.
+        assert_eq!(snap.counter("hpo_trials_completed_total").unwrap(), 1);
+        assert!(snap.counter("rcompss_tasks_submitted_total").unwrap() >= 2);
+        assert!(snap.counter("rcompss_tasks_retried_total").unwrap() >= 1);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(name, h)| name.starts_with("rcompss_task_latency_us") && h.count >= 1));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Snapshot exporters: Prometheus text format and JSON-lines time series.
+//!
+//! Metric names may carry one embedded Prometheus-style label, e.g.
+//! `task_latency_us{fn="graph.experiment"}` (see [`crate::labeled`]). The
+//! Prometheus exporter splits that back into base name + label so multiple
+//! task functions share one `# TYPE` family; the JSON exporter keeps the
+//! full name as the object key.
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::{self, JsonValue};
+use crate::registry::MetricsSnapshot;
+
+/// Split `base{labels}` into `(base, Some(labels))`, or `(name, None)`.
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') => (&name[..open], Some(&name[open + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Render `base` with optional pre-existing labels plus extra `label="value"`
+/// pairs, producing a valid Prometheus series name.
+fn series(base: &str, labels: Option<&str>, extra: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    if let Some(l) = labels {
+        pairs.push(l.to_string());
+    }
+    for (k, v) in extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base}{{{}}}", pairs.join(","))
+    }
+}
+
+/// Format an `f64` so it survives text round-trips; non-finite values
+/// (which no metric in this workspace produces) degrade to `0`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges become single samples; histograms become
+/// summary-style families with `quantile` labels plus `_sum`, `_count`
+/// and a `_max` gauge.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, base: &str, kind: &str| {
+        let line = format!("# TYPE {base} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for (name, value) in &snap.counters {
+        let (base, labels) = split_name(name);
+        type_line(&mut out, base, "counter");
+        out.push_str(&format!("{} {}\n", series(base, labels, &[]), value));
+    }
+    for (name, value) in &snap.gauges {
+        let (base, labels) = split_name(name);
+        type_line(&mut out, base, "gauge");
+        out.push_str(&format!("{} {}\n", series(base, labels, &[]), fmt_f64(*value)));
+    }
+    for (name, h) in &snap.histograms {
+        let (base, labels) = split_name(name);
+        type_line(&mut out, base, "summary");
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            out.push_str(&format!("{} {}\n", series(base, labels, &[("quantile", q)]), v));
+        }
+        out.push_str(&format!("{} {}\n", series(&format!("{base}_sum"), labels, &[]), h.sum));
+        out.push_str(&format!("{} {}\n", series(&format!("{base}_count"), labels, &[]), h.count));
+        out.push_str(&format!("{} {}\n", series(&format!("{base}_max"), labels, &[]), h.max));
+    }
+    out
+}
+
+/// Parse Prometheus text back into flat `(series, value)` samples,
+/// skipping comments. The inverse of [`to_prometheus`] for round-trip
+/// checks and bench assertions.
+pub fn parse_prometheus(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let split_at = line.rfind(' ').ok_or_else(|| format!("no value in line {line:?}"))?;
+        let (name, value) = line.split_at(split_at);
+        let value: f64 = value.trim().parse().map_err(|_| format!("bad value in line {line:?}"))?;
+        out.push((name.trim().to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Render a snapshot as one JSON-lines record (no trailing newline):
+/// `{"t_us":..., "counters":{...}, "gauges":{...}, "histograms":{...}}`.
+/// `t_us` is the caller's timestamp (µs since its chosen epoch).
+pub fn to_jsonl_line(t_us: u64, snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"t_us\":{t_us},\"counters\":{{"));
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json::escape(name), value));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json::escape(name), fmt_f64(*value)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json::escape(name),
+            h.count,
+            h.sum,
+            h.max,
+            h.p50,
+            h.p90,
+            h.p99
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Parse one JSON-lines record back into `(t_us, snapshot)`. The inverse of
+/// [`to_jsonl_line`] (exact for values below 2^53, i.e. everything the
+/// instrumented stack records).
+pub fn from_jsonl_line(line: &str) -> Result<(u64, MetricsSnapshot), String> {
+    let v = json::parse(line)?;
+    let t_us = v.get("t_us").and_then(JsonValue::as_u64).ok_or("missing t_us")?;
+    let obj = |key: &str| -> Result<&[(String, JsonValue)], String> {
+        v.get(key).and_then(JsonValue::as_object).ok_or_else(|| format!("missing object {key:?}"))
+    };
+    let mut snap = MetricsSnapshot::default();
+    for (name, value) in obj("counters")? {
+        let value = value.as_u64().ok_or_else(|| format!("bad counter {name:?}"))?;
+        snap.counters.push((name.clone(), value));
+    }
+    for (name, value) in obj("gauges")? {
+        let value = value.as_f64().ok_or_else(|| format!("bad gauge {name:?}"))?;
+        snap.gauges.push((name.clone(), value));
+    }
+    for (name, value) in obj("histograms")? {
+        let field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("bad histogram field {name:?}.{key}"))
+        };
+        snap.histograms.push((
+            name.clone(),
+            HistogramSnapshot {
+                count: field("count")?,
+                sum: field("sum")?,
+                max: field("max")?,
+                p50: field("p50")?,
+                p90: field("p90")?,
+                p99: field("p99")?,
+            },
+        ));
+    }
+    Ok((t_us, snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{labeled, MetricsRegistry};
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new(true);
+        reg.counter("tasks_completed_total").add(7);
+        reg.counter("tasks_retried_total");
+        reg.gauge("ready_queue_depth").set(3.0);
+        reg.gauge("best_accuracy").set(0.9625);
+        let h = reg.histogram(&labeled("task_latency_us", "fn", "graph.experiment"));
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        reg.histogram("sched_decision_us").record(12);
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_has_expected_shape() {
+        let text = to_prometheus(&sample_registry().snapshot());
+        for needle in [
+            "# TYPE tasks_completed_total counter",
+            "tasks_completed_total 7",
+            "tasks_retried_total 0",
+            "# TYPE ready_queue_depth gauge",
+            "best_accuracy 0.9625",
+            "# TYPE task_latency_us summary",
+            "task_latency_us{fn=\"graph.experiment\",quantile=\"0.5\"}",
+            "task_latency_us_sum{fn=\"graph.experiment\"} 1500",
+            "task_latency_us_count{fn=\"graph.experiment\"} 4",
+            "task_latency_us_max{fn=\"graph.experiment\"} 800",
+            "sched_decision_us{quantile=\"0.99\"} 12",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prometheus_round_trips_every_sample() {
+        let snap = sample_registry().snapshot();
+        let series = parse_prometheus(&to_prometheus(&snap)).unwrap();
+        let lookup = |name: &str| -> f64 {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("series {name:?} missing"))
+                .1
+        };
+        assert_eq!(lookup("tasks_completed_total") as u64, 7);
+        assert_eq!(lookup("tasks_retried_total") as u64, 0);
+        assert_eq!(lookup("best_accuracy"), 0.9625);
+        let h = snap.histogram(&labeled("task_latency_us", "fn", "graph.experiment")).unwrap();
+        assert_eq!(
+            lookup("task_latency_us{fn=\"graph.experiment\",quantile=\"0.9\"}") as u64,
+            h.p90
+        );
+        assert_eq!(lookup("task_latency_us_count{fn=\"graph.experiment\"}") as u64, h.count);
+        assert_eq!(lookup("task_latency_us_max{fn=\"graph.experiment\"}") as u64, h.max);
+    }
+
+    #[test]
+    fn type_lines_are_deduplicated_per_family() {
+        let reg = MetricsRegistry::new(true);
+        reg.histogram(&labeled("lat_us", "fn", "a")).record(1);
+        reg.histogram(&labeled("lat_us", "fn", "b")).record(2);
+        let text = to_prometheus(&reg.snapshot());
+        assert_eq!(
+            text.matches("# TYPE lat_us summary").count(),
+            1,
+            "one TYPE per family:\n{text}"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let snap = sample_registry().snapshot();
+        let line = to_jsonl_line(1_234_567, &snap);
+        assert!(!line.contains('\n'), "one record per line");
+        let (t_us, back) = from_jsonl_line(&line).unwrap();
+        assert_eq!(t_us, 1_234_567);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn jsonl_escapes_label_names() {
+        let reg = MetricsRegistry::new(true);
+        reg.counter(&labeled("calls_total", "fn", "odd\"name")).incr();
+        let (_, back) = from_jsonl_line(&to_jsonl_line(0, &reg.snapshot())).unwrap();
+        assert_eq!(back.counter(&labeled("calls_total", "fn", "odd\"name")), Some(1));
+    }
+}

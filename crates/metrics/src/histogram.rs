@@ -1,0 +1,252 @@
+//! Log-linear bucketed latency histogram.
+//!
+//! The layout follows the classic HdrHistogram/rpc-perf scheme: values below
+//! `2^(G+1)` land in exact unit-width buckets; above that, each power of two
+//! is split into `2^G` sub-buckets, so the bucket containing a value is never
+//! wider than `2^-G` of the value itself. With `G = 4` that is a ≤ 6.25 %
+//! relative error on any reported quantile, 976 buckets, and ~8 KiB per
+//! histogram — cheap enough to hold one per task function.
+//!
+//! Recording is wait-free: one `fetch_add` into the bucket plus count/sum
+//! accumulators and a `fetch_max` for the exact maximum, all relaxed. The
+//! enabled check lives in the shared [`crate::registry::Switch`] so a
+//! disabled registry pays a single relaxed load per record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::registry::Switch;
+
+/// Sub-bucket grouping power: `2^GROUPING` sub-buckets per power of two.
+pub const GROUPING: u32 = 4;
+/// First index of the logarithmic region (values `< LINEAR_MAX` are exact).
+const LINEAR_MAX: u64 = 1 << (GROUPING + 1);
+/// Total bucket count for full `u64` range coverage: the log region spans
+/// bit positions `GROUPING+1 ..= 63`, each contributing `2^GROUPING`
+/// sub-buckets, on top of the `2^(GROUPING+1)` exact linear buckets.
+pub const NUM_BUCKETS: usize =
+    ((64 - GROUPING as usize) << GROUPING as usize) + (1 << GROUPING as usize);
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        value as usize
+    } else {
+        let h = 63 - value.leading_zeros(); // position of the highest set bit
+        let shift = h - GROUPING;
+        (((h - GROUPING + 1) as usize) << GROUPING) + ((value >> shift) as usize - (1 << GROUPING))
+    }
+}
+
+/// Largest value stored in bucket `index` (the value a quantile reports).
+///
+/// Inverse of [`bucket_index`]: a log-region index decomposes as
+/// `index = ((h - G + 1) << G) + offset`, so the bucket spans
+/// `[((2^G + offset) << (h-G)), ((2^G + offset + 1) << (h-G)) - 1]`.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if (index as u64) < LINEAR_MAX {
+        index as u64
+    } else {
+        let offset = (index & ((1 << GROUPING) - 1)) as u64;
+        let shift = (index >> GROUPING) as u32 - 1; // == h - GROUPING
+        ((1u64 << GROUPING) + offset + 1).checked_shl(shift).map(|v| v - 1).unwrap_or(u64::MAX)
+    }
+}
+
+/// Shared histogram state.
+pub(crate) struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A recording handle. Cloning is cheap; all clones feed the same buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) on: Arc<Switch>,
+    pub(crate) core: Arc<HistogramCore>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.core.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Record one observation. A single relaxed load when disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !self.on.is_on() {
+            return;
+        }
+        let c = &self.core;
+        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough snapshot of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        let buckets: Vec<u64> = c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        // Derive the count from the bucket sweep so quantile ranks are
+        // consistent with the sweep even while writers race us.
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_upper_bound(i);
+                }
+            }
+            bucket_upper_bound(NUM_BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time digest of a histogram: the paper-relevant latency numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (for means and rates).
+    pub sum: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+    /// Median (≤ 6.25 % relative error).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_MAX {
+            let i = bucket_index(v);
+            assert_eq!(i as u64, v);
+            assert_eq!(bucket_upper_bound(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1_000, 1_000_000, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must not decrease: v={v} i={i} last={last}");
+            assert!(i < NUM_BUCKETS, "v={v} i={i}");
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1, "top value fills the last bucket");
+    }
+
+    #[test]
+    fn upper_bound_brackets_its_values() {
+        for v in [32u64, 47, 48, 100, 999, 4_096, 123_456_789, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let ub = bucket_upper_bound(i);
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            // next bucket starts above this value
+            if i + 1 < NUM_BUCKETS {
+                assert!(bucket_upper_bound(i + 1) > ub);
+            }
+            // relative width ≤ 2^-GROUPING
+            assert!(
+                (ub - v) as f64 <= v as f64 / (1 << GROUPING) as f64,
+                "bucket too wide at {v}: ub {ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("t");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let expect = |q: f64| (q * 1000.0).ceil() as u64;
+        for (q, got) in [(0.5, s.p50), (0.9, s.p90), (0.99, s.p99)] {
+            let want = expect(q);
+            let tol = want / (1 << GROUPING) as u64 + 1;
+            assert!(got >= want && got <= want + tol, "q{q}: got {got}, want ~{want}");
+        }
+        assert!((s.mean() - 500.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_zero() {
+        let reg = MetricsRegistry::new(true);
+        let s = reg.histogram("e").snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let reg = MetricsRegistry::new(false);
+        let h = reg.histogram("off");
+        h.record(42);
+        assert_eq!(h.count(), 0);
+    }
+
+    // The proptest sweep against an exact sorted-vec reference lives in
+    // `tests/proptests.rs` (public-API only, so the dev-only proptest
+    // dependency stays out of the library's unit tests).
+}

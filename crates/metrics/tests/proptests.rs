@@ -1,0 +1,86 @@
+//! Property tests for the log-linear histogram: quantiles against an exact
+//! sorted-vec reference, and exact bookkeeping (count/sum/max), across
+//! random value distributions.
+
+use proptest::prelude::*;
+use runmetrics::histogram::GROUPING;
+use runmetrics::MetricsRegistry;
+
+/// Exact reference: value at rank `ceil(q·n)` of the sorted sample — the
+/// same rank definition the histogram snapshot uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The reported quantile is the upper bound of the exact value's bucket:
+/// never below the exact quantile, and at most one bucket width
+/// (`2^-GROUPING` relative, i.e. ≤ 6.25 %) above it.
+fn assert_within_bucket_error(got: u64, exact: u64, q: f64) -> Result<(), TestCaseError> {
+    prop_assert!(got >= exact, "q{q}: got {got} < exact {exact}");
+    let bound = exact / (1u64 << GROUPING) + 1;
+    prop_assert!(got - exact <= bound, "q{q}: got {got}, exact {exact}, bound {bound}");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_sorted_reference(
+        mut values in proptest::collection::vec(0u64..=10_000_000, 1..400),
+    ) {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("p");
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        assert_within_bucket_error(s.p50, exact_quantile(&values, 0.50), 0.50)?;
+        assert_within_bucket_error(s.p90, exact_quantile(&values, 0.90), 0.90)?;
+        assert_within_bucket_error(s.p99, exact_quantile(&values, 0.99), 0.99)?;
+    }
+
+    #[test]
+    fn max_count_and_sum_are_exact(
+        values in proptest::collection::vec(0u64..=u64::MAX / 1024, 1..200),
+    ) {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("m");
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn exporters_round_trip_random_snapshots(
+        counters in proptest::collection::btree_map("[a-z_]{1,12}", 0u64..1 << 40, 0..6),
+        observations in proptest::collection::vec(0u64..1 << 30, 0..50),
+    ) {
+        let reg = MetricsRegistry::new(true);
+        for (name, v) in &counters {
+            reg.counter(name).add(*v);
+        }
+        let h = reg.histogram("h_us");
+        for &v in &observations {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let (t_us, back) = runmetrics::export::from_jsonl_line(
+            &runmetrics::export::to_jsonl_line(99, &snap),
+        ).unwrap();
+        prop_assert_eq!(t_us, 99);
+        prop_assert_eq!(back, snap.clone());
+
+        let series = runmetrics::export::parse_prometheus(
+            &runmetrics::export::to_prometheus(&snap),
+        ).unwrap();
+        for (name, v) in &counters {
+            let got = series.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+            prop_assert_eq!(got, Some(*v as f64), "counter {} lost", name);
+        }
+    }
+}

@@ -213,9 +213,18 @@ fn train_inner(
     let base_lr = cfg.effective_lr();
     let mut opt = Optimizer::new(cfg.optimizer, base_lr).with_weight_decay(cfg.weight_decay);
 
+    // Process-global observability: handles fetched once per training run,
+    // and only when the registry is switched on (one relaxed load here).
+    let epoch_metrics = {
+        let reg = runmetrics::global();
+        reg.enabled()
+            .then(|| (reg.histogram("tinyml_epoch_us"), reg.gauge("tinyml_samples_per_sec")))
+    };
+
     let mut history = History::default();
     for epoch in 0..cfg.epochs {
         opt.set_lr(cfg.lr_schedule.lr_at(base_lr, epoch, cfg.epochs).max(1e-8));
+        let epoch_started = epoch_metrics.as_ref().map(|_| std::time::Instant::now());
         let mut loss_sum = 0.0f64;
         let batches = train_set.batches(cfg.batch_size, cfg.seed, epoch);
         let n_batches = batches.len().max(1);
@@ -226,6 +235,13 @@ fn train_inner(
         }
         let train_loss = loss_sum / n_batches as f64;
         let val_acc = evaluate(net.as_ref(), &val_set);
+        if let (Some((epoch_us, samples_per_sec)), Some(t0)) = (&epoch_metrics, epoch_started) {
+            let us = t0.elapsed().as_micros() as u64;
+            epoch_us.record(us);
+            if us > 0 {
+                samples_per_sec.set(train_set.len() as f64 / (us as f64 / 1e6));
+            }
+        }
         history.train_loss.push(train_loss);
         history.val_accuracy.push(val_acc);
         if observer(epoch, train_loss, val_acc) == EpochSignal::Stop {
@@ -271,6 +287,23 @@ mod tests {
             let h = train(&quick_cfg(kind), &data);
             assert!(h.final_val_accuracy() > 0.5, "{kind} stuck at {}", h.final_val_accuracy());
         }
+    }
+
+    #[test]
+    fn epoch_metrics_flow_into_global_registry() {
+        // Counters in the global registry are monotonic and shared across
+        // this test binary, so assert deltas rather than absolutes.
+        let reg = runmetrics::global();
+        let before = reg.snapshot().histogram("tinyml_epoch_us").map(|h| h.count).unwrap_or(0);
+        reg.set_enabled(true);
+        let data = Dataset::synthetic_mnist(200, 11);
+        let h = train(&TrainConfig { epochs: 3, ..quick_cfg(OptimizerKind::Sgd) }, &data);
+        reg.set_enabled(false);
+        assert_eq!(h.epochs_run(), 3);
+        let snap = reg.snapshot();
+        let epochs = snap.histogram("tinyml_epoch_us").expect("epoch series").count;
+        assert!(epochs >= before + 3, "expected ≥3 new epoch samples, got {epochs}-{before}");
+        assert!(snap.gauge("tinyml_samples_per_sec").expect("throughput gauge") > 0.0);
     }
 
     #[test]

@@ -5,18 +5,62 @@
 //! performance overhead. These two features can easily be turned off by a
 //! simple flag"), the collector can be constructed disabled, in which case
 //! recording is a single relaxed atomic load.
+//!
+//! When enabled, records land in one of [`SHARDS`] cache-line-aligned,
+//! independently locked buffers. Each recording thread is pinned to a shard
+//! on first use (round-robin), so worker threads reporting task runs do not
+//! contend on one global lock — the pre-shard design made every `task_run`
+//! serialise the whole pool through a single `Mutex<Vec>`. Snapshots merge
+//! and sort the shards, preserving the chronological contract downstream
+//! consumers rely on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::record::{CoreId, EventKind, Record, StateKind, TaskRef};
 
+/// Number of independently locked record buffers.
+const SHARDS: usize = 16;
+
+/// One record buffer, padded to its own cache line so shard locks do not
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard {
+    records: Mutex<Vec<Record>>,
+}
+
+/// Index of the shard this thread writes to: assigned round-robin on first
+/// use so a fixed worker pool spreads evenly across shards.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    IDX.with(|cell| {
+        let mut idx = cell.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            cell.set(idx);
+        }
+        idx
+    })
+}
+
 /// Accumulates trace records from any number of threads.
-#[derive(Debug)]
 pub struct TraceCollector {
     enabled: AtomicBool,
-    records: Mutex<Vec<Record>>,
+    shards: [Shard; SHARDS],
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("enabled", &self.is_enabled())
+            .field("records", &self.len())
+            .finish()
+    }
 }
 
 impl Default for TraceCollector {
@@ -26,24 +70,27 @@ impl Default for TraceCollector {
 }
 
 impl TraceCollector {
+    fn with_enabled(enabled: bool) -> Self {
+        TraceCollector {
+            enabled: AtomicBool::new(enabled),
+            shards: std::array::from_fn(|_| Shard::default()),
+        }
+    }
+
     /// A collector that records everything (tracing flag on).
     pub fn enabled() -> Self {
-        TraceCollector { enabled: AtomicBool::new(true), records: Mutex::new(Vec::new()) }
+        Self::with_enabled(true)
     }
 
     /// A collector that drops everything (tracing flag off).
     pub fn disabled() -> Self {
-        TraceCollector { enabled: AtomicBool::new(false), records: Mutex::new(Vec::new()) }
+        Self::with_enabled(false)
     }
 
     /// Construct with an explicit flag, matching the paper's launch-time
     /// `--tracing` switch.
     pub fn with_flag(tracing: bool) -> Self {
-        if tracing {
-            Self::enabled()
-        } else {
-            Self::disabled()
-        }
+        Self::with_enabled(tracing)
     }
 
     /// Whether records are currently kept.
@@ -59,7 +106,7 @@ impl TraceCollector {
     /// Record an arbitrary record.
     pub fn record(&self, record: Record) {
         if self.is_enabled() {
-            self.records.lock().push(record);
+            self.shards[shard_index()].records.lock().push(record);
         }
     }
 
@@ -81,7 +128,7 @@ impl TraceCollector {
 
     /// Number of records collected so far.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.shards.iter().map(|s| s.records.lock().len()).sum()
     }
 
     /// Whether no records have been collected.
@@ -95,14 +142,20 @@ impl TraceCollector {
     /// (the PRV writer, the Gantt renderer, statistics) can assume order
     /// regardless of which thread reported what first.
     pub fn snapshot(&self) -> Vec<Record> {
-        let mut out = self.records.lock().clone();
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend(shard.records.lock().iter().cloned());
+        }
         out.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
         out
     }
 
     /// Drain all records, leaving the collector empty.
     pub fn drain(&self) -> Vec<Record> {
-        let mut out = std::mem::take(&mut *self.records.lock());
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.records.lock());
+        }
         out.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
         out
     }
@@ -178,5 +231,31 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.len(), 800);
+    }
+
+    #[test]
+    fn sharded_records_still_snapshot_in_order() {
+        // Many threads, interleaved timestamps: the merged snapshot must be
+        // globally sorted even though shards fill independently.
+        let c = Arc::new(TraceCollector::enabled());
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let time = i * 6 + t; // interleave across threads
+                    c.task_run(CoreId::new(0, t as u32), time, time + 1, task(t * 50 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 300);
+        assert!(snap.windows(2).all(|w| w[0].time() <= w[1].time()), "sorted by time");
+        let drained = c.drain();
+        assert_eq!(drained.len(), 300);
+        assert!(c.is_empty());
     }
 }

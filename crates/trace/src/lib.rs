@@ -11,6 +11,8 @@
 //! * [`record`] — the event/state record model (task start/end, data
 //!   transfers, scheduling decisions, user flags).
 //! * [`prv`] — a Paraver-compatible `.prv`/`.row`/`.pcf` writer.
+//! * [`chrome`] — a Chrome `trace_event` JSON writer, so the same records
+//!   open in `chrome://tracing` and Perfetto without any BSC tooling.
 //! * [`gantt`] — an ASCII Gantt renderer used to regenerate the *shape* of
 //!   Figures 4, 5 and 6 in a terminal.
 //! * [`stats`] — quantitative trace analysis (makespan, per-core utilisation,
@@ -28,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod collector;
 pub mod gantt;
 pub mod prv;

@@ -68,6 +68,11 @@ pub struct CliArgs {
     pub csv_out: Option<String>,
     /// Train CNNs instead of dense nets.
     pub cnn: bool,
+    /// Disable runtime metrics (on by default; off = one relaxed atomic
+    /// load per instrumentation site).
+    pub no_metrics: bool,
+    /// Write metrics exports to `<prefix>.prom` / `<prefix>.jsonl`.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -87,6 +92,8 @@ impl Default for CliArgs {
             graph_out: None,
             csv_out: None,
             cnn: false,
+            no_metrics: false,
+            metrics_out: None,
         }
     }
 }
@@ -124,6 +131,9 @@ OPTIONS:
     --trace                enable Extrae-style tracing
     --graph <file>         write the task graph as DOT
     --out <file>           write trial results as CSV
+    --metrics-out <prefix> write runtime metrics to <prefix>.prom
+                           (Prometheus text) and <prefix>.jsonl
+    --no-metrics           disable runtime metrics collection
     --cnn                  train CNNs instead of dense nets
     --help                 show this text
 ";
@@ -182,12 +192,17 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
             "--trace" => out.trace = true,
             "--graph" => out.graph_out = Some(take_value(arg, &mut it)?.to_string()),
             "--out" => out.csv_out = Some(take_value(arg, &mut it)?.to_string()),
+            "--metrics-out" => out.metrics_out = Some(take_value(arg, &mut it)?.to_string()),
+            "--no-metrics" => out.no_metrics = true,
             "--cnn" => out.cnn = true,
             other => return Err(CliError(format!("unknown flag '{other}'\n\n{USAGE}"))),
         }
     }
     if !saw_config {
         return Err(CliError(format!("--config is required\n\n{USAGE}")));
+    }
+    if out.no_metrics && out.metrics_out.is_some() {
+        return Err(CliError("--metrics-out conflicts with --no-metrics".to_string()));
     }
     if out.nodes == 0 {
         return Err(CliError("--nodes must be at least 1".to_string()));
@@ -250,6 +265,17 @@ mod tests {
         assert!(a.trace && a.cnn);
         assert_eq!(a.graph_out.as_deref(), Some("g.dot"));
         assert_eq!(a.csv_out.as_deref(), Some("r.csv"));
+    }
+
+    #[test]
+    fn metrics_flags_parse_and_conflict() {
+        let a = parse(&["--config", "s.json", "--metrics-out", "results/run"]).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("results/run"));
+        assert!(!a.no_metrics);
+        let b = parse(&["--config", "s.json", "--no-metrics"]).unwrap();
+        assert!(b.no_metrics && b.metrics_out.is_none());
+        let e = parse(&["--config", "s.json", "--no-metrics", "--metrics-out", "x"]).unwrap_err();
+        assert!(e.0.contains("conflicts"), "{e}");
     }
 
     #[test]

@@ -45,18 +45,25 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Runtime.
+    let metrics_on = !args.no_metrics;
     let rt = match args.backend {
         BackendChoice::Threaded => {
             let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4);
             Runtime::threaded(
-                RuntimeConfig::single_node(cores.max(args.cores_per_task)).with_tracing(args.trace),
+                RuntimeConfig::single_node(cores.max(args.cores_per_task))
+                    .with_tracing(args.trace)
+                    .with_metrics(metrics_on),
             )
         }
         BackendChoice::Sim => Runtime::simulated(
             RuntimeConfig::on_cluster(Cluster::homogeneous(args.nodes, NodeSpec::marenostrum4()))
-                .with_tracing(args.trace),
+                .with_tracing(args.trace)
+                .with_metrics(metrics_on),
         ),
     };
+    // Training internals (epoch timing) report to the process-global
+    // registry; switch it in step with the runtime's.
+    runmetrics::global().set_enabled(metrics_on);
 
     // 3. Objective: real training (threaded) for the chosen dataset.
     let spec = match (args.dataset, args.cnn) {
@@ -112,8 +119,11 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     let runner = HpoRunner::new(opts);
 
-    // 5. Run with a live dashboard.
+    // 5. Run with a live dashboard (metrics line every 10 trials).
     let mut dash = Dashboard::new();
+    if metrics_on {
+        dash = dash.with_metrics(rt.metrics(), 10);
+    }
     let mut algo: Box<dyn Suggester> = match args.algo {
         AlgoChoice::Grid => Box::new(GridSearch::new(&space)),
         AlgoChoice::Random => Box::new(RandomSearch::new(&space, args.trials, args.seed)),
@@ -134,6 +144,17 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = &args.graph_out {
         std::fs::write(path, rt.dot())?;
         println!("task graph DOT written to {path}");
+    }
+    if let Some(prefix) = &args.metrics_out {
+        // Merge the runtime registry with the process-global one (training
+        // epoch series) into a single snapshot for export.
+        let mut snap = rt.metrics().snapshot();
+        snap.merge(runmetrics::global().snapshot());
+        let prom = format!("{prefix}.prom");
+        std::fs::write(&prom, runmetrics::to_prometheus(&snap))?;
+        let jsonl = format!("{prefix}.jsonl");
+        std::fs::write(&jsonl, runmetrics::to_jsonl_line(rt.now_us(), &snap) + "\n")?;
+        println!("metrics written to {prom} and {jsonl}");
     }
     if args.trace {
         let records = rt.trace();

@@ -195,6 +195,50 @@ fn cnn_grid_search_end_to_end() {
     }
 }
 
+/// The observability path end to end: a grid-search HPO run with metrics
+/// enabled exports every headline series through both exporters, and the
+/// trace doubles as a Chrome `trace_event` file.
+#[test]
+fn metrics_export_covers_the_headline_series() {
+    let space = SearchSpace::from_json(
+        r#"{"optimizer": ["Adam", "SGD"], "num_epochs": [1, 2], "batch_size": [32]}"#,
+    )
+    .unwrap();
+    let rt = Runtime::threaded(RuntimeConfig::single_node(4).with_tracing(true));
+    assert!(rt.metrics_enabled(), "metrics default to on");
+    let data = Arc::new(Dataset::synthetic_mnist(300, 9));
+    let objective = hpo::experiment::tinyml_objective(data, vec![8]);
+    let report = HpoRunner::new(ExperimentOptions::default())
+        .run(&rt, &mut GridSearch::new(&space), objective)
+        .unwrap();
+    assert_eq!(report.trials.len(), 4);
+
+    let snap = rt.metrics().snapshot();
+    let prom = runmetrics::to_prometheus(&snap);
+    for series in [
+        "rcompss_task_latency_us{fn=",
+        "rcompss_ready_queue_depth",
+        "rcompss_sched_decision_us",
+        "rcompss_tasks_retried_total",
+        "hpo_trials_completed_total",
+        "hpo_trials_failed_total",
+    ] {
+        assert!(prom.contains(series), "missing {series} in:\n{prom}");
+    }
+    assert_eq!(snap.counter("hpo_trials_completed_total"), Some(4));
+    assert_eq!(snap.counter("rcompss_tasks_completed_total"), Some(4));
+
+    // JSON-lines round-trips the same snapshot.
+    let line = runmetrics::to_jsonl_line(rt.now_us(), &snap);
+    let (_, parsed) = runmetrics::from_jsonl_line(&line).unwrap();
+    assert_eq!(parsed.counter("rcompss_tasks_completed_total"), Some(4));
+
+    // The same run's trace exports as Chrome trace_event JSON.
+    let chrome = paratrace::chrome::export("e2e", &rt.trace());
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("graph.experiment"));
+}
+
 /// The Bayesian optimiser works through the runner as well.
 #[test]
 fn bayes_runs_through_the_runner() {

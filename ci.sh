@@ -9,7 +9,11 @@
 # tier-1 is the ROADMAP.md contract:
 # `cargo build --release && cargo test -q`.
 # The overhead bench runs in smoke mode as a regression guard on the
-# metrics disabled hot path (must stay ~one relaxed atomic load).
+# metrics disabled hot path (must stay ~one relaxed atomic load), and the
+# runtime-throughput bench runs in smoke mode as a tasks/sec gate (fails on
+# a >20% regression vs crates/bench/baselines/runtime_throughput.json;
+# regenerate with `runtime_throughput rebaseline` after intentional
+# scheduler changes).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -32,5 +36,8 @@ cargo test -q
 
 echo "==> overhead bench (smoke): disabled-path regression guard"
 cargo run --release -p hpo-bench --bin overhead_tracing -- smoke
+
+echo "==> runtime throughput (smoke): tasks/sec regression gate"
+cargo run --release -p hpo-bench --bin runtime_throughput -- smoke
 
 echo "ci.sh: all green"

@@ -1,0 +1,255 @@
+//! Runtime task-churn throughput: tasks/sec through the threaded backend.
+//!
+//! The paper's runtime keeps hundreds of HPO trials saturating a 48-core
+//! node; the analogous failure mode here is the *runtime's own* per-task
+//! overhead — dispatch, completion, worker wakeup — dominating when task
+//! bodies are tiny (the "Runtime vs Scheduler" decomposition of Dask's
+//! overheads). This binary measures that churn directly: no-op and ~100 µs
+//! spin tasks submitted as chain / fan-out / diamond graphs at several
+//! worker-pool sizes, reporting tasks/sec end to end (first submission to
+//! barrier return) with tracing, graph recording, and metrics all off.
+//!
+//! Modes:
+//! * default — full scenario grid, table to stdout, JSON snapshot to
+//!   `results/runtime_throughput.json`.
+//! * `smoke` / `--smoke` — a fast subset, compared against the checked-in
+//!   baseline (`crates/bench/baselines/runtime_throughput.json`); exits
+//!   non-zero on a >20 % tasks/sec regression in any smoke scenario.
+//!   ci.sh runs this as a gate next to `overhead_tracing smoke`.
+//!
+//! The baseline is machine-calibrated (best of 3 on the box that recorded
+//! it); regenerate with `runtime_throughput rebaseline` after intentional
+//! scheduler changes and commit the JSON alongside them.
+
+use std::time::Instant;
+
+use hpo_bench::{banner, out_dir};
+use rcompss::{ArgSpec, Constraint, Runtime, RuntimeConfig, Value};
+
+/// Task body flavour.
+#[derive(Clone, Copy, PartialEq)]
+enum Work {
+    /// Return immediately — pure runtime overhead.
+    Noop,
+    /// Busy-spin ~100 µs of real work.
+    Spin100,
+}
+
+/// Dependency shape of the submitted graph.
+#[derive(Clone, Copy, PartialEq)]
+enum Shape {
+    /// One root, then `n-1` children all reading the root's output: every
+    /// child becomes ready in a single completion — the dispatch storm that
+    /// punishes an O(ready) scheduler scan hardest.
+    FanOut,
+    /// `n` strictly dependent tasks: measures per-task latency through
+    /// submit → dispatch → complete → next-dispatch with no parallelism.
+    Chain,
+    /// Repeated fan-out/fan-in cells of width 8: alternating storms and
+    /// joins, the shape of iterative HPO rounds.
+    Diamond,
+}
+
+struct Scenario {
+    work: Work,
+    shape: Shape,
+    workers: u32,
+    tasks: u64,
+}
+
+impl Scenario {
+    fn key(&self) -> String {
+        let w = match self.work {
+            Work::Noop => "noop",
+            Work::Spin100 => "spin100",
+        };
+        let s = match self.shape {
+            Shape::FanOut => "fanout",
+            Shape::Chain => "chain",
+            Shape::Diamond => "diamond",
+        };
+        format!("{w}_{s}_w{}", self.workers)
+    }
+}
+
+fn body(work: Work) -> impl Fn() + Send + Sync + Clone {
+    move || {
+        if work == Work::Spin100 {
+            let t0 = Instant::now();
+            while t0.elapsed().as_micros() < 100 {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Run one scenario once; returns tasks/sec.
+fn run(sc: &Scenario) -> f64 {
+    let cfg = RuntimeConfig::single_node(sc.workers)
+        .with_tracing(false)
+        .with_metrics(false);
+    let mut cfg = cfg;
+    cfg.graph = false;
+    let rt = Runtime::threaded(cfg);
+    let work = body(sc.work);
+    let task = rt.register("churn", Constraint::cpus(1), 1, move |_, _| {
+        work();
+        Ok(vec![Value::new(1u64)])
+    });
+    let n = sc.tasks;
+    let t0 = Instant::now();
+    match sc.shape {
+        Shape::FanOut => {
+            let root = rt.submit(&task, vec![]).expect("submit root").returns[0];
+            for _ in 1..n {
+                rt.submit(&task, vec![ArgSpec::In(root)]).expect("submit child");
+            }
+        }
+        Shape::Chain => {
+            let mut prev = rt.submit(&task, vec![]).expect("submit head").returns[0];
+            for _ in 1..n {
+                prev = rt.submit(&task, vec![ArgSpec::In(prev)]).expect("submit link").returns[0];
+            }
+        }
+        Shape::Diamond => {
+            const WIDTH: u64 = 8;
+            let mut join = rt.submit(&task, vec![]).expect("submit root").returns[0];
+            let mut left = n.saturating_sub(1);
+            while left > 0 {
+                let fan = WIDTH.min(left);
+                let mids: Vec<_> = (0..fan)
+                    .map(|_| rt.submit(&task, vec![ArgSpec::In(join)]).expect("mid").returns[0])
+                    .collect();
+                left -= fan;
+                if left == 0 {
+                    break;
+                }
+                let args: Vec<ArgSpec> = mids.iter().map(|&h| ArgSpec::In(h)).collect();
+                join = rt.submit(&task, args).expect("join").returns[0];
+                left -= 1;
+            }
+        }
+    }
+    rt.barrier();
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    assert_eq!(stats.completed, stats.submitted, "all tasks must complete");
+    assert_eq!(stats.failed, 0);
+    stats.completed as f64 / wall
+}
+
+/// Best tasks/sec over `reps` runs (scheduling noise is one-sided: take max).
+fn best_of(sc: &Scenario, reps: u32) -> f64 {
+    (0..reps).map(|_| run(sc)).fold(0.0f64, f64::max)
+}
+
+fn full_grid() -> Vec<Scenario> {
+    let mut grid = Vec::new();
+    for &workers in &[1u32, 4, 16, 64] {
+        grid.push(Scenario { work: Work::Noop, shape: Shape::FanOut, workers, tasks: 8_000 });
+        grid.push(Scenario { work: Work::Noop, shape: Shape::Chain, workers, tasks: 3_000 });
+        grid.push(Scenario { work: Work::Noop, shape: Shape::Diamond, workers, tasks: 4_000 });
+        grid.push(Scenario { work: Work::Spin100, shape: Shape::FanOut, workers, tasks: 2_000 });
+    }
+    grid
+}
+
+fn smoke_grid() -> Vec<Scenario> {
+    vec![
+        Scenario { work: Work::Noop, shape: Shape::FanOut, workers: 16, tasks: 4_000 },
+        Scenario { work: Work::Noop, shape: Shape::Chain, workers: 4, tasks: 1_500 },
+        Scenario { work: Work::Noop, shape: Shape::Diamond, workers: 16, tasks: 2_000 },
+        Scenario { work: Work::Spin100, shape: Shape::FanOut, workers: 16, tasks: 800 },
+    ]
+}
+
+fn write_json(path: &std::path::Path, rows: &[(String, f64)]) {
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!("  \"{k}\": {v:.1}{sep}\n"));
+    }
+    s.push_str("}\n");
+    std::fs::write(path, s).expect("write json");
+}
+
+/// Parse the flat `{"key": number, ...}` JSON this binary writes.
+fn read_json(path: &std::path::Path) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((key, val)) = rest.split_once("\":") else { continue };
+        if let Ok(v) = val.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    Some(out)
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join("runtime_throughput.json")
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let smoke = mode == "smoke" || mode == "--smoke";
+    let rebaseline = mode == "rebaseline";
+    banner(
+        "Runtime throughput",
+        "tasks/sec through the threaded backend (chain / fan-out / diamond)",
+    );
+
+    let grid = if smoke || rebaseline { smoke_grid() } else { full_grid() };
+    let reps = if smoke || rebaseline { 3 } else { 2 };
+    // Warm up thread-spawn and allocator paths.
+    let _ = run(&Scenario { work: Work::Noop, shape: Shape::Chain, workers: 4, tasks: 200 });
+
+    println!("{:<22} {:>8} {:>8} {:>14}", "scenario", "workers", "tasks", "tasks/sec");
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for sc in &grid {
+        let tps = best_of(sc, reps);
+        println!("{:<22} {:>8} {:>8} {:>14.0}", sc.key(), sc.workers, sc.tasks, tps);
+        rows.push((sc.key(), tps));
+    }
+
+    if rebaseline {
+        let path = baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("baseline dir");
+        write_json(&path, &rows);
+        println!("\nbaseline written to {}", path.display());
+        return;
+    }
+
+    let out = out_dir().join("runtime_throughput.json");
+    write_json(&out, &rows);
+    println!("\nJSON snapshot: {}", out.display());
+
+    if smoke {
+        let path = baseline_path();
+        let Some(baseline) = read_json(&path) else {
+            println!("no baseline at {} — gate skipped (run `rebaseline`)", path.display());
+            return;
+        };
+        let mut failed = false;
+        println!("\ngate: >= 80% of baseline tasks/sec");
+        for (key, tps) in &rows {
+            match baseline.iter().find(|(k, _)| k == key) {
+                Some((_, base)) if *base > 0.0 => {
+                    let ratio = tps / base;
+                    let verdict = if ratio >= 0.8 { "ok" } else { "REGRESSION" };
+                    println!("  {key:<22} {tps:>12.0} vs {base:>12.0}  ({ratio:>5.2}x) {verdict}");
+                    if ratio < 0.8 {
+                        failed = true;
+                    }
+                }
+                _ => println!("  {key:<22} {tps:>12.0} (no baseline entry)"),
+            }
+        }
+        assert!(!failed, "tasks/sec regressed >20% vs checked-in baseline");
+        println!("OK");
+    }
+}

@@ -32,7 +32,7 @@ struct SimExec {
     ctx: TaskContext,
     body: Arc<TaskFn>,
     inputs: Vec<Value>,
-    name: String,
+    name: Arc<str>,
 }
 
 /// Virtual-time state of the simulated backend.
@@ -77,7 +77,7 @@ pub(crate) fn run_until(shared: &Shared, core: &mut Core, cond: impl Fn(&Core) -
                     continue; // execution was killed by a node failure
                 };
                 let Some(run) = core.running.get(&exec) else { continue };
-                let task_ref = TaskRef::new(se.ctx.task.0, se.name.clone());
+                let task_ref = TaskRef::new(se.ctx.task.0, Arc::clone(&se.name));
                 for (node, cores) in run.placement.node_cores() {
                     for &c in cores {
                         shared.trace.task_run(
@@ -114,7 +114,7 @@ pub(crate) fn run_until(shared: &Shared, core: &mut Core, cond: impl Fn(&Core) -
                     if let Some(se) = core.sim.as_mut().expect("sim state").execs.remove(&exec) {
                         // Truncated run bar so the kill is visible in traces.
                         if let Some(run) = core.running.get(&exec) {
-                            let task_ref = TaskRef::new(se.ctx.task.0, se.name.clone());
+                            let task_ref = TaskRef::new(se.ctx.task.0, Arc::clone(&se.name));
                             for (pnode, cores) in run.placement.node_cores() {
                                 for &c in cores {
                                     shared.trace.task_run(
@@ -167,12 +167,13 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
             shared.metrics.sched_decision.record(t0.elapsed().as_micros() as u64);
         }
         let Some((entry, placement)) = placed else { break };
+        let placement = Arc::new(placement);
         let task = entry.task;
         let inst = core.instances.get(&task).expect("ready task has an instance");
         let reads = inst.reads();
         let inputs: Vec<Value> =
             reads.iter().map(|v| core.data.get(*v).expect("inputs computed")).collect();
-        let name = inst.def.name.to_string();
+        let name = Arc::clone(&inst.def.name);
         // honour the scheduler's implementation choice (@implement)
         let body = if placement.variant == 0 {
             Arc::clone(&inst.def.body)
@@ -211,7 +212,7 @@ fn dispatch_sim(shared: &Shared, core: &mut Core) {
         shared.trace.event(
             CoreId::new(placement.node, placement.cores.first().copied().unwrap_or(0)),
             now,
-            EventKind::TaskDispatch(TaskRef::new(task.0, name.clone())),
+            EventKind::TaskDispatch(TaskRef::new(task.0, Arc::clone(&name))),
         );
         let ctx = TaskContext {
             task,

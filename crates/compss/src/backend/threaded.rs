@@ -7,34 +7,118 @@
 //! bounds in-flight tasks by the cluster's core/GPU slots, so a 48-core
 //! single-node config runs at most 48 single-core tasks concurrently
 //! regardless of pool size.
+//!
+//! # Sharded run queues
+//!
+//! The pool is decentralized: each worker owns a [`Shard`] — a small
+//! lock-protected run queue plus its own condvar — instead of all workers
+//! contending on one global queue under the core lock. A producer pushes to
+//! an *idle* worker's shard when one exists (that worker can start
+//! immediately) and round-robins otherwise, then signals exactly that
+//! shard's condvar with `notify_one`; the old design broadcast
+//! `notify_all` to up to 64 parked workers per completion and let all but
+//! one go back to sleep. Workers that find their own queue empty steal from
+//! sibling shards (opportunistic `try_lock` scan first, then one blocking
+//! sweep before parking), so a burst pushed to few shards still spreads
+//! across the pool. A `notified` token set under the shard lock by every
+//! producer closes the classic lost-wakeup race between "queue looked
+//! empty" and "worker parked", which is also what makes shutdown purely
+//! signal-driven — no poll timeout anywhere in the worker loop.
+//!
+//! Completion is equally decentralized: trace emission and `ExecMsg`
+//! construction happen *outside* the core lock (placements ride along as
+//! `Arc<Placement>`, names as interned `Arc<str>`), so the lock is held
+//! only for the dependency-graph/scheduler bookkeeping itself.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cluster::Cluster;
 use paratrace::{CoreId, EventKind, TaskRef};
+use parking_lot::{Condvar, Mutex};
 
 use crate::data::Value;
 use crate::runtime::{complete_attempt, Core, RunningExec, Shared};
+use crate::scheduler::Placement;
 use crate::task::{TaskContext, TaskError, TaskFn};
 
-/// A placed task ready for a worker.
+/// A placed task ready for a worker. Carries everything the worker needs to
+/// run the body *and* emit its trace records without touching the core
+/// lock; the `Arc`s are shared with the runtime's `RunningExec`.
 pub(crate) struct ExecMsg {
     pub exec_id: u64,
     pub ctx: TaskContext,
     pub body: Arc<TaskFn>,
     pub inputs: Vec<Value>,
-    pub name: String,
+    pub name: Arc<str>,
+    pub placement: Arc<Placement>,
+    pub start_us: u64,
 }
 
-/// The worker pool and its shutdown flag.
+/// One worker's run queue. `notified` is the wakeup token: a producer sets
+/// it under the lock before signalling, so a worker that checks the queue,
+/// finds it empty, and parks can never miss a push that raced in between.
+struct ShardState {
+    queue: VecDeque<ExecMsg>,
+    notified: bool,
+}
+
+/// A worker's shard: queue + condvar + an "I'm parked" hint for producers.
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+    /// Owner is parked (or about to park). Producers prefer idle shards so
+    /// a push wakes a worker that can start immediately; the flag is a
+    /// routing hint only — correctness rests on `notified`.
+    idle: AtomicBool,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            state: Mutex::new(ShardState { queue: VecDeque::new(), notified: false }),
+            cv: Condvar::new(),
+            idle: AtomicBool::new(false),
+        }
+    }
+}
+
+/// State shared by all workers and producers.
+pub(crate) struct PoolShared {
+    shards: Vec<Shard>,
+    /// Round-robin cursor for pushes when no worker is idle.
+    next_push: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    /// Push one message: to an idle worker's shard when one exists, else
+    /// round-robin; then signal exactly that shard's owner.
+    fn push(&self, shared: &Shared, msg: ExecMsg) {
+        let n = self.shards.len();
+        let start = self.next_push.fetch_add(1, Ordering::Relaxed) % n;
+        let target = (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&i| self.shards[i].idle.load(Ordering::Relaxed))
+            .unwrap_or(start);
+        let shard = &self.shards[target];
+        {
+            let mut st = shard.state.lock();
+            st.queue.push_back(msg);
+            st.notified = true;
+        }
+        shard.cv.notify_one();
+        shared.metrics.wakeups.incr();
+    }
+}
+
+/// The worker pool: spawned threads plus the shared shard array.
 pub(crate) struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
-    shared: Arc<Shared>,
+    pool: Arc<PoolShared>,
 }
 
 impl WorkerPool {
@@ -42,39 +126,52 @@ impl WorkerPool {
     /// the physical machine more threads just oversubscribe).
     pub fn start(shared: Arc<Shared>, cluster: &Cluster) -> WorkerPool {
         let threads = (cluster.total_cores() as usize).clamp(1, 64);
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(PoolShared {
+            shards: (0..threads).map(|_| Shard::new()).collect(),
+            next_push: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
         let handles = (0..threads)
-            .map(|_| {
+            .map(|me| {
                 let shared = Arc::clone(&shared);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || worker_loop(shared, shutdown))
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || worker_loop(shared, pool, me))
             })
             .collect();
-        WorkerPool { handles, shutdown, shared }
+        WorkerPool { handles, pool }
     }
 
-    /// Place every placeable ready task and queue it for the workers.
-    /// Call with the core locked.
-    pub fn dispatch(&self, shared: &Shared, core: &mut Core) {
-        dispatch(shared, core);
-        shared.cv.notify_all();
+    /// Hand a batch of prepared messages to the workers. Call *without* the
+    /// core lock: this emits dispatch trace events and takes shard locks.
+    pub fn enqueue(&self, shared: &Shared, msgs: Vec<ExecMsg>) {
+        enqueue(&self.pool, shared, msgs);
     }
 
-    /// Stop workers and join them.
+    /// Stop workers and join them. Signal-driven: every shard is notified
+    /// once (with its wakeup token set), so parked workers exit on the
+    /// signal rather than on a poll timeout. Workers drain queued work
+    /// before exiting.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.shared.cv.notify_all();
+        self.pool.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.pool.shards {
+            shard.state.lock().notified = true;
+            shard.cv.notify_one();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// Pop placeable tasks from the scheduler into the execution queue.
-pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
+/// Place every placeable ready task, building one [`ExecMsg`] per
+/// placement. Call with the core locked; everything Arc-cheap happens here,
+/// everything slow (trace emission, shard pushes) in [`enqueue`] after the
+/// lock is dropped.
+pub(crate) fn collect_dispatch(shared: &Shared, core: &mut Core) -> Vec<ExecMsg> {
     // One relaxed load up front decides whether this dispatch round pays
     // for Instant::now() timing at all.
     let measure = shared.metrics.enabled();
+    let mut msgs = Vec::new();
     loop {
         // Threaded deployments are single-machine; locality is moot.
         let decision_started = measure.then(std::time::Instant::now);
@@ -83,6 +180,7 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
             shared.metrics.sched_decision.record(t0.elapsed().as_micros() as u64);
         }
         let Some((entry, placement)) = popped else { break };
+        let placement = Arc::new(placement);
         let task = entry.task;
         let inst = core.instances.get(&task).expect("ready task has an instance");
         let inputs: Vec<Value> = inst
@@ -90,7 +188,7 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
             .iter()
             .map(|v| core.data.get(*v).expect("ready task inputs are computed"))
             .collect();
-        let name = inst.def.name.to_string();
+        let name = Arc::clone(&inst.def.name);
         // honour the scheduler's implementation choice (@implement)
         let body = if placement.variant == 0 {
             Arc::clone(&inst.def.body)
@@ -103,11 +201,6 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
         shared.metrics.dep_wait.record(now.saturating_sub(inst.submitted_us));
         let exec_id = core.next_exec;
         core.next_exec += 1;
-        shared.trace.event(
-            CoreId::new(placement.node, placement.cores.first().copied().unwrap_or(0)),
-            now,
-            EventKind::TaskDispatch(TaskRef::new(task.0, name.clone())),
-        );
         let ctx = TaskContext {
             task,
             attempt,
@@ -119,13 +212,33 @@ pub(crate) fn dispatch(shared: &Shared, core: &mut Core) {
         };
         core.running.insert(
             exec_id,
-            RunningExec { task, placement, constraint: entry.constraint, attempt, start_us: now },
+            RunningExec {
+                task,
+                placement: Arc::clone(&placement),
+                constraint: entry.constraint,
+                attempt,
+                start_us: now,
+            },
         );
         core.graph.set_running(task);
-        core.exec_queue.push_back(ExecMsg { exec_id, ctx, body, inputs, name });
+        msgs.push(ExecMsg { exec_id, ctx, body, inputs, name, placement, start_us: now });
     }
     shared.metrics.ready_depth.set(core.sched.ready_len() as f64);
     shared.metrics.running.set(core.running.len() as f64);
+    msgs
+}
+
+/// Emit dispatch trace events and distribute messages to worker shards.
+/// Call without the core lock.
+pub(crate) fn enqueue(pool: &PoolShared, shared: &Shared, msgs: Vec<ExecMsg>) {
+    for msg in msgs {
+        shared.trace.event(
+            CoreId::new(msg.placement.node, msg.placement.cores.first().copied().unwrap_or(0)),
+            msg.start_us,
+            EventKind::TaskDispatch(TaskRef::new(msg.ctx.task.0, Arc::clone(&msg.name))),
+        );
+        pool.push(shared, msg);
+    }
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
@@ -138,51 +251,88 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, shutdown: Arc<AtomicBool>) {
+/// Fetch the next message for worker `me`: own shard first, then an
+/// opportunistic `try_lock` steal sweep, then — with the idle flag raised so
+/// producers re-route to us — a blocking sweep and a park on our condvar.
+/// Returns `None` only at shutdown with every reachable queue drained.
+fn next_msg(shared: &Shared, pool: &PoolShared, me: usize) -> Option<ExecMsg> {
+    let shards = &pool.shards;
+    let my = &shards[me];
     loop {
-        let msg = {
-            let mut core = shared.core.lock();
-            loop {
-                if let Some(m) = core.exec_queue.pop_front() {
-                    break m;
-                }
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                shared.cv.wait_for(&mut core, std::time::Duration::from_millis(50));
-            }
-        };
-
-        let result = catch_unwind(AssertUnwindSafe(|| (msg.body)(&msg.ctx, &msg.inputs)))
-            .unwrap_or_else(|p| Err(TaskError::new(panic_message(p))));
-
-        let end = shared.wall_us();
-        let mut core = shared.core.lock();
-        if let Some(run) = core.running.get(&msg.exec_id) {
-            let task_ref = TaskRef::new(msg.ctx.task.0, msg.name.clone());
-            for (node, cores) in run.placement.node_cores() {
-                for &c in cores {
-                    shared.trace.task_run(
-                        CoreId::new(node, c),
-                        run.start_us,
-                        end.max(run.start_us + 1),
-                        task_ref.clone(),
-                    );
-                }
-            }
-            shared.trace.event(
-                CoreId::new(run.placement.node, run.placement.cores.first().copied().unwrap_or(0)),
-                end,
-                EventKind::TaskEnd(task_ref),
-            );
+        if let Some(m) = my.state.lock().queue.pop_front() {
+            return Some(m);
         }
-        complete_attempt(&shared, &mut core, msg.exec_id, result, end, false);
-        dispatch(&shared, &mut core);
-        drop(core);
-        shared.cv.notify_all();
+        // Opportunistic stealing: skip shards whose lock is contended.
+        for k in 1..shards.len() {
+            let j = (me + k) % shards.len();
+            if let Some(mut st) = shards[j].state.try_lock() {
+                if let Some(m) = st.queue.pop_front() {
+                    shared.metrics.steals.incr();
+                    return Some(m);
+                }
+            }
+        }
+        if pool.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        // Raise the idle flag *before* the final sweep: any push from here
+        // on prefers our shard and sets our `notified` token, so the park
+        // below cannot strand it.
+        my.idle.store(true, Ordering::SeqCst);
+        for k in 1..shards.len() {
+            let j = (me + k) % shards.len();
+            let mut st = shards[j].state.lock();
+            if let Some(m) = st.queue.pop_front() {
+                drop(st);
+                my.idle.store(false, Ordering::SeqCst);
+                shared.metrics.steals.incr();
+                return Some(m);
+            }
+        }
+        let mut st = my.state.lock();
+        if st.queue.is_empty() && !st.notified && !pool.shutdown.load(Ordering::SeqCst) {
+            my.cv.wait(&mut st);
+        }
+        st.notified = false;
+        drop(st);
+        my.idle.store(false, Ordering::SeqCst);
     }
 }
 
-/// Ensure a `VecDeque` import isn't flagged; the exec queue type lives on
-/// [`Core`].
-pub(crate) type ExecQueue = VecDeque<ExecMsg>;
+fn worker_loop(shared: Arc<Shared>, pool: Arc<PoolShared>, me: usize) {
+    while let Some(msg) = next_msg(&shared, &pool, me) {
+        let result = catch_unwind(AssertUnwindSafe(|| (msg.body)(&msg.ctx, &msg.inputs)))
+            .unwrap_or_else(|p| Err(TaskError::new(panic_message(p))));
+
+        // Trace emission needs only the message's own Arcs — no core lock.
+        // (Nothing else completes a threaded exec, so the records are never
+        // for a stale execution.)
+        let end = shared.wall_us();
+        let task_ref = TaskRef::new(msg.ctx.task.0, Arc::clone(&msg.name));
+        for (node, cores) in msg.placement.node_cores() {
+            for &c in cores {
+                shared.trace.task_run(
+                    CoreId::new(node, c),
+                    msg.start_us,
+                    end.max(msg.start_us + 1),
+                    task_ref.clone(),
+                );
+            }
+        }
+        shared.trace.event(
+            CoreId::new(msg.placement.node, msg.placement.cores.first().copied().unwrap_or(0)),
+            end,
+            EventKind::TaskEnd(task_ref),
+        );
+
+        let follow_on = {
+            let mut core = shared.core.lock();
+            complete_attempt(&shared, &mut core, msg.exec_id, result, end, false);
+            collect_dispatch(&shared, &mut core)
+        };
+        // Waiters in `wait_on`/`barrier` park on the core condvar; workers
+        // never do, so this broadcast reaches at most the main thread(s).
+        shared.cv.notify_all();
+        enqueue(&pool, &shared, follow_on);
+    }
+}

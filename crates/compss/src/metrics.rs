@@ -21,6 +21,8 @@
 //! | `rcompss_task_attempts_failed_total` | counter | individual failed attempts |
 //! | `rcompss_node_failures_total` | counter | node failures observed |
 //! | `rcompss_transfer_bytes_total` | counter | bytes staged to nodes (sim backend) |
+//! | `rcompss_worker_steals_total` | counter | tasks taken from a sibling worker's shard |
+//! | `rcompss_worker_wakeups_total` | counter | targeted `notify_one` signals to worker shards |
 //! | `rcompss_ready_queue_depth` | gauge | ready tasks not yet placeable |
 //! | `rcompss_running_tasks` | gauge | in-flight executions |
 //! | `rcompss_sched_decision_us` | histogram | real time per `pop_placeable` decision |
@@ -53,6 +55,10 @@ pub(crate) struct RtMetrics {
     pub node_failures: Counter,
     /// Bytes staged to nodes.
     pub transfer_bytes: Counter,
+    /// Tasks a worker took from a sibling's shard (threaded backend).
+    pub steals: Counter,
+    /// Targeted `notify_one` signals issued to worker shards.
+    pub wakeups: Counter,
     /// Ready tasks not yet placeable.
     pub ready_depth: Gauge,
     /// In-flight executions.
@@ -81,6 +87,8 @@ impl RtMetrics {
             failed_attempts: registry.counter("rcompss_task_attempts_failed_total"),
             node_failures: registry.counter("rcompss_node_failures_total"),
             transfer_bytes: registry.counter("rcompss_transfer_bytes_total"),
+            steals: registry.counter("rcompss_worker_steals_total"),
+            wakeups: registry.counter("rcompss_worker_wakeups_total"),
             ready_depth: registry.gauge("rcompss_ready_queue_depth"),
             running: registry.gauge("rcompss_running_tasks"),
             sched_decision: registry.histogram("rcompss_sched_decision_us"),
@@ -139,6 +147,8 @@ mod tests {
             "rcompss_task_attempts_failed_total",
             "rcompss_node_failures_total",
             "rcompss_transfer_bytes_total",
+            "rcompss_worker_steals_total",
+            "rcompss_worker_wakeups_total",
         ] {
             assert_eq!(snap.counter(series), Some(0), "{series} missing");
         }

@@ -17,7 +17,7 @@ use paratrace::TraceCollector;
 use parking_lot::{Condvar, Mutex};
 
 use crate::backend::sim::SimState;
-use crate::backend::threaded::{ExecQueue, WorkerPool};
+use crate::backend::threaded::{collect_dispatch, WorkerPool};
 use crate::data::{DataHandle, DataRegistry, DataVersion, Producer, Value};
 use crate::fault::{RetryDecision, RetryPolicy};
 use crate::graph::{TaskGraph, TaskState};
@@ -235,10 +235,12 @@ impl Instance {
     }
 }
 
-/// One in-flight execution.
+/// One in-flight execution. The placement is shared (`Arc`) with the
+/// backend's in-flight message so completion-side trace emission can run
+/// without the core lock.
 pub(crate) struct RunningExec {
     pub task: TaskId,
-    pub placement: Placement,
+    pub placement: Arc<Placement>,
     pub constraint: Constraint,
     pub attempt: u32,
     pub start_us: u64,
@@ -253,7 +255,6 @@ pub(crate) struct Core {
     pub running: HashMap<u64, RunningExec>,
     pub poisoned: HashSet<DataVersion>,
     pub sim: Option<SimState>,
-    pub exec_queue: ExecQueue,
     pub next_task: u64,
     pub next_seq: u64,
     pub next_exec: u64,
@@ -335,7 +336,6 @@ impl Runtime {
                 running: HashMap::new(),
                 poisoned: HashSet::new(),
                 sim: None,
-                exec_queue: ExecQueue::new(),
                 next_task: 1,
                 next_seq: 0,
                 next_exec: 0,
@@ -496,11 +496,14 @@ impl Runtime {
             });
         }
 
-        // Nudge the backend.
+        // Nudge the backend: place under the lock, hand the placed work to
+        // the worker shards after dropping it (trace emission and shard
+        // locks must not nest inside the core lock).
         if let BackendHandle::Threaded(pool) = &self.backend {
-            pool.dispatch(&self.shared, &mut core);
+            let msgs = collect_dispatch(&self.shared, &mut core);
+            drop(core);
+            pool.enqueue(&self.shared, msgs);
         }
-        drop(core);
         Ok(SubmitResult { task: id, returns: return_handles })
     }
 
@@ -704,7 +707,7 @@ pub(crate) fn complete_attempt(
                 paratrace::EventKind::TaskFailure {
                     task: paratrace::TaskRef::new(
                         task.0,
-                        core.instances[&task].def.name.to_string(),
+                        Arc::clone(&core.instances[&task].def.name),
                     ),
                     attempt: run.attempt,
                 },

@@ -18,7 +18,7 @@ impl fmt::Display for TaskId {
 /// Resource constraint attached to a task definition — the paper's
 /// `@constraint(processors=[{CPU: n}, {GPU: m}])` decorator, plus the
 /// `@multinode` decorator via [`Constraint::nodes`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Constraint {
     /// CPU computing units required *per node*.
     pub cpus: u32,

@@ -1,0 +1,102 @@
+//! Property test: the indexed ready-set pops the exact same `(task,
+//! placement)` sequence as the pre-index linear scan
+//! (`Scheduler::pop_placeable_reference`), across random entry mixes
+//! (priorities, constraint classes, exclusions, preferences, multi-variant
+//! implementations) and random pop/release interleavings. The sim backend's
+//! bit-identical makespans rest on this equivalence.
+
+use cluster::{Cluster, NodeSpec};
+use proptest::prelude::*;
+use rcompss::scheduler::{Placement, ReadyEntry, Scheduler};
+use rcompss::{Constraint, TaskId};
+
+#[derive(Debug, Clone)]
+struct EntrySpec {
+    cpus: u32,
+    gpus: u32,
+    priority: bool,
+    exclude: Option<u32>,
+    prefer: Option<u32>,
+    alt_cpus: Option<u32>,
+}
+
+fn entry_strategy() -> impl Strategy<Value = EntrySpec> {
+    (
+        1u32..=20,
+        0u32..=2,
+        any::<bool>(),
+        proptest::option::of(0u32..3),
+        proptest::option::of(0u32..3),
+        proptest::option::of(1u32..=4),
+    )
+        .prop_map(|(cpus, gpus, priority, exclude, prefer, alt_cpus)| EntrySpec {
+            cpus,
+            gpus,
+            priority,
+            exclude,
+            prefer,
+            alt_cpus,
+        })
+}
+
+fn build(spec: &EntrySpec, seq: u64) -> ReadyEntry {
+    ReadyEntry {
+        task: TaskId(seq + 1),
+        constraint: Constraint::cpus(spec.cpus).with_gpus(spec.gpus),
+        alternatives: spec.alt_cpus.map(Constraint::cpus).into_iter().collect(),
+        priority: spec.priority,
+        seq,
+        prefer_node: spec.prefer,
+        exclude_node: spec.exclude,
+    }
+}
+
+fn sched() -> Scheduler {
+    // 3 × POWER9 nodes: 16 allocatable cores and 4 GPUs each, so GPU and
+    // CPU exhaustion both happen within a few dozen entries.
+    Scheduler::new(&Cluster::homogeneous(3, NodeSpec::cte_power9()), &[])
+}
+
+proptest! {
+    #[test]
+    fn indexed_pop_sequence_equals_linear_scan(
+        specs in proptest::collection::vec(entry_strategy(), 1..60),
+        // One byte per step drives the pop/release interleaving.
+        steps in proptest::collection::vec(any::<u8>(), 1..250),
+    ) {
+        let mut indexed = sched();
+        let mut linear = sched();
+        for (seq, spec) in specs.iter().enumerate() {
+            indexed.push_ready(build(spec, seq as u64));
+            linear.push_ready(build(spec, seq as u64));
+        }
+        let mut running: Vec<(ReadyEntry, Placement)> = Vec::new();
+        for (i, &step) in steps.iter().enumerate() {
+            let loc = move |t: TaskId, n: u32| ((t.0 + n as u64 + step as u64) % 7) as usize;
+            let a = indexed.pop_placeable(loc);
+            let b = linear.pop_placeable_reference(loc);
+            match (&a, &b) {
+                (Some((ea, pa)), Some((eb, pb))) => {
+                    prop_assert_eq!(ea.task, eb.task, "step {}", i);
+                    prop_assert_eq!(pa, pb, "step {}", i);
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "step {}: indexed {:?} vs linear {:?}", i, a, b),
+            }
+            if let Some(p) = a {
+                running.push(p);
+            }
+            // Release sometimes (always when stuck) so blocked classes
+            // re-probe and the infeasibility memo gets invalidated.
+            if !running.is_empty() && (b.is_none() || step % 3 == 0) {
+                let (e, p) = running.remove(step as usize % running.len());
+                let c = e.variant_constraints()[p.variant];
+                indexed.release(&p, &c);
+                linear.release(&p, &c);
+            }
+            if indexed.ready_len() == 0 && running.is_empty() {
+                break;
+            }
+        }
+    }
+}

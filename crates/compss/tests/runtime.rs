@@ -724,3 +724,20 @@ fn pfs_cluster_needs_no_staging_between_nodes() {
     // PFS read of 120 MB at 8 GB/s = 15 ms ≪ the 100 s staged copy above.
     assert!(rt.now_us() < 16_000 + 200, "PFS read is cheap: {}", rt.now_us());
 }
+
+#[test]
+fn worker_shutdown_is_signal_driven_and_prompt() {
+    // Workers park on their shard condvars with no poll timeout; shutdown
+    // signals each shard once and joins. With the old 50 ms polling loop a
+    // 64-worker pool took up to one poll period to notice the flag — the
+    // signal-driven pool must wind down in single-digit milliseconds even
+    // with every worker parked idle.
+    let rt = Runtime::threaded(RuntimeConfig::single_node(64));
+    let noop = rt.register("noop", Constraint::cpus(1), 1, |_, _| Ok(vec![Value::new(())]));
+    let h = rt.submit(&noop, vec![]).unwrap().returns[0];
+    rt.wait_on(&h).unwrap();
+    let t0 = std::time::Instant::now();
+    drop(rt);
+    let took = t0.elapsed();
+    assert!(took.as_millis() < 10, "shutdown of 64 idle workers took {took:?}");
+}

@@ -10,6 +10,7 @@
 //!   flags" the paper mentions when describing Figure 5 (task-start markers).
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A physical core identified by `(node, core-within-node)`.
 ///
@@ -37,17 +38,22 @@ impl fmt::Display for CoreId {
 
 /// A lightweight reference to a task: its runtime id plus the registered
 /// task-function name (e.g. `"graph.experiment"` in the paper's Figure 3).
+///
+/// The name is an interned `Arc<str>`: one task function generates thousands
+/// of records, and a runtime dispatch emits several `TaskRef`s per task, so
+/// cloning must be a refcount bump rather than a heap copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TaskRef {
     /// Unique task instance id assigned at submission.
     pub id: u64,
     /// Name of the task function this instance executes.
-    pub name: String,
+    pub name: Arc<str>,
 }
 
 impl TaskRef {
-    /// Construct a task reference.
-    pub fn new(id: u64, name: impl Into<String>) -> Self {
+    /// Construct a task reference. Pass an existing `Arc<str>` (e.g. the
+    /// registered task definition's name) to share the allocation.
+    pub fn new(id: u64, name: impl Into<Arc<str>>) -> Self {
         TaskRef { id, name: name.into() }
     }
 }

@@ -44,7 +44,7 @@ pub fn per_task_profile(records: &[Record]) -> BTreeMap<String, NameProfile> {
     let mut out: BTreeMap<String, NameProfile> = BTreeMap::new();
     for r in records {
         if let Record::State { start, end, state: StateKind::Running(t), .. } = r {
-            let p = out.entry(t.name.clone()).or_default();
+            let p = out.entry(t.name.to_string()).or_default();
             p.total_core_us += end - start;
             if seen.insert((t.id, *start, *end)) {
                 let d = end - start;

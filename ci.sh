@@ -5,15 +5,19 @@
 #   ./ci.sh quick    # style + lints only (skip the release build & tests)
 #
 # Lints run on the crates this repo actively grows (tinyml, rcompss, hpo,
-# hpo-bench, runmetrics, paratrace, cluster) plus the workspace root;
+# hpo-bench, rnet, runmetrics, paratrace, cluster) plus the workspace root;
 # tier-1 is the ROADMAP.md contract:
 # `cargo build --release && cargo test -q`.
 # The overhead bench runs in smoke mode as a regression guard on the
 # metrics disabled hot path (must stay ~one relaxed atomic load), and the
-# runtime-throughput bench runs in smoke mode as a tasks/sec gate (fails on
-# a >20% regression vs crates/bench/baselines/runtime_throughput.json;
-# regenerate with `runtime_throughput rebaseline` after intentional
-# scheduler changes).
+# runtime-throughput bench runs in smoke + net_throughput modes as
+# tasks/sec gates — threaded churn and loopback-TCP distributed churn
+# respectively (fail on a >20% regression vs
+# crates/bench/baselines/runtime_throughput.json; regenerate with
+# `runtime_throughput rebaseline` after intentional scheduler or wire
+# changes). Finally a distributed loopback smoke boots two rcompss-worker
+# daemons and checks a distributed grid search returns the exact per-trial
+# accuracies of the same run on the threaded backend.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,7 +25,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy (-D warnings)"
-cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench -p runmetrics -p paratrace -p cluster --all-targets -- -D warnings
+cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench -p rnet -p runmetrics -p paratrace -p cluster --all-targets -- -D warnings
 
 if [[ "${1:-}" == "quick" ]]; then
     echo "ci.sh: quick mode — skipping tier-1 build and tests"
@@ -39,5 +43,44 @@ cargo run --release -p hpo-bench --bin overhead_tracing -- smoke
 
 echo "==> runtime throughput (smoke): tasks/sec regression gate"
 cargo run --release -p hpo-bench --bin runtime_throughput -- smoke
+
+echo "==> runtime throughput (net): loopback wire-protocol regression gate"
+cargo run --release -p hpo-bench --bin runtime_throughput -- net_throughput
+
+echo "==> distributed loopback smoke: 2 workers, distributed == threaded"
+SMOKE_DIR=$(mktemp -d)
+WORKER_PIDS=()
+cleanup() {
+    for pid in "${WORKER_PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+cat > "$SMOKE_DIR/space.json" <<'EOF'
+{
+  "optimizer": ["Adam", "SGD"],
+  "num_epochs": [1, 2],
+  "batch_size": [32]
+}
+EOF
+./target/release/rcompss-worker --listen 127.0.0.1:7191 --name ci-w0 --samples 200 &
+WORKER_PIDS+=($!)
+./target/release/rcompss-worker --listen 127.0.0.1:7192 --name ci-w1 --samples 200 &
+WORKER_PIDS+=($!)
+sleep 1
+./target/release/hpo-run --config "$SMOKE_DIR/space.json" --backend distributed \
+    --workers 127.0.0.1:7191,127.0.0.1:7192 --samples 200 \
+    --out "$SMOKE_DIR/distributed.csv"
+./target/release/hpo-run --config "$SMOKE_DIR/space.json" --backend threaded \
+    --samples 200 --out "$SMOKE_DIR/threaded.csv"
+# Per-trial config + accuracy + epochs must match bit-for-bit; only the
+# timing column may differ.
+if ! diff <(sort "$SMOKE_DIR/distributed.csv" | cut -d, -f1-3) \
+          <(sort "$SMOKE_DIR/threaded.csv" | cut -d, -f1-3); then
+    echo "distributed loopback smoke FAILED: trial results diverge" >&2
+    exit 1
+fi
+echo "distributed == threaded: trial tables identical"
 
 echo "ci.sh: all green"

@@ -16,15 +16,24 @@
 //!   baseline (`crates/bench/baselines/runtime_throughput.json`); exits
 //!   non-zero on a >20 % tasks/sec regression in any smoke scenario.
 //!   ci.sh runs this as a gate next to `overhead_tracing smoke`.
+//! * `net` / `net_throughput` — the same churn shapes through the
+//!   *distributed* backend: two in-process `WorkerServer`s on loopback
+//!   TCP, so every task pays frame encode → socket → decode → execute →
+//!   result frame. Gated against the same baseline file (keys prefixed
+//!   `net_`); this is the wire-protocol overhead regression gate.
 //!
 //! The baseline is machine-calibrated (best of 3 on the box that recorded
 //! it); regenerate with `runtime_throughput rebaseline` after intentional
 //! scheduler changes and commit the JSON alongside them.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use hpo_bench::{banner, out_dir};
-use rcompss::{ArgSpec, Constraint, Runtime, RuntimeConfig, Value};
+use rcompss::{
+    ArgSpec, Constraint, DistributedConfig, Runtime, RuntimeConfig, TaskDef, TaskRegistry, Value,
+    WorkerConfig, WorkerServer,
+};
 
 /// Task body flavour.
 #[derive(Clone, Copy, PartialEq)]
@@ -55,6 +64,9 @@ struct Scenario {
     shape: Shape,
     workers: u32,
     tasks: u64,
+    /// Run through the distributed backend (loopback workers) instead of
+    /// the threaded one; `workers` cores are split across two daemons.
+    net: bool,
 }
 
 impl Scenario {
@@ -68,7 +80,8 @@ impl Scenario {
             Shape::Chain => "chain",
             Shape::Diamond => "diamond",
         };
-        format!("{w}_{s}_w{}", self.workers)
+        let prefix = if self.net { "net_" } else { "" };
+        format!("{prefix}{w}_{s}_w{}", self.workers)
     }
 }
 
@@ -85,6 +98,9 @@ fn body(work: Work) -> impl Fn() + Send + Sync + Clone {
 
 /// Run one scenario once; returns tasks/sec.
 fn run(sc: &Scenario) -> f64 {
+    if sc.net {
+        return run_net(sc);
+    }
     let cfg = RuntimeConfig::single_node(sc.workers)
         .with_tracing(false)
         .with_metrics(false);
@@ -96,36 +112,85 @@ fn run(sc: &Scenario) -> f64 {
         work();
         Ok(vec![Value::new(1u64)])
     });
+    measure(&rt, &task, sc)
+}
+
+/// Same churn, but through the distributed backend: two in-process
+/// loopback workers splitting `sc.workers` cores between them, so every
+/// dispatch and completion crosses a real TCP socket.
+fn run_net(sc: &Scenario) -> f64 {
+    let work = body(sc.work);
+    let churn = TaskDef {
+        name: "churn".into(),
+        constraint: Constraint::cpus(1),
+        returns: 1,
+        priority: false,
+        body: Arc::new(move |_, _| {
+            work();
+            Ok(vec![Value::new(1u64)])
+        }),
+        alternatives: Vec::new(),
+    };
+    let registry = TaskRegistry::new().with(churn);
+    let per_worker = (sc.workers / 2).max(1);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let cfg = WorkerConfig {
+                name: format!("bench-w{i}"),
+                cores: per_worker,
+                gpus: 0,
+                mem_gib: 8,
+            };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind loopback worker")
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    let mut cfg = RuntimeConfig::single_node(1).with_tracing(false).with_metrics(false);
+    cfg.graph = false;
+    let rt = Runtime::distributed(cfg, &addrs, DistributedConfig::default())
+        .expect("connect to loopback workers");
+    let task = registry.get("churn").expect("registered").clone();
+    let tps = measure(&rt, &task, sc);
+    drop(rt); // shut the connections down before the workers drop
+    tps
+}
+
+/// Submit the scenario's graph shape, wait for the barrier, and return
+/// tasks/sec (first submission to barrier return).
+fn measure(rt: &Runtime, task: &TaskDef, sc: &Scenario) -> f64 {
     let n = sc.tasks;
     let t0 = Instant::now();
     match sc.shape {
         Shape::FanOut => {
-            let root = rt.submit(&task, vec![]).expect("submit root").returns[0];
+            let root = rt.submit(task, vec![]).expect("submit root").returns[0];
             for _ in 1..n {
-                rt.submit(&task, vec![ArgSpec::In(root)]).expect("submit child");
+                rt.submit(task, vec![ArgSpec::In(root)]).expect("submit child");
             }
         }
         Shape::Chain => {
-            let mut prev = rt.submit(&task, vec![]).expect("submit head").returns[0];
+            let mut prev = rt.submit(task, vec![]).expect("submit head").returns[0];
             for _ in 1..n {
-                prev = rt.submit(&task, vec![ArgSpec::In(prev)]).expect("submit link").returns[0];
+                prev = rt.submit(task, vec![ArgSpec::In(prev)]).expect("submit link").returns[0];
             }
         }
         Shape::Diamond => {
             const WIDTH: u64 = 8;
-            let mut join = rt.submit(&task, vec![]).expect("submit root").returns[0];
+            let mut join = rt.submit(task, vec![]).expect("submit root").returns[0];
             let mut left = n.saturating_sub(1);
             while left > 0 {
                 let fan = WIDTH.min(left);
                 let mids: Vec<_> = (0..fan)
-                    .map(|_| rt.submit(&task, vec![ArgSpec::In(join)]).expect("mid").returns[0])
+                    .map(|_| rt.submit(task, vec![ArgSpec::In(join)]).expect("mid").returns[0])
                     .collect();
                 left -= fan;
                 if left == 0 {
                     break;
                 }
                 let args: Vec<ArgSpec> = mids.iter().map(|&h| ArgSpec::In(h)).collect();
-                join = rt.submit(&task, args).expect("join").returns[0];
+                join = rt.submit(task, args).expect("join").returns[0];
                 left -= 1;
             }
         }
@@ -143,23 +208,38 @@ fn best_of(sc: &Scenario, reps: u32) -> f64 {
     (0..reps).map(|_| run(sc)).fold(0.0f64, f64::max)
 }
 
+fn sc(work: Work, shape: Shape, workers: u32, tasks: u64) -> Scenario {
+    Scenario { work, shape, workers, tasks, net: false }
+}
+
 fn full_grid() -> Vec<Scenario> {
     let mut grid = Vec::new();
     for &workers in &[1u32, 4, 16, 64] {
-        grid.push(Scenario { work: Work::Noop, shape: Shape::FanOut, workers, tasks: 8_000 });
-        grid.push(Scenario { work: Work::Noop, shape: Shape::Chain, workers, tasks: 3_000 });
-        grid.push(Scenario { work: Work::Noop, shape: Shape::Diamond, workers, tasks: 4_000 });
-        grid.push(Scenario { work: Work::Spin100, shape: Shape::FanOut, workers, tasks: 2_000 });
+        grid.push(sc(Work::Noop, Shape::FanOut, workers, 8_000));
+        grid.push(sc(Work::Noop, Shape::Chain, workers, 3_000));
+        grid.push(sc(Work::Noop, Shape::Diamond, workers, 4_000));
+        grid.push(sc(Work::Spin100, Shape::FanOut, workers, 2_000));
     }
     grid
 }
 
 fn smoke_grid() -> Vec<Scenario> {
     vec![
-        Scenario { work: Work::Noop, shape: Shape::FanOut, workers: 16, tasks: 4_000 },
-        Scenario { work: Work::Noop, shape: Shape::Chain, workers: 4, tasks: 1_500 },
-        Scenario { work: Work::Noop, shape: Shape::Diamond, workers: 16, tasks: 2_000 },
-        Scenario { work: Work::Spin100, shape: Shape::FanOut, workers: 16, tasks: 800 },
+        sc(Work::Noop, Shape::FanOut, 16, 4_000),
+        sc(Work::Noop, Shape::Chain, 4, 1_500),
+        sc(Work::Noop, Shape::Diamond, 16, 2_000),
+        sc(Work::Spin100, Shape::FanOut, 16, 800),
+    ]
+}
+
+/// Distributed-backend churn over loopback: the wire-protocol gate.
+/// Kept small — every task is a full RPC round trip, so these are orders
+/// of magnitude slower per task than the in-process scenarios.
+fn net_grid() -> Vec<Scenario> {
+    vec![
+        Scenario { net: true, ..sc(Work::Noop, Shape::FanOut, 4, 600) },
+        Scenario { net: true, ..sc(Work::Noop, Shape::Chain, 2, 200) },
+        Scenario { net: true, ..sc(Work::Spin100, Shape::FanOut, 4, 300) },
     ]
 }
 
@@ -197,16 +277,29 @@ fn baseline_path() -> std::path::PathBuf {
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
     let smoke = mode == "smoke" || mode == "--smoke";
+    let net = mode == "net" || mode == "net_throughput";
     let rebaseline = mode == "rebaseline";
     banner(
         "Runtime throughput",
-        "tasks/sec through the threaded backend (chain / fan-out / diamond)",
+        "tasks/sec through the threaded and distributed backends (chain / fan-out / diamond)",
     );
 
-    let grid = if smoke || rebaseline { smoke_grid() } else { full_grid() };
-    let reps = if smoke || rebaseline { 3 } else { 2 };
+    let grid = if net {
+        net_grid()
+    } else if smoke {
+        smoke_grid()
+    } else if rebaseline {
+        let mut g = smoke_grid();
+        g.extend(net_grid());
+        g
+    } else {
+        let mut g = full_grid();
+        g.extend(net_grid());
+        g
+    };
+    let reps = if smoke || net || rebaseline { 3 } else { 2 };
     // Warm up thread-spawn and allocator paths.
-    let _ = run(&Scenario { work: Work::Noop, shape: Shape::Chain, workers: 4, tasks: 200 });
+    let _ = run(&sc(Work::Noop, Shape::Chain, 4, 200));
 
     println!("{:<22} {:>8} {:>8} {:>14}", "scenario", "workers", "tasks", "tasks/sec");
     let mut rows: Vec<(String, f64)> = Vec::new();
@@ -228,7 +321,7 @@ fn main() {
     write_json(&out, &rows);
     println!("\nJSON snapshot: {}", out.display());
 
-    if smoke {
+    if smoke || net {
         let path = baseline_path();
         let Some(baseline) = read_json(&path) else {
             println!("no baseline at {} — gate skipped (run `rebaseline`)", path.display());

@@ -1,0 +1,1192 @@
+//! Distributed backend: real execution on remote worker daemons over TCP.
+//!
+//! The driver side mirrors the threaded backend's split: everything that
+//! needs the core lock (placement, residency decisions, exec bookkeeping)
+//! happens in [`ConnMgr::collect_dispatch_remote`], and everything slow —
+//! value encoding, frame batching, socket writes, trace emission — happens
+//! in [`ConnMgr::send`] after the lock is dropped. One reader thread per
+//! worker turns `Done`/`Failed` frames back into
+//! [`crate::runtime::complete_attempt`] calls; a monitor thread paces
+//! heartbeats and declares a worker dead when it goes silent.
+//!
+//! # Pipelining and windows
+//!
+//! Submits to one worker are batched into a single `write` and capped by a
+//! per-worker *window* of outstanding tasks; frames beyond the window wait
+//! in a pending queue and drain as completions stream back. The scheduler
+//! already bounds in-flight work by the worker's advertised cores, so the
+//! default window (2× cores) only smooths bursts — tests shrink it to
+//! exercise the queueing path.
+//!
+//! # Data movement
+//!
+//! Task inputs travel inline ([`WireArg::Inline`]) unless the driver's
+//! residency tracking says the worker already holds the version, in which
+//! case only the key is sent ([`WireArg::Cached`]). The worker caches every
+//! inline argument it receives; a cache miss (cold cache after reconnect,
+//! or an output the worker produced under a key it was never told) falls
+//! back to a `Fetch` round trip served by the driver. Residency for a node
+//! is wiped whenever its connection drops.
+//!
+//! # Fault tolerance
+//!
+//! A worker is declared dead on connection error, EOF, or heartbeat
+//! timeout. Its in-flight executions are failed with `node_gone = true`, so
+//! [`crate::fault::RetryPolicy`] re-routes them to surviving workers; ready
+//! tasks that no surviving node could ever run are failed immediately
+//! (cascade) instead of hanging the barrier. With
+//! [`DistributedConfig::reconnect`] enabled the driver attempts one
+//! reconnect first and revives the node on success.
+//!
+//! Multi-node (`@multinode`) constraints are not dispatched remotely — the
+//! simulated backend remains the home for those experiments.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use paratrace::{CoreId, EventKind, TaskRef};
+use parking_lot::{Condvar, Mutex};
+use rnet::{read_frame, write_frame, write_frames, Blob, Frame, FrameReader, WireArg};
+
+use crate::codec;
+use crate::data::{DataHandle, DataVersion, Value};
+use crate::registry::TaskRegistry;
+use crate::runtime::{complete_attempt, fail_task_cascade, Core, RunningExec, Shared};
+use crate::task::{TaskContext, TaskError, TaskId};
+
+/// Tuning knobs for the driver side of a distributed runtime.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// How often the monitor thread pings each worker.
+    pub heartbeat_interval: Duration,
+    /// Silence longer than this declares the worker dead.
+    pub heartbeat_timeout: Duration,
+    /// Per-worker cap on outstanding submits; `None` sizes it to twice the
+    /// worker's advertised cores.
+    pub window: Option<u32>,
+    /// Attempt one reconnect (and revive the node) before failing a dead
+    /// worker's tasks over to the survivors.
+    pub reconnect: bool,
+    /// How long to keep retrying the initial connection to each worker.
+    pub connect_timeout: Duration,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            heartbeat_interval: Duration::from_millis(200),
+            heartbeat_timeout: Duration::from_millis(1500),
+            window: None,
+            reconnect: false,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Wire key for a data version: handle id in the high 32 bits, version in
+/// the low 32. Handles are dense small integers, so this never collides.
+fn data_key(v: DataVersion) -> u64 {
+    (v.handle.0 << 32) | u64::from(v.version)
+}
+
+fn key_version(key: u64) -> DataVersion {
+    DataVersion { handle: DataHandle(key >> 32), version: key as u32 }
+}
+
+/// One argument prepared under the core lock: the value rides along only
+/// when the worker is not already believed to hold it.
+struct PreparedArg {
+    key: u64,
+    value: Option<Value>,
+}
+
+/// A placed task bound for a remote worker, prepared under the core lock
+/// and encoded/sent outside it.
+pub(crate) struct RemoteDispatch {
+    exec_id: u64,
+    node: u32,
+    task_id: u64,
+    attempt: u32,
+    variant: u32,
+    cores: Vec<u32>,
+    gpus: Vec<u32>,
+    args: Vec<PreparedArg>,
+    name: Arc<str>,
+    start_us: u64,
+}
+
+/// Mutable per-connection writer state, all under one lock.
+struct LinkState {
+    stream: Option<TcpStream>,
+    /// Interned function names: first submit of a name carries it in full,
+    /// later ones send only the id. Reset on reconnect.
+    fn_ids: HashMap<Arc<str>, u64>,
+    next_fn_id: u64,
+    /// Submits waiting for window space, FIFO.
+    pending: VecDeque<Frame>,
+    /// Submits written but not yet completed.
+    outstanding: u32,
+    window: u32,
+}
+
+/// One remote worker as seen by the driver.
+struct WorkerLink {
+    node: u32,
+    addr: String,
+    name: String,
+    writer: Mutex<LinkState>,
+    /// Wall-µs of the last frame received (any kind).
+    last_seen_us: AtomicU64,
+    hb_seq: AtomicU64,
+}
+
+impl WorkerLink {
+    /// Shut the socket down so the blocked reader thread notices; all
+    /// failover logic then runs in that one thread.
+    fn sever(&self) {
+        let st = self.writer.lock();
+        if let Some(s) = st.stream.as_ref() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+struct Inner {
+    shared: Arc<Shared>,
+    workers: Vec<Arc<WorkerLink>>,
+    cfg: DistributedConfig,
+    stop: AtomicBool,
+}
+
+/// Driver-side connection manager: owns one [`WorkerLink`] per worker plus
+/// the reader/monitor threads.
+pub(crate) struct ConnMgr {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A freshly connected worker before the runtime exists: the socket plus
+/// what its `Hello` advertised.
+pub(crate) struct WorkerBootstrap {
+    pub stream: TcpStream,
+    pub addr: String,
+    pub name: String,
+    pub cores: u32,
+    pub gpus: u32,
+    pub mem_gib: u32,
+}
+
+/// Connect to every worker and collect their `Hello`s. Retries each
+/// address until `connect_timeout` so workers racing the driver to start
+/// (the ci.sh smoke pattern) are tolerated.
+pub(crate) fn connect_workers(
+    addrs: &[String],
+    timeout: Duration,
+) -> io::Result<Vec<WorkerBootstrap>> {
+    addrs
+        .iter()
+        .map(|addr| {
+            let deadline = std::time::Instant::now() + timeout;
+            let stream = loop {
+                match TcpStream::connect(addr.as_str()) {
+                    Ok(s) => break s,
+                    Err(e) if std::time::Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(e) => {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!("connecting to worker {addr}: {e}"),
+                        ))
+                    }
+                }
+            };
+            stream.set_nodelay(true).ok();
+            hello_handshake(stream, addr.clone())
+        })
+        .collect()
+}
+
+/// Read the `Hello` a worker sends on connect.
+fn hello_handshake(mut stream: TcpStream, addr: String) -> io::Result<WorkerBootstrap> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = FrameReader::new();
+    let frame = read_frame(&mut stream, &mut reader)?;
+    stream.set_read_timeout(None)?;
+    match frame {
+        Some(Frame::Hello { name, cores, gpus, mem_gib }) => {
+            Ok(WorkerBootstrap { stream, addr, name, cores, gpus, mem_gib })
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("worker {addr} did not say Hello (got {other:?})"),
+        )),
+    }
+}
+
+impl ConnMgr {
+    /// Wire up the links and spawn reader + monitor threads. `boots` are in
+    /// node-id order (the same order the cluster spec was built in).
+    pub fn start(
+        shared: Arc<Shared>,
+        boots: Vec<WorkerBootstrap>,
+        cfg: DistributedConfig,
+    ) -> ConnMgr {
+        let workers: Vec<Arc<WorkerLink>> = boots
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let window = cfg.window.unwrap_or(b.cores.saturating_mul(2)).max(1);
+                Arc::new(WorkerLink {
+                    node: i as u32,
+                    addr: b.addr,
+                    name: b.name,
+                    writer: Mutex::new(LinkState {
+                        stream: Some(b.stream),
+                        fn_ids: HashMap::new(),
+                        next_fn_id: 1,
+                        pending: VecDeque::new(),
+                        outstanding: 0,
+                        window,
+                    }),
+                    last_seen_us: AtomicU64::new(shared.wall_us()),
+                    hb_seq: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        let inner = Arc::new(Inner { shared, workers, cfg, stop: AtomicBool::new(false) });
+        let mut threads = Vec::new();
+        for link in &inner.workers {
+            let inner = Arc::clone(&inner);
+            let link = Arc::clone(link);
+            threads.push(std::thread::spawn(move || reader_thread(inner, link)));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || monitor_thread(inner)));
+        }
+        ConnMgr { inner, threads }
+    }
+
+    /// Worker display labels, indexed by node id: `name@addr`.
+    pub fn labels(&self) -> Vec<String> {
+        self.inner.workers.iter().map(|w| format!("{}@{}", w.name, w.addr)).collect()
+    }
+
+    /// Place every placeable ready task for remote execution. Call with the
+    /// core locked; pair with [`ConnMgr::send`] after unlocking.
+    pub fn collect_dispatch_remote(&self, core: &mut Core) -> Vec<RemoteDispatch> {
+        collect_dispatch_remote(&self.inner.shared, core)
+    }
+
+    /// Encode and transmit prepared dispatches (batched per worker), then
+    /// emit their dispatch trace events. Call *without* the core lock.
+    pub fn send(&self, work: Vec<RemoteDispatch>) {
+        send_dispatches(&self.inner, work);
+    }
+
+    /// Graceful stop: send `Shutdown` to every live worker, sever the
+    /// sockets, and join the threads.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for link in &self.inner.workers {
+            {
+                let mut st = link.writer.lock();
+                if let Some(stream) = st.stream.as_mut() {
+                    let _ = write_frame(stream, &Frame::Shutdown);
+                }
+            }
+            link.sever();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The core-locked half of dispatch, mirroring the threaded backend's
+/// `collect_dispatch`: pop placeable tasks, decide inline-vs-cached per
+/// input, register the `RunningExec`. Values are cloned (`Arc` bumps) here
+/// and encoded later, off-lock.
+pub(crate) fn collect_dispatch_remote(shared: &Shared, core: &mut Core) -> Vec<RemoteDispatch> {
+    let measure = shared.metrics.enabled();
+    let mut msgs = Vec::new();
+    loop {
+        let decision_started = measure.then(std::time::Instant::now);
+        let popped = {
+            // Disjoint field borrows: the locality closure reads data and
+            // instances while the scheduler is borrowed mutably.
+            let Core { sched, data, instances, .. } = core;
+            sched.pop_placeable(|t, n| {
+                instances.get(&t).map_or(0, |inst| data.locality_score(&inst.reads(), n))
+            })
+        };
+        if let Some(t0) = decision_started {
+            shared.metrics.sched_decision.record(t0.elapsed().as_micros() as u64);
+        }
+        let Some((entry, placement)) = popped else { break };
+        let placement = Arc::new(placement);
+        let task = entry.task;
+        let node = placement.node;
+        let inst = core.instances.get(&task).expect("ready task has an instance");
+        let name = Arc::clone(&inst.def.name);
+        let attempt = inst.attempt;
+        let submitted_us = inst.submitted_us;
+        let reads = inst.reads();
+        let mut args = Vec::with_capacity(reads.len());
+        for v in reads {
+            let key = data_key(v);
+            if core.data.is_on_node(v, node) {
+                args.push(PreparedArg { key, value: None });
+            } else {
+                let value = core.data.get(v).expect("ready task inputs are computed");
+                // Optimistic residency: the worker caches inline args as
+                // they arrive, in submit order, so later submits on this
+                // socket may rely on it. Cleared if the connection drops.
+                core.data.add_location(v, node);
+                args.push(PreparedArg { key, value: Some(value) });
+            }
+        }
+        let now = shared.wall_us();
+        shared.metrics.dispatched.incr();
+        shared.metrics.dep_wait.record(now.saturating_sub(submitted_us));
+        let exec_id = core.next_exec;
+        core.next_exec += 1;
+        core.running.insert(
+            exec_id,
+            RunningExec {
+                task,
+                placement: Arc::clone(&placement),
+                constraint: entry.constraint,
+                attempt,
+                start_us: now,
+            },
+        );
+        core.graph.set_running(task);
+        msgs.push(RemoteDispatch {
+            exec_id,
+            node,
+            task_id: task.0,
+            attempt,
+            variant: placement.variant as u32,
+            cores: placement.cores.clone(),
+            gpus: placement.gpus.clone(),
+            args,
+            name,
+            start_us: now,
+        });
+    }
+    shared.metrics.ready_depth.set(core.sched.ready_len() as f64);
+    shared.metrics.running.set(core.running.len() as f64);
+    msgs
+}
+
+/// Off-lock half of dispatch: encode values, intern names, batch frames
+/// per worker under its window, write once per worker.
+fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
+    if work.is_empty() {
+        return;
+    }
+    // Dispatch trace events first (cheap, lock-free collector).
+    for d in &work {
+        inner.shared.trace.event(
+            CoreId::new(d.node, d.cores.first().copied().unwrap_or(0)),
+            d.start_us,
+            EventKind::TaskDispatch(TaskRef::new(d.task_id, Arc::clone(&d.name))),
+        );
+    }
+    let mut undeliverable: Vec<(u64, String)> = Vec::new();
+    let mut dead_links: Vec<Arc<WorkerLink>> = Vec::new();
+    let mut by_node: HashMap<u32, Vec<RemoteDispatch>> = HashMap::new();
+    for d in work {
+        by_node.entry(d.node).or_default().push(d);
+    }
+    for (node, batch) in by_node {
+        let link = &inner.workers[node as usize];
+        let mut frames = Vec::with_capacity(batch.len());
+        let mut st = link.writer.lock();
+        for d in batch {
+            let mut args = Vec::with_capacity(d.args.len());
+            let mut encode_err = None;
+            for a in &d.args {
+                match &a.value {
+                    None => args.push(WireArg::Cached { key: a.key }),
+                    Some(v) => match codec::encode_value(v) {
+                        Some(blob) => args.push(WireArg::Inline { key: a.key, blob }),
+                        None => {
+                            encode_err = Some(format!(
+                                "no wire codec registered for an input of task '{}'",
+                                d.name
+                            ));
+                            break;
+                        }
+                    },
+                }
+            }
+            if let Some(msg) = encode_err {
+                undeliverable.push((d.exec_id, msg));
+                continue;
+            }
+            let fn_name = if st.fn_ids.contains_key(&d.name) {
+                None
+            } else {
+                let id = st.next_fn_id;
+                st.next_fn_id += 1;
+                st.fn_ids.insert(Arc::clone(&d.name), id);
+                Some(d.name.to_string())
+            };
+            let fn_id = st.fn_ids[&d.name];
+            frames.push(Frame::Submit {
+                exec_id: d.exec_id,
+                task_id: d.task_id,
+                attempt: d.attempt,
+                node: d.node,
+                fn_id,
+                fn_name,
+                variant: d.variant,
+                cores: d.cores,
+                gpus: d.gpus,
+                args,
+            });
+        }
+        st.pending.extend(frames);
+        if !flush_pending(&inner.shared, &mut st) {
+            dead_links.push(Arc::clone(link));
+        }
+    }
+    // Encoding failures become failed attempts under the normal retry
+    // machinery (they will exhaust retries and cascade).
+    if !undeliverable.is_empty() {
+        let now = inner.shared.wall_us();
+        let follow = {
+            let mut core = inner.shared.core.lock();
+            for (exec_id, msg) in undeliverable {
+                complete_attempt(
+                    &inner.shared,
+                    &mut core,
+                    exec_id,
+                    Err(TaskError::new(msg)),
+                    now,
+                    false,
+                );
+            }
+            collect_dispatch_remote(&inner.shared, &mut core)
+        };
+        inner.shared.cv.notify_all();
+        send_dispatches(inner, follow);
+    }
+    // A write error means the connection is gone: sever it so the reader
+    // thread runs the one true failover path.
+    for link in dead_links {
+        link.sever();
+    }
+}
+
+/// Write as many pending submits as the window allows, as one batch.
+/// Returns `false` when the socket write failed (link is dead).
+fn flush_pending(shared: &Shared, st: &mut LinkState) -> bool {
+    if st.stream.is_none() {
+        return true; // already severed; frames stay pending until failover
+    }
+    let n = (st.window.saturating_sub(st.outstanding) as usize).min(st.pending.len());
+    if n == 0 {
+        return true;
+    }
+    let batch: Vec<Frame> = st.pending.drain(..n).collect();
+    let stream = st.stream.as_mut().expect("checked above");
+    match write_frames(stream, &batch) {
+        Ok(bytes) => {
+            st.outstanding += n as u32;
+            shared.metrics.net_bytes_sent.add(bytes as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Counting adapter so every byte read from a worker lands in the
+/// `rnet_bytes_received_total` series.
+struct CountingRead<'a> {
+    inner: &'a mut TcpStream,
+    counter: &'a runmetrics::Counter,
+}
+
+impl Read for CountingRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counter.add(n as u64);
+        Ok(n)
+    }
+}
+
+/// Per-worker reader: turn incoming frames into runtime actions until the
+/// connection dies, then run failover (optionally reconnecting).
+fn reader_thread(inner: Arc<Inner>, link: Arc<WorkerLink>) {
+    loop {
+        reader_loop(&inner, &link);
+        if !handle_disconnect(&inner, &link) {
+            return;
+        }
+    }
+}
+
+fn reader_loop(inner: &Arc<Inner>, link: &Arc<WorkerLink>) {
+    let Some(mut stream) = link.writer.lock().stream.as_ref().and_then(|s| s.try_clone().ok())
+    else {
+        return;
+    };
+    let mut reader = FrameReader::new();
+    loop {
+        let frame = {
+            let mut counting = CountingRead {
+                inner: &mut stream,
+                counter: &inner.shared.metrics.net_bytes_received,
+            };
+            match read_frame(&mut counting, &mut reader) {
+                Ok(Some(f)) => f,
+                Ok(None) | Err(_) => return,
+            }
+        };
+        link.last_seen_us.store(inner.shared.wall_us(), Ordering::Relaxed);
+        match frame {
+            Frame::Done { exec_id, outputs } => {
+                let result = decode_outputs(outputs);
+                handle_completion(inner, link, exec_id, result);
+            }
+            Frame::Failed { exec_id, message } => {
+                handle_completion(inner, link, exec_id, Err(TaskError::new(message)));
+            }
+            Frame::HeartbeatAck { .. } => {}
+            Frame::Fetch { key } => {
+                let value = inner.shared.core.lock().data.get(key_version(key));
+                let reply = value.and_then(|v| codec::encode_value(&v)).map(|blob| {
+                    Frame::Data { key, blob }
+                });
+                let mut st = link.writer.lock();
+                if let (Some(frame), Some(stream)) = (reply, st.stream.as_mut()) {
+                    match write_frame(stream, &frame) {
+                        Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
+                        Err(_) => return,
+                    }
+                }
+            }
+            // Workers don't originate these driver-bound frames.
+            Frame::Hello { .. }
+            | Frame::Submit { .. }
+            | Frame::Heartbeat { .. }
+            | Frame::Data { .. }
+            | Frame::Shutdown => {}
+        }
+    }
+}
+
+fn decode_outputs(outputs: Vec<Blob>) -> Result<Vec<Value>, TaskError> {
+    outputs
+        .iter()
+        .map(|b| {
+            codec::decode_value(b)
+                .map_err(|e| TaskError::new(format!("undecodable task output: {e}")))
+        })
+        .collect()
+}
+
+/// One `Done`/`Failed` frame: bookkeeping under the lock, traces and
+/// follow-on dispatch outside it. Late frames for already-failed-over
+/// executions are ignored (`running` no longer knows the exec id).
+fn handle_completion(
+    inner: &Arc<Inner>,
+    link: &Arc<WorkerLink>,
+    exec_id: u64,
+    result: Result<Vec<Value>, TaskError>,
+) {
+    {
+        let mut st = link.writer.lock();
+        st.outstanding = st.outstanding.saturating_sub(1);
+        if !flush_pending(&inner.shared, &mut st) {
+            drop(st);
+            link.sever();
+        }
+    }
+    let now = inner.shared.wall_us();
+    let (info, follow) = {
+        let mut core = inner.shared.core.lock();
+        let info = core.running.get(&exec_id).map(|run| {
+            let name = core
+                .instances
+                .get(&run.task)
+                .map(|i| Arc::clone(&i.def.name))
+                .unwrap_or_else(|| Arc::from("?"));
+            (run.task, Arc::clone(&run.placement), run.start_us, name)
+        });
+        complete_attempt(&inner.shared, &mut core, exec_id, result, now, false);
+        let follow = collect_dispatch_remote(&inner.shared, &mut core);
+        (info, follow)
+    };
+    if let Some((task, placement, start_us, name)) = info {
+        inner.shared.metrics.rpc_latency.record(now.saturating_sub(start_us));
+        inner.shared.metrics.record_node_task(&format!("{}@{}", link.name, link.addr));
+        let task_ref = TaskRef::new(task.0, name);
+        for (node, cores) in placement.node_cores() {
+            for &c in cores {
+                inner.shared.trace.task_run(
+                    CoreId::new(node, c),
+                    start_us,
+                    now.max(start_us + 1),
+                    task_ref.clone(),
+                );
+            }
+        }
+        inner.shared.trace.event(
+            CoreId::new(placement.node, placement.cores.first().copied().unwrap_or(0)),
+            now,
+            EventKind::TaskEnd(task_ref),
+        );
+    }
+    inner.shared.cv.notify_all();
+    send_dispatches(inner, follow);
+}
+
+/// Failover for a dead connection. Returns `true` if the link was revived
+/// (reader should resume), `false` if the worker is gone for good (or the
+/// runtime is shutting down).
+fn handle_disconnect(inner: &Arc<Inner>, link: &Arc<WorkerLink>) -> bool {
+    if inner.stop.load(Ordering::SeqCst) {
+        return false;
+    }
+    let node = link.node;
+    let now = inner.shared.wall_us();
+    inner.shared.metrics.workers_lost.incr();
+    inner.shared.metrics.node_failures.incr();
+    inner.shared.trace.event(CoreId::new(node, 0), now, EventKind::NodeFailure);
+    // Orphaned in-flight executions fail over; stale state is wiped.
+    {
+        let mut core = inner.shared.core.lock();
+        core.sched.kill_node(node);
+        core.data.clear_node_locations(node);
+        let orphans: Vec<u64> = core
+            .running
+            .iter()
+            .filter(|(_, r)| r.placement.involves(node))
+            .map(|(&e, _)| e)
+            .collect();
+        for e in orphans {
+            complete_attempt(
+                &inner.shared,
+                &mut core,
+                e,
+                Err(TaskError::new(format!("worker {} connection lost", link.addr))),
+                now,
+                true,
+            );
+        }
+    }
+    {
+        let mut st = link.writer.lock();
+        st.stream = None;
+        st.outstanding = 0;
+        st.fn_ids.clear();
+        st.next_fn_id = 1;
+        // Pending submits are for executions just failed over; drop them.
+        st.pending.clear();
+    }
+    if inner.cfg.reconnect {
+        if let Ok(boot) =
+            connect_workers(std::slice::from_ref(&link.addr), inner.cfg.connect_timeout)
+                .map(|mut v| v.remove(0))
+        {
+            {
+                let mut st = link.writer.lock();
+                st.stream = Some(boot.stream);
+            }
+            link.last_seen_us.store(inner.shared.wall_us(), Ordering::Relaxed);
+            inner.shared.metrics.net_reconnects.incr();
+            let follow = {
+                let mut core = inner.shared.core.lock();
+                core.sched.revive_node(node);
+                collect_dispatch_remote(&inner.shared, &mut core)
+            };
+            inner.shared.cv.notify_all();
+            send_dispatches(inner, follow);
+            return true;
+        }
+    }
+    // No way back: anything the surviving cluster can never run fails now
+    // rather than hanging the barrier; the rest re-dispatches.
+    let follow = {
+        let mut core = inner.shared.core.lock();
+        let doomed = core.sched.drain_unsatisfiable();
+        for entry in doomed {
+            fail_task_cascade(&inner.shared, &mut core, entry.task);
+        }
+        collect_dispatch_remote(&inner.shared, &mut core)
+    };
+    inner.shared.cv.notify_all();
+    send_dispatches(inner, follow);
+    false
+}
+
+/// Heartbeat pacing + silence detection for every link.
+fn monitor_thread(inner: Arc<Inner>) {
+    let timeout_us = inner.cfg.heartbeat_timeout.as_micros() as u64;
+    while !inner.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(inner.cfg.heartbeat_interval);
+        let now = inner.shared.wall_us();
+        for link in &inner.workers {
+            let mut st = link.writer.lock();
+            let Some(stream) = st.stream.as_mut() else { continue };
+            let seq = link.hb_seq.fetch_add(1, Ordering::Relaxed);
+            match write_frame(stream, &Frame::Heartbeat { seq }) {
+                Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
+                Err(_) => {
+                    drop(st);
+                    link.sever();
+                    continue;
+                }
+            }
+            drop(st);
+            let silent = now.saturating_sub(link.last_seen_us.load(Ordering::Relaxed));
+            if silent > timeout_us {
+                // The reader is blocked on a dead peer; kick it into the
+                // failover path.
+                link.sever();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Resources a worker daemon advertises in its `Hello`.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Display name, e.g. `w0` (shows up in driver-side labels).
+    pub name: String,
+    /// Executor threads / schedulable cores.
+    pub cores: u32,
+    /// GPUs to advertise.
+    pub gpus: u32,
+    /// Memory to advertise, GiB.
+    pub mem_gib: u32,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            name: "worker".to_string(),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+            gpus: 0,
+            mem_gib: 16,
+        }
+    }
+}
+
+/// A task execution daemon: accepts driver connections, executes submitted
+/// tasks from a [`TaskRegistry`], and streams results back.
+pub struct WorkerServer {
+    listener: TcpListener,
+    cfg: WorkerConfig,
+    registry: Arc<TaskRegistry>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+/// Control handle for a worker running on a background thread.
+pub struct WorkerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl WorkerServer {
+    /// Bind to `addr` (use port 0 for an OS-assigned loopback port in
+    /// tests) with the given resources and task registry.
+    pub fn bind(
+        addr: &str,
+        cfg: WorkerConfig,
+        registry: TaskRegistry,
+    ) -> io::Result<WorkerServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(WorkerServer {
+            listener,
+            cfg,
+            registry: Arc::new(registry),
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve connections until halted. Each accepted driver connection gets
+    /// its own reader thread plus `cores` executor threads.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    if let Ok(clone) = stream.try_clone() {
+                        self.conns.lock().push(clone);
+                    }
+                    let cfg = self.cfg.clone();
+                    let registry = Arc::clone(&self.registry);
+                    let stop = Arc::clone(&self.stop);
+                    std::thread::spawn(move || serve_conn(stream, cfg, registry, stop));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Run on a background thread, returning a control handle (the
+    /// in-process form the loopback tests and benches use).
+    pub fn spawn(self) -> io::Result<WorkerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let conns = Arc::clone(&self.conns);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(WorkerHandle { addr, stop, conns, thread: Some(thread) })
+    }
+}
+
+impl WorkerHandle {
+    /// The worker's listen address, as a string the driver can connect to.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// SIGKILL-equivalent: stop accepting, silence every executor (no more
+    /// result frames leave this worker), and sever all connections. From
+    /// the driver's point of view the worker vanishes mid-task.
+    pub fn halt(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for c in self.conns.lock().iter() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// A detached closure that [`Self::halt`]s this worker — hand it to a
+    /// killer thread while the test's main thread is blocked in a run.
+    pub fn stopper(&self) -> impl Fn() + Send + 'static {
+        let stop = Arc::clone(&self.stop);
+        let conns = Arc::clone(&self.conns);
+        move || {
+            stop.store(true, Ordering::SeqCst);
+            for c in conns.lock().iter() {
+                let _ = c.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Sever current connections but keep serving new ones — the
+    /// transient-network-failure half of the reconnect story.
+    pub fn drop_connections(&self) {
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Halt and join the accept loop.
+    pub fn join(mut self) -> io::Result<()> {
+        self.halt();
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or_else(|_| {
+                Err(io::Error::other("worker accept loop panicked"))
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.halt();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One submitted task as queued on the worker: args are cache keys (inline
+/// values were decoded and cached by the reader before queueing, so
+/// same-socket ordering guarantees hold).
+struct Job {
+    exec_id: u64,
+    task_id: u64,
+    attempt: u32,
+    node: u32,
+    name: Arc<str>,
+    variant: u32,
+    cores: Vec<u32>,
+    gpus: Vec<u32>,
+    arg_keys: Vec<u64>,
+}
+
+/// State shared between one connection's reader and its executors.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    cache: Mutex<HashMap<u64, Value>>,
+    cache_cv: Condvar,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    closed: AtomicBool,
+    stop: Arc<AtomicBool>,
+}
+
+fn serve_conn(
+    mut stream: TcpStream,
+    cfg: WorkerConfig,
+    registry: Arc<TaskRegistry>,
+    stop: Arc<AtomicBool>,
+) {
+    let hello = Frame::Hello {
+        name: cfg.name.clone(),
+        cores: cfg.cores,
+        gpus: cfg.gpus,
+        mem_gib: cfg.mem_gib,
+    };
+    let Ok(writer) = stream.try_clone() else { return };
+    let conn = Arc::new(ConnShared {
+        writer: Mutex::new(writer),
+        cache: Mutex::new(HashMap::new()),
+        cache_cv: Condvar::new(),
+        jobs: Mutex::new(VecDeque::new()),
+        jobs_cv: Condvar::new(),
+        closed: AtomicBool::new(false),
+        stop,
+    });
+    if write_frame(&mut *conn.writer.lock(), &hello).is_err() {
+        return;
+    }
+    let executors: Vec<JoinHandle<()>> = (0..cfg.cores.max(1))
+        .map(|_| {
+            let conn = Arc::clone(&conn);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || executor_loop(conn, registry))
+        })
+        .collect();
+
+    let mut fn_names: HashMap<u64, Arc<str>> = HashMap::new();
+    let mut reader = FrameReader::new();
+    loop {
+        match read_frame(&mut stream, &mut reader) {
+            Ok(Some(Frame::Submit {
+                exec_id,
+                task_id,
+                attempt,
+                node,
+                fn_id,
+                fn_name,
+                variant,
+                cores,
+                gpus,
+                args,
+            })) => {
+                if let Some(name) = fn_name {
+                    fn_names.insert(fn_id, Arc::from(name.as_str()));
+                }
+                let name = fn_names.get(&fn_id).cloned().unwrap_or_else(|| Arc::from("?"));
+                let mut arg_keys = Vec::with_capacity(args.len());
+                let mut bad_arg = None;
+                for a in args {
+                    match a {
+                        WireArg::Inline { key, blob } => match codec::decode_value(&blob) {
+                            Ok(v) => {
+                                conn.cache.lock().insert(key, v);
+                                conn.cache_cv.notify_all();
+                                arg_keys.push(key);
+                            }
+                            Err(e) => bad_arg = Some(e.to_string()),
+                        },
+                        WireArg::Cached { key } => arg_keys.push(key),
+                    }
+                }
+                if let Some(msg) = bad_arg {
+                    let frame = Frame::Failed { exec_id, message: msg };
+                    if write_frame(&mut *conn.writer.lock(), &frame).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                let job = Job {
+                    exec_id,
+                    task_id,
+                    attempt,
+                    node,
+                    name,
+                    variant,
+                    cores,
+                    gpus,
+                    arg_keys,
+                };
+                conn.jobs.lock().push_back(job);
+                conn.jobs_cv.notify_one();
+            }
+            Ok(Some(Frame::Heartbeat { seq })) => {
+                if write_frame(&mut *conn.writer.lock(), &Frame::HeartbeatAck { seq }).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Frame::Data { key, blob })) => {
+                if let Ok(v) = codec::decode_value(&blob) {
+                    conn.cache.lock().insert(key, v);
+                    conn.cache_cv.notify_all();
+                }
+            }
+            Ok(Some(Frame::Shutdown)) | Ok(None) | Err(_) => break,
+            Ok(Some(_)) => {} // other frames are driver-bound; ignore
+        }
+    }
+    conn.closed.store(true, Ordering::SeqCst);
+    conn.jobs_cv.notify_all();
+    conn.cache_cv.notify_all();
+    for t in executors {
+        let _ = t.join();
+    }
+}
+
+/// Wait for `key` in the connection cache, requesting it from the driver
+/// once if it is missing (cold cache after a reconnect).
+fn resolve_arg(conn: &ConnShared, key: u64) -> Result<Value, TaskError> {
+    let cache = conn.cache.lock();
+    if let Some(v) = cache.get(&key) {
+        return Ok(v.clone());
+    }
+    drop(cache);
+    let fetch = Frame::Fetch { key };
+    if write_frame(&mut *conn.writer.lock(), &fetch).is_err() {
+        return Err(TaskError::new("connection lost while fetching an input"));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut cache = conn.cache.lock();
+    loop {
+        if let Some(v) = cache.get(&key) {
+            return Ok(v.clone());
+        }
+        if conn.closed.load(Ordering::SeqCst) || std::time::Instant::now() >= deadline {
+            return Err(TaskError::new("timed out fetching a task input"));
+        }
+        conn.cache_cv.wait_for(&mut cache, Duration::from_millis(50));
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+fn executor_loop(conn: Arc<ConnShared>, registry: Arc<TaskRegistry>) {
+    loop {
+        let job = {
+            let mut jobs = conn.jobs.lock();
+            loop {
+                if let Some(j) = jobs.pop_front() {
+                    break j;
+                }
+                if conn.closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                conn.jobs_cv.wait(&mut jobs);
+            }
+        };
+        let frame = run_job(&conn, &registry, &job);
+        // A halted worker goes silent — the driver must see it as a crash,
+        // not a graceful completion.
+        if conn.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if write_frame(&mut *conn.writer.lock(), &frame).is_err() {
+            return;
+        }
+    }
+}
+
+fn run_job(conn: &ConnShared, registry: &TaskRegistry, job: &Job) -> Frame {
+    let fail = |message: String| Frame::Failed { exec_id: job.exec_id, message };
+    let Some(body) = registry.body(&job.name, job.variant) else {
+        return fail(format!("worker has no task '{}' (variant {})", job.name, job.variant));
+    };
+    let mut inputs = Vec::with_capacity(job.arg_keys.len());
+    for &key in &job.arg_keys {
+        match resolve_arg(conn, key) {
+            Ok(v) => inputs.push(v),
+            Err(e) => return fail(e.message),
+        }
+    }
+    let ctx = TaskContext {
+        task: TaskId(job.task_id),
+        attempt: job.attempt,
+        node: job.node,
+        cores: job.cores.clone(),
+        gpus: job.gpus.clone(),
+        peer_nodes: Vec::new(),
+        simulated: false,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| body(&ctx, &inputs)))
+        .unwrap_or_else(|p| Err(TaskError::new(panic_message(p))));
+    match result {
+        Ok(values) => {
+            let mut outputs = Vec::with_capacity(values.len());
+            for v in &values {
+                match codec::encode_value(v) {
+                    Some(blob) => outputs.push(blob),
+                    None => {
+                        return fail(format!(
+                            "no wire codec registered for an output of task '{}'",
+                            job.name
+                        ))
+                    }
+                }
+            }
+            Frame::Done { exec_id: job.exec_id, outputs }
+        }
+        Err(e) => fail(e.message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_keys_roundtrip() {
+        for (h, v) in [(0u64, 1u32), (1, 1), (7, 3), (u32::MAX as u64, u32::MAX)] {
+            let dv = DataVersion { handle: DataHandle(h), version: v };
+            assert_eq!(key_version(data_key(dv)), dv);
+        }
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = DistributedConfig::default();
+        assert!(c.heartbeat_timeout > c.heartbeat_interval);
+        assert!(c.window.is_none());
+        assert!(!c.reconnect);
+        let w = WorkerConfig::default();
+        assert!(w.cores >= 1);
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`sim`] — tasks execute at virtual timestamps driven by a
 //!   deterministic event queue; durations come from cost models. Use to
 //!   reproduce cluster-scale behaviour (Figures 4–6, 9) on one machine.
+//! * [`distributed`] — tasks execute on remote worker daemons over TCP
+//!   (the `rnet` wire protocol); timestamps are wall time. Use to spread
+//!   real work across machines, or across processes on one machine.
 
+pub mod distributed;
 pub mod sim;
 pub mod threaded;

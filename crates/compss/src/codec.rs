@@ -1,0 +1,311 @@
+//! Wire codecs for type-erased [`Value`]s.
+//!
+//! The distributed backend ships task arguments and results between
+//! processes, but [`Value`] is an `Arc<dyn Any>` — the runtime cannot
+//! serialise it generically. This module is the bridge: a process-wide
+//! registry mapping concrete Rust types to tagged byte codecs. Both sides
+//! of a connection register the same codecs (the built-in primitives are
+//! always present; applications add their own, e.g. the HPO layer's
+//! `Config` and trial-outcome codecs) and the tag travels with the bytes
+//! in each [`rnet::Blob`], so decode never has to guess.
+//!
+//! Registration is append-only and idempotent per tag; codecs are looked
+//! up on the dispatch path, so reads take a shared lock only.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use rnet::{Blob, Reader, WireError};
+
+use crate::data::Value;
+
+/// Serialise the concrete value behind a [`Value`] into bytes.
+type EncodeFn = Arc<dyn Fn(&Value) -> Option<Vec<u8>> + Send + Sync>;
+/// Rebuild a [`Value`] from codec bytes.
+type DecodeFn = Arc<dyn Fn(&[u8]) -> Result<Value, WireError> + Send + Sync>;
+
+#[derive(Default)]
+struct Registry {
+    by_type: HashMap<TypeId, (Arc<str>, EncodeFn)>,
+    by_tag: HashMap<Arc<str>, DecodeFn>,
+}
+
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let lock = RwLock::new(Registry::default());
+        register_builtins(&lock);
+        lock
+    })
+}
+
+/// Register a codec for concrete type `T` under `tag`.
+///
+/// `enc` turns a `&T` into bytes, `dec` parses them back. Both sides of a
+/// distributed run must register the same `(tag, T)` pairs — tags are the
+/// on-wire identity. Re-registering a tag replaces the previous codec
+/// (last writer wins), which keeps repeated test setups idempotent.
+pub fn register_codec<T, E, D>(tag: &str, enc: E, dec: D)
+where
+    T: Any + Send + Sync,
+    E: Fn(&T) -> Vec<u8> + Send + Sync + 'static,
+    D: Fn(&[u8]) -> Result<T, WireError> + Send + Sync + 'static,
+{
+    let tag: Arc<str> = tag.into();
+    let encode: EncodeFn = Arc::new(move |v: &Value| v.downcast_ref::<T>().map(&enc));
+    let decode: DecodeFn = Arc::new(move |bytes| dec(bytes).map(Value::new));
+    let mut reg = registry().write().expect("codec registry poisoned");
+    reg.by_type.insert(TypeId::of::<T>(), (tag.clone(), encode));
+    reg.by_tag.insert(tag, decode);
+}
+
+/// Encode a [`Value`] into a tagged [`Blob`], or `None` if no codec is
+/// registered for its concrete type (the caller fails the task with a
+/// useful message rather than panicking the runtime).
+pub fn encode_value(value: &Value) -> Option<Blob> {
+    let reg = registry().read().expect("codec registry poisoned");
+    let (tag, enc) = reg.by_type.get(&value.concrete_type_id())?;
+    let bytes = enc(value)?;
+    Some(Blob { tag: tag.to_string(), bytes })
+}
+
+/// Decode a tagged [`Blob`] back into a [`Value`].
+pub fn decode_value(blob: &Blob) -> Result<Value, WireError> {
+    let dec = {
+        let reg = registry().read().expect("codec registry poisoned");
+        reg.by_tag.get(blob.tag.as_str()).cloned()
+    };
+    match dec {
+        Some(dec) => dec(&blob.bytes),
+        None => Err(WireError("no codec registered for blob tag".into())),
+    }
+}
+
+/// Whether a codec exists for the concrete type inside `value`.
+pub fn can_encode(value: &Value) -> bool {
+    let reg = registry().read().expect("codec registry poisoned");
+    reg.by_type.contains_key(&value.concrete_type_id())
+}
+
+fn register_builtins(lock: &RwLock<Registry>) {
+    // Inlined register_codec against an explicit lock, because the global
+    // registry() is still mid-initialisation when this runs.
+    fn put<T, E, D>(lock: &RwLock<Registry>, tag: &str, enc: E, dec: D)
+    where
+        T: Any + Send + Sync,
+        E: Fn(&T) -> Vec<u8> + Send + Sync + 'static,
+        D: Fn(&[u8]) -> Result<T, WireError> + Send + Sync + 'static,
+    {
+        let tag: Arc<str> = tag.into();
+        let encode: EncodeFn = Arc::new(move |v: &Value| v.downcast_ref::<T>().map(&enc));
+        let decode: DecodeFn = Arc::new(move |bytes| dec(bytes).map(Value::new));
+        let mut reg = lock.write().expect("codec registry poisoned");
+        reg.by_type.insert(TypeId::of::<T>(), (tag.clone(), encode));
+        reg.by_tag.insert(tag, decode);
+    }
+
+    fn whole(bytes: &[u8]) -> Reader<'_> {
+        Reader::new(bytes)
+    }
+
+    put::<i64, _, _>(
+        lock,
+        "std.i64",
+        |v| {
+            let mut b = Vec::new();
+            rnet::wire::put_u64(&mut b, *v as u64);
+            b
+        },
+        |bytes| whole(bytes).u64().map(|v| v as i64),
+    );
+    put::<u64, _, _>(
+        lock,
+        "std.u64",
+        |v| {
+            let mut b = Vec::new();
+            rnet::wire::put_u64(&mut b, *v);
+            b
+        },
+        |bytes| whole(bytes).u64(),
+    );
+    put::<u32, _, _>(
+        lock,
+        "std.u32",
+        |v| {
+            let mut b = Vec::new();
+            rnet::wire::put_u32(&mut b, *v);
+            b
+        },
+        |bytes| whole(bytes).u32(),
+    );
+    put::<f64, _, _>(
+        lock,
+        "std.f64",
+        |v| {
+            let mut b = Vec::new();
+            rnet::wire::put_f64(&mut b, *v);
+            b
+        },
+        |bytes| whole(bytes).f64(),
+    );
+    put::<bool, _, _>(
+        lock,
+        "std.bool",
+        |v| vec![u8::from(*v)],
+        |bytes| match bytes {
+            [0] => Ok(false),
+            [1] => Ok(true),
+            _ => Err(WireError("bool must be one byte 0/1".into())),
+        },
+    );
+    put::<String, _, _>(
+        lock,
+        "std.string",
+        |v| {
+            let mut b = Vec::new();
+            rnet::wire::put_str(&mut b, v);
+            b
+        },
+        |bytes| whole(bytes).str(),
+    );
+    put::<(), _, _>(lock, "std.unit", |_| Vec::new(), |_| Ok(()));
+    put::<Vec<f64>, _, _>(
+        lock,
+        "std.vec_f64",
+        |v| {
+            let mut b = Vec::new();
+            rnet::wire::put_u64(&mut b, v.len() as u64);
+            for x in v {
+                rnet::wire::put_f64(&mut b, *x);
+            }
+            b
+        },
+        |bytes| {
+            let mut r = Reader::new(bytes);
+            let n = r.u64()? as usize;
+            if n > bytes.len() {
+                return Err(WireError("vec_f64 length exceeds payload".into()));
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(r.f64()?);
+            }
+            Ok(out)
+        },
+    );
+    put::<Option<u32>, _, _>(
+        lock,
+        "std.opt_u32",
+        |v| {
+            let mut b = Vec::new();
+            match v {
+                Some(x) => {
+                    b.push(1);
+                    rnet::wire::put_u32(&mut b, *x);
+                }
+                None => b.push(0),
+            }
+            b
+        },
+        |bytes| match bytes.split_first() {
+            Some((0, [])) => Ok(None),
+            Some((1, rest)) => Reader::new(rest).u32().map(Some),
+            _ => Err(WireError("bad Option<u32> encoding".into())),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) -> Value {
+        let blob = encode_value(&v).expect("codec registered");
+        decode_value(&blob).expect("decodes")
+    }
+
+    #[test]
+    fn builtin_primitives_roundtrip() {
+        assert_eq!(roundtrip(Value::new(-42i64)).downcast_ref::<i64>(), Some(&-42));
+        assert_eq!(roundtrip(Value::new(7u64)).downcast_ref::<u64>(), Some(&7));
+        assert_eq!(roundtrip(Value::new(9u32)).downcast_ref::<u32>(), Some(&9));
+        assert_eq!(roundtrip(Value::new(1.5f64)).downcast_ref::<f64>(), Some(&1.5));
+        assert_eq!(roundtrip(Value::new(true)).downcast_ref::<bool>(), Some(&true));
+        assert_eq!(
+            roundtrip(Value::new("hi".to_string())).downcast_ref::<String>(),
+            Some(&"hi".to_string())
+        );
+        assert!(roundtrip(Value::new(())).is::<()>());
+        assert_eq!(
+            roundtrip(Value::new(vec![1.0f64, -2.25])).downcast_ref::<Vec<f64>>(),
+            Some(&vec![1.0, -2.25])
+        );
+        assert_eq!(
+            roundtrip(Value::new(Some(3u32))).downcast_ref::<Option<u32>>(),
+            Some(&Some(3))
+        );
+        assert_eq!(
+            roundtrip(Value::new(None::<u32>)).downcast_ref::<Option<u32>>(),
+            Some(&None)
+        );
+    }
+
+    #[test]
+    fn unregistered_type_is_refused_not_panicked() {
+        struct Opaque;
+        let v = Value::new(Opaque);
+        assert!(!can_encode(&v));
+        assert!(encode_value(&v).is_none());
+    }
+
+    #[test]
+    fn unknown_tag_fails_cleanly() {
+        let blob = Blob { tag: "nobody.registered.this".into(), bytes: vec![1, 2, 3] };
+        assert!(decode_value(&blob).is_err());
+    }
+
+    #[test]
+    fn custom_codec_registration_and_replacement() {
+        #[derive(PartialEq, Debug)]
+        struct Pair(u32, u32);
+        register_codec::<Pair, _, _>(
+            "test.pair",
+            |p| {
+                let mut b = Vec::new();
+                rnet::wire::put_u32(&mut b, p.0);
+                rnet::wire::put_u32(&mut b, p.1);
+                b
+            },
+            |bytes| {
+                let mut r = Reader::new(bytes);
+                Ok(Pair(r.u32()?, r.u32()?))
+            },
+        );
+        let got = roundtrip(Value::new(Pair(3, 9)));
+        assert_eq!(got.downcast_ref::<Pair>(), Some(&Pair(3, 9)));
+        // Re-register with a different encoding: last writer wins.
+        register_codec::<Pair, _, _>(
+            "test.pair",
+            |p| {
+                let mut b = Vec::new();
+                rnet::wire::put_u32(&mut b, p.1);
+                rnet::wire::put_u32(&mut b, p.0);
+                b
+            },
+            |bytes| {
+                let mut r = Reader::new(bytes);
+                let (b, a) = (r.u32()?, r.u32()?);
+                Ok(Pair(a, b))
+            },
+        );
+        let got = roundtrip(Value::new(Pair(3, 9)));
+        assert_eq!(got.downcast_ref::<Pair>(), Some(&Pair(3, 9)));
+    }
+
+    #[test]
+    fn corrupt_payload_errors() {
+        let blob = Blob { tag: "std.string".into(), bytes: vec![0xff, 0xff, 0xff] };
+        assert!(decode_value(&blob).is_err());
+    }
+}

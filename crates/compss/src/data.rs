@@ -36,6 +36,12 @@ impl Value {
     pub fn is<T: Any>(&self) -> bool {
         self.0.is::<T>()
     }
+
+    /// `TypeId` of the wrapped concrete value (not of the `Arc` wrapper);
+    /// the codec registry keys on this to serialise values for the wire.
+    pub fn concrete_type_id(&self) -> std::any::TypeId {
+        Any::type_id(&*self.0)
+    }
 }
 
 impl fmt::Debug for Value {
@@ -204,6 +210,15 @@ impl DataRegistry {
     /// Whether `v` is resident on `node`.
     pub fn is_on_node(&self, v: DataVersion, node: u32) -> bool {
         self.locations.get(&v).is_some_and(|s| s.contains(&node))
+    }
+
+    /// Forget every residency claim for `node` — called when a remote
+    /// worker dies or reconnects with a cold cache, so the dispatcher goes
+    /// back to shipping values inline instead of trusting stale residency.
+    pub fn clear_node_locations(&mut self, node: u32) {
+        for set in self.locations.values_mut() {
+            set.remove(&node);
+        }
     }
 
     /// Number of the given versions resident on `node` (locality score).

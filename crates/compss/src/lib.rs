@@ -36,6 +36,13 @@
 //!   `cluster` crate's virtual clusters; used to reproduce the paper's
 //!   multi-node experiments (Figures 4–6, 9) at MareNostrum scale on a
 //!   laptop.
+//! * [`backend::distributed`] — real execution on remote worker daemons
+//!   over TCP via the `rnet` wire protocol: the driver ships task inputs to
+//!   [`backend::distributed::WorkerServer`] processes, pipelines submits
+//!   under per-worker windows, detects dead workers by heartbeat, and
+//!   replays their in-flight tasks on the survivors. Values cross the wire
+//!   through the [`codec`] registry; workers resolve task names through a
+//!   shared [`registry::TaskRegistry`].
 //!
 //! [PyCOMPSs/COMPSs]: https://compss.bsc.es
 //!
@@ -59,15 +66,20 @@
 
 pub mod api;
 pub mod backend;
+pub mod codec;
 pub mod data;
 pub mod fault;
 pub mod graph;
 pub(crate) mod metrics;
+pub mod registry;
 pub mod runtime;
 pub mod scheduler;
 pub mod task;
 
 pub use api::{wait_on_all, TypedHandle};
+pub use backend::distributed::{DistributedConfig, WorkerConfig, WorkerHandle, WorkerServer};
+pub use codec::register_codec;
+pub use registry::TaskRegistry;
 pub use data::{DataHandle, DataVersion, Value};
 pub use fault::RetryPolicy;
 pub use runtime::{

@@ -29,6 +29,12 @@
 //! | `rcompss_dep_wait_us` | histogram | submission → dispatch wait per task |
 //! | `rcompss_transfer_time_us` | histogram | staging transfer durations |
 //! | `rcompss_task_latency_us{fn="…"}` | histogram | dispatch → completion per task function |
+//! | `rcompss_workers_lost_total` | counter | remote workers declared dead (distributed backend) |
+//! | `rnet_bytes_sent_total` | counter | protocol bytes written to workers |
+//! | `rnet_bytes_received_total` | counter | protocol bytes read from workers |
+//! | `rnet_reconnects_total` | counter | successful worker reconnections |
+//! | `rnet_rpc_latency_us` | histogram | submit → done/failed round trip per remote task |
+//! | `rcompss_node_tasks_completed_total{node="…"}` | counter | completions per remote worker (addr-labelled) |
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -59,6 +65,14 @@ pub(crate) struct RtMetrics {
     pub steals: Counter,
     /// Targeted `notify_one` signals issued to worker shards.
     pub wakeups: Counter,
+    /// Remote workers declared dead (distributed backend).
+    pub workers_lost: Counter,
+    /// Protocol bytes written to remote workers.
+    pub net_bytes_sent: Counter,
+    /// Protocol bytes read from remote workers.
+    pub net_bytes_received: Counter,
+    /// Successful worker reconnections.
+    pub net_reconnects: Counter,
     /// Ready tasks not yet placeable.
     pub ready_depth: Gauge,
     /// In-flight executions.
@@ -69,9 +83,14 @@ pub(crate) struct RtMetrics {
     pub dep_wait: Histogram,
     /// Staging transfer durations.
     pub transfer_time: Histogram,
+    /// Submit → done/failed round trip per remote task (distributed).
+    pub rpc_latency: Histogram,
     /// Per-task-function latency handles, created on first completion of
     /// each function (cold path: runs under the runtime's core lock anyway).
     task_latency: Mutex<HashMap<String, Histogram>>,
+    /// Per-worker completion counters, labelled by worker address
+    /// (distributed backend; cold path, one insert per worker).
+    node_tasks: Mutex<HashMap<String, Counter>>,
 }
 
 impl RtMetrics {
@@ -89,12 +108,18 @@ impl RtMetrics {
             transfer_bytes: registry.counter("rcompss_transfer_bytes_total"),
             steals: registry.counter("rcompss_worker_steals_total"),
             wakeups: registry.counter("rcompss_worker_wakeups_total"),
+            workers_lost: registry.counter("rcompss_workers_lost_total"),
+            net_bytes_sent: registry.counter("rnet_bytes_sent_total"),
+            net_bytes_received: registry.counter("rnet_bytes_received_total"),
+            net_reconnects: registry.counter("rnet_reconnects_total"),
             ready_depth: registry.gauge("rcompss_ready_queue_depth"),
             running: registry.gauge("rcompss_running_tasks"),
             sched_decision: registry.histogram("rcompss_sched_decision_us"),
             dep_wait: registry.histogram("rcompss_dep_wait_us"),
             transfer_time: registry.histogram("rcompss_transfer_time_us"),
+            rpc_latency: registry.histogram("rnet_rpc_latency_us"),
             task_latency: Mutex::new(HashMap::new()),
+            node_tasks: Mutex::new(HashMap::new()),
             registry,
         }
     }
@@ -121,6 +146,19 @@ impl RtMetrics {
             self.registry.histogram(&labeled("rcompss_task_latency_us", "fn", fn_name))
         });
         h.record(us);
+    }
+
+    /// Count a completed remote execution against its worker's
+    /// addr-labelled series — the per-node lane the dashboard renders.
+    pub fn record_node_task(&self, node_label: &str) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let mut cache = self.node_tasks.lock();
+        let c = cache.entry(node_label.to_string()).or_insert_with(|| {
+            self.registry.counter(&labeled("rcompss_node_tasks_completed_total", "node", node_label))
+        });
+        c.incr();
     }
 }
 
@@ -149,12 +187,30 @@ mod tests {
             "rcompss_transfer_bytes_total",
             "rcompss_worker_steals_total",
             "rcompss_worker_wakeups_total",
+            "rcompss_workers_lost_total",
+            "rnet_bytes_sent_total",
+            "rnet_bytes_received_total",
+            "rnet_reconnects_total",
         ] {
             assert_eq!(snap.counter(series), Some(0), "{series} missing");
         }
         assert_eq!(snap.gauge("rcompss_ready_queue_depth"), Some(0.0));
         assert!(snap.histogram("rcompss_sched_decision_us").is_some());
         assert!(snap.histogram("rcompss_dep_wait_us").is_some());
+        assert!(snap.histogram("rnet_rpc_latency_us").is_some());
+    }
+
+    #[test]
+    fn node_task_counter_is_labelled_per_worker() {
+        let m = RtMetrics::new(true);
+        m.record_node_task("127.0.0.1:7077");
+        m.record_node_task("127.0.0.1:7077");
+        m.record_node_task("127.0.0.1:7078");
+        let snap = m.registry().snapshot();
+        let series = labeled("rcompss_node_tasks_completed_total", "node", "127.0.0.1:7077");
+        assert_eq!(snap.counter(&series), Some(2));
+        let series = labeled("rcompss_node_tasks_completed_total", "node", "127.0.0.1:7078");
+        assert_eq!(snap.counter(&series), Some(1));
     }
 
     #[test]

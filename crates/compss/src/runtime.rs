@@ -16,6 +16,7 @@ use cluster::{Cluster, FailureInjector, NodeSpec};
 use paratrace::TraceCollector;
 use parking_lot::{Condvar, Mutex};
 
+use crate::backend::distributed::{connect_workers, ConnMgr, DistributedConfig};
 use crate::backend::sim::SimState;
 use crate::backend::threaded::{collect_dispatch, WorkerPool};
 use crate::data::{DataHandle, DataRegistry, DataVersion, Producer, Value};
@@ -284,6 +285,7 @@ impl Shared {
 enum BackendHandle {
     Threaded(WorkerPool),
     Sim,
+    Distributed(ConnMgr),
 }
 
 /// The runtime. Cheap to share behind `&`; internally synchronised.
@@ -303,6 +305,57 @@ impl Runtime {
             shared,
             backend: BackendHandle::Threaded(pool),
             default_sim_duration_us: cfg.default_sim_duration_us,
+        }
+    }
+
+    /// Build a runtime on the distributed backend: connect to running
+    /// [`crate::backend::distributed::WorkerServer`] daemons at `workers`
+    /// (host:port strings), build the cluster from what their `Hello`s
+    /// advertise, and execute every task remotely. `cfg.cluster` is
+    /// ignored — the real cluster is whatever answered. Fails if any
+    /// worker stays unreachable past `dcfg.connect_timeout`.
+    pub fn distributed(
+        cfg: RuntimeConfig,
+        workers: &[String],
+        dcfg: DistributedConfig,
+    ) -> std::io::Result<Runtime> {
+        if workers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "distributed runtime needs at least one worker address",
+            ));
+        }
+        let boots = connect_workers(workers, dcfg.connect_timeout)?;
+        let nodes: Vec<NodeSpec> = boots
+            .iter()
+            .map(|b| {
+                let gpus = vec![cluster::GpuModel::Generic; b.gpus as usize];
+                NodeSpec::new(b.name.as_str(), b.cores.max(1), gpus, b.mem_gib.max(1))
+            })
+            .collect();
+        let mut cfg = cfg;
+        cfg.cluster = Cluster::from_nodes(nodes);
+        // Worker cores are remote: nothing to reserve driver-side.
+        cfg.reserved_cores.clear();
+        let shared = Self::make_shared(&cfg, false);
+        let mgr = ConnMgr::start(Arc::clone(&shared), boots, dcfg);
+        Ok(Runtime {
+            shared,
+            backend: BackendHandle::Distributed(mgr),
+            default_sim_duration_us: cfg.default_sim_duration_us,
+        })
+    }
+
+    /// Worker display labels by node id: `name@addr` for the distributed
+    /// backend, `nodeN` otherwise. Feeds per-node trace lanes and the
+    /// dashboard's per-worker counters.
+    pub fn node_labels(&self) -> Vec<String> {
+        match &self.backend {
+            BackendHandle::Distributed(mgr) => mgr.labels(),
+            _ => {
+                let n = self.shared.core.lock().sched.node_count();
+                (0..n).map(|i| format!("node{i}")).collect()
+            }
         }
     }
 
@@ -499,10 +552,18 @@ impl Runtime {
         // Nudge the backend: place under the lock, hand the placed work to
         // the worker shards after dropping it (trace emission and shard
         // locks must not nest inside the core lock).
-        if let BackendHandle::Threaded(pool) = &self.backend {
-            let msgs = collect_dispatch(&self.shared, &mut core);
-            drop(core);
-            pool.enqueue(&self.shared, msgs);
+        match &self.backend {
+            BackendHandle::Threaded(pool) => {
+                let msgs = collect_dispatch(&self.shared, &mut core);
+                drop(core);
+                pool.enqueue(&self.shared, msgs);
+            }
+            BackendHandle::Distributed(mgr) => {
+                let work = mgr.collect_dispatch_remote(&mut core);
+                drop(core);
+                mgr.send(work);
+            }
+            BackendHandle::Sim => {}
         }
         Ok(SubmitResult { task: id, returns: return_handles })
     }
@@ -525,7 +586,7 @@ impl Runtime {
                 });
                 self.finish_wait(&core, *h, target)
             }
-            BackendHandle::Threaded(_) => loop {
+            BackendHandle::Threaded(_) | BackendHandle::Distributed(_) => loop {
                 if core.data.is_ready(target) || core.poisoned.contains(&target) {
                     return self.finish_wait(&core, *h, target);
                 }
@@ -559,7 +620,7 @@ impl Runtime {
             BackendHandle::Sim => {
                 crate::backend::sim::run_until(&self.shared, &mut core, |c| c.graph.all_settled());
             }
-            BackendHandle::Threaded(_) => {
+            BackendHandle::Threaded(_) | BackendHandle::Distributed(_) => {
                 while !core.graph.all_settled() {
                     self.shared.cv.wait_for(&mut core, std::time::Duration::from_millis(100));
                 }
@@ -632,8 +693,10 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        if let BackendHandle::Threaded(pool) = &mut self.backend {
-            pool.shutdown();
+        match &mut self.backend {
+            BackendHandle::Threaded(pool) => pool.shutdown(),
+            BackendHandle::Distributed(mgr) => mgr.shutdown(),
+            BackendHandle::Sim => {}
         }
     }
 }

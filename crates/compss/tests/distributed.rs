@@ -1,0 +1,271 @@
+//! End-to-end tests of the distributed backend over loopback TCP:
+//! in-process [`WorkerServer`]s on 127.0.0.1, a driver [`Runtime`] wired to
+//! them, and the same task graphs the threaded backend runs — results must
+//! be identical. Also exercises the failure path: a worker killed mid-run
+//! must not sink the run; its in-flight tasks are resubmitted to survivors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rcompss::{
+    ArgSpec, Constraint, DistributedConfig, RetryPolicy, Runtime, RuntimeConfig, TaskContext,
+    TaskDef, TaskError, TaskRegistry, Value, WorkerConfig, WorkerHandle, WorkerServer,
+};
+
+fn def(
+    name: &str,
+    body: impl Fn(&TaskContext, &[Value]) -> Result<Vec<Value>, TaskError> + Send + Sync + 'static,
+) -> TaskDef {
+    TaskDef {
+        name: name.into(),
+        constraint: Constraint::cpus(1),
+        returns: 1,
+        priority: false,
+        body: Arc::new(body),
+        alternatives: Vec::new(),
+    }
+}
+
+/// The shared task set both sides agree on: the worker resolves incoming
+/// submits against this registry; the driver uses the same defs to submit.
+fn task_set() -> TaskRegistry {
+    let add = def("add", |_, inputs| {
+        let a: i64 = *inputs[0].downcast_ref::<i64>().unwrap();
+        let b: i64 = *inputs[1].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(a + b)])
+    });
+    let square = def("square", |_, inputs| {
+        let x: i64 = *inputs[0].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(x * x)])
+    });
+    let sum = def("sum", |_, inputs| {
+        let total: i64 = inputs.iter().map(|v| *v.downcast_ref::<i64>().unwrap()).sum();
+        Ok(vec![Value::new(total)])
+    });
+    let slow_square = def("slow_square", |_, inputs| {
+        std::thread::sleep(Duration::from_millis(15));
+        let x: i64 = *inputs[0].downcast_ref::<i64>().unwrap();
+        Ok(vec![Value::new(x * x)])
+    });
+    TaskRegistry::new().with(add).with(square).with(sum).with(slow_square)
+}
+
+fn spawn_workers(n: usize, cores: u32) -> Vec<WorkerHandle> {
+    let registry = task_set();
+    (0..n)
+        .map(|i| {
+            let cfg = WorkerConfig {
+                name: format!("w{i}"),
+                cores,
+                gpus: 0,
+                mem_gib: 8,
+            };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind loopback")
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+fn addrs(workers: &[WorkerHandle]) -> Vec<String> {
+    workers.iter().map(|w| w.addr()).collect()
+}
+
+/// Fan-out/fan-in over `n` inputs; returns the final reduced value.
+fn run_fan_out_fan_in(rt: &Runtime, n: i64) -> i64 {
+    let square = task_set().get("square").unwrap().clone();
+    let sum = task_set().get("sum").unwrap().clone();
+    let squares: Vec<_> = (1..=n)
+        .map(|i| {
+            let h = rt.literal(i);
+            rt.submit(&square, vec![ArgSpec::In(h)]).unwrap().returns[0]
+        })
+        .collect();
+    let args: Vec<ArgSpec> = squares.iter().map(|&h| ArgSpec::In(h)).collect();
+    let total = rt.submit(&sum, args).unwrap().returns[0];
+    *rt.wait_on(&total).unwrap().downcast_ref::<i64>().unwrap()
+}
+
+#[test]
+fn loopback_fan_out_matches_threaded() {
+    let workers = spawn_workers(2, 2);
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1),
+        &addrs(&workers),
+        DistributedConfig::default(),
+    )
+    .expect("connect to loopback workers");
+    let distributed = run_fan_out_fan_in(&rt, 12);
+
+    let threaded = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        run_fan_out_fan_in(&rt, 12)
+    };
+    assert_eq!(distributed, threaded);
+    assert_eq!(distributed, (1..=12i64).map(|i| i * i).sum::<i64>());
+
+    let stats = rt.stats();
+    assert_eq!(stats.submitted, 13);
+    assert_eq!(stats.completed, 13);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn loopback_dependent_chain_and_labels() {
+    let workers = spawn_workers(2, 1);
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1),
+        &addrs(&workers),
+        DistributedConfig::default(),
+    )
+    .expect("connect");
+    let labels = rt.node_labels();
+    assert_eq!(labels.len(), 2);
+    assert!(labels[0].starts_with("w0@127.0.0.1:"), "label {:?}", labels[0]);
+    assert!(labels[1].starts_with("w1@127.0.0.1:"), "label {:?}", labels[1]);
+
+    let add = task_set().get("add").unwrap().clone();
+    let one = rt.literal(1i64);
+    let mut acc = rt.literal(0i64);
+    for _ in 0..10 {
+        acc = rt.submit(&add, vec![ArgSpec::In(acc), ArgSpec::In(one)]).unwrap().returns[0];
+    }
+    let v = rt.wait_on(&acc).unwrap();
+    assert_eq!(*v.downcast_ref::<i64>().unwrap(), 10);
+
+    // Every completion is attributed to a worker label in the metrics.
+    let snap = rt.metrics().snapshot();
+    let per_node: u64 = labels
+        .iter()
+        .filter_map(|l| {
+            snap.counter(&runmetrics::labeled("rcompss_node_tasks_completed_total", "node", l))
+        })
+        .sum();
+    assert_eq!(per_node, 10, "all completions attributed to workers");
+}
+
+#[test]
+fn tiny_window_still_drains_everything() {
+    let workers = spawn_workers(1, 2);
+    let dcfg = DistributedConfig { window: Some(1), ..DistributedConfig::default() };
+    let rt = Runtime::distributed(RuntimeConfig::single_node(1), &addrs(&workers), dcfg)
+        .expect("connect");
+    assert_eq!(run_fan_out_fan_in(&rt, 20), (1..=20i64).map(|i| i * i).sum::<i64>());
+}
+
+#[test]
+fn killed_worker_mid_run_resubmits_to_survivors() {
+    let workers = spawn_workers(3, 2);
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(300),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs(&workers),
+        dcfg,
+    )
+    .expect("connect");
+
+    let slow = task_set().get("slow_square").unwrap().clone();
+    let handles: Vec<_> = (1..=30i64)
+        .map(|i| {
+            let h = rt.literal(i);
+            rt.submit(&slow, vec![ArgSpec::In(h)]).unwrap().returns[0]
+        })
+        .collect();
+
+    // Let the run get going, then SIGKILL-style drop one worker: its
+    // executor threads stop reporting and its socket goes dark.
+    std::thread::sleep(Duration::from_millis(40));
+    workers[0].halt();
+
+    for (i, h) in handles.iter().enumerate() {
+        let v = rt.wait_on(h).expect("survivors finish the work");
+        let x = (i + 1) as i64;
+        assert_eq!(*v.downcast_ref::<i64>().unwrap(), x * x);
+    }
+
+    let snap = rt.metrics().snapshot();
+    assert_eq!(snap.counter("rcompss_workers_lost_total"), Some(1));
+    assert!(
+        snap.counter("rcompss_tasks_retried_total").unwrap_or(0) > 0,
+        "in-flight tasks on the dead worker were resubmitted"
+    );
+    assert_eq!(rt.stats().completed, 30);
+}
+
+#[test]
+fn all_workers_dead_fails_tasks_instead_of_hanging() {
+    let workers = spawn_workers(1, 1);
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(250),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(RuntimeConfig::single_node(1), &addrs(&workers), dcfg)
+        .expect("connect");
+    let slow = task_set().get("slow_square").unwrap().clone();
+    let mut handles = Vec::new();
+    for i in 1..=8i64 {
+        let h = rt.literal(i);
+        handles.push(rt.submit(&slow, vec![ArgSpec::In(h)]).unwrap().returns[0]);
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    workers[0].halt();
+    // With no survivors the retry policy runs out of nodes: tasks must be
+    // failed (poisoned handles), not parked forever.
+    let mut failures = 0;
+    for h in &handles {
+        if rt.wait_on(h).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "at least the in-flight tasks fail cleanly");
+    assert!(rt.stats().failed > 0);
+}
+
+#[test]
+fn reconnect_resumes_after_connection_drop() {
+    let workers = spawn_workers(2, 2);
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(300),
+        reconnect: true,
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs(&workers),
+        dcfg,
+    )
+    .expect("connect");
+
+    let slow = task_set().get("slow_square").unwrap().clone();
+    let handles: Vec<_> = (1..=24i64)
+        .map(|i| {
+            let h = rt.literal(i);
+            rt.submit(&slow, vec![ArgSpec::In(h)]).unwrap().returns[0]
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(40));
+    // Sever the TCP connections but keep the server alive: the driver
+    // should reconnect and resume, not write the node off.
+    workers[0].drop_connections();
+
+    for (i, h) in handles.iter().enumerate() {
+        let v = rt.wait_on(h).expect("run resumes after reconnect");
+        let x = (i + 1) as i64;
+        assert_eq!(*v.downcast_ref::<i64>().unwrap(), x * x);
+    }
+    let snap = rt.metrics().snapshot();
+    assert!(
+        snap.counter("rnet_reconnects_total").unwrap_or(0) >= 1,
+        "reconnect path exercised"
+    );
+    assert_eq!(rt.stats().completed, 24);
+}

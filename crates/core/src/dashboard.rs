@@ -117,6 +117,24 @@ impl Dashboard {
     pub fn transcript(&self) -> String {
         self.lines.join("\n")
     }
+
+    /// Per-worker completion summary for distributed runs, one line per
+    /// node lane: `worker <label>: <n> tasks`, ordered by `labels`. Reads
+    /// the `rcompss_node_tasks_completed_total{node=...}` series the
+    /// distributed backend maintains; empty string when no per-node
+    /// counters exist (threaded/sim runs) or metrics are off.
+    pub fn node_lanes(&self, labels: &[String]) -> String {
+        let Some((registry, _)) = &self.metrics else { return String::new() };
+        let snap = registry.snapshot();
+        let mut out = String::new();
+        for label in labels {
+            let series = runmetrics::labeled("rcompss_node_tasks_completed_total", "node", label);
+            if let Some(n) = snap.counter(&series) {
+                out.push_str(&format!("worker {label}: {n} tasks\n"));
+            }
+        }
+        out
+    }
 }
 
 /// Top-`k` leaderboard of a finished report.
@@ -204,6 +222,25 @@ mod tests {
         assert!(metrics_line.contains("1 retried"), "{metrics_line}");
         assert!(metrics_line.contains("ready 2"), "{metrics_line}");
         assert_eq!(d.transcript().lines().count(), 3, "2 trial lines + 1 metrics line");
+    }
+
+    #[test]
+    fn node_lanes_summarises_per_worker_counters() {
+        let reg = std::sync::Arc::new(runmetrics::MetricsRegistry::new(true));
+        let w0 = "w0@127.0.0.1:7077".to_string();
+        let w1 = "w1@127.0.0.1:7078".to_string();
+        reg.counter(&runmetrics::labeled("rcompss_node_tasks_completed_total", "node", &w0)).add(8);
+        reg.counter(&runmetrics::labeled("rcompss_node_tasks_completed_total", "node", &w1)).add(4);
+        let d = Dashboard::new().with_metrics(std::sync::Arc::clone(&reg), 10);
+        let lanes = d.node_lanes(&[w0.clone(), w1.clone()]);
+        let lines: Vec<&str> = lanes.lines().collect();
+        assert_eq!(lines.len(), 2, "{lanes}");
+        assert_eq!(lines[0], format!("worker {w0}: 8 tasks"));
+        assert_eq!(lines[1], format!("worker {w1}: 4 tasks"));
+        // Threaded runs have no per-node series: silent.
+        assert!(d.node_lanes(&["node0".to_string()]).is_empty());
+        // No registry: silent.
+        assert!(Dashboard::new().node_lanes(&[w0]).is_empty());
     }
 
     #[test]

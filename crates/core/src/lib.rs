@@ -46,6 +46,7 @@ pub mod experiment;
 pub mod results;
 pub mod runner;
 pub mod space;
+pub mod wire;
 
 /// Convenient re-exports for application code.
 pub mod prelude {

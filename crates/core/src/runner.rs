@@ -5,10 +5,7 @@
 //! hand them to the plotting/reporting layer. The runner adds the paper's
 //! early stopping and the successive-halving execution mode.
 
-use std::sync::Arc;
-use std::time::Instant;
-
-use rcompss::{ArgSpec, Runtime, SubmitError, SubmitOpts, SubmitResult, TaskError, Value};
+use rcompss::{ArgSpec, Runtime, SubmitError, SubmitOpts, SubmitResult};
 
 use crate::algo::hyperband::Bracket;
 use crate::algo::random::RandomSearch;
@@ -16,6 +13,7 @@ use crate::algo::Suggester;
 use crate::experiment::{ExperimentOptions, Objective, TrialOutcome};
 use crate::results::{HpoReport, TrialResult};
 use crate::space::{Config, SearchSpace};
+use crate::wire::{experiment_task_def, TaskPayload};
 
 /// Executes HPO runs.
 #[derive(Debug, Clone)]
@@ -23,9 +21,6 @@ pub struct HpoRunner {
     /// Options applied to every experiment task.
     pub opts: ExperimentOptions,
 }
-
-/// What the experiment task returns through the data registry.
-type TaskPayload = (TrialOutcome, u64);
 
 /// Cached handles for the per-trial series in the runtime's metrics
 /// registry. Fetched once per run so the per-trial cost is a handful of
@@ -69,28 +64,11 @@ impl HpoRunner {
         HpoRunner { opts }
     }
 
-    /// Register the experiment task definition on `rt`.
-    ///
-    /// The body runs the objective under a `tinyml::par::with_threads`
-    /// scope sized by the placement's core grant
-    /// (`TaskContext::parallelism`), so a task constrained to N CPUs
-    /// really trains on N worker threads — the paper's Figure 5/9
-    /// multi-core-per-task setup, made real in the threaded backend.
-    fn register_task(&self, rt: &Runtime, objective: &Objective) -> rcompss::TaskDef {
-        let obj = Arc::clone(objective);
-        rt.register(&self.opts.task_name, self.opts.constraint, 1, move |ctx, inputs| {
-            let config = inputs[0]
-                .downcast_ref::<Config>()
-                .ok_or_else(|| TaskError::new("experiment input 0 must be a Config"))?;
-            let budget = inputs[1]
-                .downcast_ref::<Option<u32>>()
-                .copied()
-                .ok_or_else(|| TaskError::new("experiment input 1 must be Option<u32>"))?;
-            let t0 = Instant::now();
-            let outcome = tinyml::par::with_threads(ctx.parallelism(), || obj(config, budget))?;
-            let payload: TaskPayload = (outcome, t0.elapsed().as_micros() as u64);
-            Ok(vec![Value::new(payload)])
-        })
+    /// Register the experiment task definition (see
+    /// [`crate::wire::experiment_task_def`] — shared with distributed
+    /// workers, which must register the identical def by name).
+    fn register_task(&self, _rt: &Runtime, objective: &Objective) -> rcompss::TaskDef {
+        experiment_task_def(&self.opts, objective)
     }
 
     /// Submit one experiment.
@@ -261,7 +239,8 @@ mod tests {
     use crate::algo::tpe::TpeSearch;
     use crate::early_stop::EarlyStop;
     use crate::space::ParamDomain;
-    use rcompss::RuntimeConfig;
+    use rcompss::{RuntimeConfig, TaskError};
+    use std::sync::Arc;
 
     /// A fast, deterministic synthetic objective: accuracy increases with
     /// epochs, Adam beats the others, bigger batches slightly worse.

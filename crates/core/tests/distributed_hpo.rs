@@ -1,0 +1,157 @@
+//! Full-stack distributed HPO over loopback TCP: the same grid search the
+//! threaded backend runs, executed by in-process `WorkerServer`s, must
+//! produce identical per-trial accuracies and the identical best config —
+//! and keep producing them when a worker is killed mid-run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpo::algo::grid::GridSearch;
+use hpo::experiment::{ExperimentOptions, Objective, TrialOutcome};
+use hpo::space::{Config, ConfigValue, ParamDomain, SearchSpace};
+use hpo::wire::{experiment_task_def, register_hpo_codecs};
+use hpo::HpoRunner;
+use rcompss::{
+    DistributedConfig, RetryPolicy, Runtime, RuntimeConfig, TaskRegistry, WorkerConfig,
+    WorkerHandle, WorkerServer,
+};
+
+/// Deterministic synthetic objective: accuracy is a pure function of the
+/// config, so threaded and distributed runs must agree bit-for-bit.
+fn objective(delay: Duration) -> Objective {
+    Arc::new(move |config: &Config, budget: Option<u32>| {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let epochs =
+            budget.map(i64::from).or_else(|| config.get_int("num_epochs")).unwrap_or(10) as f64;
+        let opt_bonus = match config.get_str("optimizer") {
+            Some("Adam") => 0.15,
+            Some("RMSprop") => 0.08,
+            _ => 0.0,
+        };
+        let lr = config.get_float("learning_rate").unwrap_or(1e-3);
+        let acc = (0.5 + 0.004 * epochs + opt_bonus - (lr - 1e-3).abs()).clamp(0.0, 0.99);
+        Ok(TrialOutcome::with_accuracy(acc))
+    })
+}
+
+fn space() -> SearchSpace {
+    SearchSpace::new()
+        .with(
+            "optimizer",
+            ParamDomain::Choice(vec![
+                ConfigValue::Str("Adam".into()),
+                ConfigValue::Str("RMSprop".into()),
+                ConfigValue::Str("SGD".into()),
+            ]),
+        )
+        .with(
+            "num_epochs",
+            ParamDomain::Choice(vec![ConfigValue::Int(10), ConfigValue::Int(20)]),
+        )
+        .with(
+            "learning_rate",
+            ParamDomain::Choice(vec![ConfigValue::Float(1e-3), ConfigValue::Float(1e-2)]),
+        )
+}
+
+fn spawn_workers(n: usize, opts: &ExperimentOptions, obj: &Objective) -> Vec<WorkerHandle> {
+    register_hpo_codecs();
+    let registry = TaskRegistry::new().with(experiment_task_def(opts, obj));
+    (0..n)
+        .map(|i| {
+            let cfg =
+                WorkerConfig { name: format!("hpo-w{i}"), cores: 2, gpus: 0, mem_gib: 8 };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind")
+                .spawn()
+                .expect("spawn")
+        })
+        .collect()
+}
+
+fn trial_table(report: &hpo::HpoReport) -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = report
+        .trials
+        .iter()
+        .map(|t| (t.config.label(), format!("{:.6}", t.outcome.accuracy)))
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn grid_search_distributed_matches_threaded_exactly() {
+    let opts = ExperimentOptions::default();
+    let obj = objective(Duration::ZERO);
+    let runner = HpoRunner::new(opts.clone());
+
+    let threaded_report = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let mut algo = GridSearch::new(&space());
+        runner.run(&rt, &mut algo, Arc::clone(&obj)).expect("threaded run")
+    };
+
+    let workers = spawn_workers(2, &opts, &obj);
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1),
+        &addrs,
+        DistributedConfig::default(),
+    )
+    .expect("connect");
+    let mut algo = GridSearch::new(&space());
+    let distributed_report = runner.run(&rt, &mut algo, obj).expect("distributed run");
+
+    assert_eq!(distributed_report.trials.len(), 12, "3 optimizers × 2 epochs × 2 lrs");
+    assert_eq!(trial_table(&distributed_report), trial_table(&threaded_report));
+    let best_d = distributed_report.best().expect("has best");
+    let best_t = threaded_report.best().expect("has best");
+    assert_eq!(best_d.config.label(), best_t.config.label());
+    assert_eq!(best_d.outcome.accuracy, best_t.outcome.accuracy);
+}
+
+#[test]
+fn killed_worker_mid_hpo_run_completes_via_resubmission() {
+    let opts = ExperimentOptions::default();
+    let obj = objective(Duration::from_millis(60));
+    let runner = HpoRunner::new(opts.clone());
+
+    let workers = spawn_workers(3, &opts, &obj);
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(300),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs,
+        dcfg,
+    )
+    .expect("connect");
+
+    // Kill one worker shortly after the first wave lands on it.
+    let victim = workers[0].addr();
+    let stopper = workers[0].stopper();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        stopper();
+    });
+
+    let mut algo = GridSearch::new(&space());
+    let report = runner.run(&rt, &mut algo, obj).expect("run survives worker loss");
+    killer.join().unwrap();
+
+    assert_eq!(report.trials.len(), 12);
+    assert!(report.trials.iter().all(|t| !t.outcome.is_failed()), "no failed trials");
+
+    let snap = rt.metrics().snapshot();
+    assert_eq!(snap.counter("rcompss_workers_lost_total"), Some(1), "lost {victim}");
+    assert!(
+        snap.counter("rcompss_tasks_retried_total").unwrap_or(0) > 0,
+        "tasks in flight on the killed worker were resubmitted"
+    );
+}

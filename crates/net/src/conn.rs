@@ -1,0 +1,219 @@
+//! Incremental frame reading and blocking frame I/O.
+//!
+//! [`FrameReader`] is the partial-read-tolerant decoder: bytes arrive from
+//! the socket at whatever boundaries the kernel delivers, get appended to
+//! an internal buffer, and complete frames are peeled off the front. The
+//! blocking helpers ([`read_frame`], [`write_frames`]) wrap it for the
+//! thread-per-connection style both sides of the protocol use — no async
+//! stack, one reader thread per socket.
+
+use std::io::{self, Read, Write};
+
+use crate::frame::{DecodeError, Frame};
+
+/// Read-buffer compaction threshold: consumed prefix bytes are dropped once
+/// they exceed this, amortising the memmove over many small frames.
+const COMPACT_AT: usize = 64 * 1024;
+
+/// Incremental frame decoder over an internal byte buffer.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames.
+    start: usize,
+}
+
+impl FrameReader {
+    /// Empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append bytes received from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    /// `Ok(None)` means "feed more bytes"; errors are fatal to the stream.
+    pub fn next(&mut self) -> Result<Option<Frame>, DecodeError> {
+        match Frame::decode(&self.buf[self.start..])? {
+            Some((frame, used)) => {
+                self.start += used;
+                if self.start >= COMPACT_AT {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn decode_err(e: DecodeError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Read frames from a blocking transport until one completes.
+///
+/// Returns `Ok(None)` on clean EOF (peer closed), `Err` on transport or
+/// protocol errors. Extra frames already buffered are returned by
+/// subsequent calls without touching the transport.
+pub fn read_frame(stream: &mut impl Read, reader: &mut FrameReader) -> io::Result<Option<Frame>> {
+    loop {
+        if let Some(frame) = reader.next().map_err(decode_err)? {
+            return Ok(Some(frame));
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if reader.pending() == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside a frame"))
+            };
+        }
+        reader.extend(&chunk[..n]);
+    }
+}
+
+/// Encode `frames` into one buffer and write it in a single syscall burst
+/// (the batching half of request pipelining). Returns the bytes written,
+/// for byte-accounting metrics.
+pub fn write_frames(stream: &mut impl Write, frames: &[Frame]) -> io::Result<usize> {
+    let mut buf = Vec::new();
+    for f in frames {
+        f.encode_into(&mut buf);
+    }
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    Ok(buf.len())
+}
+
+/// Write one frame and flush. Returns the bytes written.
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    write_frames(stream, std::slice::from_ref(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Blob, WireArg};
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { name: "w0".into(), cores: 2, gpus: 0, mem_gib: 8 },
+            Frame::Submit {
+                exec_id: 1,
+                task_id: 1,
+                attempt: 1,
+                node: 0,
+                fn_id: 1,
+                fn_name: Some("churn".into()),
+                variant: 0,
+                cores: vec![0],
+                gpus: vec![],
+                args: vec![WireArg::Inline {
+                    key: 1,
+                    blob: Blob { tag: "t".into(), bytes: vec![9; 300] },
+                }],
+            },
+            Frame::Heartbeat { seq: 1 },
+            Frame::Done { exec_id: 1, outputs: vec![Blob { tag: "t".into(), bytes: vec![] }] },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_reassembles_every_frame() {
+        let mut wire = Vec::new();
+        for f in frames() {
+            f.encode_into(&mut wire);
+        }
+        let mut reader = FrameReader::new();
+        let mut seen = Vec::new();
+        for b in wire {
+            reader.extend(&[b]);
+            while let Some(f) = reader.next().unwrap() {
+                seen.push(f);
+            }
+        }
+        assert_eq!(seen, frames());
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn burst_delivery_drains_pipelined_frames() {
+        let mut wire = Vec::new();
+        for f in frames() {
+            f.encode_into(&mut wire);
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&wire);
+        let mut seen = Vec::new();
+        while let Some(f) = reader.next().unwrap() {
+            seen.push(f);
+        }
+        assert_eq!(seen, frames());
+    }
+
+    #[test]
+    fn corrupt_stream_is_fatal() {
+        let mut reader = FrameReader::new();
+        reader.extend(b"totally not a frame");
+        assert!(reader.next().is_err());
+    }
+
+    #[test]
+    fn read_frame_loops_over_a_cursor_transport() {
+        let mut wire = Vec::new();
+        for f in frames() {
+            f.encode_into(&mut wire);
+        }
+        let mut cursor = io::Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        let mut seen = Vec::new();
+        while let Some(f) = read_frame(&mut cursor, &mut reader).unwrap() {
+            seen.push(f);
+        }
+        assert_eq!(seen, frames());
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let wire = Frame::Heartbeat { seq: 700 }.encode();
+        let mut cursor = io::Cursor::new(wire[..wire.len() - 1].to_vec());
+        let mut reader = FrameReader::new();
+        let err = read_frame(&mut cursor, &mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_frames_batches_and_counts_bytes() {
+        let mut out = Vec::new();
+        let n = write_frames(&mut out, &frames()).unwrap();
+        assert_eq!(n, out.len());
+        let single = write_frame(&mut Vec::new(), &Frame::Shutdown).unwrap();
+        assert_eq!(single, Frame::Shutdown.encode().len());
+    }
+
+    #[test]
+    fn compaction_keeps_the_buffer_bounded() {
+        let mut reader = FrameReader::new();
+        let frame = Frame::Done {
+            exec_id: 3,
+            outputs: vec![Blob { tag: "t".into(), bytes: vec![0; 8 * 1024] }],
+        };
+        for _ in 0..64 {
+            reader.extend(&frame.encode());
+            while reader.next().unwrap().is_some() {}
+            assert!(reader.buf.len() < 2 * COMPACT_AT, "buffer grew to {}", reader.buf.len());
+        }
+    }
+}

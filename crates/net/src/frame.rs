@@ -1,0 +1,564 @@
+//! The frame model: every message the driver and worker exchange.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! +-----+-----+---------+-----------+----------------+---------+
+//! | 'R' | 'N' | version | frame type| varint payload | payload |
+//! |     |     |  (1 B)  |   (1 B)   |     length     | bytes   |
+//! +-----+-----+---------+-----------+----------------+---------+
+//! ```
+//!
+//! The magic bytes catch cross-talk (something that is not a peer
+//! connecting to the port), the version byte gates protocol evolution, and
+//! the varint length keeps the common small frames (heartbeats, no-payload
+//! shutdowns) at single-digit bytes — the "lean length-prefixed frame"
+//! style of rpc-perf rather than a general-purpose serialisation stack.
+//!
+//! Decoding is incremental: [`Frame::decode`] returns `Ok(None)` while the
+//! buffer holds only a frame prefix, so a reader can accumulate bytes from
+//! the socket at arbitrary boundaries and retry.
+
+use crate::varint;
+use crate::wire::{self, Reader, WireError};
+
+/// Protocol magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"RN";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a single frame payload (64 MiB). A length prefix beyond
+/// this is treated as corruption rather than an allocation request.
+pub const MAX_PAYLOAD: u64 = 64 * 1024 * 1024;
+
+/// A tagged, opaque serialised value: `tag` names the application codec
+/// that produced `bytes` (e.g. `"hpo.config"`). The protocol layer never
+/// interprets the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    /// Codec tag.
+    pub tag: String,
+    /// Encoded value.
+    pub bytes: Vec<u8>,
+}
+
+/// One task input as shipped in a [`Frame::Submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireArg {
+    /// Value shipped inline; the worker caches it under `key`.
+    Inline {
+        /// Driver-side data key (`handle << 32 | version`).
+        key: u64,
+        /// The serialised value.
+        blob: Blob,
+    },
+    /// Value already resident in the worker's cache from an earlier
+    /// `Inline` or `Data` frame; the worker fetches on a cache miss.
+    Cached {
+        /// Driver-side data key.
+        key: u64,
+    },
+}
+
+/// Every message of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → driver, once per connection: resource registration.
+    Hello {
+        /// Worker display name (defaults to its listen address).
+        name: String,
+        /// CPU cores offered.
+        cores: u32,
+        /// GPUs offered.
+        gpus: u32,
+        /// Memory offered, GiB.
+        mem_gib: u32,
+    },
+    /// Driver → worker: run one task attempt.
+    Submit {
+        /// Driver-side execution id, echoed in `Done`/`Failed`.
+        exec_id: u64,
+        /// Task instance id (for logs/traces on the worker).
+        task_id: u64,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// The driver's node id for this worker (context for the body).
+        node: u32,
+        /// Interned function id: stable per connection.
+        fn_id: u64,
+        /// Function name, present only the first time `fn_id` is used on
+        /// this connection — later submits send just the id.
+        fn_name: Option<String>,
+        /// Which task implementation to run (0 = primary).
+        variant: u32,
+        /// Exact core ids granted on the worker.
+        cores: Vec<u32>,
+        /// Exact GPU ids granted on the worker.
+        gpus: Vec<u32>,
+        /// Inputs, in argument order.
+        args: Vec<WireArg>,
+    },
+    /// Worker → driver: task attempt succeeded.
+    Done {
+        /// Echoed execution id.
+        exec_id: u64,
+        /// Serialised outputs, in declaration order.
+        outputs: Vec<Blob>,
+    },
+    /// Worker → driver: task attempt failed (body error or panic).
+    Failed {
+        /// Echoed execution id.
+        exec_id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Driver → worker liveness probe.
+    Heartbeat {
+        /// Monotonic per-connection sequence number.
+        seq: u64,
+    },
+    /// Worker → driver reply to [`Frame::Heartbeat`].
+    HeartbeatAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// Worker → driver: a `Cached` input missed the cache.
+    Fetch {
+        /// The missing data key.
+        key: u64,
+    },
+    /// Driver → worker: the value for an earlier [`Frame::Fetch`].
+    Data {
+        /// The data key.
+        key: u64,
+        /// The serialised value.
+        blob: Blob,
+    },
+    /// Driver → worker: drain and close the connection.
+    Shutdown,
+}
+
+/// Why a buffer cannot be decoded as a frame. All variants are fatal for
+/// the connection — only `Ok(None)` from [`Frame::decode`] means "wait for
+/// more bytes".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame-type byte.
+    UnknownFrameType(u8),
+    /// Payload length beyond [`MAX_PAYLOAD`].
+    Oversize(u64),
+    /// The payload did not parse as its frame type.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad frame magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            DecodeError::Oversize(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            DecodeError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<WireError> for DecodeError {
+    fn from(e: WireError) -> Self {
+        DecodeError::Malformed(e.0)
+    }
+}
+
+const T_HELLO: u8 = 1;
+const T_SUBMIT: u8 = 2;
+const T_DONE: u8 = 3;
+const T_FAILED: u8 = 4;
+const T_HEARTBEAT: u8 = 5;
+const T_HEARTBEAT_ACK: u8 = 6;
+const T_FETCH: u8 = 7;
+const T_DATA: u8 = 8;
+const T_SHUTDOWN: u8 = 9;
+
+fn put_blob(out: &mut Vec<u8>, blob: &Blob) {
+    wire::put_str(out, &blob.tag);
+    wire::put_bytes(out, &blob.bytes);
+}
+
+fn read_blob(r: &mut Reader<'_>) -> Result<Blob, WireError> {
+    let tag = r.str()?;
+    let bytes = r.bytes()?.to_vec();
+    Ok(Blob { tag, bytes })
+}
+
+impl Frame {
+    fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => T_HELLO,
+            Frame::Submit { .. } => T_SUBMIT,
+            Frame::Done { .. } => T_DONE,
+            Frame::Failed { .. } => T_FAILED,
+            Frame::Heartbeat { .. } => T_HEARTBEAT,
+            Frame::HeartbeatAck { .. } => T_HEARTBEAT_ACK,
+            Frame::Fetch { .. } => T_FETCH,
+            Frame::Data { .. } => T_DATA,
+            Frame::Shutdown => T_SHUTDOWN,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { name, cores, gpus, mem_gib } => {
+                wire::put_str(out, name);
+                wire::put_u32(out, *cores);
+                wire::put_u32(out, *gpus);
+                wire::put_u32(out, *mem_gib);
+            }
+            Frame::Submit {
+                exec_id,
+                task_id,
+                attempt,
+                node,
+                fn_id,
+                fn_name,
+                variant,
+                cores,
+                gpus,
+                args,
+            } => {
+                wire::put_u64(out, *exec_id);
+                wire::put_u64(out, *task_id);
+                wire::put_u32(out, *attempt);
+                wire::put_u32(out, *node);
+                wire::put_u64(out, *fn_id);
+                match fn_name {
+                    Some(name) => {
+                        out.push(1);
+                        wire::put_str(out, name);
+                    }
+                    None => out.push(0),
+                }
+                wire::put_u32(out, *variant);
+                wire::put_u64(out, cores.len() as u64);
+                for c in cores {
+                    wire::put_u32(out, *c);
+                }
+                wire::put_u64(out, gpus.len() as u64);
+                for g in gpus {
+                    wire::put_u32(out, *g);
+                }
+                wire::put_u64(out, args.len() as u64);
+                for arg in args {
+                    match arg {
+                        WireArg::Inline { key, blob } => {
+                            out.push(0);
+                            wire::put_u64(out, *key);
+                            put_blob(out, blob);
+                        }
+                        WireArg::Cached { key } => {
+                            out.push(1);
+                            wire::put_u64(out, *key);
+                        }
+                    }
+                }
+            }
+            Frame::Done { exec_id, outputs } => {
+                wire::put_u64(out, *exec_id);
+                wire::put_u64(out, outputs.len() as u64);
+                for b in outputs {
+                    put_blob(out, b);
+                }
+            }
+            Frame::Failed { exec_id, message } => {
+                wire::put_u64(out, *exec_id);
+                wire::put_str(out, message);
+            }
+            Frame::Heartbeat { seq } | Frame::HeartbeatAck { seq } => wire::put_u64(out, *seq),
+            Frame::Fetch { key } => wire::put_u64(out, *key),
+            Frame::Data { key, blob } => {
+                wire::put_u64(out, *key);
+                put_blob(out, blob);
+            }
+            Frame::Shutdown => {}
+        }
+    }
+
+    /// Append the complete frame (header + payload) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.frame_type());
+        varint::put(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+
+    /// The complete encoded frame as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+        let mut r = Reader::new(payload);
+        let frame = match frame_type {
+            T_HELLO => Frame::Hello {
+                name: r.str()?,
+                cores: r.u32()?,
+                gpus: r.u32()?,
+                mem_gib: r.u32()?,
+            },
+            T_SUBMIT => {
+                let exec_id = r.u64()?;
+                let task_id = r.u64()?;
+                let attempt = r.u32()?;
+                let node = r.u32()?;
+                let fn_id = r.u64()?;
+                let fn_name = match r.u64()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    other => {
+                        return Err(DecodeError::Malformed(format!("bad option flag {other}")))
+                    }
+                };
+                let variant = r.u32()?;
+                let n_cores = r.u64()? as usize;
+                let cores =
+                    (0..n_cores).map(|_| r.u32()).collect::<Result<Vec<u32>, WireError>>()?;
+                let n_gpus = r.u64()? as usize;
+                let gpus = (0..n_gpus).map(|_| r.u32()).collect::<Result<Vec<u32>, WireError>>()?;
+                let n_args = r.u64()? as usize;
+                let mut args = Vec::with_capacity(n_args.min(1024));
+                for _ in 0..n_args {
+                    args.push(match r.u64()? {
+                        0 => WireArg::Inline { key: r.u64()?, blob: read_blob(&mut r)? },
+                        1 => WireArg::Cached { key: r.u64()? },
+                        other => {
+                            return Err(DecodeError::Malformed(format!("bad arg kind {other}")))
+                        }
+                    });
+                }
+                Frame::Submit {
+                    exec_id,
+                    task_id,
+                    attempt,
+                    node,
+                    fn_id,
+                    fn_name,
+                    variant,
+                    cores,
+                    gpus,
+                    args,
+                }
+            }
+            T_DONE => {
+                let exec_id = r.u64()?;
+                let n = r.u64()? as usize;
+                let mut outputs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    outputs.push(read_blob(&mut r)?);
+                }
+                Frame::Done { exec_id, outputs }
+            }
+            T_FAILED => Frame::Failed { exec_id: r.u64()?, message: r.str()? },
+            T_HEARTBEAT => Frame::Heartbeat { seq: r.u64()? },
+            T_HEARTBEAT_ACK => Frame::HeartbeatAck { seq: r.u64()? },
+            T_FETCH => Frame::Fetch { key: r.u64()? },
+            T_DATA => Frame::Data { key: r.u64()?, blob: read_blob(&mut r)? },
+            T_SHUTDOWN => Frame::Shutdown,
+            other => return Err(DecodeError::UnknownFrameType(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Try to decode one frame from the front of `buf`.
+    ///
+    /// * `Ok(Some((frame, consumed)))` — a complete frame; the caller drops
+    ///   the first `consumed` bytes and may retry for pipelined frames.
+    /// * `Ok(None)` — `buf` holds a valid prefix; read more bytes.
+    /// * `Err(_)` — the stream is corrupt; close the connection.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+        // Validate eagerly so corruption surfaces before the length prefix
+        // arrives in full.
+        if !buf.is_empty() && buf[0] != MAGIC[0] {
+            return Err(DecodeError::BadMagic);
+        }
+        if buf.len() >= 2 && buf[..2] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if buf.len() >= 3 && buf[2] != VERSION {
+            return Err(DecodeError::BadVersion(buf[2]));
+        }
+        if buf.len() >= 4 && !(T_HELLO..=T_SHUTDOWN).contains(&buf[3]) {
+            return Err(DecodeError::UnknownFrameType(buf[3]));
+        }
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let (payload_len, len_bytes) = match varint::take(&buf[4..]) {
+            varint::Take::Got(v, n) => (v, n),
+            varint::Take::Incomplete => return Ok(None),
+            varint::Take::Overlong => {
+                return Err(DecodeError::Malformed("overlong length prefix".into()))
+            }
+        };
+        if payload_len > MAX_PAYLOAD {
+            return Err(DecodeError::Oversize(payload_len));
+        }
+        let total = 4 + len_bytes + payload_len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let payload = &buf[4 + len_bytes..total];
+        Ok(Some((Self::decode_payload(buf[3], payload)?, total)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { name: "127.0.0.1:7077".into(), cores: 4, gpus: 1, mem_gib: 32 },
+            Frame::Submit {
+                exec_id: 42,
+                task_id: 7,
+                attempt: 2,
+                node: 1,
+                fn_id: 3,
+                fn_name: Some("graph.experiment".into()),
+                variant: 0,
+                cores: vec![0, 1],
+                gpus: vec![],
+                args: vec![
+                    WireArg::Inline {
+                        key: (9 << 32) | 1,
+                        blob: Blob { tag: "hpo.config".into(), bytes: vec![1, 2, 3] },
+                    },
+                    WireArg::Cached { key: (10 << 32) | 4 },
+                ],
+            },
+            Frame::Submit {
+                exec_id: 43,
+                task_id: 8,
+                attempt: 1,
+                node: 0,
+                fn_id: 3,
+                fn_name: None,
+                variant: 1,
+                cores: vec![],
+                gpus: vec![0],
+                args: vec![],
+            },
+            Frame::Done {
+                exec_id: 42,
+                outputs: vec![Blob { tag: "hpo.trial".into(), bytes: vec![0xab; 100] }],
+            },
+            Frame::Done { exec_id: 44, outputs: vec![] },
+            Frame::Failed { exec_id: 43, message: "task panicked: boom".into() },
+            Frame::Heartbeat { seq: 9 },
+            Frame::HeartbeatAck { seq: 9 },
+            Frame::Fetch { key: 1 << 40 },
+            Frame::Data {
+                key: 1 << 40,
+                blob: Blob { tag: "rnet.u64".into(), bytes: vec![5] },
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        for frame in sample_frames() {
+            let buf = frame.encode();
+            let (decoded, used) = Frame::decode(&buf).unwrap().expect("complete frame");
+            assert_eq!(decoded, frame);
+            assert_eq!(used, buf.len(), "whole buffer consumed for {frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more_bytes() {
+        for frame in sample_frames() {
+            let buf = frame.encode();
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    Frame::decode(&buf[..cut]).unwrap(),
+                    None,
+                    "prefix of {cut} bytes of {frame:?} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_one_at_a_time() {
+        let mut buf = Vec::new();
+        for f in sample_frames() {
+            f.encode_into(&mut buf);
+        }
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while let Some((f, n)) = Frame::decode(&buf[at..]).unwrap() {
+            seen.push(f);
+            at += n;
+        }
+        assert_eq!(seen, sample_frames());
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_immediately() {
+        assert_eq!(Frame::decode(b"XN\x01\x05"), Err(DecodeError::BadMagic));
+        assert_eq!(Frame::decode(b"RX\x01\x05"), Err(DecodeError::BadMagic));
+        // ...even from the very first byte.
+        assert_eq!(Frame::decode(b"G"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_and_type_are_rejected() {
+        assert_eq!(Frame::decode(b"RN\x02\x05\x00"), Err(DecodeError::BadVersion(2)));
+        assert_eq!(Frame::decode(b"RN\x01\x63\x00"), Err(DecodeError::UnknownFrameType(0x63)));
+        assert_eq!(Frame::decode(b"RN\x01\x00\x00"), Err(DecodeError::UnknownFrameType(0)));
+    }
+
+    #[test]
+    fn oversize_payload_rejected_without_allocation() {
+        let mut buf = b"RN\x01\x05".to_vec();
+        varint::put(&mut buf, MAX_PAYLOAD + 1);
+        assert_eq!(Frame::decode(&buf), Err(DecodeError::Oversize(MAX_PAYLOAD + 1)));
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        // A Failed frame whose payload stops mid-string.
+        let good = Frame::Failed { exec_id: 1, message: "xyz".into() }.encode();
+        let mut bad = b"RN\x01\x04".to_vec();
+        // keep 3 payload bytes of the original 5+
+        let payload = &good[5..8];
+        varint::put(&mut bad, payload.len() as u64);
+        bad.extend_from_slice(payload);
+        assert!(matches!(Frame::decode(&bad), Err(DecodeError::Malformed(_))));
+        // Trailing payload bytes are equally malformed.
+        let mut padded = b"RN\x01\x05".to_vec();
+        varint::put(&mut padded, 3);
+        padded.extend_from_slice(&[1, 0, 0]);
+        assert!(matches!(Frame::decode(&padded), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn heartbeat_is_tiny() {
+        assert!(Frame::Heartbeat { seq: 1 }.encode().len() <= 6, "heartbeats stay single-digit");
+        assert_eq!(Frame::Shutdown.encode().len(), 5);
+    }
+}

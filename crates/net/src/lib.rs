@@ -1,0 +1,29 @@
+//! `rnet` — the wire layer of the distributed rcompss backend.
+//!
+//! A deliberately small, dependency-free protocol stack in three layers:
+//!
+//! * [`varint`] — LEB128 integers, the length prefix and every integer
+//!   field;
+//! * [`wire`] — field primitives (ints, floats, strings, byte strings) and
+//!   a sequential payload [`wire::Reader`]; application value codecs build
+//!   on these so driver and worker agree byte for byte;
+//! * [`frame`] + [`conn`] — the versioned, magic-prefixed frame model
+//!   (task submit with interned function names, done/failed, heartbeat,
+//!   data fetch, shutdown) and the incremental [`conn::FrameReader`] that
+//!   survives arbitrary read boundaries.
+//!
+//! The crate knows nothing about tasks, schedulers, or values — payloads
+//! are opaque tagged [`frame::Blob`]s. That keeps the dependency arrow
+//! pointing one way: `rcompss` (and the HPO layer above it) depend on
+//! `rnet`, never the reverse.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod frame;
+pub mod varint;
+pub mod wire;
+
+pub use conn::{read_frame, write_frame, write_frames, FrameReader};
+pub use frame::{Blob, DecodeError, Frame, WireArg, MAGIC, MAX_PAYLOAD, VERSION};
+pub use wire::{Reader, WireError};

@@ -1,0 +1,113 @@
+//! Property tests for the wire protocol: random frames must survive
+//! encode → split-at-arbitrary-boundaries → decode, and random garbage must
+//! never panic the decoder.
+
+use proptest::prelude::*;
+use rnet::{Blob, Frame, FrameReader, WireArg};
+
+fn arb_blob() -> impl Strategy<Value = Blob> {
+    ("[a-z.]{0,12}", proptest::collection::vec(any::<u8>(), 0..200))
+        .prop_map(|(tag, bytes)| Blob { tag, bytes })
+}
+
+fn arb_arg() -> impl Strategy<Value = WireArg> {
+    prop_oneof![
+        (any::<u64>(), arb_blob()).prop_map(|(key, blob)| WireArg::Inline { key, blob }),
+        any::<u64>().prop_map(|key| WireArg::Cached { key }),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        ("[ -~]{0,24}", any::<u32>(), 0u32..16, any::<u32>()).prop_map(
+            |(name, cores, gpus, mem_gib)| Frame::Hello { name, cores, gpus, mem_gib }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            proptest::option::of("[a-z._]{1,20}"),
+            0u32..4,
+            proptest::collection::vec(any::<u32>(), 0..8),
+            proptest::collection::vec(any::<u32>(), 0..4),
+            proptest::collection::vec(arb_arg(), 0..5),
+        )
+            .prop_map(
+                |(exec_id, task_id, attempt, node, fn_id, fn_name, variant, cores, gpus, args)| {
+                    Frame::Submit {
+                        exec_id,
+                        task_id,
+                        attempt,
+                        node,
+                        fn_id,
+                        fn_name,
+                        variant,
+                        cores,
+                        gpus,
+                        args,
+                    }
+                }
+            ),
+        (any::<u64>(), proptest::collection::vec(arb_blob(), 0..4))
+            .prop_map(|(exec_id, outputs)| Frame::Done { exec_id, outputs }),
+        (any::<u64>(), "[ -~]{0,60}")
+            .prop_map(|(exec_id, message)| Frame::Failed { exec_id, message }),
+        any::<u64>().prop_map(|seq| Frame::Heartbeat { seq }),
+        any::<u64>().prop_map(|seq| Frame::HeartbeatAck { seq }),
+        any::<u64>().prop_map(|key| Frame::Fetch { key }),
+        (any::<u64>(), arb_blob()).prop_map(|(key, blob)| Frame::Data { key, blob }),
+        Just(Frame::Shutdown),
+    ]
+}
+
+proptest! {
+    /// Any sequence of frames, delivered chopped at arbitrary boundaries,
+    /// reassembles to exactly the original sequence.
+    #[test]
+    fn frames_survive_arbitrary_split_boundaries(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        cuts in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        // Split the byte stream at the cumulative cut points.
+        let mut reader = FrameReader::new();
+        let mut seen = Vec::new();
+        let mut at = 0;
+        let mut cuts = cuts.into_iter();
+        while at < wire.len() {
+            let step = cuts.next().unwrap_or(wire.len()).min(wire.len() - at);
+            reader.extend(&wire[at..at + step]);
+            at += step;
+            while let Some(f) = reader.next().expect("valid stream never errors") {
+                seen.push(f);
+            }
+        }
+        prop_assert_eq!(seen, frames);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+
+    /// A lone frame decodes from its exact buffer and from every prefix
+    /// returns "incomplete" rather than garbage or panic.
+    #[test]
+    fn single_frame_roundtrip_and_prefix_safety(frame in arb_frame()) {
+        let buf = frame.encode();
+        let (decoded, used) = Frame::decode(&buf).unwrap().expect("complete");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(used, buf.len());
+        for cut in 1..buf.len() {
+            prop_assert_eq!(Frame::decode(&buf[..cut]).unwrap(), None);
+        }
+    }
+
+    /// Random bytes never panic the decoder: they either fail cleanly or
+    /// wait for more input.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::decode(&bytes);
+    }
+}

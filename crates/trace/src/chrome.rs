@@ -75,6 +75,14 @@ fn event_fields(kind: &EventKind) -> (String, String) {
 /// not matter to the viewers, but metadata events naming every process and
 /// thread are emitted first so rows are labelled before slices arrive.
 pub fn export(app_name: &str, records: &[Record]) -> String {
+    export_named(app_name, records, &[])
+}
+
+/// Like [`export`], with display names for the node lanes: node `i` is
+/// labelled `node_names[i]` (e.g. a distributed worker's `name@addr`)
+/// instead of the generic `node{i}`. Nodes past the end of the slice keep
+/// the generic label.
+pub fn export_named(app_name: &str, records: &[Record], node_names: &[String]) -> String {
     let mut cores: Vec<_> = records.iter().map(|r| r.core()).collect();
     cores.sort_unstable();
     cores.dedup();
@@ -93,14 +101,17 @@ pub fn export(app_name: &str, records: &[Record]) -> String {
     for c in &cores {
         if !named_nodes.contains(&c.node) {
             named_nodes.push(c.node);
+            let lane = node_names
+                .get(c.node as usize)
+                .map_or_else(|| format!("node{}", c.node), |n| esc(n));
             push(
                 &mut out,
                 format!(
                     "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
-                     \"args\":{{\"name\":\"{} node{}\"}}}}",
+                     \"args\":{{\"name\":\"{} {}\"}}}}",
                     c.node,
                     esc(app_name),
-                    c.node
+                    lane
                 ),
             );
         }
@@ -276,6 +287,23 @@ mod tests {
     fn empty_trace_is_still_valid() {
         let doc = export("empty", &[]);
         assert_eq!(validate_schema(&doc).unwrap(), 0);
+    }
+
+    #[test]
+    fn export_named_labels_node_lanes_with_worker_names() {
+        let names = vec!["w0@127.0.0.1:7077".to_string()];
+        let doc = export_named("hpo", &sample_records(), &names);
+        validate_schema(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let lane_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("process_name"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        // Node 0 gets the worker label; node 1 is past the slice → generic.
+        assert!(lane_names.contains(&"hpo w0@127.0.0.1:7077"), "{lane_names:?}");
+        assert!(lane_names.contains(&"hpo node1"), "{lane_names:?}");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum BackendChoice {
     Threaded,
     /// Deterministic virtual-cluster simulation (cost-model durations).
     Sim,
+    /// Remote execution on `rcompss-worker` daemons over TCP.
+    Distributed,
 }
 
 /// Parsed command line.
@@ -73,6 +75,10 @@ pub struct CliArgs {
     pub no_metrics: bool,
     /// Write metrics exports to `<prefix>.prom` / `<prefix>.jsonl`.
     pub metrics_out: Option<String>,
+    /// Worker addresses for `--backend distributed` (host:port).
+    pub workers: Vec<String>,
+    /// Write a Chrome `trace_event` JSON trace here (implies tracing).
+    pub trace_out: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -94,8 +100,59 @@ impl Default for CliArgs {
             cnn: false,
             no_metrics: false,
             metrics_out: None,
+            workers: Vec::new(),
+            trace_out: None,
         }
     }
+}
+
+/// Parsed `worker` subcommand: what an `rcompss-worker` daemon needs to
+/// serve experiment tasks — its listen address/resources plus the exact
+/// dataset recipe, so it can rebuild the same objective the driver
+/// submits against (both sides must agree on the task by name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerArgs {
+    /// Listen address.
+    pub listen: String,
+    /// Worker display name (shows up in trace lanes and metric labels).
+    pub name: String,
+    /// Advertised CPU cores (0 = autodetect).
+    pub cores: u32,
+    /// Dataset recipe — must match the driver invocation.
+    pub dataset: DatasetChoice,
+    /// Dataset size — must match the driver invocation.
+    pub samples: usize,
+    /// Dataset RNG seed — must match the driver invocation.
+    pub seed: u64,
+    /// CNN architectures — must match the driver invocation.
+    pub cnn: bool,
+    /// In-trial early-stop target — must match the driver invocation.
+    pub target_accuracy: Option<f64>,
+}
+
+impl Default for WorkerArgs {
+    fn default() -> Self {
+        WorkerArgs {
+            listen: "127.0.0.1:7077".to_string(),
+            name: "worker".to_string(),
+            cores: 0,
+            dataset: DatasetChoice::Mnist,
+            samples: 1_000,
+            seed: 42,
+            cnn: false,
+            target_accuracy: None,
+        }
+    }
+}
+
+/// Which entry point a command line selects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Drive an HPO run (the default).
+    Run(CliArgs),
+    /// Serve as a task-executing worker daemon (`hpo-run worker ...` /
+    /// the `rcompss-worker` binary).
+    Worker(WorkerArgs),
 }
 
 /// Parse error with a usage-worthy message.
@@ -116,19 +173,24 @@ hpo-run — distributed hyperparameter optimisation (PyCOMPSs-style)
 
 USAGE:
     hpo-run --config <space.json> [OPTIONS]
+    hpo-run worker [WORKER OPTIONS]
 
 OPTIONS:
     --config <file>        JSON search-space file (required)
     --algo <a>             grid | random | tpe | bayes      [grid]
     --dataset <d>          mnist | cifar10                  [mnist]
     --samples <n>          synthetic dataset size           [1000]
-    --backend <b>          threaded | sim                   [threaded]
+    --backend <b>          threaded | sim | distributed     [threaded]
+    --workers <a,b,...>    worker host:port list (required for
+                           --backend distributed)
     --nodes <n>            virtual nodes for --backend sim  [1]
     --cores-per-task <n>   CPU units per experiment         [1]
     --trials <n>           budget for random/tpe/bayes      [20]
     --seed <n>             RNG seed                         [42]
     --target-accuracy <x>  early-stop when reached
     --trace                enable Extrae-style tracing
+    --trace-out <file>     write a Chrome trace_event JSON trace
+                           (implies --trace; open in Perfetto)
     --graph <file>         write the task graph as DOT
     --out <file>           write trial results as CSV
     --metrics-out <prefix> write runtime metrics to <prefix>.prom
@@ -136,6 +198,14 @@ OPTIONS:
     --no-metrics           disable runtime metrics collection
     --cnn                  train CNNs instead of dense nets
     --help                 show this text
+
+WORKER OPTIONS (hpo-run worker / rcompss-worker):
+    --listen <addr>        listen address        [127.0.0.1:7077]
+    --name <s>             worker display name   [worker]
+    --cores <n>            advertised CPU cores  [autodetect]
+    --dataset, --samples, --seed, --cnn, --target-accuracy
+                           dataset recipe — must match the driver, so the
+                           worker rebuilds the identical objective
 ";
 
 fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, CliError> {
@@ -178,8 +248,17 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
                 out.backend = match take_value(arg, &mut it)? {
                     "threaded" => BackendChoice::Threaded,
                     "sim" => BackendChoice::Sim,
+                    "distributed" => BackendChoice::Distributed,
                     other => return Err(CliError(format!("unknown backend '{other}'"))),
                 };
+            }
+            "--workers" => {
+                out.workers = take_value(arg, &mut it)?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|w| !w.is_empty())
+                    .map(str::to_string)
+                    .collect();
             }
             "--samples" => out.samples = parse_num(arg, take_value(arg, &mut it)?)?,
             "--nodes" => out.nodes = parse_num(arg, take_value(arg, &mut it)?)?,
@@ -190,6 +269,10 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
                 out.target_accuracy = Some(parse_num(arg, take_value(arg, &mut it)?)?);
             }
             "--trace" => out.trace = true,
+            "--trace-out" => {
+                out.trace_out = Some(take_value(arg, &mut it)?.to_string());
+                out.trace = true;
+            }
             "--graph" => out.graph_out = Some(take_value(arg, &mut it)?.to_string()),
             "--out" => out.csv_out = Some(take_value(arg, &mut it)?.to_string()),
             "--metrics-out" => out.metrics_out = Some(take_value(arg, &mut it)?.to_string()),
@@ -209,6 +292,50 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
     }
     if out.cores_per_task == 0 {
         return Err(CliError("--cores-per-task must be at least 1".to_string()));
+    }
+    if out.backend == BackendChoice::Distributed && out.workers.is_empty() {
+        return Err(CliError("--backend distributed requires --workers <addr,...>".to_string()));
+    }
+    if out.backend != BackendChoice::Distributed && !out.workers.is_empty() {
+        return Err(CliError("--workers only applies to --backend distributed".to_string()));
+    }
+    Ok(out)
+}
+
+/// Parse a full command line, recognising the `worker` subcommand;
+/// anything else goes through [`parse`] as a driver invocation.
+pub fn parse_command(args: &[&str]) -> Result<Command, CliError> {
+    match args.first() {
+        Some(&"worker") => parse_worker(&args[1..]).map(Command::Worker),
+        _ => parse(args).map(Command::Run),
+    }
+}
+
+/// Parse the flags of the `worker` subcommand.
+pub fn parse_worker(args: &[&str]) -> Result<WorkerArgs, CliError> {
+    let mut out = WorkerArgs::default();
+    let mut it = args.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            "--listen" => out.listen = take_value(arg, &mut it)?.to_string(),
+            "--name" => out.name = take_value(arg, &mut it)?.to_string(),
+            "--cores" => out.cores = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--dataset" => {
+                out.dataset = match take_value(arg, &mut it)? {
+                    "mnist" => DatasetChoice::Mnist,
+                    "cifar10" | "cifar" => DatasetChoice::Cifar10,
+                    other => return Err(CliError(format!("unknown dataset '{other}'"))),
+                };
+            }
+            "--samples" => out.samples = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--seed" => out.seed = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--cnn" => out.cnn = true,
+            "--target-accuracy" => {
+                out.target_accuracy = Some(parse_num(arg, take_value(arg, &mut it)?)?);
+            }
+            other => return Err(CliError(format!("unknown worker flag '{other}'\n\n{USAGE}"))),
+        }
     }
     Ok(out)
 }
@@ -297,5 +424,84 @@ mod tests {
     fn help_returns_usage() {
         let e = parse(&["--help"]).unwrap_err();
         assert!(e.0.contains("USAGE"));
+        assert!(e.0.contains("distributed"), "help documents the distributed backend");
+        assert!(e.0.contains("--workers"));
+        assert!(e.0.contains("worker [WORKER OPTIONS]"));
+    }
+
+    #[test]
+    fn distributed_backend_parses_worker_list() {
+        let a = parse(&[
+            "--config",
+            "s.json",
+            "--backend",
+            "distributed",
+            "--workers",
+            "127.0.0.1:7077, 127.0.0.1:7078",
+        ])
+        .unwrap();
+        assert_eq!(a.backend, BackendChoice::Distributed);
+        assert_eq!(a.workers, vec!["127.0.0.1:7077", "127.0.0.1:7078"]);
+    }
+
+    #[test]
+    fn distributed_backend_requires_workers() {
+        let e = parse(&["--config", "s.json", "--backend", "distributed"]).unwrap_err();
+        assert!(e.0.contains("--workers"), "{e}");
+        let e =
+            parse(&["--config", "s.json", "--workers", "127.0.0.1:7077"]).unwrap_err();
+        assert!(e.0.contains("only applies"), "{e}");
+    }
+
+    #[test]
+    fn trace_out_implies_trace() {
+        let a = parse(&["--config", "s.json", "--trace-out", "run.trace.json"]).unwrap();
+        assert!(a.trace);
+        assert_eq!(a.trace_out.as_deref(), Some("run.trace.json"));
+    }
+
+    #[test]
+    fn worker_subcommand_parses() {
+        let cmd = parse_command(&[
+            "worker",
+            "--listen",
+            "0.0.0.0:9000",
+            "--name",
+            "gpu-box",
+            "--cores",
+            "8",
+            "--dataset",
+            "cifar10",
+            "--samples",
+            "500",
+            "--seed",
+            "7",
+            "--cnn",
+        ])
+        .unwrap();
+        let Command::Worker(w) = cmd else { panic!("expected worker subcommand") };
+        assert_eq!(w.listen, "0.0.0.0:9000");
+        assert_eq!(w.name, "gpu-box");
+        assert_eq!(w.cores, 8);
+        assert_eq!(w.dataset, DatasetChoice::Cifar10);
+        assert_eq!((w.samples, w.seed), (500, 7));
+        assert!(w.cnn);
+    }
+
+    #[test]
+    fn worker_subcommand_defaults_and_errors() {
+        let Command::Worker(w) = parse_command(&["worker"]).unwrap() else {
+            panic!("expected worker")
+        };
+        assert_eq!(w, WorkerArgs::default());
+        assert_eq!(w.listen, "127.0.0.1:7077");
+        assert!(parse_worker(&["--wat"]).is_err());
+        assert!(parse_worker(&["--listen"]).is_err(), "dangling value");
+    }
+
+    #[test]
+    fn non_worker_first_arg_is_a_run_command() {
+        let cmd = parse_command(&["--config", "s.json"]).unwrap();
+        assert!(matches!(cmd, Command::Run(_)));
     }
 }

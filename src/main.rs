@@ -4,27 +4,29 @@
 //! on the chosen backend, and report.
 
 use std::process::ExitCode;
-use std::sync::Arc;
 
 use cluster::{Allocation, Cluster, NodeSpec, TrainingCost};
 use hpo::dashboard::{leaderboard, Dashboard};
 use hpo::prelude::*;
-use pycompss_hpo_repro::cli::{self, AlgoChoice, BackendChoice, CliArgs, DatasetChoice};
-use rcompss::{Constraint, Runtime, RuntimeConfig};
-use tinyml::data::SyntheticSpec;
-use tinyml::Dataset;
+use pycompss_hpo_repro::cli::{self, AlgoChoice, BackendChoice, CliArgs, Command, DatasetChoice};
+use pycompss_hpo_repro::worker;
+use rcompss::{Constraint, DistributedConfig, Runtime, RuntimeConfig};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let refs: Vec<&str> = raw.iter().map(String::as_str).collect();
-    let args = match cli::parse(&refs) {
-        Ok(a) => a,
+    let cmd = match cli::parse_command(&refs) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    let result = match &cmd {
+        Command::Worker(w) => worker::serve(w),
+        Command::Run(args) => run(args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -60,40 +62,33 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
                 .with_tracing(args.trace)
                 .with_metrics(metrics_on),
         ),
+        BackendChoice::Distributed => {
+            // Values and results cross process boundaries: codecs first.
+            hpo::wire::register_hpo_codecs();
+            let rt = Runtime::distributed(
+                RuntimeConfig::single_node(1).with_tracing(args.trace).with_metrics(metrics_on),
+                &args.workers,
+                DistributedConfig::default(),
+            )?;
+            println!("distributed cluster: {}", rt.node_labels().join(", "));
+            rt
+        }
     };
     // Training internals (epoch timing) report to the process-global
     // registry; switch it in step with the runtime's.
     runmetrics::global().set_enabled(metrics_on);
 
-    // 3. Objective: real training (threaded) for the chosen dataset.
-    let spec = match (args.dataset, args.cnn) {
-        (DatasetChoice::Mnist, false) => SyntheticSpec::mnist_like(),
-        (DatasetChoice::Mnist, true) => SyntheticSpec::mnist_like_spatial(),
-        (DatasetChoice::Cifar10, false) => SyntheticSpec::cifar_like(),
-        (DatasetChoice::Cifar10, true) => SyntheticSpec::cifar_like_spatial(),
-    };
-    let name = match args.dataset {
-        DatasetChoice::Mnist => "mnist-like",
-        DatasetChoice::Cifar10 => "cifar10-like",
-    };
-    let data = Arc::new(Dataset::synthetic(name, args.samples, &spec, args.seed));
+    // 3. Objective: real training for the chosen dataset. Shared with the
+    // worker daemon, so a distributed worker started with the same dataset
+    // flags executes the identical function (see `worker::build_objective`).
+    let (data, objective) = worker::build_objective(
+        args.dataset,
+        args.samples,
+        args.seed,
+        args.cnn,
+        args.target_accuracy,
+    );
     println!("dataset: {} ({} examples, {} features)", data.name, data.len(), data.dim());
-    let early = args.target_accuracy.map(EarlyStop::at_accuracy);
-    let objective = if args.cnn {
-        // inject the arch key by wrapping the objective
-        let inner =
-            hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early);
-        let wrapped: hpo::experiment::Objective = Arc::new(move |cfg, budget| {
-            let mut cfg = cfg.clone();
-            if cfg.get_str("arch").is_none() {
-                cfg.set("arch", ConfigValue::Str("cnn".into()));
-            }
-            inner(&cfg, budget)
-        });
-        wrapped
-    } else {
-        hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early)
-    };
 
     // 4. Runner options.
     let mut opts =
@@ -156,6 +151,9 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&jsonl, runmetrics::to_jsonl_line(rt.now_us(), &snap) + "\n")?;
         println!("metrics written to {prom} and {jsonl}");
     }
+    if args.backend == BackendChoice::Distributed && metrics_on {
+        print!("{}", dash.node_lanes(&rt.node_labels()));
+    }
     if args.trace {
         let records = rt.trace();
         let stats = paratrace::TraceStats::compute(&records);
@@ -166,6 +164,11 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             stats.peak_parallelism
         );
         print!("{}", paratrace::report::profile_table(&records));
+        if let Some(path) = &args.trace_out {
+            let doc = paratrace::chrome::export_named("hpo-run", &records, &rt.node_labels());
+            std::fs::write(path, doc)?;
+            println!("Chrome trace written to {path} (open in ui.perfetto.dev)");
+        }
     }
     Ok(())
 }

@@ -1,0 +1,97 @@
+//! The worker daemon behind `rcompss-worker` / `hpo-run worker`.
+//!
+//! A distributed run needs the experiment task to exist on both sides of
+//! the wire under the same name, closed over the same objective — the
+//! COMPSs equivalent of every worker node importing the user's Python
+//! module. [`build_objective`] is that shared recipe: the driver and the
+//! worker both call it with the same dataset parameters (`--dataset`,
+//! `--samples`, `--seed`, `--cnn`, `--target-accuracy`), so the function
+//! the worker executes is bit-identical to the one a threaded run would
+//! execute locally.
+
+use std::sync::Arc;
+
+use hpo::experiment::{ExperimentOptions, Objective};
+use hpo::space::ConfigValue;
+use hpo::wire::{experiment_task_def, register_hpo_codecs};
+use hpo::EarlyStop;
+use rcompss::{TaskRegistry, WorkerConfig, WorkerServer};
+use tinyml::data::SyntheticSpec;
+use tinyml::Dataset;
+
+use crate::cli::{DatasetChoice, WorkerArgs};
+
+/// Build the training dataset and objective from the CLI dataset recipe.
+///
+/// Deterministic in its arguments: the same `(dataset, samples, seed,
+/// cnn, target_accuracy)` tuple yields the same synthetic data and the
+/// same objective on every process that calls it.
+pub fn build_objective(
+    dataset: DatasetChoice,
+    samples: usize,
+    seed: u64,
+    cnn: bool,
+    target_accuracy: Option<f64>,
+) -> (Arc<Dataset>, Objective) {
+    let spec = match (dataset, cnn) {
+        (DatasetChoice::Mnist, false) => SyntheticSpec::mnist_like(),
+        (DatasetChoice::Mnist, true) => SyntheticSpec::mnist_like_spatial(),
+        (DatasetChoice::Cifar10, false) => SyntheticSpec::cifar_like(),
+        (DatasetChoice::Cifar10, true) => SyntheticSpec::cifar_like_spatial(),
+    };
+    let name = match dataset {
+        DatasetChoice::Mnist => "mnist-like",
+        DatasetChoice::Cifar10 => "cifar10-like",
+    };
+    let data = Arc::new(Dataset::synthetic(name, samples, &spec, seed));
+    let early = target_accuracy.map(EarlyStop::at_accuracy);
+    let objective = if cnn {
+        // Inject the arch key by wrapping the objective.
+        let inner =
+            hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early);
+        let wrapped: Objective = Arc::new(move |cfg, budget| {
+            let mut cfg = cfg.clone();
+            if cfg.get_str("arch").is_none() {
+                cfg.set("arch", ConfigValue::Str("cnn".into()));
+            }
+            inner(&cfg, budget)
+        });
+        wrapped
+    } else {
+        hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early)
+    };
+    (data, objective)
+}
+
+/// Run a worker daemon until killed: register the HPO codecs and the
+/// experiment task, bind the listen socket, and serve drivers.
+pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
+    register_hpo_codecs();
+    let (data, objective) =
+        build_objective(args.dataset, args.samples, args.seed, args.cnn, args.target_accuracy);
+    let registry =
+        TaskRegistry::new().with(experiment_task_def(&ExperimentOptions::default(), &objective));
+
+    let cores = if args.cores > 0 {
+        args.cores
+    } else {
+        std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
+    };
+    let cfg = WorkerConfig {
+        name: args.name.clone(),
+        cores,
+        gpus: 0,
+        mem_gib: 16,
+    };
+    let server = WorkerServer::bind(&args.listen, cfg, registry)?;
+    println!(
+        "rcompss-worker '{}' listening on {} ({} cores, dataset {} × {})",
+        args.name,
+        server.local_addr()?,
+        cores,
+        data.name,
+        data.len(),
+    );
+    server.run()?;
+    Ok(())
+}

@@ -15,7 +15,10 @@
 # respectively (fail on a >20% regression vs
 # crates/bench/baselines/runtime_throughput.json; regenerate with
 # `runtime_throughput rebaseline` after intentional scheduler or wire
-# changes). Finally a distributed loopback smoke boots two rcompss-worker
+# changes). The checkpoint-overhead bench gates the snapshot cost the
+# same way (baselines/ckpt_overhead.json, `ckpt_overhead rebaseline`
+# after intentional snapshot-format or store changes).
+# Finally a distributed loopback smoke boots two rcompss-worker
 # daemons and checks a distributed grid search returns the exact per-trial
 # accuracies of the same run on the threaded backend.
 set -euo pipefail
@@ -25,7 +28,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy (-D warnings)"
-cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench -p rnet -p runmetrics -p paratrace -p cluster --all-targets -- -D warnings
+cargo clippy -p tinyml -p rcompss -p hpo -p hpo-bench -p rnet -p runmetrics -p paratrace -p cluster -p ckpt --all-targets -- -D warnings
 
 if [[ "${1:-}" == "quick" ]]; then
     echo "ci.sh: quick mode — skipping tier-1 build and tests"
@@ -46,6 +49,9 @@ cargo run --release -p hpo-bench --bin runtime_throughput -- smoke
 
 echo "==> runtime throughput (net): loopback wire-protocol regression gate"
 cargo run --release -p hpo-bench --bin runtime_throughput -- net_throughput
+
+echo "==> checkpoint overhead (smoke): snapshot-cost regression gate"
+cargo run --release -p hpo-bench --bin ckpt_overhead -- smoke
 
 echo "==> distributed loopback smoke: 2 workers, distributed == threaded"
 SMOKE_DIR=$(mktemp -d)

@@ -1,0 +1,246 @@
+//! Checkpointing overhead: training epochs/sec with model snapshots off,
+//! saved every epoch, and saved every 5 epochs.
+//!
+//! The checkpoint subsystem's contract is that durability is cheap: a
+//! snapshot is one `encode` (weights + optimiser slots + history) plus a
+//! tmp-file write and rename in `ckpt::DirStore`. This binary measures
+//! exactly that tax on real `tinyml` training — the same
+//! `train_with_checkpoints` path the HPO objective uses — so a snapshot
+//! encode regression or an accidental fsync-per-batch shows up as an
+//! epochs/sec drop.
+//!
+//! Modes:
+//! * default — full scenario grid (MLP + CNN at each cadence), table to
+//!   stdout, JSON snapshot to `results/ckpt_overhead.json`.
+//! * `smoke` / `--smoke` — the MLP subset, compared against the
+//!   checked-in baseline (`crates/bench/baselines/ckpt_overhead.json`);
+//!   exits non-zero on a >20 % epochs/sec regression in any scenario.
+//!   ci.sh runs this as a gate next to `runtime_throughput smoke`.
+//! * `rebaseline` — re-measure the smoke grid and overwrite the baseline.
+//!
+//! The baseline is machine-calibrated (best of 3 on the box that recorded
+//! it); regenerate with `ckpt_overhead rebaseline` after intentional
+//! snapshot-format or store changes and commit the JSON alongside them.
+
+use std::time::Instant;
+
+use hpo_bench::{banner, out_dir};
+use tinyml::data::SyntheticSpec;
+use tinyml::train::{train_with_checkpoints, Checkpointing, EpochSignal, TrainConfig};
+use tinyml::{Dataset, ModelArch};
+
+/// Model family under training.
+#[derive(Clone, Copy, PartialEq)]
+enum Arch {
+    /// Dense MLP (hidden [32]) on MNIST-like rows.
+    Mlp,
+    /// Small two-block CNN on spatial MNIST-like images.
+    Cnn,
+}
+
+struct Scenario {
+    arch: Arch,
+    /// Snapshot cadence in epochs; `0` = checkpointing off.
+    every: u32,
+    epochs: u32,
+    samples: usize,
+}
+
+impl Scenario {
+    fn key(&self) -> String {
+        let a = match self.arch {
+            Arch::Mlp => "mlp",
+            Arch::Cnn => "cnn",
+        };
+        let c = match self.every {
+            0 => "off".to_string(),
+            n => format!("every{n}"),
+        };
+        format!("{a}_{c}")
+    }
+}
+
+fn dataset(sc: &Scenario) -> Dataset {
+    match sc.arch {
+        Arch::Mlp => Dataset::synthetic("bench-mnist", sc.samples, &SyntheticSpec::mnist_like(), 7),
+        Arch::Cnn => Dataset::synthetic(
+            "bench-mnist-spatial",
+            sc.samples,
+            &SyntheticSpec::mnist_like_spatial(),
+            7,
+        ),
+    }
+}
+
+fn train_config(sc: &Scenario) -> TrainConfig {
+    TrainConfig {
+        epochs: sc.epochs,
+        batch_size: 64,
+        hidden_layers: vec![32],
+        arch: match sc.arch {
+            Arch::Mlp => ModelArch::Dense,
+            Arch::Cnn => ModelArch::Cnn { conv1_channels: 4, conv2_channels: 8 },
+        },
+        threads: 1,
+        ..TrainConfig::default()
+    }
+}
+
+/// Run one scenario once; returns (epochs/sec, bytes of the last snapshot).
+fn run(sc: &Scenario) -> (f64, usize) {
+    let data = dataset(sc);
+    let cfg = train_config(sc);
+    let dir = std::env::temp_dir().join(format!("ckpt-overhead-{}", std::process::id()));
+    let store = ckpt::DirStore::open(&dir, 2).expect("open snapshot store");
+    let mut snap_bytes = 0usize;
+    let mut saves = 0u32;
+    let mut sink = |snap: &tinyml::TrainSnapshot| {
+        let blob = snap.encode();
+        snap_bytes = blob.len();
+        saves += 1;
+        store.save(0x8E7C, snap.next_epoch, &blob).expect("save snapshot");
+    };
+    let t0 = Instant::now();
+    let history = train_with_checkpoints(
+        &cfg,
+        &data,
+        Checkpointing {
+            every: sc.every,
+            resume: None,
+            sink: if sc.every > 0 { Some(&mut sink) } else { None },
+        },
+        &mut |_, _, _| EpochSignal::Continue,
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(history.epochs_run(), sc.epochs as usize, "bench must train the full budget");
+    if sc.every > 0 {
+        // cadence skips the final epoch (the outcome supersedes it)
+        assert_eq!(saves, sc.epochs.saturating_sub(1) / sc.every, "snapshot cadence");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (f64::from(sc.epochs) / wall, snap_bytes)
+}
+
+/// Best epochs/sec over `reps` runs (noise is one-sided: take max).
+fn best_of(sc: &Scenario, reps: u32) -> (f64, usize) {
+    (0..reps).map(|_| run(sc)).fold((0.0f64, 0usize), |acc, r| (acc.0.max(r.0), acc.1.max(r.1)))
+}
+
+fn sc(arch: Arch, every: u32) -> Scenario {
+    let (epochs, samples) = match arch {
+        Arch::Mlp => (12, 2_000),
+        Arch::Cnn => (6, 400),
+    };
+    Scenario { arch, every, epochs, samples }
+}
+
+fn smoke_grid() -> Vec<Scenario> {
+    vec![sc(Arch::Mlp, 0), sc(Arch::Mlp, 1), sc(Arch::Mlp, 5)]
+}
+
+fn full_grid() -> Vec<Scenario> {
+    let mut g = smoke_grid();
+    g.push(sc(Arch::Cnn, 0));
+    g.push(sc(Arch::Cnn, 1));
+    g
+}
+
+fn write_json(path: &std::path::Path, rows: &[(String, f64)]) {
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!("  \"{k}\": {v:.1}{sep}\n"));
+    }
+    s.push_str("}\n");
+    std::fs::write(path, s).expect("write json");
+}
+
+/// Parse the flat `{"key": number, ...}` JSON this binary writes.
+fn read_json(path: &std::path::Path) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((key, val)) = rest.split_once("\":") else { continue };
+        if let Ok(v) = val.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    Some(out)
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join("ckpt_overhead.json")
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let smoke = mode == "smoke" || mode == "--smoke";
+    let rebaseline = mode == "rebaseline";
+    banner(
+        "Checkpoint overhead",
+        "training epochs/sec with snapshots off / every epoch / every 5 epochs",
+    );
+
+    let grid = if smoke || rebaseline { smoke_grid() } else { full_grid() };
+    let reps = if smoke || rebaseline { 3 } else { 2 };
+    // Warm up allocator and kernel paths.
+    let _ = run(&Scenario { arch: Arch::Mlp, every: 0, epochs: 2, samples: 500 });
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>12}",
+        "scenario", "epochs", "samples", "epochs/sec", "snap bytes"
+    );
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut off_eps: Option<f64> = None;
+    for sc in &grid {
+        let (eps, bytes) = best_of(sc, reps);
+        println!("{:<14} {:>8} {:>8} {:>12.1} {:>12}", sc.key(), sc.epochs, sc.samples, eps, bytes);
+        if sc.every == 0 {
+            off_eps = Some(eps);
+        } else if let Some(off) = off_eps {
+            println!("{:<14} {:>42.1}% overhead vs off", "", (off / eps - 1.0) * 100.0);
+        }
+        rows.push((sc.key(), eps));
+    }
+
+    if rebaseline {
+        let path = baseline_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("baseline dir");
+        write_json(&path, &rows);
+        println!("\nbaseline written to {}", path.display());
+        return;
+    }
+
+    let out = out_dir().join("ckpt_overhead.json");
+    write_json(&out, &rows);
+    println!("\nJSON snapshot: {}", out.display());
+
+    if smoke {
+        let path = baseline_path();
+        let Some(baseline) = read_json(&path) else {
+            println!("no baseline at {} — gate skipped (run `rebaseline`)", path.display());
+            return;
+        };
+        let mut failed = false;
+        println!("\ngate: >= 80% of baseline epochs/sec");
+        for (key, eps) in &rows {
+            match baseline.iter().find(|(k, _)| k == key) {
+                Some((_, base)) if *base > 0.0 => {
+                    let ratio = eps / base;
+                    let verdict = if ratio >= 0.8 { "ok" } else { "REGRESSION" };
+                    println!("  {key:<14} {eps:>10.1} vs {base:>10.1}  ({ratio:>5.2}x) {verdict}");
+                    if ratio < 0.8 {
+                        failed = true;
+                    }
+                }
+                _ => println!("  {key:<14} {eps:>10.1} (no baseline entry)"),
+            }
+        }
+        assert!(!failed, "epochs/sec regressed >20% vs checked-in baseline");
+        println!("OK");
+    }
+}

@@ -1,0 +1,246 @@
+//! Append-only CRC-framed journal with truncated-tail recovery.
+//!
+//! Frame layout, repeated until end of file:
+//!
+//! ```text
+//! [payload_len: u32 le][crc32(payload): u32 le][payload: payload_len bytes]
+//! ```
+//!
+//! Writing appends a frame, flushes, and fsyncs before returning, so a
+//! successful [`Journal::append`] means the record survives a crash.
+//! A crash *during* an append can leave a torn frame at the tail — a
+//! partial header, a short payload, or a payload whose CRC does not match.
+//! [`JournalReader::recover`] treats any such tail as "the crash point":
+//! it returns every fully-framed record before it and flags the
+//! truncation, never panicking and never dropping a complete record.
+//! [`Journal::open`] re-uses the same scan to truncate a torn tail before
+//! appending, so one file can live through any number of crash/resume
+//! cycles.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32;
+
+/// Refuse frames claiming more than this many bytes: anything larger in
+/// this repo is garbage (a torn header read as a length), not a record.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Append handle for a journal file. Created via [`Journal::create`] (new
+/// or truncate) or [`Journal::open`] (resume appending after recovery).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Create (or truncate) a journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(Journal { file, path })
+    }
+
+    /// Open an existing journal for appending, truncating any torn tail
+    /// left by a crash so new frames start at a clean boundary. Creates
+    /// the file if it does not exist.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        if !path.exists() {
+            return Journal::create(path);
+        }
+        let recovered = JournalReader::recover(&path)?;
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(recovered.clean_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Journal { file, path })
+    }
+
+    /// Append one record, flushing and fsyncing before returning.
+    /// Returns the number of bytes written (frame header + payload).
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64, "journal record too large");
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(frame.len() as u64)
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Result of scanning a journal file: every intact record plus where the
+/// clean prefix ends.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// Payloads of all fully-framed, CRC-clean records, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset where the clean prefix ends (== file length when the
+    /// file is undamaged).
+    pub clean_len: u64,
+    /// True when bytes after `clean_len` existed — a torn append from a
+    /// crash, or outside corruption.
+    pub tail_truncated: bool,
+}
+
+/// Reader side: scan a journal file tolerating a torn tail.
+#[derive(Debug)]
+pub struct JournalReader;
+
+impl JournalReader {
+    /// Scan `path` and return every intact record. A truncated or corrupt
+    /// tail stops the scan cleanly (flagged via
+    /// [`RecoveredLog::tail_truncated`]) — it is never an error and never
+    /// panics. A missing file reads as an empty log.
+    pub fn recover(path: impl AsRef<Path>) -> std::io::Result<RecoveredLog> {
+        let bytes = match std::fs::read(path.as_ref()) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(Self::recover_bytes(&bytes))
+    }
+
+    /// Scan an in-memory journal image (the unit under proptest).
+    pub fn recover_bytes(bytes: &[u8]) -> RecoveredLog {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            // Torn header?
+            if bytes.len() - pos < 8 {
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            // Absurd length = garbage header; short payload = torn append.
+            if len > MAX_RECORD_LEN || bytes.len() - pos - 8 < len as usize {
+                break;
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len as usize];
+            if crc32(payload) != crc {
+                break;
+            }
+            records.push(payload.to_vec());
+            pos += 8 + len as usize;
+        }
+        RecoveredLog { records, clean_len: pos as u64, tail_truncated: pos != bytes.len() }
+    }
+
+    /// Read a journal one record at a time without materialising the whole
+    /// file (used by tools; `recover` is the common path).
+    pub fn stream(path: impl AsRef<Path>) -> std::io::Result<impl Iterator<Item = Vec<u8>>> {
+        let mut file = File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Ok(Self::recover_bytes(&bytes).records.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ckpt-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_records_in_order() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("sweep.journal");
+        let mut j = Journal::create(&path).unwrap();
+        let records: Vec<Vec<u8>> =
+            vec![b"alpha".to_vec(), vec![], vec![0u8; 1000], b"omega".to_vec()];
+        for r in &records {
+            j.append(r).unwrap();
+        }
+        let got = JournalReader::recover(&path).unwrap();
+        assert_eq!(got.records, records);
+        assert!(!got.tail_truncated);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = tmpdir("torn");
+        let path = dir.join("sweep.journal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(b"keep-me").unwrap();
+        j.append(b"also-keep").unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a partial frame at the tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&20u32.to_le_bytes()).unwrap(); // header claims 20 bytes...
+        f.write_all(&[1, 2, 3]).unwrap(); // ...crash after 3
+        drop(f);
+        let got = JournalReader::recover(&path).unwrap();
+        assert_eq!(got.records.len(), 2);
+        assert!(got.tail_truncated);
+        // Re-opening repairs the tail and appending continues cleanly.
+        let mut j = Journal::open(&path).unwrap();
+        j.append(b"after-crash").unwrap();
+        let got = JournalReader::recover(&path).unwrap();
+        assert_eq!(
+            got.records,
+            vec![b"keep-me".to_vec(), b"also-keep".to_vec(), b"after-crash".to_vec()]
+        );
+        assert!(!got.tail_truncated);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_scan_at_last_clean_record() {
+        let dir = tmpdir("crc");
+        let path = dir.join("sweep.journal");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(b"good").unwrap();
+        let total = j.append(b"flipped").unwrap() + 12; // 12 = frame for "good"
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, total);
+        *bytes.last_mut().unwrap() ^= 0xFF; // flip a payload bit in record 2
+        std::fs::write(&path, &bytes).unwrap();
+        let got = JournalReader::recover(&path).unwrap();
+        assert_eq!(got.records, vec![b"good".to_vec()]);
+        assert!(got.tail_truncated);
+        assert_eq!(got.clean_len, 12);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty_log() {
+        let got = JournalReader::recover("/nonexistent/dir/none.journal").unwrap();
+        assert!(got.records.is_empty());
+        assert!(!got.tail_truncated);
+    }
+
+    #[test]
+    fn absurd_length_header_is_treated_as_torn() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let got = JournalReader::recover_bytes(&bytes);
+        assert!(got.records.is_empty());
+        assert!(got.tail_truncated);
+        assert_eq!(got.clean_len, 0);
+    }
+}

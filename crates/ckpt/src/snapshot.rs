@@ -1,0 +1,191 @@
+//! Atomic per-trial snapshot store with retention.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/<trial-key-hex>/e<epoch>.snap
+//! ```
+//!
+//! One subdirectory per trial (callers key trials however they like — the
+//! hpo layer uses an FNV-64 of the config label), one file per retained
+//! epoch. Every write goes to `.tmp-e<epoch>.snap` in the same directory
+//! and is renamed into place after fsync, so a concurrent or post-crash
+//! reader only ever sees complete snapshots. [`DirStore::save`] applies
+//! the retention policy after the rename, deleting the oldest snapshots
+//! beyond the configured count.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Snapshot store rooted at a directory, keeping the newest `retain`
+/// snapshots per trial.
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    root: PathBuf,
+    retain: usize,
+}
+
+impl DirStore {
+    /// Open (creating if needed) a store rooted at `root`, retaining the
+    /// newest `retain` snapshots per trial (minimum 1).
+    pub fn open(root: impl AsRef<Path>, retain: usize) -> std::io::Result<DirStore> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirStore { root, retain: retain.max(1) })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn trial_dir(&self, trial: u64) -> PathBuf {
+        self.root.join(format!("{trial:016x}"))
+    }
+
+    /// Atomically write the snapshot for (`trial`, `epoch`), then prune
+    /// snapshots beyond the retention count. Returns bytes written.
+    pub fn save(&self, trial: u64, epoch: u32, blob: &[u8]) -> std::io::Result<u64> {
+        let dir = self.trial_dir(trial);
+        std::fs::create_dir_all(&dir)?;
+        let tmp = dir.join(format!(".tmp-e{epoch}.snap"));
+        let final_path = dir.join(format!("e{epoch}.snap"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(blob)?;
+            f.flush()?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &final_path)?;
+        self.prune(trial)?;
+        Ok(blob.len() as u64)
+    }
+
+    /// Load the snapshot for (`trial`, `epoch`), or `None` if absent.
+    pub fn load(&self, trial: u64, epoch: u32) -> std::io::Result<Option<Vec<u8>>> {
+        let path = self.trial_dir(trial).join(format!("e{epoch}.snap"));
+        match std::fs::read(&path) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The highest-epoch snapshot for `trial`: `(epoch, blob)`, or `None`
+    /// when the trial has none.
+    pub fn latest(&self, trial: u64) -> std::io::Result<Option<(u32, Vec<u8>)>> {
+        let mut epochs = self.epochs(trial)?;
+        while let Some(epoch) = epochs.pop() {
+            // A snapshot could be pruned between listing and reading; fall
+            // back to the next-newest rather than erroring.
+            if let Some(blob) = self.load(trial, epoch)? {
+                return Ok(Some((epoch, blob)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// All retained snapshot epochs for `trial`, ascending.
+    pub fn epochs(&self, trial: u64) -> std::io::Result<Vec<u32>> {
+        let dir = self.trial_dir(trial);
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(it) => it,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut epochs = Vec::new();
+        for entry in entries {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix('e').and_then(|s| s.strip_suffix(".snap")) {
+                if let Ok(epoch) = num.parse::<u32>() {
+                    epochs.push(epoch);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    /// Delete every snapshot for `trial` (called when the trial finishes —
+    /// a journaled outcome supersedes its snapshots).
+    pub fn clear(&self, trial: u64) -> std::io::Result<()> {
+        let dir = self.trial_dir(trial);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn prune(&self, trial: u64) -> std::io::Result<()> {
+        let epochs = self.epochs(trial)?;
+        if epochs.len() > self.retain {
+            let dir = self.trial_dir(trial);
+            for &epoch in &epochs[..epochs.len() - self.retain] {
+                let _ = std::fs::remove_file(dir.join(format!("e{epoch}.snap")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str, retain: usize) -> DirStore {
+        let dir = std::env::temp_dir().join(format!("ckpt-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DirStore::open(dir, retain).unwrap()
+    }
+
+    #[test]
+    fn save_load_latest_round_trip() {
+        let s = store("roundtrip", 3);
+        assert!(s.latest(7).unwrap().is_none());
+        s.save(7, 1, b"epoch-one").unwrap();
+        s.save(7, 4, b"epoch-four").unwrap();
+        assert_eq!(s.load(7, 1).unwrap().unwrap(), b"epoch-one");
+        assert_eq!(s.latest(7).unwrap().unwrap(), (4, b"epoch-four".to_vec()));
+        assert!(s.load(7, 2).unwrap().is_none());
+        std::fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_newest_n() {
+        let s = store("retain", 2);
+        for epoch in 1..=5 {
+            s.save(1, epoch, format!("e{epoch}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.epochs(1).unwrap(), vec![4, 5]);
+        assert_eq!(s.latest(1).unwrap().unwrap().0, 5);
+        std::fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn trials_are_isolated_and_clear_removes_one() {
+        let s = store("isolate", 3);
+        s.save(1, 1, b"one").unwrap();
+        s.save(2, 9, b"two").unwrap();
+        s.clear(1).unwrap();
+        assert!(s.latest(1).unwrap().is_none());
+        assert_eq!(s.latest(2).unwrap().unwrap(), (9, b"two".to_vec()));
+        s.clear(999).unwrap(); // clearing an unknown trial is a no-op
+        std::fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_save() {
+        let s = store("tmp", 3);
+        s.save(3, 2, &[0u8; 4096]).unwrap();
+        let dir = s.root().join(format!("{:016x}", 3u64));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(s.root()).unwrap();
+    }
+}

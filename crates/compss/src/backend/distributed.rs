@@ -95,6 +95,18 @@ fn data_key(v: DataVersion) -> u64 {
     (v.handle.0 << 32) | u64::from(v.version)
 }
 
+/// High bit of a wire key marks snapshot traffic (see [`crate::snapshot`])
+/// riding the same `Fetch`/`Data` frames as task data. Data keys never set
+/// it: handle ids are dense small integers (`data_key` puts them in bits
+/// 32..63), so bit 63 is free to carve out a second key namespace.
+/// Snapshot blobs are raw bytes — no codec — because they are opaque to
+/// the runtime; only the task that saved them knows the layout.
+pub(crate) const SNAP_BIT: u64 = 1 << 63;
+
+/// Codec tag stamped on snapshot `Data` frames. Never looked up in the
+/// codec registry — snapshot bytes cross the wire verbatim.
+pub(crate) const SNAP_TAG: &str = "ckpt.snap";
+
 fn key_version(key: u64) -> DataVersion {
     DataVersion { handle: DataHandle(key >> 32), version: key as u32 }
 }
@@ -564,17 +576,42 @@ fn reader_loop(inner: &Arc<Inner>, link: &Arc<WorkerLink>) {
                 handle_completion(inner, link, exec_id, Err(TaskError::new(message)));
             }
             Frame::HeartbeatAck { .. } => {}
+            Frame::Fetch { key } if key & SNAP_BIT != 0 => {
+                // Snapshot fetch: always reply — an empty blob means "no
+                // snapshot", so a fresh trial starts immediately instead
+                // of blocking out the worker's fetch deadline.
+                let bytes = inner.shared.snapshots.lock().get(&key).cloned().unwrap_or_default();
+                let blob = Blob { tag: SNAP_TAG.to_string(), bytes };
+                let mut st = link.writer.lock();
+                if let Some(stream) = st.stream.as_mut() {
+                    match write_frame(stream, &Frame::Data { key, blob }) {
+                        Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
+                        Err(_) => return,
+                    }
+                }
+            }
             Frame::Fetch { key } => {
                 let value = inner.shared.core.lock().data.get(key_version(key));
-                let reply = value.and_then(|v| codec::encode_value(&v)).map(|blob| {
-                    Frame::Data { key, blob }
-                });
+                let reply = value
+                    .and_then(|v| codec::encode_value(&v))
+                    .map(|blob| Frame::Data { key, blob });
                 let mut st = link.writer.lock();
                 if let (Some(frame), Some(stream)) = (reply, st.stream.as_mut()) {
                     match write_frame(stream, &frame) {
                         Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
                         Err(_) => return,
                     }
+                }
+            }
+            Frame::Data { key, blob } if key & SNAP_BIT != 0 => {
+                // A worker checkpointed (or finished) a task: keep the
+                // latest snapshot per key so the retry path can ship it to
+                // whichever worker inherits the task. Empty blob = discard.
+                let mut snaps = inner.shared.snapshots.lock();
+                if blob.bytes.is_empty() {
+                    snaps.remove(&key);
+                } else {
+                    snaps.insert(key, blob.bytes);
                 }
             }
             // Workers don't originate these driver-bound frames.
@@ -810,11 +847,7 @@ pub struct WorkerHandle {
 impl WorkerServer {
     /// Bind to `addr` (use port 0 for an OS-assigned loopback port in
     /// tests) with the given resources and task registry.
-    pub fn bind(
-        addr: &str,
-        cfg: WorkerConfig,
-        registry: TaskRegistry,
-    ) -> io::Result<WorkerServer> {
+    pub fn bind(addr: &str, cfg: WorkerConfig, registry: TaskRegistry) -> io::Result<WorkerServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(WorkerServer {
@@ -909,9 +942,9 @@ impl WorkerHandle {
     pub fn join(mut self) -> io::Result<()> {
         self.halt();
         match self.thread.take() {
-            Some(t) => t.join().unwrap_or_else(|_| {
-                Err(io::Error::other("worker accept loop panicked"))
-            }),
+            Some(t) => {
+                t.join().unwrap_or_else(|_| Err(io::Error::other("worker accept loop panicked")))
+            }
             None => Ok(()),
         }
     }
@@ -950,6 +983,70 @@ struct ConnShared {
     jobs_cv: Condvar,
     closed: AtomicBool,
     stop: Arc<AtomicBool>,
+    /// Snapshot blobs by wire key (`SNAP_BIT` set). `Some` = blob in hand;
+    /// `None` = the driver confirmed it has none (a cached miss, so a
+    /// fresh trial asks at most once). Waiters sync on `snaps_cv` (its own
+    /// condvar: parking_lot condvars are bound to one mutex at a time).
+    snaps: Mutex<HashMap<u64, Option<Vec<u8>>>>,
+    snaps_cv: Condvar,
+}
+
+/// The distributed worker's ambient snapshot channel: saves stream to the
+/// driver as `Data` frames (the driver keeps the latest per key), loads
+/// check the local map first and fall back to one `Fetch` round trip.
+/// This is the vehicle for resubmit-with-snapshot: the worker that
+/// inherits a dead peer's task fetches the dead peer's last checkpoint
+/// from the driver and resumes from it.
+struct WorkerSnapshotChannel(Arc<ConnShared>);
+
+impl crate::snapshot::SnapshotChannel for WorkerSnapshotChannel {
+    fn save(&self, key: u64, blob: &[u8]) {
+        let wire_key = key | SNAP_BIT;
+        self.0.snaps.lock().insert(wire_key, Some(blob.to_vec()));
+        // Best-effort ship to the driver; a torn connection surfaces later
+        // as the job failing, at which point the retry re-saves anyway.
+        let frame = Frame::Data {
+            key: wire_key,
+            blob: Blob { tag: SNAP_TAG.to_string(), bytes: blob.to_vec() },
+        };
+        let _ = write_frame(&mut *self.0.writer.lock(), &frame);
+    }
+
+    fn load(&self, key: u64) -> Option<Vec<u8>> {
+        let wire_key = key | SNAP_BIT;
+        {
+            let snaps = self.0.snaps.lock();
+            if let Some(entry) = snaps.get(&wire_key) {
+                return entry.clone();
+            }
+        }
+        if write_frame(&mut *self.0.writer.lock(), &Frame::Fetch { key: wire_key }).is_err() {
+            return None;
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut snaps = self.0.snaps.lock();
+        loop {
+            if let Some(entry) = snaps.get(&wire_key) {
+                return entry.clone();
+            }
+            if self.0.closed.load(Ordering::SeqCst) || std::time::Instant::now() >= deadline {
+                // Degrade to "no snapshot": the task trains from scratch.
+                return None;
+            }
+            self.0.snaps_cv.wait_for(&mut snaps, Duration::from_millis(50));
+        }
+    }
+
+    fn discard(&self, key: u64) {
+        let wire_key = key | SNAP_BIT;
+        self.0.snaps.lock().remove(&wire_key);
+        // Empty blob = tombstone on the driver.
+        let frame = Frame::Data {
+            key: wire_key,
+            blob: Blob { tag: SNAP_TAG.to_string(), bytes: Vec::new() },
+        };
+        let _ = write_frame(&mut *self.0.writer.lock(), &frame);
+    }
 }
 
 fn serve_conn(
@@ -973,6 +1070,8 @@ fn serve_conn(
         jobs_cv: Condvar::new(),
         closed: AtomicBool::new(false),
         stop,
+        snaps: Mutex::new(HashMap::new()),
+        snaps_cv: Condvar::new(),
     });
     if write_frame(&mut *conn.writer.lock(), &hello).is_err() {
         return;
@@ -1027,17 +1126,8 @@ fn serve_conn(
                     }
                     continue;
                 }
-                let job = Job {
-                    exec_id,
-                    task_id,
-                    attempt,
-                    node,
-                    name,
-                    variant,
-                    cores,
-                    gpus,
-                    arg_keys,
-                };
+                let job =
+                    Job { exec_id, task_id, attempt, node, name, variant, cores, gpus, arg_keys };
                 conn.jobs.lock().push_back(job);
                 conn.jobs_cv.notify_one();
             }
@@ -1045,6 +1135,13 @@ fn serve_conn(
                 if write_frame(&mut *conn.writer.lock(), &Frame::HeartbeatAck { seq }).is_err() {
                     break;
                 }
+            }
+            Ok(Some(Frame::Data { key, blob })) if key & SNAP_BIT != 0 => {
+                // Snapshot fetch reply: raw bytes, empty = confirmed miss.
+                // Both cases are cached so each trial asks at most once.
+                let entry = if blob.bytes.is_empty() { None } else { Some(blob.bytes) };
+                conn.snaps.lock().insert(key, entry);
+                conn.snaps_cv.notify_all();
             }
             Ok(Some(Frame::Data { key, blob })) => {
                 if let Ok(v) = codec::decode_value(&blob) {
@@ -1100,6 +1197,10 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn executor_loop(conn: Arc<ConnShared>, registry: Arc<TaskRegistry>) {
+    // Task bodies on this worker snapshot through the driver: saves are
+    // mirrored over the wire, loads fall back to a Fetch round trip.
+    let snap_channel: Arc<dyn crate::snapshot::SnapshotChannel> =
+        Arc::new(WorkerSnapshotChannel(Arc::clone(&conn)));
     loop {
         let job = {
             let mut jobs = conn.jobs.lock();
@@ -1113,7 +1214,9 @@ fn executor_loop(conn: Arc<ConnShared>, registry: Arc<TaskRegistry>) {
                 conn.jobs_cv.wait(&mut jobs);
             }
         };
-        let frame = run_job(&conn, &registry, &job);
+        let frame = crate::snapshot::with_channel(Arc::clone(&snap_channel), || {
+            run_job(&conn, &registry, &job)
+        });
         // A halted worker goes silent — the driver must see it as a crash,
         // not a graceful completion.
         if conn.stop.load(Ordering::SeqCst) {

@@ -9,6 +9,13 @@
 //! [`RetryPolicy::on_failure`] encodes exactly that escalation and is shared
 //! by both execution backends, so the threaded and the simulated runtime
 //! agree on recovery behaviour.
+//!
+//! A retried attempt does not have to start from scratch: if the failed
+//! attempt published intermediate state through the ambient snapshot
+//! channel ([`crate::snapshot`]), the replacement attempt — same node,
+//! other node, or a freshly joined worker on the distributed backend —
+//! loads the latest snapshot first and resumes from it, so a crash costs
+//! at most one snapshot interval of work.
 
 /// What to do after a failed execution attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -74,6 +74,7 @@ pub(crate) mod metrics;
 pub mod registry;
 pub mod runtime;
 pub mod scheduler;
+pub mod snapshot;
 pub mod task;
 
 pub use api::{wait_on_all, TypedHandle};

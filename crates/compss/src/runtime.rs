@@ -273,6 +273,13 @@ pub(crate) struct Shared {
     pub failures: FailureInjector,
     pub transfer: TransferModel,
     pub graph_enabled: bool,
+    /// Latest task-state snapshot per caller key (see [`crate::snapshot`]):
+    /// written by running bodies through the ambient channel, read back by
+    /// retried attempts so a resubmitted task resumes instead of
+    /// restarting. Distributed workers mirror theirs here via `Data`
+    /// frames, which is what lets a *replacement* worker pick up where a
+    /// killed one stopped.
+    pub snapshots: Mutex<HashMap<u64, Vec<u8>>>,
 }
 
 impl Shared {
@@ -403,6 +410,7 @@ impl Runtime {
             failures: cfg.failures.clone(),
             transfer: TransferModel::for_cluster(&cfg.cluster),
             graph_enabled: cfg.graph,
+            snapshots: Mutex::new(HashMap::new()),
         })
     }
 

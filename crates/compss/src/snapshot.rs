@@ -1,0 +1,181 @@
+//! Ambient snapshot channel: how a running task hands intermediate state
+//! to the runtime for crash/retry recovery.
+//!
+//! The paper's fault-tolerance story (retry on the same node, then
+//! resubmit elsewhere — see [`crate::fault`]) restarts a failed task from
+//! scratch. For long-running bodies (model training), that forfeits all
+//! completed work. This module closes the gap: a task body periodically
+//! calls [`save`] with an opaque blob keyed by a caller-chosen `u64`
+//! (the HPO layer keys by trial), and a retried attempt calls [`load`]
+//! first — on the threaded backend the blob comes back from the runtime's
+//! in-process store; on the distributed backend the worker ships it to
+//! the driver over the existing `Data` frame, the driver keeps the latest
+//! per key, and the replacement worker pulls it with a `Fetch` — so a
+//! killed worker costs at most one snapshot interval, not the whole task.
+//!
+//! The channel is *ambient*: backends install it around the task body
+//! with [`with_channel`], and bodies call the free functions without
+//! threading any handle through their signatures. Outside any scope
+//! (unit tests, the sim backend) the functions are inert: [`save`]
+//! returns `false`, [`load`] returns `None` — checkpointing degrades to
+//! "train from scratch", never to an error.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Where snapshots go and come back from. Implementations are the
+/// backend's business: an in-process map (threaded), a driver round trip
+/// (distributed).
+pub trait SnapshotChannel: Send + Sync {
+    /// Store `blob` as the latest snapshot for `key`, replacing any
+    /// previous one.
+    fn save(&self, key: u64, blob: &[u8]);
+    /// The latest snapshot for `key`, if any survives.
+    fn load(&self, key: u64) -> Option<Vec<u8>>;
+    /// Drop the snapshot for `key` (the task finished; its result
+    /// supersedes the snapshot).
+    fn discard(&self, key: u64);
+}
+
+thread_local! {
+    static CHANNEL: RefCell<Option<Arc<dyn SnapshotChannel>>> = const { RefCell::new(None) };
+}
+
+/// Install `channel` for the duration of `f` on this thread (panic-safe:
+/// the previous channel is restored even if `f` unwinds). Backends wrap
+/// task-body invocation in this; nesting restores the outer channel on
+/// exit.
+pub fn with_channel<R>(channel: Arc<dyn SnapshotChannel>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<dyn SnapshotChannel>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CHANNEL.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CHANNEL.with(|c| c.borrow_mut().replace(channel));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Save a snapshot through the ambient channel. Returns `false` when no
+/// channel is installed (snapshot silently skipped).
+pub fn save(key: u64, blob: &[u8]) -> bool {
+    CHANNEL.with(|c| match &*c.borrow() {
+        Some(ch) => {
+            ch.save(key, blob);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Load the latest snapshot for `key` through the ambient channel, if one
+/// is installed and holds one.
+pub fn load(key: u64) -> Option<Vec<u8>> {
+    CHANNEL.with(|c| c.borrow().as_ref().and_then(|ch| ch.load(key)))
+}
+
+/// Discard the snapshot for `key` through the ambient channel (no-op
+/// without one).
+pub fn discard(key: u64) {
+    CHANNEL.with(|c| {
+        if let Some(ch) = &*c.borrow() {
+            ch.discard(key);
+        }
+    });
+}
+
+/// Whether a channel is installed on this thread (lets bodies skip
+/// snapshot serialization entirely when nobody is listening).
+pub fn active() -> bool {
+    CHANNEL.with(|c| c.borrow().is_some())
+}
+
+/// The threaded backend's channel: the runtime's own in-process store, so
+/// a retried attempt (same process, any worker thread) finds the blob.
+pub(crate) struct InProcessChannel(pub Arc<crate::runtime::Shared>);
+
+impl SnapshotChannel for InProcessChannel {
+    fn save(&self, key: u64, blob: &[u8]) {
+        self.0.snapshots.lock().insert(key, blob.to_vec());
+    }
+
+    fn load(&self, key: u64) -> Option<Vec<u8>> {
+        self.0.snapshots.lock().get(&key).cloned()
+    }
+
+    fn discard(&self, key: u64) {
+        self.0.snapshots.lock().remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    struct MapChannel(Mutex<HashMap<u64, Vec<u8>>>);
+
+    impl SnapshotChannel for MapChannel {
+        fn save(&self, key: u64, blob: &[u8]) {
+            self.0.lock().insert(key, blob.to_vec());
+        }
+        fn load(&self, key: u64) -> Option<Vec<u8>> {
+            self.0.lock().get(&key).cloned()
+        }
+        fn discard(&self, key: u64) {
+            self.0.lock().remove(&key);
+        }
+    }
+
+    #[test]
+    fn inert_outside_any_scope() {
+        assert!(!active());
+        assert!(!save(1, b"x"));
+        assert!(load(1).is_none());
+        discard(1); // no-op, no panic
+    }
+
+    #[test]
+    fn scoped_channel_receives_and_serves() {
+        let ch = Arc::new(MapChannel(Mutex::new(HashMap::new())));
+        with_channel(ch.clone(), || {
+            assert!(active());
+            assert!(save(7, b"state"));
+            assert_eq!(load(7).unwrap(), b"state");
+            assert!(save(7, b"newer"), "latest wins");
+            assert_eq!(load(7).unwrap(), b"newer");
+            discard(7);
+            assert!(load(7).is_none());
+        });
+        assert!(!active(), "channel uninstalled on exit");
+    }
+
+    #[test]
+    fn nesting_restores_the_outer_channel() {
+        let outer = Arc::new(MapChannel(Mutex::new(HashMap::new())));
+        let inner = Arc::new(MapChannel(Mutex::new(HashMap::new())));
+        with_channel(outer.clone(), || {
+            save(1, b"outer");
+            with_channel(inner.clone(), || {
+                assert!(load(1).is_none(), "inner channel is fresh");
+                save(1, b"inner");
+            });
+            assert_eq!(load(1).unwrap(), b"outer", "outer restored");
+        });
+        assert_eq!(inner.0.lock().get(&1).unwrap(), b"inner");
+    }
+
+    #[test]
+    fn channel_survives_a_panicking_body() {
+        let ch = Arc::new(MapChannel(Mutex::new(HashMap::new())));
+        let _ = std::panic::catch_unwind(|| {
+            with_channel(ch, || {
+                save(9, b"pre-panic");
+                panic!("boom");
+            })
+        });
+        assert!(!active(), "panic must not leak the installed channel");
+    }
+}

@@ -54,12 +54,7 @@ fn spawn_workers(n: usize, cores: u32) -> Vec<WorkerHandle> {
     let registry = task_set();
     (0..n)
         .map(|i| {
-            let cfg = WorkerConfig {
-                name: format!("w{i}"),
-                cores,
-                gpus: 0,
-                mem_gib: 8,
-            };
+            let cfg = WorkerConfig { name: format!("w{i}"), cores, gpus: 0, mem_gib: 8 };
             WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
                 .expect("bind loopback")
                 .spawn()
@@ -199,6 +194,76 @@ fn killed_worker_mid_run_resubmits_to_survivors() {
 }
 
 #[test]
+fn killed_worker_resumes_from_snapshot_not_epoch_zero() {
+    use std::sync::Mutex;
+
+    const EPOCHS: u32 = 10;
+    const SNAP_KEY: u64 = 0x5EED;
+
+    // Each attempt records (node, start_epoch) when it begins; loopback
+    // workers run in this process, so the statics are shared.
+    static ATTEMPTS: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+
+    let stepper = def("stepper", |ctx, _| {
+        let start = rcompss::snapshot::load(SNAP_KEY)
+            .map(|b| u32::from_le_bytes(b[..4].try_into().unwrap()))
+            .unwrap_or(0);
+        ATTEMPTS.lock().unwrap().push((ctx.node, start));
+        for epoch in start..EPOCHS {
+            std::thread::sleep(Duration::from_millis(40));
+            rcompss::snapshot::save(SNAP_KEY, &(epoch + 1).to_le_bytes());
+        }
+        rcompss::snapshot::discard(SNAP_KEY);
+        Ok(vec![Value::new(i64::from(EPOCHS))])
+    });
+    let registry = TaskRegistry::new().with(stepper.clone());
+
+    let workers: Vec<WorkerHandle> = (0..2)
+        .map(|i| {
+            let cfg = WorkerConfig { name: format!("w{i}"), cores: 1, gpus: 0, mem_gib: 8 };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind loopback")
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect();
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(300),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs(&workers),
+        dcfg,
+    )
+    .expect("connect");
+
+    let h = rt.submit(&stepper, vec![]).unwrap().returns[0];
+
+    // Let a few epochs checkpoint, then kill whichever worker runs the task.
+    std::thread::sleep(Duration::from_millis(150));
+    let node = ATTEMPTS.lock().unwrap().first().expect("task started").0;
+    workers[node as usize].halt();
+
+    let v = rt.wait_on(&h).expect("survivor finishes the task");
+    assert_eq!(*v.downcast_ref::<i64>().unwrap(), i64::from(EPOCHS));
+
+    let attempts = ATTEMPTS.lock().unwrap().clone();
+    assert!(attempts.len() >= 2, "task was retried after the kill: {attempts:?}");
+    assert_eq!(attempts[0].1, 0, "first attempt trains from scratch");
+    let resumed = attempts.last().unwrap();
+    assert_ne!(resumed.0, node, "retry lands on the surviving worker");
+    assert!(
+        resumed.1 > 0,
+        "replacement worker resumes from the driver-held snapshot, \
+         not epoch 0: {attempts:?}"
+    );
+    assert_eq!(rt.metrics().snapshot().counter("rcompss_workers_lost_total"), Some(1));
+}
+
+#[test]
 fn all_workers_dead_fails_tasks_instead_of_hanging() {
     let workers = spawn_workers(1, 1);
     let dcfg = DistributedConfig {
@@ -263,9 +328,6 @@ fn reconnect_resumes_after_connection_drop() {
         assert_eq!(*v.downcast_ref::<i64>().unwrap(), x * x);
     }
     let snap = rt.metrics().snapshot();
-    assert!(
-        snap.counter("rnet_reconnects_total").unwrap_or(0) >= 1,
-        "reconnect path exercised"
-    );
+    assert!(snap.counter("rnet_reconnects_total").unwrap_or(0) >= 1, "reconnect path exercised");
     assert_eq!(rt.stats().completed, 24);
 }

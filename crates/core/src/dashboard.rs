@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use runmetrics::MetricsRegistry;
 
+use crate::ckpt::ResumeStats;
 use crate::results::{HpoReport, TrialResult};
 
 /// Streaming progress renderer.
@@ -98,6 +99,40 @@ impl Dashboard {
         ))
     }
 
+    /// Record what resuming did; returns (and keeps in the transcript)
+    /// the banner line — silent on a fresh, non-resumed sweep.
+    pub fn on_resume(&mut self, stats: &ResumeStats) -> String {
+        if !stats.resumed_any() {
+            return String::new();
+        }
+        let line = resume_banner(stats);
+        self.lines.push(line.clone());
+        line
+    }
+
+    /// One-line checkpoint activity summary: trials replayed from the
+    /// journal (this runtime's registry) and model snapshots restored
+    /// (the process-global registry the objective records into, with the
+    /// total epochs those restores skipped). Empty when nothing resumed
+    /// or restored.
+    pub fn ckpt_summary(&self) -> String {
+        let resumed = self
+            .metrics
+            .as_ref()
+            .and_then(|(reg, _)| reg.snapshot().counter("hpo_trials_resumed_total"))
+            .unwrap_or(0);
+        let snap = runmetrics::global().snapshot();
+        let restores = snap.counter("ckpt_restore_total").unwrap_or(0);
+        let restored_epochs = snap.counter("ckpt_restored_epochs_total").unwrap_or(0);
+        if resumed == 0 && restores == 0 {
+            return String::new();
+        }
+        format!(
+            "checkpoint: {resumed} trials replayed from journal · \
+             {restores} snapshot restores ({restored_epochs} epochs skipped)"
+        )
+    }
+
     /// Number of trials seen.
     pub fn completed(&self) -> usize {
         self.completed
@@ -135,6 +170,11 @@ impl Dashboard {
         }
         out
     }
+}
+
+/// The resume banner: `resumed sweep: X complete, Y re-enqueued`.
+pub fn resume_banner(stats: &ResumeStats) -> String {
+    format!("resumed sweep: {} complete, {} re-enqueued", stats.skipped_complete, stats.reenqueued)
 }
 
 /// Top-`k` leaderboard of a finished report.
@@ -241,6 +281,21 @@ mod tests {
         assert!(d.node_lanes(&["node0".to_string()]).is_empty());
         // No registry: silent.
         assert!(Dashboard::new().node_lanes(&[w0]).is_empty());
+    }
+
+    #[test]
+    fn resume_banner_and_ckpt_summary() {
+        let mut d = Dashboard::new();
+        assert!(d.on_resume(&ResumeStats::default()).is_empty(), "fresh sweep: no banner");
+        let line = d.on_resume(&ResumeStats { skipped_complete: 3, reenqueued: 2 });
+        assert_eq!(line, "resumed sweep: 3 complete, 2 re-enqueued");
+        assert!(d.transcript().contains("re-enqueued"));
+
+        let reg = std::sync::Arc::new(runmetrics::MetricsRegistry::new(true));
+        reg.counter("hpo_trials_resumed_total").add(3);
+        let d = Dashboard::new().with_metrics(std::sync::Arc::clone(&reg), 10);
+        let s = d.ckpt_summary();
+        assert!(s.contains("3 trials replayed"), "{s}");
     }
 
     #[test]

@@ -10,8 +10,10 @@ use std::sync::Arc;
 use rcompss::{Constraint, TaskError};
 use tinyml::data::Dataset;
 use tinyml::optim::OptimizerKind;
-use tinyml::train::{train_with_observer, EpochSignal, TrainConfig};
+use tinyml::train::{train_with_checkpoints, Checkpointing, EpochSignal, TrainConfig};
+use tinyml::TrainSnapshot;
 
+use crate::ckpt::{trial_key, SweepJournal, SweepRecord};
 use crate::early_stop::EarlyStop;
 use crate::space::Config;
 
@@ -217,20 +219,97 @@ pub fn tinyml_objective_with_early_stop(
     hidden: Vec<usize>,
     early_stop: Option<EarlyStop>,
 ) -> Objective {
+    tinyml_objective_checkpointed(data, hidden, early_stop, TrialCheckpoints::default())
+}
+
+/// How a single trial checkpoints its model (the sweep-level journal is
+/// [`crate::ckpt`]'s business; `journal` here only receives the `Epoch`
+/// marks that record a snapshot reaching disk).
+#[derive(Clone, Default)]
+pub struct TrialCheckpoints {
+    /// Snapshot every `every` epochs (0 = off).
+    pub every: u32,
+    /// Durable on-disk store — survives a driver restart. `None` leaves
+    /// only the runtime's in-memory snapshot channel (still enough for
+    /// same-run retries and killed distributed workers).
+    pub store: Option<Arc<ckpt::DirStore>>,
+    /// Where to journal `Epoch` records (threaded runs; a distributed
+    /// worker has no journal and simply leaves this `None`).
+    pub journal: Option<SweepJournal>,
+}
+
+/// Like [`tinyml_objective_with_early_stop`], and additionally resumable:
+/// each trial restores the latest model snapshot for its [`trial_key`] —
+/// from the runtime's snapshot channel (a retried attempt, possibly on a
+/// replacement worker) or from `ckpts.store` (a restarted driver) — and
+/// publishes a new snapshot every `ckpts.every` epochs. Restoring costs
+/// nothing when no snapshot exists; the trial trains from scratch.
+///
+/// Because a [`TrainSnapshot`] carries the *original* seed, optimizer
+/// moments and history, a resumed trial replays the exact minibatch
+/// order and produces the same outcome bit-for-bit as an uninterrupted
+/// run.
+pub fn tinyml_objective_checkpointed(
+    data: Arc<Dataset>,
+    hidden: Vec<usize>,
+    early_stop: Option<EarlyStop>,
+    ckpts: TrialCheckpoints,
+) -> Objective {
     Arc::new(move |config: &Config, budget: Option<u32>| {
         let mut cfg = train_config_from(config, &hidden)?;
         if let Some(b) = budget {
             cfg.epochs = b.max(1);
         }
-        let mut tracker = early_stop.map(|es| es.tracker());
-        let history = train_with_observer(&cfg, &data, |_, _, val_acc| {
-            let stop = tracker.as_mut().is_some_and(|t| t.observe(val_acc));
-            if stop {
-                EpochSignal::Stop
-            } else {
-                EpochSignal::Continue
+        let key = trial_key(config);
+        let reg = runmetrics::global();
+        let resume = (ckpts.every > 0)
+            .then(|| {
+                rcompss::snapshot::load(key).and_then(|b| TrainSnapshot::decode(&b)).or_else(|| {
+                    let store = ckpts.store.as_ref()?;
+                    let (_, blob) = store.latest(key).ok().flatten()?;
+                    TrainSnapshot::decode(&blob)
+                })
+            })
+            .flatten();
+        if let Some(snap) = &resume {
+            reg.counter("ckpt_restore_total").incr();
+            reg.counter("ckpt_restored_epochs_total").add(u64::from(snap.next_epoch));
+        }
+        let store = ckpts.store.clone();
+        let journal = ckpts.journal.clone();
+        let mut sink = move |snap: &TrainSnapshot| {
+            let bytes = snap.encode();
+            reg.counter("ckpt_bytes_written").add(bytes.len() as u64);
+            reg.counter("ckpt_snapshots_saved_total").incr();
+            rcompss::snapshot::save(key, &bytes);
+            if let Some(store) = &store {
+                if store.save(key, snap.next_epoch, &bytes).is_ok() {
+                    if let Some(j) = &journal {
+                        let _ = j.record(&SweepRecord::Epoch { key, epoch: snap.next_epoch });
+                    }
+                }
             }
-        });
+        };
+        let mut tracker = early_stop.map(|es| es.tracker());
+        let history = train_with_checkpoints(
+            &cfg,
+            &data,
+            Checkpointing { every: ckpts.every, resume, sink: Some(&mut sink) },
+            &mut |_, _, val_acc| {
+                let stop = tracker.as_mut().is_some_and(|t| t.observe(val_acc));
+                if stop {
+                    EpochSignal::Stop
+                } else {
+                    EpochSignal::Continue
+                }
+            },
+        );
+        // The outcome supersedes the snapshots: drop them so the next
+        // sweep in the same directory starts clean.
+        rcompss::snapshot::discard(key);
+        if let Some(store) = &ckpts.store {
+            let _ = store.clear(key);
+        }
         Ok(TrialOutcome {
             accuracy: history.final_val_accuracy(),
             epochs_run: history.epochs_run() as u32,
@@ -384,6 +463,36 @@ mod tests {
         let out = obj(&paper_config("Adam", 20, 32), None).unwrap();
         assert!(out.epochs_run < 20, "stopped early at epoch {}", out.epochs_run);
         assert!(out.accuracy >= 0.5);
+    }
+
+    #[test]
+    fn checkpointed_objective_journals_epochs_and_cleans_up() {
+        let data = Arc::new(Dataset::synthetic_mnist(200, 3));
+        let dir = std::env::temp_dir().join(format!("hpo-exp-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = crate::ckpt::CheckpointSpec::new(&dir).with_every(2);
+        let journal = spec.journal().unwrap();
+        let store = Arc::new(spec.store().unwrap());
+        let obj = tinyml_objective_checkpointed(
+            Arc::clone(&data),
+            vec![8],
+            None,
+            TrialCheckpoints { every: 2, store: Some(Arc::clone(&store)), journal: Some(journal) },
+        );
+        let cfg = paper_config("Adam", 5, 32);
+        let out = obj(&cfg, None).unwrap();
+        assert_eq!(out.epochs_run, 5);
+
+        let key = trial_key(&cfg);
+        let state = spec.recover().unwrap();
+        assert_eq!(state.last_epoch[&key], 4, "snapshots at epochs 2 and 4 journaled");
+        assert!(store.epochs(key).unwrap().is_empty(), "completion clears the trial's store");
+
+        // With no snapshot to resume from, checkpointing changes nothing
+        // about the result.
+        let plain = tinyml_objective(Arc::clone(&data), vec![8])(&cfg, None).unwrap();
+        assert_eq!(plain, out, "checkpointing is observationally free");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

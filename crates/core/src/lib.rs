@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod ckpt;
 pub mod config;
 pub mod dashboard;
 pub mod early_stop;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::algo::random::RandomSearch;
     pub use crate::algo::tpe::TpeSearch;
     pub use crate::algo::Suggester;
+    pub use crate::ckpt::{CheckpointSpec, ResumeStats, SweepState};
     pub use crate::early_stop::EarlyStop;
     pub use crate::experiment::{ExperimentOptions, TrialOutcome};
     pub use crate::results::{HpoReport, TrialResult};

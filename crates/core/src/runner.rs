@@ -10,6 +10,7 @@ use rcompss::{ArgSpec, Runtime, SubmitError, SubmitOpts, SubmitResult};
 use crate::algo::hyperband::Bracket;
 use crate::algo::random::RandomSearch;
 use crate::algo::Suggester;
+use crate::ckpt::{trial_key, ResumeStats, SweepJournal, SweepRecord, SweepState};
 use crate::experiment::{ExperimentOptions, Objective, TrialOutcome};
 use crate::results::{HpoReport, TrialResult};
 use crate::space::{Config, SearchSpace};
@@ -30,6 +31,9 @@ pub struct HpoRunner {
 struct TrialMetrics {
     completed: runmetrics::Counter,
     failed: runmetrics::Counter,
+    /// Trials whose outcome was replayed from the sweep journal instead
+    /// of re-running (see [`HpoRunner::run_journaled`]).
+    resumed: runmetrics::Counter,
     best_accuracy: runmetrics::Gauge,
     trial_task_us: runmetrics::Histogram,
 }
@@ -41,6 +45,7 @@ impl TrialMetrics {
             TrialMetrics {
                 completed: reg.counter("hpo_trials_completed_total"),
                 failed: reg.counter("hpo_trials_failed_total"),
+                resumed: reg.counter("hpo_trials_resumed_total"),
                 best_accuracy: reg.gauge("hpo_best_accuracy"),
                 trial_task_us: reg.histogram("hpo_trial_task_us"),
             }
@@ -132,16 +137,77 @@ impl HpoRunner {
         objective: Objective,
         mut observer: impl FnMut(&TrialResult),
     ) -> Result<HpoReport, SubmitError> {
+        self.run_inner(rt, algo, objective, None, None, &mut observer).map(|(report, _)| report)
+    }
+
+    /// Like [`HpoRunner::run_observed`], journaling every submission and
+    /// completion to `journal`, and — when `resume` carries a recovered
+    /// [`SweepState`] — skipping trials the journal already finished
+    /// (their journaled outcome re-enters the report verbatim, so the
+    /// trial table matches an uninterrupted run byte-for-byte) while
+    /// re-enqueueing the ones that were in flight at the crash.
+    pub fn run_journaled(
+        &self,
+        rt: &Runtime,
+        algo: &mut dyn Suggester,
+        objective: Objective,
+        journal: &SweepJournal,
+        resume: Option<&SweepState>,
+        mut observer: impl FnMut(&TrialResult),
+    ) -> Result<(HpoReport, ResumeStats), SubmitError> {
+        self.run_inner(rt, algo, objective, Some(journal), resume, &mut observer)
+    }
+
+    fn run_inner(
+        &self,
+        rt: &Runtime,
+        algo: &mut dyn Suggester,
+        objective: Objective,
+        journal: Option<&SweepJournal>,
+        resume: Option<&SweepState>,
+        observer: &mut dyn FnMut(&TrialResult),
+    ) -> Result<(HpoReport, ResumeStats), SubmitError> {
         let def = self.register_task(rt, &objective);
         let wave_limit = self.opts.wave_size.unwrap_or(usize::MAX).min(algo.parallelism()).max(1);
         let trial_metrics = TrialMetrics::new(rt);
+        let mut stats = ResumeStats::default();
 
         let mut history: Vec<TrialResult> = Vec::new();
         let mut early_stopped = false;
         loop {
             let mut wave: Vec<(Config, SubmitResult)> = Vec::new();
-            while wave.len() < wave_limit {
+            while wave.len() < wave_limit && !early_stopped {
                 let Some(config) = algo.suggest(&history) else { break };
+                // A journaled-complete trial is not re-run: its recorded
+                // outcome goes straight into the history (and through the
+                // observer, so dashboards see the full table).
+                if let Some((outcome, task_us)) = resume.and_then(|s| s.finished(&config)) {
+                    stats.skipped_complete += 1;
+                    if let Some(tm) = &trial_metrics {
+                        tm.resumed.incr();
+                    }
+                    let trial = TrialResult { config, outcome: outcome.clone(), task_us: *task_us };
+                    if let Some(tm) = &trial_metrics {
+                        tm.observe(&trial);
+                    }
+                    observer(&trial);
+                    if let Some(es) = &self.opts.early_stop {
+                        if es.target_reached(trial.outcome.accuracy) {
+                            early_stopped = true;
+                        }
+                    }
+                    history.push(trial);
+                    continue;
+                }
+                if resume.is_some_and(|s| s.was_in_flight(&config)) {
+                    stats.reenqueued += 1;
+                }
+                if let Some(j) = journal {
+                    let _ = j.record(&SweepRecord::Submitted {
+                        key: trial_key(&config),
+                        label: config.label(),
+                    });
+                }
                 let sub = self.submit_one(rt, &def, &config, None)?;
                 wave.push((config, sub));
             }
@@ -150,6 +216,13 @@ impl HpoRunner {
             }
             for (config, sub) in wave {
                 let trial = self.collect(rt, config, &sub);
+                if let Some(j) = journal {
+                    let _ = j.record(&SweepRecord::Finished {
+                        key: trial_key(&trial.config),
+                        outcome: trial.outcome.clone(),
+                        task_us: trial.task_us,
+                    });
+                }
                 if let Some(tm) = &trial_metrics {
                     tm.observe(&trial);
                 }
@@ -165,12 +238,15 @@ impl HpoRunner {
                 break;
             }
         }
-        Ok(HpoReport {
-            algorithm: algo.name().to_string(),
-            trials: history,
-            wall_us: rt.now_us(),
-            early_stopped,
-        })
+        Ok((
+            HpoReport {
+                algorithm: algo.name().to_string(),
+                trials: history,
+                wall_us: rt.now_us(),
+                early_stopped,
+            },
+            stats,
+        ))
     }
 
     /// Run one successive-halving bracket: sample the first rung randomly

@@ -41,6 +41,37 @@ fn read_vec_f64(r: &mut Reader<'_>) -> Result<Vec<f64>, WireError> {
     Ok(out)
 }
 
+/// Serialise a [`TrialOutcome`] into `b` — the shared layout of the
+/// `hpo.trial` codec and the sweep journal's `Finished` records (see
+/// [`crate::ckpt`]), so a journaled outcome replays byte-for-byte.
+pub(crate) fn put_outcome(b: &mut Vec<u8>, outcome: &TrialOutcome) {
+    rnet::wire::put_f64(b, outcome.accuracy);
+    put_vec_f64(b, &outcome.epoch_loss);
+    put_vec_f64(b, &outcome.epoch_accuracy);
+    rnet::wire::put_u32(b, outcome.epochs_run);
+    match &outcome.error {
+        Some(e) => {
+            rnet::wire::put_u32(b, 1);
+            rnet::wire::put_str(b, e);
+        }
+        None => rnet::wire::put_u32(b, 0),
+    }
+}
+
+/// Inverse of [`put_outcome`].
+pub(crate) fn read_outcome(r: &mut Reader<'_>) -> Result<TrialOutcome, WireError> {
+    let accuracy = r.f64()?;
+    let epoch_loss = read_vec_f64(r)?;
+    let epoch_accuracy = read_vec_f64(r)?;
+    let epochs_run = r.u32()?;
+    let error = match r.u32()? {
+        0 => None,
+        1 => Some(r.str()?),
+        t => return Err(WireError(format!("unknown error tag {t}"))),
+    };
+    Ok(TrialOutcome { accuracy, epoch_loss, epoch_accuracy, epochs_run, error })
+}
+
 /// Register the HPO-layer codecs (idempotent; call freely).
 ///
 /// Tags: `hpo.config` for [`Config`], `hpo.trial` for [`TaskPayload`].
@@ -95,34 +126,14 @@ pub fn register_hpo_codecs() {
         "hpo.trial",
         |(outcome, task_us)| {
             let mut b = Vec::new();
-            rnet::wire::put_f64(&mut b, outcome.accuracy);
-            put_vec_f64(&mut b, &outcome.epoch_loss);
-            put_vec_f64(&mut b, &outcome.epoch_accuracy);
-            rnet::wire::put_u32(&mut b, outcome.epochs_run);
-            match &outcome.error {
-                Some(e) => {
-                    rnet::wire::put_u32(&mut b, 1);
-                    rnet::wire::put_str(&mut b, e);
-                }
-                None => rnet::wire::put_u32(&mut b, 0),
-            }
+            put_outcome(&mut b, outcome);
             rnet::wire::put_u64(&mut b, *task_us);
             b
         },
         |bytes| {
             let mut r = Reader::new(bytes);
-            let accuracy = r.f64()?;
-            let epoch_loss = read_vec_f64(&mut r)?;
-            let epoch_accuracy = read_vec_f64(&mut r)?;
-            let epochs_run = r.u32()?;
-            let error = match r.u32()? {
-                0 => None,
-                1 => Some(r.str()?),
-                t => return Err(WireError(format!("unknown error tag {t}"))),
-            };
+            let outcome = read_outcome(&mut r)?;
             let task_us = r.u64()?;
-            let outcome =
-                TrialOutcome { accuracy, epoch_loss, epoch_accuracy, epochs_run, error };
             Ok((outcome, task_us))
         },
     );

@@ -1,0 +1,219 @@
+//! Crash/recovery end-to-end: a sweep interrupted mid-trial and resumed
+//! from its checkpoint directory must produce a trial table bit-identical
+//! to an uninterrupted run — journaled-complete trials replay their
+//! recorded outcome, the in-flight trial restores its model snapshot and
+//! finishes the remaining epochs on the exact training trajectory.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hpo::algo::grid::GridSearch;
+use hpo::ckpt::{trial_key, CheckpointSpec, SweepRecord};
+use hpo::experiment::{
+    tinyml_objective, tinyml_objective_checkpointed, train_config_from, ExperimentOptions,
+    TrialCheckpoints, TrialOutcome,
+};
+use hpo::space::{ConfigValue, ParamDomain, SearchSpace};
+use hpo::{HpoReport, HpoRunner};
+use rcompss::{Runtime, RuntimeConfig};
+use tinyml::data::Dataset;
+use tinyml::train::{train_with_checkpoints, Checkpointing, EpochSignal};
+
+fn space() -> SearchSpace {
+    SearchSpace::new()
+        .with(
+            "optimizer",
+            ParamDomain::Choice(vec![
+                ConfigValue::Str("Adam".into()),
+                ConfigValue::Str("SGD".into()),
+            ]),
+        )
+        .with("num_epochs", ParamDomain::Choice(vec![ConfigValue::Int(6)]))
+        .with("batch_size", ParamDomain::Choice(vec![ConfigValue::Int(32)]))
+}
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(Dataset::synthetic_mnist(300, 2))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hpo-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Sorted (label, accuracy-bits, accuracy-curve-bits) rows: bitwise trial
+/// table, no float tolerance anywhere.
+fn exact_table(report: &HpoReport) -> Vec<(String, u64, Vec<u64>)> {
+    let mut rows: Vec<(String, u64, Vec<u64>)> = report
+        .trials
+        .iter()
+        .map(|t| {
+            (
+                t.config.label(),
+                t.outcome.accuracy.to_bits(),
+                t.outcome.epoch_accuracy.iter().map(|a| a.to_bits()).collect(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn interrupted_and_resumed_sweep_is_bit_identical() {
+    let data = dataset();
+    let runner = HpoRunner::new(ExperimentOptions::default());
+    let reg = runmetrics::global();
+    reg.set_enabled(true);
+    let restores_before = reg.counter("ckpt_restore_total").value();
+    let bytes_before = reg.counter("ckpt_bytes_written").value();
+
+    // Reference: the same sweep, never interrupted, no checkpointing.
+    let reference = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(2));
+        runner
+            .run(&rt, &mut GridSearch::new(&space()), tinyml_objective(Arc::clone(&data), vec![16]))
+            .expect("reference run")
+    };
+    assert_eq!(reference.trials.len(), 2);
+
+    // Stage the crash: trial A finished (journaled), trial B killed after
+    // 3 of 6 epochs with a model snapshot at epoch 2 on disk.
+    let dir = tmpdir("resume");
+    let spec = CheckpointSpec::new(&dir).with_every(2);
+    let journal = spec.journal().expect("journal");
+    let store = Arc::new(spec.store().expect("store"));
+
+    let mut grid = GridSearch::new(&space());
+    let done = hpo::algo::Suggester::suggest(&mut grid, &[]).expect("first config");
+    let victim = hpo::algo::Suggester::suggest(&mut grid, &[]).expect("second config");
+
+    // Trial A ran to completion before the crash: journal its real outcome.
+    let obj = tinyml_objective(Arc::clone(&data), vec![16]);
+    let done_outcome = obj(&done, None).expect("trial A");
+    journal.record(&SweepRecord::Submitted { key: trial_key(&done), label: done.label() }).unwrap();
+    journal
+        .record(&SweepRecord::Finished {
+            key: trial_key(&done),
+            outcome: done_outcome.clone(),
+            task_us: 41,
+        })
+        .unwrap();
+
+    // Trial B dies mid-flight: submitted, snapshot at epoch 2, no outcome.
+    journal
+        .record(&SweepRecord::Submitted { key: trial_key(&victim), label: victim.label() })
+        .unwrap();
+    let mut cfg = train_config_from(&victim, &[16]).expect("translate");
+    cfg.threads = 1;
+    let key = trial_key(&victim);
+    let mut sink = |snap: &tinyml::TrainSnapshot| {
+        store.save(key, snap.next_epoch, &snap.encode()).unwrap();
+        journal.record(&SweepRecord::Epoch { key, epoch: snap.next_epoch }).unwrap();
+    };
+    train_with_checkpoints(
+        &cfg,
+        &data,
+        Checkpointing { every: 2, resume: None, sink: Some(&mut sink) },
+        &mut |epoch, _, _| if epoch >= 2 { EpochSignal::Stop } else { EpochSignal::Continue },
+    );
+    assert_eq!(store.epochs(key).unwrap(), vec![2], "crash left the epoch-2 snapshot");
+
+    // Resume: recover the journal, rerun the full grid.
+    let state = spec.recover().expect("recover");
+    assert_eq!(state.complete.len(), 1);
+    assert_eq!(state.in_flight, vec![key]);
+    assert_eq!(state.last_epoch[&key], 2);
+
+    let rt = Runtime::threaded(RuntimeConfig::single_node(2));
+    let objective = tinyml_objective_checkpointed(
+        Arc::clone(&data),
+        vec![16],
+        None,
+        TrialCheckpoints {
+            every: 2,
+            store: Some(Arc::clone(&store)),
+            journal: Some(journal.clone()),
+        },
+    );
+    let (resumed, stats) = runner
+        .run_journaled(
+            &rt,
+            &mut GridSearch::new(&space()),
+            objective,
+            &journal,
+            Some(&state),
+            |_| {},
+        )
+        .expect("resumed run");
+
+    assert_eq!(stats.skipped_complete, 1);
+    assert_eq!(stats.reenqueued, 1);
+    assert_eq!(exact_table(&resumed), exact_table(&reference), "trial table bit-identical");
+    // The skipped trial carries its journaled task time, not a re-run's.
+    let done_trial =
+        resumed.trials.iter().find(|t| t.config.label() == done.label()).expect("trial A");
+    assert_eq!(done_trial.task_us, 41);
+    assert_eq!(done_trial.outcome, done_outcome);
+
+    // The in-flight trial really restored (metrics moved) and the
+    // finished sweep cleaned its snapshots up.
+    assert!(reg.counter("ckpt_restore_total").value() > restores_before, "snapshot restored");
+    assert!(reg.counter("ckpt_bytes_written").value() > bytes_before, "snapshots written");
+    assert!(store.epochs(key).unwrap().is_empty(), "completion discards the trial's snapshots");
+
+    // A second resume finds everything complete: nothing re-runs.
+    let state = spec.recover().expect("recover again");
+    assert_eq!(state.complete.len(), 2);
+    assert!(state.in_flight.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_skips_completed_trials_without_rerunning_them() {
+    let dir = tmpdir("skip");
+    let spec = CheckpointSpec::new(&dir);
+    let journal = spec.journal().expect("journal");
+    let mut grid = GridSearch::new(&space());
+    let done = hpo::algo::Suggester::suggest(&mut grid, &[]).expect("first config");
+    journal.record(&SweepRecord::Submitted { key: trial_key(&done), label: done.label() }).unwrap();
+    journal
+        .record(&SweepRecord::Finished {
+            key: trial_key(&done),
+            outcome: TrialOutcome::with_accuracy(0.77),
+            task_us: 5,
+        })
+        .unwrap();
+    let state = spec.recover().expect("recover");
+
+    // An objective that proves the skip: re-running the journaled config
+    // would fail the trial, and the report would show it.
+    let forbidden = done.label();
+    let objective: hpo::experiment::Objective = Arc::new(move |config, _| {
+        assert_ne!(config.label(), forbidden, "journaled-complete trial was re-run");
+        Ok(TrialOutcome::with_accuracy(0.5))
+    });
+    let rt = Runtime::threaded(RuntimeConfig::single_node(2));
+    let runner = HpoRunner::new(ExperimentOptions::default());
+    let (report, stats) = runner
+        .run_journaled(
+            &rt,
+            &mut GridSearch::new(&space()),
+            objective,
+            &journal,
+            Some(&state),
+            |_| {},
+        )
+        .expect("resumed run");
+
+    assert_eq!(stats.skipped_complete, 1);
+    assert_eq!(stats.reenqueued, 0, "nothing was in flight");
+    assert_eq!(report.trials.len(), 2);
+    assert_eq!(report.failures(), 0);
+    let replayed =
+        report.trials.iter().find(|t| t.config.label() == done.label()).expect("skipped trial");
+    assert_eq!(replayed.outcome.accuracy, 0.77, "journaled outcome replayed verbatim");
+    assert_eq!(replayed.task_us, 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,10 +46,7 @@ fn space() -> SearchSpace {
                 ConfigValue::Str("SGD".into()),
             ]),
         )
-        .with(
-            "num_epochs",
-            ParamDomain::Choice(vec![ConfigValue::Int(10), ConfigValue::Int(20)]),
-        )
+        .with("num_epochs", ParamDomain::Choice(vec![ConfigValue::Int(10), ConfigValue::Int(20)]))
         .with(
             "learning_rate",
             ParamDomain::Choice(vec![ConfigValue::Float(1e-3), ConfigValue::Float(1e-2)]),
@@ -61,8 +58,7 @@ fn spawn_workers(n: usize, opts: &ExperimentOptions, obj: &Objective) -> Vec<Wor
     let registry = TaskRegistry::new().with(experiment_task_def(opts, obj));
     (0..n)
         .map(|i| {
-            let cfg =
-                WorkerConfig { name: format!("hpo-w{i}"), cores: 2, gpus: 0, mem_gib: 8 };
+            let cfg = WorkerConfig { name: format!("hpo-w{i}"), cores: 2, gpus: 0, mem_gib: 8 };
             WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
                 .expect("bind")
                 .spawn()
@@ -95,12 +91,9 @@ fn grid_search_distributed_matches_threaded_exactly() {
 
     let workers = spawn_workers(2, &opts, &obj);
     let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
-    let rt = Runtime::distributed(
-        RuntimeConfig::single_node(1),
-        &addrs,
-        DistributedConfig::default(),
-    )
-    .expect("connect");
+    let rt =
+        Runtime::distributed(RuntimeConfig::single_node(1), &addrs, DistributedConfig::default())
+            .expect("connect");
     let mut algo = GridSearch::new(&space());
     let distributed_report = runner.run(&rt, &mut algo, obj).expect("distributed run");
 
@@ -110,6 +103,128 @@ fn grid_search_distributed_matches_threaded_exactly() {
     let best_t = threaded_report.best().expect("has best");
     assert_eq!(best_d.config.label(), best_t.config.label());
     assert_eq!(best_d.outcome.accuracy, best_t.outcome.accuracy);
+}
+
+/// A snapshot-aware objective with deterministic "training": each epoch
+/// sleeps, then extends an accuracy curve that is a pure function of the
+/// config and epoch index. Snapshots (epoch counter + curve) ride the
+/// runtime's ambient channel keyed by [`hpo::ckpt::trial_key`], exactly
+/// like `tinyml_objective_checkpointed` — so a killed worker's trials
+/// resume mid-curve on the survivor, and the final table must still be
+/// bit-identical to an uninterrupted run.
+fn snapshotting_objective(
+    epoch_ms: u64,
+    attempts: &'static std::sync::Mutex<Vec<(String, u32)>>,
+) -> Objective {
+    Arc::new(move |config: &Config, _budget: Option<u32>| {
+        let epochs = config.get_int("num_epochs").unwrap_or(10) as u32;
+        let key = hpo::ckpt::trial_key(config);
+        let base = match config.get_str("optimizer") {
+            Some("Adam") => 0.6,
+            _ => 0.5,
+        };
+        let acc_at = |e: u32| base + 0.01 * f64::from(e + 1);
+        let start = rcompss::snapshot::load(key)
+            .map(|b| u32::from_le_bytes(b[..4].try_into().unwrap()))
+            .unwrap_or(0);
+        attempts.lock().unwrap().push((config.label(), start));
+        let mut curve: Vec<f64> = (0..start).map(acc_at).collect();
+        for e in start..epochs {
+            std::thread::sleep(Duration::from_millis(epoch_ms));
+            curve.push(acc_at(e));
+            rcompss::snapshot::save(key, &(e + 1).to_le_bytes());
+        }
+        rcompss::snapshot::discard(key);
+        Ok(TrialOutcome {
+            accuracy: *curve.last().unwrap(),
+            epochs_run: epochs,
+            epoch_accuracy: curve,
+            epoch_loss: vec![],
+            error: None,
+        })
+    })
+}
+
+#[test]
+fn killed_worker_resumes_trials_from_snapshots_bit_identically() {
+    static ATTEMPTS: std::sync::Mutex<Vec<(String, u32)>> = std::sync::Mutex::new(Vec::new());
+
+    let space = SearchSpace::new()
+        .with(
+            "optimizer",
+            ParamDomain::Choice(vec![
+                ConfigValue::Str("Adam".into()),
+                ConfigValue::Str("SGD".into()),
+            ]),
+        )
+        .with("num_epochs", ParamDomain::Choice(vec![ConfigValue::Int(12)]));
+    let opts = ExperimentOptions::default();
+    let obj = snapshotting_objective(40, &ATTEMPTS);
+    let runner = HpoRunner::new(opts.clone());
+
+    let reference = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        runner
+            .run(&rt, &mut GridSearch::new(&space), Arc::clone(&obj))
+            .expect("uninterrupted reference")
+    };
+    ATTEMPTS.lock().unwrap().clear();
+
+    let workers = spawn_workers(2, &opts, &obj);
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(300),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs,
+        dcfg,
+    )
+    .expect("connect");
+
+    // Kill one worker a few epochs in: its in-flight trials have
+    // checkpointed (one snapshot per 40ms epoch) and must resume on the
+    // survivor from where they stopped, not from epoch 0.
+    let stopper = workers[0].stopper();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        stopper();
+    });
+    let report =
+        runner.run(&rt, &mut GridSearch::new(&space), obj).expect("run survives worker loss");
+    killer.join().unwrap();
+
+    assert_eq!(report.trials.len(), 2);
+    assert!(report.trials.iter().all(|t| !t.outcome.is_failed()));
+    let table = |r: &hpo::HpoReport| {
+        let mut rows: Vec<(String, u64, Vec<u64>)> = r
+            .trials
+            .iter()
+            .map(|t| {
+                (
+                    t.config.label(),
+                    t.outcome.accuracy.to_bits(),
+                    t.outcome.epoch_accuracy.iter().map(|a| a.to_bits()).collect(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(table(&report), table(&reference), "resumed table bit-identical");
+
+    let snap = rt.metrics().snapshot();
+    assert_eq!(snap.counter("rcompss_workers_lost_total"), Some(1));
+    assert!(snap.counter("rcompss_tasks_retried_total").unwrap_or(0) > 0);
+    // Epoch-counter assertion: some retried attempt started mid-trial.
+    let attempts = ATTEMPTS.lock().unwrap().clone();
+    assert!(
+        attempts.iter().any(|(_, start)| *start > 0),
+        "a replacement attempt resumed from a snapshot, not epoch 0: {attempts:?}"
+    );
 }
 
 #[test]

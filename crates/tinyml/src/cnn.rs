@@ -145,6 +145,30 @@ impl Model for Cnn {
     fn param_count(&self) -> usize {
         self.conv1.param_count() + self.conv2.param_count() + self.head.param_count()
     }
+
+    fn params(&self) -> Vec<Vec<f32>> {
+        // Same order as the `opt.step` calls in `train_batch`: slots 0–5.
+        vec![
+            self.conv1.w.as_slice().to_vec(),
+            self.conv1.b.clone(),
+            self.conv2.w.as_slice().to_vec(),
+            self.conv2.b.clone(),
+            self.head.w.as_slice().to_vec(),
+            self.head.b.clone(),
+        ]
+    }
+
+    fn restore_params(&mut self, params: &[Vec<f32>]) -> bool {
+        let mut dst: Vec<&mut [f32]> = vec![
+            self.conv1.w.as_mut_slice(),
+            &mut self.conv1.b,
+            self.conv2.w.as_mut_slice(),
+            &mut self.conv2.b,
+            self.head.w.as_mut_slice(),
+            &mut self.head.b,
+        ];
+        crate::net::restore_into(&mut dst, params)
+    }
 }
 
 #[cfg(test)]

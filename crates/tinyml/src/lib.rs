@@ -52,11 +52,13 @@ pub mod metrics;
 pub mod net;
 pub mod optim;
 pub mod par;
+pub mod snapshot;
 pub mod tensor;
 pub mod train;
 
 pub use data::Dataset;
 pub use net::{Mlp, Model};
 pub use optim::OptimizerKind;
+pub use snapshot::TrainSnapshot;
 pub use tensor::Matrix;
-pub use train::{train, History, ModelArch, TrainConfig};
+pub use train::{train, Checkpointing, History, ModelArch, TrainConfig};

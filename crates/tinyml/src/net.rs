@@ -32,10 +32,32 @@ pub trait Model {
     /// Number of trainable parameters.
     fn param_count(&self) -> usize;
 
+    /// Every trainable tensor, flattened, in optimiser slot order — the
+    /// weight half of a training checkpoint (see [`crate::snapshot`]).
+    fn params(&self) -> Vec<Vec<f32>>;
+
+    /// Overwrite the trainable tensors from a [`Model::params`] export.
+    /// Returns `false` (leaving the model untouched) when the tensor
+    /// count or any length disagrees — the snapshot came from a
+    /// different architecture.
+    fn restore_params(&mut self, params: &[Vec<f32>]) -> bool;
+
     /// Predicted class per row (argmax of [`Model::forward`]).
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         argmax_rows(&self.forward(x))
     }
+}
+
+/// Copy `src` tensors onto `dst` slices after verifying every length
+/// matches (shared by the [`Model::restore_params`] impls).
+pub(crate) fn restore_into(dst: &mut [&mut [f32]], src: &[Vec<f32>]) -> bool {
+    if dst.len() != src.len() || dst.iter().zip(src).any(|(d, s)| d.len() != s.len()) {
+        return false;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.copy_from_slice(s);
+    }
+    true
 }
 
 /// Index of the largest entry in each row (ties break low, empty rows 0).
@@ -178,6 +200,25 @@ impl Model for Mlp {
 
     fn param_count(&self) -> usize {
         Mlp::param_count(self)
+    }
+
+    fn params(&self) -> Vec<Vec<f32>> {
+        // Same order as `apply_gradients`: slots 2i (weights), 2i+1 (bias).
+        let mut out = Vec::with_capacity(2 * self.layers.len());
+        for layer in &self.layers {
+            out.push(layer.w.as_slice().to_vec());
+            out.push(layer.b.clone());
+        }
+        out
+    }
+
+    fn restore_params(&mut self, params: &[Vec<f32>]) -> bool {
+        let mut dst: Vec<&mut [f32]> = Vec::with_capacity(2 * self.layers.len());
+        for layer in &mut self.layers {
+            dst.push(layer.w.as_mut_slice());
+            dst.push(&mut layer.b);
+        }
+        restore_into(&mut dst, params)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {

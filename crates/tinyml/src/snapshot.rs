@@ -1,0 +1,306 @@
+//! Training-state snapshots: everything needed to resume a trial at an
+//! epoch boundary and reproduce the uninterrupted run bit for bit.
+//!
+//! A [`TrainSnapshot`] captures, after epoch `next_epoch - 1` completes:
+//!
+//! - the model's trainable tensors in optimiser slot order
+//!   ([`crate::net::Model::params`]),
+//! - the optimiser's mutable state — SGD velocity / RMSprop square
+//!   averages / Adam moments plus the step clock
+//!   ([`crate::optim::OptimizerState`]),
+//! - the RNG seed the run was started with, so the resumed trial replays
+//!   the **same** dataset split and the same per-epoch minibatch order
+//!   (the seed travels with the snapshot rather than being re-derived by
+//!   the resuming process — re-seeding from scratch silently changes the
+//!   shuffle stream on a retried trial),
+//! - the per-epoch history so far, so the resumed run's final `History`
+//!   equals the uninterrupted one.
+//!
+//! The encoding is a versioned little-endian binary layout with floats
+//! stored via `to_bits`, so decode(encode(s)) == s exactly — no text
+//! round-tripping, no precision loss. Integrity (checksums, atomic
+//! writes) is the `ckpt` crate's job; this module only defines the
+//! payload.
+
+use crate::optim::{OptimizerKind, OptimizerState, SlotState};
+use crate::train::History;
+
+/// Magic + layout version framing every encoded snapshot.
+const MAGIC: u32 = 0x544E_5331; // "TNS1"
+
+/// A resumable training checkpoint (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSnapshot {
+    /// RNG seed of the original run (split + minibatch shuffling).
+    pub seed: u64,
+    /// Total epochs the original run was configured for (drives the lr
+    /// schedule, which must keep its original shape on resume).
+    pub epochs_total: u32,
+    /// First epoch the resumed run should execute (== epochs completed).
+    pub next_epoch: u32,
+    /// Trainable tensors in optimiser slot order.
+    pub params: Vec<Vec<f32>>,
+    /// Optimiser state (momenta, moments, step clock).
+    pub opt: OptimizerState,
+    /// Per-epoch history up to `next_epoch`.
+    pub history: History,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec_f32(out: &mut Vec<u8>, v: &[f32]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_vec_f64(out: &mut Vec<u8>, v: &[f64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn vec_f32(&mut self) -> Option<Vec<f32>> {
+        let n = self.u32()? as usize;
+        // 4 bytes per element must fit in what's left: rejects garbage
+        // lengths without attempting a huge allocation.
+        if self.bytes.len() - self.pos < n * 4 {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(f32::from_bits(u32::from_le_bytes(self.take(4)?.try_into().ok()?)));
+        }
+        Some(v)
+    }
+
+    fn vec_f64(&mut self) -> Option<Vec<f64>> {
+        let n = self.u32()? as usize;
+        if self.bytes.len() - self.pos < n * 8 {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().ok()?)));
+        }
+        Some(v)
+    }
+}
+
+fn kind_tag(kind: OptimizerKind) -> u32 {
+    match kind {
+        OptimizerKind::Sgd => 0,
+        OptimizerKind::RmsProp => 1,
+        OptimizerKind::Adam => 2,
+    }
+}
+
+fn tag_kind(tag: u32) -> Option<OptimizerKind> {
+    match tag {
+        0 => Some(OptimizerKind::Sgd),
+        1 => Some(OptimizerKind::RmsProp),
+        2 => Some(OptimizerKind::Adam),
+        _ => None,
+    }
+}
+
+impl TrainSnapshot {
+    /// Serialize to the versioned binary layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u64(&mut out, self.seed);
+        put_u32(&mut out, self.epochs_total);
+        put_u32(&mut out, self.next_epoch);
+        put_u32(&mut out, self.params.len() as u32);
+        for p in &self.params {
+            put_vec_f32(&mut out, p);
+        }
+        put_u32(&mut out, kind_tag(self.opt.kind));
+        out.extend_from_slice(&self.opt.weight_decay.to_bits().to_le_bytes());
+        put_u64(&mut out, self.opt.t);
+        put_u32(&mut out, self.opt.slots.len() as u32);
+        for slot in &self.opt.slots {
+            match slot {
+                SlotState::Sgd(v) => {
+                    put_u32(&mut out, 0);
+                    put_vec_f32(&mut out, v);
+                }
+                SlotState::RmsProp(s) => {
+                    put_u32(&mut out, 1);
+                    put_vec_f32(&mut out, s);
+                }
+                SlotState::Adam(m, v) => {
+                    put_u32(&mut out, 2);
+                    put_vec_f32(&mut out, m);
+                    put_vec_f32(&mut out, v);
+                }
+            }
+        }
+        put_vec_f64(&mut out, &self.history.train_loss);
+        put_vec_f64(&mut out, &self.history.val_accuracy);
+        out
+    }
+
+    /// Decode an [`TrainSnapshot::encode`]d snapshot. `None` on any
+    /// truncation, bad magic, or malformed field — never panics, so a
+    /// corrupt snapshot file degrades to "no checkpoint" rather than a
+    /// crashed resume.
+    pub fn decode(bytes: &[u8]) -> Option<TrainSnapshot> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.u32()? != MAGIC {
+            return None;
+        }
+        let seed = r.u64()?;
+        let epochs_total = r.u32()?;
+        let next_epoch = r.u32()?;
+        let n_params = r.u32()? as usize;
+        if bytes.len() - r.pos < n_params * 4 {
+            return None;
+        }
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(r.vec_f32()?);
+        }
+        let kind = tag_kind(r.u32()?)?;
+        let weight_decay = f32::from_bits(u32::from_le_bytes(r.take(4)?.try_into().ok()?));
+        let t = r.u64()?;
+        let n_slots = r.u32()? as usize;
+        if bytes.len() - r.pos < n_slots * 4 {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            slots.push(match r.u32()? {
+                0 => SlotState::Sgd(r.vec_f32()?),
+                1 => SlotState::RmsProp(r.vec_f32()?),
+                2 => SlotState::Adam(r.vec_f32()?, r.vec_f32()?),
+                _ => return None,
+            });
+        }
+        let train_loss = r.vec_f64()?;
+        let val_accuracy = r.vec_f64()?;
+        if r.pos != bytes.len() {
+            return None; // trailing garbage
+        }
+        Some(TrainSnapshot {
+            seed,
+            epochs_total,
+            next_epoch,
+            params,
+            opt: OptimizerState { kind, weight_decay, t, slots },
+            history: History { train_loss, val_accuracy },
+        })
+    }
+
+    /// Serialized size in bytes (what a save will write).
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainSnapshot {
+        TrainSnapshot {
+            seed: 0xDEAD_BEEF_CAFE,
+            epochs_total: 20,
+            next_epoch: 5,
+            params: vec![vec![1.5, -2.25, f32::MIN_POSITIVE], vec![0.0, -0.0]],
+            opt: OptimizerState {
+                kind: OptimizerKind::Adam,
+                weight_decay: 1e-4,
+                t: 312,
+                slots: vec![
+                    SlotState::Adam(vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]),
+                    SlotState::Adam(vec![-0.1, -0.2], vec![1e-30, 1e30]),
+                ],
+            },
+            history: History {
+                train_loss: vec![2.1, 1.4, 0.9, 0.7, 0.55],
+                val_accuracy: vec![0.3, 0.5, 0.7, 0.8, 0.85],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_exact() {
+        let s = sample();
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), s.encoded_len());
+        let back = TrainSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // Bit-exactness, not just PartialEq: negative zero survives.
+        assert!(back.params[1][1].to_bits() == (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn sgd_and_rmsprop_slots_round_trip() {
+        for (kind, slot) in [
+            (OptimizerKind::Sgd, SlotState::Sgd(vec![0.25, -0.5])),
+            (OptimizerKind::RmsProp, SlotState::RmsProp(vec![1.0, 2.0])),
+        ] {
+            let s = TrainSnapshot {
+                opt: OptimizerState { kind, weight_decay: 0.0, t: 1, slots: vec![slot] },
+                ..sample()
+            };
+            assert_eq!(TrainSnapshot::decode(&s.encode()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_decode_to_none() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(TrainSnapshot::decode(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(TrainSnapshot::decode(&extended).is_none(), "trailing byte accepted");
+        let mut bad_magic = bytes;
+        bad_magic[0] ^= 0xFF;
+        assert!(TrainSnapshot::decode(&bad_magic).is_none());
+    }
+
+    #[test]
+    fn absurd_length_fields_do_not_allocate_or_panic() {
+        // magic + seed + epochs + next + a params count claiming u32::MAX
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, MAGIC);
+        put_u64(&mut bytes, 1);
+        put_u32(&mut bytes, 10);
+        put_u32(&mut bytes, 2);
+        put_u32(&mut bytes, u32::MAX);
+        assert!(TrainSnapshot::decode(&bytes).is_none());
+    }
+}

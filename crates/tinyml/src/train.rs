@@ -17,6 +17,7 @@ use crate::data::Dataset;
 use crate::metrics::evaluate;
 use crate::net::{Mlp, Model};
 use crate::optim::{Optimizer, OptimizerKind};
+use crate::snapshot::TrainSnapshot;
 
 /// Which model family to train — the paper's experiments are CNNs; dense
 /// nets are the fast default for large sweeps.
@@ -177,6 +178,25 @@ pub enum EpochSignal {
     Stop,
 }
 
+/// Checkpoint control for one training run (see [`train_with_checkpoints`]).
+///
+/// The default is inert: no resume, never save.
+#[derive(Default)]
+pub struct Checkpointing<'a> {
+    /// Save a snapshot after every `every` completed epochs; `0` disables
+    /// saving.
+    pub every: u32,
+    /// Resume from this snapshot instead of initialising fresh weights.
+    /// The snapshot's own seed drives the dataset split and per-epoch
+    /// minibatch shuffle — **not** [`TrainConfig::seed`] — so a resumed
+    /// trial replays the exact batch stream of the original run even if
+    /// the resuming process derived a different ambient seed.
+    pub resume: Option<TrainSnapshot>,
+    /// Receives each saved snapshot. The `ckpt` crate's `DirStore` (or
+    /// the distributed backend's driver channel) sits behind this.
+    pub sink: Option<&'a mut dyn FnMut(&TrainSnapshot)>,
+}
+
 /// Train with a per-epoch observer. The observer receives
 /// `(epoch_index, train_loss, val_accuracy)` after every epoch and may stop
 /// training early.
@@ -185,33 +205,72 @@ pub fn train_with_observer(
     data: &Dataset,
     mut observer: impl FnMut(u32, f64, f64) -> EpochSignal,
 ) -> History {
+    train_with_checkpoints(cfg, data, Checkpointing::default(), &mut observer)
+}
+
+/// Train with checkpointing: optionally resume from a snapshot, and emit a
+/// snapshot to `ckpt.sink` every `ckpt.every` epochs. With an inert
+/// [`Checkpointing`] this is exactly [`train_with_observer`]; a resumed
+/// run produces a [`History`] (and final weights) bit-identical to the
+/// uninterrupted run's, because the snapshot carries the weights, the
+/// optimiser momenta and step clock, and the original RNG seed.
+///
+/// The observer sees only the epochs actually executed here (absolute
+/// epoch indices); replaying pre-snapshot history into early-stop logic is
+/// the caller's choice.
+pub fn train_with_checkpoints(
+    cfg: &TrainConfig,
+    data: &Dataset,
+    mut ckpt: Checkpointing<'_>,
+    observer: &mut impl FnMut(u32, f64, f64) -> EpochSignal,
+) -> History {
     assert!(cfg.batch_size > 0, "batch_size must be positive");
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     // Every kernel below (forward/backward GEMMs, im2col convolutions,
     // validation inference) runs under this scope; `threads == 0` keeps
     // the degree the runtime already installed from the task's core grant.
-    crate::par::with_threads(cfg.threads, move || train_inner(cfg, data, &mut observer))
+    crate::par::with_threads(cfg.threads, move || train_inner(cfg, data, &mut ckpt, observer))
 }
 
 fn train_inner(
     cfg: &TrainConfig,
     data: &Dataset,
+    ckpt: &mut Checkpointing<'_>,
     observer: &mut impl FnMut(u32, f64, f64) -> EpochSignal,
 ) -> History {
-    let (train_set, val_set) = data.split(cfg.val_fraction, cfg.seed);
+    // The seed governing the split and every epoch's shuffle: on resume it
+    // travels with the snapshot (re-deriving it here would silently change
+    // the minibatch stream of a retried trial).
+    let seed = ckpt.resume.as_ref().map_or(cfg.seed, |s| s.seed);
+    let (train_set, val_set) = data.split(cfg.val_fraction, seed);
     let mut net: Box<dyn Model> = match cfg.arch {
         ModelArch::Dense => {
-            Box::new(Mlp::new(data.dim(), &cfg.hidden_layers, data.n_classes, cfg.seed))
+            Box::new(Mlp::new(data.dim(), &cfg.hidden_layers, data.n_classes, seed))
         }
         ModelArch::Cnn { conv1_channels, conv2_channels } => {
             let shape = Cnn::infer_shape(data.dim()).unwrap_or_else(|| {
                 panic!("CNN needs square 1/3-channel images; dim {} is neither", data.dim())
             });
-            Box::new(Cnn::new(shape, data.n_classes, conv1_channels, conv2_channels, cfg.seed))
+            Box::new(Cnn::new(shape, data.n_classes, conv1_channels, conv2_channels, seed))
         }
     };
     let base_lr = cfg.effective_lr();
     let mut opt = Optimizer::new(cfg.optimizer, base_lr).with_weight_decay(cfg.weight_decay);
+
+    let mut start_epoch = 0u32;
+    let mut resumed_history = History::default();
+    if let Some(snap) = ckpt.resume.take() {
+        assert!(
+            net.restore_params(&snap.params),
+            "snapshot does not match the model architecture \
+             (params {} vs model {} tensors)",
+            snap.params.len(),
+            net.params().len(),
+        );
+        opt = Optimizer::from_state(&snap.opt, base_lr);
+        start_epoch = snap.next_epoch.min(cfg.epochs);
+        resumed_history = snap.history;
+    }
 
     // Process-global observability: handles fetched once per training run,
     // and only when the registry is switched on (one relaxed load here).
@@ -221,12 +280,12 @@ fn train_inner(
             .then(|| (reg.histogram("tinyml_epoch_us"), reg.gauge("tinyml_samples_per_sec")))
     };
 
-    let mut history = History::default();
-    for epoch in 0..cfg.epochs {
+    let mut history = resumed_history;
+    for epoch in start_epoch..cfg.epochs {
         opt.set_lr(cfg.lr_schedule.lr_at(base_lr, epoch, cfg.epochs).max(1e-8));
         let epoch_started = epoch_metrics.as_ref().map(|_| std::time::Instant::now());
         let mut loss_sum = 0.0f64;
-        let batches = train_set.batches(cfg.batch_size, cfg.seed, epoch);
+        let batches = train_set.batches(cfg.batch_size, seed, epoch);
         let n_batches = batches.len().max(1);
         for batch in batches {
             let x = train_set.x.gather_rows(&batch);
@@ -244,7 +303,26 @@ fn train_inner(
         }
         history.train_loss.push(train_loss);
         history.val_accuracy.push(val_acc);
-        if observer(epoch, train_loss, val_acc) == EpochSignal::Stop {
+        let stop = observer(epoch, train_loss, val_acc) == EpochSignal::Stop;
+        // Snapshot on the configured cadence (and not after the final
+        // epoch — a finished trial's outcome supersedes its snapshots).
+        if ckpt.every > 0
+            && (epoch + 1).is_multiple_of(ckpt.every)
+            && !stop
+            && epoch + 1 < cfg.epochs
+        {
+            if let Some(sink) = ckpt.sink.as_mut() {
+                sink(&TrainSnapshot {
+                    seed,
+                    epochs_total: cfg.epochs,
+                    next_epoch: epoch + 1,
+                    params: net.params(),
+                    opt: opt.state(),
+                    history: history.clone(),
+                });
+            }
+        }
+        if stop {
             break;
         }
     }
@@ -441,6 +519,139 @@ mod tests {
         let decayed =
             train(&TrainConfig { weight_decay: 0.05, ..quick_cfg(OptimizerKind::Adam) }, &data);
         assert_ne!(plain, decayed);
+    }
+
+    /// Capture the snapshot emitted after `every` epochs of a run.
+    fn snapshot_at(cfg: &TrainConfig, data: &Dataset, every: u32) -> crate::TrainSnapshot {
+        let mut captured = None;
+        let mut sink = |s: &crate::TrainSnapshot| {
+            if captured.is_none() {
+                captured = Some(s.clone());
+            }
+        };
+        let _ = train_with_checkpoints(
+            cfg,
+            data,
+            Checkpointing { every, resume: None, sink: Some(&mut sink) },
+            &mut |_, _, _| EpochSignal::Continue,
+        );
+        captured.expect("no snapshot emitted")
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let data = Dataset::synthetic_mnist(400, 5);
+        for kind in OptimizerKind::ALL {
+            let cfg = TrainConfig {
+                lr_schedule: LrSchedule::StepDecay { every_epochs: 2, factor: 0.5 },
+                weight_decay: 1e-4,
+                ..quick_cfg(kind)
+            };
+            let uninterrupted = train(&cfg, &data);
+            let snap = snapshot_at(&cfg, &data, 2);
+            assert_eq!(snap.next_epoch, 2);
+            assert_eq!(snap.history.epochs_run(), 2);
+            let resumed = train_with_checkpoints(
+                &cfg,
+                &data,
+                Checkpointing { every: 0, resume: Some(snap), sink: None },
+                &mut |_, _, _| EpochSignal::Continue,
+            );
+            assert_eq!(resumed, uninterrupted, "{kind} resumed run diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_its_wire_encoding() {
+        // The full path a distributed retry takes: snapshot → bytes →
+        // snapshot → resume. Must still be bit-identical.
+        let data = Dataset::synthetic_mnist(300, 8);
+        let cfg = quick_cfg(OptimizerKind::Adam);
+        let uninterrupted = train(&cfg, &data);
+        let snap = snapshot_at(&cfg, &data, 3);
+        let snap = crate::TrainSnapshot::decode(&snap.encode()).expect("decodes");
+        let resumed = train_with_checkpoints(
+            &cfg,
+            &data,
+            Checkpointing { every: 0, resume: Some(snap), sink: None },
+            &mut |_, _, _| EpochSignal::Continue,
+        );
+        assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn resume_uses_the_snapshot_seed_not_the_ambient_one() {
+        // The RNG bugfix: a resuming process that derived a different seed
+        // must still replay the original run's split and shuffle stream.
+        let data = Dataset::synthetic_mnist(400, 5);
+        let cfg = quick_cfg(OptimizerKind::Sgd);
+        let uninterrupted = train(&cfg, &data);
+        let snap = snapshot_at(&cfg, &data, 2);
+        let wrong_seed_cfg = TrainConfig { seed: cfg.seed ^ 0x5555, ..cfg };
+        let resumed = train_with_checkpoints(
+            &wrong_seed_cfg,
+            &data,
+            Checkpointing { every: 0, resume: Some(snap), sink: None },
+            &mut |_, _, _| EpochSignal::Continue,
+        );
+        assert_eq!(resumed, uninterrupted, "snapshot seed must override cfg.seed");
+    }
+
+    #[test]
+    fn cnn_resume_is_bit_identical_too() {
+        let data = Dataset::synthetic(
+            "mnist-spatial",
+            120,
+            &crate::data::SyntheticSpec::mnist_like_spatial(),
+            4,
+        );
+        let cfg = TrainConfig {
+            epochs: 3,
+            arch: ModelArch::Cnn { conv1_channels: 3, conv2_channels: 4 },
+            ..quick_cfg(OptimizerKind::Adam)
+        };
+        let uninterrupted = train(&cfg, &data);
+        let snap = snapshot_at(&cfg, &data, 1);
+        let snap = crate::TrainSnapshot::decode(&snap.encode()).unwrap();
+        let resumed = train_with_checkpoints(
+            &cfg,
+            &data,
+            Checkpointing { every: 0, resume: Some(snap), sink: None },
+            &mut |_, _, _| EpochSignal::Continue,
+        );
+        assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn snapshot_cadence_and_final_epoch_suppression() {
+        let data = Dataset::synthetic_mnist(200, 3);
+        let cfg = quick_cfg(OptimizerKind::Sgd); // 5 epochs
+        let mut epochs_seen = Vec::new();
+        let mut sink = |s: &crate::TrainSnapshot| epochs_seen.push(s.next_epoch);
+        let _ = train_with_checkpoints(
+            &cfg,
+            &data,
+            Checkpointing { every: 2, resume: None, sink: Some(&mut sink) },
+            &mut |_, _, _| EpochSignal::Continue,
+        );
+        // every=2 over 5 epochs: snapshots after epochs 2 and 4; nothing at
+        // 5 (the run is finished — the outcome supersedes snapshots).
+        assert_eq!(epochs_seen, vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture")]
+    fn mismatched_snapshot_architecture_panics() {
+        let data = Dataset::synthetic_mnist(200, 3);
+        let cfg = quick_cfg(OptimizerKind::Sgd);
+        let snap = snapshot_at(&cfg, &data, 2);
+        let other = TrainConfig { hidden_layers: vec![8], ..cfg };
+        let _ = train_with_checkpoints(
+            &other,
+            &data,
+            Checkpointing { every: 0, resume: Some(snap), sink: None },
+            &mut |_, _, _| EpochSignal::Continue,
+        );
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub struct CliArgs {
     pub workers: Vec<String>,
     /// Write a Chrome `trace_event` JSON trace here (implies tracing).
     pub trace_out: Option<String>,
+    /// Checkpoint directory: crash-safe sweep journal plus periodic model
+    /// snapshots. `None` = checkpointing off.
+    pub ckpt_dir: Option<String>,
+    /// Snapshot cadence in epochs when checkpointing.
+    pub ckpt_every: u32,
+    /// Snapshots retained per trial.
+    pub ckpt_retain: usize,
+    /// Resume an interrupted sweep from `ckpt_dir`'s journal
+    /// (`--resume <dir>` sets both).
+    pub resume: bool,
 }
 
 impl Default for CliArgs {
@@ -102,6 +112,10 @@ impl Default for CliArgs {
             metrics_out: None,
             workers: Vec::new(),
             trace_out: None,
+            ckpt_dir: None,
+            ckpt_every: 1,
+            ckpt_retain: 2,
+            resume: false,
         }
     }
 }
@@ -128,6 +142,10 @@ pub struct WorkerArgs {
     pub cnn: bool,
     /// In-trial early-stop target — must match the driver invocation.
     pub target_accuracy: Option<f64>,
+    /// Snapshot cadence in epochs (0 = off). Worker-side snapshots ride
+    /// back to the driver over the wire, so a trial retried after a worker
+    /// loss resumes mid-training instead of from epoch 0.
+    pub ckpt_every: u32,
 }
 
 impl Default for WorkerArgs {
@@ -141,6 +159,7 @@ impl Default for WorkerArgs {
             seed: 42,
             cnn: false,
             target_accuracy: None,
+            ckpt_every: 0,
         }
     }
 }
@@ -197,12 +216,23 @@ OPTIONS:
                            (Prometheus text) and <prefix>.jsonl
     --no-metrics           disable runtime metrics collection
     --cnn                  train CNNs instead of dense nets
+    --ckpt-dir <dir>       checkpoint the sweep: crash-safe journal plus
+                           periodic model snapshots under <dir>
+    --ckpt-every <n>       snapshot cadence in epochs            [1]
+    --ckpt-retain <n>      snapshots retained per trial          [2]
+    --resume <dir>         resume an interrupted sweep from its
+                           checkpoint directory: journaled-complete
+                           trials are skipped, in-flight trials restart
+                           from their latest snapshot
     --help                 show this text
 
 WORKER OPTIONS (hpo-run worker / rcompss-worker):
     --listen <addr>        listen address        [127.0.0.1:7077]
     --name <s>             worker display name   [worker]
     --cores <n>            advertised CPU cores  [autodetect]
+    --ckpt-every <n>       snapshot cadence in epochs (0 = off); snapshots
+                           ride back to the driver so retried trials
+                           resume mid-training after a worker loss
     --dataset, --samples, --seed, --cnn, --target-accuracy
                            dataset recipe — must match the driver, so the
                            worker rebuilds the identical objective
@@ -221,6 +251,8 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
     let mut out = CliArgs::default();
     let mut it = args.iter().copied();
     let mut saw_config = false;
+    let mut saw_ckpt_knob = false;
+    let mut resume_dir: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg {
             "--help" | "-h" => return Err(CliError(USAGE.to_string())),
@@ -278,6 +310,19 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
             "--metrics-out" => out.metrics_out = Some(take_value(arg, &mut it)?.to_string()),
             "--no-metrics" => out.no_metrics = true,
             "--cnn" => out.cnn = true,
+            "--ckpt-dir" => out.ckpt_dir = Some(take_value(arg, &mut it)?.to_string()),
+            "--ckpt-every" => {
+                out.ckpt_every = parse_num(arg, take_value(arg, &mut it)?)?;
+                saw_ckpt_knob = true;
+            }
+            "--ckpt-retain" => {
+                out.ckpt_retain = parse_num(arg, take_value(arg, &mut it)?)?;
+                saw_ckpt_knob = true;
+            }
+            "--resume" => {
+                resume_dir = Some(take_value(arg, &mut it)?.to_string());
+                out.resume = true;
+            }
             other => return Err(CliError(format!("unknown flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -298,6 +343,26 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
     }
     if out.backend != BackendChoice::Distributed && !out.workers.is_empty() {
         return Err(CliError("--workers only applies to --backend distributed".to_string()));
+    }
+    if let Some(dir) = resume_dir {
+        if out.ckpt_dir.is_some() {
+            return Err(CliError(
+                "--resume <dir> already names the checkpoint directory; drop --ckpt-dir"
+                    .to_string(),
+            ));
+        }
+        out.ckpt_dir = Some(dir);
+    }
+    if saw_ckpt_knob && out.ckpt_dir.is_none() {
+        return Err(CliError(
+            "--ckpt-every/--ckpt-retain require --ckpt-dir or --resume".to_string(),
+        ));
+    }
+    if out.ckpt_every == 0 {
+        return Err(CliError("--ckpt-every must be at least 1".to_string()));
+    }
+    if out.ckpt_retain == 0 {
+        return Err(CliError("--ckpt-retain must be at least 1".to_string()));
     }
     Ok(out)
 }
@@ -334,6 +399,7 @@ pub fn parse_worker(args: &[&str]) -> Result<WorkerArgs, CliError> {
             "--target-accuracy" => {
                 out.target_accuracy = Some(parse_num(arg, take_value(arg, &mut it)?)?);
             }
+            "--ckpt-every" => out.ckpt_every = parse_num(arg, take_value(arg, &mut it)?)?,
             other => return Err(CliError(format!("unknown worker flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -448,8 +514,7 @@ mod tests {
     fn distributed_backend_requires_workers() {
         let e = parse(&["--config", "s.json", "--backend", "distributed"]).unwrap_err();
         assert!(e.0.contains("--workers"), "{e}");
-        let e =
-            parse(&["--config", "s.json", "--workers", "127.0.0.1:7077"]).unwrap_err();
+        let e = parse(&["--config", "s.json", "--workers", "127.0.0.1:7077"]).unwrap_err();
         assert!(e.0.contains("only applies"), "{e}");
     }
 
@@ -497,6 +562,65 @@ mod tests {
         assert_eq!(w.listen, "127.0.0.1:7077");
         assert!(parse_worker(&["--wat"]).is_err());
         assert!(parse_worker(&["--listen"]).is_err(), "dangling value");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let a = parse(&[
+            "--config",
+            "s.json",
+            "--ckpt-dir",
+            "ckpts/run1",
+            "--ckpt-every",
+            "5",
+            "--ckpt-retain",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(a.ckpt_dir.as_deref(), Some("ckpts/run1"));
+        assert_eq!((a.ckpt_every, a.ckpt_retain), (5, 3));
+        assert!(!a.resume);
+        // Defaults without any checkpoint flag: off.
+        let b = parse(&["--config", "s.json"]).unwrap();
+        assert_eq!(b.ckpt_dir, None);
+        assert_eq!((b.ckpt_every, b.ckpt_retain), (1, 2));
+    }
+
+    #[test]
+    fn resume_names_the_checkpoint_directory() {
+        let a = parse(&["--config", "s.json", "--resume", "ckpts/run1"]).unwrap();
+        assert!(a.resume);
+        assert_eq!(a.ckpt_dir.as_deref(), Some("ckpts/run1"));
+        let e = parse(&["--config", "s.json", "--resume", "ckpts/run1", "--ckpt-dir", "elsewhere"])
+            .unwrap_err();
+        assert!(e.0.contains("already names"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_knobs_are_validated() {
+        let e = parse(&["--config", "s.json", "--ckpt-every", "5"]).unwrap_err();
+        assert!(e.0.contains("require --ckpt-dir"), "{e}");
+        let e = parse(&["--config", "s.json", "--ckpt-dir", "d", "--ckpt-every", "0"]).unwrap_err();
+        assert!(e.0.contains("--ckpt-every"), "{e}");
+        let e =
+            parse(&["--config", "s.json", "--ckpt-dir", "d", "--ckpt-retain", "0"]).unwrap_err();
+        assert!(e.0.contains("--ckpt-retain"), "{e}");
+        assert!(parse(&["--config", "s.json", "--resume"]).is_err(), "dangling value");
+    }
+
+    #[test]
+    fn worker_checkpoint_cadence_parses() {
+        let w = parse_worker(&["--ckpt-every", "3"]).unwrap();
+        assert_eq!(w.ckpt_every, 3);
+        assert_eq!(WorkerArgs::default().ckpt_every, 0, "worker snapshots default off");
+    }
+
+    #[test]
+    fn help_documents_checkpointing() {
+        let e = parse(&["--help"]).unwrap_err();
+        assert!(e.0.contains("--ckpt-dir"));
+        assert!(e.0.contains("--resume"));
+        assert!(e.0.contains("--ckpt-every"));
     }
 
     #[test]

@@ -78,19 +78,56 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     // registry; switch it in step with the runtime's.
     runmetrics::global().set_enabled(metrics_on);
 
-    // 3. Objective: real training for the chosen dataset. Shared with the
+    // 3. Checkpointing: journal + snapshot store under --ckpt-dir, and
+    // the recovered sweep state when resuming.
+    let mut ckpts = hpo::experiment::TrialCheckpoints::default();
+    let mut journal = None;
+    let mut resume_state = None;
+    if let Some(dir) = &args.ckpt_dir {
+        let spec = hpo::ckpt::CheckpointSpec::new(dir)
+            .with_every(args.ckpt_every)
+            .with_retain(args.ckpt_retain);
+        if args.resume {
+            let state = spec.recover().map_err(|e| format!("cannot resume from {dir}: {e}"))?;
+            println!(
+                "recovered journal {}: {} trials complete, {} in flight",
+                spec.journal_path().display(),
+                state.complete.len(),
+                state.in_flight.len()
+            );
+            resume_state = Some(state);
+        }
+        let j = spec.journal().map_err(|e| format!("cannot open journal in {dir}: {e}"))?;
+        ckpts = hpo::experiment::TrialCheckpoints {
+            every: args.ckpt_every,
+            store: Some(std::sync::Arc::new(
+                spec.store().map_err(|e| format!("cannot open snapshot store in {dir}: {e}"))?,
+            )),
+            journal: Some(j.clone()),
+        };
+        journal = Some(j);
+        println!(
+            "checkpointing to {dir}: snapshot every {} epoch(s), retaining {}",
+            args.ckpt_every, args.ckpt_retain
+        );
+    }
+
+    // 4. Objective: real training for the chosen dataset. Shared with the
     // worker daemon, so a distributed worker started with the same dataset
     // flags executes the identical function (see `worker::build_objective`).
+    // In a distributed run the driver's store/journal stay local; workers
+    // started with --ckpt-every snapshot over the wire instead.
     let (data, objective) = worker::build_objective(
         args.dataset,
         args.samples,
         args.seed,
         args.cnn,
         args.target_accuracy,
+        ckpts,
     );
     println!("dataset: {} ({} examples, {} features)", data.name, data.len(), data.dim());
 
-    // 4. Runner options.
+    // 5. Runner options.
     let mut opts =
         ExperimentOptions::default().with_constraint(Constraint::cpus(args.cores_per_task));
     if let Some(t) = args.target_accuracy {
@@ -114,7 +151,7 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     let runner = HpoRunner::new(opts);
 
-    // 5. Run with a live dashboard (metrics line every 10 trials).
+    // 6. Run with a live dashboard (metrics line every 10 trials).
     let mut dash = Dashboard::new();
     if metrics_on {
         dash = dash.with_metrics(rt.metrics(), 10);
@@ -125,12 +162,32 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         AlgoChoice::Tpe => Box::new(TpeSearch::new(&space, args.trials, args.seed)),
         AlgoChoice::Bayes => Box::new(BayesSearch::new(&space, args.trials, args.seed)),
     };
-    let report = runner.run_observed(&rt, algo.as_mut(), objective, |t| {
-        println!("{}", dash.on_trial(t));
-    })?;
+    let report = if let Some(journal) = &journal {
+        let (report, stats) = runner.run_journaled(
+            &rt,
+            algo.as_mut(),
+            objective,
+            journal,
+            resume_state.as_ref(),
+            |t| println!("{}", dash.on_trial(t)),
+        )?;
+        let banner = dash.on_resume(&stats);
+        if !banner.is_empty() {
+            println!("{banner}");
+        }
+        report
+    } else {
+        runner.run_observed(&rt, algo.as_mut(), objective, |t| {
+            println!("{}", dash.on_trial(t));
+        })?
+    };
 
-    // 6. Report, artefacts.
+    // 7. Report, artefacts.
     println!("\n{}", report.summary());
+    let ckpt_line = dash.ckpt_summary();
+    if !ckpt_line.is_empty() {
+        println!("{ckpt_line}");
+    }
     print!("{}", leaderboard(&report, 5));
     if let Some(path) = &args.csv_out {
         std::fs::write(path, report.to_csv())?;

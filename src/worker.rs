@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use hpo::experiment::{ExperimentOptions, Objective};
+use hpo::experiment::{ExperimentOptions, Objective, TrialCheckpoints};
 use hpo::space::ConfigValue;
 use hpo::wire::{experiment_task_def, register_hpo_codecs};
 use hpo::EarlyStop;
@@ -25,13 +25,18 @@ use crate::cli::{DatasetChoice, WorkerArgs};
 ///
 /// Deterministic in its arguments: the same `(dataset, samples, seed,
 /// cnn, target_accuracy)` tuple yields the same synthetic data and the
-/// same objective on every process that calls it.
+/// same objective on every process that calls it. `ckpts` layers
+/// checkpointing on top without changing the training trajectory: the
+/// driver passes its snapshot store and sweep journal, a worker passes
+/// just a cadence (its snapshots travel over the runtime's ambient
+/// channel), and `TrialCheckpoints::default()` turns it off.
 pub fn build_objective(
     dataset: DatasetChoice,
     samples: usize,
     seed: u64,
     cnn: bool,
     target_accuracy: Option<f64>,
+    ckpts: TrialCheckpoints,
 ) -> (Arc<Dataset>, Objective) {
     let spec = match (dataset, cnn) {
         (DatasetChoice::Mnist, false) => SyntheticSpec::mnist_like(),
@@ -47,8 +52,12 @@ pub fn build_objective(
     let early = target_accuracy.map(EarlyStop::at_accuracy);
     let objective = if cnn {
         // Inject the arch key by wrapping the objective.
-        let inner =
-            hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early);
+        let inner = hpo::experiment::tinyml_objective_checkpointed(
+            Arc::clone(&data),
+            vec![64],
+            early,
+            ckpts,
+        );
         let wrapped: Objective = Arc::new(move |cfg, budget| {
             let mut cfg = cfg.clone();
             if cfg.get_str("arch").is_none() {
@@ -58,7 +67,7 @@ pub fn build_objective(
         });
         wrapped
     } else {
-        hpo::experiment::tinyml_objective_with_early_stop(Arc::clone(&data), vec![64], early)
+        hpo::experiment::tinyml_objective_checkpointed(Arc::clone(&data), vec![64], early, ckpts)
     };
     (data, objective)
 }
@@ -67,8 +76,17 @@ pub fn build_objective(
 /// experiment task, bind the listen socket, and serve drivers.
 pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
     register_hpo_codecs();
-    let (data, objective) =
-        build_objective(args.dataset, args.samples, args.seed, args.cnn, args.target_accuracy);
+    // Cadence only: a worker has no journal or on-disk store — its
+    // snapshots ride the runtime's ambient channel back to the driver.
+    let ckpts = TrialCheckpoints { every: args.ckpt_every, ..TrialCheckpoints::default() };
+    let (data, objective) = build_objective(
+        args.dataset,
+        args.samples,
+        args.seed,
+        args.cnn,
+        args.target_accuracy,
+        ckpts,
+    );
     let registry =
         TaskRegistry::new().with(experiment_task_def(&ExperimentOptions::default(), &objective));
 
@@ -77,12 +95,7 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
     };
-    let cfg = WorkerConfig {
-        name: args.name.clone(),
-        cores,
-        gpus: 0,
-        mem_gib: 16,
-    };
+    let cfg = WorkerConfig { name: args.name.clone(), cores, gpus: 0, mem_gib: 16 };
     let server = WorkerServer::bind(&args.listen, cfg, registry)?;
     println!(
         "rcompss-worker '{}' listening on {} ({} cores, dataset {} × {})",
@@ -92,6 +105,9 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
         data.name,
         data.len(),
     );
+    if args.ckpt_every > 0 {
+        println!("model snapshots every {} epoch(s), shipped to the driver", args.ckpt_every);
+    }
     server.run()?;
     Ok(())
 }

@@ -74,6 +74,43 @@ fn random_with_target_accuracy_early_stops() {
 }
 
 #[test]
+fn checkpointed_run_can_be_resumed_without_rerunning_trials() {
+    let space = write_space("space4.json", SMALL_SPACE);
+    let ckpt_dir = space.with_file_name("ckpts");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    // First run: checkpoint everything. All 4 trials complete, so the
+    // journal records 4 finished trials.
+    let output = hpo_run()
+        .args(["--config", space.to_str().unwrap()])
+        .args(["--samples", "300"])
+        .args(["--ckpt-dir", ckpt_dir.to_str().unwrap(), "--ckpt-every", "1"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(stdout.contains("checkpointing to"), "{stdout}");
+    assert!(stdout.contains("grid: 4 trials"), "{stdout}");
+    assert!(ckpt_dir.join("sweep.journal").is_file(), "journal written");
+
+    // Second run resumes: every trial replays from the journal, nothing
+    // retrains, and the resume banner reports it.
+    let output = hpo_run()
+        .args(["--config", space.to_str().unwrap()])
+        .args(["--samples", "300"])
+        .args(["--resume", ckpt_dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(stdout.contains("recovered journal"), "{stdout}");
+    assert!(stdout.contains("4 trials complete, 0 in flight"), "{stdout}");
+    assert!(stdout.contains("resumed sweep: 4 complete, 0 re-enqueued"), "{stdout}");
+    assert!(stdout.contains("grid: 4 trials"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
 fn bad_flags_fail_with_usage() {
     let out = hpo_run().args(["--nope"]).output().unwrap();
     assert!(!out.status.success());

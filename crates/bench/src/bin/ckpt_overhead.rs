@@ -15,12 +15,18 @@
 //! * `smoke` / `--smoke` — the MLP subset, compared against the
 //!   checked-in baseline (`crates/bench/baselines/ckpt_overhead.json`);
 //!   exits non-zero on a >20 % epochs/sec regression in any scenario.
+//!   Scenarios below threshold are re-measured up to four times with
+//!   growing back-off before the gate fails, so transient slow windows
+//!   on a shared CI box don't flake it — only regressions that persist
+//!   across re-measurement do.
 //!   ci.sh runs this as a gate next to `runtime_throughput smoke`.
 //! * `rebaseline` — re-measure the smoke grid and overwrite the baseline.
 //!
-//! The baseline is machine-calibrated (best of 3 on the box that recorded
-//! it); regenerate with `ckpt_overhead rebaseline` after intentional
-//! snapshot-format or store changes and commit the JSON alongside them.
+//! The baseline is machine-calibrated (median of three best-of-3 batches
+//! on the box that recorded it — a typical fast measurement, not the
+//! luckiest window); regenerate with `ckpt_overhead rebaseline` after
+//! intentional snapshot-format or store changes and commit the JSON
+//! alongside them.
 
 use std::time::Instant;
 
@@ -32,7 +38,7 @@ use tinyml::{Dataset, ModelArch};
 /// Model family under training.
 #[derive(Clone, Copy, PartialEq)]
 enum Arch {
-    /// Dense MLP (hidden [32]) on MNIST-like rows.
+    /// Dense MLP (hidden `[32]`) on MNIST-like rows.
     Mlp,
     /// Small two-block CNN on spatial MNIST-like images.
     Cnn,
@@ -113,9 +119,9 @@ fn run(sc: &Scenario) -> (f64, usize) {
     );
     let wall = t0.elapsed().as_secs_f64();
     assert_eq!(history.epochs_run(), sc.epochs as usize, "bench must train the full budget");
-    if sc.every > 0 {
+    if let Some(expected) = sc.epochs.saturating_sub(1).checked_div(sc.every) {
         // cadence skips the final epoch (the outcome supersedes it)
-        assert_eq!(saves, sc.epochs.saturating_sub(1) / sc.every, "snapshot cadence");
+        assert_eq!(saves, expected, "snapshot cadence");
     }
     let _ = std::fs::remove_dir_all(&dir);
     (f64::from(sc.epochs) / wall, snap_bytes)
@@ -124,6 +130,27 @@ fn run(sc: &Scenario) -> (f64, usize) {
 /// Best epochs/sec over `reps` runs (noise is one-sided: take max).
 fn best_of(sc: &Scenario, reps: u32) -> (f64, usize) {
     (0..reps).map(|_| run(sc)).fold((0.0f64, 0usize), |acc, r| (acc.0.max(r.0), acc.1.max(r.1)))
+}
+
+/// Median of three best-of-`reps` batches. Baselines are recorded with
+/// this rather than a single batch: a shared box is bimodal (noisy
+/// neighbours can halve effective CPU for seconds), and a baseline taken
+/// in the luckiest window is a ceiling later gate runs can't reliably
+/// clear. The median of three spaced batches is a *typical* fast
+/// measurement instead.
+fn typical_of(sc: &Scenario, reps: u32) -> (f64, usize) {
+    let mut eps = Vec::new();
+    let mut bytes = 0usize;
+    for i in 0..3 {
+        if i > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(2));
+        }
+        let (e, b) = best_of(sc, reps);
+        eps.push(e);
+        bytes = bytes.max(b);
+    }
+    eps.sort_by(f64::total_cmp);
+    (eps[1], bytes)
 }
 
 fn sc(arch: Arch, every: u32) -> Scenario {
@@ -197,7 +224,9 @@ fn main() {
     let mut rows: Vec<(String, f64)> = Vec::new();
     let mut off_eps: Option<f64> = None;
     for sc in &grid {
-        let (eps, bytes) = best_of(sc, reps);
+        // Baselines record a typical fast batch (median of three), not a
+        // single lucky one — see `typical_of`.
+        let (eps, bytes) = if rebaseline { typical_of(sc, reps) } else { best_of(sc, reps) };
         println!("{:<14} {:>8} {:>8} {:>12.1} {:>12}", sc.key(), sc.epochs, sc.samples, eps, bytes);
         if sc.every == 0 {
             off_eps = Some(eps);
@@ -225,11 +254,41 @@ fn main() {
             println!("no baseline at {} — gate skipped (run `rebaseline`)", path.display());
             return;
         };
+        let base_for =
+            |key: &str| baseline.iter().find(|(k, b)| k == key && *b > 0.0).map(|(_, b)| *b);
+        // A shared CI box can halve its effective CPU for seconds at a time.
+        // A *real* regression survives re-measurement; a slow window does
+        // not — so scenarios below threshold are re-measured up to
+        // `RETRIES` times with growing back-off, keeping the best observed
+        // rate, before the gate fails.
+        const RETRIES: u32 = 4;
+        for round in 0..RETRIES {
+            let failing: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, (key, eps))| base_for(key).is_some_and(|b| eps / b < 0.8))
+                .map(|(i, _)| i)
+                .collect();
+            if failing.is_empty() {
+                break;
+            }
+            println!(
+                "\nretry {}/{RETRIES}: re-measuring {} scenario(s) below threshold",
+                round + 1,
+                failing.len()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(2u64 << round));
+            for i in failing {
+                let (again, _) = best_of(&grid[i], reps);
+                println!("  {:<14} {:>10.1} (was {:.1})", rows[i].0, again, rows[i].1);
+                rows[i].1 = rows[i].1.max(again);
+            }
+        }
         let mut failed = false;
-        println!("\ngate: >= 80% of baseline epochs/sec");
+        println!("\ngate: >= 80% of baseline epochs/sec (best across retries)");
         for (key, eps) in &rows {
-            match baseline.iter().find(|(k, _)| k == key) {
-                Some((_, base)) if *base > 0.0 => {
+            match base_for(key) {
+                Some(base) => {
                     let ratio = eps / base;
                     let verdict = if ratio >= 0.8 { "ok" } else { "REGRESSION" };
                     println!("  {key:<14} {eps:>10.1} vs {base:>10.1}  ({ratio:>5.2}x) {verdict}");
@@ -237,7 +296,7 @@ fn main() {
                         failed = true;
                     }
                 }
-                _ => println!("  {key:<14} {eps:>10.1} (no baseline entry)"),
+                None => println!("  {key:<14} {eps:>10.1} (no baseline entry)"),
             }
         }
         assert!(!failed, "epochs/sec regressed >20% vs checked-in baseline");

@@ -1,22 +1,45 @@
-//! Distributed backend: real execution on remote worker daemons over TCP.
+//! Distributed backend: real execution on remote worker daemons over TCP,
+//! built on a readiness-driven event loop.
 //!
-//! The driver side mirrors the threaded backend's split: everything that
-//! needs the core lock (placement, residency decisions, exec bookkeeping)
-//! happens in [`ConnMgr::collect_dispatch_remote`], and everything slow —
-//! value encoding, frame batching, socket writes, trace emission — happens
-//! in [`ConnMgr::send`] after the lock is dropped. One reader thread per
-//! worker turns `Done`/`Failed` frames back into
-//! [`crate::runtime::complete_attempt`] calls; a monitor thread paces
-//! heartbeats and declares a worker dead when it goes silent.
+//! # Architecture
+//!
+//! Both sides of the wire are single-threaded event loops over
+//! non-blocking sockets ([`rnet::poll::Poller`]: epoll on Linux, `poll(2)`
+//! elsewhere), with per-connection reusable buffers
+//! ([`rnet::nonblock::RecvBuf`] / [`rnet::nonblock::SendBuf`]) instead of
+//! per-connection blocking threads:
+//!
+//! * **Driver.** One loop thread owns readiness for every worker link plus
+//!   a self-pipe [`rnet::poll::Waker`]. A readable event drains the socket
+//!   into the link's `RecvBuf` and decodes frames *zero-copy*
+//!   ([`rnet::FrameRef`] borrows the buffer; `Done` outputs go straight
+//!   into [`codec::decode_tagged`] without an owned `Blob`). A writable
+//!   event resumes draining the link's `SendBuf`. Heartbeats are paced by
+//!   the poll timeout — no separate monitor thread. Reconnect attempts
+//!   (which block in `connect`) run on short-lived helper threads that
+//!   hand the fresh socket back to the loop through a registration queue
+//!   and the waker.
+//! * **Worker.** One loop thread owns the listener and every driver
+//!   connection. Executor threads never touch the socket: they push result
+//!   frames into the connection's shared `SendBuf` and nudge the loop via
+//!   the waker, which flushes and re-arms write interest as needed.
+//!
+//! # Connection state machine
+//!
+//! Each connection cycles through: read-buffer accumulation → in-place
+//! frame decode → dispatch → write-buffer drain. Write interest is
+//! registered only while the `SendBuf` holds a partially-written backlog
+//! (`want_write`), so an idle connection costs one `EPOLLIN` registration
+//! and zero syscalls.
 //!
 //! # Pipelining and windows
 //!
-//! Submits to one worker are batched into a single `write` and capped by a
-//! per-worker *window* of outstanding tasks; frames beyond the window wait
-//! in a pending queue and drain as completions stream back. The scheduler
-//! already bounds in-flight work by the worker's advertised cores, so the
-//! default window (2× cores) only smooths bursts — tests shrink it to
-//! exercise the queueing path.
+//! Submits to one worker coalesce into the link's `SendBuf` (one `write`
+//! for a burst) and are capped by a per-worker *window* of outstanding
+//! tasks; submits beyond the window wait in a pending queue and drain as
+//! completions stream back. The scheduler already bounds in-flight work by
+//! the worker's advertised cores, so the default window (2× cores) only
+//! smooths bursts — tests shrink it to exercise the queueing path.
 //!
 //! # Data movement
 //!
@@ -42,8 +65,9 @@
 //! simulated backend remains the home for those experiments.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,7 +76,10 @@ use std::time::Duration;
 
 use paratrace::{CoreId, EventKind, TaskRef};
 use parking_lot::{Condvar, Mutex};
-use rnet::{read_frame, write_frame, write_frames, Blob, Frame, FrameReader, WireArg};
+use rnet::{
+    read_frame, Blob, Fill, Frame, FrameReader, FrameRef, Interest, Poller, RecvBuf, SendBuf,
+    Waker, WireArg, WireArgRef,
+};
 
 use crate::codec;
 use crate::data::{DataHandle, DataVersion, Value};
@@ -60,10 +87,15 @@ use crate::registry::TaskRegistry;
 use crate::runtime::{complete_attempt, fail_task_cascade, Core, RunningExec, Shared};
 use crate::task::{TaskContext, TaskError, TaskId};
 
+/// Poll token of the self-pipe waker (driver and worker loops alike).
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Poll token of the worker's listening socket.
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
 /// Tuning knobs for the driver side of a distributed runtime.
 #[derive(Debug, Clone)]
 pub struct DistributedConfig {
-    /// How often the monitor thread pings each worker.
+    /// How often the driver loop pings each worker.
     pub heartbeat_interval: Duration,
     /// Silence longer than this declares the worker dead.
     pub heartbeat_timeout: Duration,
@@ -133,18 +165,33 @@ pub(crate) struct RemoteDispatch {
     start_us: u64,
 }
 
-/// Mutable per-connection writer state, all under one lock.
+/// Mutable per-connection state, all under one lock: the socket, both
+/// direction buffers, the submit window, and the poll-interest shadow.
 struct LinkState {
+    /// `None` while the link is mid-failover (the event loop then ignores
+    /// stale readiness events for this token).
     stream: Option<TcpStream>,
     /// Interned function names: first submit of a name carries it in full,
     /// later ones send only the id. Reset on reconnect.
     fn_ids: HashMap<Arc<str>, u64>,
     next_fn_id: u64,
-    /// Submits waiting for window space, FIFO.
+    /// Submit frames waiting for window space, FIFO.
     pending: VecDeque<Frame>,
-    /// Submits written but not yet completed.
+    /// Submits written (or at least buffered) but not yet completed.
     outstanding: u32,
     window: u32,
+    /// Coalescing write backlog; heartbeats and `Data` replies bypass the
+    /// window and go straight here.
+    send: SendBuf,
+    /// Incremental read/decode buffer.
+    recv: RecvBuf,
+    /// The send buffer has a backlog the socket would not accept — the
+    /// loop must arm write interest and resume on writable.
+    want_write: bool,
+    /// What the poller currently believes (shadow of `want_write`).
+    registered_write: bool,
+    /// The fd is registered with the poller (cleared on failover).
+    registered: bool,
 }
 
 /// One remote worker as seen by the driver.
@@ -152,21 +199,10 @@ struct WorkerLink {
     node: u32,
     addr: String,
     name: String,
-    writer: Mutex<LinkState>,
-    /// Wall-µs of the last frame received (any kind).
+    state: Mutex<LinkState>,
+    /// Wall-µs of the last bytes received (any frame kind).
     last_seen_us: AtomicU64,
     hb_seq: AtomicU64,
-}
-
-impl WorkerLink {
-    /// Shut the socket down so the blocked reader thread notices; all
-    /// failover logic then runs in that one thread.
-    fn sever(&self) {
-        let st = self.writer.lock();
-        if let Some(s) = st.stream.as_ref() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
-        }
-    }
 }
 
 struct Inner {
@@ -174,10 +210,18 @@ struct Inner {
     workers: Vec<Arc<WorkerLink>>,
     cfg: DistributedConfig,
     stop: AtomicBool,
+    poller: Poller,
+    wake: Waker,
+    /// Nodes whose fresh (reconnected) sockets await registration by the
+    /// event loop; paired with a [`Waker::wake`].
+    registrations: Mutex<Vec<u32>>,
+    /// Failover helper threads (reconnects block in `connect`, so they
+    /// must not run on the event loop).
+    helpers: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// Driver-side connection manager: owns one [`WorkerLink`] per worker plus
-/// the reader/monitor threads.
+/// Driver-side connection manager: one event-loop thread owning readiness
+/// for every [`WorkerLink`].
 pub(crate) struct ConnMgr {
     inner: Arc<Inner>,
     threads: Vec<JoinHandle<()>>,
@@ -226,7 +270,8 @@ pub(crate) fn connect_workers(
         .collect()
 }
 
-/// Read the `Hello` a worker sends on connect.
+/// Read the `Hello` a worker sends on connect (the one blocking read the
+/// driver ever does — the socket goes non-blocking right after).
 fn hello_handshake(mut stream: TcpStream, addr: String) -> io::Result<WorkerBootstrap> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = FrameReader::new();
@@ -244,7 +289,7 @@ fn hello_handshake(mut stream: TcpStream, addr: String) -> io::Result<WorkerBoot
 }
 
 impl ConnMgr {
-    /// Wire up the links and spawn reader + monitor threads. `boots` are in
+    /// Wire up the links and spawn the event-loop thread. `boots` are in
     /// node-id order (the same order the cluster spec was built in).
     pub fn start(
         shared: Arc<Shared>,
@@ -256,34 +301,44 @@ impl ConnMgr {
             .enumerate()
             .map(|(i, b)| {
                 let window = cfg.window.unwrap_or(b.cores.saturating_mul(2)).max(1);
+                b.stream.set_nonblocking(true).ok();
                 Arc::new(WorkerLink {
                     node: i as u32,
                     addr: b.addr,
                     name: b.name,
-                    writer: Mutex::new(LinkState {
+                    state: Mutex::new(LinkState {
                         stream: Some(b.stream),
                         fn_ids: HashMap::new(),
                         next_fn_id: 1,
                         pending: VecDeque::new(),
                         outstanding: 0,
                         window,
+                        send: SendBuf::new(),
+                        recv: RecvBuf::new(),
+                        want_write: false,
+                        registered_write: false,
+                        registered: false,
                     }),
                     last_seen_us: AtomicU64::new(shared.wall_us()),
                     hb_seq: AtomicU64::new(0),
                 })
             })
             .collect();
-        let inner = Arc::new(Inner { shared, workers, cfg, stop: AtomicBool::new(false) });
-        let mut threads = Vec::new();
-        for link in &inner.workers {
-            let inner = Arc::clone(&inner);
-            let link = Arc::clone(link);
-            threads.push(std::thread::spawn(move || reader_thread(inner, link)));
-        }
-        {
-            let inner = Arc::clone(&inner);
-            threads.push(std::thread::spawn(move || monitor_thread(inner)));
-        }
+        let poller = Poller::new().unwrap_or_else(|_| Poller::fallback());
+        let wake = Waker::new(&poller, WAKE_TOKEN).expect("self-pipe waker");
+        let registrations = Mutex::new((0..workers.len() as u32).collect());
+        let inner = Arc::new(Inner {
+            shared,
+            workers,
+            cfg,
+            stop: AtomicBool::new(false),
+            poller,
+            wake,
+            registrations,
+            helpers: Mutex::new(Vec::new()),
+        });
+        let loop_inner = Arc::clone(&inner);
+        let threads = vec![std::thread::spawn(move || driver_loop(loop_inner))];
         ConnMgr { inner, threads }
     }
 
@@ -298,27 +353,40 @@ impl ConnMgr {
         collect_dispatch_remote(&self.inner.shared, core)
     }
 
-    /// Encode and transmit prepared dispatches (batched per worker), then
+    /// Encode and transmit prepared dispatches (coalesced per worker), then
     /// emit their dispatch trace events. Call *without* the core lock.
     pub fn send(&self, work: Vec<RemoteDispatch>) {
         send_dispatches(&self.inner, work);
     }
 
-    /// Graceful stop: send `Shutdown` to every live worker, sever the
-    /// sockets, and join the threads.
+    /// Graceful stop: join the loop and helpers, then drain each link's
+    /// backlog (blocking again) and append `Shutdown` so the goodbye never
+    /// splices into a partially-written frame.
     pub fn shutdown(&mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        for link in &self.inner.workers {
-            {
-                let mut st = link.writer.lock();
-                if let Some(stream) = st.stream.as_mut() {
-                    let _ = write_frame(stream, &Frame::Shutdown);
-                }
-            }
-            link.sever();
-        }
+        let _ = self.inner.wake.wake();
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        let helpers: Vec<_> = self.inner.helpers.lock().drain(..).collect();
+        for h in helpers {
+            let _ = h.join();
+        }
+        for link in &self.inner.workers {
+            let mut st = link.state.lock();
+            let LinkState { stream, send, .. } = &mut *st;
+            if let Some(sock) = stream.as_mut() {
+                let _ = sock.set_nonblocking(false);
+                send.push(&Frame::Shutdown);
+                while !send.is_empty() {
+                    match send.flush(sock) {
+                        Ok((_, true)) => break,
+                        Ok((_, false)) => std::thread::yield_now(),
+                        Err(_) => break,
+                    }
+                }
+                let _ = sock.shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 }
@@ -400,8 +468,50 @@ pub(crate) fn collect_dispatch_remote(shared: &Shared, core: &mut Core) -> Vec<R
     msgs
 }
 
-/// Off-lock half of dispatch: encode values, intern names, batch frames
-/// per worker under its window, write once per worker.
+/// Move window-permitted pending submits into the send buffer and drain as
+/// much backlog as the socket accepts right now. Sets `want_write` when a
+/// backlog remains. Returns `false` when the socket died.
+fn pump_link(shared: &Shared, st: &mut LinkState) -> bool {
+    let LinkState { stream, pending, outstanding, window, send, want_write, .. } = &mut *st;
+    let Some(sock) = stream.as_mut() else {
+        return true; // mid-failover; frames stay pending until resolution
+    };
+    while *outstanding < *window {
+        let Some(f) = pending.pop_front() else { break };
+        send.push(&f);
+        *outstanding += 1;
+    }
+    if send.is_empty() {
+        *want_write = false;
+        return true;
+    }
+    match send.flush(sock) {
+        Ok((n, drained)) => {
+            if n > 0 {
+                shared.metrics.net_bytes_sent.add(n as u64);
+            }
+            *want_write = !drained;
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Reconcile the poller's write interest with `want_write`. Call with the
+/// link lock held, after any pump.
+fn sync_interest(inner: &Inner, node: u32, st: &mut LinkState) {
+    if !st.registered || st.want_write == st.registered_write {
+        return;
+    }
+    let Some(fd) = st.stream.as_ref().map(|s| s.as_raw_fd()) else { return };
+    let interest = if st.want_write { Interest::READ_WRITE } else { Interest::READ };
+    if inner.poller.modify(fd, u64::from(node), interest).is_ok() {
+        st.registered_write = st.want_write;
+    }
+}
+
+/// Off-lock half of dispatch: encode values, intern names, coalesce frames
+/// per worker under its window, flush each link's backlog once.
 fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
     if work.is_empty() {
         return;
@@ -423,7 +533,7 @@ fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
     for (node, batch) in by_node {
         let link = &inner.workers[node as usize];
         let mut frames = Vec::with_capacity(batch.len());
-        let mut st = link.writer.lock();
+        let mut st = link.state.lock();
         for d in batch {
             let mut args = Vec::with_capacity(d.args.len());
             let mut encode_err = None;
@@ -469,7 +579,9 @@ fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
             });
         }
         st.pending.extend(frames);
-        if !flush_pending(&inner.shared, &mut st) {
+        if pump_link(&inner.shared, &mut st) {
+            sync_interest(inner, node, &mut st);
+        } else {
             dead_links.push(Arc::clone(link));
         }
     }
@@ -494,179 +606,251 @@ fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
         inner.shared.cv.notify_all();
         send_dispatches(inner, follow);
     }
-    // A write error means the connection is gone: sever it so the reader
-    // thread runs the one true failover path.
     for link in dead_links {
-        link.sever();
+        start_failover(inner, &link);
     }
 }
 
-/// Write as many pending submits as the window allows, as one batch.
-/// Returns `false` when the socket write failed (link is dead).
-fn flush_pending(shared: &Shared, st: &mut LinkState) -> bool {
-    if st.stream.is_none() {
-        return true; // already severed; frames stay pending until failover
-    }
-    let n = (st.window.saturating_sub(st.outstanding) as usize).min(st.pending.len());
-    if n == 0 {
-        return true;
-    }
-    let batch: Vec<Frame> = st.pending.drain(..n).collect();
-    let stream = st.stream.as_mut().expect("checked above");
-    match write_frames(stream, &batch) {
-        Ok(bytes) => {
-            st.outstanding += n as u32;
-            shared.metrics.net_bytes_sent.add(bytes as u64);
-            true
-        }
-        Err(_) => false,
-    }
-}
-
-/// Counting adapter so every byte read from a worker lands in the
-/// `rnet_bytes_received_total` series.
-struct CountingRead<'a> {
-    inner: &'a mut TcpStream,
-    counter: &'a runmetrics::Counter,
-}
-
-impl Read for CountingRead<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.counter.add(n as u64);
-        Ok(n)
-    }
-}
-
-/// Per-worker reader: turn incoming frames into runtime actions until the
-/// connection dies, then run failover (optionally reconnecting).
-fn reader_thread(inner: Arc<Inner>, link: Arc<WorkerLink>) {
+/// The driver's event loop: readiness for every link and the waker, with
+/// heartbeat pacing folded into the poll timeout.
+fn driver_loop(inner: Arc<Inner>) {
+    let hb = inner.cfg.heartbeat_interval;
+    let mut events = Vec::new();
+    let mut next_hb = std::time::Instant::now() + hb;
     loop {
-        reader_loop(&inner, &link);
-        if !handle_disconnect(&inner, &link) {
+        if inner.stop.load(Ordering::SeqCst) {
             return;
         }
+        // Register freshly (re)connected sockets queued by start / helpers.
+        let regs: Vec<u32> = std::mem::take(&mut *inner.registrations.lock());
+        for node in regs {
+            register_link(&inner, &inner.workers[node as usize]);
+        }
+        let now = std::time::Instant::now();
+        if now >= next_hb {
+            heartbeat_pass(&inner);
+            next_hb = now + hb;
+        }
+        let timeout = next_hb.saturating_duration_since(std::time::Instant::now());
+        if inner.poller.wait(&mut events, Some(timeout)).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
+                inner.wake.drain();
+                continue;
+            }
+            let Some(link) = inner.workers.get(ev.token as usize) else { continue };
+            service_link(&inner, link, ev.readable, ev.writable);
+        }
     }
 }
 
-fn reader_loop(inner: &Arc<Inner>, link: &Arc<WorkerLink>) {
-    let Some(mut stream) = link.writer.lock().stream.as_ref().and_then(|s| s.try_clone().ok())
-    else {
+/// Add a link's socket to the poll set (event-loop thread only).
+fn register_link(inner: &Inner, link: &WorkerLink) {
+    let mut st = link.state.lock();
+    let Some(fd) = st.stream.as_ref().map(|s| {
+        s.set_nonblocking(true).ok();
+        s.as_raw_fd()
+    }) else {
         return;
     };
-    let mut reader = FrameReader::new();
-    loop {
-        let frame = {
-            let mut counting = CountingRead {
-                inner: &mut stream,
-                counter: &inner.shared.metrics.net_bytes_received,
-            };
-            match read_frame(&mut counting, &mut reader) {
-                Ok(Some(f)) => f,
-                Ok(None) | Err(_) => return,
-            }
-        };
-        link.last_seen_us.store(inner.shared.wall_us(), Ordering::Relaxed);
-        match frame {
-            Frame::Done { exec_id, outputs } => {
-                let result = decode_outputs(outputs);
-                handle_completion(inner, link, exec_id, result);
-            }
-            Frame::Failed { exec_id, message } => {
-                handle_completion(inner, link, exec_id, Err(TaskError::new(message)));
-            }
-            Frame::HeartbeatAck { .. } => {}
-            Frame::Fetch { key } if key & SNAP_BIT != 0 => {
-                // Snapshot fetch: always reply — an empty blob means "no
-                // snapshot", so a fresh trial starts immediately instead
-                // of blocking out the worker's fetch deadline.
-                let bytes = inner.shared.snapshots.lock().get(&key).cloned().unwrap_or_default();
-                let blob = Blob { tag: SNAP_TAG.to_string(), bytes };
-                let mut st = link.writer.lock();
-                if let Some(stream) = st.stream.as_mut() {
-                    match write_frame(stream, &Frame::Data { key, blob }) {
-                        Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
-                        Err(_) => return,
-                    }
-                }
-            }
-            Frame::Fetch { key } => {
-                let value = inner.shared.core.lock().data.get(key_version(key));
-                let reply = value
-                    .and_then(|v| codec::encode_value(&v))
-                    .map(|blob| Frame::Data { key, blob });
-                let mut st = link.writer.lock();
-                if let (Some(frame), Some(stream)) = (reply, st.stream.as_mut()) {
-                    match write_frame(stream, &frame) {
-                        Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
-                        Err(_) => return,
-                    }
-                }
-            }
-            Frame::Data { key, blob } if key & SNAP_BIT != 0 => {
-                // A worker checkpointed (or finished) a task: keep the
-                // latest snapshot per key so the retry path can ship it to
-                // whichever worker inherits the task. Empty blob = discard.
-                let mut snaps = inner.shared.snapshots.lock();
-                if blob.bytes.is_empty() {
-                    snaps.remove(&key);
-                } else {
-                    snaps.insert(key, blob.bytes);
-                }
-            }
-            // Workers don't originate these driver-bound frames.
-            Frame::Hello { .. }
-            | Frame::Submit { .. }
-            | Frame::Heartbeat { .. }
-            | Frame::Data { .. }
-            | Frame::Shutdown => {}
-        }
+    let interest = if st.want_write { Interest::READ_WRITE } else { Interest::READ };
+    if inner.poller.register(fd, u64::from(link.node), interest).is_ok() {
+        st.registered = true;
+        st.registered_write = st.want_write;
     }
 }
 
-fn decode_outputs(outputs: Vec<Blob>) -> Result<Vec<Value>, TaskError> {
-    outputs
-        .iter()
-        .map(|b| {
-            codec::decode_value(b)
-                .map_err(|e| TaskError::new(format!("undecodable task output: {e}")))
-        })
-        .collect()
+/// Write a heartbeat to every live link and declare silent ones dead.
+fn heartbeat_pass(inner: &Arc<Inner>) {
+    let timeout_us = inner.cfg.heartbeat_timeout.as_micros() as u64;
+    let now = inner.shared.wall_us();
+    let mut dead = Vec::new();
+    for link in &inner.workers {
+        {
+            let mut st = link.state.lock();
+            if st.stream.is_none() {
+                continue;
+            }
+            let seq = link.hb_seq.fetch_add(1, Ordering::Relaxed);
+            st.send.push(&Frame::Heartbeat { seq });
+            if pump_link(&inner.shared, &mut st) {
+                sync_interest(inner, link.node, &mut st);
+            } else {
+                dead.push(Arc::clone(link));
+                continue;
+            }
+        }
+        let silent = now.saturating_sub(link.last_seen_us.load(Ordering::Relaxed));
+        if silent > timeout_us {
+            dead.push(Arc::clone(link));
+        }
+    }
+    for link in dead {
+        start_failover(inner, &link);
+    }
 }
 
-/// One `Done`/`Failed` frame: bookkeeping under the lock, traces and
-/// follow-on dispatch outside it. Late frames for already-failed-over
-/// executions are ignored (`running` no longer knows the exec id).
-fn handle_completion(
+/// One readiness event for a link: drain writes, then drain reads frame by
+/// frame (zero-copy decode), then act on what arrived.
+fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writable: bool) {
+    let mut completions: Vec<(u64, Result<Vec<Value>, TaskError>)> = Vec::new();
+    let mut fetches: Vec<u64> = Vec::new();
+    let mut snap_updates: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut alive = true;
+    let mut saw_bytes = false;
+    {
+        let mut st = link.state.lock();
+        if st.stream.is_none() {
+            return; // stale event for a link mid-failover
+        }
+        if writable {
+            alive = pump_link(&inner.shared, &mut st);
+        }
+        if readable && alive {
+            let LinkState { stream, recv, .. } = &mut *st;
+            let sock = stream.as_mut().expect("checked above");
+            'fill: loop {
+                match recv.fill_from(sock) {
+                    Ok(Fill::Bytes(n)) => {
+                        saw_bytes = true;
+                        inner.shared.metrics.net_bytes_received.add(n as u64);
+                    }
+                    Ok(Fill::WouldBlock) => break,
+                    Ok(Fill::Eof) | Err(_) => {
+                        alive = false;
+                        break;
+                    }
+                }
+                loop {
+                    match recv.next_frame() {
+                        Ok(Some(frame)) => match frame {
+                            FrameRef::Done { exec_id, outputs } => {
+                                let result = outputs
+                                    .iter()
+                                    .map(|b| {
+                                        codec::decode_tagged(b.tag, b.bytes).map_err(|e| {
+                                            TaskError::new(format!("undecodable task output: {e}"))
+                                        })
+                                    })
+                                    .collect();
+                                completions.push((exec_id, result));
+                            }
+                            FrameRef::Failed { exec_id, message } => {
+                                completions.push((exec_id, Err(TaskError::new(message))));
+                            }
+                            FrameRef::HeartbeatAck { .. } => {}
+                            FrameRef::Fetch { key } => fetches.push(key),
+                            FrameRef::Data { key, blob } if key & SNAP_BIT != 0 => {
+                                snap_updates.push((key, blob.bytes.to_vec()));
+                            }
+                            // Workers don't originate these driver-bound
+                            // frames.
+                            _ => {}
+                        },
+                        Ok(None) => continue 'fill,
+                        Err(_) => {
+                            alive = false;
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+        }
+        if saw_bytes {
+            link.last_seen_us.store(inner.shared.wall_us(), Ordering::Relaxed);
+        }
+        if alive {
+            st.outstanding = st.outstanding.saturating_sub(completions.len() as u32);
+            alive = pump_link(&inner.shared, &mut st);
+            if alive {
+                sync_interest(inner, link.node, &mut st);
+            }
+        }
+    }
+    // Snapshot saves/tombstones from the worker: keep the latest per key so
+    // the retry path can ship it to whichever worker inherits the task.
+    if !snap_updates.is_empty() {
+        let mut snaps = inner.shared.snapshots.lock();
+        for (key, bytes) in snap_updates {
+            if bytes.is_empty() {
+                snaps.remove(&key);
+            } else {
+                snaps.insert(key, bytes);
+            }
+        }
+    }
+    if !completions.is_empty() || !fetches.is_empty() {
+        apply_frames(inner, link, completions, fetches);
+    }
+    if !alive {
+        start_failover(inner, link);
+    }
+}
+
+/// Completions and fetches collected from one readiness event: one core
+/// lock pass for bookkeeping + follow-on placement, replies pushed onto
+/// the link's backlog, traces emitted off-lock.
+fn apply_frames(
     inner: &Arc<Inner>,
     link: &Arc<WorkerLink>,
-    exec_id: u64,
-    result: Result<Vec<Value>, TaskError>,
+    completions: Vec<(u64, Result<Vec<Value>, TaskError>)>,
+    fetches: Vec<u64>,
 ) {
-    {
-        let mut st = link.writer.lock();
-        st.outstanding = st.outstanding.saturating_sub(1);
-        if !flush_pending(&inner.shared, &mut st) {
-            drop(st);
-            link.sever();
+    let now = inner.shared.wall_us();
+    type Info = (TaskId, Arc<crate::scheduler::Placement>, u64, Arc<str>);
+    let mut infos: Vec<Info> = Vec::new();
+    let mut replies: Vec<Frame> = Vec::new();
+    let follow = {
+        let mut core = inner.shared.core.lock();
+        for (exec_id, result) in completions {
+            // Late frames for already-failed-over executions are ignored
+            // (`running` no longer knows the exec id).
+            if let Some(run) = core.running.get(&exec_id) {
+                let name = core
+                    .instances
+                    .get(&run.task)
+                    .map(|i| Arc::clone(&i.def.name))
+                    .unwrap_or_else(|| Arc::from("?"));
+                infos.push((run.task, Arc::clone(&run.placement), run.start_us, name));
+            }
+            complete_attempt(&inner.shared, &mut core, exec_id, result, now, false);
+        }
+        for &key in fetches.iter().filter(|&&k| k & SNAP_BIT == 0) {
+            // Task-data fetch: reply only when the value exists and has a
+            // codec; the worker's own deadline handles the silent case.
+            if let Some(blob) =
+                core.data.get(key_version(key)).and_then(|v| codec::encode_value(&v))
+            {
+                replies.push(Frame::Data { key, blob });
+            }
+        }
+        collect_dispatch_remote(&inner.shared, &mut core)
+    };
+    for &key in fetches.iter().filter(|&&k| k & SNAP_BIT != 0) {
+        // Snapshot fetch: always reply — an empty blob means "no
+        // snapshot", so a fresh trial starts immediately instead of
+        // blocking out the worker's fetch deadline.
+        let bytes = inner.shared.snapshots.lock().get(&key).cloned().unwrap_or_default();
+        replies.push(Frame::Data { key, blob: Blob { tag: SNAP_TAG.to_string(), bytes } });
+    }
+    let mut alive = true;
+    if !replies.is_empty() {
+        let mut st = link.state.lock();
+        for f in &replies {
+            st.send.push(f);
+        }
+        alive = pump_link(&inner.shared, &mut st);
+        if alive {
+            sync_interest(inner, link.node, &mut st);
         }
     }
-    let now = inner.shared.wall_us();
-    let (info, follow) = {
-        let mut core = inner.shared.core.lock();
-        let info = core.running.get(&exec_id).map(|run| {
-            let name = core
-                .instances
-                .get(&run.task)
-                .map(|i| Arc::clone(&i.def.name))
-                .unwrap_or_else(|| Arc::from("?"));
-            (run.task, Arc::clone(&run.placement), run.start_us, name)
-        });
-        complete_attempt(&inner.shared, &mut core, exec_id, result, now, false);
-        let follow = collect_dispatch_remote(&inner.shared, &mut core);
-        (info, follow)
-    };
-    if let Some((task, placement, start_us, name)) = info {
+    for (task, placement, start_us, name) in infos {
         inner.shared.metrics.rpc_latency.record(now.saturating_sub(start_us));
         inner.shared.metrics.record_node_task(&format!("{}@{}", link.name, link.addr));
         let task_ref = TaskRef::new(task.0, name);
@@ -688,21 +872,47 @@ fn handle_completion(
     }
     inner.shared.cv.notify_all();
     send_dispatches(inner, follow);
+    if !alive {
+        start_failover(inner, link);
+    }
 }
 
-/// Failover for a dead connection. Returns `true` if the link was revived
-/// (reader should resume), `false` if the worker is gone for good (or the
-/// runtime is shutting down).
-fn handle_disconnect(inner: &Arc<Inner>, link: &Arc<WorkerLink>) -> bool {
+/// Tear the socket out of a dead link (idempotent: `stream == None` means
+/// failover is already in flight) and run the slow recovery on a helper
+/// thread so reconnect's blocking `connect` never stalls the event loop.
+fn start_failover(inner: &Arc<Inner>, link: &Arc<WorkerLink>) {
+    let sock = {
+        let mut st = link.state.lock();
+        let Some(sock) = st.stream.take() else { return };
+        st.send.clear();
+        st.recv = RecvBuf::new();
+        st.want_write = false;
+        st.registered_write = false;
+        st.registered = false;
+        sock
+    };
+    // Deregister before the fd closes on drop.
+    let _ = inner.poller.deregister(sock.as_raw_fd());
+    let _ = sock.shutdown(std::net::Shutdown::Both);
+    drop(sock);
     if inner.stop.load(Ordering::SeqCst) {
-        return false;
+        return;
     }
+    let inner2 = Arc::clone(inner);
+    let link2 = Arc::clone(link);
+    let h = std::thread::spawn(move || failover(&inner2, &link2));
+    inner.helpers.lock().push(h);
+}
+
+/// Failover for a dead connection: fail over orphaned executions, wipe
+/// stale per-link state, then either reconnect (reviving the node) or
+/// cascade-fail tasks the surviving cluster can never run.
+fn failover(inner: &Arc<Inner>, link: &Arc<WorkerLink>) {
     let node = link.node;
     let now = inner.shared.wall_us();
     inner.shared.metrics.workers_lost.incr();
     inner.shared.metrics.node_failures.incr();
     inner.shared.trace.event(CoreId::new(node, 0), now, EventKind::NodeFailure);
-    // Orphaned in-flight executions fail over; stale state is wiped.
     {
         let mut core = inner.shared.core.lock();
         core.sched.kill_node(node);
@@ -725,21 +935,21 @@ fn handle_disconnect(inner: &Arc<Inner>, link: &Arc<WorkerLink>) -> bool {
         }
     }
     {
-        let mut st = link.writer.lock();
-        st.stream = None;
+        let mut st = link.state.lock();
         st.outstanding = 0;
         st.fn_ids.clear();
         st.next_fn_id = 1;
         // Pending submits are for executions just failed over; drop them.
         st.pending.clear();
     }
-    if inner.cfg.reconnect {
+    if inner.cfg.reconnect && !inner.stop.load(Ordering::SeqCst) {
         if let Ok(boot) =
             connect_workers(std::slice::from_ref(&link.addr), inner.cfg.connect_timeout)
                 .map(|mut v| v.remove(0))
         {
             {
-                let mut st = link.writer.lock();
+                let mut st = link.state.lock();
+                boot.stream.set_nonblocking(true).ok();
                 st.stream = Some(boot.stream);
             }
             link.last_seen_us.store(inner.shared.wall_us(), Ordering::Relaxed);
@@ -749,9 +959,12 @@ fn handle_disconnect(inner: &Arc<Inner>, link: &Arc<WorkerLink>) -> bool {
                 core.sched.revive_node(node);
                 collect_dispatch_remote(&inner.shared, &mut core)
             };
+            // Hand the fresh socket to the event loop for registration.
+            inner.registrations.lock().push(node);
+            let _ = inner.wake.wake();
             inner.shared.cv.notify_all();
             send_dispatches(inner, follow);
-            return true;
+            return;
         }
     }
     // No way back: anything the surviving cluster can never run fails now
@@ -766,36 +979,6 @@ fn handle_disconnect(inner: &Arc<Inner>, link: &Arc<WorkerLink>) -> bool {
     };
     inner.shared.cv.notify_all();
     send_dispatches(inner, follow);
-    false
-}
-
-/// Heartbeat pacing + silence detection for every link.
-fn monitor_thread(inner: Arc<Inner>) {
-    let timeout_us = inner.cfg.heartbeat_timeout.as_micros() as u64;
-    while !inner.stop.load(Ordering::SeqCst) {
-        std::thread::sleep(inner.cfg.heartbeat_interval);
-        let now = inner.shared.wall_us();
-        for link in &inner.workers {
-            let mut st = link.writer.lock();
-            let Some(stream) = st.stream.as_mut() else { continue };
-            let seq = link.hb_seq.fetch_add(1, Ordering::Relaxed);
-            match write_frame(stream, &Frame::Heartbeat { seq }) {
-                Ok(bytes) => inner.shared.metrics.net_bytes_sent.add(bytes as u64),
-                Err(_) => {
-                    drop(st);
-                    link.sever();
-                    continue;
-                }
-            }
-            drop(st);
-            let silent = now.saturating_sub(link.last_seen_us.load(Ordering::Relaxed));
-            if silent > timeout_us {
-                // The reader is blocked on a dead peer; kick it into the
-                // failover path.
-                link.sever();
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -828,12 +1011,19 @@ impl Default for WorkerConfig {
 
 /// A task execution daemon: accepts driver connections, executes submitted
 /// tasks from a [`TaskRegistry`], and streams results back.
+///
+/// One event-loop thread ([`WorkerServer::run`]) owns the listener and
+/// every connection socket; per-connection executor threads only block on
+/// the job queue and communicate results back through the connection's
+/// shared send buffer plus the loop's waker.
 pub struct WorkerServer {
     listener: TcpListener,
     cfg: WorkerConfig,
     registry: Arc<TaskRegistry>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    poller: Poller,
+    wake: Arc<Waker>,
 }
 
 /// Control handle for a worker running on a background thread.
@@ -841,6 +1031,7 @@ pub struct WorkerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    wake: Arc<Waker>,
     thread: Option<JoinHandle<io::Result<()>>>,
 }
 
@@ -850,12 +1041,16 @@ impl WorkerServer {
     pub fn bind(addr: &str, cfg: WorkerConfig, registry: TaskRegistry) -> io::Result<WorkerServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let poller = Poller::new().unwrap_or_else(|_| Poller::fallback());
+        let wake = Arc::new(Waker::new(&poller, WAKE_TOKEN)?);
         Ok(WorkerServer {
             listener,
             cfg,
             registry: Arc::new(registry),
             stop: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(Mutex::new(Vec::new())),
+            poller,
+            wake,
         })
     }
 
@@ -864,30 +1059,80 @@ impl WorkerServer {
         self.listener.local_addr()
     }
 
-    /// Serve connections until halted. Each accepted driver connection gets
-    /// its own reader thread plus `cores` executor threads.
+    /// Serve connections until halted: the worker's event loop.
     pub fn run(self) -> io::Result<()> {
-        loop {
-            if self.stop.load(Ordering::SeqCst) {
-                return Ok(());
+        let WorkerServer { listener, cfg, registry, stop, conns, poller, wake } = self;
+        let _ = poller.register(listener.as_raw_fd(), LISTEN_TOKEN, Interest::READ);
+        let mut table: HashMap<u64, WorkerConn> = HashMap::new();
+        let mut next_token: u64 = 0;
+        let mut events = Vec::new();
+        let mut result = Ok(());
+        'serve: loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
             }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nodelay(true).ok();
-                    if let Ok(clone) = stream.try_clone() {
-                        self.conns.lock().push(clone);
+            if poller.wait(&mut events, Some(Duration::from_millis(500))).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut dead: Vec<u64> = Vec::new();
+            for ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    wake.drain();
+                    continue;
+                }
+                if ev.token == LISTEN_TOKEN {
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if let Some(conn) = accept_conn(
+                                    stream, &cfg, &registry, &stop, &conns, &poller, &wake,
+                                    next_token,
+                                ) {
+                                    table.insert(next_token, conn);
+                                    next_token += 1;
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) => {
+                                result = Err(e);
+                                break 'serve;
+                            }
+                        }
                     }
-                    let cfg = self.cfg.clone();
-                    let registry = Arc::clone(&self.registry);
-                    let stop = Arc::clone(&self.stop);
-                    std::thread::spawn(move || serve_conn(stream, cfg, registry, stop));
+                    continue;
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                if let Some(conn) = table.get_mut(&ev.token) {
+                    if ev.readable && !service_worker_read(conn) {
+                        dead.push(ev.token);
+                    }
                 }
-                Err(e) => return Err(e),
+            }
+            // Flush pass: executor output arrives via the waker, socket
+            // backpressure via writable events — either way, drain every
+            // backlog and reconcile write interest.
+            for (&token, conn) in table.iter_mut() {
+                if dead.contains(&token) {
+                    continue;
+                }
+                if !flush_worker_conn(&poller, token, conn) {
+                    dead.push(token);
+                }
+            }
+            for token in dead {
+                if let Some(conn) = table.remove(&token) {
+                    close_worker_conn(&poller, conn);
+                }
             }
         }
+        for (_, conn) in table {
+            close_worker_conn(&poller, conn);
+        }
+        let _ = poller.deregister(listener.as_raw_fd());
+        result
     }
 
     /// Run on a background thread, returning a control handle (the
@@ -896,8 +1141,9 @@ impl WorkerServer {
         let addr = self.local_addr()?;
         let stop = Arc::clone(&self.stop);
         let conns = Arc::clone(&self.conns);
+        let wake = Arc::clone(&self.wake);
         let thread = std::thread::spawn(move || self.run());
-        Ok(WorkerHandle { addr, stop, conns, thread: Some(thread) })
+        Ok(WorkerHandle { addr, stop, conns, wake, thread: Some(thread) })
     }
 }
 
@@ -912,6 +1158,7 @@ impl WorkerHandle {
     /// the driver's point of view the worker vanishes mid-task.
     pub fn halt(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        let _ = self.wake.wake();
         for c in self.conns.lock().iter() {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
@@ -922,8 +1169,10 @@ impl WorkerHandle {
     pub fn stopper(&self) -> impl Fn() + Send + 'static {
         let stop = Arc::clone(&self.stop);
         let conns = Arc::clone(&self.conns);
+        let wake = Arc::clone(&self.wake);
         move || {
             stop.store(true, Ordering::SeqCst);
+            let _ = wake.wake();
             for c in conns.lock().iter() {
                 let _ = c.shutdown(std::net::Shutdown::Both);
             }
@@ -936,14 +1185,15 @@ impl WorkerHandle {
         for c in self.conns.lock().drain(..) {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
+        let _ = self.wake.wake();
     }
 
-    /// Halt and join the accept loop.
+    /// Halt and join the event loop.
     pub fn join(mut self) -> io::Result<()> {
         self.halt();
         match self.thread.take() {
             Some(t) => {
-                t.join().unwrap_or_else(|_| Err(io::Error::other("worker accept loop panicked")))
+                t.join().unwrap_or_else(|_| Err(io::Error::other("worker event loop panicked")))
             }
             None => Ok(()),
         }
@@ -960,7 +1210,7 @@ impl Drop for WorkerHandle {
 }
 
 /// One submitted task as queued on the worker: args are cache keys (inline
-/// values were decoded and cached by the reader before queueing, so
+/// values were decoded and cached by the event loop before queueing, so
 /// same-socket ordering guarantees hold).
 struct Job {
     exec_id: u64,
@@ -974,9 +1224,21 @@ struct Job {
     arg_keys: Vec<u64>,
 }
 
-/// State shared between one connection's reader and its executors.
+/// State shared between one connection's event-loop side and its executor
+/// threads. Executors never write the socket: outbound frames go through
+/// `out` and the loop's waker.
 struct ConnShared {
-    writer: Mutex<TcpStream>,
+    /// Outbound backlog. Pushers flush it straight to the socket while
+    /// they hold the lock (one thread hop fewer per result — on a serial
+    /// RPC chain that is the whole round trip); the event loop drains
+    /// whatever `WouldBlock` leaves behind.
+    out: Mutex<SendBuf>,
+    /// Write half of the socket (`try_clone` of the loop's fd) for the
+    /// opportunistic flush above. Non-blocking, like the original.
+    stream: TcpStream,
+    /// Kicks the event loop when a push could not fully flush, so it arms
+    /// write interest and resumes on the writable event.
+    wake: Arc<Waker>,
     cache: Mutex<HashMap<u64, Value>>,
     cache_cv: Condvar,
     jobs: Mutex<VecDeque<Job>>,
@@ -989,6 +1251,34 @@ struct ConnShared {
     /// condvar: parking_lot condvars are bound to one mutex at a time).
     snaps: Mutex<HashMap<u64, Option<Vec<u8>>>>,
     snaps_cv: Condvar,
+}
+
+impl ConnShared {
+    /// Queue an outbound frame and flush as much of the backlog as the
+    /// socket accepts right now. Only backpressure (or a dead socket,
+    /// which the event loop discovers on its read side) defers to the
+    /// loop via the waker.
+    fn push_out(&self, frame: &Frame) {
+        let mut out = self.out.lock();
+        out.push(frame);
+        match out.flush(&mut &self.stream) {
+            Ok((_, true)) => {}
+            Ok((_, false)) | Err(_) => {
+                let _ = self.wake.wake();
+            }
+        }
+    }
+}
+
+/// Per-connection state owned by the worker's event loop.
+struct WorkerConn {
+    stream: TcpStream,
+    recv: RecvBuf,
+    /// Interned function names (`fn_id` → name), per connection.
+    fn_names: HashMap<u64, Arc<str>>,
+    shared: Arc<ConnShared>,
+    /// What the poller currently believes about write interest.
+    registered_write: bool,
 }
 
 /// The distributed worker's ambient snapshot channel: saves stream to the
@@ -1005,11 +1295,10 @@ impl crate::snapshot::SnapshotChannel for WorkerSnapshotChannel {
         self.0.snaps.lock().insert(wire_key, Some(blob.to_vec()));
         // Best-effort ship to the driver; a torn connection surfaces later
         // as the job failing, at which point the retry re-saves anyway.
-        let frame = Frame::Data {
+        self.0.push_out(&Frame::Data {
             key: wire_key,
             blob: Blob { tag: SNAP_TAG.to_string(), bytes: blob.to_vec() },
-        };
-        let _ = write_frame(&mut *self.0.writer.lock(), &frame);
+        });
     }
 
     fn load(&self, key: u64) -> Option<Vec<u8>> {
@@ -1020,9 +1309,7 @@ impl crate::snapshot::SnapshotChannel for WorkerSnapshotChannel {
                 return entry.clone();
             }
         }
-        if write_frame(&mut *self.0.writer.lock(), &Frame::Fetch { key: wire_key }).is_err() {
-            return None;
-        }
+        self.0.push_out(&Frame::Fetch { key: wire_key });
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let mut snaps = self.0.snaps.lock();
         loop {
@@ -1041,124 +1328,205 @@ impl crate::snapshot::SnapshotChannel for WorkerSnapshotChannel {
         let wire_key = key | SNAP_BIT;
         self.0.snaps.lock().remove(&wire_key);
         // Empty blob = tombstone on the driver.
-        let frame = Frame::Data {
+        self.0.push_out(&Frame::Data {
             key: wire_key,
             blob: Blob { tag: SNAP_TAG.to_string(), bytes: Vec::new() },
-        };
-        let _ = write_frame(&mut *self.0.writer.lock(), &frame);
+        });
     }
 }
 
-fn serve_conn(
-    mut stream: TcpStream,
-    cfg: WorkerConfig,
-    registry: Arc<TaskRegistry>,
-    stop: Arc<AtomicBool>,
-) {
-    let hello = Frame::Hello {
-        name: cfg.name.clone(),
-        cores: cfg.cores,
-        gpus: cfg.gpus,
-        mem_gib: cfg.mem_gib,
-    };
-    let Ok(writer) = stream.try_clone() else { return };
-    let conn = Arc::new(ConnShared {
-        writer: Mutex::new(writer),
+/// Set up a freshly accepted driver connection: non-blocking socket, Hello
+/// queued, executor threads spawned, fd registered.
+#[allow(clippy::too_many_arguments)]
+fn accept_conn(
+    stream: TcpStream,
+    cfg: &WorkerConfig,
+    registry: &Arc<TaskRegistry>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    poller: &Poller,
+    wake: &Arc<Waker>,
+    token: u64,
+) -> Option<WorkerConn> {
+    stream.set_nodelay(true).ok();
+    if stream.set_nonblocking(true).is_err() {
+        return None;
+    }
+    if let Ok(clone) = stream.try_clone() {
+        conns.lock().push(clone);
+    }
+    let Ok(write_half) = stream.try_clone() else { return None };
+    let shared = Arc::new(ConnShared {
+        out: Mutex::new(SendBuf::new()),
+        stream: write_half,
+        wake: Arc::clone(wake),
         cache: Mutex::new(HashMap::new()),
         cache_cv: Condvar::new(),
         jobs: Mutex::new(VecDeque::new()),
         jobs_cv: Condvar::new(),
         closed: AtomicBool::new(false),
-        stop,
+        stop: Arc::clone(stop),
         snaps: Mutex::new(HashMap::new()),
         snaps_cv: Condvar::new(),
     });
-    if write_frame(&mut *conn.writer.lock(), &hello).is_err() {
-        return;
+    if poller.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
+        return None;
     }
-    let executors: Vec<JoinHandle<()>> = (0..cfg.cores.max(1))
-        .map(|_| {
-            let conn = Arc::clone(&conn);
-            let registry = Arc::clone(&registry);
-            std::thread::spawn(move || executor_loop(conn, registry))
-        })
-        .collect();
+    // Direct-flushes like every other outbound frame; leftovers drain via
+    // the loop's flush pass.
+    shared.push_out(&Frame::Hello {
+        name: cfg.name.clone(),
+        cores: cfg.cores,
+        gpus: cfg.gpus,
+        mem_gib: cfg.mem_gib,
+    });
+    for _ in 0..cfg.cores.max(1) {
+        let conn = Arc::clone(&shared);
+        let registry = Arc::clone(registry);
+        std::thread::spawn(move || executor_loop(conn, registry));
+    }
+    Some(WorkerConn {
+        stream,
+        recv: RecvBuf::new(),
+        fn_names: HashMap::new(),
+        shared,
+        registered_write: false,
+    })
+}
 
-    let mut fn_names: HashMap<u64, Arc<str>> = HashMap::new();
-    let mut reader = FrameReader::new();
-    loop {
-        match read_frame(&mut stream, &mut reader) {
-            Ok(Some(Frame::Submit {
-                exec_id,
-                task_id,
-                attempt,
-                node,
-                fn_id,
-                fn_name,
-                variant,
-                cores,
-                gpus,
-                args,
-            })) => {
-                if let Some(name) = fn_name {
-                    fn_names.insert(fn_id, Arc::from(name.as_str()));
+/// Drain a readable event: fill the receive buffer until `WouldBlock`,
+/// decoding and dispatching frames in place. Returns `false` on EOF,
+/// error, or `Shutdown`.
+fn service_worker_read(conn: &mut WorkerConn) -> bool {
+    let WorkerConn { stream, recv, fn_names, shared, .. } = conn;
+    'fill: loop {
+        match recv.fill_from(stream) {
+            Ok(Fill::Bytes(_)) => {}
+            Ok(Fill::WouldBlock) => return true,
+            Ok(Fill::Eof) | Err(_) => return false,
+        }
+        loop {
+            match recv.next_frame() {
+                Ok(Some(frame)) => {
+                    if !handle_worker_frame(frame, fn_names, shared) {
+                        return false;
+                    }
                 }
-                let name = fn_names.get(&fn_id).cloned().unwrap_or_else(|| Arc::from("?"));
-                let mut arg_keys = Vec::with_capacity(args.len());
-                let mut bad_arg = None;
-                for a in args {
-                    match a {
-                        WireArg::Inline { key, blob } => match codec::decode_value(&blob) {
+                Ok(None) => continue 'fill,
+                Err(_) => return false,
+            }
+        }
+    }
+}
+
+/// Dispatch one decoded frame. The frame borrows the receive buffer —
+/// everything it needs beyond this call is copied out here (and inline
+/// argument blobs go straight through [`codec::decode_tagged`] without an
+/// owned intermediate). Returns `false` on `Shutdown`.
+fn handle_worker_frame(
+    frame: FrameRef<'_>,
+    fn_names: &mut HashMap<u64, Arc<str>>,
+    conn: &Arc<ConnShared>,
+) -> bool {
+    match frame {
+        FrameRef::Submit {
+            exec_id,
+            task_id,
+            attempt,
+            node,
+            fn_id,
+            fn_name,
+            variant,
+            cores,
+            gpus,
+            args,
+        } => {
+            if let Some(name) = fn_name {
+                fn_names.insert(fn_id, Arc::from(name));
+            }
+            let name = fn_names.get(&fn_id).cloned().unwrap_or_else(|| Arc::from("?"));
+            let mut arg_keys = Vec::with_capacity(args.len());
+            let mut bad_arg = None;
+            for a in args {
+                match a {
+                    WireArgRef::Inline { key, blob } => {
+                        match codec::decode_tagged(blob.tag, blob.bytes) {
                             Ok(v) => {
+                                // Cache *before* queueing the job so
+                                // same-socket ordering guarantees hold.
                                 conn.cache.lock().insert(key, v);
                                 conn.cache_cv.notify_all();
                                 arg_keys.push(key);
                             }
                             Err(e) => bad_arg = Some(e.to_string()),
-                        },
-                        WireArg::Cached { key } => arg_keys.push(key),
+                        }
                     }
-                }
-                if let Some(msg) = bad_arg {
-                    let frame = Frame::Failed { exec_id, message: msg };
-                    if write_frame(&mut *conn.writer.lock(), &frame).is_err() {
-                        break;
-                    }
-                    continue;
-                }
-                let job =
-                    Job { exec_id, task_id, attempt, node, name, variant, cores, gpus, arg_keys };
-                conn.jobs.lock().push_back(job);
-                conn.jobs_cv.notify_one();
-            }
-            Ok(Some(Frame::Heartbeat { seq })) => {
-                if write_frame(&mut *conn.writer.lock(), &Frame::HeartbeatAck { seq }).is_err() {
-                    break;
+                    WireArgRef::Cached { key } => arg_keys.push(key),
                 }
             }
-            Ok(Some(Frame::Data { key, blob })) if key & SNAP_BIT != 0 => {
-                // Snapshot fetch reply: raw bytes, empty = confirmed miss.
-                // Both cases are cached so each trial asks at most once.
-                let entry = if blob.bytes.is_empty() { None } else { Some(blob.bytes) };
-                conn.snaps.lock().insert(key, entry);
-                conn.snaps_cv.notify_all();
+            if let Some(msg) = bad_arg {
+                conn.push_out(&Frame::Failed { exec_id, message: msg });
+                return true;
             }
-            Ok(Some(Frame::Data { key, blob })) => {
-                if let Ok(v) = codec::decode_value(&blob) {
-                    conn.cache.lock().insert(key, v);
-                    conn.cache_cv.notify_all();
-                }
+            let job = Job { exec_id, task_id, attempt, node, name, variant, cores, gpus, arg_keys };
+            conn.jobs.lock().push_back(job);
+            conn.jobs_cv.notify_one();
+        }
+        FrameRef::Heartbeat { seq } => {
+            conn.push_out(&Frame::HeartbeatAck { seq });
+        }
+        FrameRef::Data { key, blob } if key & SNAP_BIT != 0 => {
+            // Snapshot fetch reply: raw bytes, empty = confirmed miss.
+            // Both cases are cached so each trial asks at most once.
+            let entry = if blob.bytes.is_empty() { None } else { Some(blob.bytes.to_vec()) };
+            conn.snaps.lock().insert(key, entry);
+            conn.snaps_cv.notify_all();
+        }
+        FrameRef::Data { key, blob } => {
+            if let Ok(v) = codec::decode_tagged(blob.tag, blob.bytes) {
+                conn.cache.lock().insert(key, v);
+                conn.cache_cv.notify_all();
             }
-            Ok(Some(Frame::Shutdown)) | Ok(None) | Err(_) => break,
-            Ok(Some(_)) => {} // other frames are driver-bound; ignore
+        }
+        FrameRef::Shutdown => return false,
+        // Other frames are driver-bound; ignore.
+        _ => {}
+    }
+    true
+}
+
+/// Drain a connection's outbound backlog and reconcile write interest.
+/// Returns `false` when the socket died.
+fn flush_worker_conn(poller: &Poller, token: u64, conn: &mut WorkerConn) -> bool {
+    let mut out = conn.shared.out.lock();
+    let drained = if out.is_empty() {
+        true
+    } else {
+        match out.flush(&mut conn.stream) {
+            Ok((_, drained)) => drained,
+            Err(_) => return false,
+        }
+    };
+    drop(out);
+    let want_write = !drained;
+    if want_write != conn.registered_write {
+        let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
+        if poller.modify(conn.stream.as_raw_fd(), token, interest).is_ok() {
+            conn.registered_write = want_write;
         }
     }
-    conn.closed.store(true, Ordering::SeqCst);
-    conn.jobs_cv.notify_all();
-    conn.cache_cv.notify_all();
-    for t in executors {
-        let _ = t.join();
-    }
+    true
+}
+
+/// Tear down a dead connection: release its executors (closed flag + every
+/// condvar) and remove the fd from the poll set before it closes.
+fn close_worker_conn(poller: &Poller, conn: WorkerConn) {
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    conn.shared.closed.store(true, Ordering::SeqCst);
+    conn.shared.jobs_cv.notify_all();
+    conn.shared.cache_cv.notify_all();
+    conn.shared.snaps_cv.notify_all();
 }
 
 /// Wait for `key` in the connection cache, requesting it from the driver
@@ -1169,10 +1537,7 @@ fn resolve_arg(conn: &ConnShared, key: u64) -> Result<Value, TaskError> {
         return Ok(v.clone());
     }
     drop(cache);
-    let fetch = Frame::Fetch { key };
-    if write_frame(&mut *conn.writer.lock(), &fetch).is_err() {
-        return Err(TaskError::new("connection lost while fetching an input"));
-    }
+    conn.push_out(&Frame::Fetch { key });
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let mut cache = conn.cache.lock();
     loop {
@@ -1222,9 +1587,7 @@ fn executor_loop(conn: Arc<ConnShared>, registry: Arc<TaskRegistry>) {
         if conn.stop.load(Ordering::SeqCst) {
             return;
         }
-        if write_frame(&mut *conn.writer.lock(), &frame).is_err() {
-            return;
-        }
+        conn.push_out(&frame);
     }
 }
 
@@ -1291,5 +1654,14 @@ mod tests {
         assert!(!c.reconnect);
         let w = WorkerConfig::default();
         assert!(w.cores >= 1);
+    }
+
+    #[test]
+    fn wake_and_listen_tokens_clear_node_range() {
+        // Node indices are dense small integers; the reserved tokens must
+        // never collide with them.
+        assert_eq!(WAKE_TOKEN, u64::MAX);
+        assert_eq!(LISTEN_TOKEN, u64::MAX - 1);
+        assert!(LISTEN_TOKEN > u32::MAX as u64);
     }
 }

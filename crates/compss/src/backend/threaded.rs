@@ -10,7 +10,7 @@
 //!
 //! # Sharded run queues
 //!
-//! The pool is decentralized: each worker owns a [`Shard`] — a small
+//! The pool is decentralized: each worker owns a `Shard` — a small
 //! lock-protected run queue plus its own condvar — instead of all workers
 //! contending on one global queue under the core lock. A producer pushes to
 //! an *idle* worker's shard when one exists (that worker can start

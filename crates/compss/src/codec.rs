@@ -72,12 +72,22 @@ pub fn encode_value(value: &Value) -> Option<Blob> {
 
 /// Decode a tagged [`Blob`] back into a [`Value`].
 pub fn decode_value(blob: &Blob) -> Result<Value, WireError> {
+    decode_tagged(&blob.tag, &blob.bytes)
+}
+
+/// Decode borrowed codec bytes under `tag` back into a [`Value`].
+///
+/// This is the zero-copy entry point: the event-loop backends hand it
+/// [`rnet::BlobRef`] fields pointing straight into a connection's receive
+/// buffer, so a task result crosses from socket bytes to a typed `Value`
+/// without an intermediate owned [`Blob`].
+pub fn decode_tagged(tag: &str, bytes: &[u8]) -> Result<Value, WireError> {
     let dec = {
         let reg = registry().read().expect("codec registry poisoned");
-        reg.by_tag.get(blob.tag.as_str()).cloned()
+        reg.by_tag.get(tag).cloned()
     };
     match dec {
-        Some(dec) => dec(&blob.bytes),
+        Some(dec) => dec(bytes),
         None => Err(WireError("no codec registered for blob tag".into())),
     }
 }
@@ -241,14 +251,8 @@ mod tests {
             roundtrip(Value::new(vec![1.0f64, -2.25])).downcast_ref::<Vec<f64>>(),
             Some(&vec![1.0, -2.25])
         );
-        assert_eq!(
-            roundtrip(Value::new(Some(3u32))).downcast_ref::<Option<u32>>(),
-            Some(&Some(3))
-        );
-        assert_eq!(
-            roundtrip(Value::new(None::<u32>)).downcast_ref::<Option<u32>>(),
-            Some(&None)
-        );
+        assert_eq!(roundtrip(Value::new(Some(3u32))).downcast_ref::<Option<u32>>(), Some(&Some(3)));
+        assert_eq!(roundtrip(Value::new(None::<u32>)).downcast_ref::<Option<u32>>(), Some(&None));
     }
 
     #[test]

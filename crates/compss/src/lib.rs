@@ -80,9 +80,9 @@ pub mod task;
 pub use api::{wait_on_all, TypedHandle};
 pub use backend::distributed::{DistributedConfig, WorkerConfig, WorkerHandle, WorkerServer};
 pub use codec::register_codec;
-pub use registry::TaskRegistry;
 pub use data::{DataHandle, DataVersion, Value};
 pub use fault::RetryPolicy;
+pub use registry::TaskRegistry;
 pub use runtime::{
     Runtime, RuntimeConfig, RuntimeStats, SubmitError, SubmitOpts, SubmitResult, WaitError,
 };

@@ -156,7 +156,11 @@ impl RtMetrics {
         }
         let mut cache = self.node_tasks.lock();
         let c = cache.entry(node_label.to_string()).or_insert_with(|| {
-            self.registry.counter(&labeled("rcompss_node_tasks_completed_total", "node", node_label))
+            self.registry.counter(&labeled(
+                "rcompss_node_tasks_completed_total",
+                "node",
+                node_label,
+            ))
         });
         c.incr();
     }

@@ -107,9 +107,8 @@ mod tests {
 
     #[test]
     fn variant_zero_is_default_body_and_alternatives_index_from_one() {
-        let alt = def("x").with_implementation(Constraint::cpus(2), |_, _| {
-            Ok(vec![Value::new(2u64)])
-        });
+        let alt =
+            def("x").with_implementation(Constraint::cpus(2), |_, _| Ok(vec![Value::new(2u64)]));
         let reg = TaskRegistry::new().with(alt);
         assert!(reg.body("x", 0).is_some());
         assert!(reg.body("x", 1).is_some());

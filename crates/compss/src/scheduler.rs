@@ -552,10 +552,8 @@ mod tests {
 
     #[test]
     fn revive_restores_full_capacity_after_kill() {
-        let mut s = Scheduler::new(
-            &Cluster::homogeneous(2, NodeSpec::marenostrum4()),
-            &[(0, 1), (1, 1)],
-        );
+        let mut s =
+            Scheduler::new(&Cluster::homogeneous(2, NodeSpec::marenostrum4()), &[(0, 1), (1, 1)]);
         let cap = s.node(1).capacity_cores;
         s.push_ready(entry(1, 2, 0));
         let (e, p) = s.pop_placeable(|_, _| 0).unwrap();

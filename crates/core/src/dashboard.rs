@@ -76,7 +76,7 @@ impl Dashboard {
     /// The periodic metrics line, if one is due at the current trial count.
     fn metrics_line(&self) -> Option<String> {
         let (registry, every) = self.metrics.as_ref()?;
-        if self.completed % every != 0 {
+        if !self.completed.is_multiple_of(*every) {
             return None;
         }
         let snap = registry.snapshot();

@@ -9,7 +9,7 @@
 //!
 //! Recording is wait-free: one `fetch_add` into the bucket plus count/sum
 //! accumulators and a `fetch_max` for the exact maximum, all relaxed. The
-//! enabled check lives in the shared [`crate::registry::Switch`] so a
+//! enabled check lives in the shared `crate::registry::Switch` so a
 //! disabled registry pays a single relaxed load per record.
 
 use std::sync::atomic::{AtomicU64, Ordering};

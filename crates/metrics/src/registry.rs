@@ -137,9 +137,7 @@ impl MetricsRegistry {
     /// it exports as `0` even before the first event — the acceptance shape
     /// for "retry counter present in every snapshot".
     pub fn counter(&self, name: &str) -> Counter {
-        let cell = Arc::clone(
-            self.metrics.lock().counters.entry(name.to_string()).or_insert_with(Default::default),
-        );
+        let cell = Arc::clone(self.metrics.lock().counters.entry(name.to_string()).or_default());
         Counter { on: Arc::clone(&self.on), cell }
     }
 

@@ -41,7 +41,7 @@ impl FrameReader {
 
     /// Decode the next complete frame, if the buffer holds one.
     /// `Ok(None)` means "feed more bytes"; errors are fatal to the stream.
-    pub fn next(&mut self) -> Result<Option<Frame>, DecodeError> {
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
         match Frame::decode(&self.buf[self.start..])? {
             Some((frame, used)) => {
                 self.start += used;
@@ -67,7 +67,7 @@ fn decode_err(e: DecodeError) -> io::Error {
 /// subsequent calls without touching the transport.
 pub fn read_frame(stream: &mut impl Read, reader: &mut FrameReader) -> io::Result<Option<Frame>> {
     loop {
-        if let Some(frame) = reader.next().map_err(decode_err)? {
+        if let Some(frame) = reader.next_frame().map_err(decode_err)? {
             return Ok(Some(frame));
         }
         let mut chunk = [0u8; 16 * 1024];
@@ -140,7 +140,7 @@ mod tests {
         let mut seen = Vec::new();
         for b in wire {
             reader.extend(&[b]);
-            while let Some(f) = reader.next().unwrap() {
+            while let Some(f) = reader.next_frame().unwrap() {
                 seen.push(f);
             }
         }
@@ -157,7 +157,7 @@ mod tests {
         let mut reader = FrameReader::new();
         reader.extend(&wire);
         let mut seen = Vec::new();
-        while let Some(f) = reader.next().unwrap() {
+        while let Some(f) = reader.next_frame().unwrap() {
             seen.push(f);
         }
         assert_eq!(seen, frames());
@@ -167,7 +167,7 @@ mod tests {
     fn corrupt_stream_is_fatal() {
         let mut reader = FrameReader::new();
         reader.extend(b"totally not a frame");
-        assert!(reader.next().is_err());
+        assert!(reader.next_frame().is_err());
     }
 
     #[test]
@@ -212,7 +212,7 @@ mod tests {
         };
         for _ in 0..64 {
             reader.extend(&frame.encode());
-            while reader.next().unwrap().is_some() {}
+            while reader.next_frame().unwrap().is_some() {}
             assert!(reader.buf.len() < 2 * COMPACT_AT, "buffer grew to {}", reader.buf.len());
         }
     }

@@ -61,6 +61,50 @@ pub enum WireArg {
     },
 }
 
+/// Borrowed view of a [`Blob`]: tag and payload point straight into the
+/// receive buffer the frame was decoded from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobRef<'a> {
+    /// Codec tag.
+    pub tag: &'a str,
+    /// Encoded value.
+    pub bytes: &'a [u8],
+}
+
+impl BlobRef<'_> {
+    /// Copy into an owned [`Blob`].
+    pub fn to_owned(&self) -> Blob {
+        Blob { tag: self.tag.to_string(), bytes: self.bytes.to_vec() }
+    }
+}
+
+/// Borrowed view of a [`WireArg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireArgRef<'a> {
+    /// See [`WireArg::Inline`].
+    Inline {
+        /// Driver-side data key (`handle << 32 | version`).
+        key: u64,
+        /// The serialised value, borrowed from the receive buffer.
+        blob: BlobRef<'a>,
+    },
+    /// See [`WireArg::Cached`].
+    Cached {
+        /// Driver-side data key.
+        key: u64,
+    },
+}
+
+impl WireArgRef<'_> {
+    /// Copy into an owned [`WireArg`].
+    pub fn to_owned(&self) -> WireArg {
+        match *self {
+            WireArgRef::Inline { key, blob } => WireArg::Inline { key, blob: blob.to_owned() },
+            WireArgRef::Cached { key } => WireArg::Cached { key },
+        }
+    }
+}
+
 /// Every message of the protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -139,6 +183,99 @@ pub enum Frame {
     Shutdown,
 }
 
+/// Borrowed view of a [`Frame`], decoded in place from a receive buffer.
+///
+/// This is the zero-copy half of the decode API: strings and blob payloads
+/// point straight into the buffer the bytes arrived in, so a hot loop can
+/// hand a `Done` frame's outputs to the value codecs without an
+/// intermediate copy. Call [`FrameRef::to_owned`] when the data must
+/// outlive the buffer (which invalidates on the next compaction or fill).
+///
+/// ```
+/// use rnet::{Frame, FrameRef};
+///
+/// let wire = Frame::Heartbeat { seq: 7 }.encode();
+/// let (frame, used) = FrameRef::decode(&wire).unwrap().expect("complete");
+/// assert_eq!(used, wire.len());
+/// assert!(matches!(frame, FrameRef::Heartbeat { seq: 7 }));
+/// assert_eq!(frame.to_owned(), Frame::Heartbeat { seq: 7 });
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameRef<'a> {
+    /// See [`Frame::Hello`].
+    Hello {
+        /// Worker display name.
+        name: &'a str,
+        /// CPU cores offered.
+        cores: u32,
+        /// GPUs offered.
+        gpus: u32,
+        /// Memory offered, GiB.
+        mem_gib: u32,
+    },
+    /// See [`Frame::Submit`].
+    Submit {
+        /// Driver-side execution id.
+        exec_id: u64,
+        /// Task instance id.
+        task_id: u64,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// The driver's node id for this worker.
+        node: u32,
+        /// Interned function id.
+        fn_id: u64,
+        /// Function name, present only on the first use of `fn_id`.
+        fn_name: Option<&'a str>,
+        /// Which task implementation to run.
+        variant: u32,
+        /// Exact core ids granted.
+        cores: Vec<u32>,
+        /// Exact GPU ids granted.
+        gpus: Vec<u32>,
+        /// Inputs, in argument order, blobs borrowed.
+        args: Vec<WireArgRef<'a>>,
+    },
+    /// See [`Frame::Done`].
+    Done {
+        /// Echoed execution id.
+        exec_id: u64,
+        /// Serialised outputs, borrowed.
+        outputs: Vec<BlobRef<'a>>,
+    },
+    /// See [`Frame::Failed`].
+    Failed {
+        /// Echoed execution id.
+        exec_id: u64,
+        /// Human-readable reason.
+        message: &'a str,
+    },
+    /// See [`Frame::Heartbeat`].
+    Heartbeat {
+        /// Monotonic per-connection sequence number.
+        seq: u64,
+    },
+    /// See [`Frame::HeartbeatAck`].
+    HeartbeatAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// See [`Frame::Fetch`].
+    Fetch {
+        /// The missing data key.
+        key: u64,
+    },
+    /// See [`Frame::Data`].
+    Data {
+        /// The data key.
+        key: u64,
+        /// The serialised value, borrowed.
+        blob: BlobRef<'a>,
+    },
+    /// See [`Frame::Shutdown`].
+    Shutdown,
+}
+
 /// Why a buffer cannot be decoded as a frame. All variants are fatal for
 /// the connection — only `Ok(None)` from [`Frame::decode`] means "wait for
 /// more bytes".
@@ -191,10 +328,49 @@ fn put_blob(out: &mut Vec<u8>, blob: &Blob) {
     wire::put_bytes(out, &blob.bytes);
 }
 
-fn read_blob(r: &mut Reader<'_>) -> Result<Blob, WireError> {
-    let tag = r.str()?;
-    let bytes = r.bytes()?.to_vec();
-    Ok(Blob { tag, bytes })
+fn read_blob_ref<'a>(r: &mut Reader<'a>) -> Result<BlobRef<'a>, WireError> {
+    let tag = r.str_ref()?;
+    let bytes = r.bytes()?;
+    Ok(BlobRef { tag, bytes })
+}
+
+/// Scan the frame header at the front of `buf`.
+///
+/// `Ok(Some((payload_start, total_len, frame_type)))` once the buffer holds
+/// a complete frame; `Ok(None)` while it holds only a valid prefix.
+/// Validation is eager: corruption in the magic, version, type, or length
+/// bytes surfaces before the rest of the frame arrives.
+fn frame_extent(buf: &[u8]) -> Result<Option<(usize, usize, u8)>, DecodeError> {
+    if !buf.is_empty() && buf[0] != MAGIC[0] {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf.len() >= 2 && buf[..2] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf.len() >= 3 && buf[2] != VERSION {
+        return Err(DecodeError::BadVersion(buf[2]));
+    }
+    if buf.len() >= 4 && !(T_HELLO..=T_SHUTDOWN).contains(&buf[3]) {
+        return Err(DecodeError::UnknownFrameType(buf[3]));
+    }
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let (payload_len, len_bytes) = match varint::take(&buf[4..]) {
+        varint::Take::Got(v, n) => (v, n),
+        varint::Take::Incomplete => return Ok(None),
+        varint::Take::Overlong => {
+            return Err(DecodeError::Malformed("overlong length prefix".into()))
+        }
+    };
+    if payload_len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversize(payload_len));
+    }
+    let total = 4 + len_bytes + payload_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((4 + len_bytes, total, buf[3])))
 }
 
 impl Frame {
@@ -307,11 +483,38 @@ impl Frame {
         out
     }
 
-    fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+    /// Try to decode one frame from the front of `buf`.
+    ///
+    /// * `Ok(Some((frame, consumed)))` — a complete frame; the caller drops
+    ///   the first `consumed` bytes and may retry for pipelined frames.
+    /// * `Ok(None)` — `buf` holds a valid prefix; read more bytes.
+    /// * `Err(_)` — the stream is corrupt; close the connection.
+    ///
+    /// This is the owning convenience over [`FrameRef::decode`]: it pays
+    /// one copy per string/blob field. Hot paths decode a [`FrameRef`] and
+    /// borrow instead.
+    ///
+    /// ```
+    /// use rnet::Frame;
+    ///
+    /// let wire = Frame::Fetch { key: 42 }.encode();
+    /// // A prefix asks for more bytes; the full buffer decodes.
+    /// assert_eq!(Frame::decode(&wire[..3]).unwrap(), None);
+    /// let (frame, used) = Frame::decode(&wire).unwrap().expect("complete");
+    /// assert_eq!(frame, Frame::Fetch { key: 42 });
+    /// assert_eq!(used, wire.len());
+    /// ```
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+        Ok(FrameRef::decode(buf)?.map(|(f, n)| (f.to_owned(), n)))
+    }
+}
+
+impl<'a> FrameRef<'a> {
+    fn decode_payload(frame_type: u8, payload: &'a [u8]) -> Result<FrameRef<'a>, DecodeError> {
         let mut r = Reader::new(payload);
         let frame = match frame_type {
-            T_HELLO => Frame::Hello {
-                name: r.str()?,
+            T_HELLO => FrameRef::Hello {
+                name: r.str_ref()?,
                 cores: r.u32()?,
                 gpus: r.u32()?,
                 mem_gib: r.u32()?,
@@ -324,7 +527,7 @@ impl Frame {
                 let fn_id = r.u64()?;
                 let fn_name = match r.u64()? {
                     0 => None,
-                    1 => Some(r.str()?),
+                    1 => Some(r.str_ref()?),
                     other => {
                         return Err(DecodeError::Malformed(format!("bad option flag {other}")))
                     }
@@ -339,14 +542,14 @@ impl Frame {
                 let mut args = Vec::with_capacity(n_args.min(1024));
                 for _ in 0..n_args {
                     args.push(match r.u64()? {
-                        0 => WireArg::Inline { key: r.u64()?, blob: read_blob(&mut r)? },
-                        1 => WireArg::Cached { key: r.u64()? },
+                        0 => WireArgRef::Inline { key: r.u64()?, blob: read_blob_ref(&mut r)? },
+                        1 => WireArgRef::Cached { key: r.u64()? },
                         other => {
                             return Err(DecodeError::Malformed(format!("bad arg kind {other}")))
                         }
                     });
                 }
-                Frame::Submit {
+                FrameRef::Submit {
                     exec_id,
                     task_id,
                     attempt,
@@ -364,62 +567,78 @@ impl Frame {
                 let n = r.u64()? as usize;
                 let mut outputs = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    outputs.push(read_blob(&mut r)?);
+                    outputs.push(read_blob_ref(&mut r)?);
                 }
-                Frame::Done { exec_id, outputs }
+                FrameRef::Done { exec_id, outputs }
             }
-            T_FAILED => Frame::Failed { exec_id: r.u64()?, message: r.str()? },
-            T_HEARTBEAT => Frame::Heartbeat { seq: r.u64()? },
-            T_HEARTBEAT_ACK => Frame::HeartbeatAck { seq: r.u64()? },
-            T_FETCH => Frame::Fetch { key: r.u64()? },
-            T_DATA => Frame::Data { key: r.u64()?, blob: read_blob(&mut r)? },
-            T_SHUTDOWN => Frame::Shutdown,
+            T_FAILED => FrameRef::Failed { exec_id: r.u64()?, message: r.str_ref()? },
+            T_HEARTBEAT => FrameRef::Heartbeat { seq: r.u64()? },
+            T_HEARTBEAT_ACK => FrameRef::HeartbeatAck { seq: r.u64()? },
+            T_FETCH => FrameRef::Fetch { key: r.u64()? },
+            T_DATA => FrameRef::Data { key: r.u64()?, blob: read_blob_ref(&mut r)? },
+            T_SHUTDOWN => FrameRef::Shutdown,
             other => return Err(DecodeError::UnknownFrameType(other)),
         };
         r.finish()?;
         Ok(frame)
     }
 
-    /// Try to decode one frame from the front of `buf`.
-    ///
-    /// * `Ok(Some((frame, consumed)))` — a complete frame; the caller drops
-    ///   the first `consumed` bytes and may retry for pipelined frames.
-    /// * `Ok(None)` — `buf` holds a valid prefix; read more bytes.
-    /// * `Err(_)` — the stream is corrupt; close the connection.
-    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
-        // Validate eagerly so corruption surfaces before the length prefix
-        // arrives in full.
-        if !buf.is_empty() && buf[0] != MAGIC[0] {
-            return Err(DecodeError::BadMagic);
-        }
-        if buf.len() >= 2 && buf[..2] != MAGIC {
-            return Err(DecodeError::BadMagic);
-        }
-        if buf.len() >= 3 && buf[2] != VERSION {
-            return Err(DecodeError::BadVersion(buf[2]));
-        }
-        if buf.len() >= 4 && !(T_HELLO..=T_SHUTDOWN).contains(&buf[3]) {
-            return Err(DecodeError::UnknownFrameType(buf[3]));
-        }
-        if buf.len() < 4 {
+    /// Zero-copy decode of one frame from the front of `buf`; the same
+    /// contract as [`Frame::decode`], but string and blob fields borrow
+    /// from `buf` instead of copying.
+    pub fn decode(buf: &'a [u8]) -> Result<Option<(FrameRef<'a>, usize)>, DecodeError> {
+        let Some((payload_at, total, frame_type)) = frame_extent(buf)? else {
             return Ok(None);
-        }
-        let (payload_len, len_bytes) = match varint::take(&buf[4..]) {
-            varint::Take::Got(v, n) => (v, n),
-            varint::Take::Incomplete => return Ok(None),
-            varint::Take::Overlong => {
-                return Err(DecodeError::Malformed("overlong length prefix".into()))
-            }
         };
-        if payload_len > MAX_PAYLOAD {
-            return Err(DecodeError::Oversize(payload_len));
+        let payload = &buf[payload_at..total];
+        Ok(Some((Self::decode_payload(frame_type, payload)?, total)))
+    }
+
+    /// Materialise an owned [`Frame`], copying every borrowed field.
+    pub fn to_owned(&self) -> Frame {
+        match self {
+            FrameRef::Hello { name, cores, gpus, mem_gib } => Frame::Hello {
+                name: name.to_string(),
+                cores: *cores,
+                gpus: *gpus,
+                mem_gib: *mem_gib,
+            },
+            FrameRef::Submit {
+                exec_id,
+                task_id,
+                attempt,
+                node,
+                fn_id,
+                fn_name,
+                variant,
+                cores,
+                gpus,
+                args,
+            } => Frame::Submit {
+                exec_id: *exec_id,
+                task_id: *task_id,
+                attempt: *attempt,
+                node: *node,
+                fn_id: *fn_id,
+                fn_name: fn_name.map(|s| s.to_string()),
+                variant: *variant,
+                cores: cores.clone(),
+                gpus: gpus.clone(),
+                args: args.iter().map(|a| a.to_owned()).collect(),
+            },
+            FrameRef::Done { exec_id, outputs } => Frame::Done {
+                exec_id: *exec_id,
+                outputs: outputs.iter().map(|b| b.to_owned()).collect(),
+            },
+            FrameRef::Failed { exec_id, message } => {
+                Frame::Failed { exec_id: *exec_id, message: message.to_string() }
+            }
+            FrameRef::Heartbeat { seq } => Frame::Heartbeat { seq: *seq },
+            FrameRef::HeartbeatAck { seq } => Frame::HeartbeatAck { seq: *seq },
+            FrameRef::Fetch { key } => Frame::Fetch { key: *key },
+            FrameRef::Data { key, blob } => Frame::Data { key: *key, blob: blob.to_owned() },
+            FrameRef::Shutdown => Frame::Shutdown,
         }
-        let total = 4 + len_bytes + payload_len as usize;
-        if buf.len() < total {
-            return Ok(None);
-        }
-        let payload = &buf[4 + len_bytes..total];
-        Ok(Some((Self::decode_payload(buf[3], payload)?, total)))
     }
 }
 
@@ -469,10 +688,7 @@ mod tests {
             Frame::Heartbeat { seq: 9 },
             Frame::HeartbeatAck { seq: 9 },
             Frame::Fetch { key: 1 << 40 },
-            Frame::Data {
-                key: 1 << 40,
-                blob: Blob { tag: "rnet.u64".into(), bytes: vec![5] },
-            },
+            Frame::Data { key: 1 << 40, blob: Blob { tag: "rnet.u64".into(), bytes: vec![5] } },
             Frame::Shutdown,
         ]
     }
@@ -554,6 +770,30 @@ mod tests {
         varint::put(&mut padded, 3);
         padded.extend_from_slice(&[1, 0, 0]);
         assert!(matches!(Frame::decode(&padded), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn ref_decode_matches_owned_decode() {
+        for frame in sample_frames() {
+            let buf = frame.encode();
+            let (as_ref, used) = FrameRef::decode(&buf).unwrap().expect("complete frame");
+            assert_eq!(as_ref.to_owned(), frame);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn ref_decode_borrows_blob_bytes_in_place() {
+        let frame = Frame::Done {
+            exec_id: 5,
+            outputs: vec![Blob { tag: "hpo.trial".into(), bytes: vec![7; 64] }],
+        };
+        let buf = frame.encode();
+        let (decoded, _) = FrameRef::decode(&buf).unwrap().unwrap();
+        let FrameRef::Done { outputs, .. } = decoded else { panic!("wrong frame") };
+        let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(range.contains(&(outputs[0].bytes.as_ptr() as usize)), "payload not copied");
+        assert!(range.contains(&(outputs[0].tag.as_ptr() as usize)), "tag not copied");
     }
 
     #[test]

@@ -1,29 +1,62 @@
 //! `rnet` — the wire layer of the distributed rcompss backend.
 //!
-//! A deliberately small, dependency-free protocol stack in three layers:
+//! A deliberately small, dependency-free protocol stack:
 //!
 //! * [`varint`] — LEB128 integers, the length prefix and every integer
 //!   field;
 //! * [`wire`] — field primitives (ints, floats, strings, byte strings) and
 //!   a sequential payload [`wire::Reader`]; application value codecs build
 //!   on these so driver and worker agree byte for byte;
-//! * [`frame`] + [`conn`] — the versioned, magic-prefixed frame model
-//!   (task submit with interned function names, done/failed, heartbeat,
-//!   data fetch, shutdown) and the incremental [`conn::FrameReader`] that
-//!   survives arbitrary read boundaries.
+//! * [`frame`] — the versioned, magic-prefixed frame model (task submit
+//!   with interned function names, done/failed, heartbeat, data fetch,
+//!   shutdown), with both owning ([`Frame::decode`]) and zero-copy
+//!   ([`frame::FrameRef::decode`]) decode paths;
+//! * [`conn`] — blocking helpers ([`read_frame`], [`write_frames`]) and
+//!   the incremental [`conn::FrameReader`], used for handshakes and as the
+//!   oracle the event-loop decoder is tested against;
+//! * [`poll`] + [`nonblock`] — the readiness layer: an epoll/poll
+//!   [`poll::Poller`] with a self-pipe [`poll::Waker`], and per-connection
+//!   [`nonblock::RecvBuf`]/[`nonblock::SendBuf`] reusable buffers that the
+//!   event-loop backend builds its connection state machines from.
 //!
 //! The crate knows nothing about tasks, schedulers, or values — payloads
 //! are opaque tagged [`frame::Blob`]s. That keeps the dependency arrow
 //! pointing one way: `rcompss` (and the HPO layer above it) depend on
 //! `rnet`, never the reverse.
+//!
+//! Encode on one side, decode on the other — the 30-second tour:
+//!
+//! ```
+//! use rnet::{Blob, Frame, FrameReader};
+//!
+//! let submit = Frame::Data {
+//!     key: (3 << 32) | 1,
+//!     blob: Blob { tag: "hpo.config".into(), bytes: vec![1, 2, 3] },
+//! };
+//! let wire = submit.encode();
+//!
+//! // The incremental reader tolerates any read boundary.
+//! let mut reader = FrameReader::new();
+//! let (a, b) = wire.split_at(wire.len() / 2);
+//! reader.extend(a);
+//! assert!(reader.next_frame().unwrap().is_none(), "half a frame: wait");
+//! reader.extend(b);
+//! assert_eq!(reader.next_frame().unwrap(), Some(submit));
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod conn;
 pub mod frame;
+pub mod nonblock;
+pub mod poll;
 pub mod varint;
 pub mod wire;
 
 pub use conn::{read_frame, write_frame, write_frames, FrameReader};
-pub use frame::{Blob, DecodeError, Frame, WireArg, MAGIC, MAX_PAYLOAD, VERSION};
+pub use frame::{
+    Blob, BlobRef, DecodeError, Frame, FrameRef, WireArg, WireArgRef, MAGIC, MAX_PAYLOAD, VERSION,
+};
+pub use nonblock::{Fill, RecvBuf, SendBuf};
+pub use poll::{Event, Interest, Poller, Waker};
 pub use wire::{Reader, WireError};

@@ -103,10 +103,15 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Next length-prefixed UTF-8 string, borrowed from the payload —
+    /// the zero-copy accessor behind [`crate::frame::FrameRef`].
+    pub fn str_ref(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError("invalid UTF-8 string".into()))
+    }
+
     /// Next length-prefixed UTF-8 string (owned).
     pub fn str(&mut self) -> Result<String, WireError> {
-        let raw = self.bytes()?;
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError("invalid UTF-8 string".into()))
+        Ok(self.str_ref()?.to_string())
     }
 
     /// Assert the payload was consumed exactly.
@@ -172,5 +177,17 @@ mod tests {
         let mut buf = Vec::new();
         put_bytes(&mut buf, &[0xff, 0xfe]);
         assert!(Reader::new(&buf).str().is_err());
+        assert!(Reader::new(&buf).str_ref().is_err());
+    }
+
+    #[test]
+    fn str_ref_borrows_from_the_payload() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "borrowed");
+        let mut r = Reader::new(&buf);
+        let s = r.str_ref().unwrap();
+        assert_eq!(s, "borrowed");
+        let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(range.contains(&(s.as_ptr() as usize)), "points into the payload, no copy");
     }
 }

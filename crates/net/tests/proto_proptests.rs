@@ -19,9 +19,8 @@ fn arb_arg() -> impl Strategy<Value = WireArg> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        ("[ -~]{0,24}", any::<u32>(), 0u32..16, any::<u32>()).prop_map(
-            |(name, cores, gpus, mem_gib)| Frame::Hello { name, cores, gpus, mem_gib }
-        ),
+        ("[ -~]{0,24}", any::<u32>(), 0u32..16, any::<u32>())
+            .prop_map(|(name, cores, gpus, mem_gib)| Frame::Hello { name, cores, gpus, mem_gib }),
         (
             any::<u64>(),
             any::<u64>(),
@@ -83,7 +82,7 @@ proptest! {
             let step = cuts.next().unwrap_or(wire.len()).min(wire.len() - at);
             reader.extend(&wire[at..at + step]);
             at += step;
-            while let Some(f) = reader.next().expect("valid stream never errors") {
+            while let Some(f) = reader.next_frame().expect("valid stream never errors") {
                 seen.push(f);
             }
         }

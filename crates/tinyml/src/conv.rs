@@ -5,7 +5,7 @@
 //!
 //! A convolution is never computed with nested spatial loops here. Each
 //! sample's padded patches are unrolled into an `(oh·ow, c·k·k)` matrix
-//! ([`im2col`]) and the convolution lowers to the GEMM kernels of
+//! (`im2col`) and the convolution lowers to the GEMM kernels of
 //! [`crate::tensor`]; backward is the two transposed products
 //! (`dW += dy_sᵀ·cols_s`, `dcols_s = dy_s·W`) plus a col2im scatter. The
 //! unroll stays per-sample *on purpose*: for these kernel sizes the
@@ -25,7 +25,7 @@
 //! `y` and `dx` are computed per sample, so they are bit-identical at any
 //! thread count trivially. `dW`/`db` are cross-sample *reductions*; to keep
 //! them deterministic too, samples are accumulated into per-block partial
-//! sums of a **fixed** block size ([`SAMPLE_BLOCK`], independent of the
+//! sums of a **fixed** block size (`SAMPLE_BLOCK`, independent of the
 //! thread count) and the block partials are summed block-ascending on the
 //! caller thread. Every float therefore sees the same accumulation tree no
 //! matter how many workers ran — gradients are bit-identical across thread
@@ -246,7 +246,7 @@ impl Conv2d {
     /// Per sample: the same im2col unroll as forward, then
     /// `dW += dy_sᵀ · cols_s`, `dcols_s = dy_s · W`, and a col2im scatter
     /// for `dx`. Samples are split across workers; `dW`/`db` accumulate
-    /// into per-[`SAMPLE_BLOCK`] partials reduced block-ascending, so the
+    /// into per-`SAMPLE_BLOCK` partials reduced block-ascending, so the
     /// result is bit-identical at any thread count (see module docs).
     pub fn backward(&self, x: &Tensor4, dy: &Tensor4) -> (Matrix, Vec<f32>, Tensor4) {
         let (oh, ow) = self.out_hw(x.h, x.w);

@@ -113,7 +113,7 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 
 /// The number of workers a kernel should use for `work` fused
 /// multiply-adds: the ambient degree, capped so each worker gets at least
-/// [`MIN_WORK_PER_THREAD`] of them (small problems stay serial).
+/// `MIN_WORK_PER_THREAD` of them (small problems stay serial).
 pub fn degree_for(work: usize) -> usize {
     let t = current_threads();
     if t <= 1 {

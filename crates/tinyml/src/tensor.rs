@@ -10,7 +10,7 @@
 //!   output row, which auto-vectorises well; slices are hoisted out of
 //!   loops to elide bounds checks, and hot-loop buffers are reused via
 //!   `&mut` outputs.
-//! * **Cache blocking over k** (panel size [`KC`]) — each pass streams a
+//! * **Cache blocking over k** (panel size `KC`) — each pass streams a
 //!   `KC × n` panel of the right-hand operand while sweeping the rows of a
 //!   thread's output chunk, so the panel stays resident in L1/L2 instead
 //!   of being evicted once per output row.

@@ -6,7 +6,7 @@
 //! simple flag"), the collector can be constructed disabled, in which case
 //! recording is a single relaxed atomic load.
 //!
-//! When enabled, records land in one of [`SHARDS`] cache-line-aligned,
+//! When enabled, records land in one of `SHARDS` cache-line-aligned,
 //! independently locked buffers. Each recording thread is pinned to a shard
 //! on first use (round-robin), so worker threads reporting task runs do not
 //! contend on one global lock — the pre-shard design made every `task_run`

@@ -73,7 +73,10 @@ pub fn build_objective(
 }
 
 /// Run a worker daemon until killed: register the HPO codecs and the
-/// experiment task, bind the listen socket, and serve drivers.
+/// experiment task, bind the listen socket, and serve drivers — one
+/// readiness-driven event loop owning every driver connection, plus one
+/// executor thread per advertised core (see DESIGN.md, "The rnet wire
+/// protocol and event loop").
 pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
     register_hpo_codecs();
     // Cadence only: a worker has no journal or on-disk store — its

@@ -1,0 +1,158 @@
+//! Collection strategies: vectors, sets, and maps of sampled elements.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// An inclusive size band for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample_len(self, rng: &mut TestRng) -> usize {
+        self.lo + rng.index(self.hi - self.lo + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Strategy for `Vec`s whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet`s. Duplicate draws are retried a bounded number
+/// of times, so tiny element domains may yield sets smaller than asked.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample_len(rng);
+        let mut out = BTreeSet::new();
+        let mut tries = 0;
+        while out.len() < target && tries < 100 * (target + 1) {
+            out.insert(self.element.sample(rng));
+            tries += 1;
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeMap`s; duplicate keys collapse like repeated
+/// `insert`s, with the same bounded-retry rule as [`btree_set`].
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.sample_len(rng);
+        let mut out = BTreeMap::new();
+        let mut tries = 0;
+        while out.len() < target && tries < 100 * (target + 1) {
+            out.insert(self.key.sample(rng), self.value.sample(rng));
+            tries += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collections_respect_size_bands() {
+        let mut rng = TestRng::for_test("c");
+        for _ in 0..200 {
+            let v = vec(0u8..5, 2..7).sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = btree_set(0u32..1000, 3..=3).sample(&mut rng);
+            assert!(s.len() <= 3 && !s.is_empty());
+            let m = btree_map(0u64..1000, 0u8..3, 1..4).sample(&mut rng);
+            assert!(!m.is_empty() && m.len() < 4);
+        }
+    }
+
+    #[test]
+    fn tiny_domains_saturate_without_hanging() {
+        let mut rng = TestRng::for_test("d");
+        // Only 2 possible elements but 4 requested: returns the whole
+        // domain instead of looping forever.
+        let s = btree_set(0u8..2, 4..=4).sample(&mut rng);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! Vendored offline shim for the `proptest 1` API subset this workspace
+//! uses: the [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros,
+//! range and regex-class strategies, `prop_map`/`prop_flat_map`/`boxed`
+//! combinators, and the `collection`/`option` strategy modules.
+//!
+//! Semantics: each test samples `ProptestConfig::cases` random inputs from
+//! its strategies with a generator seeded deterministically from the test
+//! name, and runs the body on each. There is **no shrinking** — a failing
+//! case panics with the assertion message (include inputs in the message
+//! when it matters). That trades minimised counterexamples for zero
+//! dependencies, which is the point of the shim.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+
+/// Deterministic test-case generator (SplitMix64), seeded from the test
+/// name so every run of a given test replays the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for the named test: same name, same case stream.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, so sibling tests draw distinct streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty set");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Per-test configuration. Only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the single-core CI budget
+        // sane while still sweeping each property meaningfully.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl fmt::Display for ProptestConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProptestConfig(cases={})", self.cases)
+    }
+}
+
+/// Strategy producing any representative value of `T` — the engine behind
+/// [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Sample one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix magnitudes without manufacturing NaN/Inf: sign × mantissa ×
+        // 10^[-9, 9].
+        let exp = (rng.next_u64() % 19) as i32 - 9;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * rng.unit_f64() * 10f64.powi(exp)
+    }
+}
+
+impl ArbitraryValue for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// The strategy for "any value of `T`": `any::<u64>()` etc.
+pub fn any<T: ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// A failed property case. `prop_assert!` family macros return this via
+/// `Err`, so helper functions can propagate failures with `?`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Define property tests: each `fn` inside runs its body over
+/// `ProptestConfig::cases` sampled inputs.
+///
+/// The `#[test]` in the example is consumed by the macro itself (it
+/// re-emits real test functions), so the doctest lint about inert test
+/// attributes does not apply.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("property {} failed on case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion; fails the case by returning
+/// `Err(`[`TestCaseError`]`)` when false, so it also works in helper
+/// functions returning `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property equality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Property inequality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Pick uniformly between alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any_stay_in_bounds(
+            a in 10u64..20,
+            b in -3i64..=3,
+            f in 0.5f64..1.5,
+            _any in any::<u32>(),
+        ) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((-3..=3).contains(&b));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u8..10, 2..6),
+            s in "[a-z]{1,4}",
+            opt in crate::option::of(0u32..3),
+            mapped in (0u32..4).prop_map(|x| x * 2),
+            flat in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u32..9, n..=n)),
+            choice in prop_oneof![Just(1u8), Just(2u8), 5u8..7],
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            if let Some(x) = opt {
+                prop_assert!(x < 3);
+            }
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert!(!flat.is_empty() && flat.len() < 4);
+            prop_assert!(matches!(choice, 1 | 2 | 5 | 6));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+        #[test]
+        fn config_literal_with_update_syntax(x in 0u8..8) {
+            prop_assert!(x < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        let mut c = crate::TestRng::for_test("u");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

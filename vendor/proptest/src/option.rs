@@ -1,0 +1,40 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy yielding `None` some of the time (1 in 4) and `Some(inner)`
+/// otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.index(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::for_test("o");
+        let draws: Vec<Option<u32>> = (0..200).map(|_| of(0u32..5).sample(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+        assert!(draws.iter().flatten().all(|&v| v < 5));
+    }
+}

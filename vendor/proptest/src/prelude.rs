@@ -1,0 +1,12 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    TestCaseError, TestRng,
+};
+
+/// The conventional `prop::` alias for the crate's strategy modules.
+pub mod prop {
+    pub use crate::{collection, option, strategy};
+}

@@ -1,0 +1,300 @@
+//! The [`Strategy`] trait and the strategy implementations/combinators the
+//! workspace's property tests use.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::{ArbitraryValue, TestRng};
+
+/// A recipe for sampling values of `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Sample a value, build a second strategy from it, sample that.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe sampling, the representation behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy producing `T`.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Strategy that clones a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy behind [`crate::any`].
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Uniform choice between alternatives — the engine of
+/// [`crate::prop_oneof!`].
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf(arms)
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + ((self.end - self.start) as f64 * rng.unit_f64()) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + ((hi - lo) as f64 * rng.unit_f64()) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// The regex-class subset this workspace uses as string strategies:
+/// `"[chars]{min,max}"`, where the class may contain literal characters
+/// and `a-z`-style ranges (e.g. `"[a-z.]{0,12}"`, `"[ -~]{0,24}"`).
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let chars: Vec<char> = pattern.chars().collect();
+    assert!(
+        chars.first() == Some(&'['),
+        "string strategy {pattern:?}: only [class]{{m,n}} patterns are supported"
+    );
+    let close = chars
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("string strategy {pattern:?}: unterminated class"));
+    let mut set = Vec::new();
+    let mut i = 1;
+    while i < close {
+        if i + 2 < close && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "string strategy {pattern:?}: inverted range");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "string strategy {pattern:?}: empty class");
+    let rest: String = chars[close + 1..].iter().collect();
+    if rest.is_empty() {
+        return (set, 1, 1);
+    }
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("string strategy {pattern:?}: expected {{m,n}} after class"));
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = counts.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "string strategy {pattern:?}: inverted count");
+    (set, lo, hi)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (set, lo, hi) = parse_class_pattern(self);
+        let len = lo + rng.index(hi - lo + 1);
+        (0..len).map(|_| set[rng.index(set.len())]).collect()
+    }
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9, K / 10),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9, K / 10, L / 11),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_patterns_parse_ranges_and_literals() {
+        let (set, lo, hi) = parse_class_pattern("[a-z.]{0,12}");
+        assert_eq!(set.len(), 27);
+        assert!(set.contains(&'.') && set.contains(&'a') && set.contains(&'z'));
+        assert_eq!((lo, hi), (0, 12));
+        let (set, lo, hi) = parse_class_pattern("[ -~]{0,24}");
+        assert_eq!(set.len(), 95, "printable ASCII");
+        assert_eq!((lo, hi), (0, 24));
+        let (set, _, _) = parse_class_pattern("[a-z_]{1,12}");
+        assert!(set.contains(&'_'));
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_length() {
+        let mut rng = TestRng::for_test("s");
+        for _ in 0..500 {
+            let s = "[a-f]{2,5}".sample(&mut rng);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='f').contains(&c)), "{s:?}");
+        }
+    }
+}

@@ -24,7 +24,11 @@
 # after intentional snapshot-format or store changes).
 # Finally a distributed loopback smoke boots two rcompss-worker
 # daemons and checks a distributed grid search returns the exact per-trial
-# accuracies of the same run on the threaded backend.
+# accuracies of the same run on the threaded backend; the telemetry smoke
+# re-runs a sweep with --status-addr on the driver and workers, scrapes
+# GET /metrics live over bash's /dev/tcp, validates the exposition with
+# prom-check, and diffs the merged-trace execution-span count against the
+# trial CSV.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -77,9 +81,11 @@ cat > "$SMOKE_DIR/space.json" <<'EOF'
   "batch_size": [32]
 }
 EOF
-./target/release/rcompss-worker --listen 127.0.0.1:7191 --name ci-w0 --samples 200 &
+./target/release/rcompss-worker --listen 127.0.0.1:7191 --name ci-w0 --samples 200 \
+    --status-addr 127.0.0.1:7193 &
 WORKER_PIDS+=($!)
-./target/release/rcompss-worker --listen 127.0.0.1:7192 --name ci-w1 --samples 200 &
+./target/release/rcompss-worker --listen 127.0.0.1:7192 --name ci-w1 --samples 200 \
+    --status-addr 127.0.0.1:7194 &
 WORKER_PIDS+=($!)
 sleep 1
 ./target/release/hpo-run --config "$SMOKE_DIR/space.json" --backend distributed \
@@ -95,5 +101,61 @@ if ! diff <(sort "$SMOKE_DIR/distributed.csv" | cut -d, -f1-3) \
     exit 1
 fi
 echo "distributed == threaded: trial tables identical"
+
+echo "==> telemetry smoke: live /metrics scrape + merged-trace/trial diff"
+# GET <path> from 127.0.0.1:<port> over bash's /dev/tcp, body on stdout.
+scrape() {
+    local port="$1" path="$2"
+    exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+    sed '1,/^\r*$/d' <&3
+    exec 3<&- 3>&-
+}
+./target/release/hpo-run --config "$SMOKE_DIR/space.json" --backend distributed \
+    --workers 127.0.0.1:7191,127.0.0.1:7192 --samples 200 \
+    --status-addr 127.0.0.1:7195 --trace-out "$SMOKE_DIR/smoke.trace.json" \
+    --out "$SMOKE_DIR/telemetry.csv" &
+DRIVER_PID=$!
+# Scrape the driver while the sweep is in flight: retry until the status
+# endpoint answers (it exists only for the lifetime of the run).
+DRIVER_METRICS=""
+for _ in $(seq 1 200); do
+    if DRIVER_METRICS=$(scrape 7195 /metrics 2>/dev/null) && [ -n "$DRIVER_METRICS" ]; then
+        break
+    fi
+    if ! kill -0 "$DRIVER_PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$DRIVER_METRICS" ]; then
+    echo "telemetry smoke FAILED: never scraped the driver /metrics mid-run" >&2
+    exit 1
+fi
+[ "$(scrape 7195 /healthz 2>/dev/null || true)" = "ok" ] \
+    || echo "note: /healthz raced the end of the run (non-fatal)"
+echo "$DRIVER_METRICS" | ./target/release/prom-check
+if ! echo "$DRIVER_METRICS" | grep -q 'rcompss_task_phase_us'; then
+    echo "telemetry smoke FAILED: driver scrape lacks task_phase_us histograms" >&2
+    exit 1
+fi
+wait "$DRIVER_PID"
+# Worker daemons outlive the run: their endpoints must still answer with a
+# valid exposition of worker-local counters.
+WORKER_METRICS=$(scrape 7193 /metrics)
+echo "$WORKER_METRICS" | ./target/release/prom-check
+if ! echo "$WORKER_METRICS" | grep -q 'worker_tasks_executed_total'; then
+    echo "telemetry smoke FAILED: worker scrape lacks worker_tasks_executed_total" >&2
+    exit 1
+fi
+# The merged Chrome trace must hold exactly one execution span per trial
+# in the CSV (4 grid points, no retries on a healthy loopback run).
+SPANS=$(grep -c '"cat":"task"' "$SMOKE_DIR/smoke.trace.json")
+TRIALS=$(($(wc -l < "$SMOKE_DIR/telemetry.csv") - 1))
+if [ "$SPANS" -ne "$TRIALS" ]; then
+    echo "telemetry smoke FAILED: $SPANS merged exec spans != $TRIALS journaled trials" >&2
+    exit 1
+fi
+echo "telemetry smoke: scrapes valid, $SPANS exec spans == $TRIALS trials"
 
 echo "ci.sh: all green"

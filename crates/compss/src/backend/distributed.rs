@@ -69,12 +69,13 @@ use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use paratrace::{CoreId, EventKind, TaskRef};
+use paratrace::merge::TaskBounds;
+use paratrace::{ClockSync, CoreId, EventKind, Record, TaskRef, TraceCollector, WorkerTrace};
 use parking_lot::{Condvar, Mutex};
 use rnet::{
     read_frame, Blob, Fill, Frame, FrameReader, FrameRef, Interest, Poller, RecvBuf, SendBuf,
@@ -192,6 +193,9 @@ struct LinkState {
     registered_write: bool,
     /// The fd is registered with the poller (cleared on failover).
     registered: bool,
+    /// NTP-style clock-offset estimator fed by heartbeat acks; survives
+    /// failover (the worker's clock does not reset with its socket).
+    clock: ClockSync,
 }
 
 /// One remote worker as seen by the driver.
@@ -203,6 +207,14 @@ struct WorkerLink {
     /// Wall-µs of the last bytes received (any frame kind).
     last_seen_us: AtomicU64,
     hb_seq: AtomicU64,
+    /// Lock-free mirror of the best clock-sync estimate
+    /// (`worker_clock − driver_clock`), for readers outside the link lock.
+    clock_offset_us: AtomicI64,
+    /// Lock-free mirror of the best (smallest) observed heartbeat RTT.
+    clock_rtt_us: AtomicU64,
+    /// Worker-side trace records shipped via `TraceChunk`, decoded and
+    /// accumulated on the worker's own clock until the merge at export.
+    trace_records: Mutex<Vec<Record>>,
 }
 
 struct Inner {
@@ -218,6 +230,10 @@ struct Inner {
     /// Failover helper threads (reconnects block in `connect`, so they
     /// must not run on the event loop).
     helpers: Mutex<Vec<JoinHandle<()>>>,
+    /// Driver-observed `[dispatch, completion]` window per task id — the
+    /// clamp that keeps rebased worker spans inside driver-timeline causality
+    /// at merge time.
+    exec_bounds: Mutex<TaskBounds>,
 }
 
 /// Driver-side connection manager: one event-loop thread owning readiness
@@ -318,9 +334,13 @@ impl ConnMgr {
                         want_write: false,
                         registered_write: false,
                         registered: false,
+                        clock: ClockSync::default(),
                     }),
                     last_seen_us: AtomicU64::new(shared.wall_us()),
                     hb_seq: AtomicU64::new(0),
+                    clock_offset_us: AtomicI64::new(0),
+                    clock_rtt_us: AtomicU64::new(0),
+                    trace_records: Mutex::new(Vec::new()),
                 })
             })
             .collect();
@@ -336,6 +356,7 @@ impl ConnMgr {
             wake,
             registrations,
             helpers: Mutex::new(Vec::new()),
+            exec_bounds: Mutex::new(TaskBounds::new()),
         });
         let loop_inner = Arc::clone(&inner);
         let threads = vec![std::thread::spawn(move || driver_loop(loop_inner))];
@@ -345,6 +366,36 @@ impl ConnMgr {
     /// Worker display labels, indexed by node id: `name@addr`.
     pub fn labels(&self) -> Vec<String> {
         self.inner.workers.iter().map(|w| format!("{}@{}", w.name, w.addr)).collect()
+    }
+
+    /// Everything the trace merge needs: each worker's shipped records with
+    /// its current clock-offset estimate, plus the driver-observed
+    /// dispatch→completion bounds. Records are cloned, not drained, so the
+    /// merged trace can be exported more than once.
+    pub fn telemetry(&self) -> (Vec<WorkerTrace>, TaskBounds) {
+        let workers = self
+            .inner
+            .workers
+            .iter()
+            .map(|w| WorkerTrace {
+                node: w.node,
+                offset_us: w.clock_offset_us.load(Ordering::Relaxed),
+                records: w.trace_records.lock().clone(),
+            })
+            .collect();
+        (workers, self.inner.exec_bounds.lock().clone())
+    }
+
+    /// Per-worker clock sync estimates, indexed by node id:
+    /// `(offset_us, rtt_us)`. RTT 0 means no heartbeat ack was observed yet.
+    pub fn clock_stats(&self) -> Vec<(i64, u64)> {
+        self.inner
+            .workers
+            .iter()
+            .map(|w| {
+                (w.clock_offset_us.load(Ordering::Relaxed), w.clock_rtt_us.load(Ordering::Relaxed))
+            })
+            .collect()
     }
 
     /// Place every placeable ready task for remote execution. Call with the
@@ -436,7 +487,9 @@ pub(crate) fn collect_dispatch_remote(shared: &Shared, core: &mut Core) -> Vec<R
         }
         let now = shared.wall_us();
         shared.metrics.dispatched.incr();
-        shared.metrics.dep_wait.record(now.saturating_sub(submitted_us));
+        let queued = now.saturating_sub(submitted_us);
+        shared.metrics.dep_wait.record(queued);
+        shared.metrics.phase_queue.record(queued);
         let exec_id = core.next_exec;
         core.next_exec += 1;
         core.running.insert(
@@ -616,7 +669,10 @@ fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
 fn driver_loop(inner: Arc<Inner>) {
     let hb = inner.cfg.heartbeat_interval;
     let mut events = Vec::new();
-    let mut next_hb = std::time::Instant::now() + hb;
+    // First heartbeat fires immediately: it seeds the clock-offset estimate
+    // so even tasks completing before the first interval elapses get
+    // rebased worker telemetry.
+    let mut next_hb = std::time::Instant::now();
     loop {
         if inner.stop.load(Ordering::SeqCst) {
             return;
@@ -667,9 +723,15 @@ fn register_link(inner: &Inner, link: &WorkerLink) {
 }
 
 /// Write a heartbeat to every live link and declare silent ones dead.
+///
+/// Each probe carries the driver's clock (for the NTP exchange the ack
+/// completes) and the telemetry gate: workers flush trace chunks and stats
+/// only when the driver's tracing flag is on, so a tracing-disabled run
+/// sees zero telemetry bytes on the wire.
 fn heartbeat_pass(inner: &Arc<Inner>) {
     let timeout_us = inner.cfg.heartbeat_timeout.as_micros() as u64;
     let now = inner.shared.wall_us();
+    let telemetry = inner.shared.trace.is_enabled();
     let mut dead = Vec::new();
     for link in &inner.workers {
         {
@@ -678,7 +740,7 @@ fn heartbeat_pass(inner: &Arc<Inner>) {
                 continue;
             }
             let seq = link.hb_seq.fetch_add(1, Ordering::Relaxed);
-            st.send.push(&Frame::Heartbeat { seq });
+            st.send.push(&Frame::Heartbeat { seq, t_send_us: inner.shared.wall_us(), telemetry });
             if pump_link(&inner.shared, &mut st) {
                 sync_interest(inner, link.node, &mut st);
             } else {
@@ -696,12 +758,19 @@ fn heartbeat_pass(inner: &Arc<Inner>) {
     }
 }
 
+/// Worker-clock lifecycle stamps riding a `Done` frame: submit receipt,
+/// body start, body end. `None` for failures.
+type ExecStamps = Option<(u64, u64, u64)>;
+
 /// One readiness event for a link: drain writes, then drain reads frame by
 /// frame (zero-copy decode), then act on what arrived.
 fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writable: bool) {
-    let mut completions: Vec<(u64, Result<Vec<Value>, TaskError>)> = Vec::new();
+    let mut completions: Vec<(u64, Result<Vec<Value>, TaskError>, ExecStamps)> = Vec::new();
     let mut fetches: Vec<u64> = Vec::new();
     let mut snap_updates: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut acks: Vec<(u64, u64, u64)> = Vec::new();
+    let mut chunks: Vec<Vec<u8>> = Vec::new();
+    let mut stats_seen = false;
     let mut alive = true;
     let mut saw_bytes = false;
     {
@@ -730,7 +799,7 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
                 loop {
                     match recv.next_frame() {
                         Ok(Some(frame)) => match frame {
-                            FrameRef::Done { exec_id, outputs } => {
+                            FrameRef::Done { exec_id, recv_us, start_us, end_us, outputs } => {
                                 let result = outputs
                                     .iter()
                                     .map(|b| {
@@ -739,16 +808,24 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
                                         })
                                     })
                                     .collect();
-                                completions.push((exec_id, result));
+                                completions.push((
+                                    exec_id,
+                                    result,
+                                    Some((recv_us, start_us, end_us)),
+                                ));
                             }
                             FrameRef::Failed { exec_id, message } => {
-                                completions.push((exec_id, Err(TaskError::new(message))));
+                                completions.push((exec_id, Err(TaskError::new(message)), None));
                             }
-                            FrameRef::HeartbeatAck { .. } => {}
+                            FrameRef::HeartbeatAck { t_send_us, recv_us, reply_us, .. } => {
+                                acks.push((t_send_us, recv_us, reply_us));
+                            }
                             FrameRef::Fetch { key } => fetches.push(key),
                             FrameRef::Data { key, blob } if key & SNAP_BIT != 0 => {
                                 snap_updates.push((key, blob.bytes.to_vec()));
                             }
+                            FrameRef::TraceChunk { bytes } => chunks.push(bytes.to_vec()),
+                            FrameRef::StatsSnapshot { .. } => stats_seen = true,
                             // Workers don't originate these driver-bound
                             // frames.
                             _ => {}
@@ -765,6 +842,17 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
         if saw_bytes {
             link.last_seen_us.store(inner.shared.wall_us(), Ordering::Relaxed);
         }
+        if !acks.is_empty() {
+            // Complete the NTP exchange: t3 is "now" on the driver clock.
+            // One wall read serves the batch — acks decoded together arrived
+            // together within the fill's granularity.
+            let t3 = inner.shared.wall_us();
+            for (t0, t1, t2) in acks.drain(..) {
+                st.clock.observe(t0, t1, t2, t3);
+            }
+            link.clock_offset_us.store(st.clock.offset_us(), Ordering::Relaxed);
+            link.clock_rtt_us.store(st.clock.rtt_us(), Ordering::Relaxed);
+        }
         if alive {
             st.outstanding = st.outstanding.saturating_sub(completions.len() as u32);
             alive = pump_link(&inner.shared, &mut st);
@@ -773,6 +861,7 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
             }
         }
     }
+    ingest_telemetry(inner, link, chunks, stats_seen);
     // Snapshot saves/tombstones from the worker: keep the latest per key so
     // the retry path can ship it to whichever worker inherits the task.
     if !snap_updates.is_empty() {
@@ -793,22 +882,61 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
     }
 }
 
+/// Fold one readiness event's telemetry frames into driver state: decode
+/// shipped trace chunks onto the link's record store, account their payload
+/// bytes, and refresh the per-worker clock/freshness gauges.
+fn ingest_telemetry(
+    inner: &Arc<Inner>,
+    link: &Arc<WorkerLink>,
+    chunks: Vec<Vec<u8>>,
+    stats_seen: bool,
+) {
+    let label = || format!("{}@{}", link.name, link.addr);
+    if !chunks.is_empty() {
+        let mut records = link.trace_records.lock();
+        for chunk in &chunks {
+            inner.shared.metrics.telemetry_bytes.add(chunk.len() as u64);
+            // A malformed chunk loses those spans but not the run: the
+            // driver-side estimates still cover the trace.
+            if let Ok(mut rs) = paratrace::wire::decode_records(chunk) {
+                records.append(&mut rs);
+            }
+        }
+    }
+    if stats_seen {
+        inner.shared.metrics.set_node_gauge(
+            "rnet_last_stats_us",
+            &label(),
+            inner.shared.wall_us() as f64,
+        );
+    }
+    let rtt = link.clock_rtt_us.load(Ordering::Relaxed);
+    if rtt > 0 {
+        inner.shared.metrics.set_node_gauge("rnet_rtt_us", &label(), rtt as f64);
+        inner.shared.metrics.set_node_gauge(
+            "rnet_clock_offset_us",
+            &label(),
+            link.clock_offset_us.load(Ordering::Relaxed) as f64,
+        );
+    }
+}
+
 /// Completions and fetches collected from one readiness event: one core
 /// lock pass for bookkeeping + follow-on placement, replies pushed onto
 /// the link's backlog, traces emitted off-lock.
 fn apply_frames(
     inner: &Arc<Inner>,
     link: &Arc<WorkerLink>,
-    completions: Vec<(u64, Result<Vec<Value>, TaskError>)>,
+    completions: Vec<(u64, Result<Vec<Value>, TaskError>, ExecStamps)>,
     fetches: Vec<u64>,
 ) {
     let now = inner.shared.wall_us();
-    type Info = (TaskId, Arc<crate::scheduler::Placement>, u64, Arc<str>);
+    type Info = (TaskId, Arc<crate::scheduler::Placement>, u64, Arc<str>, ExecStamps);
     let mut infos: Vec<Info> = Vec::new();
     let mut replies: Vec<Frame> = Vec::new();
     let follow = {
         let mut core = inner.shared.core.lock();
-        for (exec_id, result) in completions {
+        for (exec_id, result, stamps) in completions {
             // Late frames for already-failed-over executions are ignored
             // (`running` no longer knows the exec id).
             if let Some(run) = core.running.get(&exec_id) {
@@ -817,7 +945,7 @@ fn apply_frames(
                     .get(&run.task)
                     .map(|i| Arc::clone(&i.def.name))
                     .unwrap_or_else(|| Arc::from("?"));
-                infos.push((run.task, Arc::clone(&run.placement), run.start_us, name));
+                infos.push((run.task, Arc::clone(&run.placement), run.start_us, name, stamps));
             }
             complete_attempt(&inner.shared, &mut core, exec_id, result, now, false);
         }
@@ -850,9 +978,27 @@ fn apply_frames(
             sync_interest(inner, link.node, &mut st);
         }
     }
-    for (task, placement, start_us, name) in infos {
+    if !infos.is_empty() {
+        // Driver-observed dispatch→completion windows: the causality clamp
+        // applied to this worker's rebased spans at merge time.
+        let mut bounds = inner.exec_bounds.lock();
+        for (task, _, start_us, _, _) in &infos {
+            bounds.insert(task.0, (*start_us, now));
+        }
+    }
+    let offset = link.clock_offset_us.load(Ordering::Relaxed);
+    for (task, placement, start_us, name, stamps) in infos {
         inner.shared.metrics.rpc_latency.record(now.saturating_sub(start_us));
         inner.shared.metrics.record_node_task(&format!("{}@{}", link.name, link.addr));
+        if let Some((w_recv, w_start, w_end)) = stamps {
+            // Rebase the worker stamps onto the driver timeline; exec is a
+            // worker-clock difference, so the offset cancels there.
+            let rebase = |t: u64| (t as i64 - offset).max(0) as u64;
+            let m = &inner.shared.metrics;
+            m.phase_wire.record(rebase(w_recv).saturating_sub(start_us));
+            m.phase_exec.record(w_end.saturating_sub(w_start));
+            m.phase_ship.record(now.saturating_sub(rebase(w_end)));
+        }
         let task_ref = TaskRef::new(task.0, name);
         for (node, cores) in placement.node_cores() {
             for &c in cores {
@@ -1222,6 +1368,9 @@ struct Job {
     cores: Vec<u32>,
     gpus: Vec<u32>,
     arg_keys: Vec<u64>,
+    /// Worker clock when the `Submit` frame was decoded — the first
+    /// lifecycle stamp echoed back in `Done`.
+    recv_us: u64,
 }
 
 /// State shared between one connection's event-loop side and its executor
@@ -1251,9 +1400,24 @@ struct ConnShared {
     /// condvar: parking_lot condvars are bound to one mutex at a time).
     snaps: Mutex<HashMap<u64, Option<Vec<u8>>>>,
     snaps_cv: Condvar,
+    /// Worker-side span collector, always recording (executions are rare
+    /// and records are tiny). Each telemetry-flagged heartbeat drains it to
+    /// a `TraceChunk`; unflagged heartbeats drain-and-drop, so memory stays
+    /// bounded and a tracing-disabled driver costs zero telemetry bytes.
+    trace: TraceCollector,
+    /// The clock every worker-side stamp shares: heartbeat-ack times, the
+    /// `Done` lifecycle stamps, and trace record times — one epoch, so the
+    /// driver's single offset estimate rebases all of them.
+    epoch: std::time::Instant,
 }
 
 impl ConnShared {
+    /// Microseconds since this connection's epoch — the worker clock on the
+    /// wire.
+    fn wall_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
     /// Queue an outbound frame and flush as much of the backlog as the
     /// socket accepts right now. Only backpressure (or a dead socket,
     /// which the event loop discovers on its read side) defers to the
@@ -1368,6 +1532,8 @@ fn accept_conn(
         stop: Arc::clone(stop),
         snaps: Mutex::new(HashMap::new()),
         snaps_cv: Condvar::new(),
+        trace: TraceCollector::enabled(),
+        epoch: std::time::Instant::now(),
     });
     if poller.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
         return None;
@@ -1468,12 +1634,38 @@ fn handle_worker_frame(
                 conn.push_out(&Frame::Failed { exec_id, message: msg });
                 return true;
             }
-            let job = Job { exec_id, task_id, attempt, node, name, variant, cores, gpus, arg_keys };
+            let job = Job {
+                exec_id,
+                task_id,
+                attempt,
+                node,
+                name,
+                variant,
+                cores,
+                gpus,
+                arg_keys,
+                recv_us: conn.wall_us(),
+            };
             conn.jobs.lock().push_back(job);
             conn.jobs_cv.notify_one();
         }
-        FrameRef::Heartbeat { seq } => {
-            conn.push_out(&Frame::HeartbeatAck { seq });
+        FrameRef::Heartbeat { seq, t_send_us, telemetry } => {
+            // Ack first — the clock exchange must not queue behind
+            // telemetry payloads — then flush or drop buffered spans.
+            let recv_us = conn.wall_us();
+            conn.push_out(&Frame::HeartbeatAck {
+                seq,
+                t_send_us,
+                recv_us,
+                reply_us: conn.wall_us(),
+            });
+            if telemetry {
+                flush_telemetry_frames(conn);
+            } else {
+                // The driver is not tracing: drop buffered spans so the
+                // collector stays bounded and the wire stays silent.
+                drop(conn.trace.drain());
+            }
         }
         FrameRef::Data { key, blob } if key & SNAP_BIT != 0 => {
             // Snapshot fetch reply: raw bytes, empty = confirmed miss.
@@ -1493,6 +1685,28 @@ fn handle_worker_frame(
         _ => {}
     }
     true
+}
+
+/// Ship buffered telemetry to the driver: one `TraceChunk` with every span
+/// recorded since the last flush, plus a `StatsSnapshot` of the worker's
+/// global metrics registry. Backpressure-aware: while the outbound buffer
+/// still holds a backlog (a large result mid-flight), telemetry stays in
+/// the collector for the next heartbeat — it must never wedge behind (or
+/// in front of) task results.
+fn flush_telemetry_frames(conn: &Arc<ConnShared>) {
+    if !conn.out.lock().is_empty() {
+        return;
+    }
+    let records = conn.trace.drain();
+    if !records.is_empty() {
+        conn.push_out(&Frame::TraceChunk { bytes: paratrace::wire::encode_records(&records) });
+    }
+    let snap = runmetrics::global().snapshot();
+    conn.push_out(&Frame::StatsSnapshot {
+        wall_us: conn.wall_us(),
+        counters: snap.counters,
+        gauges: snap.gauges,
+    });
 }
 
 /// Drain a connection's outbound backlog and reconcile write interest.
@@ -1612,8 +1826,18 @@ fn run_job(conn: &ConnShared, registry: &TaskRegistry, job: &Job) -> Frame {
         peer_nodes: Vec::new(),
         simulated: false,
     };
+    let start_us = conn.wall_us();
     let result = catch_unwind(AssertUnwindSafe(|| body(&ctx, &inputs)))
         .unwrap_or_else(|p| Err(TaskError::new(panic_message(p))));
+    let end_us = conn.wall_us().max(start_us + 1);
+    // The ground-truth execution span, on the worker's clock and worker-
+    // local node 0 (the merge rewrites it to the driver-side node id). The
+    // worker's global registry feeds the StatsSnapshot stream.
+    let core = CoreId::new(0, job.cores.first().copied().unwrap_or(0));
+    conn.trace.task_run(core, start_us, end_us, TaskRef::new(job.task_id, Arc::clone(&job.name)));
+    let global = runmetrics::global();
+    global.counter("worker_tasks_executed_total").incr();
+    global.histogram("worker_task_exec_us").record(end_us - start_us);
     match result {
         Ok(values) => {
             let mut outputs = Vec::with_capacity(values.len());
@@ -1628,7 +1852,7 @@ fn run_job(conn: &ConnShared, registry: &TaskRegistry, job: &Job) -> Frame {
                     }
                 }
             }
-            Frame::Done { exec_id: job.exec_id, outputs }
+            Frame::Done { exec_id: job.exec_id, recv_us: job.recv_us, start_us, end_us, outputs }
         }
         Err(e) => fail(e.message),
     }

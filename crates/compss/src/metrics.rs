@@ -35,6 +35,19 @@
 //! | `rnet_reconnects_total` | counter | successful worker reconnections |
 //! | `rnet_rpc_latency_us` | histogram | submit → done/failed round trip per remote task |
 //! | `rcompss_node_tasks_completed_total{node="…"}` | counter | completions per remote worker (addr-labelled) |
+//! | `rnet_telemetry_bytes_total` | counter | trace/stats payload bytes received from workers |
+//! | `rcompss_task_phase_us{phase="…"}` | histogram | per-phase task lifecycle latency (queue/wire/exec/ship) |
+//! | `rnet_rtt_us{node="…"}` | gauge | best heartbeat round-trip time per worker |
+//! | `rnet_clock_offset_us{node="…"}` | gauge | estimated worker−driver clock offset |
+//! | `rnet_last_stats_us{node="…"}` | gauge | driver wall-µs of the last stats snapshot per worker |
+//!
+//! The `task_phase_us` phases decompose a remote task's life on the driver
+//! timeline: **queue** (submission → dispatch), **wire** (dispatch →
+//! worker decode of the submit), **exec** (the body itself, measured on the
+//! worker's clock so the offset cancels), **ship** (body return → driver
+//! applying the result). Wire and ship cross clock domains and are rebased
+//! with the heartbeat offset estimate, so they carry up to RTT/2 of noise —
+//! fine for the "where does runtime time go" question they answer.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -85,12 +98,25 @@ pub(crate) struct RtMetrics {
     pub transfer_time: Histogram,
     /// Submit → done/failed round trip per remote task (distributed).
     pub rpc_latency: Histogram,
+    /// Trace/stats payload bytes received from workers (distributed).
+    pub telemetry_bytes: Counter,
+    /// Submission → dispatch wait, as a lifecycle phase.
+    pub phase_queue: Histogram,
+    /// Dispatch → worker submit-decode (driver timeline, offset-rebased).
+    pub phase_wire: Histogram,
+    /// Task body duration on the worker clock.
+    pub phase_exec: Histogram,
+    /// Body return → driver result application (offset-rebased).
+    pub phase_ship: Histogram,
     /// Per-task-function latency handles, created on first completion of
     /// each function (cold path: runs under the runtime's core lock anyway).
     task_latency: Mutex<HashMap<String, Histogram>>,
     /// Per-worker completion counters, labelled by worker address
     /// (distributed backend; cold path, one insert per worker).
     node_tasks: Mutex<HashMap<String, Counter>>,
+    /// Per-worker gauges (RTT, clock offset, last-stats age), keyed by the
+    /// full labelled series name (cold path, one insert per series).
+    node_gauges: Mutex<HashMap<String, Gauge>>,
 }
 
 impl RtMetrics {
@@ -118,8 +144,14 @@ impl RtMetrics {
             dep_wait: registry.histogram("rcompss_dep_wait_us"),
             transfer_time: registry.histogram("rcompss_transfer_time_us"),
             rpc_latency: registry.histogram("rnet_rpc_latency_us"),
+            telemetry_bytes: registry.counter("rnet_telemetry_bytes_total"),
+            phase_queue: registry.histogram(&labeled("rcompss_task_phase_us", "phase", "queue")),
+            phase_wire: registry.histogram(&labeled("rcompss_task_phase_us", "phase", "wire")),
+            phase_exec: registry.histogram(&labeled("rcompss_task_phase_us", "phase", "exec")),
+            phase_ship: registry.histogram(&labeled("rcompss_task_phase_us", "phase", "ship")),
             task_latency: Mutex::new(HashMap::new()),
             node_tasks: Mutex::new(HashMap::new()),
+            node_gauges: Mutex::new(HashMap::new()),
             registry,
         }
     }
@@ -164,6 +196,18 @@ impl RtMetrics {
         });
         c.incr();
     }
+
+    /// Set a per-worker gauge, e.g. `set_node_gauge("rnet_rtt_us", label,
+    /// rtt as f64)` — the clock-sync and telemetry-freshness lanes.
+    pub fn set_node_gauge(&self, base: &str, node_label: &str, value: f64) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let series = labeled(base, "node", node_label);
+        let mut cache = self.node_gauges.lock();
+        let g = cache.entry(series.clone()).or_insert_with(|| self.registry.gauge(&series));
+        g.set(value);
+    }
 }
 
 impl std::fmt::Debug for RtMetrics {
@@ -195,6 +239,7 @@ mod tests {
             "rnet_bytes_sent_total",
             "rnet_bytes_received_total",
             "rnet_reconnects_total",
+            "rnet_telemetry_bytes_total",
         ] {
             assert_eq!(snap.counter(series), Some(0), "{series} missing");
         }
@@ -202,6 +247,21 @@ mod tests {
         assert!(snap.histogram("rcompss_sched_decision_us").is_some());
         assert!(snap.histogram("rcompss_dep_wait_us").is_some());
         assert!(snap.histogram("rnet_rpc_latency_us").is_some());
+        for phase in ["queue", "wire", "exec", "ship"] {
+            let series = labeled("rcompss_task_phase_us", "phase", phase);
+            assert!(snap.histogram(&series).is_some(), "{series} missing");
+        }
+    }
+
+    #[test]
+    fn node_gauges_are_labelled_and_latest_wins() {
+        let m = RtMetrics::new(true);
+        m.set_node_gauge("rnet_rtt_us", "w0@h:1", 450.0);
+        m.set_node_gauge("rnet_rtt_us", "w0@h:1", 120.0);
+        m.set_node_gauge("rnet_clock_offset_us", "w0@h:1", -3000.0);
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.gauge(&labeled("rnet_rtt_us", "node", "w0@h:1")), Some(120.0));
+        assert_eq!(snap.gauge(&labeled("rnet_clock_offset_us", "node", "w0@h:1")), Some(-3000.0));
     }
 
     #[test]

@@ -665,9 +665,25 @@ impl Runtime {
 
     /// Snapshot the trace, including synthetic `RuntimeReserved` intervals
     /// for worker-reserved cores so Gantt renders match the paper's figures.
+    ///
+    /// On the distributed backend this is the *merged* trace: worker-shipped
+    /// execution spans are rebased onto the driver timeline with each
+    /// worker's heartbeat clock-offset estimate
+    /// ([`paratrace::merge::merge`]), replacing the driver's
+    /// completion-time estimates wherever ground truth arrived.
     pub fn trace(&self) -> Vec<paratrace::Record> {
+        let driver = {
+            let _core = self.shared.core.lock();
+            self.shared.trace.snapshot()
+        };
+        let mut records = match &self.backend {
+            BackendHandle::Distributed(mgr) => {
+                let (workers, bounds) = mgr.telemetry();
+                paratrace::merge::merge(driver, workers, &bounds)
+            }
+            _ => driver,
+        };
         let core = self.shared.core.lock();
-        let mut records = self.shared.trace.snapshot();
         let horizon = records.iter().map(|r| r.end_time()).max().unwrap_or(0);
         if horizon > 0 {
             for &(node, c) in &core.sched.reserved {
@@ -681,6 +697,15 @@ impl Runtime {
         }
         records.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
         records
+    }
+
+    /// Per-worker clock-sync estimates `(offset_us, rtt_us)` indexed by
+    /// node id; empty on non-distributed backends.
+    pub fn clock_stats(&self) -> Vec<(i64, u64)> {
+        match &self.backend {
+            BackendHandle::Distributed(mgr) => mgr.clock_stats(),
+            _ => Vec::new(),
+        }
     }
 
     /// DOT rendering of the dependency graph (paper Figure 3).

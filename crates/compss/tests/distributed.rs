@@ -294,6 +294,123 @@ fn all_workers_dead_fails_tasks_instead_of_hanging() {
 }
 
 #[test]
+fn tracing_disabled_ships_zero_telemetry_bytes() {
+    let workers = spawn_workers(2, 2);
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(30),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1).with_tracing(false),
+        &addrs(&workers),
+        dcfg,
+    )
+    .expect("connect");
+    assert_eq!(run_fan_out_fan_in(&rt, 16), (1..=16i64).map(|i| i * i).sum::<i64>());
+
+    // Give several heartbeats a chance to (incorrectly) solicit telemetry.
+    std::thread::sleep(Duration::from_millis(120));
+
+    // With tracing off the heartbeat advertises `telemetry: false`, workers
+    // drop their buffered spans locally, and not a single TraceChunk or
+    // StatsSnapshot byte crosses the wire.
+    let snap = rt.metrics().snapshot();
+    assert_eq!(
+        snap.counter("rnet_telemetry_bytes_total").unwrap_or(0),
+        0,
+        "telemetry frames must not ship when tracing is disabled"
+    );
+    assert!(rt.trace().is_empty(), "no trace records when tracing is disabled");
+    for (name, _) in &snap.gauges {
+        assert!(
+            !name.starts_with("rnet_last_stats_us"),
+            "no worker stats snapshot should have arrived: {name}"
+        );
+    }
+}
+
+#[test]
+fn merged_trace_has_worker_spans_for_every_completed_task() {
+    const N: i64 = 30;
+    let workers = spawn_workers(3, 2);
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(40),
+        heartbeat_timeout: Duration::from_millis(300),
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs(&workers),
+        dcfg,
+    )
+    .expect("connect");
+
+    let slow = task_set().get("slow_square").unwrap().clone();
+    let handles: Vec<_> = (1..=N)
+        .map(|i| {
+            let h = rt.literal(i);
+            rt.submit(&slow, vec![ArgSpec::In(h)]).unwrap().returns[0]
+        })
+        .collect();
+
+    // Kill one worker mid-run: its in-flight tasks are resubmitted, and the
+    // merged trace must still account for every *completed* execution.
+    std::thread::sleep(Duration::from_millis(60));
+    workers[0].halt();
+    for (i, h) in handles.iter().enumerate() {
+        let x = (i + 1) as i64;
+        assert_eq!(*rt.wait_on(h).unwrap().downcast_ref::<i64>().unwrap(), x * x);
+    }
+    assert_eq!(rt.stats().completed, N as u64);
+
+    // A couple more heartbeats so survivors ship their last trace chunks.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let records = rt.trace();
+    // Worker span shipping actually happened (ground truth, not estimates).
+    let snap = rt.metrics().snapshot();
+    assert!(
+        snap.counter("rnet_telemetry_bytes_total").unwrap_or(0) > 0,
+        "workers shipped trace chunks over the wire"
+    );
+
+    // Every completed slow_square has an execution span in the merged trace.
+    let mut seen = std::collections::HashSet::new();
+    for r in &records {
+        if let Some(t) = r.running_task() {
+            if &*t.name == "slow_square" {
+                assert!(r.end_time() > r.time(), "non-empty exec span: {r:?}");
+                seen.insert(t.id);
+            }
+        }
+    }
+    assert_eq!(seen.len() as i64, N, "one exec span per completed task");
+
+    // Rebasing kept the merged timeline monotonic — records sorted by start
+    // time with no span extending past the run horizon.
+    let horizon = records.iter().map(|r| r.end_time()).max().unwrap_or(0);
+    let mut prev = 0;
+    for r in &records {
+        assert!(r.time() >= prev, "merged trace sorted on driver timeline");
+        assert!(r.end_time() <= horizon);
+        prev = r.time();
+    }
+
+    // The lifecycle histograms decompose queue → wire → exec → ship.
+    for phase in ["queue", "wire", "exec", "ship"] {
+        let h = snap
+            .histogram(&runmetrics::labeled("rcompss_task_phase_us", "phase", phase))
+            .unwrap_or_else(|| panic!("task_phase_us{{phase={phase}}} registered"));
+        assert!(h.count >= N as u64, "phase {phase} recorded per completion: {}", h.count);
+    }
+    // Exec time is worker ground truth: slow_square sleeps 15 ms, so the
+    // median must sit at or above that floor.
+    let exec = snap.histogram(&runmetrics::labeled("rcompss_task_phase_us", "phase", "exec"));
+    assert!(exec.unwrap().p50 >= 10_000, "exec phase reflects the 15 ms body");
+}
+
+#[test]
 fn reconnect_resumes_after_connection_drop() {
     let workers = spawn_workers(2, 2);
     let dcfg = DistributedConfig {

@@ -6,9 +6,69 @@
 //! task functions share one `# TYPE` family; the JSON exporter keeps the
 //! full name as the object key.
 
-use crate::histogram::HistogramSnapshot;
+use std::collections::HashMap;
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
 use crate::json::{self, JsonValue};
 use crate::registry::MetricsSnapshot;
+
+/// Escape a label value for the Prometheus text format: backslash, double
+/// quote and newline get backslash escapes, everything else passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a Prometheus label block (the text between `{` and `}`) into
+/// `(key, value)` pairs, undoing [`escape_label_value`]. The inverse used by
+/// [`validate_exposition`] and the exposition proptests.
+pub fn parse_labels(labels: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut it = labels.chars();
+    loop {
+        let mut key = String::new();
+        for c in it.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err(format!("empty label key in {labels:?}"));
+        }
+        if it.next() != Some('"') {
+            return Err(format!("missing opening quote in {labels:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match it.next() {
+                Some('\\') => match it.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in {labels:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {labels:?}")),
+            }
+        }
+        pairs.push((key, value));
+        match it.next() {
+            None => return Ok(pairs),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected {c:?} after label value in {labels:?}")),
+        }
+    }
+}
 
 /// Split `base{labels}` into `(base, Some(labels))`, or `(name, None)`.
 fn split_name(name: &str) -> (&str, Option<&str>) {
@@ -47,9 +107,11 @@ fn fmt_f64(v: f64) -> String {
 
 /// Render a snapshot in the Prometheus text exposition format.
 ///
-/// Counters and gauges become single samples; histograms become
-/// summary-style families with `quantile` labels plus `_sum`, `_count`
-/// and a `_max` gauge.
+/// Counters and gauges become single samples; histograms become proper
+/// `histogram` families — cumulative `_bucket{le="..."}` samples (one per
+/// occupied bucket, closed by `le="+Inf"`), `_sum` and `_count` — plus
+/// pre-computed `quantile` samples and a `_max` gauge that a plain
+/// Prometheus scraper would have to derive.
 pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let mut last_type_line = String::new();
@@ -73,7 +135,13 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     }
     for (name, h) in &snap.histograms {
         let (base, labels) = split_name(name);
-        type_line(&mut out, base, "summary");
+        type_line(&mut out, base, "histogram");
+        let bucket = format!("{base}_bucket");
+        for &(index, cum) in &h.buckets {
+            let le = bucket_upper_bound(index as usize).to_string();
+            out.push_str(&format!("{} {}\n", series(&bucket, labels, &[("le", &le)]), cum));
+        }
+        out.push_str(&format!("{} {}\n", series(&bucket, labels, &[("le", "+Inf")]), h.count));
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
             out.push_str(&format!("{} {}\n", series(base, labels, &[("quantile", q)]), v));
         }
@@ -102,6 +170,81 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Canonical grouping key for a label set (order-insensitive, unambiguous).
+fn labels_key(pairs: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}\u{0}{v}")).collect();
+    parts.sort();
+    parts.join("\u{1}")
+}
+
+/// Structurally validate a Prometheus text exposition, enforcing the
+/// histogram contract this crate's exporter promises:
+///
+/// * every sample line parses as `series value` with parseable labels;
+/// * within each `_bucket` family (grouped by base name and non-`le`
+///   labels), `le` bounds are strictly increasing and cumulative counts are
+///   monotone non-decreasing;
+/// * every bucket family is closed by an `le="+Inf"` sample whose value
+///   equals the family's `_count` sample.
+///
+/// Returns the number of samples checked. Used by the exposition proptests,
+/// the `prom-check` helper binary, and the CI scrape smoke test.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let samples = parse_prometheus(text)?;
+    // (base, labels-minus-le) -> [(le, cumulative count)]
+    let mut buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    let mut plain: HashMap<(String, String), f64> = HashMap::new();
+    for (name, value) in &samples {
+        let (series_name, raw_labels) = split_name(name);
+        let pairs = match raw_labels {
+            Some(l) => parse_labels(l)?,
+            None => Vec::new(),
+        };
+        if let Some(base) = series_name.strip_suffix("_bucket") {
+            let le_str = &pairs
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("bucket series {name:?} lacks an le label"))?
+                .1;
+            let le = if le_str == "+Inf" {
+                f64::INFINITY
+            } else {
+                le_str.parse().map_err(|_| format!("bad le bound {le_str:?} in {name:?}"))?
+            };
+            let others: Vec<(String, String)> =
+                pairs.iter().filter(|(k, _)| k != "le").cloned().collect();
+            buckets.entry((base.to_string(), labels_key(&others))).or_default().push((le, *value));
+        } else {
+            plain.insert((series_name.to_string(), labels_key(&pairs)), *value);
+        }
+    }
+    for ((base, key), mut les) in buckets {
+        les.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are never NaN"));
+        for w in les.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!("histogram {base:?} repeats le bound {}", w[0].0));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "histogram {base:?} bucket counts decrease: {} at le={} after {} at le={}",
+                    w[1].1, w[1].0, w[0].1, w[0].0
+                ));
+            }
+        }
+        let &(last_le, inf_count) = les.last().expect("grouped families are non-empty");
+        if !last_le.is_infinite() {
+            return Err(format!("histogram {base:?} lacks an le=\"+Inf\" bucket"));
+        }
+        let count = plain
+            .get(&(format!("{base}_count"), key))
+            .ok_or_else(|| format!("histogram {base:?} lacks a _count sample"))?;
+        if inf_count != *count {
+            return Err(format!("histogram {base:?}: +Inf bucket {inf_count} != _count {count}"));
+        }
+    }
+    Ok(samples.len())
+}
+
 /// Render a snapshot as one JSON-lines record (no trailing newline):
 /// `{"t_us":..., "counters":{...}, "gauges":{...}, "histograms":{...}}`.
 /// `t_us` is the caller's timestamp (µs since its chosen epoch).
@@ -126,15 +269,17 @@ pub fn to_jsonl_line(t_us: u64, snap: &MetricsSnapshot) -> String {
         if i > 0 {
             out.push(',');
         }
+        let buckets: Vec<String> = h.buckets.iter().map(|(i, c)| format!("[{i},{c}]")).collect();
         out.push_str(&format!(
-            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
             json::escape(name),
             h.count,
             h.sum,
             h.max,
             h.p50,
             h.p90,
-            h.p99
+            h.p99,
+            buckets.join(",")
         ));
     }
     out.push_str("}}");
@@ -166,6 +311,22 @@ pub fn from_jsonl_line(line: &str) -> Result<(u64, MetricsSnapshot), String> {
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| format!("bad histogram field {name:?}.{key}"))
         };
+        let mut buckets = Vec::new();
+        for pair in value
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("bad histogram buckets {name:?}"))?
+        {
+            let pair = pair.as_array().filter(|p| p.len() == 2);
+            let (i, c) = match pair {
+                Some([i, c]) => (i.as_u64(), c.as_u64()),
+                _ => (None, None),
+            };
+            match (i, c) {
+                (Some(i), Some(c)) => buckets.push((i as u32, c)),
+                _ => return Err(format!("bad bucket pair in {name:?}")),
+            }
+        }
         snap.histograms.push((
             name.clone(),
             HistogramSnapshot {
@@ -175,6 +336,7 @@ pub fn from_jsonl_line(line: &str) -> Result<(u64, MetricsSnapshot), String> {
                 p50: field("p50")?,
                 p90: field("p90")?,
                 p99: field("p99")?,
+                buckets,
             },
         ));
     }
@@ -209,15 +371,18 @@ mod tests {
             "tasks_retried_total 0",
             "# TYPE ready_queue_depth gauge",
             "best_accuracy 0.9625",
-            "# TYPE task_latency_us summary",
+            "# TYPE task_latency_us histogram",
             "task_latency_us{fn=\"graph.experiment\",quantile=\"0.5\"}",
+            "task_latency_us_bucket{fn=\"graph.experiment\",le=\"+Inf\"} 4",
             "task_latency_us_sum{fn=\"graph.experiment\"} 1500",
             "task_latency_us_count{fn=\"graph.experiment\"} 4",
             "task_latency_us_max{fn=\"graph.experiment\"} 800",
+            "sched_decision_us_bucket{le=\"12\"} 1",
             "sched_decision_us{quantile=\"0.99\"} 12",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        validate_exposition(&text).unwrap();
     }
 
     #[test]
@@ -250,10 +415,46 @@ mod tests {
         reg.histogram(&labeled("lat_us", "fn", "b")).record(2);
         let text = to_prometheus(&reg.snapshot());
         assert_eq!(
-            text.matches("# TYPE lat_us summary").count(),
+            text.matches("# TYPE lat_us histogram").count(),
             1,
             "one TYPE per family:\n{text}"
         );
+    }
+
+    #[test]
+    fn label_values_escape_and_parse_back() {
+        let ugly = "a\\b\"c\nd,e=\"f\"";
+        let name = labeled("calls_total", "fn", ugly);
+        let reg = MetricsRegistry::new(true);
+        reg.counter(&name).add(3);
+        let text = to_prometheus(&reg.snapshot());
+        validate_exposition(&text).unwrap();
+        let samples = parse_prometheus(&text).unwrap();
+        let (series, value) = samples.iter().find(|(n, _)| n.contains("calls_total")).unwrap();
+        let (base, labels) = super::split_name(series);
+        assert_eq!(base, "calls_total");
+        let pairs = parse_labels(labels.unwrap()).unwrap();
+        assert_eq!(pairs, vec![("fn".to_string(), ugly.to_string())]);
+        assert_eq!(*value as u64, 3);
+    }
+
+    #[test]
+    fn validate_exposition_rejects_broken_histograms() {
+        let ok = "h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 9\n";
+        assert_eq!(validate_exposition(ok).unwrap(), 4);
+        for (bad, why) in [
+            ("h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\n", "missing _count"),
+            ("h_bucket{le=\"1\"} 2\nh_count 2\n", "missing +Inf"),
+            ("h_bucket{le=\"1\"} 9\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n", "non-monotone"),
+            ("h_bucket{le=\"+Inf\"} 4\nh_count 5\n", "+Inf != count"),
+            (
+                "h_bucket{le=\"1\"} 2\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+                "duplicate le",
+            ),
+            ("h_bucket 2\nh_count 2\n", "bucket without le"),
+        ] {
+            assert!(validate_exposition(bad).is_err(), "should reject: {why}");
+        }
     }
 
     #[test]

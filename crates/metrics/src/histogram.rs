@@ -128,6 +128,17 @@ impl Histogram {
             }
             bucket_upper_bound(NUM_BUCKETS - 1)
         };
+        // Sparse cumulative form of the same sweep: one entry per occupied
+        // bucket, so a typical latency histogram exports a dozen `le` lines
+        // instead of 976.
+        let mut sparse = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                sparse.push((i as u32, cum));
+            }
+        }
         HistogramSnapshot {
             count,
             sum: c.sum.load(Ordering::Relaxed),
@@ -135,12 +146,13 @@ impl Histogram {
             p50: quantile(0.50),
             p90: quantile(0.90),
             p99: quantile(0.99),
+            buckets: sparse,
         }
     }
 }
 
 /// Point-in-time digest of a histogram: the paper-relevant latency numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
     /// Observations recorded.
     pub count: u64,
@@ -154,6 +166,11 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// Occupied buckets as `(bucket_index, cumulative_count)` pairs, sorted
+    /// by index. Cumulative counts are monotone and the last entry equals
+    /// [`count`](Self::count); [`bucket_upper_bound`] turns an index into the
+    /// Prometheus `le` bound.
+    pub buckets: Vec<(u32, u64)>,
 }
 
 impl HistogramSnapshot {

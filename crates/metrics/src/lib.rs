@@ -36,14 +36,17 @@
 //! println!("{}", runmetrics::export::to_prometheus(&snap));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod histogram;
 pub mod json;
 pub mod registry;
 
-pub use export::{from_jsonl_line, parse_prometheus, to_jsonl_line, to_prometheus};
+pub use export::{
+    escape_label_value, from_jsonl_line, parse_labels, parse_prometheus, to_jsonl_line,
+    to_prometheus, validate_exposition,
+};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 
@@ -60,10 +63,12 @@ pub fn global() -> &'static Arc<MetricsRegistry> {
 
 /// Compose a metric name with one Prometheus-style label, e.g.
 /// `labeled("task_latency_us", "fn", "graph.experiment")` →
-/// `task_latency_us{fn="graph.experiment"}`. The exporters understand this
-/// shape and keep the label through Prometheus and JSON output.
+/// `task_latency_us{fn="graph.experiment"}`. The label value is escaped per
+/// the Prometheus text format ([`escape_label_value`]); the exporters keep
+/// the label through Prometheus and JSON output and [`parse_labels`] undoes
+/// the escaping.
 pub fn labeled(base: &str, label: &str, value: &str) -> String {
-    format!("{base}{{{label}=\"{value}\"}}")
+    format!("{base}{{{label}=\"{}\"}}", escape_label_value(value))
 }
 
 #[cfg(test)]
@@ -81,5 +86,6 @@ mod tests {
     #[test]
     fn labeled_builds_prometheus_series_names() {
         assert_eq!(labeled("lat_us", "fn", "exp"), "lat_us{fn=\"exp\"}");
+        assert_eq!(labeled("lat_us", "fn", "a\"b\\c\nd"), "lat_us{fn=\"a\\\"b\\\\c\\nd\"}");
     }
 }

@@ -1,10 +1,11 @@
 //! Property tests for the log-linear histogram: quantiles against an exact
-//! sorted-vec reference, and exact bookkeeping (count/sum/max), across
-//! random value distributions.
+//! sorted-vec reference, exact bookkeeping (count/sum/max), and the
+//! Prometheus text exposition (label-value escaping, cumulative bucket
+//! monotonicity, `+Inf` bucket == count) across random value distributions.
 
 use proptest::prelude::*;
-use runmetrics::histogram::GROUPING;
-use runmetrics::MetricsRegistry;
+use runmetrics::histogram::{bucket_index, GROUPING};
+use runmetrics::{labeled, MetricsRegistry};
 
 /// Exact reference: value at rank `ceil(q·n)` of the sorted sample — the
 /// same rank definition the histogram snapshot uses.
@@ -81,6 +82,57 @@ proptest! {
         for (name, v) in &counters {
             let got = series.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
             prop_assert_eq!(got, Some(*v as f64), "counter {} lost", name);
+        }
+    }
+
+    /// Any label value — quotes, backslashes, newlines, commas, spaces —
+    /// survives a trip through `labeled` → `to_prometheus` → `parse_labels`,
+    /// and the resulting exposition still validates.
+    #[test]
+    fn label_escaping_round_trips_through_exposition(
+        value in "[ -~\n\\\\\"]{0,40}",
+        count in 0u64..1 << 40,
+    ) {
+        let reg = MetricsRegistry::new(true);
+        reg.counter(&labeled("escape_total", "fn", &value)).add(count);
+        let text = runmetrics::to_prometheus(&reg.snapshot());
+        runmetrics::validate_exposition(&text).unwrap();
+        let series = runmetrics::parse_prometheus(&text).unwrap();
+        let (name, got) = series.iter().find(|(n, _)| n.starts_with("escape_total")).unwrap();
+        prop_assert_eq!(*got as u64, count);
+        let open = name.find('{').unwrap();
+        let pairs =
+            runmetrics::parse_labels(&name[open + 1..name.len() - 1]).unwrap();
+        prop_assert_eq!(pairs, vec![("fn".to_string(), value)]);
+    }
+
+    /// The exported histogram has strictly increasing `le` bounds with
+    /// monotone cumulative counts, a closing `+Inf` bucket equal to `_count`,
+    /// and per-bucket cumulative counts that match an exact recount of the
+    /// recorded values. `validate_exposition` checks the first two; the
+    /// recount pins the exporter to the actual data.
+    #[test]
+    fn histogram_buckets_are_cumulative_and_closed(
+        observations in proptest::collection::vec(0u64..1 << 30, 0..200),
+    ) {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("lat_us");
+        for &v in &observations {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = runmetrics::to_prometheus(&snap);
+        let samples = runmetrics::validate_exposition(&text).unwrap();
+        prop_assert!(samples >= 6, "histogram family emits at least 6 samples");
+
+        let s = snap.histogram("lat_us").unwrap();
+        prop_assert_eq!(s.buckets.last().map(|&(_, c)| c).unwrap_or(0), s.count);
+        let mut last = 0u64;
+        for &(i, cum) in &s.buckets {
+            let exact = observations.iter().filter(|&&v| bucket_index(v) <= i as usize).count();
+            prop_assert_eq!(cum, exact as u64, "cumulative count at bucket {}", i);
+            prop_assert!(cum > last, "cumulative counts strictly increase at occupied buckets");
+            last = cum;
         }
     }
 }

@@ -124,8 +124,14 @@ mod tests {
                     blob: Blob { tag: "t".into(), bytes: vec![9; 300] },
                 }],
             },
-            Frame::Heartbeat { seq: 1 },
-            Frame::Done { exec_id: 1, outputs: vec![Blob { tag: "t".into(), bytes: vec![] }] },
+            Frame::Heartbeat { seq: 1, t_send_us: 10, telemetry: false },
+            Frame::Done {
+                exec_id: 1,
+                recv_us: 5,
+                start_us: 6,
+                end_us: 7,
+                outputs: vec![Blob { tag: "t".into(), bytes: vec![] }],
+            },
             Frame::Shutdown,
         ]
     }
@@ -187,7 +193,7 @@ mod tests {
 
     #[test]
     fn eof_inside_a_frame_is_an_error() {
-        let wire = Frame::Heartbeat { seq: 700 }.encode();
+        let wire = Frame::Heartbeat { seq: 700, t_send_us: 7, telemetry: true }.encode();
         let mut cursor = io::Cursor::new(wire[..wire.len() - 1].to_vec());
         let mut reader = FrameReader::new();
         let err = read_frame(&mut cursor, &mut reader).unwrap_err();
@@ -208,6 +214,9 @@ mod tests {
         let mut reader = FrameReader::new();
         let frame = Frame::Done {
             exec_id: 3,
+            recv_us: 0,
+            start_us: 0,
+            end_us: 0,
             outputs: vec![Blob { tag: "t".into(), bytes: vec![0; 8 * 1024] }],
         };
         for _ in 0..64 {

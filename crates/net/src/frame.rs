@@ -144,9 +144,21 @@ pub enum Frame {
         args: Vec<WireArg>,
     },
     /// Worker → driver: task attempt succeeded.
+    ///
+    /// Besides the outputs, the worker stamps the attempt's lifecycle on its
+    /// own clock: submit receipt, execution start, execution end. Combined
+    /// with the heartbeat clock-offset estimate the driver turns these into
+    /// per-phase latencies (wire / exec / result-ship) without a second
+    /// round trip.
     Done {
         /// Echoed execution id.
         exec_id: u64,
+        /// Worker clock when the `Submit` frame was decoded, µs.
+        recv_us: u64,
+        /// Worker clock when the task body started, µs.
+        start_us: u64,
+        /// Worker clock when the task body returned, µs.
+        end_us: u64,
         /// Serialised outputs, in declaration order.
         outputs: Vec<Blob>,
     },
@@ -157,15 +169,30 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
-    /// Driver → worker liveness probe.
+    /// Driver → worker liveness probe, doubling as a clock-sync sample
+    /// (NTP-style: the ack echoes `t_send_us` and adds the receiver's own
+    /// receive/reply stamps, letting the sender estimate offset and RTT).
     Heartbeat {
         /// Monotonic per-connection sequence number.
         seq: u64,
+        /// Sender's clock at transmission, µs on its own epoch.
+        t_send_us: u64,
+        /// Whether the sender wants the peer to flush telemetry
+        /// ([`Frame::TraceChunk`] / [`Frame::StatsSnapshot`]) frames. When
+        /// false the peer must stay silent on those frame types, keeping
+        /// the tracing flag a true wire-level no-op.
+        telemetry: bool,
     },
     /// Worker → driver reply to [`Frame::Heartbeat`].
     HeartbeatAck {
         /// Echoed sequence number.
         seq: u64,
+        /// Echo of the probe's `t_send_us` (sender clock).
+        t_send_us: u64,
+        /// Receiver's clock when the probe arrived, µs on its own epoch.
+        recv_us: u64,
+        /// Receiver's clock when this ack was built, µs on its own epoch.
+        reply_us: u64,
     },
     /// Worker → driver: a `Cached` input missed the cache.
     Fetch {
@@ -178,6 +205,26 @@ pub enum Frame {
         key: u64,
         /// The serialised value.
         blob: Blob,
+    },
+    /// A batch of trace records, shipped worker → driver only while the
+    /// peer's last [`Frame::Heartbeat`] asked for telemetry. The payload is
+    /// opaque to the protocol layer — the application's trace codec
+    /// produced it — keeping `rnet` ignorant of trace semantics the same
+    /// way task payloads stay opaque [`Blob`]s.
+    TraceChunk {
+        /// Application-encoded trace records.
+        bytes: Vec<u8>,
+    },
+    /// A point-in-time stat sample, shipped worker → driver on the same
+    /// telemetry gate as [`Frame::TraceChunk`]. Generic name/value pairs:
+    /// the protocol layer carries them, the application names them.
+    StatsSnapshot {
+        /// Sender's clock when the sample was taken, µs on its own epoch.
+        wall_us: u64,
+        /// Monotonically increasing counters, `(name, value)`.
+        counters: Vec<(String, u64)>,
+        /// Instantaneous values, `(name, value)`.
+        gauges: Vec<(String, f64)>,
     },
     /// Driver → worker: drain and close the connection.
     Shutdown,
@@ -194,11 +241,12 @@ pub enum Frame {
 /// ```
 /// use rnet::{Frame, FrameRef};
 ///
-/// let wire = Frame::Heartbeat { seq: 7 }.encode();
+/// let hb = Frame::Heartbeat { seq: 7, t_send_us: 1_000, telemetry: false };
+/// let wire = hb.encode();
 /// let (frame, used) = FrameRef::decode(&wire).unwrap().expect("complete");
 /// assert_eq!(used, wire.len());
-/// assert!(matches!(frame, FrameRef::Heartbeat { seq: 7 }));
-/// assert_eq!(frame.to_owned(), Frame::Heartbeat { seq: 7 });
+/// assert!(matches!(frame, FrameRef::Heartbeat { seq: 7, .. }));
+/// assert_eq!(frame.to_owned(), hb);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum FrameRef<'a> {
@@ -240,6 +288,12 @@ pub enum FrameRef<'a> {
     Done {
         /// Echoed execution id.
         exec_id: u64,
+        /// Worker clock when the `Submit` frame was decoded, µs.
+        recv_us: u64,
+        /// Worker clock when the task body started, µs.
+        start_us: u64,
+        /// Worker clock when the task body returned, µs.
+        end_us: u64,
         /// Serialised outputs, borrowed.
         outputs: Vec<BlobRef<'a>>,
     },
@@ -254,11 +308,21 @@ pub enum FrameRef<'a> {
     Heartbeat {
         /// Monotonic per-connection sequence number.
         seq: u64,
+        /// Sender's clock at transmission, µs on its own epoch.
+        t_send_us: u64,
+        /// Whether the sender wants telemetry frames flushed.
+        telemetry: bool,
     },
     /// See [`Frame::HeartbeatAck`].
     HeartbeatAck {
         /// Echoed sequence number.
         seq: u64,
+        /// Echo of the probe's `t_send_us` (sender clock).
+        t_send_us: u64,
+        /// Receiver's clock when the probe arrived.
+        recv_us: u64,
+        /// Receiver's clock when this ack was built.
+        reply_us: u64,
     },
     /// See [`Frame::Fetch`].
     Fetch {
@@ -271,6 +335,20 @@ pub enum FrameRef<'a> {
         key: u64,
         /// The serialised value, borrowed.
         blob: BlobRef<'a>,
+    },
+    /// See [`Frame::TraceChunk`].
+    TraceChunk {
+        /// Application-encoded trace records, borrowed.
+        bytes: &'a [u8],
+    },
+    /// See [`Frame::StatsSnapshot`].
+    StatsSnapshot {
+        /// Sender's clock when the sample was taken.
+        wall_us: u64,
+        /// Monotonically increasing counters, names borrowed.
+        counters: Vec<(&'a str, u64)>,
+        /// Instantaneous values, names borrowed.
+        gauges: Vec<(&'a str, f64)>,
     },
     /// See [`Frame::Shutdown`].
     Shutdown,
@@ -322,6 +400,8 @@ const T_HEARTBEAT_ACK: u8 = 6;
 const T_FETCH: u8 = 7;
 const T_DATA: u8 = 8;
 const T_SHUTDOWN: u8 = 9;
+const T_TRACE_CHUNK: u8 = 10;
+const T_STATS_SNAPSHOT: u8 = 11;
 
 fn put_blob(out: &mut Vec<u8>, blob: &Blob) {
     wire::put_str(out, &blob.tag);
@@ -350,7 +430,7 @@ fn frame_extent(buf: &[u8]) -> Result<Option<(usize, usize, u8)>, DecodeError> {
     if buf.len() >= 3 && buf[2] != VERSION {
         return Err(DecodeError::BadVersion(buf[2]));
     }
-    if buf.len() >= 4 && !(T_HELLO..=T_SHUTDOWN).contains(&buf[3]) {
+    if buf.len() >= 4 && !(T_HELLO..=T_STATS_SNAPSHOT).contains(&buf[3]) {
         return Err(DecodeError::UnknownFrameType(buf[3]));
     }
     if buf.len() < 4 {
@@ -384,6 +464,8 @@ impl Frame {
             Frame::HeartbeatAck { .. } => T_HEARTBEAT_ACK,
             Frame::Fetch { .. } => T_FETCH,
             Frame::Data { .. } => T_DATA,
+            Frame::TraceChunk { .. } => T_TRACE_CHUNK,
+            Frame::StatsSnapshot { .. } => T_STATS_SNAPSHOT,
             Frame::Shutdown => T_SHUTDOWN,
         }
     }
@@ -444,8 +526,11 @@ impl Frame {
                     }
                 }
             }
-            Frame::Done { exec_id, outputs } => {
+            Frame::Done { exec_id, recv_us, start_us, end_us, outputs } => {
                 wire::put_u64(out, *exec_id);
+                wire::put_u64(out, *recv_us);
+                wire::put_u64(out, *start_us);
+                wire::put_u64(out, *end_us);
                 wire::put_u64(out, outputs.len() as u64);
                 for b in outputs {
                     put_blob(out, b);
@@ -455,11 +540,35 @@ impl Frame {
                 wire::put_u64(out, *exec_id);
                 wire::put_str(out, message);
             }
-            Frame::Heartbeat { seq } | Frame::HeartbeatAck { seq } => wire::put_u64(out, *seq),
+            Frame::Heartbeat { seq, t_send_us, telemetry } => {
+                wire::put_u64(out, *seq);
+                wire::put_u64(out, *t_send_us);
+                wire::put_u64(out, u64::from(*telemetry));
+            }
+            Frame::HeartbeatAck { seq, t_send_us, recv_us, reply_us } => {
+                wire::put_u64(out, *seq);
+                wire::put_u64(out, *t_send_us);
+                wire::put_u64(out, *recv_us);
+                wire::put_u64(out, *reply_us);
+            }
             Frame::Fetch { key } => wire::put_u64(out, *key),
             Frame::Data { key, blob } => {
                 wire::put_u64(out, *key);
                 put_blob(out, blob);
+            }
+            Frame::TraceChunk { bytes } => wire::put_bytes(out, bytes),
+            Frame::StatsSnapshot { wall_us, counters, gauges } => {
+                wire::put_u64(out, *wall_us);
+                wire::put_u64(out, counters.len() as u64);
+                for (name, v) in counters {
+                    wire::put_str(out, name);
+                    wire::put_u64(out, *v);
+                }
+                wire::put_u64(out, gauges.len() as u64);
+                for (name, v) in gauges {
+                    wire::put_str(out, name);
+                    wire::put_f64(out, *v);
+                }
             }
             Frame::Shutdown => {}
         }
@@ -564,18 +673,52 @@ impl<'a> FrameRef<'a> {
             }
             T_DONE => {
                 let exec_id = r.u64()?;
+                let recv_us = r.u64()?;
+                let start_us = r.u64()?;
+                let end_us = r.u64()?;
                 let n = r.u64()? as usize;
                 let mut outputs = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     outputs.push(read_blob_ref(&mut r)?);
                 }
-                FrameRef::Done { exec_id, outputs }
+                FrameRef::Done { exec_id, recv_us, start_us, end_us, outputs }
             }
             T_FAILED => FrameRef::Failed { exec_id: r.u64()?, message: r.str_ref()? },
-            T_HEARTBEAT => FrameRef::Heartbeat { seq: r.u64()? },
-            T_HEARTBEAT_ACK => FrameRef::HeartbeatAck { seq: r.u64()? },
+            T_HEARTBEAT => {
+                let seq = r.u64()?;
+                let t_send_us = r.u64()?;
+                let telemetry = match r.u64()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(DecodeError::Malformed(format!("bad telemetry flag {other}")))
+                    }
+                };
+                FrameRef::Heartbeat { seq, t_send_us, telemetry }
+            }
+            T_HEARTBEAT_ACK => FrameRef::HeartbeatAck {
+                seq: r.u64()?,
+                t_send_us: r.u64()?,
+                recv_us: r.u64()?,
+                reply_us: r.u64()?,
+            },
             T_FETCH => FrameRef::Fetch { key: r.u64()? },
             T_DATA => FrameRef::Data { key: r.u64()?, blob: read_blob_ref(&mut r)? },
+            T_TRACE_CHUNK => FrameRef::TraceChunk { bytes: r.bytes()? },
+            T_STATS_SNAPSHOT => {
+                let wall_us = r.u64()?;
+                let n_counters = r.u64()? as usize;
+                let mut counters = Vec::with_capacity(n_counters.min(1024));
+                for _ in 0..n_counters {
+                    counters.push((r.str_ref()?, r.u64()?));
+                }
+                let n_gauges = r.u64()? as usize;
+                let mut gauges = Vec::with_capacity(n_gauges.min(1024));
+                for _ in 0..n_gauges {
+                    gauges.push((r.str_ref()?, r.f64()?));
+                }
+                FrameRef::StatsSnapshot { wall_us, counters, gauges }
+            }
             T_SHUTDOWN => FrameRef::Shutdown,
             other => return Err(DecodeError::UnknownFrameType(other)),
         };
@@ -626,17 +769,33 @@ impl<'a> FrameRef<'a> {
                 gpus: gpus.clone(),
                 args: args.iter().map(|a| a.to_owned()).collect(),
             },
-            FrameRef::Done { exec_id, outputs } => Frame::Done {
+            FrameRef::Done { exec_id, recv_us, start_us, end_us, outputs } => Frame::Done {
                 exec_id: *exec_id,
+                recv_us: *recv_us,
+                start_us: *start_us,
+                end_us: *end_us,
                 outputs: outputs.iter().map(|b| b.to_owned()).collect(),
             },
             FrameRef::Failed { exec_id, message } => {
                 Frame::Failed { exec_id: *exec_id, message: message.to_string() }
             }
-            FrameRef::Heartbeat { seq } => Frame::Heartbeat { seq: *seq },
-            FrameRef::HeartbeatAck { seq } => Frame::HeartbeatAck { seq: *seq },
+            FrameRef::Heartbeat { seq, t_send_us, telemetry } => {
+                Frame::Heartbeat { seq: *seq, t_send_us: *t_send_us, telemetry: *telemetry }
+            }
+            FrameRef::HeartbeatAck { seq, t_send_us, recv_us, reply_us } => Frame::HeartbeatAck {
+                seq: *seq,
+                t_send_us: *t_send_us,
+                recv_us: *recv_us,
+                reply_us: *reply_us,
+            },
             FrameRef::Fetch { key } => Frame::Fetch { key: *key },
             FrameRef::Data { key, blob } => Frame::Data { key: *key, blob: blob.to_owned() },
+            FrameRef::TraceChunk { bytes } => Frame::TraceChunk { bytes: bytes.to_vec() },
+            FrameRef::StatsSnapshot { wall_us, counters, gauges } => Frame::StatsSnapshot {
+                wall_us: *wall_us,
+                counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+                gauges: gauges.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+            },
             FrameRef::Shutdown => Frame::Shutdown,
         }
     }
@@ -681,14 +840,26 @@ mod tests {
             },
             Frame::Done {
                 exec_id: 42,
+                recv_us: 10_000,
+                start_us: 10_050,
+                end_us: 25_000,
                 outputs: vec![Blob { tag: "hpo.trial".into(), bytes: vec![0xab; 100] }],
             },
-            Frame::Done { exec_id: 44, outputs: vec![] },
+            Frame::Done { exec_id: 44, recv_us: 0, start_us: 0, end_us: 0, outputs: vec![] },
             Frame::Failed { exec_id: 43, message: "task panicked: boom".into() },
-            Frame::Heartbeat { seq: 9 },
-            Frame::HeartbeatAck { seq: 9 },
+            Frame::Heartbeat { seq: 9, t_send_us: 123_456, telemetry: true },
+            Frame::Heartbeat { seq: 10, t_send_us: 123_789, telemetry: false },
+            Frame::HeartbeatAck { seq: 9, t_send_us: 123_456, recv_us: 99_000, reply_us: 99_004 },
             Frame::Fetch { key: 1 << 40 },
             Frame::Data { key: 1 << 40, blob: Blob { tag: "rnet.u64".into(), bytes: vec![5] } },
+            Frame::TraceChunk { bytes: vec![0xde, 0xad, 0xbe, 0xef] },
+            Frame::TraceChunk { bytes: vec![] },
+            Frame::StatsSnapshot {
+                wall_us: 5_000_000,
+                counters: vec![("tasks_total".into(), 42), ("bytes_total".into(), 1 << 33)],
+                gauges: vec![("depth".into(), 2.5), ("neg".into(), -1.0)],
+            },
+            Frame::StatsSnapshot { wall_us: 0, counters: vec![], gauges: vec![] },
             Frame::Shutdown,
         ]
     }
@@ -765,8 +936,8 @@ mod tests {
         varint::put(&mut bad, payload.len() as u64);
         bad.extend_from_slice(payload);
         assert!(matches!(Frame::decode(&bad), Err(DecodeError::Malformed(_))));
-        // Trailing payload bytes are equally malformed.
-        let mut padded = b"RN\x01\x05".to_vec();
+        // Trailing payload bytes are equally malformed (Fetch = one u64).
+        let mut padded = b"RN\x01\x07".to_vec();
         varint::put(&mut padded, 3);
         padded.extend_from_slice(&[1, 0, 0]);
         assert!(matches!(Frame::decode(&padded), Err(DecodeError::Malformed(_))));
@@ -786,6 +957,9 @@ mod tests {
     fn ref_decode_borrows_blob_bytes_in_place() {
         let frame = Frame::Done {
             exec_id: 5,
+            recv_us: 1,
+            start_us: 2,
+            end_us: 3,
             outputs: vec![Blob { tag: "hpo.trial".into(), bytes: vec![7; 64] }],
         };
         let buf = frame.encode();
@@ -798,7 +972,25 @@ mod tests {
 
     #[test]
     fn heartbeat_is_tiny() {
-        assert!(Frame::Heartbeat { seq: 1 }.encode().len() <= 6, "heartbeats stay single-digit");
+        // seq + a realistic µs timestamp + flag: still well under one
+        // cache line even with varint worst cases.
+        let hb = Frame::Heartbeat { seq: 1, t_send_us: 3_600_000_000, telemetry: false };
+        assert!(hb.encode().len() <= 16, "heartbeats stay tiny: {}", hb.encode().len());
+        let ack = Frame::HeartbeatAck {
+            seq: 1,
+            t_send_us: 3_600_000_000,
+            recv_us: 3_600_000_100,
+            reply_us: 3_600_000_101,
+        };
+        assert!(ack.encode().len() <= 32, "acks stay tiny: {}", ack.encode().len());
         assert_eq!(Frame::Shutdown.encode().len(), 5);
+    }
+
+    #[test]
+    fn bad_telemetry_flag_is_malformed() {
+        let good = Frame::Heartbeat { seq: 1, t_send_us: 2, telemetry: true }.encode();
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() = 7; // flag byte must be 0 or 1
+        assert!(matches!(Frame::decode(&bad), Err(DecodeError::Malformed(_))));
     }
 }

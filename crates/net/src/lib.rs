@@ -50,6 +50,7 @@ pub mod conn;
 pub mod frame;
 pub mod nonblock;
 pub mod poll;
+pub mod status;
 pub mod varint;
 pub mod wire;
 
@@ -59,4 +60,5 @@ pub use frame::{
 };
 pub use nonblock::{Fill, RecvBuf, SendBuf};
 pub use poll::{Event, Interest, Poller, Waker};
+pub use status::StatusServer;
 pub use wire::{Reader, WireError};

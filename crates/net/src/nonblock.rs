@@ -22,7 +22,7 @@
 //!
 //! // Coalesce two frames into one write burst…
 //! let mut send = SendBuf::new();
-//! send.push(&Frame::Heartbeat { seq: 1 });
+//! send.push(&Frame::Heartbeat { seq: 1, t_send_us: 2, telemetry: false });
 //! send.push(&Frame::Fetch { key: 9 });
 //! let mut wire = Vec::new();
 //! let (n, drained) = send.flush(&mut wire).unwrap();
@@ -33,7 +33,7 @@
 //! let mut recv = RecvBuf::new();
 //! let mut src = std::io::Cursor::new(wire);
 //! assert!(matches!(recv.fill_from(&mut src).unwrap(), Fill::Bytes(_)));
-//! assert!(matches!(recv.next_frame().unwrap(), Some(FrameRef::Heartbeat { seq: 1 })));
+//! assert!(matches!(recv.next_frame().unwrap(), Some(FrameRef::Heartbeat { seq: 1, .. })));
 //! assert!(matches!(recv.next_frame().unwrap(), Some(FrameRef::Fetch { key: 9 })));
 //! assert!(recv.next_frame().unwrap().is_none());
 //! ```
@@ -263,7 +263,7 @@ mod tests {
                     blob: Blob { tag: "t".into(), bytes: vec![3; 500] },
                 }],
             },
-            Frame::Done { exec_id: 10, outputs: vec![] },
+            Frame::Done { exec_id: 10, recv_us: 1, start_us: 2, end_us: 3, outputs: vec![] },
             Frame::Shutdown,
         ]
     }
@@ -392,6 +392,9 @@ mod tests {
         // monotonically.
         let frame = Frame::Done {
             exec_id: 1,
+            recv_us: 0,
+            start_us: 0,
+            end_us: 0,
             outputs: vec![Blob { tag: "t".into(), bytes: vec![9; 32 * 1024] }],
         };
         let wire = frame.encode();

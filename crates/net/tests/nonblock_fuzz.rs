@@ -53,14 +53,46 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     }
                 }
             ),
-        (any::<u64>(), proptest::collection::vec(arb_blob(), 0..4))
-            .prop_map(|(exec_id, outputs)| Frame::Done { exec_id, outputs }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_blob(), 0..4)
+        )
+            .prop_map(|(exec_id, recv_us, start_us, end_us, outputs)| Frame::Done {
+                exec_id,
+                recv_us,
+                start_us,
+                end_us,
+                outputs
+            }),
         (any::<u64>(), "[ -~]{0,60}")
             .prop_map(|(exec_id, message)| Frame::Failed { exec_id, message }),
-        any::<u64>().prop_map(|seq| Frame::Heartbeat { seq }),
-        any::<u64>().prop_map(|seq| Frame::HeartbeatAck { seq }),
+        (any::<u64>(), any::<u64>(), any::<bool>())
+            .prop_map(|(seq, t_send_us, telemetry)| Frame::Heartbeat { seq, t_send_us, telemetry }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(seq, t_send_us, recv_us, reply_us)| Frame::HeartbeatAck {
+                seq,
+                t_send_us,
+                recv_us,
+                reply_us
+            }
+        ),
         any::<u64>().prop_map(|key| Frame::Fetch { key }),
         (any::<u64>(), arb_blob()).prop_map(|(key, blob)| Frame::Data { key, blob }),
+        proptest::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|bytes| Frame::TraceChunk { bytes }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(("[a-z_]{1,20}", any::<u64>()), 0..6),
+            proptest::collection::vec(("[a-z_]{1,20}", -1e300f64..1e300f64), 0..6),
+        )
+            .prop_map(|(wall_us, counters, gauges)| Frame::StatsSnapshot {
+                wall_us,
+                counters,
+                gauges
+            }),
         Just(Frame::Shutdown),
     ]
 }

@@ -19,6 +19,10 @@
 //!   parallelism profile) standing in for Paraver's analysis views.
 //! * [`report`] — per-task-function profiles and busy-core timelines, the
 //!   Paraver "profile" tables as data/CSV.
+//! * [`wire`] — a compact binary codec for record batches, the payload of
+//!   the distributed backend's `TraceChunk` frames.
+//! * [`merge`] — NTP-style clock-offset estimation plus the rebase/splice
+//!   step that turns per-worker traces into one driver-timeline trace.
 //!
 //! All timestamps are `u64` microseconds. Traces produced from the simulated
 //! backend use virtual time; traces from the threaded backend use wall time
@@ -28,17 +32,20 @@
 //! [Extrae]: https://tools.bsc.es/extrae
 //! [Paraver]: https://tools.bsc.es/paraver
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chrome;
 pub mod collector;
 pub mod gantt;
+pub mod merge;
 pub mod prv;
 pub mod record;
 pub mod report;
 pub mod stats;
+pub mod wire;
 
 pub use collector::TraceCollector;
+pub use merge::{ClockSample, ClockSync, WorkerTrace};
 pub use record::{CoreId, EventKind, Record, StateKind, TaskRef};
 pub use stats::TraceStats;
 

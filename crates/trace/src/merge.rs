@@ -1,0 +1,313 @@
+//! Clock alignment and trace merging across nodes.
+//!
+//! Worker trace records are stamped on the worker's own clock (µs since the
+//! worker process's epoch), so they cannot be drawn next to driver records
+//! until they are rebased onto the driver timeline. This module holds both
+//! halves of that job:
+//!
+//! * [`estimate_offset`] / [`ClockSync`] — NTP-style offset and round-trip
+//!   estimation from the four timestamps a `Heartbeat`/`HeartbeatAck`
+//!   exchange yields. The recovered offset is accurate to within half the
+//!   round trip (the classic NTP bound), so the driver keeps the sample
+//!   with the *smallest* RTT — the probe least distorted by queueing.
+//! * [`merge`] — rebase each worker's records by its estimated offset,
+//!   clamp task spans into the driver-observed dispatch→completion window
+//!   (so clock error can never produce a pre-submit or negative-duration
+//!   interval), and splice them into the driver's own records, replacing
+//!   the driver's synthesised execution estimates with worker ground truth
+//!   wherever a worker span arrived.
+//!
+//! ```
+//! use paratrace::merge::estimate_offset;
+//!
+//! // Driver sends at t0=100; the worker clock runs 1_000 ahead and each
+//! // direction takes 10 µs: the worker sees the probe at 1_110, replies at
+//! // 1_120, and the driver hears back at t3=130.
+//! let s = estimate_offset(100, 1_110, 1_120, 130);
+//! assert_eq!(s.rtt_us, 20);
+//! assert_eq!(s.offset_us, 1_000);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use crate::record::{EventKind, Record, StateKind};
+
+/// One offset/RTT measurement from a single probe exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSample {
+    /// Estimated `worker_clock - driver_clock`, µs. Add the *negation* to a
+    /// worker timestamp to land on the driver timeline.
+    pub offset_us: i64,
+    /// Estimated network round trip (send → ack, minus remote think time).
+    pub rtt_us: u64,
+}
+
+/// NTP's four-timestamp offset estimator.
+///
+/// `t0`: local clock when the probe was sent. `t1`: remote clock when it
+/// arrived. `t2`: remote clock when the ack left. `t3`: local clock when
+/// the ack arrived. Offset = ((t1−t0)+(t2−t3))/2; the error is bounded by
+/// RTT/2, tight when the two directions have symmetric delay.
+pub fn estimate_offset(t0: u64, t1: u64, t2: u64, t3: u64) -> ClockSample {
+    let fwd = t1 as i64 - t0 as i64;
+    let back = t2 as i64 - t3 as i64;
+    let offset_us = (fwd + back) / 2;
+    let rtt = (t3 as i64 - t0 as i64) - (t2 as i64 - t1 as i64);
+    ClockSample { offset_us, rtt_us: rtt.max(0) as u64 }
+}
+
+/// Running per-peer clock estimate: feeds on probe samples, keeps the one
+/// with the smallest RTT (the tightest error bound).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClockSync {
+    best: Option<ClockSample>,
+    samples: u64,
+}
+
+impl ClockSync {
+    /// Fold in one probe exchange.
+    pub fn observe(&mut self, t0: u64, t1: u64, t2: u64, t3: u64) -> ClockSample {
+        let sample = estimate_offset(t0, t1, t2, t3);
+        self.samples += 1;
+        match self.best {
+            Some(best) if best.rtt_us <= sample.rtt_us => {}
+            _ => self.best = Some(sample),
+        }
+        sample
+    }
+
+    /// The current best estimate, if any probe completed yet.
+    pub fn best(&self) -> Option<ClockSample> {
+        self.best
+    }
+
+    /// `worker − driver` offset of the best sample (0 before any sample).
+    pub fn offset_us(&self) -> i64 {
+        self.best.map_or(0, |s| s.offset_us)
+    }
+
+    /// RTT of the best sample (0 before any sample).
+    pub fn rtt_us(&self) -> u64 {
+        self.best.map_or(0, |s| s.rtt_us)
+    }
+
+    /// Number of probes folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// One worker's contribution to a merged trace.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Driver-side node id of the worker; worker-local records (which carry
+    /// node 0, the only node a worker knows) are rewritten to it.
+    pub node: u32,
+    /// Estimated `worker_clock - driver_clock` for this worker.
+    pub offset_us: i64,
+    /// The worker's records, on its own clock.
+    pub records: Vec<Record>,
+}
+
+/// Map a worker timestamp onto the driver timeline, saturating at zero.
+fn rebase_time(t: u64, offset_us: i64) -> u64 {
+    let shifted = t as i64 - offset_us;
+    shifted.max(0) as u64
+}
+
+/// Driver-observed `[dispatch, completion]` window per task id, used to
+/// clamp rebased worker spans: residual clock error (≤ RTT/2) must never
+/// push an execution interval before its own dispatch or past its observed
+/// completion.
+pub type TaskBounds = HashMap<u64, (u64, u64)>;
+
+fn clamp_span(start: u64, end: u64, bounds: Option<&(u64, u64)>) -> (u64, u64) {
+    let (start, end) = match bounds {
+        Some(&(lo, hi)) => (start.clamp(lo, hi), end.clamp(lo, hi)),
+        None => (start, end),
+    };
+    (start, end.max(start))
+}
+
+/// Rebase every worker's records onto the driver timeline and merge them
+/// with the driver's own records into one time-sorted trace.
+///
+/// Driver-synthesised `Running` spans (its completion-time estimate of what
+/// the worker did) are dropped for any `(node, task)` that shipped a real
+/// worker-side span — ground truth replaces the estimate; tasks whose
+/// chunks were lost (worker died, backpressure) keep the driver estimate so
+/// the trace stays complete.
+pub fn merge(driver: Vec<Record>, workers: Vec<WorkerTrace>, bounds: &TaskBounds) -> Vec<Record> {
+    let mut merged = Vec::with_capacity(driver.len());
+    let mut covered: HashSet<(u32, u64)> = HashSet::new();
+    for w in &workers {
+        for r in &w.records {
+            if let Some(t) = r.running_task() {
+                covered.insert((w.node, t.id));
+            }
+        }
+    }
+    for r in driver {
+        let replaced = r.running_task().is_some_and(|t| covered.contains(&(r.core().node, t.id)));
+        if !replaced {
+            merged.push(r);
+        }
+    }
+    for w in workers {
+        for r in w.records {
+            merged.push(rebase_record(r, w.node, w.offset_us, bounds));
+        }
+    }
+    merged.sort_by_key(|r| (r.time(), r.core(), r.end_time()));
+    merged
+}
+
+fn rebase_record(r: Record, node: u32, offset_us: i64, bounds: &TaskBounds) -> Record {
+    match r {
+        Record::State { mut core, start, end, state } => {
+            core.node = node;
+            let task_bounds = match &state {
+                StateKind::Running(t) => bounds.get(&t.id),
+                _ => None,
+            };
+            let (start, end) =
+                clamp_span(rebase_time(start, offset_us), rebase_time(end, offset_us), task_bounds);
+            Record::State { core, start, end, state }
+        }
+        Record::Event { mut core, time, kind } => {
+            core.node = node;
+            let task_bounds = match &kind {
+                EventKind::TaskDispatch(t) | EventKind::TaskEnd(t) => bounds.get(&t.id),
+                EventKind::TaskFailure { task, .. } => bounds.get(&task.id),
+                _ => None,
+            };
+            let mut time = rebase_time(time, offset_us);
+            if let Some(&(lo, hi)) = task_bounds {
+                time = time.clamp(lo, hi);
+            }
+            Record::Event { core, time, kind }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CoreId, TaskRef};
+
+    fn run_span(node: u32, core: u32, id: u64, start: u64, end: u64) -> Record {
+        Record::State {
+            core: CoreId::new(node, core),
+            start,
+            end,
+            state: StateKind::Running(TaskRef::new(id, "graph.experiment")),
+        }
+    }
+
+    #[test]
+    fn estimator_recovers_symmetric_offset_exactly() {
+        // Worker clock 5_000 ahead, 20 µs each way.
+        let s = estimate_offset(100, 5_120, 5_130, 150);
+        assert_eq!(s.offset_us, 5_000);
+        assert_eq!(s.rtt_us, 40);
+    }
+
+    #[test]
+    fn estimator_handles_worker_behind_driver() {
+        // Worker clock 400 behind, 10 µs each way.
+        let s = estimate_offset(1_000, 610, 615, 1_025);
+        assert_eq!(s.offset_us, -400);
+        assert_eq!(s.rtt_us, 20);
+    }
+
+    #[test]
+    fn clock_sync_keeps_min_rtt_sample() {
+        let mut cs = ClockSync::default();
+        cs.observe(0, 1_500, 1_510, 1_000); // rtt 990: congested probe
+        cs.observe(2_000, 3_010, 3_012, 2_020); // rtt 18: clean probe
+        cs.observe(4_000, 5_400, 5_410, 4_800); // rtt 790: congested again
+        assert_eq!(cs.rtt_us(), 18);
+        assert_eq!(cs.offset_us(), 1_001);
+        assert_eq!(cs.samples(), 3);
+    }
+
+    #[test]
+    fn merge_rebases_and_rewrites_node() {
+        // Worker clock is 1_000 ahead; its span of task 9 was recorded at
+        // [1_100, 1_200] locally → [100, 200] on the driver timeline.
+        let workers = vec![WorkerTrace {
+            node: 2,
+            offset_us: 1_000,
+            records: vec![run_span(0, 1, 9, 1_100, 1_200)],
+        }];
+        let merged = merge(vec![], workers, &TaskBounds::new());
+        assert_eq!(merged, vec![run_span(2, 1, 9, 100, 200)]);
+    }
+
+    #[test]
+    fn merge_prefers_worker_ground_truth_per_task() {
+        let driver = vec![
+            run_span(2, 1, 9, 90, 210),   // driver estimate of task 9: replaced
+            run_span(2, 1, 10, 300, 400), // chunk lost for task 10: kept
+            Record::Event {
+                core: CoreId::new(2, 1),
+                time: 210,
+                kind: EventKind::TaskEnd(TaskRef::new(9, "graph.experiment")),
+            },
+        ];
+        let workers =
+            vec![WorkerTrace { node: 2, offset_us: 0, records: vec![run_span(0, 1, 9, 100, 200)] }];
+        let merged = merge(driver, workers, &TaskBounds::new());
+        let spans: Vec<&Record> = merged.iter().filter(|r| r.running_task().is_some()).collect();
+        assert_eq!(spans.len(), 2, "one span per task: {merged:?}");
+        assert_eq!(*spans[0], run_span(2, 1, 9, 100, 200), "worker span won");
+        assert_eq!(*spans[1], run_span(2, 1, 10, 300, 400), "driver estimate kept");
+        assert!(
+            merged.iter().any(|r| matches!(r, Record::Event { .. })),
+            "driver events survive the merge"
+        );
+    }
+
+    #[test]
+    fn bounds_clamp_out_pre_submit_and_negative_spans() {
+        let mut bounds = TaskBounds::new();
+        bounds.insert(9, (150, 400));
+        // Offset error makes the rebased span [100, 200]; the driver knows
+        // the task was dispatched at 150, so the span is clamped into the
+        // window and keeps a non-negative duration.
+        let workers = vec![WorkerTrace {
+            node: 1,
+            offset_us: 1_000,
+            records: vec![run_span(0, 0, 9, 1_100, 1_200)],
+        }];
+        let merged = merge(vec![], workers, &bounds);
+        let Record::State { start, end, .. } = merged[0] else { panic!("state expected") };
+        assert_eq!((start, end), (150, 200));
+        assert!(end >= start);
+
+        // An offset so wrong the whole span lands before zero still clamps.
+        let workers = vec![WorkerTrace {
+            node: 1,
+            offset_us: 10_000,
+            records: vec![run_span(0, 0, 9, 1_100, 1_200)],
+        }];
+        let merged = merge(vec![], workers, &bounds);
+        let Record::State { start, end, .. } = merged[0] else { panic!("state expected") };
+        assert_eq!((start, end), (150, 150), "clamped to the window floor");
+    }
+
+    #[test]
+    fn merge_output_is_time_sorted() {
+        let driver = vec![run_span(0, 0, 1, 500, 600)];
+        let workers = vec![WorkerTrace {
+            node: 1,
+            offset_us: 0,
+            records: vec![run_span(0, 0, 2, 100, 200), run_span(0, 1, 3, 700, 800)],
+        }];
+        let merged = merge(driver, workers, &TaskBounds::new());
+        let times: Vec<u64> = merged.iter().map(|r| r.time()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+}

@@ -1,0 +1,32 @@
+//! `prom-check` — validate Prometheus text exposition on stdin.
+//!
+//! A tiny CI helper: pipe a scraped `/metrics` body (or a `--metrics-out`
+//! `.prom` file) in, get exit 0 and a series count out, or exit 1 with
+//! the first format violation. Runs the same checker as the exposition
+//! proptests ([`runmetrics::validate_exposition`]), so CI scrapes are
+//! held to the grammar the exporter is fuzzed against:
+//!
+//! ```text
+//! curl -s http://127.0.0.1:9100/metrics | prom-check
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("prom-check: cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match runmetrics::validate_exposition(&text) {
+        Ok(series) => {
+            println!("prom-check: ok ({series} series)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("prom-check: invalid exposition: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -89,6 +89,9 @@ pub struct CliArgs {
     /// Resume an interrupted sweep from `ckpt_dir`'s journal
     /// (`--resume <dir>` sets both).
     pub resume: bool,
+    /// Serve live `GET /metrics` + `GET /healthz` on this address while
+    /// the run is in flight (e.g. `127.0.0.1:9100`). `None` = no endpoint.
+    pub status_addr: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -116,6 +119,7 @@ impl Default for CliArgs {
             ckpt_every: 1,
             ckpt_retain: 2,
             resume: false,
+            status_addr: None,
         }
     }
 }
@@ -146,6 +150,9 @@ pub struct WorkerArgs {
     /// back to the driver over the wire, so a trial retried after a worker
     /// loss resumes mid-training instead of from epoch 0.
     pub ckpt_every: u32,
+    /// Serve live `GET /metrics` + `GET /healthz` on this address
+    /// (worker-local counters). `None` = no endpoint.
+    pub status_addr: Option<String>,
 }
 
 impl Default for WorkerArgs {
@@ -160,6 +167,7 @@ impl Default for WorkerArgs {
             cnn: false,
             target_accuracy: None,
             ckpt_every: 0,
+            status_addr: None,
         }
     }
 }
@@ -224,6 +232,9 @@ OPTIONS:
                            checkpoint directory: journaled-complete
                            trials are skipped, in-flight trials restart
                            from their latest snapshot
+    --status-addr <addr>   serve live GET /metrics + /healthz here while
+                           the run is in flight (Prometheus text format;
+                           curl-able, e.g. 127.0.0.1:9100)
     --help                 show this text
 
 WORKER OPTIONS (hpo-run worker / rcompss-worker):
@@ -233,6 +244,8 @@ WORKER OPTIONS (hpo-run worker / rcompss-worker):
     --ckpt-every <n>       snapshot cadence in epochs (0 = off); snapshots
                            ride back to the driver so retried trials
                            resume mid-training after a worker loss
+    --status-addr <addr>   serve this worker's live GET /metrics +
+                           /healthz here (Prometheus text format)
     --dataset, --samples, --seed, --cnn, --target-accuracy
                            dataset recipe — must match the driver, so the
                            worker rebuilds the identical objective
@@ -323,6 +336,7 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
                 resume_dir = Some(take_value(arg, &mut it)?.to_string());
                 out.resume = true;
             }
+            "--status-addr" => out.status_addr = Some(take_value(arg, &mut it)?.to_string()),
             other => return Err(CliError(format!("unknown flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -400,6 +414,7 @@ pub fn parse_worker(args: &[&str]) -> Result<WorkerArgs, CliError> {
                 out.target_accuracy = Some(parse_num(arg, take_value(arg, &mut it)?)?);
             }
             "--ckpt-every" => out.ckpt_every = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--status-addr" => out.status_addr = Some(take_value(arg, &mut it)?.to_string()),
             other => return Err(CliError(format!("unknown worker flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -621,6 +636,18 @@ mod tests {
         assert!(e.0.contains("--ckpt-dir"));
         assert!(e.0.contains("--resume"));
         assert!(e.0.contains("--ckpt-every"));
+    }
+
+    #[test]
+    fn status_addr_parses_on_both_entry_points() {
+        let a = parse(&["--config", "s.json", "--status-addr", "127.0.0.1:9100"]).unwrap();
+        assert_eq!(a.status_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(parse(&["--config", "s.json"]).unwrap().status_addr, None, "off by default");
+        let w = parse_worker(&["--status-addr", "0.0.0.0:9101"]).unwrap();
+        assert_eq!(w.status_addr.as_deref(), Some("0.0.0.0:9101"));
+        assert!(parse(&["--config", "s.json", "--status-addr"]).is_err(), "dangling value");
+        let e = parse(&["--help"]).unwrap_err();
+        assert!(e.0.contains("--status-addr"), "help documents the scrape endpoint");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! on the chosen backend, and report.
 
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 use cluster::{Allocation, Cluster, NodeSpec, TrainingCost};
 use hpo::dashboard::{leaderboard, Dashboard};
@@ -35,6 +36,93 @@ fn main() -> ExitCode {
     }
 }
 
+/// The emergency-flush hook: set while a run is in flight, taken (at most
+/// once) by whichever exit path fires first — clean return, panic unwind
+/// via [`FlushGuard`], or the SIGINT handler.
+static FLUSH_HOOK: Mutex<Option<Box<dyn FnOnce() + Send>>> = Mutex::new(None);
+
+/// Run the armed flush hook, if any. Idempotent: the hook is `take`n.
+fn flush_now() {
+    let hook = FLUSH_HOOK.lock().ok().and_then(|mut g| g.take());
+    if let Some(hook) = hook {
+        hook();
+    }
+}
+
+/// Raw signal registration — the approved dependency set has no signal
+/// crate, and all we need is the one POSIX call.
+mod sig {
+    pub const SIGINT: i32 = 2;
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+extern "C" fn on_sigint(_sig: i32) {
+    // Best-effort: flush partial artefacts, then exit with the
+    // conventional 128+SIGINT status. Formatting in a signal handler is
+    // not strictly async-signal-safe, but the process is on its way out.
+    flush_now();
+    std::process::exit(130);
+}
+
+/// Arms the emergency flush for the duration of a run. Dropped while
+/// panicking → the hook runs and partial `--metrics-out` / `--trace-out`
+/// artefacts land on disk; [`FlushGuard::disarm`] on the clean path hands
+/// the flush back to the normal export code.
+struct FlushGuard {
+    armed: bool,
+}
+
+impl FlushGuard {
+    fn arm(hook: Box<dyn FnOnce() + Send>) -> FlushGuard {
+        *FLUSH_HOOK.lock().unwrap() = Some(hook);
+        unsafe {
+            sig::signal(sig::SIGINT, on_sigint as *const () as usize);
+        }
+        FlushGuard { armed: true }
+    }
+
+    fn disarm(mut self) {
+        self.armed = false;
+        let _ = FLUSH_HOOK.lock().map(|mut g| g.take());
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            flush_now();
+        }
+    }
+}
+
+/// Merge the runtime registry with the process-global one (training epoch
+/// series) into a single exportable snapshot.
+fn merged_metrics(rt: &Runtime) -> runmetrics::MetricsSnapshot {
+    let mut snap = rt.metrics().snapshot();
+    snap.merge(runmetrics::global().snapshot());
+    snap
+}
+
+/// Write `<prefix>.prom` + `<prefix>.jsonl` from the current metrics.
+fn write_metrics_export(rt: &Runtime, prefix: &str) -> std::io::Result<(String, String)> {
+    let snap = merged_metrics(rt);
+    let prom = format!("{prefix}.prom");
+    std::fs::write(&prom, runmetrics::to_prometheus(&snap))?;
+    let jsonl = format!("{prefix}.jsonl");
+    std::fs::write(&jsonl, runmetrics::to_jsonl_line(rt.now_us(), &snap) + "\n")?;
+    Ok((prom, jsonl))
+}
+
+/// Write the merged Chrome trace to `path`.
+fn write_trace_export(rt: &Runtime, path: &str) -> std::io::Result<Vec<paratrace::Record>> {
+    let records = rt.trace();
+    let doc = paratrace::chrome::export_named("hpo-run", &records, &rt.node_labels());
+    std::fs::write(path, doc)?;
+    Ok(records)
+}
+
 fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
     // 1. Search space from the JSON file (paper Listing 1).
     let text = std::fs::read_to_string(&args.config)
@@ -46,9 +134,10 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         space.grid_size().map_or("∞ (continuous)".to_string(), |n| n.to_string())
     );
 
-    // 2. Runtime.
+    // 2. Runtime. `Arc`ed so the emergency flush hook (panic/SIGINT) can
+    // reach the live metrics and trace buffers.
     let metrics_on = !args.no_metrics;
-    let rt = match args.backend {
+    let rt = Arc::new(match args.backend {
         BackendChoice::Threaded => {
             let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4);
             Runtime::threaded(
@@ -73,10 +162,30 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             println!("distributed cluster: {}", rt.node_labels().join(", "));
             rt
         }
-    };
+    });
     // Training internals (epoch timing) report to the process-global
     // registry; switch it in step with the runtime's.
     runmetrics::global().set_enabled(metrics_on);
+
+    // Live scrape endpoint: any Prometheus scraper (or bare curl) can hit
+    // GET /metrics and /healthz while the run is in flight. The handle
+    // keeps the serving thread alive until the end of the run.
+    let _status = match &args.status_addr {
+        Some(addr) => {
+            let reg = rt.metrics();
+            let server = rnet::StatusServer::bind(addr, move |path| {
+                (path == "/metrics").then(|| {
+                    let mut snap = reg.snapshot();
+                    snap.merge(runmetrics::global().snapshot());
+                    ("text/plain; version=0.0.4".to_string(), runmetrics::to_prometheus(&snap))
+                })
+            })
+            .map_err(|e| format!("cannot serve --status-addr {addr}: {e}"))?;
+            println!("status endpoint: http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
 
     // 3. Checkpointing: journal + snapshot store under --ckpt-dir, and
     // the recovered sweep state when resuming.
@@ -162,6 +271,26 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         AlgoChoice::Tpe => Box::new(TpeSearch::new(&space, args.trials, args.seed)),
         AlgoChoice::Bayes => Box::new(BayesSearch::new(&space, args.trials, args.seed)),
     };
+    // Telemetry must survive a crash: arm the flush hook so a panicking
+    // trial or a ^C still leaves partial --metrics-out / --trace-out
+    // artefacts on disk (the journal already makes the sweep resumable).
+    let guard = {
+        let rt = Arc::clone(&rt);
+        let metrics_out = args.metrics_out.clone();
+        let trace_out = args.trace_out.clone();
+        FlushGuard::arm(Box::new(move || {
+            if let Some(prefix) = &metrics_out {
+                if let Ok((prom, jsonl)) = write_metrics_export(&rt, prefix) {
+                    eprintln!("flushed partial metrics to {prom} and {jsonl}");
+                }
+            }
+            if let Some(path) = &trace_out {
+                if write_trace_export(&rt, path).is_ok() {
+                    eprintln!("flushed partial trace to {path}");
+                }
+            }
+        }))
+    };
     let report = if let Some(journal) = &journal {
         let (report, stats) = runner.run_journaled(
             &rt,
@@ -181,6 +310,8 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", dash.on_trial(t));
         })?
     };
+    // Clean finish: the normal export path below owns the flush now.
+    guard.disarm();
 
     // 7. Report, artefacts.
     println!("\n{}", report.summary());
@@ -198,21 +329,21 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
         println!("task graph DOT written to {path}");
     }
     if let Some(prefix) = &args.metrics_out {
-        // Merge the runtime registry with the process-global one (training
-        // epoch series) into a single snapshot for export.
-        let mut snap = rt.metrics().snapshot();
-        snap.merge(runmetrics::global().snapshot());
-        let prom = format!("{prefix}.prom");
-        std::fs::write(&prom, runmetrics::to_prometheus(&snap))?;
-        let jsonl = format!("{prefix}.jsonl");
-        std::fs::write(&jsonl, runmetrics::to_jsonl_line(rt.now_us(), &snap) + "\n")?;
+        let (prom, jsonl) = write_metrics_export(&rt, prefix)?;
         println!("metrics written to {prom} and {jsonl}");
     }
     if args.backend == BackendChoice::Distributed && metrics_on {
-        print!("{}", dash.node_lanes(&rt.node_labels()));
+        print!("{}", dash.node_lanes(&rt.node_labels(), rt.now_us()));
     }
     if args.trace {
-        let records = rt.trace();
+        let records = match &args.trace_out {
+            Some(path) => {
+                let records = write_trace_export(&rt, path)?;
+                println!("Chrome trace written to {path} (open in ui.perfetto.dev)");
+                records
+            }
+            None => rt.trace(),
+        };
         let stats = paratrace::TraceStats::compute(&records);
         println!(
             "\ntrace: {} records | makespan {} | peak parallelism {}",
@@ -221,11 +352,6 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             stats.peak_parallelism
         );
         print!("{}", paratrace::report::profile_table(&records));
-        if let Some(path) = &args.trace_out {
-            let doc = paratrace::chrome::export_named("hpo-run", &records, &rt.node_labels());
-            std::fs::write(path, doc)?;
-            println!("Chrome trace written to {path} (open in ui.perfetto.dev)");
-        }
     }
     Ok(())
 }

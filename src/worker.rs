@@ -79,6 +79,10 @@ pub fn build_objective(
 /// protocol and event loop").
 pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
     register_hpo_codecs();
+    // Worker-local counters (task executions, epoch timing) report to the
+    // process-global registry: they feed the StatsSnapshot frames shipped
+    // to the driver on every heartbeat, and the local scrape endpoint.
+    runmetrics::global().set_enabled(true);
     // Cadence only: a worker has no journal or on-disk store — its
     // snapshots ride the runtime's ambient channel back to the driver.
     let ckpts = TrialCheckpoints { every: args.ckpt_every, ..TrialCheckpoints::default() };
@@ -111,6 +115,22 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
     if args.ckpt_every > 0 {
         println!("model snapshots every {} epoch(s), shipped to the driver", args.ckpt_every);
     }
+    // Live scrape endpoint: this worker's own counters, independent of the
+    // driver's aggregate view. Held until `run` returns.
+    let _status = match &args.status_addr {
+        Some(addr) => {
+            let server = rnet::StatusServer::bind(addr, |path| {
+                (path == "/metrics").then(|| {
+                    let snap = runmetrics::global().snapshot();
+                    ("text/plain; version=0.0.4".to_string(), runmetrics::to_prometheus(&snap))
+                })
+            })
+            .map_err(|e| format!("cannot serve --status-addr {addr}: {e}"))?;
+            println!("status endpoint: http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     server.run()?;
     Ok(())
 }

@@ -21,7 +21,10 @@
 # `runtime_throughput rebaseline` after intentional scheduler or wire
 # changes). The checkpoint-overhead bench gates the snapshot cost the
 # same way (baselines/ckpt_overhead.json, `ckpt_overhead rebaseline`
-# after intentional snapshot-format or store changes).
+# after intentional snapshot-format or store changes). The block-cache
+# smoke exercises the content-addressed data plane end to end: hit-rate,
+# bytes-on-wire bound, threaded-vs-distributed bit-identity, and
+# re-fetch after a worker kill.
 # Finally a distributed loopback smoke boots two rcompss-worker
 # daemons and checks a distributed grid search returns the exact per-trial
 # accuracies of the same run on the threaded backend; the telemetry smoke
@@ -63,6 +66,14 @@ cargo run --release -p hpo-bench --bin runtime_throughput -- net_throughput
 
 echo "==> checkpoint overhead (smoke): snapshot-cost regression gate"
 cargo run --release -p hpo-bench --bin ckpt_overhead -- smoke
+
+echo "==> block-cache smoke: shared dataset ships once per worker, not per trial"
+# Loopback 2-worker sweep over a 32 KiB shared dataset: asserts worker
+# cache hit-rate > 0, rnet_bytes_sent below the naive trials×dataset
+# bound (and within 2×workers×dataset + control-plane slack), results
+# bit-identical to the threaded backend, and block inputs re-fetching
+# cleanly after a mid-run worker kill.
+cargo test --release -p rcompss --test distributed -q -- block_plane killed_worker_block
 
 echo "==> distributed loopback smoke: 2 workers, distributed == threaded"
 SMOKE_DIR=$(mktemp -d)
@@ -146,6 +157,12 @@ WORKER_METRICS=$(scrape 7193 /metrics)
 echo "$WORKER_METRICS" | ./target/release/prom-check
 if ! echo "$WORKER_METRICS" | grep -q 'worker_tasks_executed_total'; then
     echo "telemetry smoke FAILED: worker scrape lacks worker_tasks_executed_total" >&2
+    exit 1
+fi
+# Block-cache series are preregistered: present (if only at zero) on
+# every worker scrape, so dashboards can rely on them.
+if ! echo "$WORKER_METRICS" | grep -q 'rcompss_block_cache_hits_total'; then
+    echo "telemetry smoke FAILED: worker scrape lacks block-cache series" >&2
     exit 1
 fi
 # The merged Chrome trace must hold exactly one execution span per trial

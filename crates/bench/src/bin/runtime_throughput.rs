@@ -73,6 +73,9 @@ struct Scenario {
     /// Run through the distributed backend (loopback workers) instead of
     /// the threaded one; `workers` cores are split across two daemons.
     net: bool,
+    /// Key suffix distinguishing scenarios that differ only in task count
+    /// (the `hundredk` scale curve and its smoke entry).
+    tag: &'static str,
 }
 
 impl Scenario {
@@ -87,7 +90,7 @@ impl Scenario {
             Shape::Diamond => "diamond",
         };
         let prefix = if self.net { "net_" } else { "" };
-        format!("{prefix}{w}_{s}_w{}", self.workers)
+        format!("{prefix}{w}_{s}_w{}{}", self.workers, self.tag)
     }
 }
 
@@ -142,8 +145,7 @@ fn run_net(sc: &Scenario) -> f64 {
             let cfg = WorkerConfig {
                 name: format!("bench-w{i}"),
                 cores: per_worker,
-                gpus: 0,
-                mem_gib: 8,
+                ..WorkerConfig::default()
             };
             WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
                 .expect("bind loopback worker")
@@ -232,7 +234,7 @@ fn typical_of(sc: &Scenario, reps: u32) -> f64 {
 }
 
 fn sc(work: Work, shape: Shape, workers: u32, tasks: u64) -> Scenario {
-    Scenario { work, shape, workers, tasks, net: false }
+    Scenario { work, shape, workers, tasks, net: false, tag: "" }
 }
 
 fn full_grid() -> Vec<Scenario> {
@@ -252,7 +254,28 @@ fn smoke_grid() -> Vec<Scenario> {
         sc(Work::Noop, Shape::Chain, 4, 1_500),
         sc(Work::Noop, Shape::Diamond, 16, 2_000),
         sc(Work::Spin100, Shape::FanOut, 16, 800),
+        // The 100k-task storm: graph build, ready-queue churn, and
+        // completion fan-in at two orders of magnitude above the other
+        // smoke entries — catches superlinear overhead the small
+        // scenarios hide. The full scale curve lives in `hundredk` mode.
+        Scenario { tag: "_100k", ..sc(Work::Noop, Shape::FanOut, 16, 100_000) },
     ]
+}
+
+/// Scale curve for per-task runtime overhead: the same fan-out/chain
+/// shapes at 1k → 10k → 100k tasks, threaded and over loopback TCP.
+/// Run via `runtime_throughput hundredk`; reported as µs/task so growth
+/// with scale (superlinear scheduling, allocator pressure, frame-buffer
+/// churn) is directly visible. Results feed EXPERIMENTS.md.
+fn hundredk_grid() -> Vec<Scenario> {
+    let mut g = Vec::new();
+    for &(tasks, tag) in &[(1_000u64, "_n1k"), (10_000, "_n10k"), (100_000, "_n100k")] {
+        g.push(Scenario { tag, ..sc(Work::Noop, Shape::FanOut, 16, tasks) });
+        g.push(Scenario { tag, ..sc(Work::Noop, Shape::Chain, 16, tasks) });
+        g.push(Scenario { net: true, tag, ..sc(Work::Noop, Shape::FanOut, 4, tasks) });
+        g.push(Scenario { net: true, tag, ..sc(Work::Noop, Shape::Chain, 2, tasks) });
+    }
+    g
 }
 
 /// Distributed-backend churn over loopback: the wire-protocol gate.
@@ -302,6 +325,7 @@ fn main() {
     let smoke = mode == "smoke" || mode == "--smoke";
     let net = mode == "net" || mode == "net_throughput";
     let rebaseline = mode == "rebaseline";
+    let hundredk = mode == "hundredk";
     banner(
         "Runtime throughput",
         "tasks/sec through the threaded and distributed backends (chain / fan-out / diamond)",
@@ -311,6 +335,8 @@ fn main() {
         net_grid()
     } else if smoke {
         smoke_grid()
+    } else if hundredk {
+        hundredk_grid()
     } else if rebaseline {
         let mut g = smoke_grid();
         g.extend(net_grid());
@@ -320,18 +346,43 @@ fn main() {
         g.extend(net_grid());
         g
     };
-    let reps = if smoke || net || rebaseline { 3 } else { 2 };
+    // The scale curve runs each point once: at 100k tasks the law of large
+    // numbers does the averaging, and best-of-N would triple a long run.
+    let reps = if hundredk {
+        1
+    } else if smoke || net || rebaseline {
+        3
+    } else {
+        2
+    };
     // Warm up thread-spawn and allocator paths.
     let _ = run(&sc(Work::Noop, Shape::Chain, 4, 200));
 
-    println!("{:<22} {:>8} {:>8} {:>14}", "scenario", "workers", "tasks", "tasks/sec");
+    println!(
+        "{:<26} {:>8} {:>8} {:>14} {:>10}",
+        "scenario", "workers", "tasks", "tasks/sec", "us/task"
+    );
     let mut rows: Vec<(String, f64)> = Vec::new();
     for sc in &grid {
         // Baselines record a typical fast batch (median of three), not a
         // single lucky one — see `typical_of`.
         let tps = if rebaseline { typical_of(sc, reps) } else { best_of(sc, reps) };
-        println!("{:<22} {:>8} {:>8} {:>14.0}", sc.key(), sc.workers, sc.tasks, tps);
+        println!(
+            "{:<26} {:>8} {:>8} {:>14.0} {:>10.2}",
+            sc.key(),
+            sc.workers,
+            sc.tasks,
+            tps,
+            1e6 / tps
+        );
         rows.push((sc.key(), tps));
+    }
+
+    if hundredk {
+        let out = out_dir().join("hundredk.json");
+        write_json(&out, &rows);
+        println!("\nJSON snapshot: {}", out.display());
+        return;
     }
 
     if rebaseline {

@@ -43,13 +43,26 @@
 //!
 //! # Data movement
 //!
-//! Task inputs travel inline ([`WireArg::Inline`]) unless the driver's
-//! residency tracking says the worker already holds the version, in which
-//! case only the key is sent ([`WireArg::Cached`]). The worker caches every
-//! inline argument it receives; a cache miss (cold cache after reconnect,
-//! or an output the worker produced under a key it was never told) falls
-//! back to a `Fetch` round trip served by the driver. Residency for a node
-//! is wiped whenever its connection drops.
+//! Small task inputs travel inline ([`WireArg::Inline`]) unless the
+//! driver's residency tracking says the worker already holds the version,
+//! in which case only the key is sent ([`WireArg::Cached`]). The worker
+//! caches every inline argument it receives; a cache miss (cold cache
+//! after reconnect, or an output the worker produced under a key it was
+//! never told) falls back to a `Fetch` round trip served by the driver.
+//! Residency for a node is wiped whenever its connection drops.
+//!
+//! Values whose declared size meets
+//! [`DistributedConfig::inline_threshold`] ride the content-addressed
+//! block plane instead (see the `blocks` module): the driver encodes the
+//! value once, hashes it, pushes the bytes ahead of the first `Submit`
+//! that needs them on a node (`BlockPut`), and every later submit —
+//! any trial, same content — sends only the 16-byte hash
+//! ([`WireArg::Block`]). Workers hold decoded blocks in an LRU cache
+//! bounded by `--cache-mem`, reporting evictions (`BlockEvict`) so the
+//! driver's residency stays honest; a miss is one `BlockRequest`/
+//! `BlockData` round trip, deduplicated across concurrently-starting
+//! tasks. The upshot: a shared dataset crosses the wire O(workers) times
+//! per sweep, not O(trials).
 //!
 //! # Fault tolerance
 //!
@@ -64,7 +77,7 @@
 //! Multi-node (`@multinode`) constraints are not dispatched remotely — the
 //! simulated backend remains the home for those experiments.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -82,6 +95,7 @@ use rnet::{
     Waker, WireArg, WireArgRef,
 };
 
+use crate::blocks::{BlockCache, EncodedBlock, DEFAULT_INLINE_THRESHOLD};
 use crate::codec;
 use crate::data::{DataHandle, DataVersion, Value};
 use crate::registry::TaskRegistry;
@@ -108,6 +122,11 @@ pub struct DistributedConfig {
     pub reconnect: bool,
     /// How long to keep retrying the initial connection to each worker.
     pub connect_timeout: Duration,
+    /// Values whose declared size (`DataRegistry::bytes`, the same size
+    /// model the transfer-aware scheduler scores with) is at least this
+    /// many bytes travel as content-addressed blocks instead of inline
+    /// `Submit` payloads. `u64::MAX` disables the block plane.
+    pub inline_threshold: u64,
 }
 
 impl Default for DistributedConfig {
@@ -118,6 +137,7 @@ impl Default for DistributedConfig {
             window: None,
             reconnect: false,
             connect_timeout: Duration::from_secs(5),
+            inline_threshold: DEFAULT_INLINE_THRESHOLD,
         }
     }
 }
@@ -144,11 +164,18 @@ fn key_version(key: u64) -> DataVersion {
     DataVersion { handle: DataHandle(key >> 32), version: key as u32 }
 }
 
-/// One argument prepared under the core lock: the value rides along only
-/// when the worker is not already believed to hold it.
-struct PreparedArg {
-    key: u64,
-    value: Option<Value>,
+/// One argument prepared under the core lock: how its bytes (if any)
+/// reach the worker.
+enum PreparedArg {
+    /// Worker already holds the version in its key cache; send the key.
+    Cached { key: u64 },
+    /// Small value, not resident: encoded off-lock and shipped inline.
+    Inline { key: u64, value: Value },
+    /// Block-plane value already resident on the worker: hash only.
+    BlockRef { key: u64, hash: u128 },
+    /// Block-plane value the worker lacks: a `BlockPut` with the bytes
+    /// precedes the `Submit` that references the hash.
+    BlockShip { key: u64, block: Arc<EncodedBlock> },
 }
 
 /// A placed task bound for a remote worker, prepared under the core lock
@@ -196,6 +223,11 @@ struct LinkState {
     /// NTP-style clock-offset estimator fed by heartbeat acks; survives
     /// failover (the worker's clock does not reset with its socket).
     clock: ClockSync,
+    /// Node-labelled mirror of `rnet_bytes_sent_total` — per-worker
+    /// attribution of the transfer collapse in `/metrics`.
+    sent_bytes: runmetrics::Counter,
+    /// Node-labelled mirror of `rnet_bytes_received_total`.
+    recv_bytes: runmetrics::Counter,
 }
 
 /// One remote worker as seen by the driver.
@@ -312,12 +344,19 @@ impl ConnMgr {
         boots: Vec<WorkerBootstrap>,
         cfg: DistributedConfig,
     ) -> ConnMgr {
+        shared.core.lock().blocks.set_inline_threshold(cfg.inline_threshold);
         let workers: Vec<Arc<WorkerLink>> = boots
             .into_iter()
             .enumerate()
             .map(|(i, b)| {
                 let window = cfg.window.unwrap_or(b.cores.saturating_mul(2)).max(1);
                 b.stream.set_nonblocking(true).ok();
+                let label = format!("{}@{}", b.name, b.addr);
+                let reg = shared.metrics.registry();
+                let sent_bytes =
+                    reg.counter(&runmetrics::labeled("rnet_bytes_sent_total", "node", &label));
+                let recv_bytes =
+                    reg.counter(&runmetrics::labeled("rnet_bytes_received_total", "node", &label));
                 Arc::new(WorkerLink {
                     node: i as u32,
                     addr: b.addr,
@@ -335,6 +374,8 @@ impl ConnMgr {
                         registered_write: false,
                         registered: false,
                         clock: ClockSync::default(),
+                        sent_bytes,
+                        recv_bytes,
                     }),
                     last_seen_us: AtomicU64::new(shared.wall_us()),
                     hb_seq: AtomicU64::new(0),
@@ -454,9 +495,15 @@ pub(crate) fn collect_dispatch_remote(shared: &Shared, core: &mut Core) -> Vec<R
         let popped = {
             // Disjoint field borrows: the locality closure reads data and
             // instances while the scheduler is borrowed mutably.
+            // Transfer-aware placement: fewest bytes-to-move first
+            // (declared size × missing residency), most resident inputs as
+            // the tie-break — the remote analogue of `locality_score`,
+            // weighted by what a wrong placement actually costs.
             let Core { sched, data, instances, .. } = core;
             sched.pop_placeable(|t, n| {
-                instances.get(&t).map_or(0, |inst| data.locality_score(&inst.reads(), n))
+                instances
+                    .get(&t)
+                    .map_or((std::cmp::Reverse(0), 0), |inst| data.transfer_score(&inst.reads(), n))
             })
         };
         if let Some(t0) = decision_started {
@@ -474,15 +521,36 @@ pub(crate) fn collect_dispatch_remote(shared: &Shared, core: &mut Core) -> Vec<R
         let mut args = Vec::with_capacity(reads.len());
         for v in reads {
             let key = data_key(v);
-            if core.data.is_on_node(v, node) {
-                args.push(PreparedArg { key, value: None });
+            if core.blocks.routes_block(core.data.bytes(v.handle)) {
+                let value = core.data.get(v).expect("ready task inputs are computed");
+                // Content-address the value; the encode is memoised, so a
+                // dataset shared by a hundred trials pays the codec once.
+                if let Some(block) = core.blocks.encode(v, &value) {
+                    // Optimistic residency, both granularities: versions
+                    // drive scheduling scores, hashes drive ship-vs-ref.
+                    // Cleared if the connection drops (or on BlockEvict).
+                    core.data.add_location(v, node);
+                    if core.blocks.is_resident(node, block.hash) {
+                        args.push(PreparedArg::BlockRef { key, hash: block.hash });
+                    } else {
+                        core.blocks.add_resident(node, block.hash);
+                        args.push(PreparedArg::BlockShip { key, block });
+                    }
+                    continue;
+                }
+                // No codec: fall through to the inline path, whose
+                // failed-attempt reporting stands.
+                core.data.add_location(v, node);
+                args.push(PreparedArg::Inline { key, value });
+            } else if core.data.is_on_node(v, node) {
+                args.push(PreparedArg::Cached { key });
             } else {
                 let value = core.data.get(v).expect("ready task inputs are computed");
                 // Optimistic residency: the worker caches inline args as
                 // they arrive, in submit order, so later submits on this
                 // socket may rely on it. Cleared if the connection drops.
                 core.data.add_location(v, node);
-                args.push(PreparedArg { key, value: Some(value) });
+                args.push(PreparedArg::Inline { key, value });
             }
         }
         let now = shared.wall_us();
@@ -525,7 +593,8 @@ pub(crate) fn collect_dispatch_remote(shared: &Shared, core: &mut Core) -> Vec<R
 /// much backlog as the socket accepts right now. Sets `want_write` when a
 /// backlog remains. Returns `false` when the socket died.
 fn pump_link(shared: &Shared, st: &mut LinkState) -> bool {
-    let LinkState { stream, pending, outstanding, window, send, want_write, .. } = &mut *st;
+    let LinkState { stream, pending, outstanding, window, send, want_write, sent_bytes, .. } =
+        &mut *st;
     let Some(sock) = stream.as_mut() else {
         return true; // mid-failover; frames stay pending until resolution
     };
@@ -542,6 +611,7 @@ fn pump_link(shared: &Shared, st: &mut LinkState) -> bool {
         Ok((n, drained)) => {
             if n > 0 {
                 shared.metrics.net_bytes_sent.add(n as u64);
+                sent_bytes.add(n as u64);
             }
             *want_write = !drained;
             true
@@ -591,10 +661,22 @@ fn send_dispatches(inner: &Arc<Inner>, work: Vec<RemoteDispatch>) {
             let mut args = Vec::with_capacity(d.args.len());
             let mut encode_err = None;
             for a in &d.args {
-                match &a.value {
-                    None => args.push(WireArg::Cached { key: a.key }),
-                    Some(v) => match codec::encode_value(v) {
-                        Some(blob) => args.push(WireArg::Inline { key: a.key, blob }),
+                match a {
+                    PreparedArg::Cached { key } => args.push(WireArg::Cached { key: *key }),
+                    PreparedArg::BlockRef { key, hash } => {
+                        args.push(WireArg::Block { key: *key, hash: *hash })
+                    }
+                    PreparedArg::BlockShip { key, block } => {
+                        // The block's bytes bypass the submit window, like
+                        // `Data` replies: they must precede the Submit that
+                        // references them (same socket, so ordering holds)
+                        // but carry no completion to retire a window slot.
+                        st.send
+                            .push(&Frame::BlockPut { hash: block.hash, blob: block.blob.clone() });
+                        args.push(WireArg::Block { key: *key, hash: block.hash });
+                    }
+                    PreparedArg::Inline { key, value } => match codec::encode_value(value) {
+                        Some(blob) => args.push(WireArg::Inline { key: *key, blob }),
                         None => {
                             encode_err = Some(format!(
                                 "no wire codec registered for an input of task '{}'",
@@ -767,6 +849,8 @@ type ExecStamps = Option<(u64, u64, u64)>;
 fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writable: bool) {
     let mut completions: Vec<(u64, Result<Vec<Value>, TaskError>, ExecStamps)> = Vec::new();
     let mut fetches: Vec<u64> = Vec::new();
+    let mut block_reqs: Vec<u128> = Vec::new();
+    let mut block_evicts: Vec<u128> = Vec::new();
     let mut snap_updates: Vec<(u64, Vec<u8>)> = Vec::new();
     let mut acks: Vec<(u64, u64, u64)> = Vec::new();
     let mut chunks: Vec<Vec<u8>> = Vec::new();
@@ -782,13 +866,14 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
             alive = pump_link(&inner.shared, &mut st);
         }
         if readable && alive {
-            let LinkState { stream, recv, .. } = &mut *st;
+            let LinkState { stream, recv, recv_bytes, .. } = &mut *st;
             let sock = stream.as_mut().expect("checked above");
             'fill: loop {
                 match recv.fill_from(sock) {
                     Ok(Fill::Bytes(n)) => {
                         saw_bytes = true;
                         inner.shared.metrics.net_bytes_received.add(n as u64);
+                        recv_bytes.add(n as u64);
                     }
                     Ok(Fill::WouldBlock) => break,
                     Ok(Fill::Eof) | Err(_) => {
@@ -821,6 +906,8 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
                                 acks.push((t_send_us, recv_us, reply_us));
                             }
                             FrameRef::Fetch { key } => fetches.push(key),
+                            FrameRef::BlockRequest { hash } => block_reqs.push(hash),
+                            FrameRef::BlockEvict { hash } => block_evicts.push(hash),
                             FrameRef::Data { key, blob } if key & SNAP_BIT != 0 => {
                                 snap_updates.push((key, blob.bytes.to_vec()));
                             }
@@ -874,8 +961,12 @@ fn service_link(inner: &Arc<Inner>, link: &Arc<WorkerLink>, readable: bool, writ
             }
         }
     }
-    if !completions.is_empty() || !fetches.is_empty() {
-        apply_frames(inner, link, completions, fetches);
+    if !completions.is_empty()
+        || !fetches.is_empty()
+        || !block_reqs.is_empty()
+        || !block_evicts.is_empty()
+    {
+        apply_frames(inner, link, completions, fetches, block_reqs, block_evicts);
     }
     if !alive {
         start_failover(inner, link);
@@ -929,6 +1020,8 @@ fn apply_frames(
     link: &Arc<WorkerLink>,
     completions: Vec<(u64, Result<Vec<Value>, TaskError>, ExecStamps)>,
     fetches: Vec<u64>,
+    block_reqs: Vec<u128>,
+    block_evicts: Vec<u128>,
 ) {
     let now = inner.shared.wall_us();
     type Info = (TaskId, Arc<crate::scheduler::Placement>, u64, Arc<str>, ExecStamps);
@@ -956,6 +1049,24 @@ fn apply_frames(
                 core.data.get(key_version(key)).and_then(|v| codec::encode_value(&v))
             {
                 replies.push(Frame::Data { key, blob });
+            }
+        }
+        for &hash in &block_evicts {
+            // The worker dropped the block under memory pressure: retract
+            // residency at both granularities so the next dispatch ships
+            // the bytes again (and scores the node honestly).
+            core.blocks.evict(link.node, hash);
+            let versions: Vec<DataVersion> = core.blocks.versions_of(hash).to_vec();
+            for v in versions {
+                core.data.remove_location(v, link.node);
+            }
+        }
+        for &hash in &block_reqs {
+            // Cache-miss refill; silence on an unknown hash is handled by
+            // the worker's own fetch deadline, like key fetches.
+            if let Some(block) = core.blocks.lookup(hash) {
+                core.blocks.add_resident(link.node, hash);
+                replies.push(Frame::BlockData { hash, blob: block.blob.clone() });
             }
         }
         collect_dispatch_remote(&inner.shared, &mut core)
@@ -1063,6 +1174,7 @@ fn failover(inner: &Arc<Inner>, link: &Arc<WorkerLink>) {
         let mut core = inner.shared.core.lock();
         core.sched.kill_node(node);
         core.data.clear_node_locations(node);
+        core.blocks.clear_node(node);
         let orphans: Vec<u64> = core
             .running
             .iter()
@@ -1142,6 +1254,10 @@ pub struct WorkerConfig {
     pub gpus: u32,
     /// Memory to advertise, GiB.
     pub mem_gib: u32,
+    /// Byte budget for the decoded-block LRU cache (`--cache-mem`).
+    /// Blocks beyond it are evicted least-recently-used and re-fetched on
+    /// demand; see `blocks::BlockCache`.
+    pub cache_mem_bytes: u64,
 }
 
 impl Default for WorkerConfig {
@@ -1151,6 +1267,7 @@ impl Default for WorkerConfig {
             cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
             gpus: 0,
             mem_gib: 16,
+            cache_mem_bytes: 256 * 1024 * 1024,
         }
     }
 }
@@ -1187,6 +1304,14 @@ impl WorkerServer {
     pub fn bind(addr: &str, cfg: WorkerConfig, registry: TaskRegistry) -> io::Result<WorkerServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        // Preregister the block-cache series in the process-global registry
+        // so worker scrapes and StatsSnapshots show them from zero — a
+        // cold cache reads as 0, not as a missing series.
+        let global = runmetrics::global();
+        global.counter("rcompss_block_cache_hits_total");
+        global.counter("rcompss_block_cache_misses_total");
+        global.counter("rcompss_block_cache_evictions_total");
+        global.gauge("rcompss_block_cache_resident_bytes");
         let poller = Poller::new().unwrap_or_else(|_| Poller::fallback());
         let wake = Arc::new(Waker::new(&poller, WAKE_TOKEN)?);
         Ok(WorkerServer {
@@ -1355,9 +1480,18 @@ impl Drop for WorkerHandle {
     }
 }
 
-/// One submitted task as queued on the worker: args are cache keys (inline
-/// values were decoded and cached by the event loop before queueing, so
-/// same-socket ordering guarantees hold).
+/// How one queued argument resolves on the worker: through the
+/// version-keyed value cache or the content-addressed block cache.
+enum JobArg {
+    /// Version-keyed: inline values were decoded and cached by the event
+    /// loop before queueing (same-socket ordering), misses `Fetch`.
+    Key(u64),
+    /// Content-addressed: resolved from the block cache, misses
+    /// `BlockRequest`.
+    Block(u128),
+}
+
+/// One submitted task as queued on the worker.
 struct Job {
     exec_id: u64,
     task_id: u64,
@@ -1367,10 +1501,26 @@ struct Job {
     variant: u32,
     cores: Vec<u32>,
     gpus: Vec<u32>,
-    arg_keys: Vec<u64>,
+    args: Vec<JobArg>,
     /// Worker clock when the `Submit` frame was decoded — the first
     /// lifecycle stamp echoed back in `Done`.
     recv_us: u64,
+}
+
+/// Version-keyed value cache plus the in-flight fetch set that coalesces
+/// concurrent misses: N executors needing the same key put exactly one
+/// `Fetch` on the wire and all wait on the connection's `cache_cv`.
+struct KeyCache {
+    values: HashMap<u64, Value>,
+    inflight: HashSet<u64>,
+}
+
+/// Content-addressed block cache plus its in-flight request set, the
+/// block-plane analogue of [`KeyCache`]: one `BlockRequest` per missing
+/// hash no matter how many tasks are blocked on it.
+struct BlockCacheState {
+    cache: BlockCache,
+    inflight: HashSet<u128>,
 }
 
 /// State shared between one connection's event-loop side and its executor
@@ -1388,8 +1538,13 @@ struct ConnShared {
     /// Kicks the event loop when a push could not fully flush, so it arms
     /// write interest and resumes on the writable event.
     wake: Arc<Waker>,
-    cache: Mutex<HashMap<u64, Value>>,
+    cache: Mutex<KeyCache>,
     cache_cv: Condvar,
+    /// Decoded-block LRU under the `--cache-mem` budget, plus its
+    /// in-flight request set. Own condvar (`blocks_cv`): parking_lot
+    /// condvars are bound to one mutex at a time.
+    blocks: Mutex<BlockCacheState>,
+    blocks_cv: Condvar,
     jobs: Mutex<VecDeque<Job>>,
     jobs_cv: Condvar,
     closed: AtomicBool,
@@ -1524,8 +1679,13 @@ fn accept_conn(
         out: Mutex::new(SendBuf::new()),
         stream: write_half,
         wake: Arc::clone(wake),
-        cache: Mutex::new(HashMap::new()),
+        cache: Mutex::new(KeyCache { values: HashMap::new(), inflight: HashSet::new() }),
         cache_cv: Condvar::new(),
+        blocks: Mutex::new(BlockCacheState {
+            cache: BlockCache::new(cfg.cache_mem_bytes),
+            inflight: HashSet::new(),
+        }),
+        blocks_cv: Condvar::new(),
         jobs: Mutex::new(VecDeque::new()),
         jobs_cv: Condvar::new(),
         closed: AtomicBool::new(false),
@@ -1611,7 +1771,7 @@ fn handle_worker_frame(
                 fn_names.insert(fn_id, Arc::from(name));
             }
             let name = fn_names.get(&fn_id).cloned().unwrap_or_else(|| Arc::from("?"));
-            let mut arg_keys = Vec::with_capacity(args.len());
+            let mut job_args = Vec::with_capacity(args.len());
             let mut bad_arg = None;
             for a in args {
                 match a {
@@ -1620,14 +1780,22 @@ fn handle_worker_frame(
                             Ok(v) => {
                                 // Cache *before* queueing the job so
                                 // same-socket ordering guarantees hold.
-                                conn.cache.lock().insert(key, v);
+                                let mut cache = conn.cache.lock();
+                                cache.inflight.remove(&key);
+                                cache.values.insert(key, v);
+                                drop(cache);
                                 conn.cache_cv.notify_all();
-                                arg_keys.push(key);
+                                job_args.push(JobArg::Key(key));
                             }
                             Err(e) => bad_arg = Some(e.to_string()),
                         }
                     }
-                    WireArgRef::Cached { key } => arg_keys.push(key),
+                    WireArgRef::Cached { key } => job_args.push(JobArg::Key(key)),
+                    // Content-addressed: either a BlockPut landed earlier
+                    // on this socket, or the block cache still holds it
+                    // from a previous task; a miss (eviction raced the
+                    // driver's residency view) re-fetches on demand.
+                    WireArgRef::Block { key: _, hash } => job_args.push(JobArg::Block(hash)),
                 }
             }
             if let Some(msg) = bad_arg {
@@ -1643,7 +1811,7 @@ fn handle_worker_frame(
                 variant,
                 cores,
                 gpus,
-                arg_keys,
+                args: job_args,
                 recv_us: conn.wall_us(),
             };
             conn.jobs.lock().push_back(job);
@@ -1676,9 +1844,17 @@ fn handle_worker_frame(
         }
         FrameRef::Data { key, blob } => {
             if let Ok(v) = codec::decode_tagged(blob.tag, blob.bytes) {
-                conn.cache.lock().insert(key, v);
+                let mut cache = conn.cache.lock();
+                cache.inflight.remove(&key);
+                cache.values.insert(key, v);
+                drop(cache);
                 conn.cache_cv.notify_all();
             }
+        }
+        // Unsolicited push (rides ahead of the Submit referencing it) and
+        // fetch reply land identically: decode once, admit to the LRU.
+        FrameRef::BlockPut { hash, blob } | FrameRef::BlockData { hash, blob } => {
+            admit_block(conn, hash, blob.tag, blob.bytes);
         }
         FrameRef::Shutdown => return false,
         // Other frames are driver-bound; ignore.
@@ -1740,28 +1916,97 @@ fn close_worker_conn(poller: &Poller, conn: WorkerConn) {
     conn.shared.closed.store(true, Ordering::SeqCst);
     conn.shared.jobs_cv.notify_all();
     conn.shared.cache_cv.notify_all();
+    conn.shared.blocks_cv.notify_all();
     conn.shared.snaps_cv.notify_all();
 }
 
+/// Decode an incoming block and admit it to the LRU cache, waking any
+/// executor parked on its hash and reporting what the budget pushed out
+/// (`BlockEvict`, so the driver retracts its residency claims). Runs on
+/// the event loop — decode cost is bounded by the same frames that would
+/// otherwise decode inline.
+fn admit_block(conn: &Arc<ConnShared>, hash: u128, tag: &str, bytes: &[u8]) {
+    let Ok(v) = codec::decode_tagged(tag, bytes) else {
+        // No codec for the tag: clear the in-flight mark so a waiter's
+        // deadline produces a timeout error instead of a silent hang.
+        conn.blocks.lock().inflight.remove(&hash);
+        conn.blocks_cv.notify_all();
+        return;
+    };
+    let mut blocks = conn.blocks.lock();
+    blocks.inflight.remove(&hash);
+    let evicted = blocks.cache.insert(hash, v, bytes.len() as u64);
+    let resident = blocks.cache.resident_bytes();
+    drop(blocks);
+    conn.blocks_cv.notify_all();
+    let global = runmetrics::global();
+    global.gauge("rcompss_block_cache_resident_bytes").set(resident as f64);
+    if !evicted.is_empty() {
+        global.counter("rcompss_block_cache_evictions_total").add(evicted.len() as u64);
+    }
+    for h in evicted {
+        conn.push_out(&Frame::BlockEvict { hash: h });
+    }
+}
+
 /// Wait for `key` in the connection cache, requesting it from the driver
-/// once if it is missing (cold cache after a reconnect).
+/// if it is missing (cold cache after a reconnect). Concurrent misses on
+/// the same key coalesce: only the first requester puts a `Fetch` on the
+/// wire, the rest wait on the same condvar.
 fn resolve_arg(conn: &ConnShared, key: u64) -> Result<Value, TaskError> {
-    let cache = conn.cache.lock();
-    if let Some(v) = cache.get(&key) {
+    let mut cache = conn.cache.lock();
+    if let Some(v) = cache.values.get(&key) {
         return Ok(v.clone());
     }
+    let leader = cache.inflight.insert(key);
     drop(cache);
-    conn.push_out(&Frame::Fetch { key });
+    if leader {
+        conn.push_out(&Frame::Fetch { key });
+    }
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let mut cache = conn.cache.lock();
     loop {
-        if let Some(v) = cache.get(&key) {
+        if let Some(v) = cache.values.get(&key) {
             return Ok(v.clone());
         }
         if conn.closed.load(Ordering::SeqCst) || std::time::Instant::now() >= deadline {
+            // Clear the mark so a later attempt re-requests instead of
+            // waiting on a fetch that will never land.
+            cache.inflight.remove(&key);
             return Err(TaskError::new("timed out fetching a task input"));
         }
         conn.cache_cv.wait_for(&mut cache, Duration::from_millis(50));
+    }
+}
+
+/// Block-plane analogue of [`resolve_arg`]: look up a content hash in the
+/// LRU cache, requesting the block from the driver on a miss with the
+/// same single-`BlockRequest` coalescing.
+fn resolve_block(conn: &ConnShared, hash: u128) -> Result<Value, TaskError> {
+    let global = runmetrics::global();
+    let mut blocks = conn.blocks.lock();
+    if let Some(v) = blocks.cache.get(hash) {
+        drop(blocks);
+        global.counter("rcompss_block_cache_hits_total").incr();
+        return Ok(v);
+    }
+    global.counter("rcompss_block_cache_misses_total").incr();
+    let leader = blocks.inflight.insert(hash);
+    drop(blocks);
+    if leader {
+        conn.push_out(&Frame::BlockRequest { hash });
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut blocks = conn.blocks.lock();
+    loop {
+        if let Some(v) = blocks.cache.get(hash) {
+            return Ok(v);
+        }
+        if conn.closed.load(Ordering::SeqCst) || std::time::Instant::now() >= deadline {
+            blocks.inflight.remove(&hash);
+            return Err(TaskError::new("timed out fetching a task input block"));
+        }
+        conn.blocks_cv.wait_for(&mut blocks, Duration::from_millis(50));
     }
 }
 
@@ -1810,9 +2055,13 @@ fn run_job(conn: &ConnShared, registry: &TaskRegistry, job: &Job) -> Frame {
     let Some(body) = registry.body(&job.name, job.variant) else {
         return fail(format!("worker has no task '{}' (variant {})", job.name, job.variant));
     };
-    let mut inputs = Vec::with_capacity(job.arg_keys.len());
-    for &key in &job.arg_keys {
-        match resolve_arg(conn, key) {
+    let mut inputs = Vec::with_capacity(job.args.len());
+    for a in &job.args {
+        let resolved = match *a {
+            JobArg::Key(key) => resolve_arg(conn, key),
+            JobArg::Block(hash) => resolve_block(conn, hash),
+        };
+        match resolved {
             Ok(v) => inputs.push(v),
             Err(e) => return fail(e.message),
         }

@@ -1,0 +1,335 @@
+//! The content-addressed data plane.
+//!
+//! Values that cross the wire are hashed by *content* (not version id)
+//! into immutable blocks. The driver keeps a [`BlockStore`]: an
+//! encode-once memo (a value shared by a hundred trials is serialised
+//! exactly once, ever) plus the per-node residency map that makes
+//! placement transfer-aware. Each worker keeps a [`BlockCache`]: decoded
+//! blocks under an LRU policy bounded by a byte budget (`--cache-mem`),
+//! reporting evictions back so the driver's residency view stays honest.
+//!
+//! Content addressing buys two things over version-keyed caching: two
+//! versions with identical bytes collapse to one block (one transfer, one
+//! cache slot), and a block is immutable by construction — there is no
+//! invalidation protocol, only eviction.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use rnet::Blob;
+
+use crate::codec;
+use crate::data::{DataVersion, Value};
+
+/// Declared sizes at or above this many bytes route through the block
+/// plane by default; smaller values stay inline in the `Submit` frame.
+pub(crate) const DEFAULT_INLINE_THRESHOLD: u64 = 64 * 1024;
+
+/// FNV-1a, 128-bit variant — stable, dependency-free, and cheap enough
+/// to run over multi-megabyte datasets at memcpy-adjacent speed is not
+/// required here: hashing happens once per unique value, at first
+/// dispatch, under the encode-once memo.
+///
+/// The codec tag participates in the hash so two codecs producing the
+/// same bytes for different types still get distinct blocks.
+pub(crate) fn content_hash(tag: &str, bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in tag.as_bytes() {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Separator between tag and payload, so ("ab", "c") ≠ ("a", "bc").
+    h ^= 0xff;
+    h = h.wrapping_mul(PRIME);
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One immutable encoded value: the wire blob plus its content hash.
+pub(crate) struct EncodedBlock {
+    /// Content hash of `(tag, bytes)` — the block's identity everywhere.
+    pub hash: u128,
+    /// The encoded bytes as they travel in `BlockPut`/`BlockData`.
+    pub blob: Blob,
+}
+
+/// Driver-side block state: encode-once memo, content dedup, and the
+/// per-node residency map behind transfer-aware placement.
+///
+/// Residency here is *optimistic*, mirroring `DataRegistry::add_location`:
+/// a block is marked resident when its `BlockPut` is queued, not when the
+/// worker acks it. Frames on one link are ordered, so any `Submit` that
+/// relies on the mark is decoded after the bytes arrived. Worker evictions
+/// (`BlockEvict`) and node death (`clear_node`) retract marks.
+pub(crate) struct BlockStore {
+    inline_threshold: u64,
+    encoded: HashMap<DataVersion, Arc<EncodedBlock>>,
+    by_hash: HashMap<u128, Arc<EncodedBlock>>,
+    versions_of: HashMap<u128, Vec<DataVersion>>,
+    resident: HashMap<u32, HashSet<u128>>,
+}
+
+impl BlockStore {
+    /// Empty store with the default inline threshold.
+    pub fn new() -> BlockStore {
+        BlockStore {
+            inline_threshold: DEFAULT_INLINE_THRESHOLD,
+            encoded: HashMap::new(),
+            by_hash: HashMap::new(),
+            versions_of: HashMap::new(),
+            resident: HashMap::new(),
+        }
+    }
+
+    /// Set the inline threshold (from `DistributedConfig`).
+    pub fn set_inline_threshold(&mut self, bytes: u64) {
+        self.inline_threshold = bytes;
+    }
+
+    /// Whether a value of `declared` bytes (the `DataRegistry::bytes` size
+    /// model) travels as a block rather than inline.
+    pub fn routes_block(&self, declared: u64) -> bool {
+        declared >= self.inline_threshold
+    }
+
+    /// Encode `value` for version `v`, memoised: the first call pays the
+    /// codec, every later call (any trial, any node) is a map lookup.
+    /// Identical content under a different version collapses onto the
+    /// existing block. `None` when no codec covers the value's type — the
+    /// caller falls back to the inline path, whose error reporting stands.
+    pub fn encode(&mut self, v: DataVersion, value: &Value) -> Option<Arc<EncodedBlock>> {
+        if let Some(b) = self.encoded.get(&v) {
+            return Some(Arc::clone(b));
+        }
+        let blob = codec::encode_value(value)?;
+        let hash = content_hash(&blob.tag, &blob.bytes);
+        let block = match self.by_hash.get(&hash) {
+            Some(b) => Arc::clone(b),
+            None => {
+                let b = Arc::new(EncodedBlock { hash, blob });
+                self.by_hash.insert(hash, Arc::clone(&b));
+                b
+            }
+        };
+        self.versions_of.entry(hash).or_default().push(v);
+        self.encoded.insert(v, Arc::clone(&block));
+        Some(block)
+    }
+
+    /// The block with this hash, for serving worker `BlockRequest`s.
+    pub fn lookup(&self, hash: u128) -> Option<Arc<EncodedBlock>> {
+        self.by_hash.get(&hash).cloned()
+    }
+
+    /// Every version whose content maps to `hash` — the set whose
+    /// `DataRegistry` residency must be retracted when a worker evicts it.
+    pub fn versions_of(&self, hash: u128) -> &[DataVersion] {
+        self.versions_of.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is `hash` (optimistically) resident on `node`?
+    pub fn is_resident(&self, node: u32, hash: u128) -> bool {
+        self.resident.get(&node).is_some_and(|s| s.contains(&hash))
+    }
+
+    /// Mark `hash` resident on `node`.
+    pub fn add_resident(&mut self, node: u32, hash: u128) {
+        self.resident.entry(node).or_default().insert(hash);
+    }
+
+    /// Retract one residency mark (worker sent `BlockEvict`).
+    pub fn evict(&mut self, node: u32, hash: u128) {
+        if let Some(s) = self.resident.get_mut(&node) {
+            s.remove(&hash);
+        }
+    }
+
+    /// Drop every mark for `node` — worker death, alongside
+    /// `DataRegistry::clear_node_locations`.
+    pub fn clear_node(&mut self, node: u32) {
+        self.resident.remove(&node);
+    }
+}
+
+struct Slot {
+    value: Value,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Worker-side decoded-block cache: LRU under a byte budget.
+///
+/// Blocks are immutable, so there is no dirtiness or write-back — only
+/// recency. The LRU order lives in a `BTreeMap<tick, hash>` (monotonic
+/// tick per touch): O(log n) touch/evict with no linked-list unsafe code.
+pub(crate) struct BlockCache {
+    budget: u64,
+    used: u64,
+    tick: u64,
+    slots: HashMap<u128, Slot>,
+    lru: BTreeMap<u64, u128>,
+}
+
+impl BlockCache {
+    /// Empty cache bounded by `budget` bytes of encoded-payload size.
+    pub fn new(budget: u64) -> BlockCache {
+        BlockCache { budget, used: 0, tick: 0, slots: HashMap::new(), lru: BTreeMap::new() }
+    }
+
+    fn touch(slot: &mut Slot, lru: &mut BTreeMap<u64, u128>, tick: &mut u64, hash: u128) {
+        lru.remove(&slot.tick);
+        *tick += 1;
+        slot.tick = *tick;
+        lru.insert(slot.tick, hash);
+    }
+
+    /// The cached value, refreshing its recency. `None` is a miss.
+    pub fn get(&mut self, hash: u128) -> Option<Value> {
+        let slot = self.slots.get_mut(&hash)?;
+        Self::touch(slot, &mut self.lru, &mut self.tick, hash);
+        Some(slot.value.clone())
+    }
+
+    /// Insert (or refresh) a block, evicting least-recently-used blocks
+    /// until the budget holds again. Returns the evicted hashes so the
+    /// caller can ship `BlockEvict` frames. A block larger than the whole
+    /// budget still resides (alone) — the alternative is thrashing on
+    /// every use.
+    pub fn insert(&mut self, hash: u128, value: Value, bytes: u64) -> Vec<u128> {
+        if let Some(slot) = self.slots.get_mut(&hash) {
+            Self::touch(slot, &mut self.lru, &mut self.tick, hash);
+            return Vec::new();
+        }
+        self.tick += 1;
+        self.slots.insert(hash, Slot { value, bytes, tick: self.tick });
+        self.lru.insert(self.tick, hash);
+        self.used += bytes;
+        let mut evicted = Vec::new();
+        while self.used > self.budget && self.slots.len() > 1 {
+            let (&old_tick, &old_hash) = self.lru.iter().next().expect("lru nonempty");
+            if old_hash == hash {
+                // Only the fresh block and older-but-refreshed ones left;
+                // never evict what we just inserted.
+                break;
+            }
+            self.lru.remove(&old_tick);
+            let slot = self.slots.remove(&old_hash).expect("slot exists");
+            self.used -= slot.bytes;
+            evicted.push(old_hash);
+        }
+        evicted
+    }
+
+    /// Bytes currently resident (encoded-payload accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident blocks.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: i64) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn content_hash_separates_tag_and_payload() {
+        assert_ne!(content_hash("ab", b"c"), content_hash("a", b"bc"));
+        assert_ne!(content_hash("t", b"x"), content_hash("t", b"y"));
+        assert_eq!(content_hash("t", b"x"), content_hash("t", b"x"));
+    }
+
+    #[test]
+    fn store_memoises_per_version_and_dedups_by_content() {
+        // i64 rides the builtin "std.i64" codec.
+        let mut store = BlockStore::new();
+        let v1 = DataVersion { handle: crate::data::DataHandle(1), version: 0 };
+        let v2 = DataVersion { handle: crate::data::DataHandle(2), version: 0 };
+        let b1 = store.encode(v1, &val(42)).expect("codec registered");
+        let b1b = store.encode(v1, &val(42)).expect("memo hit");
+        assert!(Arc::ptr_eq(&b1, &b1b), "same version returns the memoised block");
+        // Different version, identical content: same hash, shared block.
+        let b2 = store.encode(v2, &val(42)).expect("codec registered");
+        assert_eq!(b1.hash, b2.hash);
+        assert!(Arc::ptr_eq(&b1, &b2), "identical content collapses to one block");
+        assert_eq!(store.versions_of(b1.hash), &[v1, v2]);
+        assert!(store.lookup(b1.hash).is_some());
+    }
+
+    #[test]
+    fn store_residency_add_evict_clear() {
+        let mut store = BlockStore::new();
+        store.add_resident(3, 7);
+        store.add_resident(3, 9);
+        store.add_resident(4, 7);
+        assert!(store.is_resident(3, 7));
+        store.evict(3, 7);
+        assert!(!store.is_resident(3, 7));
+        assert!(store.is_resident(3, 9));
+        assert!(store.is_resident(4, 7));
+        store.clear_node(4);
+        assert!(!store.is_resident(4, 7));
+    }
+
+    #[test]
+    fn threshold_routes_declared_sizes() {
+        let mut store = BlockStore::new();
+        assert!(!store.routes_block(1024));
+        assert!(store.routes_block(DEFAULT_INLINE_THRESHOLD));
+        store.set_inline_threshold(10);
+        assert!(store.routes_block(1024));
+        store.set_inline_threshold(u64::MAX);
+        assert!(!store.routes_block(1 << 40), "MAX disables the block plane");
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_under_budget() {
+        let mut cache = BlockCache::new(100);
+        assert!(cache.insert(1, val(1), 40).is_empty());
+        assert!(cache.insert(2, val(2), 40).is_empty());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        let evicted = cache.insert(3, val(3), 40);
+        assert_eq!(evicted, vec![2]);
+        assert!(cache.get(2).is_none(), "evicted block misses");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.resident_bytes(), 80);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_keeps_oversized_block_alone() {
+        let mut cache = BlockCache::new(100);
+        assert!(cache.insert(1, val(1), 60).is_empty());
+        let evicted = cache.insert(2, val(2), 500);
+        assert_eq!(evicted, vec![1], "everything else evicted");
+        assert!(cache.get(2).is_some(), "oversized block still resides");
+        assert_eq!(cache.resident_bytes(), 500);
+    }
+
+    #[test]
+    fn cache_reinsert_refreshes_without_double_count() {
+        let mut cache = BlockCache::new(100);
+        assert!(cache.insert(1, val(1), 30).is_empty());
+        assert!(cache.insert(2, val(2), 30).is_empty());
+        assert!(cache.insert(1, val(1), 30).is_empty(), "refresh, no eviction");
+        assert_eq!(cache.resident_bytes(), 60);
+        // 2 is now the LRU victim despite inserting 1 first.
+        let evicted = cache.insert(3, val(3), 60);
+        assert_eq!(evicted, vec![2]);
+    }
+}

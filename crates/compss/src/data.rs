@@ -212,6 +212,14 @@ impl DataRegistry {
         self.locations.get(&v).is_some_and(|s| s.contains(&node))
     }
 
+    /// Retract one residency claim — a worker evicted the block backing
+    /// `v` from its cache, so dispatches must ship it again.
+    pub fn remove_location(&mut self, v: DataVersion, node: u32) {
+        if let Some(s) = self.locations.get_mut(&v) {
+            s.remove(&node);
+        }
+    }
+
     /// Forget every residency claim for `node` — called when a remote
     /// worker dies or reconnects with a cold cache, so the dispatcher goes
     /// back to shipping values inline instead of trusting stale residency.
@@ -225,7 +233,34 @@ impl DataRegistry {
     pub fn locality_score(&self, versions: &[DataVersion], node: u32) -> usize {
         versions.iter().filter(|&&v| self.is_on_node(v, node)).count()
     }
+
+    /// Transfer-aware placement score for running a task that reads
+    /// `versions` on `node`: primarily *fewest bytes to move* (declared
+    /// [`DataRegistry::bytes`] summed over the non-resident inputs),
+    /// secondarily the plain resident count. Built to slot straight into
+    /// `Scheduler::pop_placeable`'s `max_by_key` — `Reverse` turns
+    /// min-bytes into max-score, and the scheduler's own final tie-break
+    /// keeps ties on the lowest node id. When every input has the same
+    /// declared size the ordering degenerates to exactly
+    /// [`DataRegistry::locality_score`], so enabling it does not perturb
+    /// sim determinism.
+    pub fn transfer_score(&self, versions: &[DataVersion], node: u32) -> TransferScore {
+        let mut bytes_to_move = 0u64;
+        let mut resident = 0usize;
+        for v in versions {
+            if self.is_on_node(*v, node) {
+                resident += 1;
+            } else {
+                bytes_to_move = bytes_to_move.saturating_add(self.bytes(v.handle));
+            }
+        }
+        (std::cmp::Reverse(bytes_to_move), resident)
+    }
 }
+
+/// Score returned by [`DataRegistry::transfer_score`]: orders by fewest
+/// bytes-to-move first, then most resident inputs.
+pub type TransferScore = (std::cmp::Reverse<u64>, usize);
 
 #[cfg(test)]
 mod tests {
@@ -298,6 +333,48 @@ mod tests {
         assert_eq!(reg.locality_score(&[va, vb], 2), 2);
         assert_eq!(reg.locality_score(&[va, vb], 0), 1);
         assert_eq!(reg.locality_score(&[va, vb], 7), 0);
+    }
+
+    #[test]
+    fn transfer_score_orders_by_bytes_then_residency() {
+        let mut reg = DataRegistry::new(10);
+        let big = reg.literal(Value::new(0));
+        let small = reg.literal(Value::new(1));
+        reg.set_bytes(big, 1_000_000);
+        reg.set_bytes(small, 10);
+        let vb = reg.current_version(big);
+        let vs = reg.current_version(small);
+        // Node 0 holds the big block, node 1 the small one, node 2 nothing.
+        reg.add_location(vb, 0);
+        reg.add_location(vs, 1);
+        let reads = [vb, vs];
+        let s0 = reg.transfer_score(&reads, 0);
+        let s1 = reg.transfer_score(&reads, 1);
+        let s2 = reg.transfer_score(&reads, 2);
+        assert_eq!(s0, (std::cmp::Reverse(10), 1));
+        assert_eq!(s1, (std::cmp::Reverse(1_000_000), 1));
+        assert_eq!(s2, (std::cmp::Reverse(1_000_010), 0));
+        // Equal resident *counts*, but node 0 moves fewer bytes: it wins
+        // where the plain locality score could not tell them apart.
+        assert_eq!(reg.locality_score(&reads, 0), reg.locality_score(&reads, 1));
+        assert!(s0 > s1 && s1 > s2);
+    }
+
+    #[test]
+    fn transfer_score_with_uniform_sizes_matches_locality_order() {
+        let mut reg = DataRegistry::new(64);
+        let handles: Vec<_> = (0..4).map(|i| reg.literal(Value::new(i))).collect();
+        let reads: Vec<_> = handles.iter().map(|&h| reg.current_version(h)).collect();
+        reg.add_location(reads[0], 1);
+        reg.add_location(reads[1], 1);
+        reg.add_location(reads[2], 2);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let by_transfer = reg.transfer_score(&reads, a).cmp(&reg.transfer_score(&reads, b));
+                let by_locality = reg.locality_score(&reads, a).cmp(&reg.locality_score(&reads, b));
+                assert_eq!(by_transfer, by_locality, "nodes {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 pub mod api;
 pub mod backend;
+pub(crate) mod blocks;
 pub mod codec;
 pub mod data;
 pub mod fault;

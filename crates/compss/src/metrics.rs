@@ -40,6 +40,19 @@
 //! | `rnet_rtt_us{node="…"}` | gauge | best heartbeat round-trip time per worker |
 //! | `rnet_clock_offset_us{node="…"}` | gauge | estimated worker−driver clock offset |
 //! | `rnet_last_stats_us{node="…"}` | gauge | driver wall-µs of the last stats snapshot per worker |
+//! | `rnet_bytes_sent_total{node="…"}` | counter | protocol bytes written, per worker link |
+//! | `rnet_bytes_received_total{node="…"}` | counter | protocol bytes read, per worker link |
+//!
+//! Workers additionally keep block-cache series in their process-global
+//! registry — they reach the driver's aggregate through `StatsSnapshot`
+//! heartbeats and are scrapeable at the worker's own `--status-addr`:
+//!
+//! | series | kind | meaning |
+//! |---|---|---|
+//! | `rcompss_block_cache_hits_total` | counter | task inputs served from the local block cache |
+//! | `rcompss_block_cache_misses_total` | counter | block-plane inputs that needed a transfer |
+//! | `rcompss_block_cache_evictions_total` | counter | blocks pushed out by the `--cache-mem` budget |
+//! | `rcompss_block_cache_resident_bytes` | gauge | decoded bytes currently cached |
 //!
 //! The `task_phase_us` phases decompose a remote task's life on the driver
 //! timeline: **queue** (submission → dispatch), **wire** (dispatch →

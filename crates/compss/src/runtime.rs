@@ -19,6 +19,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::backend::distributed::{connect_workers, ConnMgr, DistributedConfig};
 use crate::backend::sim::SimState;
 use crate::backend::threaded::{collect_dispatch, WorkerPool};
+use crate::blocks::BlockStore;
 use crate::data::{DataHandle, DataRegistry, DataVersion, Producer, Value};
 use crate::fault::{RetryDecision, RetryPolicy};
 use crate::graph::{TaskGraph, TaskState};
@@ -250,6 +251,7 @@ pub(crate) struct RunningExec {
 /// Mutable runtime state, shared under one lock.
 pub(crate) struct Core {
     pub data: DataRegistry,
+    pub blocks: BlockStore,
     pub graph: TaskGraph,
     pub sched: Scheduler,
     pub instances: HashMap<TaskId, Instance>,
@@ -390,6 +392,7 @@ impl Runtime {
         Arc::new(Shared {
             core: Mutex::new(Core {
                 data: DataRegistry::new(cfg.default_value_bytes),
+                blocks: BlockStore::new(),
                 graph: TaskGraph::new(),
                 sched,
                 instances: HashMap::new(),

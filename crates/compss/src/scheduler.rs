@@ -262,8 +262,12 @@ impl Scheduler {
     }
 
     /// Pop the best placeable ready task, if any, together with its
-    /// placement. `locality` scores a `(task, node)` pair (higher = more
-    /// input data already resident).
+    /// placement. `locality` scores a `(task, node)` pair with any `Ord`
+    /// value (higher = better); among equally feasible nodes the highest
+    /// score wins, with ties broken toward the lowest node id. Backends
+    /// pass a plain resident-input count, or a composite
+    /// (fewest-bytes-to-move, most-resident) score for transfer-aware
+    /// placement — see `DataRegistry::transfer_score`.
     ///
     /// Equivalent to walking the ready-set in key order (priority desc, seq
     /// asc) and taking the first entry with a feasible
@@ -278,9 +282,9 @@ impl Scheduler {
     /// differential-testing oracle). Cost is O(classes · log) per pop and
     /// O(1) while the whole set is known blocked, where the linear scan
     /// paid O(ready) every call.
-    pub fn pop_placeable(
+    pub fn pop_placeable<S: Ord>(
         &mut self,
-        locality: impl Fn(TaskId, u32) -> usize,
+        locality: impl Fn(TaskId, u32) -> S,
     ) -> Option<(ReadyEntry, Placement)> {
         if self.all_blocked {
             return None;
@@ -322,9 +326,9 @@ impl Scheduler {
     /// same contract as [`Scheduler::pop_placeable`], no class index. The
     /// proptest suite asserts both pop identical sequences.
     #[doc(hidden)]
-    pub fn pop_placeable_reference(
+    pub fn pop_placeable_reference<S: Ord>(
         &mut self,
-        locality: impl Fn(TaskId, u32) -> usize,
+        locality: impl Fn(TaskId, u32) -> S,
     ) -> Option<(ReadyEntry, Placement)> {
         let mut found: Option<(ReadyKey, u32, usize)> = None;
         for (key, entry) in &self.ready {
@@ -495,10 +499,10 @@ impl Scheduler {
 /// outright if any implementation fits there; otherwise the feasible node
 /// with the most resident input data (ties to the lowest node id). Each
 /// node tries the primary constraint first, then `@implement` alternatives.
-fn choose_node(
+fn choose_node<S: Ord>(
     nodes: &[NodeResources],
     entry: &ReadyEntry,
-    locality: &impl Fn(TaskId, u32) -> usize,
+    locality: &impl Fn(TaskId, u32) -> S,
 ) -> Option<(u32, usize)> {
     let variants = entry.variant_constraints();
     let node_fits = |i: u32, c: &Constraint| -> bool {
@@ -692,6 +696,35 @@ mod tests {
         s.push_ready(entry(1, 1, 0));
         let (_, p) = s.pop_placeable(|_, node| if node == 1 { 5 } else { 0 }).unwrap();
         assert_eq!(p.node, 1, "node with resident data wins");
+    }
+
+    #[test]
+    fn score_ties_break_toward_lowest_node_id() {
+        // Equal locality everywhere → node 0, both for the plain count and
+        // for a transfer-aware (Reverse(bytes), resident) composite score.
+        let mut s = sched(3);
+        s.push_ready(entry(1, 1, 0));
+        let (_, p) = s.pop_placeable(|_, _| 3usize).unwrap();
+        assert_eq!(p.node, 0, "uniform locality falls back to lowest id");
+        s.push_ready(entry(2, 1, 1));
+        let (_, p) = s.pop_placeable(|_, _| (std::cmp::Reverse(4096u64), 1usize)).unwrap();
+        assert_eq!(p.node, 0, "uniform transfer score falls back to lowest id");
+        // An actual bytes difference overrides the id tie-break…
+        s.push_ready(entry(3, 1, 2));
+        let (_, p) = s
+            .pop_placeable(|_, node| {
+                (std::cmp::Reverse(if node == 2 { 0u64 } else { 1 << 20 }), 0usize)
+            })
+            .unwrap();
+        assert_eq!(p.node, 2, "fewest bytes-to-move wins");
+        // …and equal bytes with unequal residency falls to resident count.
+        s.push_ready(entry(4, 1, 3));
+        let (_, p) = s
+            .pop_placeable(|_, node| {
+                (std::cmp::Reverse(512u64), if node == 1 { 2usize } else { 1 })
+            })
+            .unwrap();
+        assert_eq!(p.node, 1, "equal bytes: most resident inputs wins");
     }
 
     #[test]

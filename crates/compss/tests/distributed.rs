@@ -54,7 +54,7 @@ fn spawn_workers(n: usize, cores: u32) -> Vec<WorkerHandle> {
     let registry = task_set();
     (0..n)
         .map(|i| {
-            let cfg = WorkerConfig { name: format!("w{i}"), cores, gpus: 0, mem_gib: 8 };
+            let cfg = WorkerConfig { name: format!("w{i}"), cores, ..WorkerConfig::default() };
             WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
                 .expect("bind loopback")
                 .spawn()
@@ -220,7 +220,7 @@ fn killed_worker_resumes_from_snapshot_not_epoch_zero() {
 
     let workers: Vec<WorkerHandle> = (0..2)
         .map(|i| {
-            let cfg = WorkerConfig { name: format!("w{i}"), cores: 1, gpus: 0, mem_gib: 8 };
+            let cfg = WorkerConfig { name: format!("w{i}"), cores: 1, ..WorkerConfig::default() };
             WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
                 .expect("bind loopback")
                 .spawn()
@@ -408,6 +408,188 @@ fn merged_trace_has_worker_spans_for_every_completed_task() {
     // median must sit at or above that floor.
     let exec = snap.histogram(&runmetrics::labeled("rcompss_task_phase_us", "phase", "exec"));
     assert!(exec.unwrap().p50 >= 10_000, "exec phase reflects the 15 ms body");
+}
+
+/// Task set for the block-plane tests: `dot` folds a shared `Vec<f64>`
+/// dataset with a per-trial scale — the dataset is what the block plane
+/// should ship once per worker instead of once per trial.
+fn block_task_set(sleep: Duration) -> TaskRegistry {
+    let dot = def("dot", move |_, inputs| {
+        std::thread::sleep(sleep);
+        let data: &Vec<f64> = inputs[0].downcast_ref().unwrap();
+        let scale: i64 = *inputs[1].downcast_ref::<i64>().unwrap();
+        let sum: f64 = data.iter().sum();
+        Ok(vec![Value::new(sum * scale as f64)])
+    });
+    TaskRegistry::new().with(dot)
+}
+
+fn spawn_block_workers(n: usize, cores: u32, sleep: Duration) -> Vec<WorkerHandle> {
+    let registry = block_task_set(sleep);
+    (0..n)
+        .map(|i| {
+            let cfg = WorkerConfig { name: format!("w{i}"), cores, ..WorkerConfig::default() };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind loopback")
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+/// Submit `trials` dot-products, each against its *own* literal holding
+/// the same dataset bytes — the realistic sweep shape where every trial
+/// materialises its copy of a shared input under a fresh handle. The
+/// version-keyed cache cannot dedup across handles; the content-addressed
+/// plane collapses them onto one block. Returns the result bit patterns
+/// (f64 → u64, so equality is exact).
+fn run_block_sweep(rt: &Runtime, dataset: &[f64], trials: i64, sleep: Duration) -> Vec<u64> {
+    let dot = block_task_set(sleep).get("dot").unwrap().clone();
+    let handles: Vec<_> = (1..=trials)
+        .map(|i| {
+            let ds = rt.literal(dataset.to_vec());
+            // Declare the real size so the distributed backend routes the
+            // dataset through the block plane (the per-trial i64 keeps the
+            // 1 KiB default and stays inline).
+            rt.set_data_bytes(ds, (dataset.len() * 8) as u64);
+            let scale = rt.literal(i);
+            rt.submit(&dot, vec![ArgSpec::In(ds), ArgSpec::In(scale)]).unwrap().returns[0]
+        })
+        .collect();
+    handles
+        .iter()
+        .map(|h| rt.wait_on(h).unwrap().downcast_ref::<f64>().unwrap().to_bits())
+        .collect()
+}
+
+#[test]
+fn block_plane_ships_shared_dataset_once_per_worker_not_once_per_trial() {
+    const TRIALS: i64 = 12;
+    let dataset: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+    let ds_wire = rcompss::codec::encode_value(&Value::new(dataset.clone()))
+        .expect("builtin vec_f64 codec")
+        .bytes
+        .len() as u64;
+
+    // Worker block-cache counters live in the process-global registry
+    // (opt-in, like the worker binary's `serve`) and loopback workers
+    // share this process, so enable it and measure deltas.
+    runmetrics::global().set_enabled(true);
+    let hits_before =
+        runmetrics::global().snapshot().counter("rcompss_block_cache_hits_total").unwrap_or(0);
+
+    // Control: the same sweep with the block plane disabled ships the
+    // dataset inline in every Submit — the O(trials × dataset) baseline.
+    let inline_sent = {
+        let workers = spawn_block_workers(2, 2, Duration::ZERO);
+        let dcfg = DistributedConfig { inline_threshold: u64::MAX, ..DistributedConfig::default() };
+        let rt = Runtime::distributed(RuntimeConfig::single_node(1), &addrs(&workers), dcfg)
+            .expect("connect");
+        run_block_sweep(&rt, &dataset, TRIALS, Duration::ZERO);
+        rt.metrics().snapshot().counter("rnet_bytes_sent_total").expect("bytes counted")
+    };
+
+    let workers = spawn_block_workers(2, 2, Duration::ZERO);
+    let dcfg = DistributedConfig { inline_threshold: 16 * 1024, ..DistributedConfig::default() };
+    let rt = Runtime::distributed(RuntimeConfig::single_node(1), &addrs(&workers), dcfg)
+        .expect("connect");
+    let distributed = run_block_sweep(&rt, &dataset, TRIALS, Duration::ZERO);
+
+    // Bit-identical to the threaded backend: the block plane changes how
+    // bytes move, never what tasks compute.
+    let threaded = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        run_block_sweep(&rt, &dataset, TRIALS, Duration::ZERO)
+    };
+    assert_eq!(distributed, threaded, "results identical across backends");
+
+    let snap = rt.metrics().snapshot();
+    let sent = snap.counter("rnet_bytes_sent_total").expect("bytes counted");
+    let naive = TRIALS as u64 * ds_wire;
+    let deduped = 2 * ds_wire; // once per worker
+    println!(
+        "bytes on wire for {TRIALS} trials over a {ds_wire}-byte dataset: \
+         inline {inline_sent}, block plane {sent} ({:.1}x less)",
+        inline_sent as f64 / sent as f64
+    );
+    assert!(sent < naive, "block plane beats inline shipping: sent {sent} >= naive {naive}");
+    assert!(
+        sent <= 2 * deduped + 96 * 1024,
+        "sent {sent} exceeds O(workers × dataset) + control-plane slack"
+    );
+    assert!(
+        sent * 2 < inline_sent,
+        "block plane at least halves the measured inline bytes \
+         ({inline_sent} -> {sent})"
+    );
+
+    // Every trial resolved the dataset from the local cache: the block
+    // rode a BlockPut ahead of the first Submit on each link.
+    let hits_after =
+        runmetrics::global().snapshot().counter("rcompss_block_cache_hits_total").unwrap_or(0);
+    assert!(
+        hits_after - hits_before >= TRIALS as u64,
+        "each trial hit the worker block cache ({hits_before} -> {hits_after})"
+    );
+
+    // Per-link byte counters carry a node label and sum to the global.
+    let labelled: u64 = rt
+        .node_labels()
+        .iter()
+        .filter_map(|l| snap.counter(&runmetrics::labeled("rnet_bytes_sent_total", "node", l)))
+        .sum();
+    assert_eq!(labelled, sent, "per-node byte counters partition the total");
+}
+
+#[test]
+fn killed_worker_block_inputs_refetch_cleanly_on_survivors() {
+    const TRIALS: i64 = 24;
+    let dataset: Vec<f64> = (0..4096).map(|i| (i as f64).cos()).collect();
+
+    let workers = spawn_block_workers(2, 2, Duration::from_millis(15));
+    let dcfg = DistributedConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(300),
+        inline_threshold: 16 * 1024,
+        ..DistributedConfig::default()
+    };
+    let rt = Runtime::distributed(
+        RuntimeConfig::single_node(1)
+            .with_retry(RetryPolicy { max_attempts: 4, same_node_first: false }),
+        &addrs(&workers),
+        dcfg,
+    )
+    .expect("connect");
+
+    let dot = block_task_set(Duration::from_millis(15)).get("dot").unwrap().clone();
+    let ds = rt.literal(dataset.clone());
+    rt.set_data_bytes(ds, (dataset.len() * 8) as u64);
+    let handles: Vec<_> = (1..=TRIALS)
+        .map(|i| {
+            let scale = rt.literal(i);
+            rt.submit(&dot, vec![ArgSpec::In(ds), ArgSpec::In(scale)]).unwrap().returns[0]
+        })
+        .collect();
+
+    // Kill one worker mid-run: failover must retract its block residency
+    // (clear_node) so retried tasks re-fetch on survivors instead of the
+    // driver assuming the dead node's cache still exists.
+    std::thread::sleep(Duration::from_millis(40));
+    workers[0].halt();
+
+    let expected: f64 = dataset.iter().sum();
+    for (i, h) in handles.iter().enumerate() {
+        let v = rt.wait_on(h).expect("survivor finishes block-plane tasks");
+        let got = *v.downcast_ref::<f64>().unwrap();
+        assert_eq!(got.to_bits(), (expected * (i as f64 + 1.0)).to_bits());
+    }
+    let snap = rt.metrics().snapshot();
+    assert_eq!(snap.counter("rcompss_workers_lost_total"), Some(1));
+    assert!(
+        snap.counter("rcompss_tasks_retried_total").unwrap_or(0) > 0,
+        "in-flight tasks on the dead worker were resubmitted"
+    );
+    assert_eq!(rt.stats().completed, TRIALS as u64);
 }
 
 #[test]

@@ -58,7 +58,8 @@ fn spawn_workers(n: usize, opts: &ExperimentOptions, obj: &Objective) -> Vec<Wor
     let registry = TaskRegistry::new().with(experiment_task_def(opts, obj));
     (0..n)
         .map(|i| {
-            let cfg = WorkerConfig { name: format!("hpo-w{i}"), cores: 2, gpus: 0, mem_gib: 8 };
+            let cfg =
+                WorkerConfig { name: format!("hpo-w{i}"), cores: 2, ..WorkerConfig::default() };
             WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
                 .expect("bind")
                 .spawn()

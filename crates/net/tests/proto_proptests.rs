@@ -10,10 +10,17 @@ fn arb_blob() -> impl Strategy<Value = Blob> {
         .prop_map(|(tag, bytes)| Blob { tag, bytes })
 }
 
+// The vendored proptest has no `Arbitrary` for u128: build hashes from
+// two u64 halves.
+fn arb_hash() -> impl Strategy<Value = u128> {
+    (any::<u64>(), any::<u64>()).prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
 fn arb_arg() -> impl Strategy<Value = WireArg> {
     prop_oneof![
         (any::<u64>(), arb_blob()).prop_map(|(key, blob)| WireArg::Inline { key, blob }),
         any::<u64>().prop_map(|key| WireArg::Cached { key }),
+        (any::<u64>(), arb_hash()).prop_map(|(key, hash)| WireArg::Block { key, hash }),
     ]
 }
 
@@ -89,6 +96,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 counters,
                 gauges
             }),
+        (arb_hash(), arb_blob()).prop_map(|(hash, blob)| Frame::BlockPut { hash, blob }),
+        arb_hash().prop_map(|hash| Frame::BlockRequest { hash }),
+        (arb_hash(), arb_blob()).prop_map(|(hash, blob)| Frame::BlockData { hash, blob }),
+        arb_hash().prop_map(|hash| Frame::BlockEvict { hash }),
         Just(Frame::Shutdown),
     ]
 }

@@ -92,6 +92,10 @@ pub struct CliArgs {
     /// Serve live `GET /metrics` + `GET /healthz` on this address while
     /// the run is in flight (e.g. `127.0.0.1:9100`). `None` = no endpoint.
     pub status_addr: Option<String>,
+    /// Declared-size threshold (bytes) above which distributed-backend
+    /// values travel content-addressed through the block plane instead of
+    /// inline in each `Submit`. `u64::MAX` disables the block plane.
+    pub inline_threshold: u64,
 }
 
 impl Default for CliArgs {
@@ -120,6 +124,7 @@ impl Default for CliArgs {
             ckpt_retain: 2,
             resume: false,
             status_addr: None,
+            inline_threshold: 64 * 1024,
         }
     }
 }
@@ -153,6 +158,9 @@ pub struct WorkerArgs {
     /// Serve live `GET /metrics` + `GET /healthz` on this address
     /// (worker-local counters). `None` = no endpoint.
     pub status_addr: Option<String>,
+    /// Block-cache memory budget, MiB (`--cache-mem`). Decoded blocks are
+    /// kept under this budget and evicted least-recently-used.
+    pub cache_mem_mib: u64,
 }
 
 impl Default for WorkerArgs {
@@ -168,6 +176,7 @@ impl Default for WorkerArgs {
             target_accuracy: None,
             ckpt_every: 0,
             status_addr: None,
+            cache_mem_mib: 256,
         }
     }
 }
@@ -235,6 +244,11 @@ OPTIONS:
     --status-addr <addr>   serve live GET /metrics + /healthz here while
                            the run is in flight (Prometheus text format;
                            curl-able, e.g. 127.0.0.1:9100)
+    --inline-threshold <n> distributed backend: values whose declared size
+                           is >= n bytes travel content-addressed through
+                           the block plane (cached per worker, shipped
+                           once per node) instead of inline in every
+                           Submit; 0 = everything, huge = never  [65536]
     --help                 show this text
 
 WORKER OPTIONS (hpo-run worker / rcompss-worker):
@@ -246,6 +260,9 @@ WORKER OPTIONS (hpo-run worker / rcompss-worker):
                            resume mid-training after a worker loss
     --status-addr <addr>   serve this worker's live GET /metrics +
                            /healthz here (Prometheus text format)
+    --cache-mem <mib>      decoded-block cache budget in MiB; least-
+                           recently-used blocks are evicted and re-
+                           fetched on demand                   [256]
     --dataset, --samples, --seed, --cnn, --target-accuracy
                            dataset recipe — must match the driver, so the
                            worker rebuilds the identical objective
@@ -337,6 +354,9 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
                 out.resume = true;
             }
             "--status-addr" => out.status_addr = Some(take_value(arg, &mut it)?.to_string()),
+            "--inline-threshold" => {
+                out.inline_threshold = parse_num(arg, take_value(arg, &mut it)?)?;
+            }
             other => return Err(CliError(format!("unknown flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -415,6 +435,7 @@ pub fn parse_worker(args: &[&str]) -> Result<WorkerArgs, CliError> {
             }
             "--ckpt-every" => out.ckpt_every = parse_num(arg, take_value(arg, &mut it)?)?,
             "--status-addr" => out.status_addr = Some(take_value(arg, &mut it)?.to_string()),
+            "--cache-mem" => out.cache_mem_mib = parse_num(arg, take_value(arg, &mut it)?)?,
             other => return Err(CliError(format!("unknown worker flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -648,6 +669,23 @@ mod tests {
         assert!(parse(&["--config", "s.json", "--status-addr"]).is_err(), "dangling value");
         let e = parse(&["--help"]).unwrap_err();
         assert!(e.0.contains("--status-addr"), "help documents the scrape endpoint");
+    }
+
+    #[test]
+    fn data_plane_flags_parse() {
+        let a = parse(&["--config", "s.json", "--inline-threshold", "4096"]).unwrap();
+        assert_eq!(a.inline_threshold, 4096);
+        assert_eq!(
+            parse(&["--config", "s.json"]).unwrap().inline_threshold,
+            64 * 1024,
+            "block plane on by default above 64 KiB"
+        );
+        let w = parse_worker(&["--cache-mem", "64"]).unwrap();
+        assert_eq!(w.cache_mem_mib, 64);
+        assert_eq!(WorkerArgs::default().cache_mem_mib, 256);
+        assert!(parse_worker(&["--cache-mem", "lots"]).is_err(), "non-numeric rejected");
+        let e = parse(&["--help"]).unwrap_err();
+        assert!(e.0.contains("--inline-threshold") && e.0.contains("--cache-mem"));
     }
 
     #[test]

@@ -157,7 +157,10 @@ fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
             let rt = Runtime::distributed(
                 RuntimeConfig::single_node(1).with_tracing(args.trace).with_metrics(metrics_on),
                 &args.workers,
-                DistributedConfig::default(),
+                DistributedConfig {
+                    inline_threshold: args.inline_threshold,
+                    ..DistributedConfig::default()
+                },
             )?;
             println!("distributed cluster: {}", rt.node_labels().join(", "));
             rt

@@ -102,7 +102,12 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
     };
-    let cfg = WorkerConfig { name: args.name.clone(), cores, gpus: 0, mem_gib: 16 };
+    let cfg = WorkerConfig {
+        name: args.name.clone(),
+        cores,
+        cache_mem_bytes: args.cache_mem_mib * 1024 * 1024,
+        ..WorkerConfig::default()
+    };
     let server = WorkerServer::bind(&args.listen, cfg, registry)?;
     println!(
         "rcompss-worker '{}' listening on {} ({} cores, dataset {} × {})",

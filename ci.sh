@@ -31,7 +31,10 @@
 # re-runs a sweep with --status-addr on the driver and workers, scrapes
 # GET /metrics live over bash's /dev/tcp, validates the exposition with
 # prom-check, and diffs the merged-trace execution-span count against the
-# trial CSV.
+# trial CSV. The sweep-server smoke boots a long-lived rcompss-server with
+# two dial-in workers, submits a sweep over the client CLI, and checks the
+# served leaderboard matches the standalone run and the hposerver_ metric
+# family scrapes clean.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -122,7 +125,17 @@ scrape() {
     sed '1,/^\r*$/d' <&3
     exec 3<&- 3>&-
 }
-./target/release/hpo-run --config "$SMOKE_DIR/space.json" --backend distributed \
+# More epochs than the diff smoke: the run must outlive the first
+# successful mid-flight scrape, and 1-2 epoch trials finish in ~0.1 s
+# on a warm box — too fast for the retry loop to win the race.
+cat > "$SMOKE_DIR/space_telemetry.json" <<'EOF'
+{
+  "optimizer": ["Adam", "SGD"],
+  "num_epochs": [10, 20],
+  "batch_size": [32]
+}
+EOF
+./target/release/hpo-run --config "$SMOKE_DIR/space_telemetry.json" --backend distributed \
     --workers 127.0.0.1:7191,127.0.0.1:7192 --samples 200 \
     --status-addr 127.0.0.1:7195 --trace-out "$SMOKE_DIR/smoke.trace.json" \
     --out "$SMOKE_DIR/telemetry.csv" &
@@ -174,5 +187,57 @@ if [ "$SPANS" -ne "$TRIALS" ]; then
     exit 1
 fi
 echo "telemetry smoke: scrapes valid, $SPANS exec spans == $TRIALS trials"
+
+echo "==> sweep-server smoke: multi-tenant daemon, client CLI, /metrics"
+# Long-lived rcompss-server owns the pool (two workers dial in), a tenant
+# submits the same grid over the client CLI and streams the leaderboard to
+# CSV. The served per-trial table must match the standalone threaded run
+# bit-for-bit, and the scrape must expose a valid hposerver_ family.
+./target/release/rcompss-server --listen 127.0.0.1:7296 --expect-workers 2 \
+    --samples 200 --status-addr 127.0.0.1:7295 &
+WORKER_PIDS+=($!)
+./target/release/rcompss-worker --listen 127.0.0.1:7297 --name srv-w0 --samples 200 \
+    --dial 127.0.0.1:7296 &
+WORKER_PIDS+=($!)
+./target/release/rcompss-worker --listen 127.0.0.1:7298 --name srv-w1 --samples 200 \
+    --dial 127.0.0.1:7296 &
+WORKER_PIDS+=($!)
+# The pool forms (dial-ins are retried for up to 10s), then the status
+# endpoint comes up: poll it as the readiness gate.
+SERVER_UP=""
+for _ in $(seq 1 400); do
+    if SERVER_UP=$(scrape 7295 /metrics 2>/dev/null) && [ -n "$SERVER_UP" ]; then
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$SERVER_UP" ]; then
+    echo "sweep-server smoke FAILED: server never became ready" >&2
+    exit 1
+fi
+./target/release/hpo-run submit --server 127.0.0.1:7296 --tenant ci \
+    --config "$SMOKE_DIR/space.json" --name ci-sweep --algo grid \
+    --out "$SMOKE_DIR/served.csv"
+# Served leaderboard == standalone run: config, accuracy, epochs columns.
+if ! diff <(sort "$SMOKE_DIR/served.csv" | cut -d, -f1-3) \
+          <(sort "$SMOKE_DIR/threaded.csv" | cut -d, -f1-3); then
+    echo "sweep-server smoke FAILED: served leaderboard diverges from standalone" >&2
+    exit 1
+fi
+SERVER_METRICS=$(scrape 7295 /metrics)
+echo "$SERVER_METRICS" | ./target/release/prom-check
+for series in hposerver_sweeps_active hposerver_sweeps_queued \
+              hposerver_sweeps_completed_total hposerver_sweeps_rejected_total; do
+    if ! echo "$SERVER_METRICS" | grep -q "$series"; then
+        echo "sweep-server smoke FAILED: scrape lacks $series" >&2
+        exit 1
+    fi
+done
+COMPLETED=$(echo "$SERVER_METRICS" | awk '$1 == "hposerver_sweeps_completed_total" {print $2}')
+if [ "${COMPLETED:-0}" -lt 1 ]; then
+    echo "sweep-server smoke FAILED: hposerver_sweeps_completed_total=$COMPLETED after a finished sweep" >&2
+    exit 1
+fi
+echo "sweep-server smoke: served == standalone, $COMPLETED sweep(s) completed"
 
 echo "ci.sh: all green"

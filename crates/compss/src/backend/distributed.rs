@@ -276,23 +276,66 @@ pub(crate) struct ConnMgr {
 }
 
 /// A freshly connected worker before the runtime exists: the socket plus
-/// what its `Hello` advertised.
-pub(crate) struct WorkerBootstrap {
-    pub stream: TcpStream,
-    pub addr: String,
-    pub name: String,
-    pub cores: u32,
-    pub gpus: u32,
-    pub mem_gib: u32,
+/// what its `Hello` advertised. This is the unit of worker *acquisition*,
+/// split from runtime construction so a long-lived server can gather
+/// workers its own way — dialling out ([`connect_workers`]) and/or
+/// accepting dial-ins on a shared listener ([`WorkerBootstrap::from_hello`])
+/// — and only then build the [`crate::Runtime`] it owns (see
+/// [`crate::Runtime::from_bootstraps`]).
+pub struct WorkerBootstrap {
+    pub(crate) stream: TcpStream,
+    pub(crate) addr: String,
+    pub(crate) name: String,
+    pub(crate) cores: u32,
+    pub(crate) gpus: u32,
+    pub(crate) mem_gib: u32,
+}
+
+impl std::fmt::Debug for WorkerBootstrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerBootstrap")
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .field("cores", &self.cores)
+            .field("gpus", &self.gpus)
+            .field("mem_gib", &self.mem_gib)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerBootstrap {
+    /// Adopt a worker that dialled *us*: `stream` is an accepted
+    /// connection whose first frame was a `Hello` carrying these
+    /// resources. The caller has already read that frame (that is how it
+    /// knew the peer was a worker and not a sweep client); nothing else
+    /// may have been read from the socket.
+    pub fn from_hello(
+        stream: TcpStream,
+        addr: String,
+        name: String,
+        cores: u32,
+        gpus: u32,
+        mem_gib: u32,
+    ) -> WorkerBootstrap {
+        stream.set_nodelay(true).ok();
+        WorkerBootstrap { stream, addr, name, cores, gpus, mem_gib }
+    }
+
+    /// The worker's display name (from its `Hello`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// CPU cores the worker advertised.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
 }
 
 /// Connect to every worker and collect their `Hello`s. Retries each
 /// address until `connect_timeout` so workers racing the driver to start
 /// (the ci.sh smoke pattern) are tolerated.
-pub(crate) fn connect_workers(
-    addrs: &[String],
-    timeout: Duration,
-) -> io::Result<Vec<WorkerBootstrap>> {
+pub fn connect_workers(addrs: &[String], timeout: Duration) -> io::Result<Vec<WorkerBootstrap>> {
     addrs
         .iter()
         .map(|addr| {
@@ -1258,6 +1301,15 @@ pub struct WorkerConfig {
     /// Blocks beyond it are evicted least-recently-used and re-fetched on
     /// demand; see `blocks::BlockCache`.
     pub cache_mem_bytes: u64,
+    /// Driver/server addresses to dial on startup (`--dial`). Instead of
+    /// waiting to be connected to, the worker opens these connections
+    /// itself and sends its `Hello` — the pattern a long-lived
+    /// `rcompss-server` behind one shared listener relies on. Each dialled
+    /// connection is serviced exactly like an accepted one; dial failures
+    /// are retried until [`WorkerConfig::dial_timeout`].
+    pub dial: Vec<String>,
+    /// How long to keep retrying each [`WorkerConfig::dial`] address.
+    pub dial_timeout: Duration,
 }
 
 impl Default for WorkerConfig {
@@ -1268,6 +1320,8 @@ impl Default for WorkerConfig {
             gpus: 0,
             mem_gib: 16,
             cache_mem_bytes: 256 * 1024 * 1024,
+            dial: Vec::new(),
+            dial_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -1336,6 +1390,32 @@ impl WorkerServer {
         let _ = poller.register(listener.as_raw_fd(), LISTEN_TOKEN, Interest::READ);
         let mut table: HashMap<u64, WorkerConn> = HashMap::new();
         let mut next_token: u64 = 0;
+        // Dial-out connections first: each is serviced exactly like an
+        // accepted one — the `Hello` goes out the moment the connection is
+        // adopted, so the server's listener can role-negotiate on it.
+        for addr in &cfg.dial {
+            let deadline = std::time::Instant::now() + cfg.dial_timeout;
+            let stream = loop {
+                match TcpStream::connect(addr.as_str()) {
+                    Ok(s) => break s,
+                    Err(_)
+                        if std::time::Instant::now() < deadline && !stop.load(Ordering::SeqCst) =>
+                    {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(e) => {
+                        return Err(io::Error::new(e.kind(), format!("dialling {addr}: {e}")));
+                    }
+                }
+            };
+            stream.set_nodelay(true).ok();
+            if let Some(conn) =
+                accept_conn(stream, &cfg, &registry, &stop, &conns, &poller, &wake, next_token)
+            {
+                table.insert(next_token, conn);
+                next_token += 1;
+            }
+        }
         let mut events = Vec::new();
         let mut result = Ok(());
         'serve: loop {

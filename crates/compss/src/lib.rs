@@ -79,7 +79,9 @@ pub mod snapshot;
 pub mod task;
 
 pub use api::{wait_on_all, TypedHandle};
-pub use backend::distributed::{DistributedConfig, WorkerConfig, WorkerHandle, WorkerServer};
+pub use backend::distributed::{
+    connect_workers, DistributedConfig, WorkerBootstrap, WorkerConfig, WorkerHandle, WorkerServer,
+};
 pub use codec::register_codec;
 pub use data::{DataHandle, DataVersion, Value};
 pub use fault::RetryPolicy;

@@ -335,6 +335,23 @@ impl Runtime {
             ));
         }
         let boots = connect_workers(workers, dcfg.connect_timeout)?;
+        Ok(Self::from_bootstraps(cfg, boots, dcfg))
+    }
+
+    /// Build a distributed runtime over workers someone else already
+    /// acquired: the worker-*acquisition* half of [`Runtime::distributed`]
+    /// split out, so a long-lived server can gather its pool however it
+    /// likes — dialling out with
+    /// [`connect_workers`],
+    /// adopting dial-ins with
+    /// [`WorkerBootstrap::from_hello`](crate::backend::distributed::WorkerBootstrap::from_hello),
+    /// or both — and then own the runtime it builds on top. `cfg.cluster`
+    /// is ignored; the real cluster is what the bootstraps advertise.
+    pub fn from_bootstraps(
+        cfg: RuntimeConfig,
+        boots: Vec<crate::backend::distributed::WorkerBootstrap>,
+        dcfg: DistributedConfig,
+    ) -> Runtime {
         let nodes: Vec<NodeSpec> = boots
             .iter()
             .map(|b| {
@@ -348,11 +365,11 @@ impl Runtime {
         cfg.reserved_cores.clear();
         let shared = Self::make_shared(&cfg, false);
         let mgr = ConnMgr::start(Arc::clone(&shared), boots, dcfg);
-        Ok(Runtime {
+        Runtime {
             shared,
             backend: BackendHandle::Distributed(mgr),
             default_sim_duration_us: cfg.default_sim_duration_us,
-        })
+        }
     }
 
     /// Worker display labels by node id: `name@addr` for the distributed

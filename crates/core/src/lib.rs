@@ -40,12 +40,14 @@
 
 pub mod algo;
 pub mod ckpt;
+pub mod client;
 pub mod config;
 pub mod dashboard;
 pub mod early_stop;
 pub mod experiment;
 pub mod results;
 pub mod runner;
+pub mod server;
 pub mod space;
 pub mod wire;
 
@@ -60,7 +62,7 @@ pub mod prelude {
     pub use crate::early_stop::EarlyStop;
     pub use crate::experiment::{ExperimentOptions, TrialOutcome};
     pub use crate::results::{HpoReport, TrialResult};
-    pub use crate::runner::HpoRunner;
+    pub use crate::runner::{HpoRunner, SweepControl};
     pub use crate::space::{Config, ConfigValue, ParamDomain, SearchSpace};
 }
 

@@ -5,6 +5,9 @@
 //! hand them to the plotting/reporting layer. The runner adds the paper's
 //! early stopping and the successive-halving execution mode.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rcompss::{ArgSpec, Runtime, SubmitError, SubmitOpts, SubmitResult};
 
 use crate::algo::hyperband::Bracket;
@@ -21,6 +24,78 @@ use crate::wire::{experiment_task_def, TaskPayload};
 pub struct HpoRunner {
     /// Options applied to every experiment task.
     pub opts: ExperimentOptions,
+}
+
+/// Cooperative controls threaded through [`HpoRunner::run_controlled`]: an
+/// admission gate consulted before every trial submission and a cancel
+/// flag checked at every suggestion. The sweep server uses the gate for
+/// per-tenant fair-share and rate limiting, and the cancel flag for
+/// client-requested aborts — in both cases the run stops *suggesting* and
+/// drains the in-flight wave normally, so every collected trial is a
+/// complete, journal-identical result.
+///
+/// Cloning is cheap and shares the underlying flag: keep one clone on the
+/// control plane to call [`SweepControl::cancel`] while the sweep thread
+/// runs with the other.
+#[derive(Clone, Default)]
+pub struct SweepControl {
+    cancelled: Arc<AtomicBool>,
+    gate: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl std::fmt::Debug for SweepControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepControl")
+            .field("cancelled", &self.is_cancelled())
+            .field("gated", &self.gate.is_some())
+            .finish()
+    }
+}
+
+impl SweepControl {
+    /// No gate, not cancelled: behaves exactly like an uncontrolled run.
+    pub fn new() -> SweepControl {
+        SweepControl::default()
+    }
+
+    /// Install the admission gate: called (and allowed to block) before
+    /// every trial submission. Returning `false` ends the sweep cleanly
+    /// after draining the in-flight wave — the server's quota-exhausted
+    /// path. A blocking gate should watch [`SweepControl::is_cancelled`]
+    /// so a cancel interrupts the wait.
+    pub fn with_gate(mut self, gate: impl Fn() -> bool + Send + Sync + 'static) -> SweepControl {
+        self.gate = Some(Arc::new(gate));
+        self
+    }
+
+    /// Ask the sweep to stop: nothing further is suggested or submitted;
+    /// in-flight trials drain normally and land in the report.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`SweepControl::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Shared view of the cancel flag. A blocking gate installed with
+    /// [`SweepControl::with_gate`] captures this so a cancel interrupts
+    /// its wait (the closure cannot capture the control that owns it).
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancelled)
+    }
+
+    /// May the next trial be submitted? `false` ends the sweep.
+    fn admit(&self) -> bool {
+        if self.is_cancelled() {
+            return false;
+        }
+        match &self.gate {
+            Some(gate) => gate() && !self.is_cancelled(),
+            None => true,
+        }
+    }
 }
 
 /// Cached handles for the per-trial series in the runtime's metrics
@@ -137,7 +212,26 @@ impl HpoRunner {
         objective: Objective,
         mut observer: impl FnMut(&TrialResult),
     ) -> Result<HpoReport, SubmitError> {
-        self.run_inner(rt, algo, objective, None, None, &mut observer).map(|(report, _)| report)
+        self.run_inner(rt, algo, objective, None, None, None, &mut observer)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`HpoRunner::run_observed`] under a [`SweepControl`]: the
+    /// gate is consulted before every submission and a cancel stops the
+    /// run after draining the in-flight wave. With a fresh, ungated
+    /// control this is byte-identical to `run_observed` — the sweep
+    /// server leans on that for its standalone-vs-served parity
+    /// guarantee.
+    pub fn run_controlled(
+        &self,
+        rt: &Runtime,
+        algo: &mut dyn Suggester,
+        objective: Objective,
+        control: &SweepControl,
+        mut observer: impl FnMut(&TrialResult),
+    ) -> Result<HpoReport, SubmitError> {
+        self.run_inner(rt, algo, objective, Some(control), None, None, &mut observer)
+            .map(|(report, _)| report)
     }
 
     /// Like [`HpoRunner::run_observed`], journaling every submission and
@@ -155,14 +249,16 @@ impl HpoRunner {
         resume: Option<&SweepState>,
         mut observer: impl FnMut(&TrialResult),
     ) -> Result<(HpoReport, ResumeStats), SubmitError> {
-        self.run_inner(rt, algo, objective, Some(journal), resume, &mut observer)
+        self.run_inner(rt, algo, objective, None, Some(journal), resume, &mut observer)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
         rt: &Runtime,
         algo: &mut dyn Suggester,
         objective: Objective,
+        control: Option<&SweepControl>,
         journal: Option<&SweepJournal>,
         resume: Option<&SweepState>,
         observer: &mut dyn FnMut(&TrialResult),
@@ -174,9 +270,14 @@ impl HpoRunner {
 
         let mut history: Vec<TrialResult> = Vec::new();
         let mut early_stopped = false;
+        let mut halted = false;
         loop {
             let mut wave: Vec<(Config, SubmitResult)> = Vec::new();
-            while wave.len() < wave_limit && !early_stopped {
+            while wave.len() < wave_limit && !early_stopped && !halted {
+                if control.is_some_and(|c| c.is_cancelled()) {
+                    halted = true;
+                    break;
+                }
                 let Some(config) = algo.suggest(&history) else { break };
                 // A journaled-complete trial is not re-run: its recorded
                 // outcome goes straight into the history (and through the
@@ -201,6 +302,14 @@ impl HpoRunner {
                 }
                 if resume.is_some_and(|s| s.was_in_flight(&config)) {
                     stats.reenqueued += 1;
+                }
+                // The gate may block (fair-share turn, rate-limit token);
+                // a denial ends the sweep after the wave drains. The
+                // suggested config is deliberately dropped — a cancelled
+                // or quota-stopped sweep reports only complete trials.
+                if control.is_some_and(|c| !c.admit()) {
+                    halted = true;
+                    break;
                 }
                 if let Some(j) = journal {
                     let _ = j.record(&SweepRecord::Submitted {
@@ -234,7 +343,7 @@ impl HpoRunner {
                 }
                 history.push(trial);
             }
-            if early_stopped {
+            if early_stopped || halted {
                 break;
             }
         }

@@ -123,6 +123,47 @@ impl WireArgRef<'_> {
     }
 }
 
+/// One leaderboard entry as streamed in a [`Frame::LeaderboardChunk`]:
+/// a finished trial's config label and headline numbers. The protocol
+/// layer carries the rows; what "accuracy" means is the application's
+/// business.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderRow {
+    /// Human-readable config label (e.g. `optimizer=Adam num_epochs=2`).
+    pub label: String,
+    /// Final objective value (higher is better).
+    pub accuracy: f64,
+    /// Epochs actually run (early-stopped trials report fewer).
+    pub epochs: u32,
+    /// Task wall time, µs.
+    pub task_us: u64,
+}
+
+/// Borrowed view of a [`LeaderRow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaderRowRef<'a> {
+    /// Human-readable config label.
+    pub label: &'a str,
+    /// Final objective value (higher is better).
+    pub accuracy: f64,
+    /// Epochs actually run.
+    pub epochs: u32,
+    /// Task wall time, µs.
+    pub task_us: u64,
+}
+
+impl LeaderRowRef<'_> {
+    /// Copy into an owned [`LeaderRow`].
+    pub fn to_owned(&self) -> LeaderRow {
+        LeaderRow {
+            label: self.label.to_string(),
+            accuracy: self.accuracy,
+            epochs: self.epochs,
+            task_us: self.task_us,
+        }
+    }
+}
+
 /// Every message of the protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -272,6 +313,92 @@ pub enum Frame {
         /// The evicted content hash.
         hash: u128,
     },
+    /// Client → server, once per connection: role negotiation. A worker's
+    /// first frame on the shared listener is a [`Frame::Hello`]; a sweep
+    /// client's is a `ClientHello` naming its tenant. Everything after
+    /// follows from that first frame type.
+    ClientHello {
+        /// Tenant identity the connection's sweeps are accounted to.
+        tenant: String,
+        /// Client-side protocol revision (forward-compat gate).
+        proto: u32,
+    },
+    /// Client → server: run one hyperparameter sweep on the shared pool.
+    SubmitSweep {
+        /// Display name for the sweep (logs, metrics labels).
+        name: String,
+        /// The JSON search-space document (the paper's config file).
+        space_json: String,
+        /// Search algorithm (`grid` | `random` | `tpe` | `bayes`).
+        algo: String,
+        /// Trial budget for the sampling algorithms (grid ignores it).
+        trials: u32,
+        /// RNG seed — same seed + space + algo ⇒ same trial sequence.
+        seed: u64,
+        /// Wave size override (0 = server default).
+        wave: u32,
+    },
+    /// Server → client: a request was refused (admission control, quota,
+    /// malformed space, unknown sweep). The typed error frame of the
+    /// client plane: `code` is machine-readable, `message` for humans.
+    SweepReject {
+        /// Machine-readable reject class (see the application's catalogue).
+        code: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Sweep status, in both directions. Client → server it is a query:
+    /// only `sweep_id` and `follow` are meaningful (`follow != 0`
+    /// subscribes the connection to the sweep's live leaderboard stream).
+    /// Server → client it is the answer — and the ack of a
+    /// [`Frame::SubmitSweep`], carrying the assigned `sweep_id`.
+    SweepStatus {
+        /// Server-assigned sweep id.
+        sweep_id: u64,
+        /// Lifecycle state (application-defined catalogue).
+        state: u32,
+        /// Trials finished successfully.
+        done: u32,
+        /// Trials failed.
+        failed: u32,
+        /// Total trial budget (0 = unknown ahead of time).
+        total: u32,
+        /// Best objective value so far (NaN-free: 0 until a trial lands).
+        best_acc: f64,
+        /// Config label of the best trial so far (empty until one lands).
+        best_label: String,
+        /// Times this sweep's tenant hit its rate limit so far.
+        throttled: u64,
+        /// Query direction only: subscribe to the live leaderboard.
+        follow: u32,
+    },
+    /// Server → client: a batch of freshly finished trials for a sweep the
+    /// connection follows. Subscribing replays the full leaderboard so
+    /// far, then streams increments as trials land.
+    LeaderboardChunk {
+        /// The sweep the rows belong to.
+        sweep_id: u64,
+        /// Finished trials, in completion order.
+        rows: Vec<LeaderRow>,
+    },
+    /// Client → server: stop a sweep. In-flight trials drain; the sweep
+    /// ends in the `cancelled` state and its workers return to the pool.
+    CancelSweep {
+        /// The sweep to cancel.
+        sweep_id: u64,
+    },
+    /// Server → client: terminal state of a sweep the connection follows
+    /// (or just submitted). Exactly one per sweep per subscriber.
+    SweepDone {
+        /// The finished sweep.
+        sweep_id: u64,
+        /// Terminal lifecycle state (done / failed / cancelled).
+        state: u32,
+        /// Sweep wall time, µs.
+        wall_us: u64,
+        /// Empty on success; the error for failed sweeps.
+        message: String,
+    },
     /// Driver → worker: drain and close the connection.
     Shutdown,
 }
@@ -420,6 +547,79 @@ pub enum FrameRef<'a> {
         /// The evicted content hash.
         hash: u128,
     },
+    /// See [`Frame::ClientHello`].
+    ClientHello {
+        /// Tenant identity.
+        tenant: &'a str,
+        /// Client-side protocol revision.
+        proto: u32,
+    },
+    /// See [`Frame::SubmitSweep`].
+    SubmitSweep {
+        /// Display name for the sweep.
+        name: &'a str,
+        /// The JSON search-space document.
+        space_json: &'a str,
+        /// Search algorithm.
+        algo: &'a str,
+        /// Trial budget for the sampling algorithms.
+        trials: u32,
+        /// RNG seed.
+        seed: u64,
+        /// Wave size override (0 = server default).
+        wave: u32,
+    },
+    /// See [`Frame::SweepReject`].
+    SweepReject {
+        /// Machine-readable reject class.
+        code: u32,
+        /// Human-readable reason.
+        message: &'a str,
+    },
+    /// See [`Frame::SweepStatus`].
+    SweepStatus {
+        /// Server-assigned sweep id.
+        sweep_id: u64,
+        /// Lifecycle state.
+        state: u32,
+        /// Trials finished successfully.
+        done: u32,
+        /// Trials failed.
+        failed: u32,
+        /// Total trial budget (0 = unknown).
+        total: u32,
+        /// Best objective value so far.
+        best_acc: f64,
+        /// Config label of the best trial so far.
+        best_label: &'a str,
+        /// Times this sweep's tenant hit its rate limit so far.
+        throttled: u64,
+        /// Query direction only: subscribe to the live leaderboard.
+        follow: u32,
+    },
+    /// See [`Frame::LeaderboardChunk`].
+    LeaderboardChunk {
+        /// The sweep the rows belong to.
+        sweep_id: u64,
+        /// Finished trials, labels borrowed.
+        rows: Vec<LeaderRowRef<'a>>,
+    },
+    /// See [`Frame::CancelSweep`].
+    CancelSweep {
+        /// The sweep to cancel.
+        sweep_id: u64,
+    },
+    /// See [`Frame::SweepDone`].
+    SweepDone {
+        /// The finished sweep.
+        sweep_id: u64,
+        /// Terminal lifecycle state.
+        state: u32,
+        /// Sweep wall time, µs.
+        wall_us: u64,
+        /// Empty on success; the error for failed sweeps.
+        message: &'a str,
+    },
     /// See [`Frame::Shutdown`].
     Shutdown,
 }
@@ -476,6 +676,13 @@ const T_BLOCK_PUT: u8 = 12;
 const T_BLOCK_REQUEST: u8 = 13;
 const T_BLOCK_DATA: u8 = 14;
 const T_BLOCK_EVICT: u8 = 15;
+const T_CLIENT_HELLO: u8 = 16;
+const T_SUBMIT_SWEEP: u8 = 17;
+const T_SWEEP_REJECT: u8 = 18;
+const T_SWEEP_STATUS: u8 = 19;
+const T_LEADERBOARD_CHUNK: u8 = 20;
+const T_CANCEL_SWEEP: u8 = 21;
+const T_SWEEP_DONE: u8 = 22;
 
 fn put_blob(out: &mut Vec<u8>, blob: &Blob) {
     wire::put_str(out, &blob.tag);
@@ -517,7 +724,7 @@ fn frame_extent(buf: &[u8]) -> Result<Option<(usize, usize, u8)>, DecodeError> {
     if buf.len() >= 3 && buf[2] != VERSION {
         return Err(DecodeError::BadVersion(buf[2]));
     }
-    if buf.len() >= 4 && !(T_HELLO..=T_BLOCK_EVICT).contains(&buf[3]) {
+    if buf.len() >= 4 && !(T_HELLO..=T_SWEEP_DONE).contains(&buf[3]) {
         return Err(DecodeError::UnknownFrameType(buf[3]));
     }
     if buf.len() < 4 {
@@ -557,6 +764,13 @@ impl Frame {
             Frame::BlockRequest { .. } => T_BLOCK_REQUEST,
             Frame::BlockData { .. } => T_BLOCK_DATA,
             Frame::BlockEvict { .. } => T_BLOCK_EVICT,
+            Frame::ClientHello { .. } => T_CLIENT_HELLO,
+            Frame::SubmitSweep { .. } => T_SUBMIT_SWEEP,
+            Frame::SweepReject { .. } => T_SWEEP_REJECT,
+            Frame::SweepStatus { .. } => T_SWEEP_STATUS,
+            Frame::LeaderboardChunk { .. } => T_LEADERBOARD_CHUNK,
+            Frame::CancelSweep { .. } => T_CANCEL_SWEEP,
+            Frame::SweepDone { .. } => T_SWEEP_DONE,
             Frame::Shutdown => T_SHUTDOWN,
         }
     }
@@ -676,6 +890,60 @@ impl Frame {
                 put_blob(out, blob);
             }
             Frame::BlockEvict { hash } => put_hash(out, *hash),
+            Frame::ClientHello { tenant, proto } => {
+                wire::put_str(out, tenant);
+                wire::put_u32(out, *proto);
+            }
+            Frame::SubmitSweep { name, space_json, algo, trials, seed, wave } => {
+                wire::put_str(out, name);
+                wire::put_str(out, space_json);
+                wire::put_str(out, algo);
+                wire::put_u32(out, *trials);
+                wire::put_u64(out, *seed);
+                wire::put_u32(out, *wave);
+            }
+            Frame::SweepReject { code, message } => {
+                wire::put_u32(out, *code);
+                wire::put_str(out, message);
+            }
+            Frame::SweepStatus {
+                sweep_id,
+                state,
+                done,
+                failed,
+                total,
+                best_acc,
+                best_label,
+                throttled,
+                follow,
+            } => {
+                wire::put_u64(out, *sweep_id);
+                wire::put_u32(out, *state);
+                wire::put_u32(out, *done);
+                wire::put_u32(out, *failed);
+                wire::put_u32(out, *total);
+                wire::put_f64(out, *best_acc);
+                wire::put_str(out, best_label);
+                wire::put_u64(out, *throttled);
+                wire::put_u32(out, *follow);
+            }
+            Frame::LeaderboardChunk { sweep_id, rows } => {
+                wire::put_u64(out, *sweep_id);
+                wire::put_u64(out, rows.len() as u64);
+                for row in rows {
+                    wire::put_str(out, &row.label);
+                    wire::put_f64(out, row.accuracy);
+                    wire::put_u32(out, row.epochs);
+                    wire::put_u64(out, row.task_us);
+                }
+            }
+            Frame::CancelSweep { sweep_id } => wire::put_u64(out, *sweep_id),
+            Frame::SweepDone { sweep_id, state, wall_us, message } => {
+                wire::put_u64(out, *sweep_id);
+                wire::put_u32(out, *state);
+                wire::put_u64(out, *wall_us);
+                wire::put_str(out, message);
+            }
             Frame::Shutdown => {}
         }
     }
@@ -852,6 +1120,48 @@ impl<'a> FrameRef<'a> {
                 FrameRef::BlockData { hash: read_hash(&mut r)?, blob: read_blob_ref(&mut r)? }
             }
             T_BLOCK_EVICT => FrameRef::BlockEvict { hash: read_hash(&mut r)? },
+            T_CLIENT_HELLO => FrameRef::ClientHello { tenant: r.str_ref()?, proto: r.u32()? },
+            T_SUBMIT_SWEEP => FrameRef::SubmitSweep {
+                name: r.str_ref()?,
+                space_json: r.str_ref()?,
+                algo: r.str_ref()?,
+                trials: r.u32()?,
+                seed: r.u64()?,
+                wave: r.u32()?,
+            },
+            T_SWEEP_REJECT => FrameRef::SweepReject { code: r.u32()?, message: r.str_ref()? },
+            T_SWEEP_STATUS => FrameRef::SweepStatus {
+                sweep_id: r.u64()?,
+                state: r.u32()?,
+                done: r.u32()?,
+                failed: r.u32()?,
+                total: r.u32()?,
+                best_acc: r.f64()?,
+                best_label: r.str_ref()?,
+                throttled: r.u64()?,
+                follow: r.u32()?,
+            },
+            T_LEADERBOARD_CHUNK => {
+                let sweep_id = r.u64()?;
+                let n = r.u64()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(LeaderRowRef {
+                        label: r.str_ref()?,
+                        accuracy: r.f64()?,
+                        epochs: r.u32()?,
+                        task_us: r.u64()?,
+                    });
+                }
+                FrameRef::LeaderboardChunk { sweep_id, rows }
+            }
+            T_CANCEL_SWEEP => FrameRef::CancelSweep { sweep_id: r.u64()? },
+            T_SWEEP_DONE => FrameRef::SweepDone {
+                sweep_id: r.u64()?,
+                state: r.u32()?,
+                wall_us: r.u64()?,
+                message: r.str_ref()?,
+            },
             T_SHUTDOWN => FrameRef::Shutdown,
             other => return Err(DecodeError::UnknownFrameType(other)),
         };
@@ -937,6 +1247,54 @@ impl<'a> FrameRef<'a> {
                 Frame::BlockData { hash: *hash, blob: blob.to_owned() }
             }
             FrameRef::BlockEvict { hash } => Frame::BlockEvict { hash: *hash },
+            FrameRef::ClientHello { tenant, proto } => {
+                Frame::ClientHello { tenant: tenant.to_string(), proto: *proto }
+            }
+            FrameRef::SubmitSweep { name, space_json, algo, trials, seed, wave } => {
+                Frame::SubmitSweep {
+                    name: name.to_string(),
+                    space_json: space_json.to_string(),
+                    algo: algo.to_string(),
+                    trials: *trials,
+                    seed: *seed,
+                    wave: *wave,
+                }
+            }
+            FrameRef::SweepReject { code, message } => {
+                Frame::SweepReject { code: *code, message: message.to_string() }
+            }
+            FrameRef::SweepStatus {
+                sweep_id,
+                state,
+                done,
+                failed,
+                total,
+                best_acc,
+                best_label,
+                throttled,
+                follow,
+            } => Frame::SweepStatus {
+                sweep_id: *sweep_id,
+                state: *state,
+                done: *done,
+                failed: *failed,
+                total: *total,
+                best_acc: *best_acc,
+                best_label: best_label.to_string(),
+                throttled: *throttled,
+                follow: *follow,
+            },
+            FrameRef::LeaderboardChunk { sweep_id, rows } => Frame::LeaderboardChunk {
+                sweep_id: *sweep_id,
+                rows: rows.iter().map(|row| row.to_owned()).collect(),
+            },
+            FrameRef::CancelSweep { sweep_id } => Frame::CancelSweep { sweep_id: *sweep_id },
+            FrameRef::SweepDone { sweep_id, state, wall_us, message } => Frame::SweepDone {
+                sweep_id: *sweep_id,
+                state: *state,
+                wall_us: *wall_us,
+                message: message.to_string(),
+            },
             FrameRef::Shutdown => Frame::Shutdown,
         }
     }
@@ -1012,6 +1370,59 @@ mod tests {
                 blob: Blob { tag: "tinyml.dataset".into(), bytes: vec![] },
             },
             Frame::BlockEvict { hash: 0x0123_4567_89ab_cdef_u128 << 64 },
+            Frame::ClientHello { tenant: "acme".into(), proto: 1 },
+            Frame::SubmitSweep {
+                name: "nightly".into(),
+                space_json: r#"{"batch_size":[32,64]}"#.into(),
+                algo: "grid".into(),
+                trials: 0,
+                seed: 42,
+                wave: 0,
+            },
+            Frame::SweepReject { code: 1, message: "sweep queue full".into() },
+            Frame::SweepStatus {
+                sweep_id: 3,
+                state: 1,
+                done: 5,
+                failed: 1,
+                total: 8,
+                best_acc: 0.91,
+                best_label: "optimizer=Adam num_epochs=2".into(),
+                throttled: 4,
+                follow: 0,
+            },
+            Frame::SweepStatus {
+                sweep_id: 3,
+                state: 0,
+                done: 0,
+                failed: 0,
+                total: 0,
+                best_acc: 0.0,
+                best_label: String::new(),
+                throttled: 0,
+                follow: 1,
+            },
+            Frame::LeaderboardChunk {
+                sweep_id: 3,
+                rows: vec![
+                    LeaderRow {
+                        label: "optimizer=Adam num_epochs=2".into(),
+                        accuracy: 0.91,
+                        epochs: 2,
+                        task_us: 123_456,
+                    },
+                    LeaderRow {
+                        label: "optimizer=SGD num_epochs=1".into(),
+                        accuracy: 0.72,
+                        epochs: 1,
+                        task_us: 60_000,
+                    },
+                ],
+            },
+            Frame::LeaderboardChunk { sweep_id: 9, rows: vec![] },
+            Frame::CancelSweep { sweep_id: 3 },
+            Frame::SweepDone { sweep_id: 3, state: 2, wall_us: 5_000_000, message: String::new() },
+            Frame::SweepDone { sweep_id: 4, state: 3, wall_us: 1, message: "space parse".into() },
             Frame::Shutdown,
         ]
     }

@@ -56,7 +56,8 @@ pub mod wire;
 
 pub use conn::{read_frame, write_frame, write_frames, FrameReader};
 pub use frame::{
-    Blob, BlobRef, DecodeError, Frame, FrameRef, WireArg, WireArgRef, MAGIC, MAX_PAYLOAD, VERSION,
+    Blob, BlobRef, DecodeError, Frame, FrameRef, LeaderRow, LeaderRowRef, WireArg, WireArgRef,
+    MAGIC, MAX_PAYLOAD, VERSION,
 };
 pub use nonblock::{Fill, RecvBuf, SendBuf};
 pub use poll::{Event, Interest, Poller, Waker};

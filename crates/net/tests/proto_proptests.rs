@@ -3,7 +3,7 @@
 //! never panic the decoder.
 
 use proptest::prelude::*;
-use rnet::{Blob, Frame, FrameReader, WireArg};
+use rnet::{Blob, Frame, FrameReader, LeaderRow, WireArg};
 
 fn arb_blob() -> impl Strategy<Value = Blob> {
     ("[a-z.]{0,12}", proptest::collection::vec(any::<u8>(), 0..200))
@@ -22,6 +22,12 @@ fn arb_arg() -> impl Strategy<Value = WireArg> {
         any::<u64>().prop_map(|key| WireArg::Cached { key }),
         (any::<u64>(), arb_hash()).prop_map(|(key, hash)| WireArg::Block { key, hash }),
     ]
+}
+
+fn arb_row() -> impl Strategy<Value = LeaderRow> {
+    ("[ -~]{0,40}", -1e300f64..1e300f64, any::<u32>(), any::<u64>()).prop_map(
+        |(label, accuracy, epochs, task_us)| LeaderRow { label, accuracy, epochs, task_us },
+    )
 }
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
@@ -100,6 +106,66 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         arb_hash().prop_map(|hash| Frame::BlockRequest { hash }),
         (arb_hash(), arb_blob()).prop_map(|(hash, blob)| Frame::BlockData { hash, blob }),
         arb_hash().prop_map(|hash| Frame::BlockEvict { hash }),
+        ("[ -~]{0,24}", any::<u32>())
+            .prop_map(|(tenant, proto)| Frame::ClientHello { tenant, proto }),
+        ("[ -~]{0,24}", "[ -~]{0,120}", "[a-z]{0,8}", any::<u32>(), any::<u64>(), any::<u32>())
+            .prop_map(|(name, space_json, algo, trials, seed, wave)| Frame::SubmitSweep {
+                name,
+                space_json,
+                algo,
+                trials,
+                seed,
+                wave
+            }),
+        (any::<u32>(), "[ -~]{0,60}")
+            .prop_map(|(code, message)| Frame::SweepReject { code, message }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            -1e300f64..1e300f64,
+            "[ -~]{0,40}",
+            any::<u64>(),
+            any::<u32>(),
+        )
+            .prop_map(
+                |(
+                    sweep_id,
+                    state,
+                    done,
+                    failed,
+                    total,
+                    best_acc,
+                    best_label,
+                    throttled,
+                    follow,
+                )| {
+                    Frame::SweepStatus {
+                        sweep_id,
+                        state,
+                        done,
+                        failed,
+                        total,
+                        best_acc,
+                        best_label,
+                        throttled,
+                        follow,
+                    }
+                }
+            ),
+        (any::<u64>(), proptest::collection::vec(arb_row(), 0..6))
+            .prop_map(|(sweep_id, rows)| Frame::LeaderboardChunk { sweep_id, rows }),
+        any::<u64>().prop_map(|sweep_id| Frame::CancelSweep { sweep_id }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), "[ -~]{0,60}").prop_map(
+            |(sweep_id, state, wall_us, message)| Frame::SweepDone {
+                sweep_id,
+                state,
+                wall_us,
+                message
+            }
+        ),
         Just(Frame::Shutdown),
     ]
 }

@@ -19,6 +19,18 @@ pub enum AlgoChoice {
     Bayes,
 }
 
+impl AlgoChoice {
+    /// The algorithm's wire name — the vocabulary of `SubmitSweep`.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            AlgoChoice::Grid => "grid",
+            AlgoChoice::Random => "random",
+            AlgoChoice::Tpe => "tpe",
+            AlgoChoice::Bayes => "bayes",
+        }
+    }
+}
+
 /// Which dataset to train on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetChoice {
@@ -161,6 +173,10 @@ pub struct WorkerArgs {
     /// Block-cache memory budget, MiB (`--cache-mem`). Decoded blocks are
     /// kept under this budget and evicted least-recently-used.
     pub cache_mem_mib: u64,
+    /// Addresses this worker dials *into* at startup (`--dial`), joining
+    /// a driver or sweep server's pool from behind NAT instead of waiting
+    /// to be dialled. The worker still listens as usual.
+    pub dial: Vec<String>,
 }
 
 impl Default for WorkerArgs {
@@ -177,8 +193,133 @@ impl Default for WorkerArgs {
             ckpt_every: 0,
             status_addr: None,
             cache_mem_mib: 256,
+            dial: Vec::new(),
         }
     }
+}
+
+/// Parsed `serve` subcommand: a long-lived multi-tenant sweep server
+/// (`rcompss-server` / `hpo-run serve`) that owns the worker pool and
+/// runs sweeps submitted by clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address — one socket for both workers and sweep clients.
+    pub listen: String,
+    /// Worker addresses to dial out to at startup.
+    pub workers: Vec<String>,
+    /// Workers expected to dial *in* (started with `--dial` at us)
+    /// before the pool is sealed.
+    pub expect_workers: usize,
+    /// Deadline (seconds) for gathering the whole pool.
+    pub pool_timeout_secs: u64,
+    /// Local thread-pool cores when serving without remote workers
+    /// (`0` = distributed mode, require a pool).
+    pub local_cores: u32,
+    /// Sweeps allowed to run concurrently.
+    pub max_active: usize,
+    /// Queued sweeps beyond the active set before rejection.
+    pub max_queued: usize,
+    /// Per-tenant trial admissions per second (`0` = unlimited).
+    pub rate: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// Per-tenant total trial budget (`0` = unlimited).
+    pub quota_trials: u64,
+    /// Default wave size applied to sweeps that do not request one.
+    pub wave: usize,
+    /// Dataset recipe — must match the pool's workers.
+    pub dataset: DatasetChoice,
+    /// Dataset size — must match the pool's workers.
+    pub samples: usize,
+    /// Dataset RNG seed — must match the pool's workers.
+    pub seed: u64,
+    /// CNN architectures — must match the pool's workers.
+    pub cnn: bool,
+    /// In-trial early-stop target — must match the pool's workers.
+    pub target_accuracy: Option<f64>,
+    /// CPU cores per experiment task.
+    pub cores_per_task: u32,
+    /// Serve live `GET /metrics` + `/healthz` here.
+    pub status_addr: Option<String>,
+    /// Block-plane inline threshold (see the run flag of the same name).
+    pub inline_threshold: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            listen: "127.0.0.1:7070".to_string(),
+            workers: Vec::new(),
+            expect_workers: 0,
+            pool_timeout_secs: 30,
+            local_cores: 0,
+            max_active: 4,
+            max_queued: 16,
+            rate: 0.0,
+            burst: 8.0,
+            quota_trials: 0,
+            wave: 0,
+            dataset: DatasetChoice::Mnist,
+            samples: 1_000,
+            seed: 42,
+            cnn: false,
+            target_accuracy: None,
+            cores_per_task: 1,
+            status_addr: None,
+            inline_threshold: 64 * 1024,
+        }
+    }
+}
+
+/// What a sweep-client subcommand does once connected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Submit a sweep; optionally stream it to completion.
+    Submit {
+        /// JSON search-space file.
+        config: String,
+        /// Sweep display name.
+        name: String,
+        /// Search algorithm.
+        algo: AlgoChoice,
+        /// Trial budget for sampled algorithms.
+        trials: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Requested wave size (`0` = server default).
+        wave: u32,
+        /// Stay connected and stream the leaderboard to completion.
+        watch: bool,
+        /// Write the final leaderboard CSV here (implies `watch`).
+        csv_out: Option<String>,
+    },
+    /// Print a sweep's status once.
+    Status {
+        /// Server-assigned sweep id.
+        sweep_id: u64,
+    },
+    /// Subscribe to a sweep and stream it to completion.
+    Watch {
+        /// Server-assigned sweep id.
+        sweep_id: u64,
+    },
+    /// Cancel a sweep.
+    Cancel {
+        /// Server-assigned sweep id.
+        sweep_id: u64,
+    },
+}
+
+/// Parsed sweep-client subcommand (`submit` / `status` / `watch` /
+/// `cancel`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Sweep server address.
+    pub server: String,
+    /// Tenant identity this connection submits under.
+    pub tenant: String,
+    /// The verb.
+    pub action: ClientAction,
 }
 
 /// Which entry point a command line selects.
@@ -189,6 +330,11 @@ pub enum Command {
     /// Serve as a task-executing worker daemon (`hpo-run worker ...` /
     /// the `rcompss-worker` binary).
     Worker(WorkerArgs),
+    /// Serve sweeps to many tenants over one shared pool
+    /// (`hpo-run serve ...` / the `rcompss-server` binary).
+    Serve(ServeArgs),
+    /// Talk to a sweep server (`hpo-run submit|status|watch|cancel`).
+    Client(ClientArgs),
 }
 
 /// Parse error with a usage-worthy message.
@@ -210,6 +356,9 @@ hpo-run — distributed hyperparameter optimisation (PyCOMPSs-style)
 USAGE:
     hpo-run --config <space.json> [OPTIONS]
     hpo-run worker [WORKER OPTIONS]
+    hpo-run serve [SERVER OPTIONS]
+    hpo-run submit --server <addr> --config <space.json> [CLIENT OPTIONS]
+    hpo-run status|watch|cancel --server <addr> --sweep <id> [--tenant <t>]
 
 OPTIONS:
     --config <file>        JSON search-space file (required)
@@ -263,9 +412,50 @@ WORKER OPTIONS (hpo-run worker / rcompss-worker):
     --cache-mem <mib>      decoded-block cache budget in MiB; least-
                            recently-used blocks are evicted and re-
                            fetched on demand                   [256]
+    --dial <a,b,...>       dial into these driver/server addresses at
+                           startup and join their pools (the worker still
+                           listens as usual)
     --dataset, --samples, --seed, --cnn, --target-accuracy
                            dataset recipe — must match the driver, so the
                            worker rebuilds the identical objective
+
+SERVER OPTIONS (hpo-run serve / rcompss-server):
+    --listen <addr>        one listener for workers and sweep clients
+                                                 [127.0.0.1:7070]
+    --workers <a,b,...>    worker addresses to dial out to at startup
+    --expect-workers <n>   workers expected to dial in (started with
+                           --dial at this server) before serving  [0]
+    --pool-timeout <s>     deadline in seconds for gathering the pool [30]
+    --local-cores <n>      serve from a local thread pool of n cores
+                           instead of remote workers (dev/test mode)
+    --max-active <n>       sweeps running concurrently             [4]
+    --max-queued <n>       queued sweeps before rejection          [16]
+    --rate <r>             per-tenant trial admissions per second
+                           (token bucket; 0 = unlimited)           [0]
+    --burst <n>            token-bucket burst capacity             [8]
+    --quota-trials <n>     per-tenant total trial budget
+                           (0 = unlimited)                         [0]
+    --wave <n>             default wave size for sweeps that do not
+                           request one
+    --status-addr <addr>   serve live GET /metrics + /healthz here
+    --cores-per-task, --inline-threshold,
+    --dataset, --samples, --seed, --cnn, --target-accuracy
+                           as for a driver run; the dataset recipe must
+                           match the pool's workers
+
+CLIENT OPTIONS (hpo-run submit / status / watch / cancel):
+    --server <addr>        sweep server address (required)
+    --tenant <name>        tenant identity                  [default]
+    --config <file>        JSON search-space file (submit; required)
+    --name <s>             sweep display name               [file stem]
+    --algo <a>             grid | random | tpe | bayes      [grid]
+    --trials <n>           budget for random/tpe/bayes      [20]
+    --seed <n>             RNG seed                         [42]
+    --wave <n>             requested wave size (0 = server default)
+    --watch                stream the leaderboard until the sweep ends
+    --out <file>           write the final leaderboard CSV (implies
+                           --watch)
+    --sweep <id>           sweep id (status/watch/cancel; required)
 ";
 
 fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, CliError> {
@@ -401,13 +591,154 @@ pub fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
     Ok(out)
 }
 
-/// Parse a full command line, recognising the `worker` subcommand;
-/// anything else goes through [`parse`] as a driver invocation.
+/// Parse a full command line, recognising the `worker`, `serve` and
+/// sweep-client subcommands; anything else goes through [`parse`] as a
+/// driver invocation.
 pub fn parse_command(args: &[&str]) -> Result<Command, CliError> {
     match args.first() {
         Some(&"worker") => parse_worker(&args[1..]).map(Command::Worker),
+        Some(&"serve") => parse_serve(&args[1..]).map(Command::Serve),
+        Some(&verb @ ("submit" | "status" | "watch" | "cancel")) => {
+            parse_client(verb, &args[1..]).map(Command::Client)
+        }
         _ => parse(args).map(Command::Run),
     }
+}
+
+fn parse_dataset(v: &str) -> Result<DatasetChoice, CliError> {
+    match v {
+        "mnist" => Ok(DatasetChoice::Mnist),
+        "cifar10" | "cifar" => Ok(DatasetChoice::Cifar10),
+        other => Err(CliError(format!("unknown dataset '{other}'"))),
+    }
+}
+
+fn parse_algo(v: &str) -> Result<AlgoChoice, CliError> {
+    match v {
+        "grid" => Ok(AlgoChoice::Grid),
+        "random" => Ok(AlgoChoice::Random),
+        "tpe" => Ok(AlgoChoice::Tpe),
+        "bayes" => Ok(AlgoChoice::Bayes),
+        other => Err(CliError(format!("unknown algorithm '{other}'"))),
+    }
+}
+
+fn parse_addr_list(v: &str) -> Vec<String> {
+    v.split(',').map(str::trim).filter(|w| !w.is_empty()).map(str::to_string).collect()
+}
+
+/// Parse the flags of the `serve` subcommand.
+pub fn parse_serve(args: &[&str]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs::default();
+    let mut it = args.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            "--listen" => out.listen = take_value(arg, &mut it)?.to_string(),
+            "--workers" => out.workers = parse_addr_list(take_value(arg, &mut it)?),
+            "--expect-workers" => out.expect_workers = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--pool-timeout" => out.pool_timeout_secs = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--local-cores" => out.local_cores = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--max-active" => out.max_active = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--max-queued" => out.max_queued = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--rate" => out.rate = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--burst" => out.burst = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--quota-trials" => out.quota_trials = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--wave" => out.wave = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--dataset" => out.dataset = parse_dataset(take_value(arg, &mut it)?)?,
+            "--samples" => out.samples = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--seed" => out.seed = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--cnn" => out.cnn = true,
+            "--target-accuracy" => {
+                out.target_accuracy = Some(parse_num(arg, take_value(arg, &mut it)?)?);
+            }
+            "--cores-per-task" => out.cores_per_task = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--status-addr" => out.status_addr = Some(take_value(arg, &mut it)?.to_string()),
+            "--inline-threshold" => {
+                out.inline_threshold = parse_num(arg, take_value(arg, &mut it)?)?;
+            }
+            other => return Err(CliError(format!("unknown serve flag '{other}'\n\n{USAGE}"))),
+        }
+    }
+    if out.max_active == 0 {
+        return Err(CliError("--max-active must be at least 1".to_string()));
+    }
+    if out.cores_per_task == 0 {
+        return Err(CliError("--cores-per-task must be at least 1".to_string()));
+    }
+    if out.local_cores == 0 && out.workers.is_empty() && out.expect_workers == 0 {
+        return Err(CliError(
+            "serve needs a pool: --workers and/or --expect-workers, or --local-cores for a \
+             local thread pool"
+                .to_string(),
+        ));
+    }
+    if out.local_cores > 0 && (!out.workers.is_empty() || out.expect_workers > 0) {
+        return Err(CliError("--local-cores excludes --workers/--expect-workers".to_string()));
+    }
+    Ok(out)
+}
+
+/// Parse the flags of one sweep-client verb (`submit`, `status`,
+/// `watch`, `cancel`).
+pub fn parse_client(verb: &str, args: &[&str]) -> Result<ClientArgs, CliError> {
+    let mut server: Option<String> = None;
+    let mut tenant = "default".to_string();
+    let mut config: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut algo = AlgoChoice::Grid;
+    let mut trials = 20usize;
+    let mut seed = 42u64;
+    let mut wave = 0u32;
+    let mut watch = false;
+    let mut csv_out: Option<String> = None;
+    let mut sweep_id: Option<u64> = None;
+    let mut it = args.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            "--server" => server = Some(take_value(arg, &mut it)?.to_string()),
+            "--tenant" => tenant = take_value(arg, &mut it)?.to_string(),
+            "--config" => config = Some(take_value(arg, &mut it)?.to_string()),
+            "--name" => name = Some(take_value(arg, &mut it)?.to_string()),
+            "--algo" => algo = parse_algo(take_value(arg, &mut it)?)?,
+            "--trials" => trials = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--seed" => seed = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--wave" => wave = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--watch" => watch = true,
+            "--out" => {
+                csv_out = Some(take_value(arg, &mut it)?.to_string());
+                watch = true;
+            }
+            "--sweep" => sweep_id = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            other => return Err(CliError(format!("unknown {verb} flag '{other}'\n\n{USAGE}"))),
+        }
+    }
+    let server = server.ok_or_else(|| CliError(format!("{verb} requires --server <addr>")))?;
+    let action = match verb {
+        "submit" => {
+            let config =
+                config.ok_or_else(|| CliError("submit requires --config <file>".to_string()))?;
+            let name = name.unwrap_or_else(|| {
+                std::path::Path::new(&config)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "sweep".to_string())
+            });
+            ClientAction::Submit { config, name, algo, trials, seed, wave, watch, csv_out }
+        }
+        _ => {
+            let sweep_id =
+                sweep_id.ok_or_else(|| CliError(format!("{verb} requires --sweep <id>")))?;
+            match verb {
+                "status" => ClientAction::Status { sweep_id },
+                "watch" => ClientAction::Watch { sweep_id },
+                "cancel" => ClientAction::Cancel { sweep_id },
+                _ => unreachable!("verbs are matched in parse_command"),
+            }
+        }
+    };
+    Ok(ClientArgs { server, tenant, action })
 }
 
 /// Parse the flags of the `worker` subcommand.
@@ -436,6 +767,7 @@ pub fn parse_worker(args: &[&str]) -> Result<WorkerArgs, CliError> {
             "--ckpt-every" => out.ckpt_every = parse_num(arg, take_value(arg, &mut it)?)?,
             "--status-addr" => out.status_addr = Some(take_value(arg, &mut it)?.to_string()),
             "--cache-mem" => out.cache_mem_mib = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--dial" => out.dial = parse_addr_list(take_value(arg, &mut it)?),
             other => return Err(CliError(format!("unknown worker flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -692,5 +1024,124 @@ mod tests {
     fn non_worker_first_arg_is_a_run_command() {
         let cmd = parse_command(&["--config", "s.json"]).unwrap();
         assert!(matches!(cmd, Command::Run(_)));
+    }
+
+    #[test]
+    fn worker_dial_flag_parses() {
+        let w = parse_worker(&["--dial", "10.0.0.1:7070, 10.0.0.2:7070"]).unwrap();
+        assert_eq!(w.dial, vec!["10.0.0.1:7070", "10.0.0.2:7070"]);
+        assert!(WorkerArgs::default().dial.is_empty(), "dial-out off by default");
+        assert!(parse_worker(&["--dial"]).is_err(), "dangling value");
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        let cmd = parse_command(&[
+            "serve",
+            "--listen",
+            "0.0.0.0:7070",
+            "--workers",
+            "w1:7077,w2:7077",
+            "--max-active",
+            "2",
+            "--rate",
+            "5.5",
+            "--burst",
+            "3",
+            "--quota-trials",
+            "100",
+            "--wave",
+            "4",
+            "--dataset",
+            "cifar10",
+        ])
+        .unwrap();
+        let Command::Serve(s) = cmd else { panic!("expected serve subcommand") };
+        assert_eq!(s.listen, "0.0.0.0:7070");
+        assert_eq!(s.workers, vec!["w1:7077", "w2:7077"]);
+        assert_eq!((s.max_active, s.max_queued), (2, 16));
+        assert_eq!((s.rate, s.burst), (5.5, 3.0));
+        assert_eq!((s.quota_trials, s.wave), (100, 4));
+        assert_eq!(s.dataset, DatasetChoice::Cifar10);
+    }
+
+    #[test]
+    fn serve_requires_a_pool() {
+        let e = parse_serve(&[]).unwrap_err();
+        assert!(e.0.contains("needs a pool"), "{e}");
+        assert!(parse_serve(&["--local-cores", "4"]).is_ok(), "local pool is a pool");
+        assert!(parse_serve(&["--expect-workers", "2"]).is_ok(), "dial-ins are a pool");
+        let e = parse_serve(&["--local-cores", "4", "--workers", "w:1"]).unwrap_err();
+        assert!(e.0.contains("excludes"), "{e}");
+        let e = parse_serve(&["--workers", "w:1", "--max-active", "0"]).unwrap_err();
+        assert!(e.0.contains("--max-active"), "{e}");
+    }
+
+    #[test]
+    fn submit_subcommand_parses() {
+        let cmd = parse_command(&[
+            "submit",
+            "--server",
+            "127.0.0.1:7070",
+            "--tenant",
+            "acme",
+            "--config",
+            "sweeps/nightly.json",
+            "--algo",
+            "random",
+            "--trials",
+            "32",
+            "--seed",
+            "7",
+            "--watch",
+        ])
+        .unwrap();
+        let Command::Client(c) = cmd else { panic!("expected client subcommand") };
+        assert_eq!(c.server, "127.0.0.1:7070");
+        assert_eq!(c.tenant, "acme");
+        let ClientAction::Submit { config, name, algo, trials, seed, watch, .. } = c.action else {
+            panic!("expected submit action")
+        };
+        assert_eq!(config, "sweeps/nightly.json");
+        assert_eq!(name, "nightly", "name defaults to the config file stem");
+        assert_eq!(algo, AlgoChoice::Random);
+        assert_eq!((trials, seed), (32, 7));
+        assert!(watch);
+    }
+
+    #[test]
+    fn submit_out_implies_watch() {
+        let c =
+            parse_client("submit", &["--server", "s:1", "--config", "x.json", "--out", "l.csv"])
+                .unwrap();
+        let ClientAction::Submit { watch, csv_out, .. } = c.action else { panic!("submit") };
+        assert!(watch, "--out implies --watch");
+        assert_eq!(csv_out.as_deref(), Some("l.csv"));
+    }
+
+    #[test]
+    fn client_verbs_require_their_arguments() {
+        let e = parse_client("submit", &["--config", "x.json"]).unwrap_err();
+        assert!(e.0.contains("--server"), "{e}");
+        let e = parse_client("submit", &["--server", "s:1"]).unwrap_err();
+        assert!(e.0.contains("--config"), "{e}");
+        let e = parse_client("cancel", &["--server", "s:1"]).unwrap_err();
+        assert!(e.0.contains("--sweep"), "{e}");
+        let c = parse_client("status", &["--server", "s:1", "--sweep", "3"]).unwrap();
+        assert_eq!(c.action, ClientAction::Status { sweep_id: 3 });
+        assert_eq!(c.tenant, "default");
+        let c = parse_client("watch", &["--server", "s:1", "--sweep", "9"]).unwrap();
+        assert_eq!(c.action, ClientAction::Watch { sweep_id: 9 });
+    }
+
+    #[test]
+    fn help_documents_the_sweep_server() {
+        let e = parse(&["--help"]).unwrap_err();
+        assert!(e.0.contains("serve [SERVER OPTIONS]"));
+        assert!(e.0.contains("--max-active"));
+        assert!(e.0.contains("--quota-trials"));
+        assert!(e.0.contains("--expect-workers"));
+        assert!(e.0.contains("--dial"));
+        assert!(e.0.contains("submit --server"));
     }
 }

@@ -2,6 +2,7 @@
 //! hosts the `hpo-run` launcher's CLI module (see `src/main.rs`).
 
 pub mod cli;
+pub mod server_cmd;
 pub mod worker;
 
 pub use cluster;

@@ -26,6 +26,8 @@ fn main() -> ExitCode {
     let result = match &cmd {
         Command::Worker(w) => worker::serve(w),
         Command::Run(args) => run(args),
+        Command::Serve(s) => pycompss_hpo_repro::server_cmd::serve(s),
+        Command::Client(c) => pycompss_hpo_repro::server_cmd::client(c),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -106,6 +106,7 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
         name: args.name.clone(),
         cores,
         cache_mem_bytes: args.cache_mem_mib * 1024 * 1024,
+        dial: args.dial.clone(),
         ..WorkerConfig::default()
     };
     let server = WorkerServer::bind(&args.listen, cfg, registry)?;
@@ -117,6 +118,9 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
         data.name,
         data.len(),
     );
+    if !args.dial.is_empty() {
+        println!("dialing into: {}", args.dial.join(", "));
+    }
     if args.ckpt_every > 0 {
         println!("model snapshots every {} epoch(s), shipped to the driver", args.ckpt_every);
     }

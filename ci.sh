@@ -21,7 +21,12 @@
 # `runtime_throughput rebaseline` after intentional scheduler or wire
 # changes). The checkpoint-overhead bench gates the snapshot cost the
 # same way (baselines/ckpt_overhead.json, `ckpt_overhead rebaseline`
-# after intentional snapshot-format or store changes). The block-cache
+# after intentional snapshot-format or store changes). The stage-tree
+# savings bench gates prefix dedup exactly (deterministic epoch counts vs
+# baselines/stagetree_savings.json), and the stage-tree smoke reruns the
+# loopback grid with --share-prefixes: the trial table must not change
+# and the metrics exposition must show hpo_stage_epochs_saved_total > 0.
+# The block-cache
 # smoke exercises the content-addressed data plane end to end: hit-rate,
 # bytes-on-wire bound, threaded-vs-distributed bit-identity, and
 # re-fetch after a worker kill.
@@ -70,6 +75,13 @@ cargo run --release -p hpo-bench --bin runtime_throughput -- net_throughput
 echo "==> checkpoint overhead (smoke): snapshot-cost regression gate"
 cargo run --release -p hpo-bench --bin ckpt_overhead -- smoke
 
+echo "==> stage-tree savings (smoke): exact epochs-saved regression gate"
+# Deterministic planning counts (paper grid + eta-3 bracket) compared
+# exactly against baselines/stagetree_savings.json: fails if the planner
+# starts sharing less. Regenerate with `stagetree_savings rebaseline`
+# after intentional signature/planner changes.
+cargo run --release -p hpo-bench --bin stagetree_savings -- smoke
+
 echo "==> block-cache smoke: shared dataset ships once per worker, not per trial"
 # Loopback 2-worker sweep over a 32 KiB shared dataset: asserts worker
 # cache hit-rate > 0, rnet_bytes_sent below the naive trials×dataset
@@ -115,6 +127,28 @@ if ! diff <(sort "$SMOKE_DIR/distributed.csv" | cut -d, -f1-3) \
     exit 1
 fi
 echo "distributed == threaded: trial tables identical"
+
+echo "==> stage-tree smoke: --share-prefixes is bit-identical and saves epochs"
+# Same grid again, this time prefix-deduped over the same two workers
+# (their registries carry the stage task): the per-trial table must match
+# the naive run byte-for-byte in the deterministic columns — same rows,
+# same order — and the run's metrics exposition must report epochs saved.
+./target/release/hpo-run --config "$SMOKE_DIR/space.json" --backend distributed \
+    --workers 127.0.0.1:7191,127.0.0.1:7192 --samples 200 --share-prefixes \
+    --out "$SMOKE_DIR/staged.csv" --metrics-out "$SMOKE_DIR/stage_metrics"
+if ! diff <(cut -d, -f1-3 "$SMOKE_DIR/staged.csv") \
+          <(cut -d, -f1-3 "$SMOKE_DIR/threaded.csv"); then
+    echo "stage-tree smoke FAILED: --share-prefixes changed the trial table" >&2
+    exit 1
+fi
+./target/release/prom-check < "$SMOKE_DIR/stage_metrics.prom"
+SAVED=$(awk '$1 == "hpo_stage_epochs_saved_total" {print $2}' "$SMOKE_DIR/stage_metrics.prom")
+if [ "${SAVED:-0}" -lt 1 ]; then
+    echo "stage-tree smoke FAILED: hpo_stage_epochs_saved_total=${SAVED:-absent} after a shared sweep" >&2
+    exit 1
+fi
+FORKS=$(awk '$1 == "hpo_prefix_forks_total" {print $2}' "$SMOKE_DIR/stage_metrics.prom")
+echo "stage-tree smoke: staged == naive, $SAVED epochs saved across $FORKS forks"
 
 echo "==> telemetry smoke: live /metrics scrape + merged-trace/trial diff"
 # GET <path> from 127.0.0.1:<port> over bash's /dev/tcp, body on stdout.

@@ -91,6 +91,24 @@ pub fn active() -> bool {
     CHANNEL.with(|c| c.borrow().is_some())
 }
 
+/// Derive a sub-key from a base snapshot key and a salt, for bodies that
+/// checkpoint several independent pieces of state under one logical
+/// identity — the HPO stage tree keys each *segment* of a trial's training
+/// by `derive_key(trial_key, segment_end)`, so a retried segment recovers
+/// its own mid-segment snapshot without colliding with sibling segments.
+///
+/// The mix is an FNV-1a fold of the salt into the base, with bit 63
+/// cleared: the distributed backend reserves the high bit of wire keys for
+/// snapshot traffic, so derived keys must stay inside the 63-bit space
+/// exactly like the base keys the HPO layer produces.
+pub fn derive_key(base: u64, salt: u64) -> u64 {
+    let mut h = base ^ 0xcbf2_9ce4_8422_2325;
+    for b in salt.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h >> 1
+}
+
 /// The threaded backend's channel: the runtime's own in-process store, so
 /// a retried attempt (same process, any worker thread) finds the blob.
 pub(crate) struct InProcessChannel(pub Arc<crate::runtime::Shared>);
@@ -165,6 +183,21 @@ mod tests {
             assert_eq!(load(1).unwrap(), b"outer", "outer restored");
         });
         assert_eq!(inner.0.lock().get(&1).unwrap(), b"inner");
+    }
+
+    #[test]
+    fn derived_keys_are_distinct_stable_and_63_bit() {
+        let base = 0x1234_5678_9ABC_DEF0u64 >> 1;
+        let a = derive_key(base, 2);
+        let b = derive_key(base, 5);
+        assert_ne!(a, b, "different salts diverge");
+        assert_ne!(a, base, "derived key leaves the base key alone");
+        assert_eq!(a, derive_key(base, 2), "stable");
+        for salt in 0..64u64 {
+            assert_eq!(derive_key(base, salt) >> 63, 0, "bit 63 must stay clear");
+        }
+        // distinct bases with the same salt diverge too
+        assert_ne!(derive_key(1, 3), derive_key(2, 3));
     }
 
     #[test]

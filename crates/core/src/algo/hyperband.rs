@@ -63,6 +63,30 @@ impl Bracket {
     pub fn total_epochs(&self) -> u64 {
         self.rungs.iter().map(|r| r.n_configs as u64 * r.budget as u64).sum()
     }
+
+    /// Epochs rung `i` trains per config when promotion **resumes** the
+    /// promoted trial from its previous-rung snapshot instead of
+    /// retraining: the budget delta over the rung below (the full budget
+    /// at rung 0). This is the ASHA-style execution mode of
+    /// [`crate::runner::HpoRunner::run_successive_halving_staged`].
+    pub fn resume_epochs(&self, rung: usize) -> u32 {
+        let b = self.rungs[rung].budget;
+        match rung {
+            0 => b,
+            i => b.saturating_sub(self.rungs[i - 1].budget),
+        }
+    }
+
+    /// Total training epochs of the bracket under snapshot-resume
+    /// promotion — the work [`Bracket::total_epochs`] shrinks to when no
+    /// promoted trial repeats its own earlier epochs.
+    pub fn total_epochs_resumed(&self) -> u64 {
+        self.rungs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.n_configs as u64 * u64::from(self.resume_epochs(i)))
+            .sum()
+    }
 }
 
 /// The Hyperband schedule: a set of brackets trading breadth for depth.
@@ -110,6 +134,21 @@ mod tests {
         // the bracket spends a fraction.
         let b = Bracket::new(27, 2, 50, 3);
         assert!(b.total_epochs() < 1350 / 3, "SH total {}", b.total_epochs());
+    }
+
+    #[test]
+    fn resume_epochs_are_budget_deltas() {
+        let b = Bracket::new(27, 2, 50, 3);
+        // budgets 2, 6, 18, 50 → deltas 2, 4, 12, 32
+        let deltas: Vec<u32> = (0..b.rungs.len()).map(|i| b.resume_epochs(i)).collect();
+        assert_eq!(deltas, vec![2, 4, 12, 32]);
+        // resumed work: every config's epochs are counted exactly once
+        // along its deepest path — strictly less than retraining
+        assert!(b.total_epochs_resumed() < b.total_epochs());
+        assert_eq!(b.total_epochs_resumed(), 27 * 2 + 9 * 4 + 3 * 12 + 32);
+        // the single winner still reaches the full max budget
+        let along_winner: u64 = (0..b.rungs.len()).map(|i| u64::from(b.resume_epochs(i))).sum();
+        assert_eq!(along_winner, 50);
     }
 
     #[test]

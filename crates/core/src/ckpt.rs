@@ -269,6 +269,10 @@ impl ResumeStats {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+
     use super::*;
     use crate::space::ConfigValue;
 
@@ -398,5 +402,85 @@ mod tests {
         assert!(!ResumeStats::default().resumed_any());
         assert!(ResumeStats { skipped_complete: 1, reenqueued: 0 }.resumed_any());
         assert!(ResumeStats { skipped_complete: 0, reenqueued: 2 }.resumed_any());
+    }
+
+    /// `trial_key` identity IS label identity — `SweepState::finished`
+    /// resolves a config to `complete.get(&trial_key(config))` and nothing
+    /// else. Two sides of that coin:
+    ///
+    /// * configs with the *same* label always share a key (`Config` keeps
+    ///   its values in a `BTreeMap`, so insertion order is irrelevant) —
+    ///   that is the designed collision the resume path depends on;
+    /// * a 63-bit FNV collision between two *different* labels would
+    ///   alias the trials: the journal cannot tell them apart, so
+    ///   `finished` would hand the second trial the first one's outcome
+    ///   and `--resume` would silently skip retraining it. The proptest
+    ///   below pins that this does not happen on realistic grids.
+    #[test]
+    fn key_collision_would_alias_trials() {
+        let a = cfg("Adam", 3);
+        let mut state = SweepState::default();
+        state.complete.insert(trial_key(&a), (TrialOutcome::with_accuracy(0.9), 7));
+
+        // Same label via a different insertion order: same key, reported
+        // finished — the collision the resume path is built on.
+        let a2 = Config::new()
+            .with("num_epochs", ConfigValue::Int(3))
+            .with("optimizer", ConfigValue::Str("Adam".into()));
+        assert_eq!(trial_key(&a), trial_key(&a2));
+        assert_eq!(state.finished(&a2).unwrap().0.accuracy, 0.9);
+
+        // A forged cross-label collision (what an FNV collision would do):
+        // journal b's outcome under c's key and c looks finished despite
+        // never having run. The journal has no second discriminator.
+        let c = cfg("SGD", 99);
+        state.complete.insert(trial_key(&c), (TrialOutcome::with_accuracy(0.1), 1));
+        assert_eq!(state.finished(&c).unwrap().0.accuracy, 0.1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Distinct configs from a realistic grid — optimizer × epochs ×
+        /// batch size × learning rate, every axis randomly chosen — never
+        /// collide on `trial_key`. Distinct value sets give distinct
+        /// labels (the f64 `Display` is shortest-round-trip, so distinct
+        /// floats print distinctly), so this exercises the 63-bit FNV
+        /// itself on grids up to a few hundred configs.
+        #[test]
+        fn distinct_grid_configs_never_collide(
+            opts in prop::collection::btree_set(0usize..6, 1..4),
+            epochs in prop::collection::btree_set(1i64..500, 1..5),
+            batches in prop::collection::btree_set(1i64..1024, 1..4),
+            lrs in prop::collection::btree_set(1u32..10_000, 1..4),
+        ) {
+            const OPT_NAMES: [&str; 6] = ["Adam", "SGD", "RMSprop", "Adagrad", "Momentum", "Nadam"];
+            let mut seen: HashMap<u64, String> = HashMap::new();
+            for &o in &opts {
+                for &e in &epochs {
+                    for &b in &batches {
+                        for &lr in &lrs {
+                            let c = Config::new()
+                                .with("optimizer", ConfigValue::Str(OPT_NAMES[o].into()))
+                                .with("num_epochs", ConfigValue::Int(e))
+                                .with("batch_size", ConfigValue::Int(b))
+                                .with(
+                                    "learning_rate",
+                                    ConfigValue::Float(f64::from(lr) / 16384.0),
+                                );
+                            let key = trial_key(&c);
+                            prop_assert!(key & (1 << 63) == 0, "bit 63 must stay clear");
+                            if let Some(prev) = seen.insert(key, c.label()) {
+                                prop_assert!(
+                                    false,
+                                    "trial_key collision: '{prev}' and '{}' both hash to {key:#x}",
+                                    c.label()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

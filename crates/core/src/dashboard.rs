@@ -15,6 +15,7 @@ use runmetrics::MetricsRegistry;
 
 use crate::ckpt::ResumeStats;
 use crate::results::{HpoReport, TrialResult};
+use crate::runner::StageStats;
 
 /// Streaming progress renderer.
 #[derive(Debug, Default)]
@@ -133,6 +134,22 @@ impl Dashboard {
         )
     }
 
+    /// One-line stage-tree activity summary, read from the runtime
+    /// registry's `hpo_stage_epochs_saved_total` / `hpo_prefix_forks_total`
+    /// counters (the [`crate::runner::HpoRunner::run_staged`] family
+    /// publishes them). Empty when no sweep shared anything — or when the
+    /// dashboard has no registry to read.
+    pub fn stage_summary(&self) -> String {
+        let Some((reg, _)) = &self.metrics else { return String::new() };
+        let snap = reg.snapshot();
+        let saved = snap.counter("hpo_stage_epochs_saved_total").unwrap_or(0);
+        let forks = snap.counter("hpo_prefix_forks_total").unwrap_or(0);
+        if saved == 0 && forks == 0 {
+            return String::new();
+        }
+        format!("stage tree: {saved} epochs saved · {forks} prefix forks")
+    }
+
     /// Number of trials seen.
     pub fn completed(&self) -> usize {
         self.completed
@@ -195,6 +212,18 @@ impl Dashboard {
 /// The resume banner: `resumed sweep: X complete, Y re-enqueued`.
 pub fn resume_banner(stats: &ResumeStats) -> String {
     format!("resumed sweep: {} complete, {} re-enqueued", stats.skipped_complete, stats.reenqueued)
+}
+
+/// The stage-tree banner a deduped sweep prints under its leaderboard:
+/// `stage tree: 630 epochs saved (41% of naive) · 18 prefix forks`.
+/// Empty when the run shared nothing (every trial trained from scratch).
+pub fn stage_banner(stats: &StageStats) -> String {
+    let saved = stats.epochs_saved();
+    if saved == 0 && stats.forks == 0 {
+        return String::new();
+    }
+    let pct = (saved * 100).checked_div(stats.naive_epochs).unwrap_or(0);
+    format!("stage tree: {saved} epochs saved ({pct}% of naive) · {} prefix forks", stats.forks)
 }
 
 /// Top-`k` leaderboard of a finished report.
@@ -337,6 +366,23 @@ mod tests {
         let d = Dashboard::new().with_metrics(std::sync::Arc::clone(&reg), 10);
         let s = d.ckpt_summary();
         assert!(s.contains("3 trials replayed"), "{s}");
+    }
+
+    #[test]
+    fn stage_banner_reports_savings_and_stays_silent_when_unshared() {
+        let stats = StageStats { segments: 27, forks: 18, naive_epochs: 1530, staged_epochs: 900 };
+        let line = stage_banner(&stats);
+        assert_eq!(line, "stage tree: 630 epochs saved (41% of naive) · 18 prefix forks");
+        let unshared = StageStats { segments: 4, forks: 0, naive_epochs: 40, staged_epochs: 40 };
+        assert!(stage_banner(&unshared).is_empty(), "nothing shared: no banner");
+
+        // The registry-backed summary mirrors the counters the runner adds.
+        let reg = std::sync::Arc::new(runmetrics::MetricsRegistry::new(true));
+        reg.counter("hpo_stage_epochs_saved_total").add(630);
+        reg.counter("hpo_prefix_forks_total").add(18);
+        let d = Dashboard::new().with_metrics(std::sync::Arc::clone(&reg), 10);
+        assert_eq!(d.stage_summary(), "stage tree: 630 epochs saved · 18 prefix forks");
+        assert!(Dashboard::new().stage_summary().is_empty(), "no registry: silent");
     }
 
     #[test]

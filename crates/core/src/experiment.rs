@@ -181,9 +181,13 @@ pub fn train_config_from(
         Some(other) => return Err(TaskError::new(format!("unknown arch '{other}'"))),
     };
 
-    // FNV-1a over the label: stable per-config seed.
-    let seed = config
-        .label()
+    // FNV-1a over the *stage-base* label ([`crate::stagetree::seed_label`]):
+    // a stable per-config seed that deliberately ignores late-binding
+    // params (total epochs, the LR-decay point). Configs that share a
+    // training prefix therefore share a seed — which is exactly what makes
+    // stage-tree prefix sharing bit-identical to naive retraining — while
+    // configs that diverge from epoch 0 still get distinct seeds.
+    let seed = crate::stagetree::seed_label(config)
         .bytes()
         .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
     Ok(TrainConfig {

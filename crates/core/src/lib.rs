@@ -49,6 +49,7 @@ pub mod results;
 pub mod runner;
 pub mod server;
 pub mod space;
+pub mod stagetree;
 pub mod wire;
 
 /// Convenient re-exports for application code.
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::results::{HpoReport, TrialResult};
     pub use crate::runner::{HpoRunner, SweepControl};
     pub use crate::space::{Config, ConfigValue, ParamDomain, SearchSpace};
+    pub use crate::stagetree::{StageObjective, StagePlan};
 }
 
 pub use prelude::*;

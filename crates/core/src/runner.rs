@@ -5,10 +5,12 @@
 //! hand them to the plotting/reporting layer. The runner adds the paper's
 //! early stopping and the successive-halving execution mode.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use rcompss::{ArgSpec, Runtime, SubmitError, SubmitOpts, SubmitResult};
+use rcompss::{ArgSpec, DataHandle, Runtime, SubmitError, SubmitOpts, SubmitResult};
+use tinyml::TrainSnapshot;
 
 use crate::algo::hyperband::Bracket;
 use crate::algo::random::RandomSearch;
@@ -17,6 +19,9 @@ use crate::ckpt::{trial_key, ResumeStats, SweepJournal, SweepRecord, SweepState}
 use crate::experiment::{ExperimentOptions, Objective, TrialOutcome};
 use crate::results::{HpoReport, TrialResult};
 use crate::space::{Config, SearchSpace};
+use crate::stagetree::{
+    is_cosine, outcome_from_snapshot, stage_task_def, StageObjective, StagePayload, StagePlan,
+};
 use crate::wire::{experiment_task_def, TaskPayload};
 
 /// Executes HPO runs.
@@ -24,6 +29,40 @@ use crate::wire::{experiment_task_def, TaskPayload};
 pub struct HpoRunner {
     /// Options applied to every experiment task.
     pub opts: ExperimentOptions,
+}
+
+/// What a staged (prefix-shared) run saved relative to retraining every
+/// trial from scratch. All figures count *training epochs*, the unit the
+/// paper's sweeps are billed in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage segments submitted (== trials when nothing is shared).
+    pub segments: usize,
+    /// Segments that resumed a parent fork snapshot.
+    pub forks: usize,
+    /// Epochs a naive run of the collected trials would have trained.
+    pub naive_epochs: u64,
+    /// Epochs actually trained across all submitted segments.
+    pub staged_epochs: u64,
+}
+
+impl StageStats {
+    /// Epochs the dedup avoided (0 when nothing was shared).
+    pub fn epochs_saved(&self) -> u64 {
+        self.naive_epochs.saturating_sub(self.staged_epochs)
+    }
+}
+
+/// Drain a history-independent suggester (grid, random) into its full
+/// config list. Planning a stage tree needs the whole sweep up front,
+/// which is only faithful for algorithms whose suggestions ignore the
+/// observed results — the caller gates on that (see `--share-prefixes`).
+pub fn materialize(algo: &mut dyn Suggester) -> Vec<Config> {
+    let mut configs = Vec::new();
+    while let Some(c) = algo.suggest(&[]) {
+        configs.push(c);
+    }
+    configs
 }
 
 /// Cooperative controls threaded through [`HpoRunner::run_controlled`]: an
@@ -414,6 +453,272 @@ impl HpoRunner {
             wall_us: rt.now_us(),
             early_stopped: false,
         })
+    }
+
+    /// Submit every segment of `plan` in topological order — a parent's
+    /// return handle feeds each child's fourth argument, so the runtime's
+    /// dependency graph chains the segments and (distributed) ships each
+    /// fork snapshot content-addressed through the block plane. The gate
+    /// is consulted per segment; once it denies, the remaining prefix is
+    /// dropped whole (children of an unsubmitted parent are skipped).
+    fn submit_plan(
+        &self,
+        rt: &Runtime,
+        def: &rcompss::TaskDef,
+        plan: &StagePlan,
+        control: Option<&SweepControl>,
+    ) -> Result<(Vec<Option<DataHandle>>, StageStats), SubmitError> {
+        let root = rt.literal(StagePayload::root());
+        let mut handles: Vec<Option<DataHandle>> = vec![None; plan.segments.len()];
+        let mut stats = StageStats::default();
+        for seg in &plan.segments {
+            let parent = match seg.parent {
+                Some(p) => match handles[p] {
+                    Some(h) => h,
+                    None => continue, // ancestor dropped by the gate
+                },
+                None => root,
+            };
+            if control.is_some_and(|c| !c.admit()) {
+                break;
+            }
+            let sub = rt.submit_with(
+                def,
+                vec![
+                    ArgSpec::In(rt.literal(seg.rep.clone())),
+                    ArgSpec::In(rt.literal(seg.end)),
+                    ArgSpec::In(rt.literal(seg.total_epochs)),
+                    ArgSpec::In(parent),
+                ],
+                SubmitOpts { sim_duration_us: None },
+            )?;
+            handles[seg.id] = Some(sub.returns[0]);
+            stats.segments += 1;
+            stats.forks += usize::from(seg.parent.is_some());
+            stats.staged_epochs += u64::from(seg.end - seg.start);
+        }
+        Ok((handles, stats))
+    }
+
+    /// Wait on every terminal segment of `plan` and reconstruct the trial
+    /// results from the fork snapshots, keyed by input-config index.
+    fn collect_plan(
+        &self,
+        rt: &Runtime,
+        configs: &[Config],
+        plan: &StagePlan,
+        handles: &[Option<DataHandle>],
+        stats: &mut StageStats,
+    ) -> BTreeMap<usize, TrialResult> {
+        let mut results = BTreeMap::new();
+        for seg in &plan.segments {
+            if seg.trials.is_empty() {
+                continue;
+            }
+            let Some(h) = handles[seg.id] else { continue };
+            let (outcome, task_us) = wait_stage(rt, &h);
+            for &i in &seg.trials {
+                stats.naive_epochs += u64::from(seg.end);
+                results.insert(
+                    i,
+                    TrialResult { config: configs[i].clone(), outcome: outcome.clone(), task_us },
+                );
+            }
+        }
+        results
+    }
+
+    /// Run `configs` as a stage tree: shared training prefixes execute
+    /// once and forks resume the parent snapshot, yet the report is
+    /// bit-identical to [`HpoRunner::run`] over the same configs (same
+    /// trials, same order, same outcomes — see [`crate::stagetree`] for
+    /// the argument). Only history-independent algorithms qualify, since
+    /// the whole sweep is planned up front ([`materialize`]).
+    ///
+    /// Returns the report plus the [`StageStats`] that fed the
+    /// `hpo_stage_epochs_saved_total` / `hpo_prefix_forks_total` counters.
+    pub fn run_staged(
+        &self,
+        rt: &Runtime,
+        algo_name: &str,
+        configs: &[Config],
+        stage: &StageObjective,
+        control: Option<&SweepControl>,
+        mut observer: impl FnMut(&TrialResult),
+    ) -> Result<(HpoReport, StageStats), SubmitError> {
+        let def = stage_task_def(&self.opts, stage);
+        let trial_metrics = TrialMetrics::new(rt);
+        let plan = StagePlan::build(configs, None);
+        let (handles, mut stats) = self.submit_plan(rt, &def, &plan, control)?;
+        let results = self.collect_plan(rt, configs, &plan, &handles, &mut stats);
+        // Emit in input-config order — the order the naive wave loop
+        // reports a history-independent suggester's trials in.
+        let mut history: Vec<TrialResult> = Vec::with_capacity(results.len());
+        for trial in results.into_values() {
+            if let Some(tm) = &trial_metrics {
+                tm.observe(&trial);
+            }
+            observer(&trial);
+            history.push(trial);
+        }
+        record_stage_metrics(rt, &stats);
+        Ok((
+            HpoReport {
+                algorithm: algo_name.to_string(),
+                trials: history,
+                wall_us: rt.now_us(),
+                early_stopped: false,
+            },
+            stats,
+        ))
+    }
+
+    /// [`HpoRunner::run_successive_halving`] in ASHA-resume mode: rung 0
+    /// runs as a stage tree over the sampled candidates (sharing prefixes
+    /// *across* configs at the common budget), and every later rung
+    /// resumes each promoted trial from its own previous-rung snapshot
+    /// instead of retraining — each config's epochs are trained at most
+    /// once along its deepest path (see
+    /// [`Bracket::total_epochs_resumed`]). Cosine-schedule trials retrain
+    /// from scratch each rung: their LR shape depends on the budget, so
+    /// the previous rung's trajectory is not a prefix of the next.
+    ///
+    /// The report is bit-identical to the naive bracket (same sampling
+    /// seed, same promotion order, same outcomes).
+    pub fn run_successive_halving_staged(
+        &self,
+        rt: &Runtime,
+        space: &SearchSpace,
+        stage: &StageObjective,
+        bracket: &Bracket,
+        seed: u64,
+    ) -> Result<(HpoReport, StageStats), SubmitError> {
+        let def = stage_task_def(&self.opts, stage);
+        let trial_metrics = TrialMetrics::new(rt);
+        let mut sampler = RandomSearch::new(space, bracket.rungs[0].n_configs, seed);
+        let mut candidates: Vec<Config> = Vec::new();
+        while let Some(c) = sampler.suggest(&[]) {
+            candidates.push(c);
+        }
+
+        let root = rt.literal(StagePayload::root());
+        // Latest fork-snapshot handle per surviving config label.
+        let mut snap_handles: HashMap<String, DataHandle> = HashMap::new();
+        let mut history: Vec<TrialResult> = Vec::new();
+        let mut stats = StageStats::default();
+        let mut prev_budget: Option<u32> = None;
+        for (i, rung) in bracket.rungs.iter().enumerate() {
+            candidates.truncate(rung.n_configs);
+            if candidates.is_empty() {
+                break;
+            }
+            let mut rung_results: Vec<TrialResult> = if let Some(prev) = prev_budget {
+                let subs: Vec<(Config, DataHandle)> = candidates
+                    .iter()
+                    .map(|c| {
+                        let (parent, resumed) = match snap_handles.get(&c.label()) {
+                            Some(h) if !is_cosine(c) => (*h, true),
+                            _ => (root, false),
+                        };
+                        stats.segments += 1;
+                        stats.forks += usize::from(resumed);
+                        stats.staged_epochs +=
+                            u64::from(if resumed { rung.budget - prev } else { rung.budget });
+                        let sub = rt.submit_with(
+                            &def,
+                            vec![
+                                ArgSpec::In(rt.literal(c.clone())),
+                                ArgSpec::In(rt.literal(rung.budget)),
+                                ArgSpec::In(rt.literal(rung.budget)),
+                                ArgSpec::In(parent),
+                            ],
+                            SubmitOpts { sim_duration_us: None },
+                        )?;
+                        Ok((c.clone(), sub.returns[0]))
+                    })
+                    .collect::<Result<_, SubmitError>>()?;
+                subs.into_iter()
+                    .map(|(config, h)| {
+                        snap_handles.insert(config.label(), h);
+                        stats.naive_epochs += u64::from(rung.budget);
+                        let (outcome, task_us) = wait_stage(rt, &h);
+                        TrialResult { config, outcome, task_us }
+                    })
+                    .collect()
+            } else {
+                // Rung 0: a stage tree over all candidates at the rung
+                // budget — configs differing only in late-binding params
+                // collapse into shared (or even single) segments.
+                let plan = StagePlan::build(&candidates, Some(rung.budget));
+                let (handles, sub_stats) = self.submit_plan(rt, &def, &plan, None)?;
+                stats.segments += sub_stats.segments;
+                stats.forks += sub_stats.forks;
+                stats.staged_epochs += sub_stats.staged_epochs;
+                for seg in &plan.segments {
+                    if let (false, Some(h)) = (seg.trials.is_empty(), handles[seg.id]) {
+                        for &t in &seg.trials {
+                            snap_handles.insert(candidates[t].label(), h);
+                        }
+                    }
+                }
+                let mut results = self.collect_plan(rt, &candidates, &plan, &handles, &mut stats);
+                (0..candidates.len()).filter_map(|t| results.remove(&t)).collect()
+            };
+            for trial in &rung_results {
+                if let Some(tm) = &trial_metrics {
+                    tm.observe(trial);
+                }
+            }
+            // Promotion — identical ordering and tie-breaking to the
+            // naive bracket: rung results enter the (stable) sort in
+            // candidate order.
+            rung_results.sort_by(|a, b| b.outcome.accuracy.total_cmp(&a.outcome.accuracy));
+            candidates = rung_results
+                .iter()
+                .filter(|t| !t.outcome.is_failed())
+                .take(bracket.survivors_of(i))
+                .map(|t| t.config.clone())
+                .collect();
+            history.extend(rung_results);
+            prev_budget = Some(rung.budget);
+        }
+        record_stage_metrics(rt, &stats);
+        Ok((
+            HpoReport {
+                algorithm: "successive-halving".to_string(),
+                trials: history,
+                wall_us: rt.now_us(),
+                early_stopped: false,
+            },
+            stats,
+        ))
+    }
+}
+
+/// Wait on one stage segment and turn its fork payload into an outcome
+/// (task failure or an undecodable payload becomes a failed trial, like
+/// the naive collect path).
+fn wait_stage(rt: &Runtime, h: &DataHandle) -> (TrialOutcome, u64) {
+    match rt.wait_on(h) {
+        Ok(v) => match v
+            .downcast_ref::<StagePayload>()
+            .and_then(|p| Some((TrainSnapshot::decode(&p.snapshot)?, p.task_us)))
+        {
+            Some((snap, task_us)) => (outcome_from_snapshot(&snap), task_us),
+            None => (TrialOutcome::failed("stage task returned an undecodable payload"), 0),
+        },
+        Err(e) => (TrialOutcome::failed(e.to_string()), 0),
+    }
+}
+
+/// Publish the stage counters onto the runtime's registry. Registered
+/// even when nothing was saved, so a sweep that shared no prefixes still
+/// exports explicit zeros.
+fn record_stage_metrics(rt: &Runtime, stats: &StageStats) {
+    if rt.metrics_enabled() {
+        let reg = rt.metrics();
+        reg.counter("hpo_stage_epochs_saved_total").add(stats.epochs_saved());
+        reg.counter("hpo_prefix_forks_total").add(stats.forks as u64);
     }
 }
 

@@ -37,7 +37,11 @@
 //! [`HpoRunner::run_controlled`] loop as the standalone `hpo-run` binary
 //! with the same options, objective and seed — with an open gate the two
 //! produce bit-identical trial tables, and the integration tests assert
-//! it.
+//! it. A server started with [`SweepServer::start_staged`] additionally
+//! routes grid and random sweeps through the stage tree
+//! ([`HpoRunner::run_staged`]): shared training prefixes run once, the
+//! trial table stays bit-identical, and the sweep's done message carries
+//! the "N epochs saved" banner.
 //!
 //! Per-tenant and per-sweep telemetry lands in the runtime's metrics
 //! registry (`hposerver_sweeps_active`, `hposerver_sweeps_queued`,
@@ -67,10 +71,12 @@ use crate::algo::grid::GridSearch;
 use crate::algo::random::RandomSearch;
 use crate::algo::tpe::TpeSearch;
 use crate::algo::Suggester;
+use crate::dashboard::stage_banner;
 use crate::experiment::{ExperimentOptions, Objective};
 use crate::results::TrialResult;
-use crate::runner::{HpoRunner, SweepControl};
+use crate::runner::{materialize, HpoRunner, SweepControl};
 use crate::space::SearchSpace;
+use crate::stagetree::StageObjective;
 
 /// Sweep accepted, waiting for a free run slot.
 pub const SWEEP_QUEUED: u32 = 0;
@@ -467,6 +473,14 @@ impl ServerMetrics {
 struct ServerInner {
     rt: Runtime,
     objective: Objective,
+    /// When set, grid and random sweeps run through the stage tree
+    /// ([`HpoRunner::run_staged`]) — shared prefixes trained once, trial
+    /// tables bit-identical to the naive loop. Workers in the pool must
+    /// have registered [`crate::stagetree::stage_task_def`] for the same
+    /// objective. History-driven algorithms (TPE, Bayes) always take the
+    /// naive path: their suggestions depend on earlier outcomes, so the
+    /// config set cannot be materialised up front.
+    stage: Option<StageObjective>,
     opts: ExperimentOptions,
     cfg: ServerConfig,
     gate: Arc<FairGate>,
@@ -562,6 +576,22 @@ impl SweepServer {
         opts: ExperimentOptions,
         cfg: ServerConfig,
     ) -> io::Result<SweepServer> {
+        SweepServer::start_staged(listener, rt, objective, None, opts, cfg)
+    }
+
+    /// Like [`SweepServer::start`], but with an optional stage-tree
+    /// objective: when `stage` is `Some`, grid and random sweeps share
+    /// training prefixes across their configs (see [`crate::stagetree`])
+    /// and report the epochs saved in the sweep's done message and the
+    /// `hpo_stage_epochs_saved_total` / `hpo_prefix_forks_total` counters.
+    pub fn start_staged(
+        listener: TcpListener,
+        rt: Runtime,
+        objective: Objective,
+        stage: Option<StageObjective>,
+        opts: ExperimentOptions,
+        cfg: ServerConfig,
+    ) -> io::Result<SweepServer> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let poller = Poller::new().unwrap_or_else(|_| Poller::fallback());
@@ -573,6 +603,7 @@ impl SweepServer {
         let inner = Arc::new(ServerInner {
             rt,
             objective,
+            stage,
             opts,
             cfg,
             gate,
@@ -708,20 +739,45 @@ fn run_sweep(inner: Arc<ServerInner>, id: u64) {
         &sweep_name,
     ));
     let trial_inner = Arc::clone(&inner);
-    let outcome = runner.run_controlled(
-        &inner.rt,
-        algo.as_mut(),
-        inner.objective.clone(),
-        &control,
-        |trial| {
-            latency.record(trial.task_us);
-            on_trial(&trial_inner, id, trial);
-        },
-    );
+    let mut observer = |trial: &TrialResult| {
+        latency.record(trial.task_us);
+        on_trial(&trial_inner, id, trial);
+    };
+    // Grid and random sweeps go through the stage tree when the server
+    // was started with a stage objective: the suggester is
+    // history-independent, so the whole config set can be materialised
+    // and planned up front. Everything else keeps the naive loop.
+    let staged = matches!(spec.algo.as_str(), "grid" | "random");
+    let outcome = match inner.stage.as_ref().filter(|_| staged) {
+        Some(stage) => {
+            let configs = materialize(algo.as_mut());
+            runner
+                .run_staged(&inner.rt, &spec.algo, &configs, stage, Some(&control), observer)
+                .map(|(_, stats)| Some(stats))
+        }
+        None => runner
+            .run_controlled(
+                &inner.rt,
+                algo.as_mut(),
+                inner.objective.clone(),
+                &control,
+                &mut observer,
+            )
+            .map(|_| None),
+    };
     let (state, message) = match outcome {
         Err(e) => (SWEEP_FAILED, format!("submission failed: {e}")),
         Ok(_) if control.is_cancelled() => (SWEEP_CANCELLED, "cancelled".to_string()),
-        Ok(_) => (SWEEP_DONE, halt_reason.lock().clone()),
+        Ok(stats) => {
+            let mut message = halt_reason.lock().clone();
+            // Surface the savings banner in the done message so sweep
+            // clients see "N epochs saved" without scraping /metrics.
+            if let Some(banner) = stats.map(|s| stage_banner(&s)).filter(|b| !b.is_empty()) {
+                message =
+                    if message.is_empty() { banner } else { format!("{message} · {banner}") };
+            }
+            (SWEEP_DONE, message)
+        }
     };
     finish_sweep(&inner, id, state, message);
 }

@@ -17,6 +17,7 @@ use rnet::{Reader, WireError};
 
 use crate::experiment::{ExperimentOptions, Objective, TrialOutcome};
 use crate::space::{Config, ConfigValue};
+use crate::stagetree::StagePayload;
 
 /// What the experiment task returns through the data registry: the trial
 /// outcome plus the task-side wall time in microseconds.
@@ -74,7 +75,9 @@ pub(crate) fn read_outcome(r: &mut Reader<'_>) -> Result<TrialOutcome, WireError
 
 /// Register the HPO-layer codecs (idempotent; call freely).
 ///
-/// Tags: `hpo.config` for [`Config`], `hpo.trial` for [`TaskPayload`].
+/// Tags: `hpo.config` for [`Config`], `hpo.trial` for [`TaskPayload`],
+/// `hpo.stage` for [`StagePayload`] (stage-tree fork snapshots, which ride
+/// the content-addressed block plane like any other task output).
 pub fn register_hpo_codecs() {
     register_codec::<Config, _, _>(
         "hpo.config",
@@ -135,6 +138,22 @@ pub fn register_hpo_codecs() {
             let outcome = read_outcome(&mut r)?;
             let task_us = r.u64()?;
             Ok((outcome, task_us))
+        },
+    );
+
+    register_codec::<StagePayload, _, _>(
+        "hpo.stage",
+        |payload| {
+            let mut b = Vec::new();
+            rnet::wire::put_bytes(&mut b, &payload.snapshot);
+            rnet::wire::put_u64(&mut b, payload.task_us);
+            b
+        },
+        |bytes| {
+            let mut r = Reader::new(bytes);
+            let snapshot = r.bytes()?.to_vec();
+            let task_us = r.u64()?;
+            Ok(StagePayload { snapshot, task_us })
         },
     );
 }
@@ -205,6 +224,16 @@ mod tests {
         let (o, us) = got.downcast_ref::<TaskPayload>().expect("payload type");
         assert_eq!(o, &outcome);
         assert_eq!(*us, 12_345);
+    }
+
+    #[test]
+    fn stage_payload_codec_roundtrips() {
+        register_hpo_codecs();
+        let payload = StagePayload { snapshot: vec![0, 1, 2, 255, 7], task_us: 99 };
+        let got = roundtrip(Value::new(payload.clone()));
+        assert_eq!(got.downcast_ref::<StagePayload>(), Some(&payload));
+        let root = roundtrip(Value::new(StagePayload::root()));
+        assert_eq!(root.downcast_ref::<StagePayload>(), Some(&StagePayload::root()));
     }
 
     #[test]

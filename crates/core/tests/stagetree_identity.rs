@@ -1,0 +1,194 @@
+//! The stage tree's headline guarantee, end to end: a deduped sweep —
+//! grid or successive halving, threaded or distributed loopback — trains
+//! strictly fewer epochs than the naive sweep yet produces a
+//! **bit-identical** trial table (same configs, same order, same
+//! accuracies and curves down to the last mantissa bit).
+//!
+//! Real `tinyml` training throughout: the whole point is that fork
+//! snapshots carry enough optimiser/RNG state for a resumed child to be
+//! indistinguishable from an uninterrupted run.
+
+use std::sync::Arc;
+
+use hpo::algo::grid::GridSearch;
+use hpo::algo::hyperband::Bracket;
+use hpo::experiment::{tinyml_objective, ExperimentOptions};
+use hpo::runner::materialize;
+use hpo::space::{ConfigValue, ParamDomain, SearchSpace};
+use hpo::stagetree::{stage_task_def, StageObjective};
+use hpo::wire::{experiment_task_def, register_hpo_codecs};
+use hpo::{HpoReport, HpoRunner};
+use rcompss::{
+    DistributedConfig, Runtime, RuntimeConfig, TaskRegistry, WorkerConfig, WorkerHandle,
+    WorkerServer,
+};
+use tinyml::Dataset;
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(Dataset::synthetic_mnist(240, 11))
+}
+
+fn stage_objective() -> StageObjective {
+    StageObjective::new(dataset(), vec![12])
+}
+
+/// A grid with every kind of late-binding divergence: the epoch axis and
+/// a step-decay (every, factor) fork, per optimizer.
+fn grid_space() -> SearchSpace {
+    SearchSpace::new()
+        .with("optimizer", ParamDomain::choice_strs(&["Adam", "SGD"]))
+        .with("num_epochs", ParamDomain::choice_ints(&[2, 4]))
+        .with("lr_decay_every", ParamDomain::choice_ints(&[1]))
+        .with(
+            "lr_decay_factor",
+            ParamDomain::Choice(vec![ConfigValue::Float(0.5), ConfigValue::Float(0.25)]),
+        )
+}
+
+fn sh_space() -> SearchSpace {
+    SearchSpace::new()
+        .with("optimizer", ParamDomain::choice_strs(&["Adam", "SGD", "RMSprop"]))
+        .with("batch_size", ParamDomain::choice_ints(&[16, 32]))
+}
+
+/// One trial, bit-exact: label, accuracy bits, epochs run, per-epoch
+/// accuracy and loss bits.
+type ExactRow = (String, u64, u32, Vec<u64>, Vec<u64>);
+
+/// Every bit of every trial, in report order.
+fn exact_table(report: &HpoReport) -> Vec<ExactRow> {
+    report
+        .trials
+        .iter()
+        .map(|t| {
+            (
+                t.config.label(),
+                t.outcome.accuracy.to_bits(),
+                t.outcome.epochs_run,
+                t.outcome.epoch_accuracy.iter().map(|a| a.to_bits()).collect(),
+                t.outcome.epoch_loss.iter().map(|l| l.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn spawn_stage_workers(n: usize, opts: &ExperimentOptions) -> Vec<WorkerHandle> {
+    register_hpo_codecs();
+    let objective = tinyml_objective(dataset(), vec![12]);
+    let registry = TaskRegistry::new()
+        .with(experiment_task_def(opts, &objective))
+        .with(stage_task_def(opts, &stage_objective()));
+    (0..n)
+        .map(|i| {
+            let cfg =
+                WorkerConfig { name: format!("stage-w{i}"), cores: 2, ..WorkerConfig::default() };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind")
+                .spawn()
+                .expect("spawn")
+        })
+        .collect()
+}
+
+fn distributed_runtime(workers: &[WorkerHandle]) -> Runtime {
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    Runtime::distributed(RuntimeConfig::single_node(1), &addrs, DistributedConfig::default())
+        .expect("connect")
+}
+
+#[test]
+fn staged_grid_is_bit_identical_to_naive_and_trains_fewer_epochs() {
+    let opts = ExperimentOptions::default();
+    let runner = HpoRunner::new(opts.clone());
+    let space = grid_space();
+    let configs = materialize(&mut GridSearch::new(&space));
+
+    let naive = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let objective = tinyml_objective(dataset(), vec![12]);
+        runner.run(&rt, &mut GridSearch::new(&space), objective).expect("naive run")
+    };
+    let naive_epochs: u64 = naive.trials.iter().map(|t| u64::from(t.outcome.epochs_run)).sum();
+
+    // Threaded staged run.
+    let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+    let (staged, stats) = runner
+        .run_staged(&rt, "grid", &configs, &stage_objective(), None, |_| {})
+        .expect("staged run");
+
+    assert_eq!(
+        exact_table(&staged),
+        exact_table(&naive),
+        "staged grid must match naive bit-for-bit"
+    );
+    assert_eq!(staged.algorithm, naive.algorithm);
+    assert_eq!(stats.naive_epochs, naive_epochs);
+    assert!(
+        stats.staged_epochs < stats.naive_epochs,
+        "must train strictly fewer epochs: {} vs {}",
+        stats.staged_epochs,
+        stats.naive_epochs
+    );
+    assert!(stats.forks > 0, "sharing must actually fork");
+
+    // Distributed loopback staged run: same table again, through real
+    // workers and the block plane.
+    let workers = spawn_stage_workers(2, &opts);
+    let drt = distributed_runtime(&workers);
+    let (dstaged, dstats) = runner
+        .run_staged(&drt, "grid", &configs, &stage_objective(), None, |_| {})
+        .expect("distributed staged run");
+    assert_eq!(exact_table(&dstaged), exact_table(&naive), "distributed staged grid must match");
+    assert_eq!(dstats.staged_epochs, stats.staged_epochs);
+    drop(drt);
+    for w in workers {
+        w.join().ok();
+    }
+}
+
+#[test]
+fn staged_successive_halving_is_bit_identical_and_resumes_rung_snapshots() {
+    let opts = ExperimentOptions::default();
+    let runner = HpoRunner::new(opts.clone());
+    let space = sh_space();
+    let bracket = Bracket::new(4, 2, 8, 2); // rungs: 4@2, 2@4, 1@8
+    let seed = 5;
+
+    let naive = {
+        let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+        let objective = tinyml_objective(dataset(), vec![12]);
+        runner
+            .run_successive_halving(&rt, &space, objective, &bracket, seed)
+            .expect("naive bracket")
+    };
+    assert_eq!(naive.trials.len(), 4 + 2 + 1);
+
+    let rt = Runtime::threaded(RuntimeConfig::single_node(4));
+    let (staged, stats) = runner
+        .run_successive_halving_staged(&rt, &space, &stage_objective(), &bracket, seed)
+        .expect("staged bracket");
+
+    assert_eq!(
+        exact_table(&staged),
+        exact_table(&naive),
+        "staged bracket must match naive bit-for-bit, promotion order included"
+    );
+    assert_eq!(stats.naive_epochs, bracket.total_epochs());
+    // ASHA-resume: promoted rungs train only the budget delta, so total
+    // work is at most the resumed schedule (less if rung 0 shared).
+    assert!(stats.staged_epochs <= bracket.total_epochs_resumed());
+    assert!(stats.staged_epochs < stats.naive_epochs);
+    assert!(stats.forks >= 2, "both promotions must resume from rung snapshots");
+
+    // Distributed loopback.
+    let workers = spawn_stage_workers(2, &opts);
+    let drt = distributed_runtime(&workers);
+    let (dstaged, _) = runner
+        .run_successive_halving_staged(&drt, &space, &stage_objective(), &bracket, seed)
+        .expect("distributed staged bracket");
+    assert_eq!(exact_table(&dstaged), exact_table(&naive), "distributed staged bracket must match");
+    drop(drt);
+    for w in workers {
+        w.join().ok();
+    }
+}

@@ -351,3 +351,90 @@ fn admission_control_quotas_and_unknown_sweeps_reject() {
     server2.shutdown();
     server.shutdown();
 }
+
+#[test]
+fn staged_server_shares_prefixes_and_stays_bit_identical() {
+    use hpo::experiment::tinyml_objective;
+    use hpo::stagetree::{stage_task_def, StageObjective};
+    use tinyml::Dataset;
+
+    // Real tinyml training this time: prefix sharing only pays (and can
+    // only be proven bit-identical) on an objective with real epochs.
+    let opts = ExperimentOptions::default();
+    let data = Arc::new(Dataset::synthetic_mnist(240, 11));
+    let obj = tinyml_objective(Arc::clone(&data), vec![12]);
+    let stage = StageObjective::new(Arc::clone(&data), vec![12]);
+    let space_json = r#"{"optimizer": ["Adam", "SGD"], "num_epochs": [2, 4]}"#;
+
+    // Pool workers register *both* task defs: naive trials and stage
+    // segments, so one pool serves staged and unstaged sweeps alike.
+    register_hpo_codecs();
+    let registry = TaskRegistry::new()
+        .with(experiment_task_def(&opts, &obj))
+        .with(stage_task_def(&opts, &stage));
+    let workers: Vec<WorkerHandle> = (0..2)
+        .map(|i| {
+            let cfg =
+                WorkerConfig { name: format!("stage-w{i}"), cores: 2, ..WorkerConfig::default() };
+            WorkerServer::bind("127.0.0.1:0", cfg, registry.clone())
+                .expect("bind")
+                .spawn()
+                .expect("spawn")
+        })
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr()).collect();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind server");
+    let boots = gather_workers(&listener, &PoolPlan::dial_out(&addrs, Duration::from_secs(10)))
+        .expect("gather pool");
+    let rt = Runtime::from_bootstraps(
+        RuntimeConfig::single_node(1).with_metrics(true),
+        boots,
+        DistributedConfig::default(),
+    );
+    let server = SweepServer::start_staged(
+        listener,
+        rt,
+        Arc::clone(&obj),
+        Some(stage),
+        opts.clone(),
+        ServerConfig::default(),
+    )
+    .expect("start staged server");
+
+    let mut client = connect(&server, "frank");
+    let spec = SubmitSpec {
+        name: "staged-grid".to_string(),
+        space_json: space_json.to_string(),
+        algo: "grid".to_string(),
+        trials: 0,
+        seed: 0,
+        wave: 0,
+    };
+    let info = client.submit(&spec).expect("io").expect("accepted");
+    let mut rows: Vec<LeaderRow> = Vec::new();
+    let end = client.wait_done(info.sweep_id, |r| rows.push(r.clone())).expect("stream");
+    assert_eq!(end.state, SWEEP_DONE, "{}", end.message);
+    assert_eq!(rows.len(), 4, "every grid config reports a trial");
+    assert!(
+        end.message.contains("epochs saved"),
+        "done message carries the stage banner: {:?}",
+        end.message
+    );
+
+    // Bit-identical to the naive standalone grid over the same space.
+    let runner = HpoRunner::new(opts);
+    let trt = Runtime::threaded(RuntimeConfig::single_node(4));
+    let space = SearchSpace::from_json(space_json).expect("space json");
+    let reference = runner.run(&trt, &mut GridSearch::new(&space), obj).expect("reference");
+    assert_eq!(row_table(&rows), report_table(&reference), "staged sweep bit-identical to naive");
+
+    // The savings counters landed on the server's shared registry: the
+    // epoch axis shares its prefix (2+4 → 4 epochs per optimizer).
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.counter("hpo_stage_epochs_saved_total"), Some(4));
+    assert_eq!(snap.counter("hpo_prefix_forks_total"), Some(2));
+    server.shutdown();
+    for w in workers {
+        w.join().ok();
+    }
+}

@@ -61,4 +61,4 @@ pub use net::{Mlp, Model};
 pub use optim::OptimizerKind;
 pub use snapshot::TrainSnapshot;
 pub use tensor::Matrix;
-pub use train::{train, Checkpointing, History, ModelArch, TrainConfig};
+pub use train::{train, train_segment, Checkpointing, History, ModelArch, TrainConfig};

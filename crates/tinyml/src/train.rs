@@ -229,13 +229,53 @@ pub fn train_with_checkpoints(
     // Every kernel below (forward/backward GEMMs, im2col convolutions,
     // validation inference) runs under this scope; `threads == 0` keeps
     // the degree the runtime already installed from the task's core grant.
-    crate::par::with_threads(cfg.threads, move || train_inner(cfg, data, &mut ckpt, observer))
+    crate::par::with_threads(cfg.threads, move || {
+        train_inner(cfg, data, &mut ckpt, cfg.epochs, None, observer)
+    })
+}
+
+/// Train one *stage segment*: run epochs `[resume.next_epoch, until)` (or
+/// `[0, until)` from scratch) and return the complete training state at
+/// exactly `until` — weights, optimiser state, seed, accumulated history —
+/// as a fork point other runs can resume from via [`Checkpointing::resume`].
+///
+/// Unlike [`train_with_checkpoints`], which suppresses the final-epoch
+/// snapshot (a finished trial's outcome supersedes it), a segment's whole
+/// purpose *is* the state at its end, so the fork snapshot is always
+/// produced — even when `until == cfg.epochs`. `ckpt.resume` supplies the
+/// parent fork (or a mid-segment recovery snapshot); `ckpt.every` /
+/// `ckpt.sink` checkpoint *within* the segment on the usual cadence.
+///
+/// Because training is deterministic and a snapshot carries seed, weights,
+/// optimiser moments and history, chaining segments is bit-identical to
+/// one uninterrupted run over the same epochs.
+///
+/// # Panics
+/// Panics if `until > cfg.epochs`.
+pub fn train_segment(
+    cfg: &TrainConfig,
+    data: &Dataset,
+    mut ckpt: Checkpointing<'_>,
+    until: u32,
+) -> TrainSnapshot {
+    assert!(until <= cfg.epochs, "segment end {until} past cfg.epochs {}", cfg.epochs);
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    crate::par::with_threads(cfg.threads, move || {
+        let mut fork = None;
+        let _ = train_inner(cfg, data, &mut ckpt, until, Some(&mut fork), &mut |_, _, _| {
+            EpochSignal::Continue
+        });
+        fork.expect("segment always produces its fork snapshot")
+    })
 }
 
 fn train_inner(
     cfg: &TrainConfig,
     data: &Dataset,
     ckpt: &mut Checkpointing<'_>,
+    stop_epoch: u32,
+    fork: Option<&mut Option<TrainSnapshot>>,
     observer: &mut impl FnMut(u32, f64, f64) -> EpochSignal,
 ) -> History {
     // The seed governing the split and every epoch's shuffle: on resume it
@@ -268,7 +308,7 @@ fn train_inner(
             net.params().len(),
         );
         opt = Optimizer::from_state(&snap.opt, base_lr);
-        start_epoch = snap.next_epoch.min(cfg.epochs);
+        start_epoch = snap.next_epoch.min(stop_epoch);
         resumed_history = snap.history;
     }
 
@@ -281,7 +321,7 @@ fn train_inner(
     };
 
     let mut history = resumed_history;
-    for epoch in start_epoch..cfg.epochs {
+    for epoch in start_epoch..stop_epoch {
         opt.set_lr(cfg.lr_schedule.lr_at(base_lr, epoch, cfg.epochs).max(1e-8));
         let epoch_started = epoch_metrics.as_ref().map(|_| std::time::Instant::now());
         let mut loss_sum = 0.0f64;
@@ -309,7 +349,7 @@ fn train_inner(
         if ckpt.every > 0
             && (epoch + 1).is_multiple_of(ckpt.every)
             && !stop
-            && epoch + 1 < cfg.epochs
+            && epoch + 1 < stop_epoch
         {
             if let Some(sink) = ckpt.sink.as_mut() {
                 sink(&TrainSnapshot {
@@ -325,6 +365,19 @@ fn train_inner(
         if stop {
             break;
         }
+    }
+    if let Some(out) = fork {
+        *out = Some(TrainSnapshot {
+            seed,
+            epochs_total: cfg.epochs,
+            // history length is the absolute epoch count (resumed epochs
+            // plus the ones run here), so this stays correct even if an
+            // observer stopped the loop before `stop_epoch`.
+            next_epoch: history.epochs_run() as u32,
+            params: net.params(),
+            opt: opt.state(),
+            history: history.clone(),
+        });
     }
     history
 }
@@ -652,6 +705,109 @@ mod tests {
             Checkpointing { every: 0, resume: Some(snap), sink: None },
             &mut |_, _, _| EpochSignal::Continue,
         );
+    }
+
+    #[test]
+    fn segment_chain_is_bit_identical_to_uninterrupted() {
+        // The stage-tree contract: [0,2) then [2,5) equals one [0,5) run.
+        let data = Dataset::synthetic_mnist(400, 5);
+        for kind in OptimizerKind::ALL {
+            let cfg = TrainConfig {
+                lr_schedule: LrSchedule::StepDecay { every_epochs: 2, factor: 0.5 },
+                ..quick_cfg(kind)
+            };
+            let uninterrupted = train(&cfg, &data);
+            let fork = train_segment(&cfg, &data, Checkpointing::default(), 2);
+            assert_eq!(fork.next_epoch, 2);
+            assert_eq!(fork.history.epochs_run(), 2);
+            let done = train_segment(
+                &cfg,
+                &data,
+                Checkpointing { every: 0, resume: Some(fork), sink: None },
+                cfg.epochs,
+            );
+            assert_eq!(done.history, uninterrupted, "{kind} segment chain diverged");
+            assert_eq!(done.next_epoch, cfg.epochs);
+        }
+    }
+
+    #[test]
+    fn shared_prefix_fork_matches_separate_runs() {
+        // Two configs that differ only in total epochs share [0,3): train
+        // that prefix once under the longer config, fork, and both the
+        // short trial's outcome and the long trial's continuation must be
+        // bit-identical to their standalone runs.
+        let data = Dataset::synthetic_mnist(400, 6);
+        let short = TrainConfig { epochs: 3, ..quick_cfg(OptimizerKind::Adam) };
+        let long = TrainConfig { epochs: 6, ..quick_cfg(OptimizerKind::Adam) };
+        let fork = train_segment(&long, &data, Checkpointing::default(), 3);
+        assert_eq!(fork.history, train(&short, &data), "short trial reads the fork");
+        let cont = train_segment(
+            &long,
+            &data,
+            Checkpointing { every: 0, resume: Some(fork), sink: None },
+            6,
+        );
+        assert_eq!(cont.history, train(&long, &data), "long trial resumes the fork");
+    }
+
+    #[test]
+    fn decay_fork_children_diverge_correctly() {
+        // Same base, different step-decay factors: prefix [0,2) is shared
+        // (decay binds at epoch 2), each child resumes with its own
+        // schedule and must match its standalone run.
+        let data = Dataset::synthetic_mnist(300, 7);
+        let mk = |factor: f32| TrainConfig {
+            epochs: 4,
+            lr_schedule: LrSchedule::StepDecay { every_epochs: 2, factor },
+            ..quick_cfg(OptimizerKind::Sgd)
+        };
+        let (a, b) = (mk(0.5), mk(0.25));
+        let fork = train_segment(&a, &data, Checkpointing::default(), 2);
+        for cfg in [&a, &b] {
+            let done = train_segment(
+                cfg,
+                &data,
+                Checkpointing { every: 0, resume: Some(fork.clone()), sink: None },
+                4,
+            );
+            assert_eq!(done.history, train(cfg, &data));
+        }
+    }
+
+    #[test]
+    fn segment_emits_final_fork_even_at_cfg_epochs() {
+        let data = Dataset::synthetic_mnist(200, 3);
+        let cfg = quick_cfg(OptimizerKind::Sgd); // 5 epochs
+        let mut cadence = Vec::new();
+        let mut sink = |s: &crate::TrainSnapshot| cadence.push(s.next_epoch);
+        let done = train_segment(
+            &cfg,
+            &data,
+            Checkpointing { every: 2, resume: None, sink: Some(&mut sink) },
+            5,
+        );
+        // cadence snapshots at 2 and 4 (segment end suppressed there), plus
+        // the unconditional fork return at 5.
+        assert_eq!(cadence, vec![2, 4]);
+        assert_eq!(done.next_epoch, 5);
+    }
+
+    #[test]
+    fn zero_length_segment_returns_initial_state() {
+        let data = Dataset::synthetic_mnist(200, 3);
+        let cfg = quick_cfg(OptimizerKind::Adam);
+        let fork = train_segment(&cfg, &data, Checkpointing::default(), 0);
+        assert_eq!(fork.next_epoch, 0);
+        assert_eq!(fork.history.epochs_run(), 0);
+        assert!(!fork.params.is_empty(), "initial weights captured");
+    }
+
+    #[test]
+    #[should_panic(expected = "past cfg.epochs")]
+    fn segment_end_past_config_epochs_panics() {
+        let data = Dataset::synthetic_mnist(100, 3);
+        let _ = train_segment(&quick_cfg(OptimizerKind::Adam), &data, Checkpointing::default(), 6);
     }
 
     #[test]

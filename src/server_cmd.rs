@@ -85,7 +85,17 @@ pub fn serve(args: &ServeArgs) -> Result<(), AnyError> {
         cfg.burst,
         if cfg.quota_trials > 0 { cfg.quota_trials.to_string() } else { "∞".to_string() },
     );
-    let server = SweepServer::start(listener, rt, objective, opts, cfg)?;
+    // Prefix sharing needs full-length trials: a serve-wide early-stop
+    // target would cut segments short, so it wins over --share-prefixes.
+    let stage = (args.share_prefixes && args.target_accuracy.is_none())
+        .then(|| worker::build_stage_objective(std::sync::Arc::clone(&data), args.cnn, 0));
+    if args.share_prefixes && args.target_accuracy.is_some() {
+        eprintln!("--share-prefixes ignored: --target-accuracy stops trials mid-training");
+    }
+    if stage.is_some() {
+        println!("stage-tree prefix sharing enabled for grid/random sweeps");
+    }
+    let server = SweepServer::start_staged(listener, rt, objective, stage, opts, cfg)?;
     println!("sweep server ready on {addr}");
 
     // Live scrape endpoint: runtime + server series merged with the

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use hpo::experiment::{ExperimentOptions, Objective, TrialCheckpoints};
 use hpo::space::ConfigValue;
+use hpo::stagetree::{stage_task_def, StageObjective};
 use hpo::wire::{experiment_task_def, register_hpo_codecs};
 use hpo::EarlyStop;
 use rcompss::{TaskRegistry, WorkerConfig, WorkerServer};
@@ -72,6 +73,16 @@ pub fn build_objective(
     (data, objective)
 }
 
+/// The stage-tree counterpart of [`build_objective`]: same dataset
+/// recipe, same hidden widths, same `--cnn` arch injection — so a stage
+/// segment trains the identical trajectory the plain experiment task
+/// would, one fork at a time. (Early stop is a driver-side concern the
+/// stage tree refuses anyway: a mid-training halt would break segment
+/// chaining.)
+pub fn build_stage_objective(data: Arc<Dataset>, cnn: bool, ckpt_every: u32) -> StageObjective {
+    StageObjective { data, hidden: vec![64], default_arch_cnn: cnn, ckpt_every }
+}
+
 /// Run a worker daemon until killed: register the HPO codecs and the
 /// experiment task, bind the listen socket, and serve drivers — one
 /// readiness-driven event loop owning every driver connection, plus one
@@ -94,8 +105,13 @@ pub fn serve(args: &WorkerArgs) -> Result<(), Box<dyn std::error::Error>> {
         args.target_accuracy,
         ckpts,
     );
-    let registry =
-        TaskRegistry::new().with(experiment_task_def(&ExperimentOptions::default(), &objective));
+    // Register the stage-segment task alongside the experiment task: the
+    // same pool then serves naive and prefix-shared sweeps alike, and the
+    // driver decides per run which one to submit.
+    let stage = build_stage_objective(Arc::clone(&data), args.cnn, args.ckpt_every);
+    let registry = TaskRegistry::new()
+        .with(experiment_task_def(&ExperimentOptions::default(), &objective))
+        .with(stage_task_def(&ExperimentOptions::default(), &stage));
 
     let cores = if args.cores > 0 {
         args.cores
